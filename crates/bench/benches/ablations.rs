@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - **Stream vs per-packet matching** in the DPI engine: the cost of a
+//!   classifier doing sequence-tracked reassembly vs matching each packet
+//!   independently (why real deployments cut corners — the corner-cutting
+//!   is what lib·erate exploits).
+//! - **Prepend-probe step size**: MTU-sized vs 1-byte probes during
+//!   position characterization.
+//! - **Planner pruning**: evaluation cost with and without
+//!   characterization-informed pruning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use liberate::prelude::*;
+use liberate_dpi::device::DpiDevice;
+use liberate_dpi::inspect::{InspectScope, ReassemblyMode};
+use liberate_dpi::profiles;
+use liberate_netsim::element::{Effects, PathElement};
+use liberate_netsim::time::SimTime;
+use liberate_packet::flow::Direction;
+use liberate_packet::packet::Packet;
+use liberate_packet::tcp::TcpFlags;
+
+fn flow(n_data: usize) -> Vec<Vec<u8>> {
+    let client = profiles::CLIENT_ADDR;
+    let server = profiles::SERVER_ADDR;
+    let mut out = Vec::new();
+    out.push(
+        Packet::tcp(client, server, 40_000, 80, 1_000, 0, vec![])
+            .with_flags(TcpFlags::SYN)
+            .serialize(),
+    );
+    let req = liberate_traces::http::get_request("bench.example.net", "/x", "b/1");
+    let mut seq = 1_001u32;
+    out.push(Packet::tcp(client, server, 40_000, 80, seq, 1, req.clone()).serialize());
+    seq += req.len() as u32;
+    for i in 0..n_data {
+        let body = vec![(i % 251) as u8; 1400];
+        out.push(Packet::tcp(client, server, 40_000, 80, seq, 1, body).serialize());
+        seq += 1400;
+    }
+    out
+}
+
+/// Ablation 1: per-packet vs full-stream classifier cost.
+fn bench_reassembly_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/reassembly_mode");
+    let packets = flow(64);
+    let bytes: usize = packets.iter().map(Vec::len).sum();
+    g.throughput(Throughput::Bytes(bytes as u64));
+
+    let mut per_packet = profiles::iran_device();
+    per_packet.inspect.port_whitelist = None;
+    per_packet.inspect.scope = InspectScope::AllPackets;
+
+    let mut full_stream = profiles::gfc_device(0);
+    full_stream.inspect.reassembly = ReassemblyMode::FullStream {
+        gate_prefixes: vec![b"GET ".to_vec()],
+        window_bytes: 64 * 1024,
+    };
+
+    for (name, config) in [("per_packet", per_packet), ("full_stream", full_stream)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dev = DpiDevice::new(config.clone());
+                let mut fx = Effects::default();
+                for (i, wire) in packets.iter().enumerate() {
+                    black_box(dev.process(
+                        SimTime::from_micros(i as u64),
+                        Direction::ClientToServer,
+                        wire.clone(),
+                        &mut fx,
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: planner with vs without characterization pruning — the
+/// evaluation replays needed before a working technique is found against
+/// the all-packets Iranian classifier.
+fn bench_planner_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/planner");
+    g.sample_size(10);
+    let trace = liberate_traces::apps::facebook_http();
+
+    let run = |pruned: bool| {
+        let mut s = Session::new(EnvKind::Iran, OsKind::Linux, LiberateConfig::default());
+        let payload = &trace.messages[0].payload;
+        let pos = liberate_traces::http::find(payload, b"facebook.com").unwrap();
+        let ctx = EvasionContext {
+            matching_fields: vec![liberate_packet::mutate::ByteRegion::new(0, pos..pos + 12)],
+            decoy: decoy_request(),
+            middlebox_ttl: 8,
+        };
+        let inputs = EvaluationInputs {
+            signal: Signal::Blocking,
+            ctx,
+            rotate_server_ports: false,
+        };
+        let position = PositionProfile {
+            prepend_break: if pruned { None } else { Some(1) },
+            packet_based: false,
+            matches_all_packets: pruned,
+        };
+        find_working_technique(&mut s, &trace, &position, &inputs)
+            .map(|(_, tries)| tries)
+            .unwrap_or(0)
+    };
+
+    g.bench_function("pruned_all_packets_profile", |b| b.iter(|| black_box(run(true))));
+    g.bench_function("unpruned_naive_order", |b| b.iter(|| black_box(run(false))));
+    g.finish();
+}
+
+/// Ablation 3: prepend-probe step size (MTU vs 1-byte probes).
+fn bench_probe_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/prepend_probe");
+    g.sample_size(10);
+    for (name, bytes) in [("mtu_probes", 1400usize), ("tiny_probes", 1usize)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s =
+                    Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+                let mut trace = liberate_traces::apps::amazon_prime_http(20_000);
+                trace.messages.insert(
+                    0,
+                    liberate_traces::recorded::TraceMessage::client(vec![b'x'; bytes]),
+                );
+                black_box(s.replay_trace(&trace, &ReplayOpts::default()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reassembly_modes,
+    bench_planner_pruning,
+    bench_probe_step
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! End-to-end phase benchmarks: wall-clock cost of running detection,
+//! characterization, and localization against the simulated testbed.
+//! (The *simulated-network* time those phases consume is the subject of
+//! exp-costs; this measures the reproduction's own compute cost.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use liberate::prelude::*;
+use liberate_traces::apps;
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phases/detect");
+    g.sample_size(20);
+    g.bench_function("testbed_prime_50KB", |b| {
+        b.iter(|| {
+            let mut s = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+            black_box(detect(&mut s, &apps::amazon_prime_http(50_000)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phases/characterize");
+    g.sample_size(10);
+    g.bench_function("testbed_prime_20KB", |b| {
+        b.iter(|| {
+            let mut s = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+            black_box(characterize(
+                &mut s,
+                &apps::amazon_prime_http(20_000),
+                &Signal::Readout,
+                &CharacterizeOpts::default(),
+            ))
+        })
+    });
+    g.bench_function("gfc_economist", |b| {
+        b.iter(|| {
+            let mut s = Session::new(EnvKind::Gfc, OsKind::Linux, LiberateConfig::default());
+            black_box(characterize(
+                &mut s,
+                &apps::economist_http(),
+                &Signal::Blocking,
+                &CharacterizeOpts {
+                    rotate_server_ports: true,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_localization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phases/localize");
+    g.sample_size(10);
+    g.bench_function("gfc_ttl_sweep", |b| {
+        b.iter(|| {
+            let mut s = Session::new(EnvKind::Gfc, OsKind::Linux, LiberateConfig::default());
+            black_box(locate_middlebox(
+                &mut s,
+                &apps::control_http(),
+                &liberate_traces::http::get_request("www.economist.com", "/d", "p"),
+                &Signal::Blocking,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phases/replay");
+    g.sample_size(20);
+    let trace = apps::amazon_prime_http(1_000_000);
+    g.bench_function("tmobile_1MB_throttled", |b| {
+        b.iter(|| {
+            let mut s = Session::new(EnvKind::TMobile, OsKind::Linux, LiberateConfig::default());
+            black_box(s.replay_trace(&trace, &ReplayOpts::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection,
+    bench_characterization,
+    bench_localization,
+    bench_replay
+);
+criterion_main!(benches);

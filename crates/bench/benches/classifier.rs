@@ -1,0 +1,98 @@
+//! Classifier-throughput benchmarks: packets-per-second through each DPI
+//! profile, and raw rule-matching speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use liberate_dpi::device::DpiDevice;
+use liberate_dpi::profiles;
+use liberate_netsim::element::{Effects, PathElement};
+use liberate_netsim::time::SimTime;
+use liberate_packet::flow::Direction;
+use liberate_packet::packet::Packet;
+use liberate_packet::tcp::TcpFlags;
+use liberate_traces::http::get_request;
+
+fn flow_packets(host: &str, n_data: usize) -> Vec<Vec<u8>> {
+    let client = profiles::CLIENT_ADDR;
+    let server = profiles::SERVER_ADDR;
+    let mut out = Vec::new();
+    let syn = Packet::tcp(client, server, 40_000, 80, 1_000, 0, vec![]).with_flags(TcpFlags::SYN);
+    out.push(syn.serialize());
+    let req = get_request(host, "/v", "bench/1.0");
+    let mut seq = 1_001u32;
+    out.push(Packet::tcp(client, server, 40_000, 80, seq, 1, req.clone()).serialize());
+    seq += req.len() as u32;
+    for i in 0..n_data {
+        let body = vec![(i % 251) as u8; 1400];
+        out.push(Packet::tcp(client, server, 40_000, 80, seq, 1, body).serialize());
+        seq += 1400;
+    }
+    out
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier/device");
+    let configs = vec![
+        ("testbed", profiles::testbed_device()),
+        ("tmobile", profiles::tmus_device()),
+        ("gfc", profiles::gfc_device(0)),
+        ("iran", profiles::iran_device()),
+    ];
+    let packets = flow_packets("x.cloudfront.net", 64);
+    let bytes: usize = packets.iter().map(Vec::len).sum();
+    for (name, config) in configs {
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_function(format!("{name}_67pkt_flow"), |b| {
+            b.iter(|| {
+                let mut dev = DpiDevice::new(config.clone());
+                let mut fx = Effects::default();
+                for (i, wire) in packets.iter().enumerate() {
+                    black_box(dev.process(
+                        SimTime::from_micros(i as u64),
+                        Direction::ClientToServer,
+                        wire.clone(),
+                        &mut fx,
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    use liberate_dpi::rules::{MatchRule, RuleSet};
+    let rules = RuleSet::new(vec![
+        MatchRule::keyword("a", "video", &b"cloudfront.net"[..]),
+        MatchRule::keyword("b", "video", &b".googlevideo.com"[..]),
+        MatchRule::keyword("c", "music", &b"spotify.com"[..]),
+        MatchRule::keyword("d", "blocked", &b"economist.com"[..]),
+    ]);
+    let hit = get_request("x.cloudfront.net", "/v", "bench/1.0");
+    let miss = get_request("benign.example.net", "/v", "bench/1.0");
+    let mut g = c.benchmark_group("classifier/rules");
+    g.throughput(Throughput::Bytes(hit.len() as u64));
+    g.bench_function("first_match_hit", |b| {
+        b.iter(|| {
+            black_box(rules.first_match(
+                black_box(&hit),
+                Direction::ClientToServer,
+                80,
+                Some(0),
+            ))
+        })
+    });
+    g.bench_function("first_match_miss", |b| {
+        b.iter(|| {
+            black_box(rules.first_match(
+                black_box(&miss),
+                Direction::ClientToServer,
+                80,
+                Some(0),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_device, bench_rules);
+criterion_main!(benches);

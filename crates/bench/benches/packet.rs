@@ -1,0 +1,106 @@
+//! Micro-benchmarks for the wire-format layer: build, parse, validate,
+//! checksum, fragment/reassemble.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use liberate_packet::prelude::*;
+use std::net::Ipv4Addr;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i % 251) as u8).collect()
+}
+
+fn tcp_packet(n: usize) -> Packet {
+    Packet::tcp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        40000,
+        80,
+        1000,
+        2000,
+        payload(n),
+    )
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/serialize");
+    for n in [64usize, 1460] {
+        g.throughput(Throughput::Bytes(n as u64));
+        let pkt = tcp_packet(n);
+        g.bench_function(format!("tcp_{n}B"), |b| {
+            b.iter(|| black_box(pkt.serialize()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/parse");
+    for n in [64usize, 1460] {
+        let wire = tcp_packet(n).serialize();
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(format!("tcp_{n}B"), |b| {
+            b.iter(|| black_box(ParsedPacket::parse(black_box(&wire))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet/validate");
+    let clean = tcp_packet(1460).serialize();
+    g.bench_function("clean_1460B", |b| {
+        b.iter(|| black_box(validate_wire(black_box(&clean))))
+    });
+    let mut bad = tcp_packet(1460);
+    bad.tcp_mut().checksum = liberate_packet::checksum::ChecksumSpec::Fixed(7);
+    bad.ip.options = vec![IpOption::StreamId(1)];
+    let bad = bad.serialize();
+    g.bench_function("malformed_1460B", |b| {
+        b.iter(|| black_box(validate_wire(black_box(&bad))))
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = payload(1460);
+    let mut g = c.benchmark_group("packet/checksum");
+    g.throughput(Throughput::Bytes(1460));
+    g.bench_function("internet_checksum_1460B", |b| {
+        b.iter(|| {
+            black_box(liberate_packet::checksum::internet_checksum(black_box(
+                &data,
+            )))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fragment(c: &mut Criterion) {
+    let wire = tcp_packet(1460).serialize();
+    let mut g = c.benchmark_group("packet/fragment");
+    g.bench_function("fragment_1460B_into_3", |b| {
+        b.iter(|| black_box(fragment_packet(black_box(&wire), 512)))
+    });
+    let frags = fragment_packet(&wire, 512);
+    g.bench_function("reassemble_3_fragments", |b| {
+        b.iter(|| {
+            let mut r = Reassembler::new(OverlapPolicy::FirstWins);
+            let mut done = None;
+            for f in &frags {
+                done = r.push(f);
+            }
+            black_box(done)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_parse,
+    bench_validate,
+    bench_checksum,
+    bench_fragment
+);
+criterion_main!(benches);

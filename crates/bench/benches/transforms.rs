@@ -1,0 +1,79 @@
+//! Evasion-transform benchmarks: how fast schedules are rewritten — this
+//! is the only per-flow work lib·erate adds at deployment time, so it must
+//! be negligible next to packet I/O.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use liberate::prelude::*;
+use liberate_traces::apps;
+
+fn ctx_for(trace: &liberate_traces::recorded::RecordedTrace) -> EvasionContext {
+    let payload = &trace.messages[0].payload;
+    let pos = liberate_traces::http::find(payload, b"cloudfront.net").unwrap();
+    EvasionContext {
+        matching_fields: vec![liberate_packet::mutate::ByteRegion::new(0, pos..pos + 14)],
+        decoy: decoy_request(),
+        middlebox_ttl: 3,
+    }
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let trace = apps::amazon_prime_http(1_000_000);
+    let ctx = ctx_for(&trace);
+    let schedule = Schedule::from_trace(&trace);
+    let mut g = c.benchmark_group("transforms/apply");
+    for technique in [
+        Technique::InertLowTtl,
+        Technique::InertTcpWrongChecksum,
+        Technique::TcpSegmentSplit { segments: 5 },
+        Technique::TcpSegmentReorder { segments: 2 },
+        Technique::IpFragmentSplit { pieces: 2 },
+        Technique::TtlRstBeforeMatch,
+        Technique::DummyPrefixData { bytes: 1 },
+    ] {
+        g.bench_function(technique.description(), |b| {
+            b.iter(|| black_box(technique.apply(black_box(&schedule), &ctx)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transforms/schedule");
+    for mb in [1usize, 10] {
+        let trace = apps::amazon_prime_http(mb * 1_000_000);
+        g.bench_function(format!("from_trace_{mb}MB"), |b| {
+            b.iter(|| black_box(Schedule::from_trace(black_box(&trace))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_craft(c: &mut Criterion) {
+    use liberate_packet::packet::Packet;
+    let craft = Craft {
+        ttl: Some(3),
+        ip_bad_checksum: true,
+        tcp_bad_checksum: true,
+        ..Craft::default()
+    };
+    let mut g = c.benchmark_group("transforms/craft");
+    g.bench_function("apply_and_serialize", |b| {
+        b.iter(|| {
+            let mut pkt = Packet::tcp(
+                std::net::Ipv4Addr::new(10, 0, 0, 1),
+                std::net::Ipv4Addr::new(10, 0, 0, 2),
+                40_000,
+                80,
+                1,
+                1,
+                vec![0u8; 512],
+            );
+            craft.apply(&mut pkt);
+            black_box(pkt.serialize())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_schedule_build, bench_craft);
+criterion_main!(benches);

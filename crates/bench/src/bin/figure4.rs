@@ -1,0 +1,127 @@
+//! **Figure 4** — "Successful evasion intervals vary during the day":
+//! against the GFC, the minimum pause (inserted before the matching
+//! packet) that flushes classifier state depends on the time of day —
+//! short during busy hours, impossible during the quiet early morning.
+//!
+//! Protocol, mirroring §6.5: delays from 10 to 240 seconds, six trials per
+//! hour, across two days; report per-slot the minimum successful delay (or
+//! failure).
+//!
+//! Run with: `cargo run --release -p liberate-bench --bin figure4`
+
+use std::time::Duration;
+
+use liberate::prelude::*;
+use liberate_traces::apps;
+
+/// Try one pause length at one time of day; true if it evaded. The GFC's
+/// eviction threshold carries ±40 % per-flow variance here (the paper:
+/// shorter delays "typically work only for a subset of tests", §6.5).
+fn pause_evades(start_secs: u64, pause: Duration, trial: u64) -> bool {
+    let mut session = Session::with_start_time(
+        EnvKind::Gfc,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        start_secs,
+    );
+    if let Some(dpi) = session.env.dpi_mut() {
+        if let Some(model) = dpi.config.resource.as_mut() {
+            *model = model.clone().with_jitter(40);
+        }
+    }
+    let trace = apps::economist_http();
+    let ctx = EvasionContext::blind(decoy_request(), 10);
+    let opts = ReplayOpts {
+        // Fresh server port per trial dodges residual penalties.
+        server_port: Some(11_000 + (trial % 40_000) as u16),
+        ..Default::default()
+    };
+    let out = session
+        .replay_with(&trace, &Technique::PauseBeforeMatch(pause), &ctx, &opts)
+        .expect("applies");
+    !out.blocked() && out.complete
+}
+
+fn main() {
+    // The probed delay ladder (§6.5: "delays ranging from 10 to 240
+    // seconds").
+    let ladder: Vec<u64> = vec![10, 20, 30, 40, 60, 90, 120, 180, 240];
+    let trials_per_hour = 6u64;
+
+    println!("Figure 4: minimum successful flush delay vs time of day (GFC)");
+    println!("(x = hour of day over two days; '-' = even 240 s failed)\n");
+    println!("hour  min-delay(s)  trials-ok/total  load");
+
+    let mut series = Vec::new();
+    for day in 0..2u64 {
+        for hour in 0..24u64 {
+            let mut min_success: Option<u64> = None;
+            let mut max_success: Option<u64> = None;
+            let mut ok = 0u64;
+            for trial in 0..trials_per_hour {
+                // Spread trials across the hour.
+                let start = day * 86_400 + hour * 3600 + trial * (3600 / trials_per_hour);
+                let mut success_at: Option<u64> = None;
+                for &delay in &ladder {
+                    if pause_evades(start, Duration::from_secs(delay), hour * 100 + trial) {
+                        success_at = Some(delay);
+                        break;
+                    }
+                }
+                if let Some(d) = success_at {
+                    ok += 1;
+                    min_success = Some(min_success.map_or(d, |m: u64| m.min(d)));
+                    max_success = Some(max_success.map_or(d, |m: u64| m.max(d)));
+                }
+            }
+            let load = match liberate_dpi::resource::load_level_for_hour(hour) {
+                liberate_dpi::resource::LoadLevel::Busy => "busy",
+                liberate_dpi::resource::LoadLevel::Normal => "normal",
+                liberate_dpi::resource::LoadLevel::Quiet => "quiet",
+            };
+            let cell = match (min_success, max_success) {
+                (Some(lo), Some(hi)) if lo != hi => format!("{lo}-{hi}"),
+                (Some(lo), _) => format!("{lo}"),
+                _ => "-".to_string(),
+            };
+            println!(
+                "d{day} {hour:02}h  {cell:>7}       {ok}/{trials_per_hour}            {load}"
+            );
+            series.push((day, hour, min_success));
+        }
+    }
+
+    // Shape assertions mirroring the paper's observations:
+    // 1. Busy hours permit shorter delays than normal hours.
+    let busy_min = series
+        .iter()
+        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Busy))
+        .filter_map(|(_, _, d)| *d)
+        .min()
+        .expect("busy hours evade");
+    let normal_min = series
+        .iter()
+        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Normal))
+        .filter_map(|(_, _, d)| *d)
+        .min()
+        .expect("normal hours evade");
+    assert!(
+        busy_min < normal_min,
+        "busy hours should flush faster: busy {busy_min} vs normal {normal_min}"
+    );
+    // 2. During quiet hours even long delays do not work.
+    let quiet_failures = series
+        .iter()
+        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Quiet))
+        .filter(|(_, _, d)| d.is_none())
+        .count();
+    assert!(quiet_failures > 0, "quiet hours should resist even 240 s");
+    // 3. The observed successful range sits in the paper's 40-240 s band
+    //    (per-flow variance lets some busy-hour trials succeed earlier).
+    assert!((20..=90).contains(&busy_min), "busy_min = {busy_min}");
+
+    println!(
+        "\n[ok] shape matches Figure 4: busy-hour minimum {busy_min} s < normal-hour \
+         minimum {normal_min} s; quiet hours defeat all delays up to 240 s"
+    );
+}

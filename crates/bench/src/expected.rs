@@ -1,0 +1,335 @@
+//! The paper's published results, encoded as ground truth.
+//!
+//! Table 3 (CC?/RS? per environment plus the per-OS server-response
+//! columns) is transcribed row-by-row from the paper; the `table3`
+//! experiment and the workspace integration tests compare measurements
+//! against it.
+
+use liberate::prelude::{Reach, Technique};
+
+/// One expected (CC?, RS?) cell. `cc: None` is the paper's "—" (the
+/// network does not classify this flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    pub cc: Option<bool>,
+    pub rs: Reach,
+}
+
+const fn cell(cc: Option<bool>, rs: Reach) -> Cell {
+    Cell { cc, rs }
+}
+const Y: Option<bool> = Some(true);
+const N: Option<bool> = Some(false);
+const NA: Option<bool> = None;
+
+/// Expected per-OS behaviour for a server receiving the technique's
+/// packets (Table 3's right-hand columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsExpect {
+    /// Dropped silently (a ✓ for inert rows).
+    Dropped,
+    /// Delivered to the application (an × for inert rows; a ✓ for
+    /// splitting/reordering rows).
+    Delivered,
+    /// Delivered truncated to the claimed length (footnote 5).
+    DeliveredTruncated,
+    /// Answered with a RST (footnote 6).
+    RstResponse,
+    /// Not applicable (the packet never reaches any server by design).
+    NotApplicable,
+}
+
+/// One expected Table 3 row: Testbed, T-Mobile, China, Iran cells; the
+/// AT&T CC-only column; and the Linux/macOS/Windows columns.
+#[derive(Debug, Clone)]
+pub struct ExpectedRow {
+    pub technique: Technique,
+    pub testbed: Cell,
+    pub tmobile: Cell,
+    pub china: Cell,
+    pub iran: Cell,
+    pub att_cc: bool,
+    pub os: [OsExpect; 3],
+}
+
+/// Table 3, in the paper's row order.
+pub fn table3() -> Vec<ExpectedRow> {
+    use OsExpect::*;
+    use Reach::{No, Transformed, Yes};
+    use Technique::*;
+    let row = |technique: Technique,
+               testbed: Cell,
+               tmobile: Cell,
+               china: Cell,
+               iran: Cell,
+               os: [OsExpect; 3]| ExpectedRow {
+        technique,
+        testbed,
+        tmobile,
+        china,
+        iran,
+        att_cc: false, // every AT&T cell in Table 3 is ×
+        os,
+    };
+    vec![
+        // --- Inert packet insertion ("Dropped by OS?") ---
+        row(
+            InertLowTtl,
+            cell(Y, No),
+            cell(Y, No),
+            cell(Y, No),
+            cell(N, No),
+            [NotApplicable, NotApplicable, NotApplicable],
+        ),
+        row(
+            InertIpInvalidVersion,
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpInvalidHeaderLength,
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpTotalLengthLong,
+            cell(Y, No),
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpTotalLengthShort,
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpWrongProtocol,
+            cell(Y, Yes),
+            cell(N, Yes),
+            cell(N, Yes),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpWrongChecksum,
+            cell(Y, No),
+            cell(N, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertIpInvalidOptions,
+            cell(Y, Yes),
+            cell(Y, No),
+            cell(N, No),
+            cell(N, No),
+            [Delivered, Delivered, Dropped],
+        ),
+        row(
+            InertIpDeprecatedOptions,
+            cell(Y, Yes),
+            cell(Y, No),
+            cell(N, No),
+            cell(N, No),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            InertTcpWrongSeq,
+            cell(Y, Yes),
+            cell(N, No),
+            cell(N, Yes),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertTcpWrongChecksum,
+            cell(Y, Yes),
+            cell(N, No),
+            cell(Y, Transformed),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertTcpNoAckFlag,
+            cell(Y, No),
+            cell(N, No),
+            cell(Y, Yes),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertTcpInvalidDataOffset,
+            cell(N, Yes),
+            cell(N, No),
+            cell(N, Yes),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertTcpInvalidFlags,
+            cell(Y, Yes),
+            cell(N, No),
+            cell(N, Yes),
+            cell(N, No),
+            [Dropped, Dropped, RstResponse],
+        ),
+        row(
+            InertUdpBadChecksum,
+            cell(Y, Yes),
+            cell(NA, No),
+            cell(NA, Yes),
+            cell(NA, Yes),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertUdpLengthLong,
+            cell(Y, Yes),
+            cell(NA, No),
+            cell(NA, No),
+            cell(NA, Yes),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            InertUdpLengthShort,
+            cell(Y, Yes),
+            cell(NA, No),
+            cell(NA, No),
+            cell(NA, Yes),
+            [DeliveredTruncated, Dropped, Dropped],
+        ),
+        // --- Payload splitting ("Delivered by OS?") ---
+        row(
+            IpFragmentSplit { pieces: 2 },
+            cell(Y, Transformed),
+            cell(N, Transformed),
+            cell(N, Transformed),
+            cell(N, No),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            TcpSegmentSplit { segments: 2 },
+            cell(Y, Yes),
+            cell(Y, Yes),
+            cell(N, Yes),
+            cell(Y, Yes),
+            [Delivered, Delivered, Delivered],
+        ),
+        // --- Payload reordering ---
+        row(
+            IpFragmentReorder { pieces: 2 },
+            cell(Y, Transformed),
+            cell(N, Transformed),
+            cell(N, Transformed),
+            cell(N, No),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            TcpSegmentReorder { segments: 2 },
+            cell(Y, Yes),
+            cell(Y, Yes),
+            cell(N, Yes),
+            cell(Y, Yes),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            UdpReorder,
+            cell(Y, Yes),
+            cell(NA, Yes),
+            cell(NA, Yes),
+            cell(NA, Yes),
+            [Delivered, Delivered, Delivered],
+        ),
+        // --- Classification flushing ---
+        row(
+            PauseAfterMatch(std::time::Duration::from_secs(130)),
+            cell(Y, Yes),
+            cell(N, Yes),
+            cell(N, Yes),
+            cell(N, Yes),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            PauseBeforeMatch(std::time::Duration::from_secs(130)),
+            cell(Y, Yes),
+            cell(N, Yes),
+            cell(Y, Yes),
+            cell(N, Yes),
+            [Delivered, Delivered, Delivered],
+        ),
+        row(
+            TtlRstAfterMatch,
+            cell(Y, No),
+            cell(Y, No),
+            cell(N, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+        row(
+            TtlRstBeforeMatch,
+            cell(Y, No),
+            cell(Y, No),
+            cell(Y, No),
+            cell(N, No),
+            [Dropped, Dropped, Dropped],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_table_covers_all_rows_in_order() {
+        let expected = table3();
+        let rows = Technique::table3_rows();
+        assert_eq!(expected.len(), rows.len());
+        for (e, t) in expected.iter().zip(&rows) {
+            assert_eq!(&e.technique, t, "row order must match the paper");
+        }
+    }
+
+    #[test]
+    fn headline_counts_match_paper_narrative() {
+        let expected = table3();
+        // "Except for AT&T and Iran, all middleboxes are vulnerable to
+        // misclassification using TTL-limited traffic."
+        let ttl = &expected[0];
+        assert_eq!(ttl.testbed.cc, Some(true));
+        assert_eq!(ttl.tmobile.cc, Some(true));
+        assert_eq!(ttl.china.cc, Some(true));
+        assert_eq!(ttl.iran.cc, Some(false));
+        assert!(!ttl.att_cc);
+
+        // Iran evades only via TCP segmentation (split or reorder).
+        let iran_wins: Vec<_> = expected
+            .iter()
+            .filter(|r| r.iran.cc == Some(true))
+            .map(|r| r.technique.clone())
+            .collect();
+        assert_eq!(iran_wins.len(), 2, "{iran_wins:?}");
+
+        // T-Mobile: exactly 3 inert insertions work (TTL + two options
+        // rows), plus segmentation, reordering, and both RST flushes.
+        let tm_wins = expected
+            .iter()
+            .filter(|r| r.tmobile.cc == Some(true))
+            .count();
+        assert_eq!(tm_wins, 7);
+
+        // AT&T: nothing works.
+        assert!(expected.iter().all(|r| !r.att_cc));
+    }
+}

@@ -1,0 +1,522 @@
+//! Classifier characterization (§4.2, §5.1): reverse-engineering *which
+//! bytes* trigger classification and *how much of the flow* the classifier
+//! inspects.
+//!
+//! Two instruments:
+//!
+//! 1. **Binary blinding search** — recursively invert ("blind") byte
+//!    ranges of the trace and replay; ranges whose blinding stops
+//!    classification contain matching fields. Runs over both directions
+//!    (AT&T also matches on server-to-client `Content-Type`, §6.3).
+//! 2. **Position probing** — prepend increasing numbers of random
+//!    packets/bytes to find packet- or byte-count inspection limits and
+//!    detect match-everything classifiers (Iran).
+
+use std::ops::Range;
+use std::time::Duration;
+
+use rand::Rng;
+
+use liberate_packet::mutate::{invert_range, merge_regions, ByteRegion};
+use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage};
+
+use crate::detect::{probe, Signal};
+use crate::replay::{ReplayOpts, Session};
+
+/// A matching field located in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingField {
+    /// Index of the trace message containing the field.
+    pub message: usize,
+    /// Direction of that message.
+    pub sender: Sender,
+    /// Byte range within the message payload.
+    pub range: Range<usize>,
+    /// The matched bytes themselves.
+    pub bytes: Vec<u8>,
+}
+
+impl MatchingField {
+    /// Render printable fields as text (the paper: "matching fields in
+    /// HTTP/S traffic typically contain human-readable text").
+    pub fn as_text(&self) -> String {
+        self.bytes
+            .iter()
+            .map(|&b| {
+                if b.is_ascii_graphic() || b == b' ' {
+                    b as char
+                } else {
+                    '·'
+                }
+            })
+            .collect()
+    }
+}
+
+/// What position probing learned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionProfile {
+    /// Smallest number of prepended MTU-sized packets that stopped
+    /// classification (`None`: never, up to the configured maximum).
+    pub prepend_break: Option<usize>,
+    /// Prepending the same number of 1-byte packets also stopped it: the
+    /// limit is packet-count-based, not byte-based.
+    pub packet_based: bool,
+    /// Classification survived every prepend: the classifier inspects all
+    /// packets (Iran, §6.6).
+    pub matches_all_packets: bool,
+}
+
+/// Options steering characterization.
+#[derive(Debug, Clone)]
+pub struct CharacterizeOpts {
+    /// Rotate the server port every replay — required against the GFC,
+    /// which blocks a server:port pair after two classified flows (§6.5).
+    /// Must stay off against port-specific classifiers like Iran's.
+    pub rotate_server_ports: bool,
+    /// First port used when rotating.
+    pub rotate_base: u16,
+    /// Also search server-direction messages for matching fields.
+    pub search_server_direction: bool,
+}
+
+impl Default for CharacterizeOpts {
+    fn default() -> Self {
+        CharacterizeOpts {
+            rotate_server_ports: false,
+            rotate_base: 10_000,
+            search_server_direction: true,
+        }
+    }
+}
+
+/// Characterization output plus its cost accounting (§6 reports rounds,
+/// time, and bytes for every network).
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    pub fields: Vec<MatchingField>,
+    pub position: PositionProfile,
+    /// Replay rounds consumed.
+    pub rounds: u64,
+    /// Client bytes sent while characterizing.
+    pub bytes_sent: u64,
+    /// Server payload bytes downloaded while characterizing (video traces
+    /// dominate here — the paper's 140 MB upper bound, §5.3).
+    pub bytes_received: u64,
+    /// Simulated wall-clock consumed.
+    pub elapsed: Duration,
+}
+
+impl Characterization {
+    /// Total data consumed by characterization, both directions — the
+    /// paper's cost metric (§5.3, §6).
+    pub fn data_consumed(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Convert fields to client-packet-ordinal regions for
+    /// [`crate::evasion::EvasionContext`].
+    pub fn client_field_regions(&self, trace: &RecordedTrace) -> Vec<ByteRegion> {
+        let mut client_ordinal_of_message = Vec::with_capacity(trace.messages.len());
+        let mut ordinal = 0usize;
+        for m in &trace.messages {
+            client_ordinal_of_message.push(ordinal);
+            if m.sender == Sender::Client {
+                ordinal += 1;
+            }
+        }
+        let mut regions: Vec<ByteRegion> = self
+            .fields
+            .iter()
+            .filter(|f| f.sender == Sender::Client)
+            .map(|f| ByteRegion::new(client_ordinal_of_message[f.message], f.range.clone()))
+            .collect();
+        regions.sort_by_key(|r| (r.packet, r.range.start));
+        merge_regions(regions)
+    }
+}
+
+struct Prober<'a> {
+    session: &'a mut Session,
+    trace: &'a RecordedTrace,
+    signal: &'a Signal,
+    opts: &'a CharacterizeOpts,
+    round: u64,
+}
+
+impl<'a> Prober<'a> {
+    /// Replay with the given ranges blinded; return whether classification
+    /// still happened.
+    fn classified_with_blinded(&mut self, blind: &[(usize, Range<usize>)]) -> bool {
+        let mut t = self.trace.clone();
+        for (msg, range) in blind {
+            invert_range(&mut t.messages[*msg].payload, range.clone());
+        }
+        let replay_opts = ReplayOpts {
+            server_port: self.port_for_round(),
+            ..Default::default()
+        };
+        self.round += 1;
+        let (_, classified) = probe(self.session, &t, &replay_opts, self.signal);
+        classified
+    }
+
+    fn port_for_round(&self) -> Option<u16> {
+        if self.opts.rotate_server_ports {
+            Some(self.opts.rotate_base.wrapping_add((self.round % 50_000) as u16))
+        } else {
+            None
+        }
+    }
+}
+
+/// Binary blinding search over one message. Precondition: blinding the
+/// whole message stops classification.
+fn search_message(
+    prober: &mut Prober<'_>,
+    msg_idx: usize,
+    range: Range<usize>,
+    found: &mut Vec<Range<usize>>,
+) {
+    if range.len() <= 1 {
+        found.push(range);
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    let left = range.start..mid;
+    let right = mid..range.end;
+    let left_kills = !prober.classified_with_blinded(&[(msg_idx, left.clone())]);
+    let right_kills = !prober.classified_with_blinded(&[(msg_idx, right.clone())]);
+    if left_kills {
+        search_message(prober, msg_idx, left, found);
+    }
+    if right_kills {
+        search_message(prober, msg_idx, right, found);
+    }
+    if !left_kills && !right_kills {
+        // The field straddles the midpoint and neither half alone covers
+        // enough of it: try the centered half.
+        let quarter = range.len() / 4;
+        let middle = (range.start + quarter)..(range.end - quarter).max(range.start + quarter + 1);
+        if middle.len() < range.len() && !prober.classified_with_blinded(&[(msg_idx, middle.clone())]) {
+            search_message(prober, msg_idx, middle, found);
+        } else {
+            // Give up at this granularity: record the whole range.
+            found.push(range);
+        }
+    }
+}
+
+/// Bisect over *message indices* first: find the messages whose blinding
+/// stops classification, then byte-search inside each. This keeps round
+/// counts logarithmic in trace length (a multi-megabyte video trace has
+/// thousands of messages; probing each would take thousands of replays).
+fn search_message_range(
+    prober: &mut Prober<'_>,
+    atoms: &[usize],
+    fields: &mut Vec<MatchingField>,
+) {
+    let blind_all =
+        |atoms: &[usize], trace: &RecordedTrace| -> Vec<(usize, Range<usize>)> {
+            atoms
+                .iter()
+                .map(|&i| (i, 0..trace.messages[i].payload.len()))
+                .collect()
+        };
+    if atoms.is_empty() {
+        return;
+    }
+    if atoms.len() == 1 {
+        let i = atoms[0];
+        let msg = &prober.trace.messages[i];
+        let mut ranges = Vec::new();
+        search_message(prober, i, 0..msg.payload.len(), &mut ranges);
+        let merged = merge_regions(
+            ranges
+                .into_iter()
+                .map(|r| ByteRegion::new(i, r))
+                .collect::<Vec<_>>(),
+        );
+        for region in merged {
+            fields.push(MatchingField {
+                message: i,
+                sender: msg.sender,
+                range: region.range.clone(),
+                bytes: msg.payload[region.range.clone()].to_vec(),
+            });
+        }
+        return;
+    }
+    let mid = atoms.len() / 2;
+    let (left, right) = atoms.split_at(mid);
+    let left_kills = !prober.classified_with_blinded(&blind_all(left, prober.trace));
+    let right_kills = !prober.classified_with_blinded(&blind_all(right, prober.trace));
+    if left_kills {
+        search_message_range(prober, left, fields);
+    }
+    if right_kills {
+        search_message_range(prober, right, fields);
+    }
+    if !left_kills && !right_kills {
+        // Conjunctive fields split across the halves would make each half
+        // alone insufficient — only possible for multi-keyword rules whose
+        // keywords all sit within this range; recurse into both.
+        search_message_range(prober, left, fields);
+        search_message_range(prober, right, fields);
+    }
+}
+
+/// Phase 2a: locate the matching fields.
+pub fn find_matching_fields(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> (Vec<MatchingField>, u64) {
+    let mut prober = Prober {
+        session,
+        trace,
+        signal,
+        opts,
+        round: 0,
+    };
+    // Sanity: the unmodified trace must classify.
+    if !prober.classified_with_blinded(&[]) {
+        return (Vec::new(), prober.round);
+    }
+
+    let atoms: Vec<usize> = trace
+        .messages
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| {
+            !m.payload.is_empty()
+                && (m.sender == Sender::Client || opts.search_server_direction)
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    // Establish the bisection invariant: blinding the whole searchable
+    // space must stop classification (otherwise differentiation is not
+    // based on these contents).
+    let everything: Vec<(usize, Range<usize>)> = atoms
+        .iter()
+        .map(|&i| (i, 0..trace.messages[i].payload.len()))
+        .collect();
+    if prober.classified_with_blinded(&everything) {
+        return (Vec::new(), prober.round);
+    }
+
+    let mut fields = Vec::new();
+    search_message_range(&mut prober, &atoms, &mut fields);
+    (fields, prober.round)
+}
+
+/// Phase 2b: position probing (prepend ladders).
+pub fn probe_position(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> (PositionProfile, u64) {
+    let max = session.config.max_prepend_packets;
+    let mut rounds = 0u64;
+    let mut prepend_break = None;
+
+    let run = |session: &mut Session, k: usize, size: usize, round: u64| -> bool {
+        let mut t = trace.clone();
+        let mut rng_bytes = vec![0u8; size * k];
+        session.rng.fill(&mut rng_bytes[..]);
+        for j in 0..k {
+            t.messages.insert(
+                0,
+                TraceMessage::client(rng_bytes[j * size..(j + 1) * size].to_vec()),
+            );
+        }
+        let replay_opts = ReplayOpts {
+            server_port: opts
+                .rotate_server_ports
+                .then_some(opts.rotate_base.wrapping_add(20_000 + round as u16)),
+            ..Default::default()
+        };
+        let (_, classified) = probe(session, &t, &replay_opts, signal);
+        classified
+    };
+
+    for k in 1..=max {
+        rounds += 1;
+        if !run(session, k, 1400, rounds) {
+            prepend_break = Some(k);
+            break;
+        }
+    }
+
+    let packet_based = match prepend_break {
+        Some(k) => {
+            rounds += 1;
+            // The same count of 1-byte packets: if it also breaks
+            // classification, the limit counts packets, not bytes.
+            !run(session, k, 1, rounds)
+        }
+        None => false,
+    };
+
+    (
+        PositionProfile {
+            prepend_break,
+            packet_based,
+            matches_all_packets: prepend_break.is_none(),
+        },
+        rounds,
+    )
+}
+
+/// Full characterization: fields + position profile + cost accounting.
+pub fn characterize(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> Characterization {
+    let t0 = session.env.network.clock;
+    let bytes0 = session.bytes_sent_total;
+    let recv0 = session.bytes_received_total;
+    let (fields, rounds_a) = find_matching_fields(session, trace, signal, opts);
+    let (position, rounds_b) = probe_position(session, trace, signal, opts);
+    Characterization {
+        fields,
+        position,
+        rounds: rounds_a + rounds_b,
+        bytes_sent: session.bytes_sent_total - bytes0,
+        bytes_received: session.bytes_received_total - recv0,
+        elapsed: session.env.network.clock - t0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiberateConfig;
+    use liberate_dpi::profiles::EnvKind;
+    use liberate_netsim::os::OsKind;
+    use liberate_traces::apps;
+
+    fn session(kind: EnvKind) -> Session {
+        Session::new(kind, OsKind::Linux, LiberateConfig::default())
+    }
+
+    #[test]
+    fn finds_cloudfront_host_in_testbed() {
+        let mut s = session(EnvKind::Testbed);
+        let trace = apps::amazon_prime_http(20_000);
+        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        assert!(!c.fields.is_empty(), "should find matching fields");
+        let all_text: String = c.fields.iter().map(|f| f.as_text()).collect();
+        assert!(
+            all_text.contains("cloudfront"),
+            "found fields: {all_text:?}"
+        );
+        // Efficiency: the paper needed at most 70 rounds for HTTP (§6.1).
+        assert!(c.rounds <= 90, "rounds = {}", c.rounds);
+        // Classifier gates on flow start: one prepended packet breaks it.
+        assert_eq!(c.position.prepend_break, Some(1));
+        assert!(c.position.packet_based);
+        assert!(!c.position.matches_all_packets);
+    }
+
+    #[test]
+    fn finds_stun_attribute_in_testbed_udp() {
+        let mut s = session(EnvKind::Testbed);
+        let trace = apps::skype_stun(4);
+        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        assert!(!c.fields.is_empty());
+        // The 0x8055 attribute type must be inside one of the fields.
+        let covered = c.fields.iter().any(|f| {
+            f.message == 0 && f.bytes.windows(2).any(|w| w == [0x80, 0x55])
+                || (f.message == 0 && {
+                    // Or the field sits exactly on those bytes.
+                    let payload = &trace.messages[0].payload;
+                    payload[f.range.clone()].windows(2).any(|w| w == [0x80, 0x55])
+                })
+        });
+        assert!(covered, "fields: {:?}", c.fields);
+    }
+
+    #[test]
+    fn gfc_characterization_with_port_rotation() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::economist_http();
+        let opts = CharacterizeOpts {
+            rotate_server_ports: true,
+            ..Default::default()
+        };
+        let c = characterize(&mut s, &trace, &Signal::Blocking, &opts);
+        let all_text: String = c.fields.iter().map(|f| f.as_text()).collect();
+        assert!(
+            all_text.contains("economist"),
+            "found: {all_text:?} ({} rounds)",
+            c.rounds
+        );
+        assert_eq!(c.position.prepend_break, Some(1));
+    }
+
+    #[test]
+    fn iran_inspects_all_packets() {
+        let mut s = session(EnvKind::Iran);
+        let trace = apps::facebook_http();
+        let c = characterize(&mut s, &trace, &Signal::Blocking, &CharacterizeOpts::default());
+        let all_text: String = c.fields.iter().map(|f| f.as_text()).collect();
+        assert!(all_text.contains("facebook"), "found: {all_text:?}");
+        assert!(c.position.matches_all_packets, "{:?}", c.position);
+    }
+
+    #[test]
+    fn client_field_regions_map_to_packet_ordinals() {
+        let mut s = session(EnvKind::Testbed);
+        let trace = apps::amazon_prime_http(20_000);
+        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let regions = c.client_field_regions(&trace);
+        assert!(!regions.is_empty());
+        assert_eq!(regions[0].packet, 0, "host header is in the first packet");
+    }
+
+    #[test]
+    fn byte_limited_classifiers_are_distinguished() {
+        // §5.1: "we first append random bytes in increments of one MTU
+        // until we observe a change in classification ... then k 1-byte
+        // packets ... If so, we conclude there is a fixed packet-based
+        // limit; else, we conclude that the limit is no more than k*MTU
+        // bytes." Build a classifier with a 3,000-*byte* window and check
+        // the probe tells it apart from the packet-limited testbed.
+        let mut s = session(EnvKind::Testbed);
+        {
+            let dpi = s.env.dpi_mut().unwrap();
+            dpi.config.inspect.scope = liberate_dpi::inspect::InspectScope::Bytes(3_000);
+            dpi.config.inspect.reassembly = liberate_dpi::inspect::ReassemblyMode::PerPacket;
+        }
+        let trace = apps::amazon_prime_http(20_000);
+        let (position, _) = probe_position(
+            &mut s,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+        // Three 1,400 B prepends push the request past 3,000 bytes...
+        assert_eq!(position.prepend_break, Some(3), "{position:?}");
+        // ...but three 1-byte prepends do not: the limit is byte-based.
+        assert!(!position.packet_based);
+        assert!(!position.matches_all_packets);
+    }
+
+    #[test]
+    fn unclassified_trace_yields_no_fields() {
+        let mut s = session(EnvKind::Testbed);
+        let trace = apps::control_http();
+        // control_http matches the "web" no-op class only: no effective
+        // differentiation, so characterization refuses to run.
+        let (fields, rounds) =
+            find_matching_fields(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        assert!(fields.is_empty());
+        assert_eq!(rounds, 1);
+    }
+}

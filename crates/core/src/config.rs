@@ -1,0 +1,77 @@
+//! Tunables for lib·erate's phases, with the defaults the paper reports
+//! using (§5).
+
+use std::time::Duration;
+
+/// Configuration shared by detection, characterization, and evaluation.
+#[derive(Debug, Clone)]
+pub struct LiberateConfig {
+    /// Maximum packets to prepend before concluding the classifier
+    /// inspects every packet ("we use a tunable maximum threshold of
+    /// packets (based on our observations, 10)", §5.1).
+    pub max_prepend_packets: usize,
+    /// Maximum segments to split a matching packet into ("we currently
+    /// use a conservative threshold of n = 10", §5.2).
+    pub max_split_segments: usize,
+    /// Fragments per packet when testing IP fragmentation ("currently
+    /// m = 2", §5.2).
+    pub fragment_pieces: usize,
+    /// Idle gap inserted between replay rounds (testbed rounds take ~5 s,
+    /// §6.1).
+    pub round_gap: Duration,
+    /// Flush-delay ladder probed by the pause-based techniques ("delays
+    /// ranging from 10 to 240 seconds", §6.5).
+    pub pause_ladder: Vec<Duration>,
+    /// Pause inserted after an inert RST to let a shortened result
+    /// timeout expire (the testbed drops to 10 s after a RST, §6.1).
+    pub rst_flush_pause: Duration,
+    /// Throughput ratio below which a replay counts as throttled relative
+    /// to its control.
+    pub throttle_ratio: f64,
+    /// Minimum bytes per replay for a reliable zero-rating counter read
+    /// ("at least 200KB of data for each replay eliminates the risk of
+    /// false inference", §6.2).
+    pub min_zero_rating_bytes: u64,
+    /// Maximum TTL probed during middlebox localization.
+    pub max_probe_ttl: u8,
+    /// Deterministic seed for random payload generation.
+    pub seed: u64,
+}
+
+impl Default for LiberateConfig {
+    fn default() -> Self {
+        LiberateConfig {
+            max_prepend_packets: 10,
+            max_split_segments: 10,
+            fragment_pieces: 2,
+            round_gap: Duration::from_secs(5),
+            pause_ladder: vec![
+                Duration::from_secs(10),
+                Duration::from_secs(30),
+                Duration::from_secs(60),
+                Duration::from_secs(130),
+                Duration::from_secs(240),
+            ],
+            rst_flush_pause: Duration::from_secs(11),
+            throttle_ratio: 0.6,
+            min_zero_rating_bytes: 200_000,
+            max_probe_ttl: 20,
+            seed: 0x11be_7a7e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LiberateConfig::default();
+        assert_eq!(c.max_prepend_packets, 10);
+        assert_eq!(c.max_split_segments, 10);
+        assert_eq!(c.fragment_pieces, 2);
+        assert_eq!(*c.pause_ladder.last().unwrap(), Duration::from_secs(240));
+        assert_eq!(c.min_zero_rating_bytes, 200_000);
+    }
+}

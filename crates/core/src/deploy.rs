@@ -1,0 +1,489 @@
+//! The full lib·erate pipeline and runtime deployment (§4.4, Fig. 3).
+//!
+//! [`run_pipeline`] chains the four phases — differentiation detection,
+//! characterization, middlebox localization, evasion evaluation — and
+//! returns the cheapest working technique. [`LiberateProxy`] is the
+//! deployment vehicle: it applies the chosen technique to application
+//! flows at runtime and re-runs the pipeline when the classifier changes
+//! (the adaptation loop of §4.2: "If differentiation occurs even when
+//! using a previously successful evasion technique, then lib·erate assumes
+//! that matching rules have changed, and repeats the characterization and
+//! evasion steps").
+
+use std::time::Duration;
+
+use liberate_traces::recorded::RecordedTrace;
+
+use crate::characterize::{characterize, Characterization, CharacterizeOpts};
+use crate::detect::{detect_rotating, read_billed_counter, was_classified, DetectionOutcome, Signal};
+use crate::error::{LiberateError, Result};
+use crate::evaluate::{find_working_technique, EvaluationInputs, TechniqueResult};
+use crate::evasion::EvasionContext;
+use crate::probe::{decoy_request, Localization};
+use crate::replay::{ReplayOpts, ReplayOutcome, Session};
+use crate::schedule::Schedule;
+
+/// Everything the pipeline produced, with cost accounting.
+#[derive(Debug)]
+pub struct PipelineReport {
+    pub detection: DetectionOutcome,
+    pub characterization: Option<Characterization>,
+    pub localization: Option<Localization>,
+    /// The cheapest working technique found, if any.
+    pub chosen: Option<TechniqueResult>,
+    /// Evaluation replays spent before success.
+    pub evaluation_tries: u64,
+    /// Total replay rounds across all phases.
+    pub total_rounds: u64,
+    /// Total client bytes consumed by testing.
+    pub total_bytes: u64,
+    /// Simulated time consumed by testing.
+    pub elapsed: Duration,
+}
+
+/// Pick the default detection signal for an environment's differentiation
+/// style, from what detection observed.
+pub fn signal_from_detection(d: &DetectionOutcome, config_ratio: f64) -> Signal {
+    if d.blocking {
+        Signal::Blocking
+    } else if d.zero_rating {
+        Signal::ZeroRating
+    } else {
+        Signal::Throttling {
+            control_bps: d.control.avg_bps,
+            ratio: config_ratio,
+        }
+    }
+}
+
+/// Run the whole pipeline against one application trace.
+pub fn run_pipeline(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    copts: &CharacterizeOpts,
+) -> Result<PipelineReport> {
+    run_pipeline_with_rules(session, trace, copts, None)
+}
+
+/// [`run_pipeline`] with pre-learned rules (e.g. from a shared
+/// [`crate::cache::RuleCache`], §4.2): the expensive characterization
+/// phase is skipped.
+pub fn run_pipeline_with_rules(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    copts: &CharacterizeOpts,
+    pre_learned: Option<Characterization>,
+) -> Result<PipelineReport> {
+    let rounds0 = session.replays;
+    let bytes0 = session.bytes_sent_total + session.bytes_received_total;
+    let t0 = session.env.network.clock;
+
+    // Phase 1: detection.
+    let rotate_base = copts.rotate_server_ports.then_some(copts.rotate_base);
+    let detection = detect_rotating(session, trace, rotate_base.map(|b| b.wrapping_add(30_000)));
+    if !detection.differentiated {
+        return Err(LiberateError::NoDifferentiation);
+    }
+    let signal = signal_from_detection(&detection, session.config.throttle_ratio);
+
+    // Phase 2: characterization (skipped when shared rules are supplied).
+    let characterization = match pre_learned {
+        Some(c) => c,
+        None => characterize(session, trace, &signal, copts),
+    };
+    if characterization.fields.is_empty() {
+        return Err(LiberateError::NoMatchingFields);
+    }
+
+    // Phase 3: localization (via a TTL-limited inert probe carrying the
+    // first matching field's packet).
+    let matching_packet = trace
+        .client_messages()
+        .nth(
+            characterization
+                .client_field_regions(trace)
+                .first()
+                .map(|r| r.packet)
+                .unwrap_or(0),
+        )
+        .map(|m| m.payload.clone())
+        .ok_or_else(|| LiberateError::BadTrace("no client payload".into()))?;
+    let carrier = liberate_traces::generator::generate(&liberate_traces::generator::WorkloadSpec {
+        server_bytes: 400_000,
+        ..Default::default()
+    });
+    let localization = crate::probe::locate_middlebox_rotating(
+        session,
+        &carrier,
+        &matching_packet,
+        &signal,
+        rotate_base.map(|b| b.wrapping_add(31_000)),
+    );
+
+    // Phase 4: evaluation.
+    let ctx = EvasionContext {
+        matching_fields: characterization.client_field_regions(trace),
+        decoy: decoy_request(),
+        middlebox_ttl: localization
+            .middlebox_ttl
+            .unwrap_or(session.env.hops_before_middlebox + 1),
+    };
+    let inputs = EvaluationInputs {
+        signal,
+        ctx,
+        rotate_server_ports: copts.rotate_server_ports,
+    };
+    let found = find_working_technique(session, trace, &characterization.position, &inputs);
+    let (chosen, tries) = match found {
+        Some((r, tries)) => (Some(r), tries),
+        None => (None, 0),
+    };
+
+    Ok(PipelineReport {
+        detection,
+        characterization: Some(characterization),
+        localization: Some(localization),
+        chosen,
+        evaluation_tries: tries,
+        total_rounds: session.replays - rounds0,
+        total_bytes: session.bytes_sent_total + session.bytes_received_total - bytes0,
+        elapsed: session.env.network.clock - t0,
+    })
+}
+
+/// Cached evasion state for one application.
+struct CachedEvasion {
+    technique: TechniqueResult,
+    ctx: EvasionContext,
+    signal: Signal,
+}
+
+/// Per-flow report from the deployment proxy.
+#[derive(Debug)]
+pub struct FlowReport {
+    pub outcome: ReplayOutcome,
+    /// Whether an evasion technique was applied to this flow.
+    pub evaded: bool,
+    /// Whether this flow triggered a (re-)characterization.
+    pub recharacterized: bool,
+}
+
+/// The transparent-proxy deployment (Fig. 3, step 3): applications hand
+/// their flows to the proxy; the proxy transparently transforms them with
+/// the cheapest known-working technique, re-learning when the classifier
+/// changes.
+pub struct LiberateProxy {
+    pub session: Session,
+    copts: CharacterizeOpts,
+    cached: Option<CachedEvasion>,
+    /// Times the pipeline ran (1 = initial; more = classifier changed).
+    pub characterizations: u64,
+    /// Shared characterization store (§4.2) and the network name keying
+    /// it.
+    rule_cache: Option<(crate::cache::RuleCache, String)>,
+    /// Characterizations skipped thanks to the shared cache.
+    pub cache_hits: u64,
+}
+
+impl LiberateProxy {
+    pub fn new(session: Session, copts: CharacterizeOpts) -> LiberateProxy {
+        LiberateProxy {
+            session,
+            copts,
+            cached: None,
+            characterizations: 0,
+            rule_cache: None,
+            cache_hits: 0,
+        }
+    }
+
+    /// Attach a shared rule cache under the given network name. Fresh
+    /// entries let this proxy skip its own characterization after a
+    /// per-field verification replay (§4.2).
+    pub fn with_cache(
+        mut self,
+        cache: crate::cache::RuleCache,
+        network: &str,
+    ) -> LiberateProxy {
+        self.rule_cache = Some((cache, network.to_string()));
+        self
+    }
+
+    /// Take the (possibly updated) shared cache back for redistribution.
+    pub fn take_cache(&mut self) -> Option<crate::cache::RuleCache> {
+        self.rule_cache.take().map(|(c, _)| c)
+    }
+
+    /// Whether the proxy currently holds a working technique.
+    pub fn active_technique(&self) -> Option<&TechniqueResult> {
+        self.cached.as_ref().map(|c| &c.technique)
+    }
+
+    /// Fresh shared rules for this flow, if the cache has them and they
+    /// verify against the live classifier (per-field blinding replays
+    /// using the signal the contributor recorded).
+    fn shared_rules_for(&mut self, trace: &RecordedTrace) -> Option<Characterization> {
+        let (cache, network) = self.rule_cache.as_ref()?;
+        let network = network.clone();
+        let entry = cache.lookup(&network, &trace.app)?.clone();
+        let cache_snapshot = self.rule_cache.as_ref().map(|(c, _)| c.clone())?;
+        let signal = entry.signal.to_signal(&mut self.session, trace);
+        let fresh =
+            cache_snapshot.verify(&network, &trace.app, &mut self.session, trace, &signal)?;
+        if fresh {
+            self.cache_hits += 1;
+            Some(entry.to_characterization(trace))
+        } else {
+            None
+        }
+    }
+
+    /// Send one application flow, evading as needed.
+    pub fn run_flow(&mut self, trace: &RecordedTrace) -> Result<FlowReport> {
+        // Fast path: apply the cached technique.
+        if let Some(cached) = &self.cached {
+            let schedule = cached
+                .technique
+                .effective
+                .apply(&Schedule::from_trace(trace), &cached.ctx)
+                .ok_or(LiberateError::NoWorkingTechnique)?;
+            let billed_before = read_billed_counter(&mut self.session);
+            let outcome = self
+                .session
+                .replay_schedule(trace, &schedule, &ReplayOpts::default());
+            let still_classified =
+                was_classified(&mut self.session, &cached.signal, &outcome, billed_before);
+            if !still_classified {
+                return Ok(FlowReport {
+                    outcome,
+                    evaded: true,
+                    recharacterized: false,
+                });
+            }
+            // The classifier caught us: rules changed. Re-learn.
+            self.cached = None;
+        }
+
+        // Consult the shared cache before paying for characterization:
+        // detection must still run (it also yields the signal), but a
+        // fresh cache entry replaces the ~70-round blinding search with a
+        // per-field verification.
+        let pre_learned = self.shared_rules_for(trace);
+        let copts = self.copts.clone();
+        let report =
+            run_pipeline_with_rules(&mut self.session, trace, &copts, pre_learned)?;
+        self.characterizations += 1;
+        // Publish what we learned for the next user.
+        if let Some((cache, network)) = self.rule_cache.as_mut() {
+            if let Some(c) = report.characterization.as_ref() {
+                if c.rounds > 0 {
+                    let signal = crate::cache::CachedSignal::from_signal(
+                        &signal_from_detection(
+                            &report.detection,
+                            self.session.config.throttle_ratio,
+                        ),
+                    );
+                    cache.publish(
+                        network,
+                        &trace.app,
+                        crate::cache::CachedRules::from_characterization_with_signal(
+                            c,
+                            self.session.env.network.clock.as_micros() / 1_000_000,
+                            signal,
+                        ),
+                    );
+                }
+            }
+        }
+        let chosen = report.chosen.ok_or(LiberateError::NoWorkingTechnique)?;
+        let ctx = EvasionContext {
+            matching_fields: report
+                .characterization
+                .as_ref()
+                .map(|c| c.client_field_regions(trace))
+                .unwrap_or_default(),
+            decoy: decoy_request(),
+            middlebox_ttl: report
+                .localization
+                .as_ref()
+                .and_then(|l| l.middlebox_ttl)
+                .unwrap_or(self.session.env.hops_before_middlebox + 1),
+        };
+        let signal = signal_from_detection(&report.detection, self.session.config.throttle_ratio);
+
+        // Run the flow for real with the chosen technique.
+        let schedule = chosen
+            .effective
+            .apply(&Schedule::from_trace(trace), &ctx)
+            .ok_or(LiberateError::NoWorkingTechnique)?;
+        let outcome = self
+            .session
+            .replay_schedule(trace, &schedule, &ReplayOpts::default());
+        self.cached = Some(CachedEvasion {
+            technique: chosen,
+            ctx,
+            signal,
+        });
+        Ok(FlowReport {
+            outcome,
+            evaded: true,
+            recharacterized: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiberateConfig;
+    use liberate_dpi::profiles::EnvKind;
+    use liberate_netsim::os::OsKind;
+    use liberate_traces::apps;
+
+    fn session(kind: EnvKind) -> Session {
+        Session::new(kind, OsKind::Linux, LiberateConfig::default())
+    }
+
+    #[test]
+    fn pipeline_end_to_end_against_gfc() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::economist_http();
+        let copts = CharacterizeOpts {
+            rotate_server_ports: true,
+            ..Default::default()
+        };
+        let report = run_pipeline(&mut s, &trace, &copts).expect("pipeline succeeds");
+        assert!(report.detection.blocking);
+        let c = report.characterization.as_ref().unwrap();
+        assert!(!c.fields.is_empty());
+        assert_eq!(
+            report.localization.as_ref().unwrap().middlebox_ttl,
+            Some(10)
+        );
+        let chosen = report.chosen.expect("GFC is evadable");
+        assert_eq!(chosen.cc, Some(true));
+        assert!(report.total_rounds > 0);
+        assert!(report.total_bytes > 0);
+    }
+
+    #[test]
+    fn pipeline_refuses_undifferentiated_traffic() {
+        let mut s = session(EnvKind::Sprint);
+        let err = run_pipeline(
+            &mut s,
+            &apps::amazon_prime_http(300_000),
+            &CharacterizeOpts::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, LiberateError::NoDifferentiation);
+    }
+
+    #[test]
+    fn proxy_reuses_cached_technique() {
+        let s = session(EnvKind::Iran);
+        let mut proxy = LiberateProxy::new(s, CharacterizeOpts::default());
+        let trace = apps::facebook_http();
+
+        let first = proxy.run_flow(&trace).expect("first flow learns");
+        assert!(first.recharacterized);
+        assert!(!first.outcome.blocked());
+        assert_eq!(proxy.characterizations, 1);
+
+        let second = proxy.run_flow(&trace).expect("second flow reuses");
+        assert!(!second.recharacterized);
+        assert!(!second.outcome.blocked());
+        assert_eq!(proxy.characterizations, 1, "no re-learning needed");
+    }
+
+    #[test]
+    fn proxy_adapts_when_rules_change() {
+        let s = session(EnvKind::Testbed);
+        let mut proxy = LiberateProxy::new(s, CharacterizeOpts::default());
+        // Large enough that the testbed's 1.5 Mbps video throttle is
+        // visible past its token-bucket burst.
+        let trace = apps::amazon_prime_http(1_200_000);
+
+        let first = proxy.run_flow(&trace).expect("learns initial technique");
+        assert!(first.recharacterized);
+        assert_eq!(proxy.characterizations, 1);
+        let initial = proxy.active_technique().unwrap().effective.clone();
+        assert_eq!(
+            initial.category(),
+            crate::evasion::Category::InertInsertion,
+            "match-and-forget classifiers get inert insertion first (§5.2)"
+        );
+
+        // Countermeasure (§4.3 "Evasion countermeasures"): the operator
+        // blacklists lib·erate's decoy class — the innocuous "web" class
+        // now receives the video throttle, so decoy-based inert insertion
+        // stops helping.
+        {
+            let dpi = proxy.session.env.dpi_mut().unwrap();
+            dpi.config.policies.insert(
+                "web".to_string(),
+                liberate_dpi::actions::Policy::throttle(1_500_000, 420_000),
+            );
+            dpi.reset();
+        }
+
+        let adapted = proxy.run_flow(&trace).expect("re-learns");
+        assert!(adapted.recharacterized, "should notice the rule change");
+        assert_eq!(proxy.characterizations, 2);
+        let new = proxy.active_technique().unwrap().effective.clone();
+        assert_ne!(
+            new, initial,
+            "the burned technique must be replaced by a different one"
+        );
+        assert!(!adapted.outcome.blocked());
+
+        // And the replacement keeps working on subsequent flows without
+        // further re-learning.
+        let third = proxy.run_flow(&trace).expect("cached replacement works");
+        assert!(!third.recharacterized);
+        assert_eq!(proxy.characterizations, 2);
+    }
+}
+
+#[cfg(test)]
+mod cache_integration_tests {
+    use super::*;
+    use crate::cache::RuleCache;
+    use crate::config::LiberateConfig;
+    use liberate_dpi::profiles::EnvKind;
+    use liberate_netsim::os::OsKind;
+    use liberate_traces::apps;
+
+    #[test]
+    fn second_proxy_user_rides_the_shared_cache() {
+        let trace = apps::facebook_http();
+        let copts = CharacterizeOpts::default();
+
+        // User A learns the rules the hard way and publishes.
+        let mut a = LiberateProxy::new(
+            Session::new(EnvKind::Iran, OsKind::Linux, LiberateConfig::default()),
+            copts.clone(),
+        )
+        .with_cache(RuleCache::new(), "iran");
+        a.run_flow(&trace).expect("user A evades");
+        assert_eq!(a.cache_hits, 0);
+        let rounds_a = a.session.replays;
+        let cache = a.take_cache().expect("cache present");
+        assert_eq!(cache.len(), 1);
+
+        // User B attaches the distributed cache: the blinding search is
+        // replaced by a per-field verification.
+        let mut b = LiberateProxy::new(
+            Session::new(EnvKind::Iran, OsKind::Linux, LiberateConfig::default()),
+            copts,
+        )
+        .with_cache(cache, "iran");
+        let flow = b.run_flow(&trace).expect("user B evades via the cache");
+        assert!(!flow.outcome.blocked());
+        assert_eq!(b.cache_hits, 1);
+        let rounds_b = b.session.replays;
+        assert!(
+            rounds_b * 2 < rounds_a,
+            "cache user spends far fewer rounds: {rounds_b} vs {rounds_a}"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! The classifier-evasion taxonomy (§4.3, Table 3).
+//!
+//! Four families, all exploiting the gap between what a middlebox sees and
+//! what the endpoints agree on:
+//!
+//! 1. **Inert packet insertion** — a decoy packet the classifier processes
+//!    but the server never acts on (wrong checksums, bogus lengths, low
+//!    TTLs, invalid flags, ...).
+//! 2. **Payload splitting** — divide the payload so matching fields cross
+//!    packet/fragment boundaries.
+//! 3. **Payload reordering** — additionally deliver those pieces out of
+//!    order.
+//! 4. **Classification flushing** — make the middlebox forget (pauses
+//!    that outlive its state, inert RSTs that tear state down).
+//!
+//! Every variant is a pure rewrite of a [`Schedule`]; the replay engine
+//! and the deployment proxy both consume the same rewrites.
+
+mod transform;
+
+pub use transform::{EvasionContext, LIBERATE_RST_WINDOW};
+
+/// Test-visible re-export of the splitter for property tests.
+pub use transform::split_across_field as split_across_field_for_tests;
+
+use std::time::Duration;
+
+use liberate_traces::recorded::TraceProtocol;
+
+use crate::schedule::Schedule;
+
+/// The four technique families of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    InertInsertion,
+    Splitting,
+    Reordering,
+    Flushing,
+}
+
+impl Category {
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::InertInsertion => "Inert packet insertion",
+            Category::Splitting => "Payload splitting",
+            Category::Reordering => "Payload reordering",
+            Category::Flushing => "Classification flushing",
+        }
+    }
+}
+
+/// Every evasion technique in the taxonomy. Variants map one-to-one onto
+/// the rows of Table 3 (plus [`Technique::DummyPrefixData`], the
+/// server-supported extension from §1/§7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Technique {
+    // --- Inert packet insertion: IP-level crafting ---
+    /// TTL large enough to reach the classifier, too small to reach the
+    /// server.
+    InertLowTtl,
+    /// IP version field not 4.
+    InertIpInvalidVersion,
+    /// IHL below the minimum header size.
+    InertIpInvalidHeaderLength,
+    /// Total length claiming more bytes than sent.
+    InertIpTotalLengthLong,
+    /// Total length claiming fewer bytes than sent.
+    InertIpTotalLengthShort,
+    /// Unassigned IP protocol number over a valid TCP segment.
+    InertIpWrongProtocol,
+    /// Corrupted IP header checksum.
+    InertIpWrongChecksum,
+    /// Structurally invalid IP options.
+    InertIpInvalidOptions,
+    /// Deprecated (RFC 6814) IP options.
+    InertIpDeprecatedOptions,
+    // --- Inert packet insertion: TCP-level crafting ---
+    /// Sequence number far outside the receive window.
+    InertTcpWrongSeq,
+    /// Corrupted TCP checksum.
+    InertTcpWrongChecksum,
+    /// Data segment without the ACK flag.
+    InertTcpNoAckFlag,
+    /// Data offset overrunning the segment.
+    InertTcpInvalidDataOffset,
+    /// SYN+FIN+RST "christmas tree" flags.
+    InertTcpInvalidFlags,
+    // --- Inert packet insertion: UDP-level crafting ---
+    /// Corrupted UDP checksum.
+    InertUdpBadChecksum,
+    /// UDP length claiming more bytes than sent.
+    InertUdpLengthLong,
+    /// UDP length claiming fewer bytes than sent.
+    InertUdpLengthShort,
+    // --- Payload splitting ---
+    /// Split matching TCP payload across `segments` segments.
+    TcpSegmentSplit { segments: usize },
+    /// Split the matching packet into IP fragments.
+    IpFragmentSplit { pieces: usize },
+    // --- Payload reordering ---
+    /// Fragment the matching packet and send fragments in reverse.
+    IpFragmentReorder { pieces: usize },
+    /// Split matching TCP payload and send the segments in reverse.
+    TcpSegmentReorder { segments: usize },
+    /// Swap the order of the first two UDP datagrams.
+    UdpReorder,
+    // --- Classification flushing ---
+    /// Idle pause inserted after the matching packet.
+    PauseAfterMatch(Duration),
+    /// Idle pause inserted before the matching packet.
+    PauseBeforeMatch(Duration),
+    /// TTL-limited inert RST sent after the matching packet, then a short
+    /// pause (Table 3 row "TTL-limited RST packet (a)").
+    TtlRstAfterMatch,
+    /// TTL-limited inert RST sent before the matching packet (row "(b)").
+    TtlRstBeforeMatch,
+    // --- Beyond Table 3: bilateral extension ---
+    /// Prepend real dummy data the server agrees to skip (requires
+    /// server-side support; evades the testbed, T-Mobile, AT&T, and the
+    /// GFC per §1).
+    DummyPrefixData { bytes: usize },
+}
+
+impl Technique {
+    /// The 26 rows of Table 3, in the paper's order.
+    pub fn table3_rows() -> Vec<Technique> {
+        use Technique::*;
+        vec![
+            InertLowTtl,
+            InertIpInvalidVersion,
+            InertIpInvalidHeaderLength,
+            InertIpTotalLengthLong,
+            InertIpTotalLengthShort,
+            InertIpWrongProtocol,
+            InertIpWrongChecksum,
+            InertIpInvalidOptions,
+            InertIpDeprecatedOptions,
+            InertTcpWrongSeq,
+            InertTcpWrongChecksum,
+            InertTcpNoAckFlag,
+            InertTcpInvalidDataOffset,
+            InertTcpInvalidFlags,
+            InertUdpBadChecksum,
+            InertUdpLengthLong,
+            InertUdpLengthShort,
+            IpFragmentSplit { pieces: 2 },
+            TcpSegmentSplit { segments: 2 },
+            IpFragmentReorder { pieces: 2 },
+            TcpSegmentReorder { segments: 2 },
+            UdpReorder,
+            PauseAfterMatch(Duration::from_secs(130)),
+            PauseBeforeMatch(Duration::from_secs(130)),
+            TtlRstAfterMatch,
+            TtlRstBeforeMatch,
+        ]
+    }
+
+    /// Table 3's "Prot." column.
+    pub fn protocol_row(&self) -> &'static str {
+        use Technique::*;
+        match self {
+            InertLowTtl | InertIpInvalidVersion | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong | InertIpTotalLengthShort | InertIpWrongProtocol
+            | InertIpWrongChecksum | InertIpInvalidOptions | InertIpDeprecatedOptions
+            | IpFragmentSplit { .. } | IpFragmentReorder { .. } | PauseAfterMatch(_)
+            | PauseBeforeMatch(_) => "IP",
+            InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | TcpSegmentSplit { .. }
+            | TcpSegmentReorder { .. } | TtlRstAfterMatch | TtlRstBeforeMatch => "TCP",
+            InertUdpBadChecksum | InertUdpLengthLong | InertUdpLengthShort | UdpReorder => "UDP",
+            DummyPrefixData { .. } => "TCP",
+        }
+    }
+
+    /// Table 3's technique description.
+    pub fn description(&self) -> String {
+        use Technique::*;
+        match self {
+            InertLowTtl => "Lower TTL to only reach classifier".into(),
+            InertIpInvalidVersion => "Invalid Version".into(),
+            InertIpInvalidHeaderLength => "Invalid Header Length".into(),
+            InertIpTotalLengthLong => "Total Length longer than payload".into(),
+            InertIpTotalLengthShort => "Total Length shorter than payload".into(),
+            InertIpWrongProtocol => "Wrong Protocol".into(),
+            InertIpWrongChecksum => "Wrong Checksum".into(),
+            InertIpInvalidOptions => "Invalid Options".into(),
+            InertIpDeprecatedOptions => "Deprecated Options".into(),
+            InertTcpWrongSeq => "Wrong Sequence Number".into(),
+            InertTcpWrongChecksum => "Wrong Checksum".into(),
+            InertTcpNoAckFlag => "ACK flag not set".into(),
+            InertTcpInvalidDataOffset => "Invalid Data Offset".into(),
+            InertTcpInvalidFlags => "Invalid flag combination".into(),
+            InertUdpBadChecksum => "Invalid Checksum".into(),
+            InertUdpLengthLong => "Length longer than payload".into(),
+            InertUdpLengthShort => "Length shorter than payload".into(),
+            IpFragmentSplit { pieces } => format!("Break packet into {pieces} fragments"),
+            TcpSegmentSplit { segments } => format!("Break packet into {segments} segments"),
+            IpFragmentReorder { .. } => "Fragmented packet, out-of-order".into(),
+            TcpSegmentReorder { .. } => "Segmented packet, out-of-order".into(),
+            UdpReorder => "UDP packets out-of-order".into(),
+            PauseAfterMatch(d) => format!("Pause for {} sec. (after match)", d.as_secs()),
+            PauseBeforeMatch(d) => format!("Pause for {} sec. (before match)", d.as_secs()),
+            TtlRstAfterMatch => "TTL-limited RST packet (a)".into(),
+            TtlRstBeforeMatch => "TTL-limited RST packet (b)".into(),
+            DummyPrefixData { bytes } => format!("Dummy prefix data ({bytes} B, server-side)"),
+        }
+    }
+
+    pub fn category(&self) -> Category {
+        use Technique::*;
+        match self {
+            InertLowTtl | InertIpInvalidVersion | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong | InertIpTotalLengthShort | InertIpWrongProtocol
+            | InertIpWrongChecksum | InertIpInvalidOptions | InertIpDeprecatedOptions
+            | InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | InertUdpBadChecksum
+            | InertUdpLengthLong | InertUdpLengthShort => Category::InertInsertion,
+            TcpSegmentSplit { .. } | IpFragmentSplit { .. } | DummyPrefixData { .. } => {
+                Category::Splitting
+            }
+            IpFragmentReorder { .. } | TcpSegmentReorder { .. } | UdpReorder => {
+                Category::Reordering
+            }
+            PauseAfterMatch(_) | PauseBeforeMatch(_) | TtlRstAfterMatch | TtlRstBeforeMatch => {
+                Category::Flushing
+            }
+        }
+    }
+
+    /// Whether this technique makes sense for a flow of `proto`.
+    pub fn applicable(&self, proto: TraceProtocol) -> bool {
+        use Technique::*;
+        match self {
+            InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | TcpSegmentSplit { .. }
+            | TcpSegmentReorder { .. } | TtlRstAfterMatch | TtlRstBeforeMatch
+            | DummyPrefixData { .. } => proto == TraceProtocol::Tcp,
+            InertUdpBadChecksum | InertUdpLengthLong | InertUdpLengthShort | UdpReorder => {
+                proto == TraceProtocol::Udp
+            }
+            // IP-level techniques apply to both transports.
+            _ => true,
+        }
+    }
+
+    /// Whether the technique only works with cooperation from the server
+    /// application.
+    pub fn requires_server_support(&self) -> bool {
+        matches!(self, Technique::DummyPrefixData { .. })
+    }
+
+    /// Table 2's per-flow overhead class.
+    pub fn overhead(&self) -> Overhead {
+        use Technique::*;
+        match self.category() {
+            Category::InertInsertion => Overhead::InertPackets(1),
+            Category::Splitting => match self {
+                TcpSegmentSplit { segments } => Overhead::ExtraHeaders(segments - 1),
+                IpFragmentSplit { pieces } => Overhead::ExtraHeaders(pieces - 1),
+                DummyPrefixData { bytes } => Overhead::PrefixBytes(*bytes),
+                _ => unreachable!(),
+            },
+            Category::Reordering => match self {
+                TcpSegmentReorder { segments } => Overhead::ExtraHeaders(segments - 1),
+                IpFragmentReorder { pieces } => Overhead::ExtraHeaders(pieces - 1),
+                UdpReorder => Overhead::ExtraHeaders(0),
+                _ => unreachable!(),
+            },
+            Category::Flushing => match self {
+                PauseAfterMatch(d) | PauseBeforeMatch(d) => Overhead::PauseSeconds(d.as_secs()),
+                _ => Overhead::InertPackets(1),
+            },
+        }
+    }
+
+    /// Rewrite a schedule to apply this technique. Returns `None` when
+    /// the technique does not apply (wrong transport, empty schedule).
+    pub fn apply(&self, schedule: &Schedule, ctx: &EvasionContext) -> Option<Schedule> {
+        transform::apply(self, schedule, ctx)
+    }
+}
+
+/// Table 2's overhead classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overhead {
+    /// k extra inert packets.
+    InertPackets(usize),
+    /// k extra packet headers (~40 bytes each) from splitting/reordering.
+    ExtraHeaders(usize),
+    /// t seconds of added latency.
+    PauseSeconds(u64),
+    /// n bytes of dummy prefix data.
+    PrefixBytes(usize),
+}
+
+impl Overhead {
+    /// A comparable cost estimate in "microseconds of added latency plus
+    /// bytes", used to order candidate techniques cheapest-first (§4.4:
+    /// "lib·erate deploys the most efficient, successful technique").
+    pub fn cost(&self) -> u64 {
+        match self {
+            Overhead::ExtraHeaders(k) => *k as u64 * 40,
+            Overhead::InertPackets(k) => *k as u64 * 1500,
+            Overhead::PrefixBytes(n) => 1500 + *n as u64,
+            Overhead::PauseSeconds(s) => 1_000_000 * *s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_26_rows() {
+        let rows = Technique::table3_rows();
+        assert_eq!(rows.len(), 26);
+        // No duplicates.
+        let set: std::collections::HashSet<_> = rows.iter().collect();
+        assert_eq!(set.len(), 26);
+    }
+
+    #[test]
+    fn protocol_rows_partition() {
+        let rows = Technique::table3_rows();
+        let ip = rows.iter().filter(|t| t.protocol_row() == "IP").count();
+        let tcp = rows.iter().filter(|t| t.protocol_row() == "TCP").count();
+        let udp = rows.iter().filter(|t| t.protocol_row() == "UDP").count();
+        assert_eq!((ip, tcp, udp), (13, 9, 4));
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(Technique::InertTcpWrongSeq.applicable(TraceProtocol::Tcp));
+        assert!(!Technique::InertTcpWrongSeq.applicable(TraceProtocol::Udp));
+        assert!(Technique::InertUdpBadChecksum.applicable(TraceProtocol::Udp));
+        assert!(!Technique::UdpReorder.applicable(TraceProtocol::Tcp));
+        assert!(Technique::InertLowTtl.applicable(TraceProtocol::Udp));
+        assert!(Technique::InertLowTtl.applicable(TraceProtocol::Tcp));
+    }
+
+    #[test]
+    fn ordering_by_cost_prefers_splitting() {
+        let split = Technique::TcpSegmentSplit { segments: 2 }.overhead().cost();
+        let inert = Technique::InertLowTtl.overhead().cost();
+        let pause = Technique::PauseBeforeMatch(Duration::from_secs(130))
+            .overhead()
+            .cost();
+        assert!(split < inert);
+        assert!(inert < pause);
+    }
+
+    #[test]
+    fn server_support_flag() {
+        assert!(Technique::DummyPrefixData { bytes: 1 }.requires_server_support());
+        assert!(!Technique::InertLowTtl.requires_server_support());
+        // No Table 3 row needs server support.
+        assert!(Technique::table3_rows()
+            .iter()
+            .all(|t| !t.requires_server_support()));
+    }
+}

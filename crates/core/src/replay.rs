@@ -1,0 +1,686 @@
+//! The replay engine: lowers a [`Schedule`] onto a live connection inside
+//! a simulated environment and reports everything lib·erate's phases need
+//! to observe (Fig. 3, step 2).
+//!
+//! The client side is driven packet-by-packet with raw-socket-level
+//! control (the real tool does the same via a transparent proxy); the
+//! server side runs [`ReplayServerApp`] on the environment's endpoint
+//! stack, answering scripted responses once the expected client bytes
+//! arrive.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use liberate_dpi::profiles::{build_environment, EnvKind, Environment, CLIENT_ADDR, SERVER_ADDR};
+use liberate_netsim::icmp::{parse_icmp_error, IcmpError};
+use liberate_netsim::os::OsKind;
+use liberate_netsim::server::ServerApp;
+use liberate_netsim::stats::ThroughputMeter;
+use liberate_netsim::time::SimTime;
+use liberate_packet::flow::FlowKey;
+use liberate_packet::fragment::fragment_packet;
+use liberate_packet::packet::{Packet, ParsedPacket};
+use liberate_packet::tcp::TcpFlags;
+use liberate_traces::recorded::{RecordedTrace, Sender, TraceProtocol};
+
+use crate::config::LiberateConfig;
+use crate::evasion::{EvasionContext, Technique};
+use crate::schedule::{Schedule, ScheduledPacket, Step};
+
+/// State shared between the replay server application (running inside the
+/// simulated server) and the observing replay engine.
+#[derive(Debug, Default)]
+pub struct ReplayServerShared {
+    /// Client stream bytes delivered to the app (TCP) — after prefix skip.
+    pub received_stream: Vec<u8>,
+    /// Raw delivered bytes before prefix skipping.
+    pub raw_received: u64,
+    /// UDP datagrams delivered.
+    pub datagrams: Vec<Vec<u8>>,
+    /// Server messages already emitted.
+    pub responses_sent: usize,
+}
+
+/// The scripted replay server (Fig. 3): plays back the server side of a
+/// recorded trace when the corresponding client bytes arrive.
+pub struct ReplayServerApp {
+    /// (cumulative client bytes required, response payload) for TCP.
+    tcp_script: Vec<(u64, Vec<u8>)>,
+    /// (client datagram count required, response payload) for UDP.
+    udp_script: Vec<(usize, Vec<u8>)>,
+    /// Bytes at the start of the client stream to discard (server-side
+    /// support for the dummy-prefix technique).
+    skip_prefix: u64,
+    shared: Arc<Mutex<ReplayServerShared>>,
+}
+
+impl ReplayServerApp {
+    pub fn new(trace: &RecordedTrace, skip_prefix: u64) -> (ReplayServerApp, Arc<Mutex<ReplayServerShared>>) {
+        let mut tcp_script = Vec::new();
+        let mut udp_script = Vec::new();
+        let mut client_bytes = 0u64;
+        let mut client_dgrams = 0usize;
+        for msg in &trace.messages {
+            match msg.sender {
+                Sender::Client => {
+                    client_bytes += msg.payload.len() as u64;
+                    client_dgrams += 1;
+                }
+                Sender::Server => {
+                    tcp_script.push((client_bytes, msg.payload.clone()));
+                    udp_script.push((client_dgrams, msg.payload.clone()));
+                }
+            }
+        }
+        let shared = Arc::new(Mutex::new(ReplayServerShared::default()));
+        (
+            ReplayServerApp {
+                tcp_script,
+                udp_script,
+                skip_prefix,
+                shared: shared.clone(),
+            },
+            shared,
+        )
+    }
+}
+
+impl ServerApp for ReplayServerApp {
+    fn on_tcp_data(&mut self, _flow: FlowKey, data: &[u8]) -> Vec<u8> {
+        let mut shared = self.shared.lock();
+        shared.raw_received += data.len() as u64;
+        // Apply the prefix skip.
+        let already = shared.received_stream.len() as u64 + self.skip_prefix.min(shared.raw_received - data.len() as u64);
+        let _ = already;
+        let mut data = data;
+        let consumed_before = shared.raw_received - data.len() as u64;
+        if consumed_before < self.skip_prefix {
+            let to_skip = (self.skip_prefix - consumed_before).min(data.len() as u64) as usize;
+            data = &data[to_skip..];
+        }
+        shared.received_stream.extend_from_slice(data);
+        let effective = shared.received_stream.len() as u64;
+        let mut out = Vec::new();
+        while shared.responses_sent < self.tcp_script.len() {
+            let (needed, payload) = &self.tcp_script[shared.responses_sent];
+            if effective + self.skip_prefix >= *needed + self.skip_prefix && effective >= *needed {
+                out.extend_from_slice(payload);
+                shared.responses_sent += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn on_udp_datagram(&mut self, _flow: FlowKey, data: &[u8]) -> Vec<Vec<u8>> {
+        let mut shared = self.shared.lock();
+        shared.datagrams.push(data.to_vec());
+        let count = shared.datagrams.len();
+        let mut out = Vec::new();
+        while shared.responses_sent < self.udp_script.len() {
+            let (needed, payload) = &self.udp_script[shared.responses_sent];
+            if count >= *needed {
+                out.push(payload.clone());
+                shared.responses_sent += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Options for one replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOpts {
+    /// Override the trace's server port (GFC characterization rotates
+    /// ports, §6.5; AT&T's port-change evasion needs it, §6.3).
+    pub server_port: Option<u16>,
+    /// Force this TTL on all client *data* packets (middlebox
+    /// localization, §5.2). The handshake keeps a normal TTL.
+    pub data_ttl: Option<u8>,
+}
+
+/// Everything observed during one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    pub client_port: u16,
+    pub server_port: u16,
+    /// TCP only: did the handshake complete?
+    pub handshake_ok: bool,
+    /// RST packets received by the client for this flow.
+    pub rsts: usize,
+    /// An unsolicited "403 Forbidden" page arrived (Iran's censor, §6.6).
+    pub block_page: bool,
+    /// Server payload bytes that reached the client application.
+    pub server_payload_bytes: u64,
+    /// Server payload bytes the trace expected.
+    pub expected_server_bytes: u64,
+    /// `server_payload_bytes >= expected_server_bytes`.
+    pub complete: bool,
+    /// The server application received exactly the client stream the
+    /// (possibly transformed) trace intended — i.e. the technique had no
+    /// server-side side effects.
+    pub integrity_ok: bool,
+    /// Total client wire bytes sent (data-consumption accounting, §5.3).
+    pub bytes_sent: u64,
+    /// Wall-clock (simulated) duration of the replay.
+    pub duration: Duration,
+    /// Downlink throughput statistics.
+    pub avg_bps: f64,
+    pub peak_bps: f64,
+    /// Latency from the first data packet sent to the first server
+    /// payload received (the §4.1 "latency differences" signal).
+    pub request_to_response: Option<Duration>,
+    /// The received server payload matches the trace byte-for-byte (the
+    /// §4.1 content-modification signal).
+    pub response_matches: bool,
+    /// ICMP errors received (TTL probing).
+    pub icmp: Vec<IcmpError>,
+}
+
+impl ReplayOutcome {
+    /// The blocking signal: RSTs or a block page.
+    pub fn blocked(&self) -> bool {
+        self.rsts > 0 || self.block_page || !self.handshake_ok
+    }
+}
+
+/// A measurement session against one environment: owns the network, hands
+/// out client ports, accumulates cost accounting.
+pub struct Session {
+    pub env: Environment,
+    pub config: LiberateConfig,
+    pub rng: StdRng,
+    next_client_port: u16,
+    isn_counter: u32,
+    /// Total replays run (the paper's "rounds" metric).
+    pub replays: u64,
+    /// Total client bytes sent across all replays.
+    pub bytes_sent_total: u64,
+    /// Total server payload bytes received across all replays.
+    pub bytes_received_total: u64,
+    /// Simulated time consumed by testing.
+    pub started: SimTime,
+}
+
+impl Session {
+    /// Build a session against a freshly constructed environment.
+    pub fn new(kind: EnvKind, os: OsKind, config: LiberateConfig) -> Session {
+        Session::with_start_time(kind, os, config, 0)
+    }
+
+    /// Like [`Session::new`] with control over the wall-clock time of day
+    /// at simulation start (Figure 4 sweeps it for the GFC).
+    pub fn with_start_time(
+        kind: EnvKind,
+        os: OsKind,
+        config: LiberateConfig,
+        start_time_of_day_secs: u64,
+    ) -> Session {
+        // The app is replaced per replay; a sink placeholder to start.
+        let env = build_environment(
+            kind,
+            os,
+            Box::new(liberate_netsim::server::SinkApp::default()),
+            start_time_of_day_secs,
+        );
+        let seed = config.seed;
+        Session {
+            env,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_client_port: 42_000,
+            isn_counter: 11_000,
+            replays: 0,
+            bytes_sent_total: 0,
+            bytes_received_total: 0,
+            started: SimTime::ZERO,
+        }
+    }
+
+    /// Replay a trace unmodified.
+    pub fn replay_trace(&mut self, trace: &RecordedTrace, opts: &ReplayOpts) -> ReplayOutcome {
+        let schedule = Schedule::from_trace(trace);
+        self.replay_schedule(trace, &schedule, opts)
+    }
+
+    /// Replay a trace with an evasion technique applied. Returns `None`
+    /// when the technique does not apply to this trace's transport.
+    pub fn replay_with(
+        &mut self,
+        trace: &RecordedTrace,
+        technique: &Technique,
+        ctx: &EvasionContext,
+        opts: &ReplayOpts,
+    ) -> Option<ReplayOutcome> {
+        let schedule = technique.apply(&Schedule::from_trace(trace), ctx)?;
+        Some(self.replay_schedule(trace, &schedule, opts))
+    }
+
+    /// Idle the environment between rounds.
+    pub fn rest(&mut self, d: Duration) {
+        self.env.network.advance(d);
+    }
+
+    /// Replay an explicit schedule derived from `trace`.
+    pub fn replay_schedule(
+        &mut self,
+        trace: &RecordedTrace,
+        schedule: &Schedule,
+        opts: &ReplayOpts,
+    ) -> ReplayOutcome {
+        self.replays += 1;
+        self.env.network.capture.clear();
+
+        let client_port = self.next_client_port;
+        self.next_client_port = self.next_client_port.wrapping_add(1).max(20_000);
+        let server_port = opts.server_port.unwrap_or(trace.server_port);
+
+        // Install the scripted server for this (possibly transformed)
+        // trace.
+        let (app, shared) = ReplayServerApp::new(trace, schedule.server_skip_prefix);
+        self.env.network.server.set_app(Box::new(app));
+
+        let t_start = self.env.network.clock;
+        let mut bytes_sent = 0u64;
+        let mut first_data_sent: Option<SimTime> = None;
+
+        let mut handshake_ok = true;
+        let mut client_isn = 0u32;
+        let mut server_isn = 0u32;
+        let mut inbox_log: Vec<(SimTime, Vec<u8>)> = Vec::new();
+
+        let protocol = schedule.protocol.unwrap_or(trace.protocol);
+
+        if protocol == TraceProtocol::Tcp {
+            self.isn_counter = self.isn_counter.wrapping_add(97_000);
+            client_isn = self.isn_counter;
+            let syn = Packet::tcp(
+                CLIENT_ADDR,
+                SERVER_ADDR,
+                client_port,
+                server_port,
+                client_isn,
+                0,
+                Vec::new(),
+            )
+            .with_flags(TcpFlags::SYN);
+            bytes_sent += syn.serialize().len() as u64;
+            self.env
+                .network
+                .send_from_client(Duration::ZERO, syn.serialize());
+            self.env.network.run_until_idle();
+            let inbox = self.env.network.take_client_inbox();
+            let syn_ack = inbox.iter().find_map(|(_, w)| {
+                let p = ParsedPacket::parse(w)?;
+                let t = p.tcp()?;
+                (t.flags.syn && t.flags.ack && t.dst_port == client_port).then(|| t.seq)
+            });
+            inbox_log.extend(inbox);
+            match syn_ack {
+                Some(s) => {
+                    server_isn = s;
+                    let ack = Packet::tcp(
+                        CLIENT_ADDR,
+                        SERVER_ADDR,
+                        client_port,
+                        server_port,
+                        client_isn.wrapping_add(1),
+                        server_isn.wrapping_add(1),
+                        Vec::new(),
+                    )
+                    .with_flags(TcpFlags::ACK);
+                    bytes_sent += ack.serialize().len() as u64;
+                    self.env
+                        .network
+                        .send_from_client(Duration::ZERO, ack.serialize());
+                    self.env.network.run_until_idle();
+                }
+                None => handshake_ok = false,
+            }
+        }
+
+        // Walk the schedule.
+        if handshake_ok {
+            for step in &schedule.steps {
+                match step {
+                    Step::Pause(d) => {
+                        self.env.network.run_until_idle();
+                        self.env.network.advance(*d);
+                    }
+                    Step::AwaitServer { .. } => {
+                        // run_until_idle drains even shaper-delayed
+                        // deliveries, so one pass suffices.
+                        self.env.network.run_until_idle();
+                        inbox_log.extend(self.env.network.take_client_inbox());
+                    }
+                    Step::Packet(sp) => {
+                        if sp.counts && !sp.payload.is_empty() && first_data_sent.is_none() {
+                            first_data_sent = Some(self.env.network.clock);
+                        }
+                        for wire in self.build_packet(
+                            protocol,
+                            sp,
+                            client_port,
+                            server_port,
+                            client_isn,
+                            server_isn,
+                            opts,
+                        ) {
+                            bytes_sent += wire.len() as u64;
+                            self.env.network.send_from_client(Duration::ZERO, wire);
+                        }
+                        self.env.network.run_until_idle();
+                        inbox_log.extend(self.env.network.take_client_inbox());
+                    }
+                }
+            }
+            self.env.network.run_until_idle();
+            inbox_log.extend(self.env.network.take_client_inbox());
+        } else {
+            inbox_log.extend(self.env.network.take_client_inbox());
+        }
+
+        self.bytes_sent_total += bytes_sent;
+
+        // ----- Observe.
+        let mut rsts = 0usize;
+        let mut block_page = false;
+        let mut meter = ThroughputMeter::default();
+        let mut server_payload = 0u64;
+        let mut icmp = Vec::new();
+        let mut first_payload_at: Option<SimTime> = None;
+        let mut received_stream: Vec<u8> = Vec::new();
+        for (at, wire) in &inbox_log {
+            if let Some(e) = parse_icmp_error(wire) {
+                icmp.push(e);
+                continue;
+            }
+            let Some(p) = ParsedPacket::parse(wire) else {
+                continue;
+            };
+            let ours = p.dst_port() == Some(client_port) || protocol == TraceProtocol::Udp;
+            if !ours {
+                continue;
+            }
+            if let Some(t) = p.tcp() {
+                if t.flags.rst {
+                    rsts += 1;
+                    continue;
+                }
+            }
+            if p.payload.starts_with(b"HTTP/1.1 403 Forbidden") {
+                block_page = true;
+                continue;
+            }
+            if !p.payload.is_empty() {
+                server_payload += p.payload.len() as u64;
+                meter.record(*at, p.payload.len());
+                first_payload_at.get_or_insert(*at);
+                if received_stream.len() < 1 << 20 {
+                    received_stream.extend_from_slice(&p.payload);
+                }
+            }
+        }
+
+        let expected_server_bytes: u64 = trace
+            .server_messages()
+            .map(|m| m.payload.len() as u64)
+            .sum();
+
+        // Server-side integrity: the delivered stream must match the
+        // trace's client stream (after prefix skipping).
+        let expected_client = trace.client_stream();
+        let shared = shared.lock();
+        let integrity_ok = match protocol {
+            TraceProtocol::Tcp => {
+                let got = &shared.received_stream;
+                expected_client.starts_with(got.as_slice())
+                    || got.as_slice().starts_with(&expected_client)
+            }
+            TraceProtocol::Udp => shared.datagrams.iter().all(|d| {
+                trace
+                    .client_messages()
+                    .any(|m| m.payload == *d || m.payload.starts_with(d))
+            }),
+        };
+
+        self.bytes_received_total += server_payload;
+        // Content-modification check: the bytes the client received must
+        // be a prefix of the trace's server stream (bounded to the first
+        // MiB for large video traces).
+        let mut expected_stream: Vec<u8> = Vec::new();
+        for m in trace.server_messages() {
+            if expected_stream.len() >= 1 << 20 {
+                break;
+            }
+            expected_stream.extend_from_slice(&m.payload);
+        }
+        let cmp_len = received_stream.len().min(expected_stream.len()).min(1 << 20);
+        let response_matches = received_stream[..cmp_len] == expected_stream[..cmp_len];
+
+        let request_to_response = match (first_data_sent, first_payload_at) {
+            (Some(a), Some(b)) if b >= a => Some(b - a),
+            _ => None,
+        };
+
+        let duration = self.env.network.clock - t_start;
+        ReplayOutcome {
+            client_port,
+            server_port,
+            handshake_ok,
+            rsts,
+            block_page,
+            server_payload_bytes: server_payload,
+            expected_server_bytes,
+            complete: server_payload >= expected_server_bytes && expected_server_bytes > 0,
+            integrity_ok,
+            bytes_sent,
+            duration,
+            avg_bps: meter.average_bps(),
+            peak_bps: meter.peak_bps(Duration::from_secs(1)),
+            request_to_response,
+            response_matches,
+            icmp,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_packet(
+        &mut self,
+        protocol: TraceProtocol,
+        sp: &ScheduledPacket,
+        client_port: u16,
+        server_port: u16,
+        client_isn: u32,
+        server_isn: u32,
+        opts: &ReplayOpts,
+    ) -> Vec<Vec<u8>> {
+        let mut pkt = match protocol {
+            TraceProtocol::Tcp => {
+                let seq = client_isn.wrapping_add(1).wrapping_add(sp.offset as u32);
+                Packet::tcp(
+                    CLIENT_ADDR,
+                    SERVER_ADDR,
+                    client_port,
+                    server_port,
+                    seq,
+                    server_isn.wrapping_add(1),
+                    sp.payload.clone(),
+                )
+            }
+            TraceProtocol::Udp => Packet::udp(
+                CLIENT_ADDR,
+                SERVER_ADDR,
+                client_port,
+                server_port,
+                sp.payload.clone(),
+            ),
+        };
+        if let Some(ttl) = opts.data_ttl {
+            pkt.ip.ttl = ttl;
+        }
+        pkt.ip.identification = (self.replays as u16).wrapping_mul(251).wrapping_add(
+            (sp.offset as u16).wrapping_mul(31),
+        );
+        sp.craft.apply(&mut pkt);
+        let wire = pkt.serialize();
+
+        match &sp.fragment {
+            None => vec![wire],
+            Some(plan) => {
+                // Convert the payload-relative boundary into an IP-payload
+                // boundary (transport header included), rounded down to
+                // the fragmentation granularity.
+                let transport_header = wire.len() - 20 - sp.payload.len();
+                let boundary = plan
+                    .boundary
+                    .map(|b| transport_header + b)
+                    .unwrap_or((wire.len() - 20) / plan.pieces.max(1));
+                let chunk = (boundary / 8).max(1) * 8;
+                let mut frags = fragment_packet(&wire, chunk);
+                if plan.reverse {
+                    frags.reverse();
+                }
+                frags
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberate_traces::apps;
+
+    fn session(kind: EnvKind) -> Session {
+        Session::new(kind, OsKind::Linux, LiberateConfig::default())
+    }
+
+    #[test]
+    fn clean_replay_in_sprint_completes() {
+        let mut s = session(EnvKind::Sprint);
+        let trace = apps::control_http();
+        let out = s.replay_trace(&trace, &ReplayOpts::default());
+        assert!(out.handshake_ok);
+        assert!(out.complete, "{out:?}");
+        assert!(out.integrity_ok);
+        assert!(!out.blocked());
+        assert_eq!(out.server_payload_bytes, out.expected_server_bytes);
+        assert!(out.bytes_sent > 0);
+    }
+
+    #[test]
+    fn blocked_replay_in_gfc_reports_rsts() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::economist_http();
+        let out = s.replay_trace(&trace, &ReplayOpts::default());
+        assert!(out.blocked());
+        assert!(out.rsts >= 3, "GFC sends 3-5 RSTs, got {}", out.rsts);
+    }
+
+    #[test]
+    fn iran_reports_block_page() {
+        let mut s = session(EnvKind::Iran);
+        let trace = apps::facebook_http();
+        let out = s.replay_trace(&trace, &ReplayOpts::default());
+        assert!(out.block_page);
+        assert!(out.rsts >= 1);
+    }
+
+    #[test]
+    fn udp_replay_round_trips() {
+        let mut s = session(EnvKind::Sprint);
+        let trace = apps::skype_stun(6);
+        let out = s.replay_trace(&trace, &ReplayOpts::default());
+        assert!(out.complete, "{out:?}");
+        assert!(out.integrity_ok);
+    }
+
+    #[test]
+    fn throttling_shows_in_throughput() {
+        let mut tm = session(EnvKind::TMobile);
+        let video = apps::amazon_prime_http(2_000_000);
+        let throttled = tm.replay_trace(&video, &ReplayOpts::default());
+        assert!(throttled.complete);
+        let mut sp = session(EnvKind::Sprint);
+        let free = sp.replay_trace(&video, &ReplayOpts::default());
+        assert!(free.complete);
+        assert!(
+            throttled.avg_bps < free.avg_bps * 0.7,
+            "throttled {} vs free {}",
+            throttled.avg_bps,
+            free.avg_bps
+        );
+    }
+
+    #[test]
+    fn technique_replay_evades_gfc_with_rst_before_match() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::economist_http();
+        let ctx = EvasionContext::blind(
+            b"GET / HTTP/1.1\r\nHost: www.example.org\r\n\r\n".to_vec(),
+            s.env.hops_before_middlebox + 1,
+        );
+        let out = s
+            .replay_with(&trace, &Technique::TtlRstBeforeMatch, &ctx, &ReplayOpts::default())
+            .unwrap();
+        assert!(!out.blocked(), "{out:?}");
+        assert!(out.complete);
+        assert!(out.integrity_ok);
+    }
+
+    #[test]
+    fn data_ttl_probe_gets_icmp() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::control_http();
+        let out = s.replay_trace(
+            &trace,
+            &ReplayOpts {
+                data_ttl: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(!out.icmp.is_empty(), "TTL=2 data should trigger ICMP");
+        assert!(!out.complete);
+    }
+
+    #[test]
+    fn dummy_prefix_with_server_support() {
+        let mut s = session(EnvKind::Gfc);
+        let trace = apps::economist_http();
+        let ctx = EvasionContext::blind(Vec::new(), 10);
+        let out = s
+            .replay_with(
+                &trace,
+                &Technique::DummyPrefixData { bytes: 1 },
+                &ctx,
+                &ReplayOpts::default(),
+            )
+            .unwrap();
+        assert!(!out.blocked(), "dummy prefix evades the GFC: {out:?}");
+        assert!(out.complete);
+        assert!(out.integrity_ok, "server skipped the prefix");
+    }
+
+    #[test]
+    fn port_rotation_changes_server_port() {
+        let mut s = session(EnvKind::Sprint);
+        let trace = apps::control_http();
+        let out = s.replay_trace(
+            &trace,
+            &ReplayOpts {
+                server_port: Some(8080),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.server_port, 8080);
+        assert!(out.complete);
+    }
+}

@@ -1,0 +1,408 @@
+//! The linked-library deployment mode (§3.1: lib·erate "is designed as
+//! both a library that can be wrapped around existing socket libraries or
+//! as a local proxy service").
+//!
+//! [`LiberateSocket`] looks like a plain stream socket — `connect`,
+//! `send`, `recv`, `close` — while transparently rewriting the beginning
+//! of each connection with the evasion technique the pipeline learned.
+//! Applications keep their own wire bytes; only packetization and inert
+//! insertions change.
+
+use std::time::Duration;
+
+use liberate_dpi::profiles::{CLIENT_ADDR, SERVER_ADDR};
+use liberate_packet::packet::{Packet, ParsedPacket};
+use liberate_packet::tcp::TcpFlags;
+use liberate_traces::recorded::{RecordedTrace, TraceMessage, TraceProtocol};
+
+use crate::error::{LiberateError, Result};
+use crate::evasion::{EvasionContext, Technique};
+use crate::replay::Session;
+use crate::schedule::{Schedule, ScheduledPacket, Step};
+
+/// Per-connection state.
+struct Conn {
+    client_port: u16,
+    server_port: u16,
+    client_isn: u32,
+    server_isn: u32,
+    /// Next stream offset for client data.
+    offset: u64,
+    /// RSTs observed for this connection.
+    rsts: usize,
+    /// Server payload received and not yet handed to the application.
+    rx: Vec<u8>,
+    /// Whether the evasion transform has been applied yet (it rewrites
+    /// only the start of the flow).
+    start_transformed: bool,
+}
+
+/// A socket-like handle whose traffic is liberated transparently.
+pub struct LiberateSocket {
+    pub session: Session,
+    technique: Option<(Technique, EvasionContext)>,
+    conn: Option<Conn>,
+    /// MSS used when segmenting application sends.
+    pub mss: usize,
+}
+
+impl LiberateSocket {
+    /// Wrap a session. Without a learned technique the socket behaves like
+    /// a plain stack.
+    pub fn new(session: Session) -> LiberateSocket {
+        LiberateSocket {
+            session,
+            technique: None,
+            conn: None,
+            mss: 1460,
+        }
+    }
+
+    /// Install the evasion technique to apply to new connections (from a
+    /// pipeline run or a shared cache).
+    pub fn use_technique(&mut self, technique: Technique, ctx: EvasionContext) {
+        self.technique = Some((technique, ctx));
+    }
+
+    /// Open a connection to the environment's server.
+    pub fn connect(&mut self, server_port: u16) -> Result<()> {
+        let client_port = 50_000 + (self.session.replays % 10_000) as u16;
+        self.session.replays += 1;
+        let client_isn = 40_000 + self.session.replays as u32 * 91_000;
+
+        let syn = Packet::tcp(
+            CLIENT_ADDR,
+            SERVER_ADDR,
+            client_port,
+            server_port,
+            client_isn,
+            0,
+            Vec::new(),
+        )
+        .with_flags(TcpFlags::SYN);
+        self.session
+            .env
+            .network
+            .send_from_client(Duration::ZERO, syn.serialize());
+        self.session.env.network.run_until_idle();
+
+        let inbox = self.session.env.network.take_client_inbox();
+        // A blocking middlebox may inject RSTs during the handshake while
+        // the SYN still reaches the server; record them.
+        let handshake_rsts = inbox
+            .iter()
+            .filter(|(_, w)| {
+                ParsedPacket::parse(w)
+                    .and_then(|p| {
+                        p.tcp()
+                            .map(|t| t.flags.rst && t.dst_port == client_port)
+                    })
+                    .unwrap_or(false)
+            })
+            .count();
+        let server_isn = inbox
+            .iter()
+            .find_map(|(_, w)| {
+                let p = ParsedPacket::parse(w)?;
+                let t = p.tcp()?;
+                (t.flags.syn && t.flags.ack && t.dst_port == client_port).then_some(t.seq)
+            })
+            .ok_or(LiberateError::HandshakeFailed)?;
+
+        let ack = Packet::tcp(
+            CLIENT_ADDR,
+            SERVER_ADDR,
+            client_port,
+            server_port,
+            client_isn.wrapping_add(1),
+            server_isn.wrapping_add(1),
+            Vec::new(),
+        )
+        .with_flags(TcpFlags::ACK);
+        self.session
+            .env
+            .network
+            .send_from_client(Duration::ZERO, ack.serialize());
+        self.session.env.network.run_until_idle();
+
+        self.conn = Some(Conn {
+            client_port,
+            server_port,
+            client_isn,
+            server_isn,
+            offset: 0,
+            rsts: handshake_rsts,
+            rx: Vec::new(),
+            start_transformed: false,
+        });
+        Ok(())
+    }
+
+    /// Send application bytes; the first send of a connection is rewritten
+    /// by the installed technique (splits, inert insertions, pauses).
+    pub fn send(&mut self, data: &[u8]) -> Result<()> {
+        let conn = self.conn.as_mut().ok_or(LiberateError::HandshakeFailed)?;
+
+        // Build the plain plan for this chunk of stream.
+        let mut steps: Vec<Step> = Vec::new();
+        let base = conn.offset;
+        let mut rel = 0u64;
+        for chunk in data.chunks(self.mss) {
+            steps.push(Step::Packet(ScheduledPacket::data(
+                base + rel,
+                chunk.to_vec(),
+            )));
+            rel += chunk.len() as u64;
+        }
+        let mut schedule = Schedule {
+            steps,
+            protocol: Some(TraceProtocol::Tcp),
+            server_skip_prefix: 0,
+        };
+
+        // The technique rewrites the flow start only.
+        if !conn.start_transformed {
+            if let Some((technique, ctx)) = &self.technique {
+                // Rebase the context onto this send: a mini-trace makes the
+                // technique's field-relative logic line up with `data`.
+                let mut mini = RecordedTrace::new("live", TraceProtocol::Tcp, conn.server_port);
+                mini.push_message(TraceMessage::client(data.to_vec()));
+                let mini_schedule = Schedule::from_trace(&mini);
+                if let Some(transformed) = technique.apply(&mini_schedule, ctx) {
+                    // Shift the transformed steps to this connection's
+                    // current offset.
+                    schedule.steps = transformed
+                        .steps
+                        .into_iter()
+                        .map(|s| match s {
+                            Step::Packet(mut p) => {
+                                p.offset += base;
+                                Step::Packet(p)
+                            }
+                            other => other,
+                        })
+                        .collect();
+                    schedule.server_skip_prefix = transformed.server_skip_prefix;
+                }
+            }
+            conn.start_transformed = true;
+        }
+
+        // Emit.
+        let (cport, sport, cisn, sisn) =
+            (conn.client_port, conn.server_port, conn.client_isn, conn.server_isn);
+        for step in &schedule.steps {
+            match step {
+                Step::Pause(d) => {
+                    self.session.env.network.run_until_idle();
+                    self.session.env.network.advance(*d);
+                }
+                Step::AwaitServer { .. } => {}
+                Step::Packet(sp) => {
+                    let mut pkt = Packet::tcp(
+                        CLIENT_ADDR,
+                        SERVER_ADDR,
+                        cport,
+                        sport,
+                        cisn.wrapping_add(1).wrapping_add(sp.offset as u32),
+                        sisn.wrapping_add(1),
+                        sp.payload.clone(),
+                    );
+                    sp.craft.apply(&mut pkt);
+                    let wire = pkt.serialize();
+                    match &sp.fragment {
+                        None => self
+                            .session
+                            .env
+                            .network
+                            .send_from_client(Duration::ZERO, wire),
+                        Some(plan) => {
+                            let chunk =
+                                (((wire.len() - 20) / plan.pieces.max(1)) / 8).max(1) * 8;
+                            let mut frags =
+                                liberate_packet::fragment::fragment_packet(&wire, chunk);
+                            if plan.reverse {
+                                frags.reverse();
+                            }
+                            for f in frags {
+                                self.session
+                                    .env
+                                    .network
+                                    .send_from_client(Duration::ZERO, f);
+                            }
+                        }
+                    }
+                    self.session.env.network.run_until_idle();
+                }
+            }
+            self.drain_inbox();
+        }
+        let conn = self.conn.as_mut().expect("present");
+        conn.offset += data.len() as u64;
+        Ok(())
+    }
+
+    fn drain_inbox(&mut self) {
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        for (_, wire) in self.session.env.network.take_client_inbox() {
+            let Some(p) = ParsedPacket::parse(&wire) else {
+                continue;
+            };
+            if p.dst_port() != Some(conn.client_port) {
+                continue;
+            }
+            if let Some(t) = p.tcp() {
+                if t.flags.rst {
+                    conn.rsts += 1;
+                    continue;
+                }
+            }
+            if !p.payload.is_empty() {
+                conn.rx.extend_from_slice(&p.payload);
+            }
+        }
+    }
+
+    /// Receive whatever server payload has arrived.
+    pub fn recv(&mut self) -> Vec<u8> {
+        self.session.env.network.run_until_idle();
+        self.drain_inbox();
+        self.conn
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.rx))
+            .unwrap_or_default()
+    }
+
+    /// RSTs observed on the current connection (the blocking signal).
+    pub fn reset_count(&self) -> usize {
+        self.conn.as_ref().map(|c| c.rsts).unwrap_or(0)
+    }
+
+    /// Close the connection with a FIN.
+    pub fn close(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let fin = Packet::tcp(
+                CLIENT_ADDR,
+                SERVER_ADDR,
+                conn.client_port,
+                conn.server_port,
+                conn.client_isn
+                    .wrapping_add(1)
+                    .wrapping_add(conn.offset as u32),
+                conn.server_isn.wrapping_add(1),
+                Vec::new(),
+            )
+            .with_flags(TcpFlags::FIN_ACK);
+            self.session
+                .env
+                .network
+                .send_from_client(Duration::ZERO, fin.serialize());
+            self.session.env.network.run_until_idle();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LiberateConfig;
+    use crate::probe::decoy_request;
+    use liberate_dpi::profiles::EnvKind;
+    use liberate_netsim::os::OsKind;
+    use liberate_netsim::server::EchoApp;
+    use liberate_traces::http::get_request;
+
+    fn socket(kind: EnvKind) -> LiberateSocket {
+        let mut session = Session::new(kind, OsKind::Linux, LiberateConfig::default());
+        session.env.network.server.set_app(Box::<EchoApp>::default());
+        LiberateSocket::new(session)
+    }
+
+    #[test]
+    fn plain_socket_echoes() {
+        let mut s = socket(EnvKind::Sprint);
+        s.connect(80).unwrap();
+        s.send(b"hello through the socket api").unwrap();
+        let got = s.recv();
+        assert_eq!(got, b"hello through the socket api");
+        assert_eq!(s.reset_count(), 0);
+        s.close();
+    }
+
+    #[test]
+    fn censored_request_blocked_without_technique() {
+        let mut s = socket(EnvKind::Gfc);
+        s.connect(80).unwrap();
+        s.send(&get_request("www.economist.com", "/", "sock/1.0"))
+            .unwrap();
+        let _ = s.recv();
+        assert!(s.reset_count() > 0, "the censor RSTs the plain socket");
+    }
+
+    #[test]
+    fn technique_liberates_the_same_request() {
+        let mut s = socket(EnvKind::Gfc);
+        s.use_technique(
+            Technique::TtlRstBeforeMatch,
+            EvasionContext::blind(decoy_request(), 10),
+        );
+        s.connect(80).unwrap();
+        let req = get_request("www.economist.com", "/", "sock/1.0");
+        s.send(&req).unwrap();
+        let got = s.recv();
+        assert_eq!(s.reset_count(), 0, "no censor RSTs");
+        assert_eq!(got, req, "the echo server saw the full request intact");
+        s.close();
+    }
+
+    #[test]
+    fn splitting_technique_preserves_the_stream() {
+        let mut s = socket(EnvKind::Iran);
+        let req = get_request("www.facebook.com", "/", "sock/1.0");
+        let pos = liberate_traces::http::find(&req, b"facebook.com").unwrap();
+        s.use_technique(
+            Technique::TcpSegmentSplit { segments: 2 },
+            EvasionContext {
+                matching_fields: vec![liberate_packet::mutate::ByteRegion::new(
+                    0,
+                    pos..pos + 12,
+                )],
+                decoy: decoy_request(),
+                middlebox_ttl: 8,
+            },
+        );
+        s.connect(80).unwrap();
+        s.send(&req).unwrap();
+        // A second send passes through untransformed.
+        s.send(b" more data").unwrap();
+        let got = s.recv();
+        let mut expected = req.clone();
+        expected.extend_from_slice(b" more data");
+        assert_eq!(got, expected);
+        assert_eq!(s.reset_count(), 0);
+    }
+
+    #[test]
+    fn penalized_port_resets_even_the_handshake() {
+        // Penalize the server:port with two classified flows.
+        let mut s = socket(EnvKind::Gfc);
+        for _ in 0..2 {
+            s.connect(80).unwrap();
+            s.send(&get_request("www.economist.com", "/", "sock/1.0"))
+                .unwrap();
+            let _ = s.recv();
+        }
+        // The GFC now RSTs the next connection from its very first packet
+        // (the SYN itself still reaches the server off-path).
+        s.connect(80).unwrap();
+        assert!(
+            s.reset_count() > 0,
+            "censor RSTs arrive during the handshake on a penalized port"
+        );
+        // A clean port is unaffected.
+        s.connect(8080).unwrap();
+        assert_eq!(s.reset_count(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Policy actions a middlebox applies to classified flows: throttling,
+//! blocking (RST injection and/or block pages), and zero-rating.
+
+use std::time::Duration;
+
+/// How a blocking middlebox disrupts a classified flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockBehavior {
+    /// Number of RST packets injected toward the client (the GFC sends
+    /// 3–5, §6.5; Iran sends 2, §6.6).
+    pub rsts_to_client: u8,
+    /// Number of RSTs injected toward the server.
+    pub rsts_to_server: u8,
+    /// An unsolicited response body injected toward the client before the
+    /// RSTs (Iran's "HTTP/1.1 403 Forbidden" page, §6.6).
+    pub block_page: Option<Vec<u8>>,
+    /// After this many *blocked flows* to the same server:port, block all
+    /// subsequent flows to that pair regardless of content, for
+    /// `penalty_duration` (the GFC's residual blocking, §6.5).
+    pub server_port_penalty_after: Option<u32>,
+    /// How long a server:port penalty lasts.
+    pub penalty_duration: Duration,
+}
+
+impl BlockBehavior {
+    /// GFC-style: 3–5 RSTs both ways, server:port penalty after 2 flows.
+    pub fn gfc() -> BlockBehavior {
+        BlockBehavior {
+            rsts_to_client: 4,
+            rsts_to_server: 3,
+            block_page: None,
+            server_port_penalty_after: Some(2),
+            penalty_duration: Duration::from_secs(90),
+        }
+    }
+
+    /// Iran-style: a 403 Forbidden page plus 2 RSTs to the client.
+    pub fn iran(block_page: Vec<u8>) -> BlockBehavior {
+        BlockBehavior {
+            rsts_to_client: 2,
+            rsts_to_server: 2,
+            block_page: Some(block_page),
+            server_port_penalty_after: None,
+            penalty_duration: Duration::ZERO,
+        }
+    }
+}
+
+/// The policy applied to a traffic class.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    /// Shape the flow to this rate (bits/second) with the given bucket
+    /// depth in bytes.
+    pub throttle: Option<(u64, u64)>,
+    /// Count the flow's bytes against the zero-rated meter instead of the
+    /// billed meter (T-Mobile Binge On, §6.2).
+    pub zero_rate: bool,
+    /// Disrupt the flow.
+    pub block: Option<BlockBehavior>,
+    /// Deprioritize: add this much latency to every classified packet
+    /// (§4.1 lists "latency differences" among detectable differentiation).
+    pub delay: Option<Duration>,
+    /// Content modification: replace `0` with the same-length `1` in
+    /// server-direction TCP payloads (e.g. a quality-downgrading rewrite;
+    /// §4.1 lists content modification too).
+    pub rewrite: Option<(Vec<u8>, Vec<u8>)>,
+}
+
+impl Policy {
+    /// Add fixed latency to classified packets.
+    pub fn delaying(delay: Duration) -> Policy {
+        Policy {
+            delay: Some(delay),
+            ..Policy::default()
+        }
+    }
+
+    /// Rewrite server-direction content (same-length replacement).
+    pub fn rewriting(find: impl Into<Vec<u8>>, replace: impl Into<Vec<u8>>) -> Policy {
+        let (find, replace) = (find.into(), replace.into());
+        assert_eq!(find.len(), replace.len(), "same-length rewrites only");
+        Policy {
+            rewrite: Some((find, replace)),
+            ..Policy::default()
+        }
+    }
+
+    pub fn throttle(rate_bps: u64, burst_bytes: u64) -> Policy {
+        Policy {
+            throttle: Some((rate_bps, burst_bytes)),
+            ..Policy::default()
+        }
+    }
+
+    pub fn zero_rated() -> Policy {
+        Policy {
+            zero_rate: true,
+            ..Policy::default()
+        }
+    }
+
+    pub fn zero_rated_and_throttled(rate_bps: u64, burst_bytes: u64) -> Policy {
+        Policy {
+            throttle: Some((rate_bps, burst_bytes)),
+            zero_rate: true,
+            ..Policy::default()
+        }
+    }
+
+    pub fn blocking(behavior: BlockBehavior) -> Policy {
+        Policy {
+            block: Some(behavior),
+            ..Policy::default()
+        }
+    }
+
+    pub fn is_noop(&self) -> bool {
+        self.throttle.is_none()
+            && !self.zero_rate
+            && self.block.is_none()
+            && self.delay.is_none()
+            && self.rewrite.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Policy::default().is_noop());
+        assert!(!Policy::throttle(1_500_000, 64_000).is_noop());
+        assert!(Policy::zero_rated().zero_rate);
+        let p = Policy::zero_rated_and_throttled(1_500_000, 64_000);
+        assert!(p.zero_rate && p.throttle.is_some());
+        assert!(Policy::blocking(BlockBehavior::gfc()).block.is_some());
+    }
+
+    #[test]
+    fn block_presets_match_paper() {
+        let gfc = BlockBehavior::gfc();
+        assert!(gfc.rsts_to_client >= 3 && gfc.rsts_to_client <= 5);
+        assert_eq!(gfc.server_port_penalty_after, Some(2));
+        let iran = BlockBehavior::iran(b"HTTP/1.1 403 Forbidden\r\n\r\n".to_vec());
+        assert_eq!(iran.rsts_to_client, 2);
+        assert!(iran.block_page.is_some());
+    }
+}

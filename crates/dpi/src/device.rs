@@ -1,0 +1,609 @@
+//! The DPI middlebox: a [`PathElement`] combining the rule engine,
+//! inspection policy, validation model, flow table, and policy actions.
+//!
+//! The device is deliberately *configurable in its imperfections*: every
+//! behavioural axis the paper exploits (lax validation, packet windows,
+//! gated or absent reassembly, state timeouts, RST handling) is a knob, and
+//! [`crate::profiles`] sets the knobs to reproduce the six environments
+//! of §6.
+
+use std::collections::HashMap;
+
+use liberate_netsim::element::{Effects, PathElement, TimedPacket, Verdict};
+use liberate_netsim::shaper::TokenBucket;
+use liberate_netsim::time::SimTime;
+use liberate_packet::flow::{Direction, FlowKey};
+use liberate_packet::packet::{Packet, ParsedPacket};
+use liberate_packet::tcp::TcpFlags;
+use liberate_packet::validate::validate_wire;
+
+use crate::actions::Policy;
+use crate::flowtable::{Classification, FlowEntry, FlowTable, GateStatus};
+use crate::inspect::{FlowConfig, InspectionPolicy, ReassemblyMode};
+use crate::matcher::starts_with_any;
+use crate::resource::TimeOfDayLoad;
+use crate::rules::RuleSet;
+use crate::validation::ValidationModel;
+
+/// Default stream-assembly window when the reassembly mode does not
+/// specify one.
+const DEFAULT_WINDOW_BYTES: usize = 16 * 1024;
+
+/// Bytes-per-packet assumption when sizing a packet-count window.
+const SERVER_MSS_BYTES: usize = 1500;
+
+/// Full configuration of a DPI device.
+#[derive(Debug, Clone)]
+pub struct DpiConfig {
+    pub name: String,
+    pub rules: RuleSet,
+    pub inspect: InspectionPolicy,
+    pub validation: ValidationModel,
+    pub flow: FlowConfig,
+    /// Traffic class → policy.
+    pub policies: HashMap<String, Policy>,
+    /// Time-of-day resource model overriding the tracking timeout.
+    pub resource: Option<TimeOfDayLoad>,
+    /// Parse the transport header even when the IP protocol field is
+    /// bogus (the testbed device classifies "wrong protocol" packets as if
+    /// they were TCP — Table 3 footnote 1). Strict devices leave this off.
+    pub loose_transport_parsing: bool,
+}
+
+/// One classification event, for diagnostics and the testbed's immediate
+/// readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassificationEvent {
+    pub at: SimTime,
+    pub flow: FlowKey,
+    pub class: String,
+    pub rule_id: String,
+}
+
+/// The middlebox.
+pub struct DpiDevice {
+    pub config: DpiConfig,
+    table: FlowTable,
+    /// Bytes attributed to the subscriber's quota.
+    pub billed_bytes: u64,
+    /// Bytes zero-rated under a matched policy.
+    pub zero_rated_bytes: u64,
+    /// Log of every classification made.
+    pub events: Vec<ClassificationEvent>,
+    /// Latest packet time seen, used by the readout API for expiry.
+    last_seen: SimTime,
+}
+
+impl DpiDevice {
+    pub fn new(config: DpiConfig) -> DpiDevice {
+        DpiDevice {
+            config,
+            table: FlowTable::default(),
+            billed_bytes: 0,
+            zero_rated_bytes: 0,
+            events: Vec::new(),
+            last_seen: SimTime::ZERO,
+        }
+    }
+
+    /// The testbed readout: current classification of a flow, if any.
+    pub fn classification_of(&mut self, key: FlowKey) -> Option<String> {
+        // Peek without refreshing activity; expiry is applied so a flushed
+        // result reads as unclassified.
+        let now = self.last_seen;
+        self.table
+            .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+            .and_then(|e| e.classification.as_ref())
+            .map(|c| c.class.clone())
+    }
+
+    /// Most recent classification event, if any.
+    pub fn last_event(&self) -> Option<&ClassificationEvent> {
+        self.events.last()
+    }
+
+    /// Forget all flow state and counters (between experiment runs).
+    pub fn reset(&mut self) {
+        self.table.clear();
+        self.billed_bytes = 0;
+        self.zero_rated_bytes = 0;
+        self.events.clear();
+    }
+
+    fn window_bytes(&self) -> usize {
+        match &self.config.inspect.reassembly {
+            ReassemblyMode::FullStream { window_bytes, .. } => *window_bytes,
+            _ => DEFAULT_WINDOW_BYTES,
+        }
+    }
+
+    fn account(&mut self, zero_rated: bool, len: usize) {
+        if zero_rated {
+            self.zero_rated_bytes += len as u64;
+        } else {
+            self.billed_bytes += len as u64;
+        }
+    }
+
+    /// Inspect one payload-bearing packet for a tracked flow. Returns the
+    /// matched (class, rule id) if classification fires now.
+    fn inspect(
+        entry: &mut FlowEntry,
+        config: &DpiConfig,
+        pkt: &ParsedPacket,
+        dir: Direction,
+        server_port: u16,
+    ) -> Option<(String, String)> {
+        let tracking = entry.tracking.as_mut()?;
+        let (idx, offset) = match dir {
+            Direction::ClientToServer => (
+                tracking.client_payload_packets,
+                tracking.client_payload_bytes,
+            ),
+            Direction::ServerToClient => (
+                tracking.server_payload_packets,
+                tracking.server_payload_bytes,
+            ),
+        };
+        // Count this payload packet (whether or not it ends up matched).
+        match dir {
+            Direction::ClientToServer => {
+                tracking.client_payload_packets += 1;
+                tracking.client_payload_bytes += pkt.payload.len() as u64;
+            }
+            Direction::ServerToClient => {
+                tracking.server_payload_packets += 1;
+                tracking.server_payload_bytes += pkt.payload.len() as u64;
+            }
+        }
+
+        // Gate evaluation on the first client-direction payload packet.
+        if dir == Direction::ClientToServer && tracking.gate == GateStatus::Pending {
+            tracking.gate = match config.inspect.reassembly.gate_prefixes() {
+                None => GateStatus::Passed,
+                Some(prefixes) => {
+                    if starts_with_any(&pkt.payload, prefixes) {
+                        GateStatus::Passed
+                    } else {
+                        GateStatus::Failed
+                    }
+                }
+            };
+        }
+
+        match &config.inspect.reassembly {
+            ReassemblyMode::PerPacket => {
+                if !config.inspect.within_scope_at(idx, offset) {
+                    return None;
+                }
+                config
+                    .rules
+                    .first_match(&pkt.payload, dir, server_port, Some(idx))
+                    .map(|r| (r.class.clone(), r.id.clone()))
+            }
+            ReassemblyMode::GatedPerPacket { .. } => {
+                if tracking.gate != GateStatus::Passed
+                    || !config.inspect.within_scope_at(idx, offset)
+                {
+                    return None;
+                }
+                config
+                    .rules
+                    .first_match(&pkt.payload, dir, server_port, Some(idx))
+                    .map(|r| (r.class.clone(), r.id.clone()))
+            }
+            ReassemblyMode::GatedStream { window_packets, .. } => {
+                if tracking.gate != GateStatus::Passed || dir != Direction::ClientToServer {
+                    return None;
+                }
+                if tracking.window_packets.len() < *window_packets {
+                    let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
+                    tracking.window_packets.push((seq, pkt.payload.clone()));
+                }
+                // Sequence-anchored reassembly of the window, anchored at
+                // the first *arriving* payload packet, first-wins on
+                // overlap (so a same-sequence inert decoy shadows the real
+                // data). Data before the anchor or beyond the window is
+                // invisible.
+                let mut asm =
+                    crate::flowtable::StreamAssembler::new(window_packets * SERVER_MSS_BYTES);
+                asm.base_seq = Some(tracking.window_packets[0].0);
+                for (seq, payload) in &tracking.window_packets {
+                    asm.insert(*seq, payload);
+                }
+                let stream = asm.assembled_prefix();
+                config
+                    .rules
+                    .first_match(&stream, dir, server_port, None)
+                    .map(|r| (r.class.clone(), r.id.clone()))
+            }
+            ReassemblyMode::FullStream { gate_prefixes, .. } => {
+                if dir != Direction::ClientToServer {
+                    return None;
+                }
+                let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
+                if !tracking.stream.insert(seq, &pkt.payload) {
+                    return None; // out-of-window or no ISN anchor
+                }
+                let assembled = tracking.stream.assembled_prefix();
+                if assembled.is_empty() || !starts_with_any(&assembled, gate_prefixes) {
+                    return None;
+                }
+                config
+                    .rules
+                    .first_match(&assembled, dir, server_port, None)
+                    .map(|r| (r.class.clone(), r.id.clone()))
+            }
+        }
+    }
+
+    /// Fire a block action: inject RSTs (and optionally a block page)
+    /// adjacent to this element.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_block(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        pkt: &ParsedPacket,
+        key: FlowKey,
+        effects: &mut Effects,
+        class: &str,
+    ) {
+        let Some(policy) = self.config.policies.get(class) else {
+            return;
+        };
+        let Some(block) = policy.block.clone() else {
+            return;
+        };
+        // Orient addresses: who is the client for this packet?
+        let (client, server, client_port, server_port) = match dir {
+            Direction::ClientToServer => (pkt.ip.src, pkt.ip.dst, key.src_port, key.dst_port),
+            Direction::ServerToClient => (pkt.ip.dst, pkt.ip.src, key.dst_port, key.src_port),
+        };
+        let (seq, ack, plen) = pkt
+            .tcp()
+            .map(|t| (t.seq, t.ack, pkt.payload.len() as u32))
+            .unwrap_or((0, 0, 0));
+        let (c_seq, c_ack) = match dir {
+            Direction::ClientToServer => (ack, seq.wrapping_add(plen)),
+            Direction::ServerToClient => (seq.wrapping_add(plen), ack),
+        };
+
+        if let Some(page) = &block.block_page {
+            let pg = Packet::tcp(
+                server,
+                client,
+                server_port,
+                client_port,
+                c_seq,
+                c_ack,
+                page.clone(),
+            );
+            effects.inject(
+                Direction::ServerToClient,
+                TimedPacket::now(now, pg.serialize()),
+            );
+        }
+        for i in 0..block.rsts_to_client {
+            let rst = Packet::tcp(
+                server,
+                client,
+                server_port,
+                client_port,
+                c_seq.wrapping_add(i as u32),
+                c_ack,
+                Vec::new(),
+            )
+            .with_flags(TcpFlags::RST);
+            effects.inject(
+                Direction::ServerToClient,
+                TimedPacket::now(now, rst.serialize()),
+            );
+        }
+        for i in 0..block.rsts_to_server {
+            let rst = Packet::tcp(
+                client,
+                server,
+                client_port,
+                server_port,
+                c_ack.wrapping_add(i as u32),
+                c_seq,
+                Vec::new(),
+            )
+            .with_flags(TcpFlags::RST);
+            effects.inject(
+                Direction::ClientToServer,
+                TimedPacket::now(now, rst.serialize()),
+            );
+        }
+        if let Some(threshold) = block.server_port_penalty_after {
+            self.table.record_blocked_flow(
+                server,
+                server_port,
+                now,
+                threshold,
+                block.penalty_duration,
+            );
+        }
+    }
+
+    /// Apply the classified policy to a forwarded packet.
+    fn forward_classified(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        wire: Vec<u8>,
+        key: FlowKey,
+    ) -> Verdict {
+        let canonicalish = key;
+        let entry = self
+            .table
+            .lookup(
+                canonicalish,
+                now,
+                &self.config.flow,
+                self.config.resource.as_ref(),
+            )
+            .expect("caller checked classification exists");
+        let class = entry
+            .classification
+            .as_ref()
+            .expect("caller checked")
+            .class
+            .clone();
+        let policy = self
+            .config
+            .policies
+            .get(&class)
+            .cloned()
+            .unwrap_or_default();
+        self.account(policy.zero_rate, wire.len());
+
+        // Content modification (server direction).
+        let mut wire = wire;
+        if dir == Direction::ServerToClient {
+            if let Some((find, replace)) = &policy.rewrite {
+                if let Some(rewritten) =
+                    liberate_packet::mutate::rewrite_tcp_payload(&wire, find, replace)
+                {
+                    wire = rewritten;
+                }
+            }
+        }
+
+        // Deprioritization latency.
+        let base = match policy.delay {
+            Some(d) => now + d,
+            None => now,
+        };
+
+        if let (Some((rate, burst)), Direction::ServerToClient) = (policy.throttle, dir) {
+            let entry = self
+                .table
+                .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+                .expect("still present");
+            let c = entry.classification.as_mut().expect("still classified");
+            let shaper = c
+                .shaper
+                .get_or_insert_with(|| TokenBucket::new(rate, burst));
+            let at = shaper.schedule(base, wire.len());
+            return Verdict::Forward(vec![TimedPacket { at, wire }]);
+        }
+        Verdict::Forward(vec![TimedPacket { at: base, wire }])
+    }
+}
+
+impl PathElement for DpiDevice {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn process(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        wire: Vec<u8>,
+        effects: &mut Effects,
+    ) -> Verdict {
+        self.last_seen = now;
+        let len = wire.len();
+        let Some(mut pkt) = ParsedPacket::parse(&wire) else {
+            self.account(false, len);
+            return Verdict::pass(now, wire);
+        };
+        let defects = validate_wire(&wire);
+
+        // A lax device parses the transport header regardless of a bogus
+        // protocol number: re-view the bytes as TCP for classification
+        // only (the forwarded packet is untouched).
+        if self.config.loose_transport_parsing
+            && pkt.ip.fragment_offset == 0
+            && matches!(
+                pkt.transport,
+                liberate_packet::packet::ParsedTransport::Other(p)
+                    if p != liberate_packet::ipv4::protocol::ICMP
+            )
+        {
+            let mut patched = wire.clone();
+            if patched.len() > 9 {
+                patched[9] = liberate_packet::ipv4::protocol::TCP;
+                if let Some(as_tcp) = ParsedPacket::parse(&patched) {
+                    if as_tcp.tcp().is_some() {
+                        pkt = as_tcp;
+                    }
+                }
+            }
+        }
+
+        // Packets failing the device's validation are invisible to the
+        // classifier but still forwarded.
+        if !self.config.validation.processes(&defects) {
+            self.account(false, len);
+            return Verdict::pass(now, wire);
+        }
+
+        // Fragments and unknown transports cannot be attributed to a flow.
+        let Some(key) = FlowKey::from_packet(&pkt) else {
+            self.account(false, len);
+            return Verdict::pass(now, wire);
+        };
+        let (server_addr, server_port) = match dir {
+            Direction::ClientToServer => (pkt.ip.dst, key.dst_port),
+            Direction::ServerToClient => (pkt.ip.src, key.src_port),
+        };
+
+        // GFC-style residual penalty: all traffic toward a penalized
+        // server:port is disrupted regardless of content.
+        if dir == Direction::ClientToServer
+            && self.table.is_penalized(server_addr, server_port, now)
+        {
+            // Find the blocking class to reuse its RST behaviour.
+            if let Some((class, _)) = self
+                .config
+                .policies
+                .iter()
+                .find(|(_, p)| p.block.is_some())
+                .map(|(c, p)| (c.clone(), p.clone()))
+            {
+                self.fire_block(now, dir, &pkt, key, effects, &class);
+            }
+            self.account(false, len);
+            return Verdict::pass(now, wire);
+        }
+
+        let is_tcp = pkt.tcp().is_some();
+        let is_udp = pkt.udp().is_some();
+
+        // RST observation affects flow state.
+        if let Some(t) = pkt.tcp() {
+            if t.flags.rst {
+                self.table.apply_rst(key, &self.config.flow);
+                self.account(false, len);
+                return Verdict::pass(now, wire);
+            }
+        }
+
+        // Flow entry management.
+        let window_bytes = self.window_bytes();
+        let have_entry = self
+            .table
+            .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+            .is_some();
+        if !have_entry {
+            let is_flow_start = if is_tcp {
+                let t = pkt.tcp().expect("is_tcp");
+                t.flags.syn && !t.flags.ack
+            } else {
+                is_udp && dir == Direction::ClientToServer
+            };
+            if !is_flow_start {
+                // Mid-flow packet for an unknown (or evicted) flow: not
+                // inspected. This is what pause- and RST-based flushing
+                // exploit.
+                self.account(false, len);
+                return Verdict::pass(now, wire);
+            }
+            let entry = self.table.create(key, now, window_bytes);
+            if is_tcp {
+                let t = pkt.tcp().expect("is_tcp");
+                if let Some(tr) = entry.tracking.as_mut() {
+                    tr.stream.base_seq = Some(t.seq.wrapping_add(1));
+                }
+            } else if let Some(tr) = entry.tracking.as_mut() {
+                tr.stream.base_seq = Some(0);
+            }
+        }
+
+        // Refresh activity.
+        {
+            let entry = self
+                .table
+                .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+                .expect("present");
+            entry.last_activity = now;
+        }
+
+        let already_classified = self
+            .table
+            .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+            .map(|e| e.classification.is_some())
+            .unwrap_or(false);
+
+        // Decide whether to inspect this packet.
+        let eligible = !pkt.payload.is_empty()
+            && self.config.inspect.inspects_port(server_port)
+            && (is_tcp || (is_udp && self.config.inspect.inspects_udp))
+            && (!already_classified || !self.config.inspect.match_and_forget);
+
+        if eligible {
+            let matched = {
+                let config = &self.config;
+                let entry = self
+                    .table
+                    .lookup(key, now, &config.flow, config.resource.as_ref())
+                    .expect("present");
+                Self::inspect(entry, config, &pkt, dir, server_port)
+            };
+            if let Some((class, rule_id)) = matched {
+                let newly = !already_classified;
+                {
+                    let entry = self
+                        .table
+                        .lookup(
+                            key,
+                            now,
+                            &self.config.flow,
+                            self.config.resource.as_ref(),
+                        )
+                        .expect("present");
+                    if entry.classification.is_none() {
+                        entry.classification = Some(Classification {
+                            class: class.clone(),
+                            rule_id: rule_id.clone(),
+                            at: now,
+                            shaper: None,
+                            block_fired: false,
+                            result_timeout: self.config.flow.result_timeout,
+                        });
+                    }
+                }
+                if newly {
+                    self.events.push(ClassificationEvent {
+                        at: now,
+                        flow: key,
+                        class: class.clone(),
+                        rule_id,
+                    });
+                    self.fire_block(now, dir, &pkt, key, effects, &class);
+                    if let Some(entry) = self.table.lookup(
+                        key,
+                        now,
+                        &self.config.flow,
+                        self.config.resource.as_ref(),
+                    ) {
+                        if let Some(c) = entry.classification.as_mut() {
+                            c.block_fired = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Forward under whatever classification now stands.
+        let classified_now = self
+            .table
+            .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+            .map(|e| e.classification.is_some())
+            .unwrap_or(false);
+        if classified_now {
+            self.forward_classified(now, dir, wire, key)
+        } else {
+            self.account(false, len);
+            Verdict::pass(now, wire)
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Per-flow middlebox state: gate status, payload counters, stream
+//! reassembly buffers, classification results, and their lifecycles
+//! (timeouts, RST effects, resource-pressure eviction).
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use liberate_netsim::shaper::TokenBucket;
+use liberate_netsim::time::SimTime;
+use liberate_packet::flow::FlowKey;
+
+use crate::inspect::{FlowConfig, RstEffect};
+use crate::resource::TimeOfDayLoad;
+
+/// Result of protocol anchoring on the first payload packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// No payload packet seen yet.
+    Pending,
+    /// First payload packet matched a gate prefix: inspect the flow.
+    Passed,
+    /// First payload packet did not match: the flow is never inspected.
+    Failed,
+}
+
+/// Client-stream reassembly buffer for `FullStream` mode: segments placed
+/// at their sequence offsets relative to the ISN.
+#[derive(Debug, Default, Clone)]
+pub struct StreamAssembler {
+    /// Client ISN + 1 (sequence number of stream byte 0), from the SYN.
+    pub base_seq: Option<u32>,
+    /// Segment payloads keyed by stream byte offset.
+    segments: BTreeMap<u64, Vec<u8>>,
+    /// Cap on buffered stream bytes.
+    window_bytes: usize,
+}
+
+impl StreamAssembler {
+    pub fn new(window_bytes: usize) -> StreamAssembler {
+        StreamAssembler {
+            base_seq: None,
+            segments: BTreeMap::new(),
+            window_bytes,
+        }
+    }
+
+    /// Insert a segment by TCP sequence number. Returns `false` when the
+    /// segment lies outside the assembly window (e.g. a wrong-sequence
+    /// inert packet) and was ignored.
+    pub fn insert(&mut self, seq: u32, payload: &[u8]) -> bool {
+        let Some(base) = self.base_seq else {
+            return false;
+        };
+        let offset = seq.wrapping_sub(base);
+        // Offsets beyond the window (including enormous "wrong sequence
+        // number" values, which wrap to huge u32s) are ignored.
+        if offset as u64 > self.window_bytes as u64 {
+            return false;
+        }
+        // First arrival at an offset wins: this is what lets an inert
+        // decoy segment shadow the real request that later reuses the same
+        // sequence range (wrong-checksum / missing-ACK evasion, §4.3).
+        self.segments
+            .entry(offset as u64)
+            .or_insert_with(|| payload.to_vec());
+        true
+    }
+
+    /// The contiguous in-order prefix of the stream assembled so far,
+    /// truncated to the window. First-arrived data wins on overlap.
+    pub fn assembled_prefix(&self) -> Vec<u8> {
+        let mut out: Vec<Option<u8>> = Vec::new();
+        for (&off, data) in &self.segments {
+            let off = off as usize;
+            let end = (off + data.len()).min(self.window_bytes);
+            if end > out.len() {
+                out.resize(end, None);
+            }
+            for (i, b) in data.iter().enumerate() {
+                let idx = off + i;
+                if idx < end && out[idx].is_none() {
+                    out[idx] = Some(*b);
+                }
+            }
+        }
+        out.into_iter()
+            .take_while(|b| b.is_some())
+            .map(|b| b.unwrap())
+            .collect()
+    }
+}
+
+/// Pre-classification tracking state for one flow.
+#[derive(Debug, Clone)]
+pub struct Tracking {
+    pub gate: GateStatus,
+    /// Payload-bearing packets seen client→server.
+    pub client_payload_packets: usize,
+    /// Payload-bearing packets seen server→client.
+    pub server_payload_packets: usize,
+    /// Payload bytes seen client→server (for byte-limited scopes).
+    pub client_payload_bytes: u64,
+    /// Payload bytes seen server→client.
+    pub server_payload_bytes: u64,
+    /// Arrival-order payload packets collected for `GatedStream` windows:
+    /// (sequence number, payload).
+    pub window_packets: Vec<(u32, Vec<u8>)>,
+    /// Sequence-anchored assembler for `FullStream`.
+    pub stream: StreamAssembler,
+}
+
+impl Tracking {
+    pub fn new(window_bytes: usize) -> Tracking {
+        Tracking {
+            gate: GateStatus::Pending,
+            client_payload_packets: 0,
+            server_payload_packets: 0,
+            client_payload_bytes: 0,
+            server_payload_bytes: 0,
+            window_packets: Vec::new(),
+            stream: StreamAssembler::new(window_bytes),
+        }
+    }
+}
+
+/// A classification verdict attached to a flow.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    pub class: String,
+    pub rule_id: String,
+    pub at: SimTime,
+    /// Per-flow shaper when the class's policy throttles.
+    pub shaper: Option<TokenBucket>,
+    /// Whether the block page / RST burst has been fired already.
+    pub block_fired: bool,
+    /// Idle timeout currently in force for this result (can be shortened
+    /// by a RST on the testbed device).
+    pub result_timeout: Option<Duration>,
+}
+
+/// One flow table entry.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    pub created: SimTime,
+    pub last_activity: SimTime,
+    pub tracking: Option<Tracking>,
+    pub classification: Option<Classification>,
+}
+
+/// The middlebox flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    entries: HashMap<FlowKey, FlowEntry>,
+    /// (server addr, server port) → (blocked-flow count, penalty expiry).
+    penalties: HashMap<(Ipv4Addr, u16), (u32, Option<SimTime>)>,
+}
+
+impl FlowTable {
+    /// Look up a flow, applying expiry rules first. `config` supplies the
+    /// static timeouts; `load` (when present) overrides the tracking
+    /// timeout with the time-of-day resource model.
+    pub fn lookup(
+        &mut self,
+        key: FlowKey,
+        now: SimTime,
+        config: &FlowConfig,
+        load: Option<&TimeOfDayLoad>,
+    ) -> Option<&mut FlowEntry> {
+        let canonical = key.canonical();
+        let remove = {
+            let entry = self.entries.get_mut(&canonical)?;
+            let idle = now.since(entry.last_activity);
+            // Result expiry: idle-based.
+            if let Some(c) = &entry.classification {
+                if let Some(t) = c.result_timeout {
+                    if idle > t {
+                        entry.classification = None;
+                    }
+                }
+            }
+            // Tracking expiry: resource model wins over static config.
+            let tracking_timeout = match load {
+                Some(model) => model.eviction_threshold(now),
+                None => config.tracking_timeout,
+            };
+            if let Some(t) = tracking_timeout {
+                if idle > t {
+                    entry.tracking = None;
+                }
+            }
+            entry.classification.is_none() && entry.tracking.is_none()
+        };
+        if remove {
+            self.entries.remove(&canonical);
+            return None;
+        }
+        self.entries.get_mut(&canonical)
+    }
+
+    /// Create or replace the entry for a flow (called on SYN for TCP, on
+    /// the first datagram for UDP).
+    pub fn create(&mut self, key: FlowKey, now: SimTime, window_bytes: usize) -> &mut FlowEntry {
+        let canonical = key.canonical();
+        self.entries.insert(
+            canonical,
+            FlowEntry {
+                created: now,
+                last_activity: now,
+                tracking: Some(Tracking::new(window_bytes)),
+                classification: None,
+            },
+        );
+        self.entries.get_mut(&canonical).expect("just inserted")
+    }
+
+    /// Apply a RST's effect to a flow per the device's configuration.
+    pub fn apply_rst(&mut self, key: FlowKey, config: &FlowConfig) {
+        let canonical = key.canonical();
+        let Some(entry) = self.entries.get_mut(&canonical) else {
+            return;
+        };
+        let effect = if entry.classification.is_some() {
+            config.rst_after_match
+        } else {
+            config.rst_before_match
+        };
+        match effect {
+            RstEffect::Ignored => {}
+            RstEffect::FlushImmediately => {
+                self.entries.remove(&canonical);
+            }
+            RstEffect::ShortenTimeout(t) => {
+                if let Some(c) = entry.classification.as_mut() {
+                    c.result_timeout = Some(t);
+                }
+            }
+        }
+    }
+
+    /// Record a blocked flow toward a server:port and return whether the
+    /// pair has crossed into penalty blocking.
+    pub fn record_blocked_flow(
+        &mut self,
+        server: Ipv4Addr,
+        port: u16,
+        now: SimTime,
+        threshold: u32,
+        penalty: Duration,
+    ) -> bool {
+        let entry = self.penalties.entry((server, port)).or_insert((0, None));
+        entry.0 += 1;
+        if entry.0 >= threshold {
+            entry.1 = Some(now + penalty);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether (server, port) is currently under penalty blocking.
+    pub fn is_penalized(&self, server: Ipv4Addr, port: u16, now: SimTime) -> bool {
+        match self.penalties.get(&(server, port)) {
+            Some((_, Some(until))) => now < *until,
+            _ => false,
+        }
+    }
+
+    pub fn live_flow_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.penalties.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 9, 9, 9),
+            40000,
+            80,
+            6,
+        )
+    }
+
+    fn config() -> FlowConfig {
+        FlowConfig {
+            result_timeout: Some(Duration::from_secs(120)),
+            tracking_timeout: Some(Duration::from_secs(120)),
+            rst_after_match: RstEffect::ShortenTimeout(Duration::from_secs(10)),
+            rst_before_match: RstEffect::FlushImmediately,
+        }
+    }
+
+    #[test]
+    fn assembler_places_segments_by_offset() {
+        let mut a = StreamAssembler::new(4096);
+        a.base_seq = Some(1000);
+        assert!(a.insert(1005, b"world"));
+        assert_eq!(a.assembled_prefix(), b""); // hole at offset 0
+        assert!(a.insert(1000, b"hello"));
+        assert_eq!(a.assembled_prefix(), b"helloworld");
+    }
+
+    #[test]
+    fn assembler_ignores_out_of_window_seq() {
+        let mut a = StreamAssembler::new(4096);
+        a.base_seq = Some(1000);
+        // A far-future "wrong sequence number" inert packet.
+        assert!(!a.insert(1000u32.wrapping_add(1_000_000), b"GET /evil"));
+        // A wrapped (negative) offset is also enormous as u32.
+        assert!(!a.insert(500, b"before-isn"));
+        assert!(a.assembled_prefix().is_empty());
+    }
+
+    #[test]
+    fn assembler_without_base_ignores_everything() {
+        let mut a = StreamAssembler::new(4096);
+        assert!(!a.insert(1000, b"mid-flow"));
+    }
+
+    #[test]
+    fn overlap_first_wins() {
+        let mut a = StreamAssembler::new(4096);
+        a.base_seq = Some(0);
+        a.insert(0, b"AAAA");
+        a.insert(2, b"BBBB");
+        assert_eq!(a.assembled_prefix(), b"AAAABB");
+    }
+
+    #[test]
+    fn lookup_expires_idle_tracking_and_results() {
+        let mut table = FlowTable::default();
+        let cfg = config();
+        let e = table.create(key(), SimTime::ZERO, 4096);
+        e.classification = Some(Classification {
+            class: "video".into(),
+            rule_id: "r".into(),
+            at: SimTime::ZERO,
+            shaper: None,
+            block_fired: false,
+            result_timeout: cfg.result_timeout,
+        });
+        // At t=60 s everything survives.
+        assert!(table
+            .lookup(key(), SimTime::from_secs(60), &cfg, None)
+            .is_some());
+        // Do NOT touch last_activity: at t=200 s both expired (> 120 s idle
+        // since t=0... note lookup at 60 s did not refresh activity).
+        let gone = table.lookup(key(), SimTime::from_secs(200), &cfg, None);
+        assert!(gone.is_none());
+        assert_eq!(table.live_flow_count(), 0);
+    }
+
+    #[test]
+    fn rst_before_match_flushes() {
+        let mut table = FlowTable::default();
+        let cfg = config();
+        table.create(key(), SimTime::ZERO, 4096);
+        table.apply_rst(key(), &cfg);
+        assert_eq!(table.live_flow_count(), 0);
+    }
+
+    #[test]
+    fn rst_after_match_shortens_timeout() {
+        let mut table = FlowTable::default();
+        let cfg = config();
+        let e = table.create(key(), SimTime::ZERO, 4096);
+        e.classification = Some(Classification {
+            class: "video".into(),
+            rule_id: "r".into(),
+            at: SimTime::ZERO,
+            shaper: None,
+            block_fired: false,
+            result_timeout: cfg.result_timeout,
+        });
+        table.apply_rst(key(), &cfg);
+        // 11 s later (> 10 s shortened timeout) the result is gone.
+        let e = table.lookup(key(), SimTime::from_secs(11), &cfg, None);
+        // Tracking (120 s) still there, classification flushed.
+        let e = e.expect("tracking survives");
+        assert!(e.classification.is_none());
+    }
+
+    #[test]
+    fn penalty_threshold_and_expiry() {
+        let mut table = FlowTable::default();
+        let server = Ipv4Addr::new(10, 9, 9, 9);
+        let now = SimTime::from_secs(100);
+        let penalty = Duration::from_secs(90);
+        assert!(!table.record_blocked_flow(server, 80, now, 2, penalty));
+        assert!(!table.is_penalized(server, 80, now));
+        assert!(table.record_blocked_flow(server, 80, now, 2, penalty));
+        assert!(table.is_penalized(server, 80, now));
+        assert!(table.is_penalized(server, 80, now + Duration::from_secs(89)));
+        assert!(!table.is_penalized(server, 80, now + Duration::from_secs(91)));
+        // A different port is unaffected.
+        assert!(!table.is_penalized(server, 8080, now));
+    }
+
+    #[test]
+    fn canonical_keying_matches_both_directions() {
+        let mut table = FlowTable::default();
+        let cfg = config();
+        table.create(key(), SimTime::ZERO, 4096);
+        assert!(table
+            .lookup(key().reverse(), SimTime::from_secs(1), &cfg, None)
+            .is_some());
+    }
+}

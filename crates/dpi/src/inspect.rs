@@ -1,0 +1,182 @@
+//! Inspection policy: *how much* of a flow a classifier looks at and *how*
+//! it assembles what it sees. These two axes explain most of Table 3's
+//! splitting/reordering column:
+//!
+//! - the testbed box matches **per packet** within a small packet window
+//!   and gates on a protocol prefix at flow start (§6.1);
+//! - T-Mobile reassembles segments **only if the first payload packet
+//!   begins with `GET`** (or a TLS handshake) and searches a small window
+//!   (§6.2);
+//! - the GFC does **full in-order stream reassembly** with sequence
+//!   tracking, anchored at flow start (§6.5);
+//! - Iran matches **every packet independently**, forever (§6.6).
+
+use std::time::Duration;
+
+/// How a classifier assembles payload before matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyMode {
+    /// Match within each packet's payload independently; no reassembly,
+    /// no protocol anchoring (Iran: "a per-packet classification
+    /// implementation", §6.6).
+    PerPacket,
+    /// Per-packet matching, but the flow is only inspected at all if its
+    /// *first* payload packet starts with one of `gate_prefixes` (protocol
+    /// anchoring: "does this look like HTTP/TLS/STUN from byte 0?"). The
+    /// testbed behaves this way — a first packet carrying a single byte
+    /// defeats it (§6.1).
+    GatedPerPacket { gate_prefixes: Vec<Vec<u8>> },
+    /// Reassemble the client byte stream in sequence order, but only if
+    /// the first *arriving* payload packet starts with one of
+    /// `gate_prefixes`; search the concatenation of the first
+    /// `window_packets` payload packets. T-Mobile: GET-gated, small window
+    /// — in-order splits of five or more packets push the matching field
+    /// out of the window, and any reordering breaks the gate (§6.2).
+    GatedStream {
+        gate_prefixes: Vec<Vec<u8>>,
+        window_packets: usize,
+    },
+    /// Full, correct, sequence-tracked stream reassembly anchored at the
+    /// ISN from the SYN: segments are placed at their sequence offsets, so
+    /// neither splitting nor reordering changes what the matcher sees. The
+    /// stream must still begin with one of `gate_prefixes` at byte 0, and
+    /// only the first `window_bytes` of stream are searched (the GFC,
+    /// §6.5: prepending one dummy byte defeats it; splitting does not).
+    FullStream {
+        gate_prefixes: Vec<Vec<u8>>,
+        window_bytes: usize,
+    },
+}
+
+impl ReassemblyMode {
+    /// Gate prefixes, if this mode anchors on a protocol prefix.
+    pub fn gate_prefixes(&self) -> Option<&[Vec<u8>]> {
+        match self {
+            ReassemblyMode::PerPacket => None,
+            ReassemblyMode::GatedPerPacket { gate_prefixes }
+            | ReassemblyMode::GatedStream { gate_prefixes, .. }
+            | ReassemblyMode::FullStream { gate_prefixes, .. } => Some(gate_prefixes),
+        }
+    }
+}
+
+/// How much of a flow the classifier inspects before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectScope {
+    /// The first `n` payload-bearing packets (per direction).
+    Packets(usize),
+    /// The first `n` payload bytes (per direction) — the other limit kind
+    /// §5.1's probe ladder distinguishes ("else, we conclude that the
+    /// limit is no more than k·MTU bytes").
+    Bytes(usize),
+    /// Every packet of the flow, indefinitely (Iran).
+    AllPackets,
+}
+
+/// The complete inspection policy of a DPI device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectionPolicy {
+    pub scope: InspectScope,
+    pub reassembly: ReassemblyMode,
+    /// Once classified, stop inspecting ("match and forget", §4.2). Iran
+    /// re-evaluates every packet instead.
+    pub match_and_forget: bool,
+    /// Whether UDP flows are inspected at all. None of the operational
+    /// networks classified UDP (§6.2, §6.5, §6.6); the testbed does.
+    pub inspects_udp: bool,
+    /// Server ports eligible for inspection (`None` = all).
+    pub port_whitelist: Option<Vec<u16>>,
+}
+
+impl InspectionPolicy {
+    pub fn inspects_port(&self, server_port: u16) -> bool {
+        match &self.port_whitelist {
+            None => true,
+            Some(p) => p.contains(&server_port),
+        }
+    }
+
+    /// Is a payload packet at `packet_index` (0-based counter), whose
+    /// stream starts at byte offset `byte_offset`, still within the
+    /// inspection window?
+    pub fn within_scope_at(&self, packet_index: usize, byte_offset: u64) -> bool {
+        match self.scope {
+            InspectScope::Packets(n) => packet_index < n,
+            InspectScope::Bytes(n) => byte_offset < n as u64,
+            InspectScope::AllPackets => true,
+        }
+    }
+
+    /// Packet-count-only convenience used where no byte offset is known.
+    pub fn within_scope(&self, packet_index: usize) -> bool {
+        self.within_scope_at(packet_index, 0)
+    }
+}
+
+/// Flow-state lifecycle configuration: how long classification results and
+/// tracking state persist, and what RSTs do to them (§6's classification
+/// flushing findings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Classification result lifetime with no matching traffic
+    /// (testbed: 120 s; T-Mobile: longer than the 240 s probe ceiling).
+    pub result_timeout: Option<Duration>,
+    /// Pre-match tracking state (gate status, reassembly buffers, packet
+    /// counters) lifetime while idle. When evicted, later packets look
+    /// mid-flow and are not inspected.
+    pub tracking_timeout: Option<Duration>,
+    /// Effect of seeing a RST for a flow *after* it was classified.
+    pub rst_after_match: RstEffect,
+    /// Effect of seeing a RST *before* classification.
+    pub rst_before_match: RstEffect,
+}
+
+/// What a RST does to middlebox flow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RstEffect {
+    /// Nothing.
+    Ignored,
+    /// Drop all state immediately (T-Mobile flushes on RST, §6.2; the GFC
+    /// tears down pre-match tracking, §6.5).
+    FlushImmediately,
+    /// Shorten the result timeout to this duration (the testbed drops the
+    /// 120 s timeout to 10 s after a RST, §6.1).
+    ShortenTimeout(Duration),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(scope: InspectScope) -> InspectionPolicy {
+        InspectionPolicy {
+            scope,
+            reassembly: ReassemblyMode::PerPacket,
+            match_and_forget: true,
+            inspects_udp: false,
+            port_whitelist: Some(vec![80]),
+        }
+    }
+
+    #[test]
+    fn scope_window() {
+        let p = policy(InspectScope::Packets(5));
+        assert!(p.within_scope(0));
+        assert!(p.within_scope(4));
+        assert!(!p.within_scope(5));
+        let all = policy(InspectScope::AllPackets);
+        assert!(all.within_scope(1_000_000));
+    }
+
+    #[test]
+    fn port_whitelist() {
+        let p = policy(InspectScope::AllPackets);
+        assert!(p.inspects_port(80));
+        assert!(!p.inspects_port(8080));
+        let open = InspectionPolicy {
+            port_whitelist: None,
+            ..p
+        };
+        assert!(open.inspects_port(8080));
+    }
+}

@@ -1,0 +1,44 @@
+//! Byte-pattern search used by the rule engine.
+//!
+//! Real DPI boxes use multi-pattern automata; for the flow sizes in these
+//! experiments a windowed scan is plenty and keeps the behaviour obvious.
+
+/// First occurrence of `needle` in `haystack`.
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Whether `haystack` contains `needle`.
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    find(haystack, needle).is_some()
+}
+
+/// Whether `data` starts with any of `prefixes`.
+pub fn starts_with_any(data: &[u8], prefixes: &[Vec<u8>]) -> bool {
+    prefixes.iter().any(|p| data.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_positions() {
+        assert_eq!(find(b"Host: cloudfront.net\r\n", b"cloudfront.net"), Some(6));
+        assert_eq!(find(b"abc", b"abc"), Some(0));
+        assert_eq!(find(b"abc", b"abcd"), None);
+        assert_eq!(find(b"abc", b""), None);
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let prefixes = vec![b"GET ".to_vec(), vec![0x16, 0x03]];
+        assert!(starts_with_any(b"GET / HTTP/1.1", &prefixes));
+        assert!(starts_with_any(&[0x16, 0x03, 0x01, 0x00], &prefixes));
+        assert!(!starts_with_any(b"POST /", &prefixes));
+        assert!(!starts_with_any(b"", &prefixes));
+    }
+}

@@ -1,0 +1,94 @@
+//! The middlebox packet-validation model: which malformed packets a
+//! classifier still *processes* (feeding their payload to the matcher) and
+//! which it ignores.
+//!
+//! This is the crux of inert-packet insertion (§4.3): a technique works
+//! when the middlebox processes a packet that the server will never act
+//! on. Table 3's CC? column is, for the inert rows, a direct readout of
+//! this model per device:
+//!
+//! - the **testbed** box "does not check for a wide range of invalid
+//!   packet header values" (§1);
+//! - the **GFC** "does extensive packet validation" — but not TCP
+//!   checksums or the ACK flag, and it cannot know remaining hop counts;
+//! - **Iran and T-Mobile** "only partially check for invalid packet
+//!   headers".
+
+use liberate_packet::validate::{Malformation, MalformationSet};
+
+/// Which defects make the middlebox ignore a packet (treat it as noise and
+/// forward it without matching on its contents).
+#[derive(Debug, Clone, Default)]
+pub struct ValidationModel {
+    ignores: MalformationSet,
+    /// Whether the classifier tracks TCP sequence numbers: if so, a
+    /// segment whose sequence number is far outside the expected window is
+    /// ignored rather than matched (the GFC does this; the testbed does
+    /// not, §6.1/§6.5).
+    pub tracks_seq: bool,
+}
+
+impl ValidationModel {
+    /// Process everything, however broken (the testbed's posture for most
+    /// fields).
+    pub fn lax() -> ValidationModel {
+        ValidationModel::default()
+    }
+
+    /// Ignore packets exhibiting any of `malformations`.
+    pub fn ignoring(malformations: impl IntoIterator<Item = Malformation>) -> ValidationModel {
+        ValidationModel {
+            ignores: malformations.into_iter().collect(),
+            tracks_seq: false,
+        }
+    }
+
+    pub fn with_seq_tracking(mut self) -> ValidationModel {
+        self.tracks_seq = true;
+        self
+    }
+
+    pub fn also_ignoring(
+        mut self,
+        malformations: impl IntoIterator<Item = Malformation>,
+    ) -> ValidationModel {
+        self.ignores.extend(malformations);
+        self
+    }
+
+    /// Should a packet with `defects` be fed to the matcher?
+    pub fn processes(&self, defects: &MalformationSet) -> bool {
+        self.ignores.is_disjoint(defects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Malformation::*;
+
+    #[test]
+    fn lax_processes_everything() {
+        let m = ValidationModel::lax();
+        let defects: MalformationSet = [IpChecksumWrong, TcpChecksumWrong, TcpFlagsInvalid]
+            .into_iter()
+            .collect();
+        assert!(m.processes(&defects));
+        assert!(!m.tracks_seq);
+    }
+
+    #[test]
+    fn strict_ignores_listed() {
+        let m = ValidationModel::ignoring([IpChecksumWrong, IpVersionInvalid]).with_seq_tracking();
+        assert!(!m.processes(&[IpChecksumWrong].into_iter().collect()));
+        assert!(m.processes(&[TcpChecksumWrong].into_iter().collect()));
+        assert!(m.processes(&MalformationSet::new()));
+        assert!(m.tracks_seq);
+    }
+
+    #[test]
+    fn also_ignoring_extends() {
+        let m = ValidationModel::ignoring([IpVersionInvalid]).also_ignoring([UdpLengthLong]);
+        assert!(!m.processes(&[UdpLengthLong].into_iter().collect()));
+    }
+}

@@ -1,0 +1,248 @@
+//! Endpoint operating-system profiles.
+//!
+//! The right-hand "Server Response" columns of Table 3 record, per OS,
+//! whether each inert packet is dropped (good for unilateral evasion) or
+//! delivered/answered (a side effect the evasion planner must avoid).
+//! The differences the paper found:
+//!
+//! - **Invalid IP options**: Linux and macOS *deliver* such packets
+//!   (× in the table); Windows drops them (✓).
+//! - **Deprecated IP options**: all three deliver (×, ×, ×).
+//! - **Invalid TCP flag combinations**: Linux and macOS drop; Windows
+//!   *responds with a RST* (footnote 6), killing the connection.
+//! - **UDP length shorter than payload**: Linux delivers the payload
+//!   truncated to the claimed length (footnote 5); macOS and Windows drop.
+//!
+//! Everything else malformed is dropped by all three.
+
+use liberate_packet::validate::{Malformation, MalformationSet};
+
+/// Behaviours an OS can exhibit for a received malformed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsAction {
+    /// Deliver to the transport layer as if nothing were wrong.
+    Deliver,
+    /// Deliver, but truncate the UDP payload to the claimed length.
+    DeliverTruncated,
+    /// Silently drop.
+    Drop,
+    /// Drop and answer with a TCP RST (Windows on invalid flag combos).
+    RstResponse,
+}
+
+/// Which OS family an endpoint host emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsKind {
+    Linux,
+    MacOs,
+    Windows,
+}
+
+impl OsKind {
+    pub const ALL: [OsKind; 3] = [OsKind::Linux, OsKind::MacOs, OsKind::Windows];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OsKind::Linux => "Linux",
+            OsKind::MacOs => "macOS",
+            OsKind::Windows => "Windows",
+        }
+    }
+}
+
+/// An endpoint validation profile.
+#[derive(Debug, Clone)]
+pub struct OsProfile {
+    pub kind: OsKind,
+}
+
+impl OsProfile {
+    pub fn new(kind: OsKind) -> OsProfile {
+        OsProfile { kind }
+    }
+
+    pub fn linux() -> OsProfile {
+        OsProfile::new(OsKind::Linux)
+    }
+
+    pub fn macos() -> OsProfile {
+        OsProfile::new(OsKind::MacOs)
+    }
+
+    pub fn windows() -> OsProfile {
+        OsProfile::new(OsKind::Windows)
+    }
+
+    /// Decide what to do with a packet exhibiting `defects`.
+    ///
+    /// Flow-state problems (wrong sequence numbers) are not judged here —
+    /// the TCP stack handles them inherently by discarding out-of-window
+    /// data.
+    pub fn action(&self, defects: &MalformationSet) -> OsAction {
+        use Malformation::*;
+        if defects.is_empty() {
+            return OsAction::Deliver;
+        }
+        // Hard structural drops common to every OS.
+        const ALWAYS_DROP: &[Malformation] = &[
+            IpVersionInvalid,
+            IpHeaderLengthInvalid,
+            IpTotalLengthLong,
+            IpTotalLengthShort,
+            IpChecksumWrong,
+            IpProtocolUnknown,
+            TtlExpired,
+            TcpChecksumWrong,
+            TcpDataOffsetInvalid,
+            TcpAckFlagMissing,
+            TransportTruncated,
+            UdpChecksumWrong,
+            UdpLengthLong,
+        ];
+        if ALWAYS_DROP.iter().any(|m| defects.contains(m)) {
+            return OsAction::Drop;
+        }
+        if defects.contains(&TcpFlagsInvalid) {
+            return match self.kind {
+                OsKind::Linux | OsKind::MacOs => OsAction::Drop,
+                // Footnote 6: "The server sends a RST packet in response."
+                OsKind::Windows => OsAction::RstResponse,
+            };
+        }
+        if defects.contains(&IpOptionsInvalid) {
+            return match self.kind {
+                // Table 3: Linux/macOS deliver invalid-option packets.
+                OsKind::Linux | OsKind::MacOs => OsAction::Deliver,
+                OsKind::Windows => OsAction::Drop,
+            };
+        }
+        if defects.contains(&IpOptionsDeprecated) {
+            // All three OSes deliver deprecated-option packets.
+            return OsAction::Deliver;
+        }
+        if defects.contains(&UdpLengthShort) {
+            return match self.kind {
+                // Footnote 5: "The server reads the content up to the
+                // specified length."
+                OsKind::Linux => OsAction::DeliverTruncated,
+                OsKind::MacOs | OsKind::Windows => OsAction::Drop,
+            };
+        }
+        OsAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberate_packet::checksum::ChecksumSpec;
+    use liberate_packet::ipv4::IpOption;
+    use liberate_packet::packet::Packet;
+    use liberate_packet::tcp::TcpFlags;
+    use liberate_packet::validate::validate_wire;
+    use std::net::Ipv4Addr;
+
+    fn defects_of(p: &Packet) -> MalformationSet {
+        validate_wire(&p.serialize())
+    }
+
+    fn tcp() -> Packet {
+        Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            80,
+            0,
+            0,
+            &b"data"[..],
+        )
+    }
+
+    fn udp() -> Packet {
+        Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            &b"datagram"[..],
+        )
+    }
+
+    #[test]
+    fn clean_packets_delivered_everywhere() {
+        for os in OsKind::ALL {
+            assert_eq!(
+                OsProfile::new(os).action(&defects_of(&tcp())),
+                OsAction::Deliver
+            );
+        }
+    }
+
+    #[test]
+    fn bad_checksum_dropped_everywhere() {
+        let mut p = tcp();
+        p.tcp_mut().checksum = ChecksumSpec::Fixed(0x1111);
+        for os in OsKind::ALL {
+            assert_eq!(
+                OsProfile::new(os).action(&defects_of(&p)),
+                OsAction::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_ip_options_split_by_os() {
+        let mut p = tcp();
+        p.ip.options = vec![IpOption::InvalidOverrun {
+            kind: 0x99,
+            claimed_len: 44,
+        }];
+        let d = defects_of(&p);
+        assert_eq!(OsProfile::linux().action(&d), OsAction::Deliver);
+        assert_eq!(OsProfile::macos().action(&d), OsAction::Deliver);
+        assert_eq!(OsProfile::windows().action(&d), OsAction::Drop);
+    }
+
+    #[test]
+    fn deprecated_ip_options_delivered_everywhere() {
+        let mut p = tcp();
+        p.ip.options = vec![IpOption::StreamId(3)];
+        let d = defects_of(&p);
+        for os in OsKind::ALL {
+            assert_eq!(OsProfile::new(os).action(&d), OsAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn xmas_flags_rst_on_windows_only() {
+        let mut p = tcp();
+        p.tcp_mut().flags = TcpFlags::XMAS;
+        let d = defects_of(&p);
+        assert_eq!(OsProfile::linux().action(&d), OsAction::Drop);
+        assert_eq!(OsProfile::macos().action(&d), OsAction::Drop);
+        assert_eq!(OsProfile::windows().action(&d), OsAction::RstResponse);
+    }
+
+    #[test]
+    fn short_udp_truncates_on_linux() {
+        let mut p = udp();
+        p.udp_mut().length = Some(10); // 2 bytes of the 8-byte payload
+        let d = defects_of(&p);
+        assert_eq!(OsProfile::linux().action(&d), OsAction::DeliverTruncated);
+        assert_eq!(OsProfile::macos().action(&d), OsAction::Drop);
+        assert_eq!(OsProfile::windows().action(&d), OsAction::Drop);
+    }
+
+    #[test]
+    fn combined_defects_hard_drop_wins() {
+        // Invalid options (deliverable on Linux) + bad IP checksum (always
+        // dropped) => dropped.
+        let mut p = tcp();
+        p.ip.options = vec![IpOption::InvalidOverrun {
+            kind: 0x99,
+            claimed_len: 44,
+        }];
+        p.ip.checksum = ChecksumSpec::Fixed(0);
+        assert_eq!(OsProfile::linux().action(&defects_of(&p)), OsAction::Drop);
+    }
+}

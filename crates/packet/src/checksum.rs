@@ -1,0 +1,157 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variants.
+//!
+//! Every header type in this crate lets the caller either compute the
+//! correct checksum or force an arbitrary (possibly wrong) value — crafting
+//! packets with deliberately bad checksums is one of lib·erate's inert-packet
+//! insertion techniques (Table 3 of the paper).
+
+use std::net::Ipv4Addr;
+
+/// How a checksum field should be filled in when serializing a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumSpec {
+    /// Compute the correct RFC 1071 checksum.
+    Auto,
+    /// Force this exact value (used to craft invalid packets).
+    Fixed(u16),
+}
+
+impl Default for ChecksumSpec {
+    fn default() -> Self {
+        ChecksumSpec::Auto
+    }
+}
+
+impl ChecksumSpec {
+    /// Resolve the spec given the correct checksum value.
+    pub fn resolve(self, correct: u16) -> u16 {
+        match self {
+            ChecksumSpec::Auto => correct,
+            ChecksumSpec::Fixed(v) => v,
+        }
+    }
+}
+
+/// One's-complement sum over `data`, folding carries, without the final
+/// complement. Useful for composing sums over several byte ranges.
+pub fn ones_complement_sum(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc
+}
+
+/// Standard Internet checksum of a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !(ones_complement_sum(data, 0) as u16)
+}
+
+/// Checksum of a TCP or UDP segment including the IPv4 pseudo-header.
+///
+/// `proto` is the IP protocol number (6 for TCP, 17 for UDP) and `segment`
+/// is the transport header plus payload with the checksum field zeroed.
+pub fn pseudo_header_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> u16 {
+    let mut acc = 0u32;
+    acc = ones_complement_sum(&src.octets(), acc);
+    acc = ones_complement_sum(&dst.octets(), acc);
+    acc += u32::from(proto);
+    // UDP length / TCP length field of the pseudo header.
+    acc += segment.len() as u32;
+    acc = ones_complement_sum(segment, acc);
+    !(acc as u16)
+}
+
+/// Verify a checksum by summing over data that *includes* the checksum
+/// field; a valid packet sums to `0xffff` before complementing.
+pub fn verify_checksum(data: &[u8]) -> bool {
+    ones_complement_sum(data, 0) == 0xffff
+}
+
+/// Verify the transport checksum of a segment (checksum field included)
+/// against the pseudo header.
+pub fn verify_pseudo_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> bool {
+    // A UDP checksum of zero means "not computed" and is legal (RFC 768).
+    if proto == 17 && segment.len() >= 8 && segment[6] == 0 && segment[7] == 0 {
+        return true;
+    }
+    let mut acc = 0u32;
+    acc = ones_complement_sum(&src.octets(), acc);
+    acc = ones_complement_sum(&dst.octets(), acc);
+    acc += u32::from(proto);
+    acc += segment.len() as u32;
+    acc = ones_complement_sum(segment, acc);
+    acc == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_sum(&data, 0);
+        assert_eq!(sum, 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(
+            internet_checksum(&[0xab]),
+            internet_checksum(&[0xab, 0x00])
+        );
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut header = vec![0x45u8, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06];
+        header.extend_from_slice(&[0, 0]); // checksum placeholder
+        header.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let ck = internet_checksum(&header);
+        header[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_checksum(&header));
+        header[0] ^= 0x01;
+        assert!(!verify_checksum(&header));
+    }
+
+    #[test]
+    fn pseudo_roundtrip_tcp() {
+        let src = Ipv4Addr::new(192, 168, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = vec![
+            0x1f, 0x90, 0x00, 0x50, // ports
+            0, 0, 0, 1, 0, 0, 0, 0, // seq/ack
+            0x50, 0x18, 0xff, 0xff, // offset/flags/window
+            0x00, 0x00, 0x00, 0x00, // checksum + urgent
+            b'h', b'i',
+        ];
+        let ck = pseudo_header_checksum(src, dst, 6, &seg);
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_pseudo_checksum(src, dst, 6, &seg));
+        seg[20] ^= 0xff;
+        assert!(!verify_pseudo_checksum(src, dst, 6, &seg));
+    }
+
+    #[test]
+    fn udp_zero_checksum_is_valid() {
+        let src = Ipv4Addr::new(1, 2, 3, 4);
+        let dst = Ipv4Addr::new(5, 6, 7, 8);
+        let seg = vec![0x00, 0x35, 0x00, 0x35, 0x00, 0x09, 0x00, 0x00, b'x'];
+        assert!(verify_pseudo_checksum(src, dst, 17, &seg));
+    }
+
+    #[test]
+    fn fixed_spec_overrides() {
+        assert_eq!(ChecksumSpec::Auto.resolve(0x1234), 0x1234);
+        assert_eq!(ChecksumSpec::Fixed(0xdead).resolve(0x1234), 0xdead);
+    }
+}

@@ -1,0 +1,308 @@
+//! IPv4 fragmentation and reassembly.
+//!
+//! Used in three places: the evasion transforms split packets into fragments
+//! ("Break packet into fragments", Table 3), endpoint stacks reassemble them
+//! per their OS profile, and some middleboxes reassemble while others give
+//! up — exactly the inconsistency lib·erate exploits.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::checksum::internet_checksum;
+use crate::ipv4::{ParsedIpv4, IPV4_MIN_HEADER_LEN};
+
+/// Split a serialized IPv4 packet into fragments whose payloads are at most
+/// `max_fragment_payload` bytes (rounded down to a multiple of 8, minimum 8).
+///
+/// Returns the original packet unchanged if it already fits or is itself a
+/// fragment with the DF bit set.
+pub fn fragment_packet(wire: &[u8], max_fragment_payload: usize) -> Vec<Vec<u8>> {
+    let Some(ip) = ParsedIpv4::parse(wire) else {
+        return vec![wire.to_vec()];
+    };
+    let header_len = ip.payload_offset;
+    let payload = &wire[header_len..];
+    let chunk = (max_fragment_payload / 8).max(1) * 8;
+    if payload.len() <= chunk {
+        return vec![wire.to_vec()];
+    }
+
+    let mut fragments = Vec::new();
+    let mut offset_units = ip.fragment_offset as usize;
+    let mut remaining = payload;
+    while !remaining.is_empty() {
+        let take = remaining.len().min(chunk);
+        let (part, rest) = remaining.split_at(take);
+        let more = !rest.is_empty() || ip.more_fragments;
+
+        let mut frag = wire[..header_len].to_vec();
+        let total_length = (header_len + part.len()) as u16;
+        frag[2..4].copy_from_slice(&total_length.to_be_bytes());
+        let mut flags_frag = (offset_units as u16) & 0x1fff;
+        if more {
+            flags_frag |= 0x2000;
+        }
+        frag[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+        frag[10..12].copy_from_slice(&[0, 0]);
+        let ck = internet_checksum(&frag[..header_len]);
+        frag[10..12].copy_from_slice(&ck.to_be_bytes());
+        frag.extend_from_slice(part);
+        fragments.push(frag);
+
+        offset_units += take / 8;
+        remaining = rest;
+    }
+    fragments
+}
+
+/// Key identifying a datagram being reassembled (RFC 791).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub identification: u16,
+    pub protocol: u8,
+}
+
+/// Policy for overlapping fragment data. Different stacks resolve overlaps
+/// differently, which NIDS-evasion work (Ptacek & Newsham) exploits; we
+/// support both so OS profiles and middleboxes can diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapPolicy {
+    /// Earlier-arriving data wins (BSD-style).
+    #[default]
+    FirstWins,
+    /// Later-arriving data wins (some middleboxes / Linux for new data).
+    LastWins,
+}
+
+struct PendingDatagram {
+    /// Received payload spans: (offset_bytes, data).
+    spans: Vec<(usize, Vec<u8>)>,
+    /// Total payload length, known once the final fragment arrives.
+    total_len: Option<usize>,
+    /// Header bytes from the first fragment (offset 0).
+    first_header: Option<Vec<u8>>,
+}
+
+/// Reassembles fragmented IPv4 datagrams.
+pub struct Reassembler {
+    policy: OverlapPolicy,
+    pending: HashMap<FragmentKey, PendingDatagram>,
+}
+
+impl Reassembler {
+    pub fn new(policy: OverlapPolicy) -> Self {
+        Reassembler {
+            policy,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Number of datagrams currently awaiting fragments.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feed one wire packet. Non-fragments are returned unchanged. Returns
+    /// `Some(complete_datagram)` when reassembly finishes, `None` while
+    /// fragments are still missing.
+    pub fn push(&mut self, wire: &[u8]) -> Option<Vec<u8>> {
+        let ip = ParsedIpv4::parse(wire)?;
+        if !ip.is_fragment() {
+            return Some(wire.to_vec());
+        }
+        let key = FragmentKey {
+            src: ip.src,
+            dst: ip.dst,
+            identification: ip.identification,
+            protocol: ip.protocol,
+        };
+        let header_len = ip.payload_offset;
+        let payload = wire[header_len..].to_vec();
+        let offset_bytes = ip.fragment_offset as usize * 8;
+
+        let entry = self.pending.entry(key).or_insert_with(|| PendingDatagram {
+            spans: Vec::new(),
+            total_len: None,
+            first_header: None,
+        });
+        if ip.fragment_offset == 0 {
+            entry.first_header = Some(wire[..header_len].to_vec());
+        }
+        if !ip.more_fragments {
+            entry.total_len = Some(offset_bytes + payload.len());
+        }
+        entry.spans.push((offset_bytes, payload));
+
+        let total = entry.total_len?;
+        let header = entry.first_header.clone()?;
+        // Try to assemble.
+        let mut buf = vec![None::<u8>; total];
+        let spans: Box<dyn Iterator<Item = &(usize, Vec<u8>)>> = match self.policy {
+            // FirstWins: apply later arrivals first so earlier overwrite...
+            // simpler: iterate in arrival order and only fill empty slots.
+            OverlapPolicy::FirstWins => Box::new(entry.spans.iter()),
+            OverlapPolicy::LastWins => Box::new(entry.spans.iter().rev()),
+        };
+        for (off, data) in spans {
+            for (i, b) in data.iter().enumerate() {
+                let idx = off + i;
+                if idx < total && buf[idx].is_none() {
+                    buf[idx] = Some(*b);
+                }
+            }
+        }
+        if buf.iter().any(|b| b.is_none()) {
+            return None; // holes remain
+        }
+        self.pending.remove(&key);
+
+        let payload: Vec<u8> = buf.into_iter().map(|b| b.unwrap()).collect();
+        let mut out = header;
+        let header_len = out.len();
+        let total_length = (header_len + payload.len()) as u16;
+        out[2..4].copy_from_slice(&total_length.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]); // clear MF + offset
+        out[10..12].copy_from_slice(&[0, 0]);
+        let ck = internet_checksum(&out[..header_len.max(IPV4_MIN_HEADER_LEN)]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+        out.extend_from_slice(&payload);
+        Some(out)
+    }
+
+    /// Drop all partially reassembled state (e.g. on timeout).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, ParsedPacket};
+    use std::net::Ipv4Addr;
+
+    fn packet_with_payload(n: usize) -> Vec<u8> {
+        let payload: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let mut p = Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            40000,
+            80,
+            1,
+            1,
+            payload,
+        );
+        p.ip.identification = 0x4242;
+        p.serialize()
+    }
+
+    #[test]
+    fn small_packet_not_fragmented() {
+        let wire = packet_with_payload(100);
+        let frags = fragment_packet(&wire, 1400);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], wire);
+    }
+
+    #[test]
+    fn fragment_and_reassemble_roundtrip() {
+        let wire = packet_with_payload(1000);
+        let frags = fragment_packet(&wire, 256);
+        assert!(frags.len() > 1);
+        // Every fragment except the last has MF set; offsets are 8-aligned.
+        for (i, f) in frags.iter().enumerate() {
+            let ip = ParsedIpv4::parse(f).unwrap();
+            assert_eq!(ip.more_fragments, i + 1 != frags.len());
+            assert!(crate::checksum::verify_checksum(&f[..ip.payload_offset]));
+        }
+        let mut reasm = Reassembler::new(OverlapPolicy::FirstWins);
+        let mut done = None;
+        for f in &frags {
+            done = reasm.push(f);
+        }
+        let done = done.expect("reassembly completes on the last fragment");
+        let orig = ParsedPacket::parse(&wire).unwrap();
+        let got = ParsedPacket::parse(&done).unwrap();
+        assert_eq!(orig.payload, got.payload);
+        assert_eq!(got.ip.fragment_offset, 0);
+        assert!(!got.ip.more_fragments);
+    }
+
+    #[test]
+    fn out_of_order_fragments_reassemble() {
+        let wire = packet_with_payload(2000);
+        let mut frags = fragment_packet(&wire, 512);
+        frags.reverse();
+        let mut reasm = Reassembler::new(OverlapPolicy::FirstWins);
+        let mut done = None;
+        for f in &frags {
+            let r = reasm.push(f);
+            if r.is_some() {
+                done = r;
+            }
+        }
+        let done = done.expect("reassembly completes");
+        assert_eq!(
+            ParsedPacket::parse(&done).unwrap().payload,
+            ParsedPacket::parse(&wire).unwrap().payload
+        );
+    }
+
+    #[test]
+    fn missing_fragment_keeps_pending() {
+        let wire = packet_with_payload(1000);
+        let frags = fragment_packet(&wire, 256);
+        let mut reasm = Reassembler::new(OverlapPolicy::FirstWins);
+        for f in frags.iter().skip(1) {
+            assert!(reasm.push(f).is_none());
+        }
+        assert_eq!(reasm.pending_count(), 1);
+        reasm.clear();
+        assert_eq!(reasm.pending_count(), 0);
+    }
+
+    #[test]
+    fn non_fragment_passes_through() {
+        let wire = packet_with_payload(64);
+        let mut reasm = Reassembler::new(OverlapPolicy::FirstWins);
+        assert_eq!(reasm.push(&wire), Some(wire));
+    }
+
+    #[test]
+    fn overlap_policies_differ() {
+        // Two fragments whose data overlaps in bytes 8..16 of the datagram
+        // payload: the first covers 0..16 with 0xaa, the second covers
+        // 8..24 with 0xbb and terminates the datagram.
+        let mk = |offset_units: u16, more: bool, fill: u8, len: usize| {
+            let mut p = Packet {
+                ip: crate::ipv4::Ipv4Header::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                ),
+                transport: crate::packet::Transport::Raw(253),
+                payload: vec![fill; len],
+            };
+            p.ip.identification = 7;
+            p.ip.fragment_offset = offset_units;
+            p.ip.more_fragments = more;
+            p.serialize()
+        };
+        let a = mk(0, true, 0xaa, 16);
+        let b = mk(1, false, 0xbb, 16); // starts at byte 8
+
+        let check = |policy: OverlapPolicy, want_overlap: u8| {
+            let mut reasm = Reassembler::new(policy);
+            assert!(reasm.push(&a).is_none());
+            let done = reasm.push(&b).unwrap();
+            let payload = &done[20..];
+            assert_eq!(payload.len(), 24);
+            assert!(payload[0..8].iter().all(|&x| x == 0xaa));
+            assert!(payload[8..16].iter().all(|&x| x == want_overlap));
+            assert!(payload[16..24].iter().all(|&x| x == 0xbb));
+        };
+        check(OverlapPolicy::FirstWins, 0xaa);
+        check(OverlapPolicy::LastWins, 0xbb);
+    }
+}

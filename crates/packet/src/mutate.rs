@@ -1,0 +1,257 @@
+//! Byte-level mutation helpers used by lib·erate's detection and
+//! characterization phases.
+//!
+//! Differentiation detection replays a trace with every payload bit
+//! *inverted* (§5.1): inversion is deterministic (unlike randomization, it
+//! cannot accidentally re-create a matching keyword) and guarantees the
+//! replay differs from the original at every bit. Characterization then
+//! "blinds" selected byte ranges the same way to binary-search for the
+//! matching fields.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+/// Invert every bit of a byte slice in place.
+pub fn invert_bits(data: &mut [u8]) {
+    for b in data.iter_mut() {
+        *b = !*b;
+    }
+}
+
+/// Invert the bits of `range` within `data`, clamped to the slice.
+pub fn invert_range(data: &mut [u8], range: Range<usize>) {
+    let start = range.start.min(data.len());
+    let end = range.end.min(data.len());
+    invert_bits(&mut data[start..end]);
+}
+
+/// Return a copy with every bit inverted.
+pub fn inverted(data: &[u8]) -> Vec<u8> {
+    data.iter().map(|b| !b).collect()
+}
+
+/// Overwrite `range` with random bytes (the fallback control strategy when a
+/// classifier detects bit inversion, §5.1 footnote 7).
+pub fn randomize_range<R: Rng>(data: &mut [u8], range: Range<usize>, rng: &mut R) {
+    let start = range.start.min(data.len());
+    let end = range.end.min(data.len());
+    rng.fill(&mut data[start..end]);
+}
+
+/// Generate `len` random bytes.
+pub fn random_bytes<R: Rng>(len: usize, rng: &mut R) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v[..]);
+    v
+}
+
+/// A half-open byte range tagged with the packet it belongs to — the unit
+/// in which characterization reports matching fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ByteRegion {
+    /// Index of the payload-bearing packet within the flow (0-based,
+    /// counting only packets in the same direction).
+    pub packet: usize,
+    /// Byte range within that packet's payload.
+    pub range: Range<usize>,
+}
+
+impl ByteRegion {
+    pub fn new(packet: usize, range: Range<usize>) -> Self {
+        ByteRegion { packet, range }
+    }
+
+    pub fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether two regions on the same packet overlap.
+    pub fn overlaps(&self, other: &ByteRegion) -> bool {
+        self.packet == other.packet
+            && self.range.start < other.range.end
+            && other.range.start < self.range.end
+    }
+}
+
+/// Merge overlapping/adjacent regions per packet into a minimal sorted set.
+pub fn merge_regions(mut regions: Vec<ByteRegion>) -> Vec<ByteRegion> {
+    regions.sort_by_key(|r| (r.packet, r.range.start, r.range.end));
+    let mut out: Vec<ByteRegion> = Vec::new();
+    for r in regions {
+        if r.is_empty() {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if last.packet == r.packet && r.range.start <= last.range.end => {
+                last.range.end = last.range.end.max(r.range.end);
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inversion_is_involution() {
+        let orig = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec();
+        let mut data = orig.clone();
+        invert_bits(&mut data);
+        assert_ne!(data, orig);
+        assert!(data.iter().zip(&orig).all(|(a, b)| *a == !*b));
+        invert_bits(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn invert_range_clamps() {
+        let mut data = vec![0u8; 4];
+        invert_range(&mut data, 2..100);
+        assert_eq!(data, vec![0, 0, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn inverted_copy_leaves_original() {
+        let orig = vec![1, 2, 3];
+        let inv = inverted(&orig);
+        assert_eq!(orig, vec![1, 2, 3]);
+        assert_eq!(inv, vec![254, 253, 252]);
+    }
+
+    #[test]
+    fn randomize_is_deterministic_with_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        randomize_range(&mut a, 0..32, &mut rng1);
+        randomize_range(&mut b, 0..32, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regions_overlap_logic() {
+        let a = ByteRegion::new(0, 0..10);
+        let b = ByteRegion::new(0, 5..15);
+        let c = ByteRegion::new(0, 10..20);
+        let d = ByteRegion::new(1, 0..10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // half-open: touching is not overlap
+        assert!(!a.overlaps(&d)); // different packet
+    }
+
+    #[test]
+    fn merge_regions_coalesces() {
+        let merged = merge_regions(vec![
+            ByteRegion::new(0, 5..15),
+            ByteRegion::new(0, 0..10),
+            ByteRegion::new(0, 15..20), // adjacent: merges
+            ByteRegion::new(1, 3..4),
+            ByteRegion::new(0, 30..30), // empty: dropped
+        ]);
+        assert_eq!(
+            merged,
+            vec![ByteRegion::new(0, 0..20), ByteRegion::new(1, 3..4)]
+        );
+    }
+}
+
+/// Replace the first occurrence of `find` with the same-length `replace`
+/// inside the transport payload of a serialized TCP packet, repairing the
+/// TCP checksum. Returns `None` if `find` is absent, lengths differ, or
+/// the packet is not plain TCP. Used to model content-modifying
+/// middleboxes (§4.1 lists content modification among the differentiation
+/// forms lib·erate detects).
+pub fn rewrite_tcp_payload(wire: &[u8], find: &[u8], replace: &[u8]) -> Option<Vec<u8>> {
+    use crate::checksum::pseudo_header_checksum;
+    use crate::ipv4::{protocol, ParsedIpv4};
+    if find.len() != replace.len() || find.is_empty() {
+        return None;
+    }
+    let ip = ParsedIpv4::parse(wire)?;
+    if ip.protocol != protocol::TCP || ip.is_fragment() {
+        return None;
+    }
+    let body_off = ip.payload_offset;
+    let body = &wire[body_off..];
+    if body.len() < crate::tcp::TCP_MIN_HEADER_LEN {
+        return None;
+    }
+    let data_off = ((body[12] >> 4) as usize * 4).clamp(20, body.len());
+    let payload_start = body_off + data_off;
+    let pos = wire[payload_start..]
+        .windows(find.len())
+        .position(|w| w == find)?;
+
+    let mut out = wire.to_vec();
+    out[payload_start + pos..payload_start + pos + find.len()].copy_from_slice(replace);
+    // Repair the TCP checksum.
+    out[body_off + 16] = 0;
+    out[body_off + 17] = 0;
+    let ck = pseudo_header_checksum(ip.src, ip.dst, protocol::TCP, &out[body_off..]);
+    out[body_off + 16..body_off + 18].copy_from_slice(&ck.to_be_bytes());
+    Some(out)
+}
+
+#[cfg(test)]
+mod rewrite_tests {
+    use super::rewrite_tcp_payload;
+    use crate::packet::{Packet, ParsedPacket};
+    use crate::validate::is_well_formed;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn rewrites_and_repairs_checksum() {
+        let pkt = Packet::tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            10,
+            80,
+            7,
+            9,
+            &b"quality=1080p;rest"[..],
+        );
+        let wire = pkt.serialize();
+        let out = rewrite_tcp_payload(&wire, b"1080p", b"0480p").unwrap();
+        assert!(is_well_formed(&out));
+        let parsed = ParsedPacket::parse(&out).unwrap();
+        assert_eq!(parsed.payload, b"quality=0480p;rest");
+        // Headers untouched.
+        assert_eq!(parsed.tcp().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn refuses_bad_inputs() {
+        let wire = Packet::tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            10,
+            80,
+            0,
+            0,
+            &b"abc"[..],
+        )
+        .serialize();
+        assert!(rewrite_tcp_payload(&wire, b"zzz", b"yyy").is_none(), "absent");
+        assert!(rewrite_tcp_payload(&wire, b"ab", b"xyz").is_none(), "length");
+        let udp = Packet::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            &b"abc"[..],
+        )
+        .serialize();
+        assert!(rewrite_tcp_payload(&udp, b"ab", b"xy").is_none(), "not tcp");
+    }
+}

@@ -1,0 +1,311 @@
+//! Packet-level validation: every structural check a host, router, or
+//! middlebox *could* perform, reported individually.
+//!
+//! The paper's central observation is that different devices perform
+//! different subsets of these checks (§4.3, Table 3): the testbed DPI box
+//! skips most of them, the GFC performs nearly all, endpoints' OSes each
+//! have their own set. Consumers therefore receive the full list of
+//! [`Malformation`]s and apply their own policy about which ones matter.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::checksum::{verify_checksum, verify_pseudo_checksum};
+use crate::ipv4::{protocol, scan_options, OptionScan, ParsedIpv4, IPV4_MIN_HEADER_LEN};
+use crate::packet::{ParsedPacket, ParsedTransport};
+use crate::tcp::TCP_MIN_HEADER_LEN;
+use crate::udp::UDP_HEADER_LEN;
+
+/// A structural defect in a single packet. The variants map one-to-one onto
+/// the inert-packet rows of Table 3 (flow-context defects such as a wrong
+/// sequence number are judged by stateful components, not here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Malformation {
+    /// IP version field is not 4.
+    IpVersionInvalid,
+    /// IHL below 5, or the claimed header length overruns the packet.
+    IpHeaderLengthInvalid,
+    /// Total-length field claims more bytes than were received.
+    IpTotalLengthLong,
+    /// Total-length field claims fewer bytes than were received.
+    IpTotalLengthShort,
+    /// IP header checksum does not verify.
+    IpChecksumWrong,
+    /// Structurally invalid IP options.
+    IpOptionsInvalid,
+    /// Deprecated (RFC 6814) IP options such as Stream ID or Security.
+    IpOptionsDeprecated,
+    /// Protocol number is not TCP, UDP, or ICMP.
+    IpProtocolUnknown,
+    /// TTL is zero on arrival.
+    TtlExpired,
+    /// TCP checksum does not verify against the pseudo header.
+    TcpChecksumWrong,
+    /// TCP data offset below 5 or overrunning the segment.
+    TcpDataOffsetInvalid,
+    /// A flag combination no compliant stack emits (SYN+FIN, none, ...).
+    TcpFlagsInvalid,
+    /// A data-bearing, non-SYN, non-RST segment without the ACK flag
+    /// (RFC 793 requires ACK on established-state segments).
+    TcpAckFlagMissing,
+    /// Truncated transport header.
+    TransportTruncated,
+    /// UDP checksum present but wrong.
+    UdpChecksumWrong,
+    /// UDP length field claims more bytes than were received.
+    UdpLengthLong,
+    /// UDP length field claims fewer bytes than were received.
+    UdpLengthShort,
+}
+
+/// An ordered set of malformations found in one packet.
+pub type MalformationSet = BTreeSet<Malformation>;
+
+/// Run every structural check against raw wire bytes.
+///
+/// Checks on the transport layer are skipped for *all* fragments: a
+/// non-first fragment carries no transport header, and a first fragment
+/// (MF set) carries only part of the segment, so its transport checksum
+/// cannot be verified by any on-path device.
+pub fn validate_wire(buf: &[u8]) -> MalformationSet {
+    let mut out = MalformationSet::new();
+    let Some(pkt) = ParsedPacket::parse(buf) else {
+        out.insert(Malformation::IpHeaderLengthInvalid);
+        return out;
+    };
+    validate_ip(&pkt.ip, buf, &mut out);
+    if !pkt.ip.is_fragment() {
+        validate_transport(&pkt, buf, &mut out);
+    }
+    out
+}
+
+fn validate_ip(ip: &ParsedIpv4, buf: &[u8], out: &mut MalformationSet) {
+    if ip.version != 4 {
+        out.insert(Malformation::IpVersionInvalid);
+    }
+    if ip.ihl < 5 || ip.claimed_header_len() > buf.len() {
+        out.insert(Malformation::IpHeaderLengthInvalid);
+    }
+    let total = ip.total_length as usize;
+    if total > buf.len() {
+        out.insert(Malformation::IpTotalLengthLong);
+    }
+    if total < buf.len() && total >= IPV4_MIN_HEADER_LEN {
+        out.insert(Malformation::IpTotalLengthShort);
+    }
+    if total < IPV4_MIN_HEADER_LEN {
+        out.insert(Malformation::IpTotalLengthShort);
+    }
+    let header_end = ip.claimed_header_len().min(buf.len()).max(IPV4_MIN_HEADER_LEN);
+    if buf.len() >= IPV4_MIN_HEADER_LEN && !verify_checksum(&buf[..header_end]) {
+        out.insert(Malformation::IpChecksumWrong);
+    }
+    match scan_options(&ip.options) {
+        OptionScan::Invalid => {
+            out.insert(Malformation::IpOptionsInvalid);
+        }
+        OptionScan::Deprecated => {
+            out.insert(Malformation::IpOptionsDeprecated);
+        }
+        OptionScan::None | OptionScan::Valid => {}
+    }
+    if !matches!(ip.protocol, protocol::TCP | protocol::UDP | protocol::ICMP) {
+        out.insert(Malformation::IpProtocolUnknown);
+    }
+    if ip.ttl == 0 {
+        out.insert(Malformation::TtlExpired);
+    }
+}
+
+fn validate_transport(pkt: &ParsedPacket, buf: &[u8], out: &mut MalformationSet) {
+    let body = &buf[pkt.ip.payload_offset.min(buf.len())..];
+    match &pkt.transport {
+        ParsedTransport::Tcp(t) => {
+            if !verify_pseudo_checksum(pkt.ip.src, pkt.ip.dst, protocol::TCP, body) {
+                out.insert(Malformation::TcpChecksumWrong);
+            }
+            if t.data_offset < 5 || t.claimed_header_len() > body.len() {
+                out.insert(Malformation::TcpDataOffsetInvalid);
+            }
+            if t.flags.is_invalid_combination() {
+                out.insert(Malformation::TcpFlagsInvalid);
+            }
+            if !pkt.payload.is_empty() && !t.flags.ack && !t.flags.syn && !t.flags.rst {
+                out.insert(Malformation::TcpAckFlagMissing);
+            }
+        }
+        ParsedTransport::Udp(u) => {
+            if !verify_pseudo_checksum(pkt.ip.src, pkt.ip.dst, protocol::UDP, body) {
+                out.insert(Malformation::UdpChecksumWrong);
+            }
+            let claimed = u.length as usize;
+            if claimed > body.len() {
+                out.insert(Malformation::UdpLengthLong);
+            }
+            if claimed < body.len() || claimed < UDP_HEADER_LEN {
+                out.insert(Malformation::UdpLengthShort);
+            }
+        }
+        ParsedTransport::Other(proto) => {
+            // A truncated TCP/UDP header parses as Other.
+            if (*proto == protocol::TCP && body.len() < TCP_MIN_HEADER_LEN)
+                || (*proto == protocol::UDP && body.len() < UDP_HEADER_LEN)
+            {
+                out.insert(Malformation::TransportTruncated);
+            }
+        }
+    }
+}
+
+/// True when a packet is fully well-formed.
+pub fn is_well_formed(buf: &[u8]) -> bool {
+    validate_wire(buf).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::ChecksumSpec;
+    use crate::ipv4::IpOption;
+    use crate::packet::Packet;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn base_tcp() -> Packet {
+        Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            40000,
+            80,
+            1,
+            1,
+            &b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..],
+        )
+    }
+
+    fn base_udp() -> Packet {
+        Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            3478,
+            3478,
+            &b"payload"[..],
+        )
+    }
+
+    #[test]
+    fn well_formed_packets_pass() {
+        assert!(is_well_formed(&base_tcp().serialize()));
+        assert!(is_well_formed(&base_udp().serialize()));
+    }
+
+    #[test]
+    fn each_ip_defect_is_detected() {
+        let mut p = base_tcp();
+        p.ip.version = 7;
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpVersionInvalid));
+
+        let mut p = base_tcp();
+        p.ip.ihl = Some(3);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpHeaderLengthInvalid));
+
+        let mut p = base_tcp();
+        p.ip.total_length = Some(4000);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpTotalLengthLong));
+
+        let mut p = base_tcp();
+        p.ip.total_length = Some(24);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpTotalLengthShort));
+
+        let mut p = base_tcp();
+        p.ip.checksum = ChecksumSpec::Fixed(0x1111);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpChecksumWrong));
+
+        let mut p = base_tcp();
+        p.ip.options = vec![IpOption::InvalidOverrun {
+            kind: 0x99,
+            claimed_len: 60,
+        }];
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpOptionsInvalid));
+
+        let mut p = base_tcp();
+        p.ip.options = vec![IpOption::StreamId(1)];
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpOptionsDeprecated));
+
+        let mut p = base_tcp();
+        p.ip.protocol = Some(253);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::IpProtocolUnknown));
+
+        let mut p = base_tcp();
+        p.ip.ttl = 0;
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::TtlExpired));
+    }
+
+    #[test]
+    fn each_tcp_defect_is_detected() {
+        let mut p = base_tcp();
+        p.tcp_mut().checksum = ChecksumSpec::Fixed(0x2222);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::TcpChecksumWrong));
+
+        let mut p = base_tcp();
+        p.tcp_mut().data_offset = Some(12);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::TcpDataOffsetInvalid));
+
+        let mut p = base_tcp();
+        p.tcp_mut().flags = TcpFlags::XMAS;
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::TcpFlagsInvalid));
+
+        let mut p = base_tcp();
+        p.tcp_mut().flags = TcpFlags::PSH_ONLY;
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::TcpAckFlagMissing));
+    }
+
+    #[test]
+    fn each_udp_defect_is_detected() {
+        let mut p = base_udp();
+        p.udp_mut().checksum = ChecksumSpec::Fixed(0x3333);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::UdpChecksumWrong));
+
+        let mut p = base_udp();
+        p.udp_mut().length = Some(500);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::UdpLengthLong));
+
+        let mut p = base_udp();
+        p.udp_mut().length = Some(9);
+        assert!(validate_wire(&p.serialize()).contains(&Malformation::UdpLengthShort));
+    }
+
+    #[test]
+    fn syn_without_ack_is_fine() {
+        let mut p = base_tcp();
+        p.payload.clear();
+        p.tcp_mut().flags = TcpFlags::SYN;
+        assert!(is_well_formed(&p.serialize()));
+    }
+
+    #[test]
+    fn fragments_skip_transport_checks() {
+        let mut p = base_tcp();
+        p.ip.fragment_offset = 10;
+        // The "TCP header" bytes are now mid-stream payload; no TCP checks.
+        let set = validate_wire(&p.serialize());
+        assert!(!set.contains(&Malformation::TcpChecksumWrong));
+    }
+
+    #[test]
+    fn multiple_defects_all_reported() {
+        let mut p = base_tcp();
+        p.ip.ttl = 0;
+        p.ip.checksum = ChecksumSpec::Fixed(1);
+        p.tcp_mut().flags = TcpFlags::XMAS;
+        let set = validate_wire(&p.serialize());
+        assert!(set.contains(&Malformation::TtlExpired));
+        assert!(set.contains(&Malformation::IpChecksumWrong));
+        assert!(set.contains(&Malformation::TcpFlagsInvalid));
+        assert!(set.len() >= 3);
+    }
+}

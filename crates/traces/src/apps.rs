@@ -1,0 +1,327 @@
+//! The built-in application trace library (§5: "we can provide built-in
+//! traces that are distributed with the tool").
+//!
+//! Each builder produces a wire-accurate trace carrying exactly the
+//! features the paper's classifiers matched on:
+//!
+//! | App | Feature | Paper |
+//! |---|---|---|
+//! | Amazon Prime Video | `cloudfront.net` Host header | §6.2 |
+//! | YouTube (HTTPS) | `.googlevideo.com` TLS SNI | §6.2 |
+//! | YouTube (QUIC) | UDP long-header packets | §6.2 |
+//! | Spotify | `spotify.com` Host + audio content type | §6.1 |
+//! | NBC Sports | HTTP + `Content-Type: video` response | §6.3 |
+//! | Skype | STUN `MS-SERVICE-QUALITY` (0x8055) in first packet | §6.1 |
+//! | economist.com | `GET` + `economist.com` Host (GFC-blocked) | §6.5 |
+//! | facebook.com | `facebook.com` Host (Iran-blocked) | §6.6 |
+
+
+use crate::http::{get_request, response};
+use crate::quic::initial_packet;
+use crate::recorded::{RecordedTrace, Sender, TraceMessage, TraceProtocol};
+use crate::stun::{StunMessage, ATTR_MS_SERVICE_QUALITY, ATTR_MS_VERSION, BINDING_RESPONSE};
+use crate::tls::{client_hello, server_hello_and_data};
+
+/// Deterministic pseudo-video bytes (looks like compressed media: no long
+/// runs, not valid UTF-8).
+pub fn media_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+/// Amazon Prime Video over HTTP: GET with a CloudFront Host header and a
+/// `video/mp4` response of `video_bytes` bytes.
+pub fn amazon_prime_http(video_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("AmazonPrimeVideo", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request(
+            "d25xi40x97liuc.cloudfront.net",
+            "/dm/2$HDR/video/segment-0001.mp4",
+            "AmazonPrimeVideo/5.0 AndroidTV",
+        ),
+    );
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "video/mp4", &media_bytes(video_bytes, 0xA11CE)),
+    );
+    t
+}
+
+/// Spotify over HTTP: audio streaming via a spotify CDN hostname.
+pub fn spotify_http(audio_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("Spotify", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request(
+            "audio-fa.scdn.co.spotify.com",
+            "/audio/track-9f3a.ogg",
+            "Spotify/8.8 Android/33",
+        ),
+    );
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "audio/ogg", &media_bytes(audio_bytes, 0x5707)),
+    );
+    t
+}
+
+/// ESPN streaming video over HTTP (a testbed §6.1 application).
+pub fn espn_http(video_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("ESPN", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request(
+            "vod.espncdn.com",
+            "/hls/2023/segment-19.ts",
+            "ESPN/6.2 iOS/16",
+        ),
+    );
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "video/MP2T", &media_bytes(video_bytes, 0xE592)),
+    );
+    t
+}
+
+/// NBC Sports over HTTP — the AT&T Stream Saver case study (§6.3): the
+/// classifier matches standard HTTP tokens client-side and
+/// `Content-Type: video` server-side.
+pub fn nbcsports_http(video_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("NBCSports", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request(
+            "stream.nbcsports.com",
+            "/events/live/master-1080.m3u8",
+            "NBCSports/7.1",
+        ),
+    );
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "video/mp4", &media_bytes(video_bytes, 0x2bc5)),
+    );
+    t
+}
+
+/// YouTube over HTTPS: TLS ClientHello with a `.googlevideo.com` SNI, then
+/// opaque records both ways.
+pub fn youtube_https(video_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("YouTube", TraceProtocol::Tcp, 443);
+    t.push_stream(
+        Sender::Client,
+        &client_hello("r4---sn-p5qlsnsr.googlevideo.com"),
+    );
+    t.push_stream(Sender::Server, &server_hello_and_data(2048));
+    // Client finished + request records (opaque).
+    t.push_stream(Sender::Client, &media_bytes(512, 0x7007));
+    // Server "video" records.
+    t.push_stream(Sender::Server, &media_bytes(video_bytes, 0x77be));
+    t
+}
+
+/// YouTube over QUIC (UDP): not classified by T-Mobile or the GFC — the
+/// easy evasion path the paper highlights.
+pub fn youtube_quic(video_bytes: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("YouTube-QUIC", TraceProtocol::Udp, 443);
+    t.push_message(TraceMessage::client(initial_packet(0x42, 1180)));
+    t.push_message(TraceMessage::server(initial_packet(0x43, 1180)));
+    for (i, chunk) in media_bytes(video_bytes, 0x9019).chunks(1200).enumerate() {
+        let sender = if i % 20 == 0 {
+            Sender::Client // occasional ACK-carrying datagram
+        } else {
+            Sender::Server
+        };
+        t.push_message(TraceMessage {
+            sender,
+            payload: chunk.to_vec(),
+            gap_micros: 0,
+        });
+    }
+    t
+}
+
+/// Skype: STUN binding request carrying `MS-SERVICE-QUALITY` in the first
+/// client packet, a binding response, then bidirectional voice datagrams.
+pub fn skype_stun(voice_packets: usize) -> RecordedTrace {
+    let mut t = RecordedTrace::new("Skype", TraceProtocol::Udp, 3478);
+    let req = StunMessage::binding_request(0x5c)
+        .with_attribute(ATTR_MS_VERSION, vec![0, 0, 0, 6])
+        .with_attribute(ATTR_MS_SERVICE_QUALITY, vec![0, 1, 0, 0]);
+    t.push_message(TraceMessage::client(req.encode()));
+    let mut resp = StunMessage::binding_request(0x5d);
+    resp.message_type = BINDING_RESPONSE;
+    t.push_message(TraceMessage::server(resp.encode()));
+    for i in 0..voice_packets {
+        let payload = media_bytes(160, 0x70 + i as u64);
+        let msg = TraceMessage {
+            sender: if i % 2 == 0 {
+                Sender::Client
+            } else {
+                Sender::Server
+            },
+            payload,
+            gap_micros: 20_000, // 20 ms voice frames
+        };
+        t.push_message(msg);
+    }
+    t
+}
+
+/// A GFC-censored website fetch: `GET` + `economist.com` Host (§6.5).
+pub fn economist_http() -> RecordedTrace {
+    let mut t = RecordedTrace::new("economist.com", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request("www.economist.com", "/weeklyedition", "Mozilla/5.0"),
+    );
+    t.push_stream(
+        Sender::Server,
+        &response(
+            200,
+            "OK",
+            "text/html",
+            &page_bytes(64_000),
+        ),
+    );
+    t
+}
+
+/// An Iran-censored website fetch: `facebook.com` Host on port 80 (§6.6).
+pub fn facebook_http() -> RecordedTrace {
+    let mut t = RecordedTrace::new("facebook.com", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request("www.facebook.com", "/", "Mozilla/5.0"),
+    );
+    t.push_stream(Sender::Server, &response(200, "OK", "text/html", &page_bytes(48_000)));
+    t
+}
+
+/// A benign control site no classifier matches.
+pub fn control_http() -> RecordedTrace {
+    let mut t = RecordedTrace::new("control", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        &get_request("www.example.org", "/index.html", "Mozilla/5.0"),
+    );
+    t.push_stream(Sender::Server, &response(200, "OK", "text/html", &page_bytes(8_000)));
+    t
+}
+
+/// Deterministic compressible HTML-ish page content.
+fn page_bytes(len: usize) -> Vec<u8> {
+    let template = b"<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit.</p>\n";
+    template.iter().copied().cycle().take(len).collect()
+}
+
+/// All built-in traces with small payloads, for tests and demos.
+pub fn builtin_traces() -> Vec<RecordedTrace> {
+    vec![
+        amazon_prime_http(200_000),
+        spotify_http(100_000),
+        espn_http(200_000),
+        nbcsports_http(200_000),
+        youtube_https(200_000),
+        youtube_quic(100_000),
+        skype_stun(50),
+        economist_http(),
+        facebook_http(),
+        control_http(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::ParsedRequest;
+    use crate::tls::extract_sni;
+
+    #[test]
+    fn prime_video_has_cloudfront_host() {
+        let t = amazon_prime_http(10_000);
+        let req = ParsedRequest::parse(&t.messages[0].payload).unwrap();
+        assert!(req.header("Host").unwrap().contains("cloudfront.net"));
+        assert!(t.total_bytes() > 10_000);
+    }
+
+    #[test]
+    fn youtube_sni_is_googlevideo() {
+        let t = youtube_https(10_000);
+        let sni = extract_sni(&t.messages[0].payload).unwrap();
+        assert!(sni.ends_with(".googlevideo.com"));
+    }
+
+    #[test]
+    fn skype_first_packet_has_service_quality() {
+        let t = skype_stun(10);
+        let first = &t.messages[0];
+        assert_eq!(first.sender, Sender::Client);
+        let msg = StunMessage::decode(&first.payload).unwrap();
+        assert!(msg.attribute(ATTR_MS_SERVICE_QUALITY).is_some());
+        // Voice frames carry 20 ms gaps.
+        assert_eq!(t.messages[2].gap_micros, 20_000);
+    }
+
+    #[test]
+    fn censored_sites_carry_keywords() {
+        let gfc = economist_http();
+        let stream = gfc.client_stream();
+        assert!(crate::http::find(&stream, b"economist.com").is_some());
+        let iran = facebook_http();
+        assert!(crate::http::find(&iran.client_stream(), b"facebook.com").is_some());
+        assert_eq!(iran.server_port, 80);
+    }
+
+    #[test]
+    fn quic_trace_is_udp_with_long_headers() {
+        let t = youtube_quic(5_000);
+        assert_eq!(t.protocol, TraceProtocol::Udp);
+        assert!(crate::quic::looks_like_quic(&t.messages[0].payload));
+    }
+
+    #[test]
+    fn control_has_no_target_keywords() {
+        let c = control_http();
+        let stream = c.client_stream();
+        for kw in [
+            &b"cloudfront"[..],
+            b"googlevideo",
+            b"economist",
+            b"facebook",
+            b"spotify",
+        ] {
+            assert!(crate::http::find(&stream, kw).is_none());
+        }
+    }
+
+    #[test]
+    fn builtins_are_nonempty_and_named() {
+        let all = builtin_traces();
+        assert_eq!(all.len(), 10);
+        for t in &all {
+            assert!(!t.messages.is_empty(), "{} empty", t.app);
+            assert!(t.client_bytes() > 0, "{} no client bytes", t.app);
+        }
+    }
+
+    #[test]
+    fn media_bytes_deterministic_and_diverse() {
+        let a = media_bytes(4096, 1);
+        assert_eq!(a, media_bytes(4096, 1));
+        assert_ne!(a, media_bytes(4096, 2));
+        // Entropy sanity: at least 200 distinct byte values.
+        let mut seen = [false; 256];
+        for b in &a {
+            seen[*b as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 200);
+    }
+}

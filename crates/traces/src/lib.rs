@@ -1,0 +1,25 @@
+//! # liberate-traces
+//!
+//! Synthetic but wire-accurate application traffic for the lib·erate
+//! reproduction. The paper records real application flows (YouTube, Amazon
+//! Prime Video, Spotify, Skype, blocked websites); this crate generates
+//! equivalents that carry the *exact features the classifiers match on* —
+//! HTTP Host headers, TLS SNI extensions, STUN attributes — in their real
+//! wire encodings, so lib·erate's characterization discovers them the same
+//! way it would in recorded traffic.
+
+pub mod apps;
+pub mod generator;
+pub mod http;
+pub mod quic;
+pub mod recorded;
+pub mod stun;
+pub mod tls;
+
+pub mod prelude {
+    pub use crate::apps;
+    pub use crate::generator::{generate, generate_udp_stream, ContentClass, WorkloadSpec};
+    pub use crate::recorded::{
+        RecordedTrace, Sender, TraceMessage, TraceProtocol, RECORD_MSS,
+    };
+}

@@ -1,0 +1,50 @@
+//! A QUIC-like UDP long-header packet: just enough structure for a DPI
+//! engine to recognize (or, as the paper found, fail to classify).
+//!
+//! §6.2/§6.5: neither T-Mobile nor the GFC classified UDP traffic at all,
+//! so "YouTube over QUIC" evades both — the traces need a QUIC-shaped
+//! packet to demonstrate it.
+
+/// Build a QUIC-like Initial packet: long header form bit + version +
+/// connection IDs + pseudo-random payload.
+pub fn initial_packet(dcid_seed: u8, payload_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(7 + 8 + 8 + payload_len);
+    out.push(0xc3); // long header, fixed bit, Initial type
+    out.extend_from_slice(&0x0000_0001u32.to_be_bytes()); // version 1
+    out.push(8); // DCID length
+    out.extend((0..8).map(|i| dcid_seed.wrapping_add(i * 17)));
+    out.push(8); // SCID length
+    out.extend((0..8).map(|i| dcid_seed.wrapping_mul(3).wrapping_add(i * 29)));
+    // Pseudo-encrypted payload (deterministic).
+    out.extend((0..payload_len).map(|i| ((i * 131 + dcid_seed as usize * 7) % 251) as u8));
+    out
+}
+
+/// Whether bytes look like a QUIC long-header packet.
+pub fn looks_like_quic(data: &[u8]) -> bool {
+    data.len() >= 7 && data[0] & 0xc0 == 0xc0 && u32::from_be_bytes([data[1], data[2], data[3], data[4]]) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_recognizable() {
+        let pkt = initial_packet(5, 1200);
+        assert!(looks_like_quic(&pkt));
+        assert_eq!(pkt.len(), 7 + 1 + 8 + 1 + 8 + 1200 - 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(initial_packet(1, 100), initial_packet(1, 100));
+        assert_ne!(initial_packet(1, 100), initial_packet(2, 100));
+    }
+
+    #[test]
+    fn http_is_not_quic() {
+        assert!(!looks_like_quic(b"GET / HTTP/1.1\r\n"));
+        assert!(!looks_like_quic(&[]));
+    }
+}

@@ -1,0 +1,196 @@
+//! STUN message encoding/decoding (RFC 5389 framing) including Microsoft's
+//! proprietary attributes.
+//!
+//! The testbed DPI device classifies Skype by finding the
+//! `MS-SERVICE-QUALITY` attribute (type `0x8055`) in the **first** client
+//! packet of a UDP flow (§6.1) — so the Skype trace must be a structurally
+//! valid STUN binding request carrying that attribute.
+
+/// STUN magic cookie (RFC 5389).
+pub const MAGIC_COOKIE: u32 = 0x2112_A442;
+/// Binding Request message type.
+pub const BINDING_REQUEST: u16 = 0x0001;
+/// Binding Success Response message type.
+pub const BINDING_RESPONSE: u16 = 0x0101;
+/// Microsoft MS-SERVICE-QUALITY attribute (MS-TURN extensions).
+pub const ATTR_MS_SERVICE_QUALITY: u16 = 0x8055;
+/// Microsoft MS-VERSION attribute.
+pub const ATTR_MS_VERSION: u16 = 0x8008;
+/// SOFTWARE attribute (RFC 5389).
+pub const ATTR_SOFTWARE: u16 = 0x8022;
+
+/// One STUN attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StunAttribute {
+    pub attr_type: u16,
+    pub value: Vec<u8>,
+}
+
+/// A STUN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StunMessage {
+    pub message_type: u16,
+    pub transaction_id: [u8; 12],
+    pub attributes: Vec<StunAttribute>,
+}
+
+impl StunMessage {
+    /// A binding request with a deterministic transaction id.
+    pub fn binding_request(seed: u8) -> StunMessage {
+        let mut txn = [0u8; 12];
+        for (i, b) in txn.iter_mut().enumerate() {
+            *b = seed.wrapping_mul(31).wrapping_add(i as u8 * 7);
+        }
+        StunMessage {
+            message_type: BINDING_REQUEST,
+            transaction_id: txn,
+            attributes: Vec::new(),
+        }
+    }
+
+    pub fn with_attribute(mut self, attr_type: u16, value: impl Into<Vec<u8>>) -> StunMessage {
+        self.attributes.push(StunAttribute {
+            attr_type,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut attrs = Vec::new();
+        for a in &self.attributes {
+            attrs.extend_from_slice(&a.attr_type.to_be_bytes());
+            attrs.extend_from_slice(&(a.value.len() as u16).to_be_bytes());
+            attrs.extend_from_slice(&a.value);
+            while attrs.len() % 4 != 0 {
+                attrs.push(0); // attributes are 32-bit aligned
+            }
+        }
+        let mut out = Vec::with_capacity(20 + attrs.len());
+        out.extend_from_slice(&self.message_type.to_be_bytes());
+        out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        out.extend_from_slice(&MAGIC_COOKIE.to_be_bytes());
+        out.extend_from_slice(&self.transaction_id);
+        out.extend_from_slice(&attrs);
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(data: &[u8]) -> Option<StunMessage> {
+        if data.len() < 20 {
+            return None;
+        }
+        let message_type = u16::from_be_bytes([data[0], data[1]]);
+        let length = u16::from_be_bytes([data[2], data[3]]) as usize;
+        let cookie = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+        if cookie != MAGIC_COOKIE || 20 + length > data.len() {
+            return None;
+        }
+        let mut transaction_id = [0u8; 12];
+        transaction_id.copy_from_slice(&data[8..20]);
+        let mut attributes = Vec::new();
+        let mut i = 20;
+        let end = 20 + length;
+        while i + 4 <= end {
+            let attr_type = u16::from_be_bytes([data[i], data[i + 1]]);
+            let alen = u16::from_be_bytes([data[i + 2], data[i + 3]]) as usize;
+            i += 4;
+            if i + alen > end {
+                return None;
+            }
+            attributes.push(StunAttribute {
+                attr_type,
+                value: data[i..i + alen].to_vec(),
+            });
+            i += alen;
+            i += (4 - (alen % 4)) % 4; // skip padding
+        }
+        Some(StunMessage {
+            message_type,
+            transaction_id,
+            attributes,
+        })
+    }
+
+    pub fn attribute(&self, attr_type: u16) -> Option<&[u8]> {
+        self.attributes
+            .iter()
+            .find(|a| a.attr_type == attr_type)
+            .map(|a| a.value.as_slice())
+    }
+}
+
+/// The byte offset range where a given attribute's *type field* sits inside
+/// an encoded message — the matching field the testbed classifier keys on.
+pub fn attribute_type_range(encoded: &[u8], attr_type: u16) -> Option<std::ops::Range<usize>> {
+    let needle = attr_type.to_be_bytes();
+    let mut i = 20;
+    while i + 4 <= encoded.len() {
+        if encoded[i..i + 2] == needle {
+            return Some(i..i + 2);
+        }
+        let alen = u16::from_be_bytes([encoded[i + 2], encoded[i + 3]]) as usize;
+        i += 4 + alen + (4 - (alen % 4)) % 4;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skype_like() -> StunMessage {
+        StunMessage::binding_request(3)
+            .with_attribute(ATTR_MS_VERSION, vec![0, 0, 0, 6])
+            .with_attribute(ATTR_MS_SERVICE_QUALITY, vec![0, 1, 0, 0])
+            .with_attribute(ATTR_SOFTWARE, &b"Skype"[..])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = skype_like();
+        let decoded = StunMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn service_quality_attribute_present() {
+        let msg = skype_like();
+        assert_eq!(
+            msg.attribute(ATTR_MS_SERVICE_QUALITY),
+            Some(&[0, 1, 0, 0][..])
+        );
+        let wire = msg.encode();
+        // The classifier looks for the raw 0x8055 type bytes.
+        let range = attribute_type_range(&wire, ATTR_MS_SERVICE_QUALITY).unwrap();
+        assert_eq!(&wire[range], &[0x80, 0x55]);
+    }
+
+    #[test]
+    fn padding_keeps_alignment() {
+        let msg = StunMessage::binding_request(1).with_attribute(ATTR_SOFTWARE, &b"abc"[..]);
+        let wire = msg.encode();
+        assert_eq!(wire.len() % 4, 0);
+        let decoded = StunMessage::decode(&wire).unwrap();
+        assert_eq!(decoded.attribute(ATTR_SOFTWARE), Some(&b"abc"[..]));
+    }
+
+    #[test]
+    fn decode_rejects_bad_cookie_and_truncation() {
+        let mut wire = skype_like().encode();
+        wire[4] ^= 0xff;
+        assert!(StunMessage::decode(&wire).is_none());
+
+        let wire = skype_like().encode();
+        assert!(StunMessage::decode(&wire[..10]).is_none());
+    }
+
+    #[test]
+    fn binding_response_type() {
+        let mut msg = StunMessage::binding_request(9);
+        msg.message_type = BINDING_RESPONSE;
+        let decoded = StunMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.message_type, BINDING_RESPONSE);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the application-traffic encoders: parsers are
+//! total, encoders round-trip, generated traces keep their invariants.
+
+use proptest::prelude::*;
+
+use liberate_traces::http::{get_request, header_value_range, ParsedRequest};
+use liberate_traces::recorded::{RecordedTrace, Sender, TraceProtocol, RECORD_MSS};
+use liberate_traces::stun::{StunMessage, ATTR_SOFTWARE};
+use liberate_traces::tls::{client_hello, extract_sni};
+
+fn hostname() -> impl Strategy<Value = String> {
+    "[a-z]{1,12}(\\.[a-z]{2,10}){1,3}"
+}
+
+proptest! {
+    /// TLS SNI round-trips through a full ClientHello for any hostname.
+    #[test]
+    fn sni_roundtrip(host in hostname()) {
+        let hello = client_hello(&host);
+        let sni = extract_sni(&hello);
+        prop_assert_eq!(sni.as_deref(), Some(host.as_str()));
+    }
+
+    /// The SNI extractor is total on arbitrary bytes.
+    #[test]
+    fn sni_extractor_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = extract_sni(&bytes);
+    }
+
+    /// STUN encode/decode round-trips with arbitrary attributes.
+    #[test]
+    fn stun_roundtrip(
+        seed in any::<u8>(),
+        attrs in proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..8,
+        ),
+    ) {
+        let mut msg = StunMessage::binding_request(seed);
+        for (t, v) in &attrs {
+            msg = msg.with_attribute(*t, v.clone());
+        }
+        let decoded = StunMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The STUN decoder is total on arbitrary bytes.
+    #[test]
+    fn stun_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = StunMessage::decode(&bytes);
+    }
+
+    /// HTTP requests round-trip through the parser, and header ranges
+    /// point exactly at their values.
+    #[test]
+    fn http_request_roundtrip(
+        host in hostname(),
+        path in "/[a-z0-9/._-]{0,40}",
+        ua in "[a-zA-Z0-9/. -]{1,30}",
+    ) {
+        let req = get_request(&host, &path, ua.trim());
+        let parsed = ParsedRequest::parse(&req).unwrap();
+        prop_assert_eq!(parsed.method.as_str(), "GET");
+        prop_assert_eq!(parsed.path.as_str(), path.as_str());
+        prop_assert_eq!(parsed.header("Host"), Some(host.as_str()));
+        let r = header_value_range(&req, "Host").unwrap();
+        prop_assert_eq!(&req[r], host.as_bytes());
+        let r = header_value_range(&req, "User-Agent").unwrap();
+        prop_assert_eq!(&req[r], ua.trim().as_bytes());
+    }
+
+    /// The HTTP request parser is total on arbitrary bytes.
+    #[test]
+    fn http_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ParsedRequest::parse(&bytes);
+        let _ = header_value_range(&bytes, "Host");
+    }
+
+    /// push_stream chunking: all chunks <= MSS, concatenation exact,
+    /// direction filters consistent.
+    #[test]
+    fn trace_chunking_invariants(
+        client in proptest::collection::vec(any::<u8>(), 1..10_000),
+        server in proptest::collection::vec(any::<u8>(), 1..10_000),
+    ) {
+        let mut t = RecordedTrace::new("p", TraceProtocol::Tcp, 80);
+        t.push_stream(Sender::Client, &client);
+        t.push_stream(Sender::Server, &server);
+        prop_assert!(t.messages.iter().all(|m| m.payload.len() <= RECORD_MSS));
+        prop_assert_eq!(t.client_stream(), client.clone());
+        prop_assert_eq!(t.client_bytes(), client.len());
+        prop_assert_eq!(t.total_bytes(), client.len() + server.len());
+        let from_server: usize = t.server_messages().map(|m| m.payload.len()).sum();
+        prop_assert_eq!(from_server, server.len());
+    }
+
+    /// The workload generator is a pure function of its spec.
+    #[test]
+    fn generator_deterministic(seed in any::<u64>(), bytes in 1usize..50_000) {
+        use liberate_traces::generator::{generate, WorkloadSpec};
+        let spec = WorkloadSpec { seed, server_bytes: bytes, ..Default::default() };
+        prop_assert_eq!(generate(&spec), generate(&spec));
+    }
+
+    /// STUN software attribute is recoverable and padding never corrupts
+    /// neighbors.
+    #[test]
+    fn stun_padding_isolated(
+        s1 in proptest::collection::vec(any::<u8>(), 1..7),
+        s2 in proptest::collection::vec(any::<u8>(), 1..7),
+    ) {
+        let msg = StunMessage::binding_request(1)
+            .with_attribute(ATTR_SOFTWARE, s1.clone())
+            .with_attribute(0x9999, s2.clone());
+        let decoded = StunMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded.attribute(ATTR_SOFTWARE), Some(s1.as_slice()));
+        prop_assert_eq!(decoded.attribute(0x9999), Some(s2.as_slice()));
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the lib·erate reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so that the root-level
+//! `examples/` and `tests/` can use one import path. The real code lives in
+//! the member crates:
+//!
+//! - [`liberate_packet`] — wire formats (IPv4/TCP/UDP), checksums, fragments.
+//! - [`liberate_netsim`] — deterministic discrete-event network simulator.
+//! - [`liberate_dpi`] — configurable DPI middlebox with calibrated profiles.
+//! - [`liberate_traces`] — synthetic application traffic (HTTP/TLS/STUN/QUIC).
+//! - [`liberate`] — the paper's contribution: detection, characterization,
+//!   evasion, and deployment.
+
+pub use liberate;
+pub use liberate_dpi;
+pub use liberate_netsim;
+pub use liberate_packet;
+pub use liberate_traces;

@@ -1,0 +1,81 @@
+//! The headline integration test: the full Table 3 matrix — every evasion
+//! technique against every environment — must reproduce the paper
+//! cell-for-cell (CC?, RS?, the AT&T column, and the per-OS server
+//! response columns).
+
+use liberate_bench::expected::OsExpect;
+use liberate_bench::osmatrix::run_inert_matrix;
+use liberate_bench::table3::{diff_against_paper, run_table3};
+
+#[test]
+fn table3_reproduces_cell_for_cell() {
+    let measured = run_table3();
+    assert_eq!(measured.len(), 26);
+    let mismatches = diff_against_paper(&measured);
+    assert!(
+        mismatches.is_empty(),
+        "{} cells diverge from the paper:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn os_columns_reproduce() {
+    let expected = liberate_bench::expected::table3();
+    for (technique, cells) in run_inert_matrix() {
+        if technique == liberate::prelude::Technique::InertLowTtl {
+            // In deployment the TTL-limited packet never reaches any
+            // server (the paper prints "—"); the isolated OS harness has
+            // no intermediate hops, so the decoy arrives as an ordinary
+            // valid packet and is delivered. Both are consistent; skip.
+            assert_eq!(cells, [OsExpect::Delivered; 3]);
+            continue;
+        }
+        let row = expected
+            .iter()
+            .find(|r| r.technique == technique)
+            .expect("every inert technique has a row");
+        assert_eq!(cells, row.os, "OS columns for {technique:?}");
+    }
+}
+
+#[test]
+fn headline_findings_hold_in_measurements() {
+    let measured = run_table3();
+    let by_desc = |d: &str| {
+        measured
+            .iter()
+            .find(|r| r.technique.description().contains(d))
+            .unwrap()
+    };
+
+    // "Except for AT&T and Iran, all middleboxes in our experiments are
+    // vulnerable to misclassification using TTL-limited traffic" (§1).
+    let ttl = by_desc("Lower TTL");
+    assert_eq!(ttl.testbed.cc, Some(true));
+    assert_eq!(ttl.tmobile.cc, Some(true));
+    assert_eq!(ttl.china.cc, Some(true));
+    assert_eq!(ttl.iran.cc, Some(false));
+    assert!(!ttl.att_cc);
+
+    // "Reordering of TCP segments can alter classification in all
+    // instances except for the GFC and AT&T" (§1).
+    let reorder = by_desc("Segmented packet, out-of-order");
+    assert_eq!(reorder.testbed.cc, Some(true));
+    assert_eq!(reorder.tmobile.cc, Some(true));
+    assert_eq!(reorder.china.cc, Some(false));
+    assert_eq!(reorder.iran.cc, Some(true));
+    assert!(!reorder.att_cc);
+
+    // "We found no evidence that UDP traffic was classified by any of the
+    // operational networks we tested" — the UDP rows are "—" everywhere
+    // but the testbed.
+    for d in ["Invalid Checksum", "UDP packets out-of-order"] {
+        let row = by_desc(d);
+        assert!(row.testbed.cc.is_some());
+        assert_eq!(row.tmobile.cc, None);
+        assert_eq!(row.china.cc, None);
+        assert_eq!(row.iran.cc, None);
+    }
+}
