@@ -109,7 +109,9 @@ fn bench_planner_pruning(c: &mut Criterion) {
             .unwrap_or(0)
     };
 
-    g.bench_function("pruned_all_packets_profile", |b| b.iter(|| black_box(run(true))));
+    g.bench_function("pruned_all_packets_profile", |b| {
+        b.iter(|| black_box(run(true)))
+    });
     g.bench_function("unpruned_naive_order", |b| b.iter(|| black_box(run(false))));
     g.finish();
 }

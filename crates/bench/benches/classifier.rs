@@ -73,22 +73,12 @@ fn bench_rules(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(hit.len() as u64));
     g.bench_function("first_match_hit", |b| {
         b.iter(|| {
-            black_box(rules.first_match(
-                black_box(&hit),
-                Direction::ClientToServer,
-                80,
-                Some(0),
-            ))
+            black_box(rules.first_match(black_box(&hit), Direction::ClientToServer, 80, Some(0)))
         })
     });
     g.bench_function("first_match_miss", |b| {
         b.iter(|| {
-            black_box(rules.first_match(
-                black_box(&miss),
-                Direction::ClientToServer,
-                80,
-                Some(0),
-            ))
+            black_box(rules.first_match(black_box(&miss), Direction::ClientToServer, 80, Some(0)))
         })
     });
     g.finish();

@@ -34,7 +34,12 @@ fn ablate_reassembly() {
         middlebox_ttl: 8,
     };
     let out = iran
-        .replay_with(&trace, &Technique::TcpSegmentSplit { segments: 2 }, &ctx, &ReplayOpts::default())
+        .replay_with(
+            &trace,
+            &Technique::TcpSegmentSplit { segments: 2 },
+            &ctx,
+            &ReplayOpts::default(),
+        )
         .unwrap();
     let iran_evades = !out.blocked() && out.complete;
     t.row(vec!["Iran (per-packet)".into(), format!("{iran_evades}")]);
@@ -48,7 +53,12 @@ fn ablate_reassembly() {
         middlebox_ttl: 10,
     };
     let out = gfc
-        .replay_with(&trace, &Technique::TcpSegmentSplit { segments: 2 }, &ctx, &ReplayOpts::default())
+        .replay_with(
+            &trace,
+            &Technique::TcpSegmentSplit { segments: 2 },
+            &ctx,
+            &ReplayOpts::default(),
+        )
         .unwrap();
     let gfc_evades = !out.blocked() && out.complete;
     t.row(vec!["GFC (full stream)".into(), format!("{gfc_evades}")]);
@@ -88,10 +98,7 @@ fn ablate_control_strategy() {
     // which is what the binary search needs.
     let skype = apps::skype_stun(8);
     let inverted = inverted_trace(&skype);
-    let matching_packet_hit = inverted.messages[0]
-        .payload
-        .windows(2)
-        .any(|w| w == needle);
+    let matching_packet_hit = inverted.messages[0].payload.windows(2).any(|w| w == needle);
 
     println!(
         "  random {packet_len}B packets containing 0x8055: {random_hits}/{trials} \
@@ -99,9 +106,7 @@ fn ablate_control_strategy() {
         100.0 * random_hits as f64 / trials as f64,
         100.0 * (packet_len as f64 - 1.0) / 65_536.0
     );
-    println!(
-        "  inverted matching packet still contains 0x8055: {matching_packet_hit}"
-    );
+    println!("  inverted matching packet still contains 0x8055: {matching_packet_hit}");
     assert!(random_hits > 0, "random controls collide with short fields");
     assert!(
         !matching_packet_hit,

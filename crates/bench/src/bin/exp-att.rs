@@ -49,12 +49,7 @@ fn main() {
         control_bps: d.control.avg_bps,
         ratio: session.config.throttle_ratio,
     };
-    let c = characterize(
-        &mut session,
-        &video,
-        &signal,
-        &CharacterizeOpts::default(),
-    );
+    let c = characterize(&mut session, &video, &signal, &CharacterizeOpts::default());
     println!(
         "characterization: {} rounds, {} sent",
         c.rounds,
@@ -92,7 +87,10 @@ fn main() {
         rotate_server_ports: false,
     };
     let winner = find_working_technique(&mut session, &video, &c.position, &inputs);
-    assert!(winner.is_none(), "no packet-level technique beats the proxy");
+    assert!(
+        winner.is_none(),
+        "no packet-level technique beats the proxy"
+    );
     println!("evasion: all packet-level techniques fail (TCP-terminating proxy)");
 
     // --- ...but changing the server port evades completely.

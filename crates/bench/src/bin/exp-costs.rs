@@ -13,13 +13,14 @@ fn main() {
     println!("Experiment §5.3: lib\u{b7}erate's costs\n");
 
     // --- One-time characterization cost per application class.
-    let mut table = TextTable::new(&[
-        "Application (env)",
-        "Rounds",
-        "Sim. time",
-        "Data consumed",
-    ]);
-    let cases: Vec<(&str, EnvKind, liberate_traces::recorded::RecordedTrace, Signal, bool)> = vec![
+    let mut table = TextTable::new(&["Application (env)", "Rounds", "Sim. time", "Data consumed"]);
+    let cases: Vec<(
+        &str,
+        EnvKind,
+        liberate_traces::recorded::RecordedTrace,
+        Signal,
+        bool,
+    )> = vec![
         (
             "Web page (GFC)",
             EnvKind::Gfc,

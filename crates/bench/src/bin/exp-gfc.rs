@@ -25,10 +25,7 @@ fn main() {
     // --- Blocking signal: 3-5 RSTs.
     let base = session.replay_trace(&trace, &ReplayOpts::default());
     assert!(base.blocked());
-    println!(
-        "blocking signal: {} RSTs injected (paper: 3-5)",
-        base.rsts
-    );
+    println!("blocking signal: {} RSTs injected (paper: 3-5)", base.rsts);
     assert!((3..=5).contains(&base.rsts));
 
     // --- Residual server:port blocking after two classified flows.
@@ -87,17 +84,15 @@ fn main() {
         &liberate_traces::http::get_request("www.economist.com", "/liberate-decoy", "p"),
         &Signal::Blocking,
     );
-    println!("localization: classifier answers at TTL {:?} (paper: 10)", loc.middlebox_ttl);
+    println!(
+        "localization: classifier answers at TTL {:?} (paper: 10)",
+        loc.middlebox_ttl
+    );
     assert_eq!(loc.middlebox_ttl, Some(10));
 
     // --- UDP is not classified.
     let quic = apps::youtube_quic(100_000);
-    let (out, classified) = probe(
-        &mut fresh,
-        &quic,
-        &ReplayOpts::default(),
-        &Signal::Blocking,
-    );
+    let (out, classified) = probe(&mut fresh, &quic, &ReplayOpts::default(), &Signal::Blocking);
     assert!(out.complete && !classified, "QUIC passes the GFC untouched");
     println!("UDP/QUIC: not classified");
 

@@ -103,7 +103,10 @@ fn main() {
         &liberate_traces::http::get_request("www.facebook.com", "/liberate-decoy", "p"),
         &Signal::Blocking,
     );
-    println!("localization: classifier at {:?} hops (paper: 8)", loc.middlebox_ttl);
+    println!(
+        "localization: classifier at {:?} hops (paper: 8)",
+        loc.middlebox_ttl
+    );
     assert_eq!(loc.middlebox_ttl, Some(8));
 
     // --- Splitting across two packets evades (with or without reorder).

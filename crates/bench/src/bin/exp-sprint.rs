@@ -17,12 +17,24 @@ fn main() {
     let mut session = Session::new(EnvKind::Sprint, OsKind::Linux, LiberateConfig::default());
 
     let cases: Vec<(&str, liberate_traces::recorded::RecordedTrace, Option<u16>)> = vec![
-        ("Amazon Prime (HTTP, port 80)", apps::amazon_prime_http(6_000_000), None),
-        ("Amazon Prime (port 8080)", apps::amazon_prime_http(6_000_000), Some(8080)),
+        (
+            "Amazon Prime (HTTP, port 80)",
+            apps::amazon_prime_http(6_000_000),
+            None,
+        ),
+        (
+            "Amazon Prime (port 8080)",
+            apps::amazon_prime_http(6_000_000),
+            Some(8080),
+        ),
         ("YouTube (HTTPS)", apps::youtube_https(6_000_000), None),
         ("Spotify", apps::spotify_http(6_000_000), None),
         ("NBC Sports", apps::nbcsports_http(6_000_000), None),
-        ("bit-inverted Prime", inverted_trace(&apps::amazon_prime_http(6_000_000)), None),
+        (
+            "bit-inverted Prime",
+            inverted_trace(&apps::amazon_prime_http(6_000_000)),
+            None,
+        ),
         (
             "random workload",
             liberate_traces::generator::generate(&liberate_traces::generator::WorkloadSpec {

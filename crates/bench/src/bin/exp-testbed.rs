@@ -54,7 +54,11 @@ fn main() {
 
     // HTTP applications the testbed classifies (Prime Video, Spotify,
     // ESPN).
-    let prime = characterize_app("Amazon Prime Video", &apps::amazon_prime_http(20_000), &mut table);
+    let prime = characterize_app(
+        "Amazon Prime Video",
+        &apps::amazon_prime_http(20_000),
+        &mut table,
+    );
     let spotify = characterize_app("Spotify", &apps::spotify_http(20_000), &mut table);
     let espn = characterize_app("ESPN", &apps::espn_http(20_000), &mut table);
 
@@ -78,9 +82,7 @@ fn main() {
         // Fields are human-readable text.
         let text: String = c.fields.iter().map(|f| f.as_text()).collect();
         assert!(
-            text.contains("cloudfront")
-                || text.contains("spotify")
-                || text.contains("espn"),
+            text.contains("cloudfront") || text.contains("spotify") || text.contains("espn"),
             "{name}: fields should be readable hostnames: {text:?}"
         );
         // Classifier anchors on flow start: one prepended packet breaks

@@ -97,9 +97,7 @@ fn main() {
     assert!(evaded.complete);
 
     println!("\nthroughput (10 MB Amazon Prime Video replay):");
-    println!(
-        "  paper:    throttled 1.48 Mbps avg / 4.8 peak; evading 4.1 avg / 11.2 peak"
-    );
+    println!("  paper:    throttled 1.48 Mbps avg / 4.8 peak; evading 4.1 avg / 11.2 peak");
     println!(
         "  measured: throttled {} avg / {} peak; evading {} avg / {} peak",
         fmt_bps(throttled.avg_bps),

@@ -84,9 +84,7 @@ fn main() {
                 (Some(lo), _) => format!("{lo}"),
                 _ => "-".to_string(),
             };
-            println!(
-                "d{day} {hour:02}h  {cell:>7}       {ok}/{trials_per_hour}            {load}"
-            );
+            println!("d{day} {hour:02}h  {cell:>7}       {ok}/{trials_per_hour}            {load}");
             series.push((day, hour, min_success));
         }
     }
@@ -95,13 +93,23 @@ fn main() {
     // 1. Busy hours permit shorter delays than normal hours.
     let busy_min = series
         .iter()
-        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Busy))
+        .filter(|(_, h, _)| {
+            matches!(
+                liberate_dpi::resource::load_level_for_hour(*h),
+                liberate_dpi::resource::LoadLevel::Busy
+            )
+        })
         .filter_map(|(_, _, d)| *d)
         .min()
         .expect("busy hours evade");
     let normal_min = series
         .iter()
-        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Normal))
+        .filter(|(_, h, _)| {
+            matches!(
+                liberate_dpi::resource::load_level_for_hour(*h),
+                liberate_dpi::resource::LoadLevel::Normal
+            )
+        })
         .filter_map(|(_, _, d)| *d)
         .min()
         .expect("normal hours evade");
@@ -112,7 +120,12 @@ fn main() {
     // 2. During quiet hours even long delays do not work.
     let quiet_failures = series
         .iter()
-        .filter(|(_, h, _)| matches!(liberate_dpi::resource::load_level_for_hour(*h), liberate_dpi::resource::LoadLevel::Quiet))
+        .filter(|(_, h, _)| {
+            matches!(
+                liberate_dpi::resource::load_level_for_hour(*h),
+                liberate_dpi::resource::LoadLevel::Quiet
+            )
+        })
         .filter(|(_, _, d)| d.is_none())
         .count();
     assert!(quiet_failures > 0, "quiet hours should resist even 240 s");

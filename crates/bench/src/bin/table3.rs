@@ -31,7 +31,12 @@ fn main() {
     let mut t = TextTable::new(&["Technique", "Linux", "macOS", "Windows"]);
     for (technique, cells) in run_inert_matrix() {
         if technique == liberate::prelude::Technique::InertLowTtl {
-            t.row(vec![technique.description(), "-".into(), "-".into(), "-".into()]);
+            t.row(vec![
+                technique.description(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         t.row(vec![

@@ -139,9 +139,7 @@ mod tests {
     fn udp_decoy_has_marker_and_gate_prefix() {
         let d = udp_decoy();
         assert_eq!(&d[0..2], &[0x00, 0x01]);
-        assert!(d
-            .windows(DECOY_MARKER.len())
-            .any(|w| w == DECOY_MARKER));
+        assert!(d.windows(DECOY_MARKER.len()).any(|w| w == DECOY_MARKER));
         // Must not carry the Skype matching field.
         assert!(!d.windows(2).any(|w| w == [0x80, 0x55]));
     }

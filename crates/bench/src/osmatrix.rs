@@ -29,13 +29,12 @@ pub fn measure(technique: &Technique, os: OsKind) -> OsExpect {
     let server = ServerHost::new(SERVER, OsProfile::new(os), Box::<SinkApp>::default());
     let mut net = Network::new(CLIENT, Vec::new(), server);
 
-    let proto = if technique.applicable(TraceProtocol::Udp)
-        && !technique.applicable(TraceProtocol::Tcp)
-    {
-        TraceProtocol::Udp
-    } else {
-        TraceProtocol::Tcp
-    };
+    let proto =
+        if technique.applicable(TraceProtocol::Udp) && !technique.applicable(TraceProtocol::Tcp) {
+            TraceProtocol::Udp
+        } else {
+            TraceProtocol::Tcp
+        };
 
     // Build the technique's schedule over a one-packet trace, then send
     // only its *crafted* packet on an established connection.
@@ -88,9 +87,7 @@ pub fn measure(technique: &Technique, os: OsKind) -> OsExpect {
                     server_isn.wrapping_add(1),
                     p.payload.clone(),
                 ),
-                TraceProtocol::Udp => {
-                    Packet::udp(CLIENT, SERVER, 40_000, 80, p.payload.clone())
-                }
+                TraceProtocol::Udp => Packet::udp(CLIENT, SERVER, 40_000, 80, p.payload.clone()),
             };
             p.craft.apply(&mut pkt);
             let wire = pkt.serialize();

@@ -29,7 +29,9 @@ fn measure_env(kind: EnvKind) -> Vec<(Cell, Technique)> {
     let signal = spec.signal(&mut session);
 
     // Baselines: is each trace classified at all here?
-    let baseline_of = |session: &mut Session, trace: &liberate_traces::recorded::RecordedTrace, signal: &Signal| {
+    let baseline_of = |session: &mut Session,
+                       trace: &liberate_traces::recorded::RecordedTrace,
+                       signal: &Signal| {
         let opts = if spec.rotate_server_ports {
             ReplayOpts {
                 server_port: Some(9_000 + (session.replays % 1000) as u16),
@@ -49,13 +51,12 @@ fn measure_env(kind: EnvKind) -> Vec<(Cell, Technique)> {
 
     let mut out = Vec::new();
     for technique in Technique::table3_rows() {
-        let (trace, ctx, baseline) = if technique
-            .applicable(liberate_traces::recorded::TraceProtocol::Tcp)
-        {
-            (&spec.tcp_trace, &tcp_ctx, tcp_baseline)
-        } else {
-            (&spec.udp_trace, &udp_ctx, udp_baseline)
-        };
+        let (trace, ctx, baseline) =
+            if technique.applicable(liberate_traces::recorded::TraceProtocol::Tcp) {
+                (&spec.tcp_trace, &tcp_ctx, tcp_baseline)
+            } else {
+                (&spec.udp_trace, &udp_ctx, udp_baseline)
+            };
         let inputs = EvaluationInputs {
             signal: signal.clone(),
             ctx: ctx.clone(),
@@ -150,8 +151,18 @@ pub fn render(measured: &[MeasuredRow]) -> String {
     use liberate::report::{mark_bool, mark_cc, mark_reach, TextTable};
     let expected = expected_table3();
     let mut table = TextTable::new(&[
-        "Prot.", "Technique", "Testbed CC", "RS", "T-Mobile CC", "RS", "China CC", "RS",
-        "Iran CC", "RS", "AT&T", "paper?",
+        "Prot.",
+        "Technique",
+        "Testbed CC",
+        "RS",
+        "T-Mobile CC",
+        "RS",
+        "China CC",
+        "RS",
+        "Iran CC",
+        "RS",
+        "AT&T",
+        "paper?",
     ]);
     for (row, exp) in measured.iter().zip(&expected) {
         let agrees = exp.testbed == row.testbed

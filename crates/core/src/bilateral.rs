@@ -121,11 +121,8 @@ mod tests {
             message: 0,
             sender: liberate_traces::recorded::Sender::Client,
             range: {
-                let p = liberate_traces::http::find(
-                    &trace.messages[0].payload,
-                    b"economist.com",
-                )
-                .unwrap();
+                let p = liberate_traces::http::find(&trace.messages[0].payload, b"economist.com")
+                    .unwrap();
                 p..p + 13
             },
             bytes: b"economist.com".to_vec(),
@@ -146,7 +143,10 @@ mod tests {
 
         // Control throughput for the throttling signal.
         let mut s = Session::new(EnvKind::Att, OsKind::Linux, LiberateConfig::default());
-        let control = s.replay_trace(&crate::detect::inverted_trace(&trace), &ReplayOpts::default());
+        let control = s.replay_trace(
+            &crate::detect::inverted_trace(&trace),
+            &ReplayOpts::default(),
+        );
         let signal = Signal::Throttling {
             control_bps: control.avg_bps,
             ratio: 0.6,

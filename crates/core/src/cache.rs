@@ -54,8 +54,7 @@ impl CachedSignal {
             CachedSignal::ZeroRating => Signal::ZeroRating,
             CachedSignal::Readout => Signal::Readout,
             CachedSignal::Throttling => {
-                let control = session
-                    .replay_trace(&inverted_trace(trace), &ReplayOpts::default());
+                let control = session.replay_trace(&inverted_trace(trace), &ReplayOpts::default());
                 Signal::Throttling {
                     control_bps: control.avg_bps,
                     ratio: session.config.throttle_ratio,
@@ -208,8 +207,7 @@ impl RuleCache {
             if let Some(msg) = blinded.messages.get_mut(f.message) {
                 liberate_packet::mutate::invert_range(&mut msg.payload, f.start..f.end);
             }
-            let (_, still_classified) =
-                probe(session, &blinded, &ReplayOpts::default(), signal);
+            let (_, still_classified) = probe(session, &blinded, &ReplayOpts::default(), signal);
             if still_classified {
                 return Some(false); // this field no longer gates the rule
             }
@@ -234,7 +232,12 @@ mod tests {
 
         // User A pays the characterization cost and publishes.
         let mut a = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
-        let c = characterize(&mut a, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let c = characterize(
+            &mut a,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
         assert!(c.rounds > 10);
         cache.publish(
             "testbed",
@@ -267,27 +270,38 @@ mod tests {
         let mut cache = RuleCache::new();
 
         let mut a = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
-        let c = characterize(&mut a, &trace, &Signal::Readout, &CharacterizeOpts::default());
-        cache.publish("testbed", &trace.app, CachedRules::from_characterization(&c, 0));
+        let c = characterize(
+            &mut a,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+        cache.publish(
+            "testbed",
+            &trace.app,
+            CachedRules::from_characterization(&c, 0),
+        );
 
         // The operator swaps the rule to match the User-Agent instead of
         // the Host header.
         let mut b = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
         {
             let dpi = b.env.dpi_mut().unwrap();
-            dpi.config.rules = liberate_dpi::rules::RuleSet::new(vec![
-                liberate_dpi::rules::MatchRule::keyword(
+            dpi.config.rules =
+                liberate_dpi::rules::RuleSet::new(vec![liberate_dpi::rules::MatchRule::keyword(
                     "ua",
                     "video",
                     &b"AmazonPrimeVideo"[..],
                 )
-                .client_only(),
-            ]);
+                .client_only()]);
         }
         let fresh = cache
             .verify("testbed", &trace.app, &mut b, &trace, &Signal::Readout)
             .unwrap();
-        assert!(!fresh, "blinding the old fields no longer stops classification");
+        assert!(
+            !fresh,
+            "blinding the old fields no longer stops classification"
+        );
         assert!(b.replays <= 4, "staleness detected within a few rounds");
     }
 

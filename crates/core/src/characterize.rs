@@ -163,7 +163,11 @@ impl<'a> Prober<'a> {
 
     fn port_for_round(&self) -> Option<u16> {
         if self.opts.rotate_server_ports {
-            Some(self.opts.rotate_base.wrapping_add((self.round % 50_000) as u16))
+            Some(
+                self.opts
+                    .rotate_base
+                    .wrapping_add((self.round % 50_000) as u16),
+            )
         } else {
             None
         }
@@ -198,7 +202,9 @@ fn search_message(
         // enough of it: try the centered half.
         let quarter = range.len() / 4;
         let middle = (range.start + quarter)..(range.end - quarter).max(range.start + quarter + 1);
-        if middle.len() < range.len() && !prober.classified_with_blinded(&[(msg_idx, middle.clone())]) {
+        if middle.len() < range.len()
+            && !prober.classified_with_blinded(&[(msg_idx, middle.clone())])
+        {
             search_message(prober, msg_idx, middle, found);
         } else {
             // Give up at this granularity: record the whole range.
@@ -211,18 +217,13 @@ fn search_message(
 /// stops classification, then byte-search inside each. This keeps round
 /// counts logarithmic in trace length (a multi-megabyte video trace has
 /// thousands of messages; probing each would take thousands of replays).
-fn search_message_range(
-    prober: &mut Prober<'_>,
-    atoms: &[usize],
-    fields: &mut Vec<MatchingField>,
-) {
-    let blind_all =
-        |atoms: &[usize], trace: &RecordedTrace| -> Vec<(usize, Range<usize>)> {
-            atoms
-                .iter()
-                .map(|&i| (i, 0..trace.messages[i].payload.len()))
-                .collect()
-        };
+fn search_message_range(prober: &mut Prober<'_>, atoms: &[usize], fields: &mut Vec<MatchingField>) {
+    let blind_all = |atoms: &[usize], trace: &RecordedTrace| -> Vec<(usize, Range<usize>)> {
+        atoms
+            .iter()
+            .map(|&i| (i, 0..trace.messages[i].payload.len()))
+            .collect()
+    };
     if atoms.is_empty() {
         return;
     }
@@ -290,8 +291,7 @@ pub fn find_matching_fields(
         .iter()
         .enumerate()
         .filter(|(_, m)| {
-            !m.payload.is_empty()
-                && (m.sender == Sender::Client || opts.search_server_direction)
+            !m.payload.is_empty() && (m.sender == Sender::Client || opts.search_server_direction)
         })
         .map(|(i, _)| i)
         .collect();
@@ -409,7 +409,12 @@ mod tests {
     fn finds_cloudfront_host_in_testbed() {
         let mut s = session(EnvKind::Testbed);
         let trace = apps::amazon_prime_http(20_000);
-        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let c = characterize(
+            &mut s,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
         assert!(!c.fields.is_empty(), "should find matching fields");
         let all_text: String = c.fields.iter().map(|f| f.as_text()).collect();
         assert!(
@@ -428,7 +433,12 @@ mod tests {
     fn finds_stun_attribute_in_testbed_udp() {
         let mut s = session(EnvKind::Testbed);
         let trace = apps::skype_stun(4);
-        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let c = characterize(
+            &mut s,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
         assert!(!c.fields.is_empty());
         // The 0x8055 attribute type must be inside one of the fields.
         let covered = c.fields.iter().any(|f| {
@@ -436,7 +446,9 @@ mod tests {
                 || (f.message == 0 && {
                     // Or the field sits exactly on those bytes.
                     let payload = &trace.messages[0].payload;
-                    payload[f.range.clone()].windows(2).any(|w| w == [0x80, 0x55])
+                    payload[f.range.clone()]
+                        .windows(2)
+                        .any(|w| w == [0x80, 0x55])
                 })
         });
         assert!(covered, "fields: {:?}", c.fields);
@@ -464,7 +476,12 @@ mod tests {
     fn iran_inspects_all_packets() {
         let mut s = session(EnvKind::Iran);
         let trace = apps::facebook_http();
-        let c = characterize(&mut s, &trace, &Signal::Blocking, &CharacterizeOpts::default());
+        let c = characterize(
+            &mut s,
+            &trace,
+            &Signal::Blocking,
+            &CharacterizeOpts::default(),
+        );
         let all_text: String = c.fields.iter().map(|f| f.as_text()).collect();
         assert!(all_text.contains("facebook"), "found: {all_text:?}");
         assert!(c.position.matches_all_packets, "{:?}", c.position);
@@ -474,7 +491,12 @@ mod tests {
     fn client_field_regions_map_to_packet_ordinals() {
         let mut s = session(EnvKind::Testbed);
         let trace = apps::amazon_prime_http(20_000);
-        let c = characterize(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let c = characterize(
+            &mut s,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
         let regions = c.client_field_regions(&trace);
         assert!(!regions.is_empty());
         assert_eq!(regions[0].packet, 0, "host header is in the first packet");
@@ -514,8 +536,12 @@ mod tests {
         let trace = apps::control_http();
         // control_http matches the "web" no-op class only: no effective
         // differentiation, so characterization refuses to run.
-        let (fields, rounds) =
-            find_matching_fields(&mut s, &trace, &Signal::Readout, &CharacterizeOpts::default());
+        let (fields, rounds) = find_matching_fields(
+            &mut s,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
         assert!(fields.is_empty());
         assert_eq!(rounds, 1);
     }

@@ -15,7 +15,9 @@ use std::time::Duration;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::characterize::{characterize, Characterization, CharacterizeOpts};
-use crate::detect::{detect_rotating, read_billed_counter, was_classified, DetectionOutcome, Signal};
+use crate::detect::{
+    detect_rotating, read_billed_counter, was_classified, DetectionOutcome, Signal,
+};
 use crate::error::{LiberateError, Result};
 use crate::evaluate::{find_working_technique, EvaluationInputs, TechniqueResult};
 use crate::evasion::EvasionContext;
@@ -200,11 +202,7 @@ impl LiberateProxy {
     /// Attach a shared rule cache under the given network name. Fresh
     /// entries let this proxy skip its own characterization after a
     /// per-field verification replay (§4.2).
-    pub fn with_cache(
-        mut self,
-        cache: crate::cache::RuleCache,
-        network: &str,
-    ) -> LiberateProxy {
+    pub fn with_cache(mut self, cache: crate::cache::RuleCache, network: &str) -> LiberateProxy {
         self.rule_cache = Some((cache, network.to_string()));
         self
     }
@@ -270,19 +268,16 @@ impl LiberateProxy {
         // per-field verification.
         let pre_learned = self.shared_rules_for(trace);
         let copts = self.copts.clone();
-        let report =
-            run_pipeline_with_rules(&mut self.session, trace, &copts, pre_learned)?;
+        let report = run_pipeline_with_rules(&mut self.session, trace, &copts, pre_learned)?;
         self.characterizations += 1;
         // Publish what we learned for the next user.
         if let Some((cache, network)) = self.rule_cache.as_mut() {
             if let Some(c) = report.characterization.as_ref() {
                 if c.rounds > 0 {
-                    let signal = crate::cache::CachedSignal::from_signal(
-                        &signal_from_detection(
-                            &report.detection,
-                            self.session.config.throttle_ratio,
-                        ),
-                    );
+                    let signal = crate::cache::CachedSignal::from_signal(&signal_from_detection(
+                        &report.detection,
+                        self.session.config.throttle_ratio,
+                    ));
                     cache.publish(
                         network,
                         &trace.app,

@@ -91,7 +91,10 @@ fn classified_with_policy(session: &mut Session, key: FlowKey, outcome: &ReplayO
         return false;
     };
     for proto in [6u8, 17u8] {
-        let k = FlowKey { protocol: proto, ..key };
+        let k = FlowKey {
+            protocol: proto,
+            ..key
+        };
         if let Some(class) = dpi.classification_of(k) {
             let effective = dpi
                 .config
@@ -171,7 +174,10 @@ pub fn detect_rotating(
     rotate_base: Option<u16>,
 ) -> DetectionOutcome {
     let port_for = |session: &Session, i: u16| {
-        rotate_base.map(|b| b.wrapping_add(i).wrapping_add((session.replays % 100) as u16))
+        rotate_base.map(|b| {
+            b.wrapping_add(i)
+                .wrapping_add((session.replays % 100) as u16)
+        })
     };
 
     let opts = ReplayOpts {
@@ -282,7 +288,11 @@ mod tests {
     fn att_throttling_detected() {
         let mut s = session(EnvKind::Att);
         let d = detect(&mut s, &apps::nbcsports_http(600_000));
-        assert!(d.throttling, "orig {} ctrl {}", d.original.avg_bps, d.control.avg_bps);
+        assert!(
+            d.throttling,
+            "orig {} ctrl {}",
+            d.original.avg_bps, d.control.avg_bps
+        );
         assert!(d.differentiated);
     }
 
@@ -317,8 +327,11 @@ mod tests {
             );
         }
         let d = detect(&mut s, &apps::amazon_prime_http(40_000));
-        assert!(d.latency_difference, "{:?} vs {:?}",
-            d.original.request_to_response, d.control.request_to_response);
+        assert!(
+            d.latency_difference,
+            "{:?} vs {:?}",
+            d.original.request_to_response, d.control.request_to_response
+        );
         assert!(d.differentiated);
         assert!(!d.blocking && !d.zero_rating);
     }
@@ -331,10 +344,7 @@ mod tests {
             let dpi = s.env.dpi_mut().unwrap();
             dpi.config.policies.insert(
                 "video".into(),
-                liberate_dpi::actions::Policy::rewriting(
-                    &b"video/mp4"[..],
-                    &b"video/lo4"[..],
-                ),
+                liberate_dpi::actions::Policy::rewriting(&b"video/mp4"[..], &b"video/lo4"[..]),
             );
         }
         let d = detect(&mut s, &apps::amazon_prime_http(40_000));

@@ -147,8 +147,7 @@ fn judge_reach(
                     ParsedPacket::parse(w)
                         .and_then(|p| {
                             p.tcp().map(|t| {
-                                t.flags.rst
-                                    && t.window == crate::evasion::LIBERATE_RST_WINDOW
+                                t.flags.rst && t.window == crate::evasion::LIBERATE_RST_WINDOW
                             })
                         })
                         .unwrap_or(false)
@@ -193,16 +192,8 @@ fn judge_reach(
 /// Did the matching packet's payload reach the server — whole
 /// (`Transformed` for split techniques means "merged back together"),
 /// in pieces (`Yes`), or not at all (`No`)?
-fn matching_payload_reach(
-    ingress: &[&[u8]],
-    trace: &RecordedTrace,
-    ctx: &EvasionContext,
-) -> Reach {
-    let ordinal = ctx
-        .matching_fields
-        .first()
-        .map(|f| f.packet)
-        .unwrap_or(0);
+fn matching_payload_reach(ingress: &[&[u8]], trace: &RecordedTrace, ctx: &EvasionContext) -> Reach {
+    let ordinal = ctx.matching_fields.first().map(|f| f.packet).unwrap_or(0);
     let Some(payload) = trace
         .client_messages()
         .nth(ordinal)
@@ -314,12 +305,7 @@ pub fn plan(
         // Iran-style: only content-splitting can help.
         return rows
             .into_iter()
-            .filter(|t| {
-                matches!(
-                    t.category(),
-                    Category::Splitting | Category::Reordering
-                )
-            })
+            .filter(|t| matches!(t.category(), Category::Splitting | Category::Reordering))
             .collect();
     }
     let mut ordered = rows;
@@ -342,9 +328,7 @@ pub fn find_working_technique(
 ) -> Option<(TechniqueResult, u64)> {
     let mut tries = 0u64;
     for technique in plan(position, trace.protocol) {
-        let Some(result) =
-            evaluate_technique(session, trace, &technique, inputs, true)
-        else {
+        let Some(result) = evaluate_technique(session, trace, &technique, inputs, true) else {
             continue;
         };
         tries += result.rounds;
@@ -420,10 +404,7 @@ mod tests {
             .count();
         assert_eq!(planned.len(), tcp_rows);
         assert_eq!(planned[0].category(), Category::InertInsertion);
-        assert_eq!(
-            planned.last().unwrap().category(),
-            Category::Flushing
-        );
+        assert_eq!(planned.last().unwrap().category(), Category::Flushing);
         // Category order is monotone.
         let order = |c: Category| match c {
             Category::InertInsertion => 0,
@@ -443,10 +424,9 @@ mod tests {
         };
         let planned = plan(&all, TraceProtocol::Tcp);
         assert!(!planned.is_empty());
-        assert!(planned.iter().all(|t| matches!(
-            t.category(),
-            Category::Splitting | Category::Reordering
-        )));
+        assert!(planned
+            .iter()
+            .all(|t| matches!(t.category(), Category::Splitting | Category::Reordering)));
 
         // UDP flows only get UDP-applicable techniques.
         let planned = plan(&maf, TraceProtocol::Udp);
@@ -465,10 +445,22 @@ mod tests {
             effective: technique,
         };
         let results = vec![
-            mk(Technique::PauseBeforeMatch(std::time::Duration::from_secs(130)), Some(true), true),
+            mk(
+                Technique::PauseBeforeMatch(std::time::Duration::from_secs(130)),
+                Some(true),
+                true,
+            ),
             mk(Technique::InertLowTtl, Some(true), true),
-            mk(Technique::TcpSegmentSplit { segments: 2 }, Some(true), false), // side effects
-            mk(Technique::TcpSegmentReorder { segments: 2 }, Some(false), true), // failed
+            mk(
+                Technique::TcpSegmentSplit { segments: 2 },
+                Some(true),
+                false,
+            ), // side effects
+            mk(
+                Technique::TcpSegmentReorder { segments: 2 },
+                Some(false),
+                true,
+            ), // failed
         ];
         let best = cheapest(&results).unwrap();
         assert_eq!(best.technique, Technique::InertLowTtl, "cheapest *working*");
@@ -506,8 +498,7 @@ mod tests {
         assert_eq!(r.rs, Reach::Yes);
 
         // Low TTL: evades, never reaches.
-        let r =
-            evaluate_technique(&mut s, &trace, &Technique::InertLowTtl, &inputs, true).unwrap();
+        let r = evaluate_technique(&mut s, &trace, &Technique::InertLowTtl, &inputs, true).unwrap();
         assert_eq!(r.cc, Some(true));
         assert_eq!(r.rs, Reach::No);
     }

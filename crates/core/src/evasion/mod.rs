@@ -123,6 +123,8 @@ pub enum Technique {
 
 impl Technique {
     /// The 26 rows of Table 3, in the paper's order.
+    // lint: allow(taxonomy-exhaustiveness: DummyPrefixData) beyond-Table-3
+    // server-supported extension (§1/§7); deliberately not a Table 3 row.
     pub fn table3_rows() -> Vec<Technique> {
         use Technique::*;
         vec![
@@ -159,14 +161,28 @@ impl Technique {
     pub fn protocol_row(&self) -> &'static str {
         use Technique::*;
         match self {
-            InertLowTtl | InertIpInvalidVersion | InertIpInvalidHeaderLength
-            | InertIpTotalLengthLong | InertIpTotalLengthShort | InertIpWrongProtocol
-            | InertIpWrongChecksum | InertIpInvalidOptions | InertIpDeprecatedOptions
-            | IpFragmentSplit { .. } | IpFragmentReorder { .. } | PauseAfterMatch(_)
+            InertLowTtl
+            | InertIpInvalidVersion
+            | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong
+            | InertIpTotalLengthShort
+            | InertIpWrongProtocol
+            | InertIpWrongChecksum
+            | InertIpInvalidOptions
+            | InertIpDeprecatedOptions
+            | IpFragmentSplit { .. }
+            | IpFragmentReorder { .. }
+            | PauseAfterMatch(_)
             | PauseBeforeMatch(_) => "IP",
-            InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
-            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | TcpSegmentSplit { .. }
-            | TcpSegmentReorder { .. } | TtlRstAfterMatch | TtlRstBeforeMatch => "TCP",
+            InertTcpWrongSeq
+            | InertTcpWrongChecksum
+            | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset
+            | InertTcpInvalidFlags
+            | TcpSegmentSplit { .. }
+            | TcpSegmentReorder { .. }
+            | TtlRstAfterMatch
+            | TtlRstBeforeMatch => "TCP",
             InertUdpBadChecksum | InertUdpLengthLong | InertUdpLengthShort | UdpReorder => "UDP",
             DummyPrefixData { .. } => "TCP",
         }
@@ -209,12 +225,23 @@ impl Technique {
     pub fn category(&self) -> Category {
         use Technique::*;
         match self {
-            InertLowTtl | InertIpInvalidVersion | InertIpInvalidHeaderLength
-            | InertIpTotalLengthLong | InertIpTotalLengthShort | InertIpWrongProtocol
-            | InertIpWrongChecksum | InertIpInvalidOptions | InertIpDeprecatedOptions
-            | InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
-            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | InertUdpBadChecksum
-            | InertUdpLengthLong | InertUdpLengthShort => Category::InertInsertion,
+            InertLowTtl
+            | InertIpInvalidVersion
+            | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong
+            | InertIpTotalLengthShort
+            | InertIpWrongProtocol
+            | InertIpWrongChecksum
+            | InertIpInvalidOptions
+            | InertIpDeprecatedOptions
+            | InertTcpWrongSeq
+            | InertTcpWrongChecksum
+            | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset
+            | InertTcpInvalidFlags
+            | InertUdpBadChecksum
+            | InertUdpLengthLong
+            | InertUdpLengthShort => Category::InertInsertion,
             TcpSegmentSplit { .. } | IpFragmentSplit { .. } | DummyPrefixData { .. } => {
                 Category::Splitting
             }
@@ -228,18 +255,40 @@ impl Technique {
     }
 
     /// Whether this technique makes sense for a flow of `proto`.
+    ///
+    /// Deliberately wildcard-free: adding a 27th technique must force a
+    /// decision here (enforced by `liberate-lint`'s
+    /// taxonomy-exhaustiveness rule and the compiler's match check).
     pub fn applicable(&self, proto: TraceProtocol) -> bool {
         use Technique::*;
         match self {
-            InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
-            | InertTcpInvalidDataOffset | InertTcpInvalidFlags | TcpSegmentSplit { .. }
-            | TcpSegmentReorder { .. } | TtlRstAfterMatch | TtlRstBeforeMatch
+            InertTcpWrongSeq
+            | InertTcpWrongChecksum
+            | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset
+            | InertTcpInvalidFlags
+            | TcpSegmentSplit { .. }
+            | TcpSegmentReorder { .. }
+            | TtlRstAfterMatch
+            | TtlRstBeforeMatch
             | DummyPrefixData { .. } => proto == TraceProtocol::Tcp,
             InertUdpBadChecksum | InertUdpLengthLong | InertUdpLengthShort | UdpReorder => {
                 proto == TraceProtocol::Udp
             }
             // IP-level techniques apply to both transports.
-            _ => true,
+            InertLowTtl
+            | InertIpInvalidVersion
+            | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong
+            | InertIpTotalLengthShort
+            | InertIpWrongProtocol
+            | InertIpWrongChecksum
+            | InertIpInvalidOptions
+            | InertIpDeprecatedOptions
+            | IpFragmentSplit { .. }
+            | IpFragmentReorder { .. }
+            | PauseAfterMatch(_)
+            | PauseBeforeMatch(_) => true,
         }
     }
 
@@ -250,26 +299,38 @@ impl Technique {
     }
 
     /// Table 2's per-flow overhead class.
+    ///
+    /// A single wildcard-free match on the variant (rather than
+    /// dispatching through [`Technique::category`]) so a new technique
+    /// cannot silently inherit another family's overhead class.
     pub fn overhead(&self) -> Overhead {
         use Technique::*;
-        match self.category() {
-            Category::InertInsertion => Overhead::InertPackets(1),
-            Category::Splitting => match self {
-                TcpSegmentSplit { segments } => Overhead::ExtraHeaders(segments - 1),
-                IpFragmentSplit { pieces } => Overhead::ExtraHeaders(pieces - 1),
-                DummyPrefixData { bytes } => Overhead::PrefixBytes(*bytes),
-                _ => unreachable!(),
-            },
-            Category::Reordering => match self {
-                TcpSegmentReorder { segments } => Overhead::ExtraHeaders(segments - 1),
-                IpFragmentReorder { pieces } => Overhead::ExtraHeaders(pieces - 1),
-                UdpReorder => Overhead::ExtraHeaders(0),
-                _ => unreachable!(),
-            },
-            Category::Flushing => match self {
-                PauseAfterMatch(d) | PauseBeforeMatch(d) => Overhead::PauseSeconds(d.as_secs()),
-                _ => Overhead::InertPackets(1),
-            },
+        match self {
+            InertLowTtl
+            | InertIpInvalidVersion
+            | InertIpInvalidHeaderLength
+            | InertIpTotalLengthLong
+            | InertIpTotalLengthShort
+            | InertIpWrongProtocol
+            | InertIpWrongChecksum
+            | InertIpInvalidOptions
+            | InertIpDeprecatedOptions
+            | InertTcpWrongSeq
+            | InertTcpWrongChecksum
+            | InertTcpNoAckFlag
+            | InertTcpInvalidDataOffset
+            | InertTcpInvalidFlags
+            | InertUdpBadChecksum
+            | InertUdpLengthLong
+            | InertUdpLengthShort => Overhead::InertPackets(1),
+            TcpSegmentSplit { segments } => Overhead::ExtraHeaders(segments - 1),
+            IpFragmentSplit { pieces } => Overhead::ExtraHeaders(pieces - 1),
+            TcpSegmentReorder { segments } => Overhead::ExtraHeaders(segments - 1),
+            IpFragmentReorder { pieces } => Overhead::ExtraHeaders(pieces - 1),
+            UdpReorder => Overhead::ExtraHeaders(0),
+            PauseAfterMatch(d) | PauseBeforeMatch(d) => Overhead::PauseSeconds(d.as_secs()),
+            TtlRstAfterMatch | TtlRstBeforeMatch => Overhead::InertPackets(1),
+            DummyPrefixData { bytes } => Overhead::PrefixBytes(*bytes),
         }
     }
 

@@ -190,11 +190,7 @@ fn inert_craft(technique: &Technique, mb_ttl: u8) -> Option<Craft> {
 }
 
 /// Apply `technique` to `schedule`, producing the rewritten schedule.
-pub fn apply(
-    technique: &Technique,
-    schedule: &Schedule,
-    ctx: &EvasionContext,
-) -> Option<Schedule> {
+pub fn apply(technique: &Technique, schedule: &Schedule, ctx: &EvasionContext) -> Option<Schedule> {
     use Technique::*;
     let proto = schedule.protocol?;
     if !technique.applicable(proto) {
@@ -206,26 +202,39 @@ pub fn apply(
         return None;
     }
 
-    // Resolve the matching packet once.
-    let first_payload_len = match &schedule.steps[data_indices[0]] {
-        Step::Packet(p) => p.payload.len(),
-        _ => unreachable!("data index points at a packet"),
+    // Resolve the matching packet once. `data_packet_indices` only ever
+    // points at `Step::Packet` entries; bail out rather than panic if that
+    // invariant is ever broken.
+    let Step::Packet(first_data) = &schedule.steps[data_indices[0]] else {
+        return None;
     };
+    let first_payload_len = first_data.payload.len();
     let (field_ordinal, field_range) = ctx.primary_field(first_payload_len);
     let match_step = data_step(schedule, field_ordinal).unwrap_or(data_indices[0]);
-    let (match_offset, match_payload) = match &schedule.steps[match_step] {
-        Step::Packet(p) => (p.offset, p.payload.clone()),
-        _ => unreachable!(),
+    let Step::Packet(match_packet) = &schedule.steps[match_step] else {
+        return None;
     };
+    let (match_offset, match_payload) = (match_packet.offset, match_packet.payload.clone());
 
     match technique {
         // ----- Inert insertion: decoy just before the matching packet.
-        InertLowTtl | InertIpInvalidVersion | InertIpInvalidHeaderLength
-        | InertIpTotalLengthLong | InertIpTotalLengthShort | InertIpWrongProtocol
-        | InertIpWrongChecksum | InertIpInvalidOptions | InertIpDeprecatedOptions
-        | InertTcpWrongSeq | InertTcpWrongChecksum | InertTcpNoAckFlag
-        | InertTcpInvalidDataOffset | InertTcpInvalidFlags | InertUdpBadChecksum
-        | InertUdpLengthLong | InertUdpLengthShort => {
+        InertLowTtl
+        | InertIpInvalidVersion
+        | InertIpInvalidHeaderLength
+        | InertIpTotalLengthLong
+        | InertIpTotalLengthShort
+        | InertIpWrongProtocol
+        | InertIpWrongChecksum
+        | InertIpInvalidOptions
+        | InertIpDeprecatedOptions
+        | InertTcpWrongSeq
+        | InertTcpWrongChecksum
+        | InertTcpNoAckFlag
+        | InertTcpInvalidDataOffset
+        | InertTcpInvalidFlags
+        | InertUdpBadChecksum
+        | InertUdpLengthLong
+        | InertUdpLengthShort => {
             let craft = inert_craft(technique, ctx.middlebox_ttl)?;
             let decoy = ScheduledPacket::inert(match_offset, ctx.decoy.clone(), craft);
             out.steps.insert(match_step, Step::Packet(decoy));
@@ -516,7 +525,9 @@ mod tests {
     #[test]
     fn udp_techniques_rejected_on_tcp() {
         let sched = Schedule::from_trace(&trace());
-        assert!(Technique::InertUdpBadChecksum.apply(&sched, &ctx()).is_none());
+        assert!(Technique::InertUdpBadChecksum
+            .apply(&sched, &ctx())
+            .is_none());
         assert!(Technique::UdpReorder.apply(&sched, &ctx()).is_none());
     }
 

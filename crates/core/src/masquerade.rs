@@ -102,8 +102,7 @@ mod tests {
         // Without the disguise: billed.
         let billed_before = read_billed_counter(&mut s);
         let plain = s.replay_trace(&workload, &ReplayOpts::default());
-        let plain_zero =
-            was_classified(&mut s, &Signal::ZeroRating, &plain, billed_before);
+        let plain_zero = was_classified(&mut s, &Signal::ZeroRating, &plain, billed_before);
         assert!(plain.complete && !plain_zero, "undisguised flow bills");
 
         // With a TTL-limited video bait: zero-rated.

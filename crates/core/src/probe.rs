@@ -58,9 +58,11 @@ pub fn locate_middlebox_rotating(
     for ttl in 1..=session.config.max_probe_ttl {
         rounds += 1;
         let ctx = EvasionContext::blind(matching_payload.to_vec(), ttl);
-        let schedule = Technique::InertLowTtl
-            .apply(&Schedule::from_trace(carrier), &ctx)
-            .expect("carrier trace must be TCP/UDP");
+        let Some(schedule) = Technique::InertLowTtl.apply(&Schedule::from_trace(carrier), &ctx)
+        else {
+            // A carrier with no data packets can't probe at any TTL.
+            break;
+        };
         let billed_before = read_billed_counter(session);
         let opts = ReplayOpts {
             server_port: rotate_base.map(|b| b.wrapping_add(ttl as u16)),
@@ -189,10 +191,11 @@ mod tests {
         let mut s = session(EnvKind::TMobile);
         // The carrier must move >= 200 KB per round for a reliable
         // zero-rating counter read (§6.2).
-        let carrier = liberate_traces::generator::generate(&liberate_traces::generator::WorkloadSpec {
-            server_bytes: 500_000,
-            ..Default::default()
-        });
+        let carrier =
+            liberate_traces::generator::generate(&liberate_traces::generator::WorkloadSpec {
+                server_bytes: 500_000,
+                ..Default::default()
+            });
         let loc = locate_middlebox(
             &mut s,
             &carrier,
@@ -220,7 +223,12 @@ mod tests {
     fn decoy_carries_marker_and_no_keywords() {
         let d = decoy_request();
         assert!(d.windows(DECOY_MARKER.len()).any(|w| w == DECOY_MARKER));
-        for kw in [&b"cloudfront"[..], b"economist", b"facebook", b"googlevideo"] {
+        for kw in [
+            &b"cloudfront"[..],
+            b"economist",
+            b"facebook",
+            b"googlevideo",
+        ] {
             assert!(liberate_traces::http::find(&d, kw).is_none());
         }
     }

@@ -59,7 +59,10 @@ pub struct ReplayServerApp {
 }
 
 impl ReplayServerApp {
-    pub fn new(trace: &RecordedTrace, skip_prefix: u64) -> (ReplayServerApp, Arc<Mutex<ReplayServerShared>>) {
+    pub fn new(
+        trace: &RecordedTrace,
+        skip_prefix: u64,
+    ) -> (ReplayServerApp, Arc<Mutex<ReplayServerShared>>) {
         let mut tcp_script = Vec::new();
         let mut udp_script = Vec::new();
         let mut client_bytes = 0u64;
@@ -94,7 +97,10 @@ impl ServerApp for ReplayServerApp {
         let mut shared = self.shared.lock();
         shared.raw_received += data.len() as u64;
         // Apply the prefix skip.
-        let already = shared.received_stream.len() as u64 + self.skip_prefix.min(shared.raw_received - data.len() as u64);
+        let already = shared.received_stream.len() as u64
+            + self
+                .skip_prefix
+                .min(shared.raw_received - data.len() as u64);
         let _ = already;
         let mut data = data;
         let consumed_before = shared.raw_received - data.len() as u64;
@@ -462,7 +468,10 @@ impl Session {
             }
             expected_stream.extend_from_slice(&m.payload);
         }
-        let cmp_len = received_stream.len().min(expected_stream.len()).min(1 << 20);
+        let cmp_len = received_stream
+            .len()
+            .min(expected_stream.len())
+            .min(1 << 20);
         let response_matches = received_stream[..cmp_len] == expected_stream[..cmp_len];
 
         let request_to_response = match (first_data_sent, first_payload_at) {
@@ -526,9 +535,9 @@ impl Session {
         if let Some(ttl) = opts.data_ttl {
             pkt.ip.ttl = ttl;
         }
-        pkt.ip.identification = (self.replays as u16).wrapping_mul(251).wrapping_add(
-            (sp.offset as u16).wrapping_mul(31),
-        );
+        pkt.ip.identification = (self.replays as u16)
+            .wrapping_mul(251)
+            .wrapping_add((sp.offset as u16).wrapping_mul(31));
         sp.craft.apply(&mut pkt);
         let wire = pkt.serialize();
 
@@ -629,7 +638,12 @@ mod tests {
             s.env.hops_before_middlebox + 1,
         );
         let out = s
-            .replay_with(&trace, &Technique::TtlRstBeforeMatch, &ctx, &ReplayOpts::default())
+            .replay_with(
+                &trace,
+                &Technique::TtlRstBeforeMatch,
+                &ctx,
+                &ReplayOpts::default(),
+            )
             .unwrap();
         assert!(!out.blocked(), "{out:?}");
         assert!(out.complete);

@@ -140,7 +140,11 @@ mod tests {
     fn table_renders_aligned() {
         let mut t = TextTable::new(&["Technique", "CC?", "RS?"]);
         t.row(vec!["Lower TTL".into(), "Y".into(), ".".into()]);
-        t.row(vec!["Wrong Checksum (a longer one)".into(), ".".into(), "Y~".into()]);
+        t.row(vec![
+            "Wrong Checksum (a longer one)".into(),
+            ".".into(),
+            "Y~".into(),
+        ]);
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -211,9 +215,7 @@ impl Json {
                         '\n' => out.push_str("\\n"),
                         '\r' => out.push_str("\\r"),
                         '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32))
-                        }
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                         c => out.push(c),
                     }
                 }

@@ -9,10 +9,10 @@
 
 use std::time::Duration;
 
+use liberate_packet::checksum::ChecksumSpec;
 use liberate_packet::ipv4::IpOption;
 use liberate_packet::packet::{Packet, Transport};
 use liberate_packet::tcp::TcpFlags;
-use liberate_packet::checksum::ChecksumSpec;
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceProtocol};
 
 /// Header mutations applied to one scheduled packet — the raw material of
@@ -98,8 +98,7 @@ impl Craft {
                     u.checksum = ChecksumSpec::Fixed(0xbadc);
                 }
                 if let Some(delta) = self.udp_length_delta {
-                    let actual =
-                        (liberate_packet::udp::UDP_HEADER_LEN + pkt.payload.len()) as i64;
+                    let actual = (liberate_packet::udp::UDP_HEADER_LEN + pkt.payload.len()) as i64;
                     u.length = Some((actual + delta as i64).clamp(0, u16::MAX as i64) as u16);
                 }
             }
@@ -166,7 +165,9 @@ pub enum Step {
     Pause(Duration),
     /// Wait until the client has received at least this many cumulative
     /// payload bytes from the server.
-    AwaitServer { cumulative_bytes: u64 },
+    AwaitServer {
+        cumulative_bytes: u64,
+    },
 }
 
 /// The full client-side plan for one replay.

@@ -93,10 +93,7 @@ impl LiberateSocket {
             .iter()
             .filter(|(_, w)| {
                 ParsedPacket::parse(w)
-                    .and_then(|p| {
-                        p.tcp()
-                            .map(|t| t.flags.rst && t.dst_port == client_port)
-                    })
+                    .and_then(|p| p.tcp().map(|t| t.flags.rst && t.dst_port == client_port))
                     .unwrap_or(false)
             })
             .count();
@@ -189,8 +186,12 @@ impl LiberateSocket {
         }
 
         // Emit.
-        let (cport, sport, cisn, sisn) =
-            (conn.client_port, conn.server_port, conn.client_isn, conn.server_isn);
+        let (cport, sport, cisn, sisn) = (
+            conn.client_port,
+            conn.server_port,
+            conn.client_isn,
+            conn.server_isn,
+        );
         for step in &schedule.steps {
             match step {
                 Step::Pause(d) => {
@@ -217,18 +218,14 @@ impl LiberateSocket {
                             .network
                             .send_from_client(Duration::ZERO, wire),
                         Some(plan) => {
-                            let chunk =
-                                (((wire.len() - 20) / plan.pieces.max(1)) / 8).max(1) * 8;
+                            let chunk = (((wire.len() - 20) / plan.pieces.max(1)) / 8).max(1) * 8;
                             let mut frags =
                                 liberate_packet::fragment::fragment_packet(&wire, chunk);
                             if plan.reverse {
                                 frags.reverse();
                             }
                             for f in frags {
-                                self.session
-                                    .env
-                                    .network
-                                    .send_from_client(Duration::ZERO, f);
+                                self.session.env.network.send_from_client(Duration::ZERO, f);
                             }
                         }
                     }
@@ -237,7 +234,7 @@ impl LiberateSocket {
             }
             self.drain_inbox();
         }
-        let conn = self.conn.as_mut().expect("present");
+        let conn = self.conn.as_mut().ok_or(LiberateError::HandshakeFailed)?;
         conn.offset += data.len() as u64;
         Ok(())
     }
@@ -316,7 +313,11 @@ mod tests {
 
     fn socket(kind: EnvKind) -> LiberateSocket {
         let mut session = Session::new(kind, OsKind::Linux, LiberateConfig::default());
-        session.env.network.server.set_app(Box::<EchoApp>::default());
+        session
+            .env
+            .network
+            .server
+            .set_app(Box::<EchoApp>::default());
         LiberateSocket::new(session)
     }
 
@@ -365,10 +366,7 @@ mod tests {
         s.use_technique(
             Technique::TcpSegmentSplit { segments: 2 },
             EvasionContext {
-                matching_fields: vec![liberate_packet::mutate::ByteRegion::new(
-                    0,
-                    pos..pos + 12,
-                )],
+                matching_fields: vec![liberate_packet::mutate::ByteRegion::new(0, pos..pos + 12)],
                 decoy: decoy_request(),
                 middlebox_ttl: 8,
             },

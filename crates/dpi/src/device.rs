@@ -553,12 +553,7 @@ impl PathElement for DpiDevice {
                 {
                     let entry = self
                         .table
-                        .lookup(
-                            key,
-                            now,
-                            &self.config.flow,
-                            self.config.resource.as_ref(),
-                        )
+                        .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
                         .expect("present");
                     if entry.classification.is_none() {
                         entry.classification = Some(Classification {

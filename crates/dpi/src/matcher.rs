@@ -27,7 +27,10 @@ mod tests {
 
     #[test]
     fn find_positions() {
-        assert_eq!(find(b"Host: cloudfront.net\r\n", b"cloudfront.net"), Some(6));
+        assert_eq!(
+            find(b"Host: cloudfront.net\r\n", b"cloudfront.net"),
+            Some(6)
+        );
         assert_eq!(find(b"abc", b"abc"), Some(0));
         assert_eq!(find(b"abc", b"abcd"), None);
         assert_eq!(find(b"abc", b""), None);

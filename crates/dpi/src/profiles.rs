@@ -19,9 +19,7 @@ use liberate_packet::validate::Malformation::*;
 
 use crate::actions::{BlockBehavior, Policy};
 use crate::device::{DpiConfig, DpiDevice};
-use crate::inspect::{
-    FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode, RstEffect,
-};
+use crate::inspect::{FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode, RstEffect};
 use crate::proxy::{ProxyConfig, TransparentProxy};
 use crate::resource::TimeOfDayLoad;
 use crate::rules::{MatchRule, RuleSet};
@@ -401,8 +399,7 @@ pub fn build_environment(
                 RouterHop::new(
                     "gw-normalizer",
                     hop_addr(2),
-                    FilterPolicy::strict_normalizer()
-                        .with_fragments(FragmentHandling::Reassemble),
+                    FilterPolicy::strict_normalizer().with_fragments(FragmentHandling::Reassemble),
                 )
                 .silent(),
             ));
@@ -469,9 +466,7 @@ pub fn build_environment(
                     )));
                 }
             }
-            elements.push(Box::new(DpiDevice::new(gfc_device(
-                start_time_of_day_secs,
-            ))));
+            elements.push(Box::new(DpiDevice::new(gfc_device(start_time_of_day_secs))));
             for i in 10..=13u8 {
                 elements.push(Box::new(RouterHop::transparent(
                     format!("r{i}"),

@@ -150,7 +150,7 @@ impl TransparentProxy {
             config,
             flows: HashMap::new(),
             isn_counter: 0x6000_0000,
-        classified_flows: 0,
+            classified_flows: 0,
         }
     }
 
@@ -193,9 +193,7 @@ impl TransparentProxy {
                     );
                     flow.client.snd_next = flow.client.snd_next.wrapping_add(chunk.len() as u32);
                     let at = if flow.classified {
-                        let shaper = flow
-                            .shaper
-                            .get_or_insert_with(|| TokenBucket::new(0, 0));
+                        let shaper = flow.shaper.get_or_insert_with(|| TokenBucket::new(0, 0));
                         shaper.schedule(now, chunk.len() + 40)
                     } else {
                         now
@@ -388,13 +386,7 @@ impl PathElement for TransparentProxy {
                     );
                     if !flow.pending_to_server.is_empty() {
                         let data = std::mem::take(&mut flow.pending_to_server);
-                        Self::send_segments(
-                            flow,
-                            now,
-                            Direction::ClientToServer,
-                            &data,
-                            effects,
-                        );
+                        Self::send_segments(flow, now, Direction::ClientToServer, &data, effects);
                     }
                     return Verdict::Drop;
                 }
@@ -446,7 +438,8 @@ impl PathElement for TransparentProxy {
                                 .request_tokens
                                 .iter()
                                 .all(|t| contains(&flow.client.stream, t));
-                            let resp_ok = contains(&flow.server.stream, &self.config.response_keyword);
+                            let resp_ok =
+                                contains(&flow.server.stream, &self.config.response_keyword);
                             if req_ok && resp_ok {
                                 flow.classified = true;
                                 let (rate, burst) = self.config.throttle;

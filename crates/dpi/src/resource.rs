@@ -116,10 +116,7 @@ mod tests {
         // Simulation starting at midnight.
         let model = TimeOfDayLoad::gfc(0);
         // 03:00 — quiet: no eviction.
-        assert_eq!(
-            model.eviction_threshold(SimTime::from_secs(3 * 3600)),
-            None
-        );
+        assert_eq!(model.eviction_threshold(SimTime::from_secs(3 * 3600)), None);
         // 13:00 — busy: 40 s.
         assert_eq!(
             model.eviction_threshold(SimTime::from_secs(13 * 3600)),
@@ -140,7 +137,10 @@ mod tests {
             let t = SimTime::from_micros(i * 1_234_567);
             let d = model.eviction_threshold(t).unwrap();
             // Band: 40 s ± 50 %.
-            assert!(d >= Duration::from_secs(20) && d <= Duration::from_secs(60), "{d:?}");
+            assert!(
+                d >= Duration::from_secs(20) && d <= Duration::from_secs(60),
+                "{d:?}"
+            );
             // Deterministic: same instant, same answer.
             assert_eq!(model.eviction_threshold(t), Some(d));
             seen.insert(d.as_millis());

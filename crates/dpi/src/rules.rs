@@ -175,8 +175,18 @@ mod tests {
         let r = MatchRule::keyword("sq", "skype", vec![0x80, 0x55])
             .client_only()
             .in_packet(0);
-        assert!(r.matches(&[0, 1, 0x80, 0x55], Direction::ClientToServer, 3478, Some(0)));
-        assert!(!r.matches(&[0, 1, 0x80, 0x55], Direction::ClientToServer, 3478, Some(1)));
+        assert!(r.matches(
+            &[0, 1, 0x80, 0x55],
+            Direction::ClientToServer,
+            3478,
+            Some(0)
+        ));
+        assert!(!r.matches(
+            &[0, 1, 0x80, 0x55],
+            Direction::ClientToServer,
+            3478,
+            Some(1)
+        ));
         // Reassembled stream data has no packet index: position rules skip.
         assert!(!r.matches(&[0, 1, 0x80, 0x55], Direction::ClientToServer, 3478, None));
     }

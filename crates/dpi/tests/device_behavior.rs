@@ -25,7 +25,8 @@ impl Client {
     fn connect(env: &mut Environment, sport: u16, dport: u16) -> Client {
         let syn = Packet::tcp(CLIENT_ADDR, SERVER_ADDR, sport, dport, 5000, 0, vec![])
             .with_flags(TcpFlags::SYN);
-        env.network.send_from_client(Duration::ZERO, syn.serialize());
+        env.network
+            .send_from_client(Duration::ZERO, syn.serialize());
         env.network.run_until_idle();
         let inbox = env.network.take_client_inbox();
         let syn_ack = inbox
@@ -53,7 +54,8 @@ impl Client {
             payload.to_vec(),
         );
         self.seq = self.seq.wrapping_add(payload.len() as u32);
-        env.network.send_from_client(Duration::ZERO, pkt.serialize());
+        env.network
+            .send_from_client(Duration::ZERO, pkt.serialize());
         env.network.run_until_idle();
     }
 
@@ -72,9 +74,17 @@ fn received_rst(env: &mut Environment) -> bool {
 
 #[test]
 fn testbed_classifies_prime_video() {
-    let mut env = build_environment(EnvKind::Testbed, OsKind::Linux, Box::<EchoApp>::default(), 0);
+    let mut env = build_environment(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        Box::<EchoApp>::default(),
+        0,
+    );
     let mut c = Client::connect(&mut env, CPORT, 80);
-    c.send(&mut env, &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"));
+    c.send(
+        &mut env,
+        &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"),
+    );
     let key = c.flow_key();
     let class = env.dpi_mut().unwrap().classification_of(key);
     assert_eq!(class.as_deref(), Some("video"));
@@ -82,7 +92,12 @@ fn testbed_classifies_prime_video() {
 
 #[test]
 fn testbed_one_byte_first_packet_evades() {
-    let mut env = build_environment(EnvKind::Testbed, OsKind::Linux, Box::<EchoApp>::default(), 0);
+    let mut env = build_environment(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        Box::<EchoApp>::default(),
+        0,
+    );
     let mut c = Client::connect(&mut env, CPORT, 80);
     let req = get_request("x.cloudfront.net", "/v.mp4", "Prime/5");
     c.send(&mut env, &req[..1]);
@@ -93,11 +108,19 @@ fn testbed_one_byte_first_packet_evades() {
 
 #[test]
 fn testbed_decoy_changes_class_and_result_times_out() {
-    let mut env = build_environment(EnvKind::Testbed, OsKind::Linux, Box::<EchoApp>::default(), 0);
+    let mut env = build_environment(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        Box::<EchoApp>::default(),
+        0,
+    );
     let mut c = Client::connect(&mut env, CPORT, 80);
     // A decoy for the innocuous class occupies the first inspected packet.
     c.send(&mut env, &get_request("www.example.org", "/", "curl"));
-    c.send(&mut env, &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"));
+    c.send(
+        &mut env,
+        &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"),
+    );
     let key = c.flow_key();
     assert_eq!(
         env.dpi_mut().unwrap().classification_of(key).as_deref(),
@@ -124,7 +147,8 @@ fn gfc_blocks_economist_and_penalizes_server_port() {
 
     let syn = Packet::tcp(CLIENT_ADDR, SERVER_ADDR, CPORT + 2, 80, 9000, 0, vec![])
         .with_flags(TcpFlags::SYN);
-    env.network.send_from_client(Duration::ZERO, syn.serialize());
+    env.network
+        .send_from_client(Duration::ZERO, syn.serialize());
     env.network.run_until_idle();
     assert!(
         received_rst(&mut env),
@@ -155,7 +179,10 @@ fn gfc_reassembles_split_segments() {
     let cut = req.len() / 2;
     c.send(&mut env, &req[..cut]);
     c.send(&mut env, &req[cut..]);
-    assert!(received_rst(&mut env), "the GFC reassembles; splitting fails");
+    assert!(
+        received_rst(&mut env),
+        "the GFC reassembles; splitting fails"
+    );
 }
 
 #[test]
@@ -196,9 +223,17 @@ fn iran_blocks_on_port_80_only_and_splitting_works() {
 
 #[test]
 fn tmus_zero_rates_video_and_reordering_evades() {
-    let mut env = build_environment(EnvKind::TMobile, OsKind::Linux, Box::<EchoApp>::default(), 0);
+    let mut env = build_environment(
+        EnvKind::TMobile,
+        OsKind::Linux,
+        Box::<EchoApp>::default(),
+        0,
+    );
     let mut c = Client::connect(&mut env, CPORT, 80);
-    c.send(&mut env, &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"));
+    c.send(
+        &mut env,
+        &get_request("x.cloudfront.net", "/v.mp4", "Prime/5"),
+    );
     let dpi = env.dpi_mut().unwrap();
     assert!(dpi.zero_rated_bytes > 0, "video flow should be zero-rated");
     assert_eq!(
@@ -215,7 +250,12 @@ fn tmus_zero_rates_video_and_reordering_evades() {
 
     // Reversed two-segment order: the first arriving payload packet does
     // not begin with GET, the gate fails, nothing is classified.
-    let mut env = build_environment(EnvKind::TMobile, OsKind::Linux, Box::<EchoApp>::default(), 0);
+    let mut env = build_environment(
+        EnvKind::TMobile,
+        OsKind::Linux,
+        Box::<EchoApp>::default(),
+        0,
+    );
     let mut c = Client::connect(&mut env, CPORT, 80);
     let req = get_request("x.cloudfront.net", "/v.mp4", "Prime/5");
     let cut = req.len() / 2;
@@ -277,7 +317,10 @@ fn att_proxy_transfers_and_throttles_video() {
     let mut env = build_environment(EnvKind::Att, OsKind::Linux, Box::new(VideoApp), 0);
     let mut c = Client::connect(&mut env, CPORT, 80);
     let t0 = env.network.clock;
-    c.send(&mut env, &get_request("stream.nbcsports.com", "/live", "NBC/7"));
+    c.send(
+        &mut env,
+        &get_request("stream.nbcsports.com", "/live", "NBC/7"),
+    );
     env.network.run_until_idle();
     let inbox = env.network.take_client_inbox();
     let received: usize = inbox

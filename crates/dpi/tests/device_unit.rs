@@ -99,7 +99,15 @@ fn reset_clears_everything() {
 fn loose_transport_parsing_is_testbed_only() {
     // A wrong-protocol packet carrying a matching TCP segment.
     let mk = |port: u16| {
-        let mut p = Packet::tcp(C, S, port, 80, 101, 1, get_request("x.cloudfront.net", "/v", "p"));
+        let mut p = Packet::tcp(
+            C,
+            S,
+            port,
+            80,
+            101,
+            1,
+            get_request("x.cloudfront.net", "/v", "p"),
+        );
         p.ip.protocol = Some(253);
         p.serialize()
     };
@@ -132,7 +140,10 @@ fn gfc_resource_model_evicts_by_time_of_day() {
     feed(&mut dev, SimTime::ZERO, syn(40_000, 100));
     let later = SimTime::from_secs(50);
     feed(&mut dev, later, data(40_000, 101, &req));
-    assert!(dev.last_event().is_none(), "busy-hour state evicted at 40 s");
+    assert!(
+        dev.last_event().is_none(),
+        "busy-hour state evicted at 40 s"
+    );
 
     // Same play at 3 AM (quiet: no eviction): classified.
     let mut dev = DpiDevice::new(gfc_device(3 * 3600));
@@ -177,7 +188,11 @@ fn throttle_delays_server_direction_only() {
         data(40_000, 101, &get_request("x.cloudfront.net", "/v", "p")),
     );
     // Client-direction packets of a throttled flow pass immediately.
-    let v = feed(&mut dev, SimTime::from_secs(1), data(40_000, 50_000, &[1u8; 100]));
+    let v = feed(
+        &mut dev,
+        SimTime::from_secs(1),
+        data(40_000, 50_000, &[1u8; 100]),
+    );
     match v {
         Verdict::Forward(out) => assert_eq!(out[0].at, SimTime::from_secs(1)),
         Verdict::Drop => panic!("forwarded"),

@@ -93,7 +93,12 @@ fn client_rst_tears_down_both_sides() {
     let mut proxy = TransparentProxy::new(ProxyConfig::stream_saver());
     let mut fx = Effects::default();
     let syn = Packet::tcp(C, S, 40_000, 80, 100, 0, vec![]).with_flags(TcpFlags::SYN);
-    let v = proxy.process(SimTime::ZERO, Direction::ClientToServer, syn.serialize(), &mut fx);
+    let v = proxy.process(
+        SimTime::ZERO,
+        Direction::ClientToServer,
+        syn.serialize(),
+        &mut fx,
+    );
     assert_eq!(v, Verdict::Drop, "the proxy absorbs the SYN");
     // It dialed the server and answered the client.
     assert_eq!(fx.toward_server.len(), 1);
@@ -101,7 +106,12 @@ fn client_rst_tears_down_both_sides() {
 
     let mut fx = Effects::default();
     let rst = Packet::tcp(C, S, 40_000, 80, 101, 1, vec![]).with_flags(TcpFlags::RST);
-    let v = proxy.process(SimTime::ZERO, Direction::ClientToServer, rst.serialize(), &mut fx);
+    let v = proxy.process(
+        SimTime::ZERO,
+        Direction::ClientToServer,
+        rst.serialize(),
+        &mut fx,
+    );
     assert_eq!(v, Verdict::Drop);
     // The teardown propagates as the proxy's own RST toward the server.
     assert_eq!(fx.toward_server.len(), 1);
@@ -111,7 +121,12 @@ fn client_rst_tears_down_both_sides() {
     // The flow is gone: further data is swallowed without effects.
     let mut fx = Effects::default();
     let data = Packet::tcp(C, S, 40_000, 80, 101, 1, &b"late"[..]);
-    let v = proxy.process(SimTime::ZERO, Direction::ClientToServer, data.serialize(), &mut fx);
+    let v = proxy.process(
+        SimTime::ZERO,
+        Direction::ClientToServer,
+        data.serialize(),
+        &mut fx,
+    );
     assert_eq!(v, Verdict::Drop);
     assert!(fx.is_empty());
 }
@@ -123,7 +138,15 @@ fn out_of_order_client_segments_are_reassembled_by_the_proxy() {
     let payload = b"GET /abcdef HTTP/1.1\r\n\r\n";
     let cut = 10;
     // Tail first, then head.
-    let tail = Packet::tcp(C, S, 40_000, 80, cseq + cut, 1, payload[cut as usize..].to_vec());
+    let tail = Packet::tcp(
+        C,
+        S,
+        40_000,
+        80,
+        cseq + cut,
+        1,
+        payload[cut as usize..].to_vec(),
+    );
     net.send_from_client(Duration::ZERO, tail.serialize());
     net.run_until_idle();
     let head = Packet::tcp(C, S, 40_000, 80, cseq, 1, payload[..cut as usize].to_vec());
@@ -148,7 +171,12 @@ fn malformed_packets_die_at_the_proxy() {
     let mut fx = Effects::default();
     let mut bad = Packet::tcp(C, S, 40_000, 80, 100, 0, &b"x"[..]);
     bad.tcp_mut().checksum = liberate_packet::checksum::ChecksumSpec::Fixed(1);
-    let v = proxy.process(SimTime::ZERO, Direction::ClientToServer, bad.serialize(), &mut fx);
+    let v = proxy.process(
+        SimTime::ZERO,
+        Direction::ClientToServer,
+        bad.serialize(),
+        &mut fx,
+    );
     assert_eq!(v, Verdict::Drop);
     assert!(fx.is_empty(), "no proxy reaction to garbage");
 }

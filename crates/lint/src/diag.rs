@@ -1,0 +1,115 @@
+//! Diagnostics: the unit of lint output, plus plain-text and JSON
+//! rendering. The JSON encoder is hand-rolled (string escaping only —
+//! the payload is flat) to keep the crate dependency-free.
+
+use std::fmt;
+
+/// One finding: a rule violated at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    /// Path relative to the workspace root, with `/` separators.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a diagnostic list as a machine-readable JSON report:
+/// `{"count": N, "diagnostics": [{"rule": ..., "file": ..., "line": N,
+/// "message": ...}, ...]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"count\":{},\"diagnostics\":[", diags.len()));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule_message() {
+        let d = Diagnostic {
+            rule: "no-panic",
+            file: "crates/core/src/socket.rs".into(),
+            line: 42,
+            message: "call to unwrap() outside tests".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/socket.rs:42: [no-panic] call to unwrap() outside tests"
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let diags = vec![
+            Diagnostic {
+                rule: "determinism",
+                file: "crates/netsim/src/link.rs".into(),
+                line: 7,
+                message: "SystemTime::now in simulated code".into(),
+            },
+            Diagnostic {
+                rule: "no-panic",
+                file: "a.rs".into(),
+                line: 1,
+                message: "quote \" and backslash \\".into(),
+            },
+        ];
+        let json = to_json(&diags);
+        assert!(json.starts_with("{\"count\":2,\"diagnostics\":["));
+        assert!(json.contains("\"rule\":\"determinism\""));
+        assert!(json.contains("\"file\":\"crates/netsim/src/link.rs\""));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("quote \\\" and backslash \\\\"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(to_json(&[]), "{\"count\":0,\"diagnostics\":[]}");
+    }
+}

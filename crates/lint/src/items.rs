@@ -1,0 +1,294 @@
+//! Structural views over the token stream: `#[cfg(test)]` masking,
+//! function spans, and enum variant lists. Token-based, so it tolerates
+//! any formatting, but it is deliberately not a full parser — the rules
+//! only need to know *which function* and *whether test code*.
+
+use crate::lexer::Token;
+
+/// Token-index span of one `fn`, signature through closing brace.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub line: u32,
+    /// Index of the `fn` keyword token.
+    pub start: usize,
+    /// Index of the token after the body's closing `}` (exclusive).
+    /// For bodyless declarations (trait methods), the token after `;`.
+    pub end: usize,
+    /// Index of the body's opening `{`, if there is a body.
+    pub body_start: Option<usize>,
+}
+
+/// Per-token flag: true when the token sits inside an item gated by
+/// `#[cfg(test)]` (a `mod tests { .. }` block or a test-only fn).
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let attr_start = i;
+            // Skip this attribute and any that follow (e.g. #[test], #[allow]).
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is("#") {
+                j = skip_attr(tokens, j);
+            }
+            // Mask through the item's brace block, or to `;` for
+            // brace-less items (`#[cfg(test)] use ...;`).
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is("{") && !tokens[k].is(";") {
+                k += 1;
+            }
+            let end = if k < tokens.len() && tokens[k].is("{") {
+                matching_brace(tokens, k)
+            } else {
+                k + 1
+            };
+            for m in mask.iter_mut().take(end.min(tokens.len())).skip(attr_start) {
+                *m = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Does an attribute starting at `i` (the `#` token) contain `cfg` ... `test`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is("#") || !tokens.get(i + 1).is_some_and(|t| t.is("[")) {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    let body = &tokens[i + 2..end.saturating_sub(1).max(i + 2)];
+    body.iter().any(|t| t.is("cfg")) && body.iter().any(|t| t.is("test"))
+}
+
+/// Given `i` at a `#` token, return the index just past the attribute's
+/// closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is("[")) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is("[") {
+            depth += 1;
+        } else if tokens[j].is("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Given `i` at a `{` token, return the index just past its matching `}`.
+fn matching_brace(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is("{") {
+            depth += 1;
+        } else if tokens[j].is("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Every `fn` in the token stream, with body spans resolved.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                break;
+            };
+            let name = name_tok.text.clone();
+            // Find the body `{` or terminating `;`. Signatures contain no
+            // braces, so the first of either ends the signature.
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is("{") && !tokens[j].is(";") {
+                j += 1;
+            }
+            let (end, body_start) = if j < tokens.len() && tokens[j].is("{") {
+                (matching_brace(tokens, j), Some(j))
+            } else {
+                (j + 1, None)
+            };
+            spans.push(FnSpan {
+                name,
+                line: tokens[i].line,
+                start: i,
+                end,
+                body_start,
+            });
+            // Nested fns are rare and harmless to re-report; step past the
+            // signature only so nested bodies are still scanned.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// The variant names (with declaration lines) of `enum <name> { ... }`.
+pub fn enum_variants(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is("enum") && tokens[i + 1].is(name) && tokens[i + 2].is("{") {
+            let end = matching_brace(tokens, i + 2);
+            let mut j = i + 3;
+            let mut expect_variant = true;
+            while j < end.saturating_sub(1) {
+                let t = &tokens[j];
+                if t.is("#") {
+                    j = skip_attr(tokens, j);
+                    continue;
+                }
+                if expect_variant {
+                    variants.push((t.text.clone(), t.line));
+                    expect_variant = false;
+                    j += 1;
+                    continue;
+                }
+                // Skip the variant's payload/discriminant to the next
+                // top-level comma.
+                match t.text.as_str() {
+                    "{" => j = matching_brace(tokens, j),
+                    "(" => {
+                        let mut depth = 0usize;
+                        while j < end {
+                            if tokens[j].is("(") {
+                                depth += 1;
+                            } else if tokens[j].is(")") {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    "," => {
+                        expect_variant = true;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const SRC: &str = r#"
+pub fn live() -> u8 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated() { assert_eq!(super::live(), 1); }
+}
+
+pub fn also_live(x: Option<u8>) -> u8 { x.map(|v| v + 1).unwrap_or(0) }
+
+#[cfg(test)]
+#[allow(dead_code)]
+fn test_helper() {}
+"#;
+
+    #[test]
+    fn mask_covers_test_items_only() {
+        let out = lex(SRC);
+        let mask = test_mask(&out.tokens);
+        for (tok, &masked) in out.tokens.iter().zip(&mask) {
+            match tok.text.as_str() {
+                "gated" | "test_helper" | "assert_eq" => assert!(masked, "{}", tok.text),
+                "live" if tok.line == 2 => assert!(!masked),
+                "also_live" => assert!(!masked),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fn_spans_find_names_and_bodies() {
+        let out = lex(SRC);
+        let spans = fn_spans(&out.tokens);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["live", "gated", "also_live", "test_helper"]);
+        assert!(spans.iter().all(|s| s.body_start.is_some()));
+        // `live`'s body must not swallow the next fn.
+        let live = &spans[0];
+        assert!(out.tokens[live.start..live.end]
+            .iter()
+            .all(|t| !t.is("gated")));
+    }
+
+    #[test]
+    fn trait_method_without_body() {
+        let out = lex("trait T { fn decl(&self) -> u8; } fn after() {}");
+        let spans = fn_spans(&out.tokens);
+        assert_eq!(spans[0].name, "decl");
+        assert!(spans[0].body_start.is_none());
+        assert_eq!(spans[1].name, "after");
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let src = r#"
+#[derive(Debug)]
+pub enum Technique {
+    InertLowTtl,
+    TcpSegmentSplit { segments: usize },
+    PauseAfterMatch(f64),
+    #[doc(hidden)]
+    DummyPrefixData { bytes: usize },
+}
+"#;
+        let out = lex(src);
+        let names: Vec<String> = enum_variants(&out.tokens, "Technique")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "InertLowTtl",
+                "TcpSegmentSplit",
+                "PauseAfterMatch",
+                "DummyPrefixData"
+            ]
+        );
+    }
+
+    #[test]
+    fn other_enums_are_not_matched() {
+        let out = lex("enum Other { A, B } enum Technique { X }");
+        let names: Vec<String> = enum_variants(&out.tokens, "Technique")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["X"]);
+    }
+}

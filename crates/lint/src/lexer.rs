@@ -1,0 +1,339 @@
+//! A lightweight Rust tokenizer: just enough lexical structure for the
+//! rule engine, with comments and string/char literals stripped so that
+//! prose like "never panics" or a `'#'` byte literal can't trip a rule.
+//!
+//! Comments are not discarded entirely: their text is scanned for
+//! `lint: allow(<rule>)` annotations, the suppression mechanism every rule
+//! honors.
+
+/// One lexical atom. Identifiers and numbers arrive whole; punctuation is
+/// one token per character (`=>` is `=` then `>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// A `lint: allow(rule)` or `lint: allow(rule: Detail)` annotation found
+/// in a comment. `detail` narrows the suppression (e.g. one enum variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub detail: Option<String>,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Extract every `lint: allow(...)` annotation from a comment's text.
+fn scan_comment(text: &str, line: u32, allows: &mut Vec<Allow>) {
+    let mut rest = text;
+    let mut line = line;
+    let mut offset_line = 0u32;
+    while let Some(pos) = rest.find("lint: allow(") {
+        offset_line += rest[..pos].matches('\n').count() as u32;
+        let after = &rest[pos + "lint: allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        let inner = &after[..close];
+        let (rule, detail) = match inner.split_once(':') {
+            Some((r, d)) => (r.trim().to_string(), Some(d.trim().to_string())),
+            None => (inner.trim().to_string(), None),
+        };
+        if !rule.is_empty() {
+            allows.push(Allow {
+                rule,
+                detail,
+                line: line + offset_line,
+            });
+        }
+        rest = &after[close..];
+        line += 0; // line advances only via offset_line accounting above
+    }
+}
+
+/// Tokenize `source`, stripping comments (mined for allow annotations),
+/// string literals, char literals, and lifetimes.
+pub fn lex(source: &str) -> LexOutput {
+    let b = source.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push_tok {
+        ($text:expr, $line:expr) => {
+            out.tokens.push(Token {
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (covers /// and //! doc comments).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = source[i..].find('\n').map_or(b.len(), |p| i + p);
+                scan_comment(&source[i..end], line, &mut out.allows);
+                i = end;
+            }
+            // Block comment, possibly nested.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                scan_comment(&source[start..i], start_line, &mut out.allows);
+            }
+            // Raw / byte string prefixes and plain identifiers.
+            c if is_ident_start(c) => {
+                // r"...", r#"..."#, br"...", b"...", b'...'
+                let rest = &b[i..];
+                let (is_raw, prefix_len) = match rest {
+                    [b'r', b'"' | b'#', ..] => (true, 1),
+                    [b'b', b'r', b'"' | b'#', ..] => (true, 2),
+                    [b'b', b'"', ..] => (false, 1),
+                    [b'b', b'\'', ..] => {
+                        // Byte char literal b'x'.
+                        i += 2;
+                        i = skip_char_literal_body(b, i, &mut line);
+                        continue;
+                    }
+                    _ => (false, 0),
+                };
+                if is_raw {
+                    i += prefix_len;
+                    let mut hashes = 0usize;
+                    while b.get(i) == Some(&b'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        i += 1;
+                        // Scan for `"` followed by `hashes` hashes.
+                        loop {
+                            match b.get(i) {
+                                None => break,
+                                Some(b'\n') => {
+                                    line += 1;
+                                    i += 1;
+                                }
+                                Some(b'"')
+                                    if b[i + 1..]
+                                        .iter()
+                                        .take(hashes)
+                                        .filter(|&&h| h == b'#')
+                                        .count()
+                                        == hashes =>
+                                {
+                                    i += 1 + hashes;
+                                    break;
+                                }
+                                Some(_) => i += 1,
+                            }
+                        }
+                        continue;
+                    }
+                    // `r` or `br` not actually a raw string (e.g. ident
+                    // `r#ident`); rewind and lex as identifier.
+                    i -= prefix_len + hashes;
+                } else if prefix_len == 1 {
+                    // b"..."
+                    i += 2;
+                    i = skip_string_body(b, i, &mut line);
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push_tok!(source[start..i].to_string(), line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push_tok!(source[start..i].to_string(), line);
+            }
+            b'"' => {
+                i += 1;
+                i = skip_string_body(b, i, &mut line);
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // closed by another `'` (so `'a` is a lifetime, `'a'` a char).
+                let rest = &b[i + 1..];
+                let looks_like_lifetime = rest.first().is_some_and(|&c| is_ident_start(c)) && {
+                    let mut j = 1;
+                    while rest.get(j).is_some_and(|&c| is_ident_continue(c)) {
+                        j += 1;
+                    }
+                    rest.get(j) != Some(&b'\'')
+                };
+                if looks_like_lifetime {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                    i = skip_char_literal_body(b, i, &mut line);
+                }
+            }
+            _ => {
+                push_tok!((c as char).to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn skip_string_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_literal_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let toks = texts(r#"let x = "unwrap() inside a string"; // unwrap() in comment"#);
+        assert_eq!(toks, vec!["let", "x", "=", ";"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_stripped() {
+        let toks = texts(r##"f(r#"panic!("no")"#, b"expect(", b'#');"##);
+        assert_eq!(toks, vec!["f", "(", ",", ",", ")", ";"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&"str".to_string()));
+        assert!(!toks.contains(&"x'".to_string()));
+        // The char literal body is gone entirely.
+        assert_eq!(toks.iter().filter(|t| *t == "x").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n\nc \"multi\nline\" d");
+        let lines: Vec<(String, u32)> = out.tokens.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 4),
+                ("d".into(), 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let out = lex(concat!(
+            "// lint: allow(no-panic) invariant: caller checked\n",
+            "fn f() {}\n",
+            "// lint: allow(taxonomy-exhaustiveness: DummyPrefixData) not a row\n",
+        ));
+        assert_eq!(
+            out.allows,
+            vec![
+                Allow {
+                    rule: "no-panic".into(),
+                    detail: None,
+                    line: 1
+                },
+                Allow {
+                    rule: "taxonomy-exhaustiveness".into(),
+                    detail: Some("DummyPrefixData".into()),
+                    line: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_tokenize() {
+        let toks = texts("//! let report = proxy.run().expect(\"works\");\nfn real() {}");
+        assert_eq!(toks, vec!["fn", "real", "(", ")", "{", "}"]);
+    }
+}

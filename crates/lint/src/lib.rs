@@ -1,0 +1,242 @@
+//! liberate-lint: dependency-free domain-invariant static analysis for
+//! the lib·erate workspace.
+//!
+//! The Rust compiler enforces memory safety; these rules enforce the
+//! *paper's* invariants — the properties that make a differentiation
+//! verdict or an evasion schedule trustworthy but that no type system
+//! sees:
+//!
+//! - **checksum-repair** — byte-mutating fns repair TCP/IP checksums (or
+//!   declare the corruption intentional).
+//! - **taxonomy-exhaustiveness** — every `Technique` variant is handled
+//!   in every Table 3 query fn, with no `_ =>` wildcards.
+//! - **determinism** — no wall clock or ambient RNG in the simulator and
+//!   DPI models.
+//! - **no-panic** — library crates report errors via `LiberateError`,
+//!   never by unwinding.
+//!
+//! Suppression: `// lint: allow(<rule>)` within two lines above (or on)
+//! the flagged line, or `// lint: allow(<rule>: <subject>)` anywhere in
+//! the file to suppress findings about one named fn or variant.
+
+pub mod diag;
+pub mod items;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use diag::{to_json, Diagnostic};
+use lexer::Allow;
+use rules::{Rule, RuleCtx};
+
+/// How many lines above a finding a detail-less allow annotation reaches.
+const ALLOW_REACH_LINES: u32 = 2;
+
+/// Lint a single source text as if it lived at `rel_path` in the
+/// workspace. This is the unit the fixture tests drive.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source_with(&rules::all(), rel_path, source)
+}
+
+fn lint_source_with(active: &[Box<dyn Rule>], rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let mask = items::test_mask(&lexed.tokens);
+    let ctx = RuleCtx {
+        rel_path,
+        tokens: &lexed.tokens,
+        test_mask: &mask,
+    };
+    let mut out = Vec::new();
+    for rule in active {
+        if !rule.applies(rel_path) {
+            continue;
+        }
+        for finding in rule.check(&ctx) {
+            if suppressed(rule.name(), &finding, &lexed.allows) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: rule.name(),
+                file: rel_path.to_string(),
+                line: finding.line,
+                message: finding.message,
+            });
+        }
+    }
+    out
+}
+
+/// Does some allow annotation in the file cover this finding?
+fn suppressed(rule: &str, finding: &rules::Finding, allows: &[Allow]) -> bool {
+    allows.iter().any(|a| {
+        if a.rule != rule {
+            return false;
+        }
+        match (&a.detail, &finding.subject) {
+            // Detail allows are file-wide but bind to one subject.
+            (Some(detail), Some(subject)) => detail == subject,
+            (Some(_), None) => false,
+            // Point allows cover the annotated line and the next few,
+            // so the comment sits directly above the flagged code.
+            (None, _) => finding.line >= a.line && finding.line - a.line <= ALLOW_REACH_LINES,
+        }
+    })
+}
+
+/// Lint every `.rs` file of the workspace rooted at `root`.
+///
+/// Skips `target/`, `.git/`, and `vendor/` (registry stand-ins, not
+/// workspace code). Diagnostics come back sorted by file, line, rule.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let active = rules::all();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        // Cheap pre-filter: skip files no rule looks at.
+        if !active.iter().any(|r| r.applies(&rel)) {
+            continue;
+        }
+        let abs = root.join(&rel);
+        let source = fs::read_to_string(&abs)
+            .map_err(|e| format!("failed to read {}: {e}", abs.display()))?;
+        out.extend(lint_source_with(&active, &rel, &source));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_unix_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with forward slashes, for stable diagnostics
+/// across platforms.
+fn rel_unix_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Rationale text for `liberate-lint explain <rule>`, or `None` for an
+/// unknown rule name.
+pub fn explain(rule: &str) -> Option<String> {
+    rules::all()
+        .iter()
+        .find(|r| r.name() == rule)
+        .map(|r| r.explain().to_string())
+}
+
+/// The registered rule names, for `explain` error messages and docs.
+pub fn rule_names() -> Vec<&'static str> {
+    rules::all().iter().map(|r| r.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_four_rules() {
+        assert_eq!(
+            rule_names(),
+            vec![
+                "checksum-repair",
+                "taxonomy-exhaustiveness",
+                "determinism",
+                "no-panic"
+            ]
+        );
+        for name in rule_names() {
+            let text = explain(name).expect("every rule explains itself");
+            assert!(text.len() > 80, "{name} explanation too thin");
+        }
+        assert!(explain("not-a-rule").is_none());
+    }
+
+    #[test]
+    fn point_allow_suppresses_nearby_finding() {
+        let src = "\
+// lint: allow(no-panic) contract: caller constructed the packet as TCP
+fn tcp_mut(&mut self) { panic!(\"not tcp\") }
+
+fn naked() {
+    panic!(\"boom\")
+}
+";
+        let diags = lint_source("crates/packet/src/packet.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn point_allow_does_not_reach_far() {
+        let src = "// lint: allow(no-panic)\n\n\n\nfn f() { panic!() }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn detail_allow_is_file_wide_but_subject_bound() {
+        let src = "\
+// lint: allow(checksum-repair: blind) deliberate corruption
+fn other(w: &mut [u8]) { w[0] = 1; }
+fn blind(w: &mut [u8]) { w.iter_mut().for_each(|b| *b = !*b); }
+";
+        let diags = lint_source("crates/packet/src/mutate.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`other`"));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "// lint: allow(determinism)\nfn f() { panic!() }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn out_of_scope_file_yields_nothing() {
+        let diags = lint_source("crates/traces/src/lib.rs", "fn f() { panic!() }");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_sort_stably_in_workspace_order() {
+        // Two files via lint_source — ordering inside one file is by rule
+        // registration; lint_workspace re-sorts globally. Here just check
+        // the json round-trip shape on a real finding.
+        let diags = lint_source(
+            "crates/core/src/x.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }",
+        );
+        let json = to_json(&diags);
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"rule\":\"no-panic\""));
+        assert!(json.contains("\"file\":\"crates/core/src/x.rs\""));
+        assert!(json.contains("\"line\":1"));
+    }
+}

@@ -1,0 +1,99 @@
+//! CLI for the lib·erate domain linter.
+//!
+//! ```text
+//! liberate-lint [--root <dir>] [--json]   lint the workspace
+//! liberate-lint explain <rule>            print a rule's rationale
+//! liberate-lint --list                    list registered rules
+//! ```
+//!
+//! Exit codes (script-stable): 0 = clean, 1 = diagnostics found,
+//! 2 = internal error (bad usage, unreadable tree, unknown rule).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use liberate_lint::{explain, lint_workspace, rule_names, to_json};
+
+const USAGE: &str = "usage: liberate-lint [--root <dir>] [--json]
+       liberate-lint explain <rule>
+       liberate-lint --list";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut explain_rule: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--list" => {
+                for name in rule_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "explain" | "--explain" => match it.next() {
+                Some(rule) => explain_rule = Some(rule.clone()),
+                None => return usage_error("explain needs a rule name"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(rule) = explain_rule {
+        return match explain(&rule) {
+            Some(text) => {
+                println!("{rule}\n\n{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "liberate-lint: unknown rule {rule:?}; known rules: {}",
+                    rule_names().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                println!("{}", to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    eprintln!("liberate-lint: clean");
+                } else {
+                    eprintln!("liberate-lint: {} diagnostic(s)", diags.len());
+                }
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("liberate-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("liberate-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,160 @@
+//! checksum-repair: any function that rewrites TCP/IP wire or payload
+//! bytes must repair (or explicitly opt out of) the checksum.
+//!
+//! lib·erate's detection phases replay mutated traces (§5.1), and a
+//! mutated packet with a stale checksum is dropped by the receiving stack
+//! before the classifier under test ever weighs in — silently turning a
+//! "no differentiation" verdict into a transport artifact. Evasion
+//! transforms face the converse hazard: several inert-insertion
+//! techniques *deliberately* corrupt checksums so the server ignores the
+//! packet (Table 3), and those carry an allow annotation naming the fn.
+
+use crate::items::fn_spans;
+use crate::rules::{Finding, Rule, RuleCtx};
+
+pub struct ChecksumRepair;
+
+/// Identifiers whose presence in a fn body marks it as writing bytes.
+const WRITE_MARKERS: &[&str] = &["copy_from_slice", "iter_mut", "fill"];
+
+/// Identifiers that count as invoking checksum repair/policy.
+const REPAIR_MARKERS: &[&str] = &[
+    "pseudo_header_checksum",
+    "internet_checksum",
+    "verify_checksum",
+    "ChecksumSpec",
+];
+
+impl Rule for ChecksumRepair {
+    fn name(&self) -> &'static str {
+        "checksum-repair"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Functions in crates/packet/src/mutate.rs and crates/core/src/evasion/ that \
+write TCP/IP header or payload bytes (indexed stores, copy_from_slice, fill, \
+iter_mut) must call a checksum routine (pseudo_header_checksum, \
+internet_checksum, verify_checksum, or take a ChecksumSpec). A stale checksum \
+makes the receiving stack drop the replayed packet before the classifier under \
+test sees it, corrupting lib*erate's differentiation verdicts (paper S5.1). \
+Transforms that corrupt checksums on purpose -- the inert-insertion rows of \
+Table 3 -- opt out with `// lint: allow(checksum-repair)` above the fn, or \
+file-wide with `// lint: allow(checksum-repair: <fn_name>)`."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path == "crates/packet/src/mutate.rs"
+            || rel_path.starts_with("crates/core/src/evasion/")
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for span in fn_spans(ctx.tokens) {
+            // Skip test-only fns; their packets never reach a real stack.
+            if ctx.test_mask.get(span.start).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(body_start) = span.body_start else {
+                continue;
+            };
+            let body = &ctx.tokens[body_start..span.end];
+            let writes = body
+                .iter()
+                .any(|t| WRITE_MARKERS.contains(&t.text.as_str()))
+                || indexed_store(body);
+            if !writes {
+                continue;
+            }
+            let repairs = body
+                .iter()
+                .any(|t| REPAIR_MARKERS.contains(&t.text.as_str()));
+            if !repairs {
+                findings.push(Finding {
+                    line: span.line,
+                    message: format!(
+                        "fn `{}` writes packet bytes but never invokes a checksum \
+                         routine ({})",
+                        span.name,
+                        REPAIR_MARKERS.join("/")
+                    ),
+                    subject: Some(span.name.clone()),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// `buf[i] = x` style stores: a `]` `=` pair not followed by another `=`
+/// (which would be a comparison) and not preceded by one (`== buf[i]`
+/// never produces `]` directly before `=`... but `<=`/`>=` can't either,
+/// so the pair check plus the lookahead suffices).
+fn indexed_store(body: &[crate::lexer::Token]) -> bool {
+    body.windows(3)
+        .any(|w| w[0].is("]") && w[1].is("=") && !w[2].is("="))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        ChecksumRepair.check(&RuleCtx {
+            rel_path: path,
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn flags_unrepaired_write() {
+        let findings = run(
+            "crates/packet/src/mutate.rs",
+            "pub fn clobber(wire: &mut [u8]) { wire[16] = 0; wire[17] = 0; }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].subject.as_deref(), Some("clobber"));
+    }
+
+    #[test]
+    fn repaired_write_passes() {
+        let findings = run(
+            "crates/core/src/evasion/rewrite.rs",
+            "pub fn fix(wire: &mut [u8]) { wire[16] = 0; \
+             let ck = pseudo_header_checksum(s, d, 6, wire); \
+             wire[16..18].copy_from_slice(&ck.to_be_bytes()); }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn read_only_fn_passes() {
+        let findings = run(
+            "crates/packet/src/mutate.rs",
+            "pub fn peek(wire: &[u8]) -> u8 { wire[0] }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn comparison_is_not_a_store() {
+        let findings = run(
+            "crates/packet/src/mutate.rs",
+            "pub fn same(a: &[u8]) -> bool { a[0] == a[1] }",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings = run(
+            "crates/packet/src/mutate.rs",
+            "#[cfg(test)] mod tests { fn t(w: &mut [u8]) { w[0] = 1; } }",
+        );
+        assert!(findings.is_empty());
+    }
+}

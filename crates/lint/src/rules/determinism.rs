@@ -1,0 +1,123 @@
+//! determinism: the simulator and the DPI models must be replayable.
+//!
+//! `crates/netsim` runs on a virtual clock (`SimTime`) and every
+//! randomized choice threads an explicit seeded RNG, so a localization or
+//! evasion experiment re-runs bit-identically. One stray wall-clock read
+//! or ambient RNG breaks that: flow timeouts fire differently across
+//! runs, pause techniques measure real time, and a flaky middlebox
+//! emulation poisons every verdict built on top of it.
+
+use crate::rules::{Finding, Rule, RuleCtx};
+
+pub struct Determinism;
+
+/// Ambient entropy sources: forbidden as bare identifiers.
+const FORBIDDEN_IDENTS: &[&str] = &["thread_rng", "from_entropy"];
+
+/// Types whose `::now()` reads the wall clock.
+const CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn explain(&self) -> &'static str {
+        "crates/netsim and crates/dpi must not read wall-clock time \
+(SystemTime::now, Instant::now) or ambient randomness (thread_rng, \
+from_entropy). The simulator advances a virtual SimTime clock and all \
+randomness flows through explicitly seeded RNGs so experiments replay \
+bit-identically; one ambient read makes middlebox verdicts flaky and \
+unreproducible. Use SimTime and a seeded StdRng passed in by the caller. \
+Suppress a deliberate exception with `// lint: allow(determinism)` directly \
+above the call."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/netsim/") || rel_path.starts_with("crates/dpi/")
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if FORBIDDEN_IDENTS.contains(&t.text.as_str()) {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!(
+                        "`{}` is ambient entropy; thread a seeded RNG instead",
+                        t.text
+                    ),
+                    subject: Some(t.text.clone()),
+                });
+            }
+            // `SystemTime::now` / `Instant::now` as a token sequence.
+            if CLOCK_TYPES.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|t| t.is(":"))
+                && toks.get(i + 2).is_some_and(|t| t.is(":"))
+                && toks.get(i + 3).is_some_and(|t| t.is("now"))
+            {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!(
+                        "`{}::now` reads the wall clock; use the virtual SimTime clock",
+                        t.text
+                    ),
+                    subject: Some(t.text.clone()),
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        Determinism.check(&RuleCtx {
+            rel_path: "crates/netsim/src/link.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged() {
+        let findings =
+            run("fn f() { let t = std::time::Instant::now(); let s = SystemTime::now(); }");
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("Instant::now"));
+        assert!(findings[1].message.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn ambient_rng_is_flagged() {
+        let findings = run("fn f() { let mut rng = rand::thread_rng(); }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn type_mention_without_now_passes() {
+        // Storing an Instant handed in by a caller is fine; creating one isn't.
+        assert!(run("struct S { started: Instant } fn ok(i: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn applies_even_in_test_code() {
+        // Flaky tests are still flaky; the rule does not mask #[cfg(test)].
+        let findings = run("#[cfg(test)] mod t { fn x() { Instant::now(); } }");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn comment_mentions_pass() {
+        assert!(run("// never call Instant::now here\nfn f() {}").is_empty());
+    }
+}

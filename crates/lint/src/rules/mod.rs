@@ -1,0 +1,57 @@
+//! The rule registry. Each rule is scoped to the part of the workspace
+//! where its invariant holds, emits [`Finding`]s against the token
+//! stream, and documents itself for `liberate-lint explain <rule>`.
+
+mod checksum_repair;
+mod determinism;
+mod no_panic;
+mod taxonomy;
+
+use crate::lexer::Token;
+
+/// Everything a rule sees for one file.
+pub struct RuleCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    pub tokens: &'a [Token],
+    /// Parallel to `tokens`: true for tokens inside `#[cfg(test)]` items.
+    pub test_mask: &'a [bool],
+}
+
+/// A rule hit before allow-suppression is applied.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub line: u32,
+    pub message: String,
+    /// What the finding is about (a fn or variant name). An allow
+    /// annotation carrying this as its detail suppresses the finding
+    /// anywhere in the file.
+    pub subject: Option<String>,
+}
+
+pub trait Rule {
+    /// Stable kebab-case identifier, used in diagnostics and allows.
+    fn name(&self) -> &'static str;
+    /// Rationale shown by `liberate-lint explain <rule>`.
+    fn explain(&self) -> &'static str;
+    /// Whether this rule scans the given workspace-relative file.
+    fn applies(&self, rel_path: &str) -> bool;
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding>;
+}
+
+/// All rules, in diagnostic-ordering priority.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(checksum_repair::ChecksumRepair),
+        Box::new(taxonomy::TaxonomyExhaustiveness),
+        Box::new(determinism::Determinism),
+        Box::new(no_panic::NoPanic),
+    ]
+}
+
+/// Shared helper: does `path` live under a test or bench tree? Rules that
+/// only constrain shipped code skip those files wholesale (in addition to
+/// the `#[cfg(test)]` token mask inside regular sources).
+pub(crate) fn in_test_tree(rel_path: &str) -> bool {
+    rel_path.contains("/tests/") || rel_path.contains("/benches/")
+}

@@ -1,0 +1,140 @@
+//! no-panic: library code in `crates/core` and `crates/packet` reports
+//! failures through `LiberateError`, never by unwinding.
+//!
+//! The evasion proxy sits inline on live flows (§6: browser → liberate
+//! proxy → network). A panic while crafting or mutating packets doesn't
+//! just fail one experiment — it drops the user's connection mid-flow.
+//! Recoverable conditions (malformed trace, missing handshake, truncated
+//! packet) must surface as `Result`/`Option` so callers degrade to the
+//! untransformed schedule instead of aborting.
+
+use crate::rules::{in_test_tree, Finding, Rule, RuleCtx};
+
+pub struct NoPanic;
+
+/// Macros that unwind. `panic!`-family only: `assert!` in library code is
+/// a deliberate invariant check and stays legal.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods that unwind on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Non-test code in crates/core and crates/packet must not call .unwrap() or \
+.expect(), or invoke panic!/unreachable!/todo!/unimplemented!. The evasion \
+proxy runs inline on live connections (paper S6); unwinding there tears down \
+the user's flow instead of degrading to the untransformed schedule. Route \
+failures through LiberateError (or return Option) so callers choose. \
+#[cfg(test)] code is exempt. For a genuinely unreachable arm whose invariant \
+the caller guarantees, write `// lint: allow(no-panic) <why>` directly above \
+the call."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        (rel_path.starts_with("crates/core/") || rel_path.starts_with("crates/packet/"))
+            && !in_test_tree(rel_path)
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` — the leading dot keeps fn
+            // definitions named `unwrap` (none exist, but cheap) legal.
+            if PANIC_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].is(".")
+                && toks.get(i + 1).is_some_and(|t| t.is("("))
+            {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` outside test code; route the failure through \
+                         LiberateError or return Option",
+                        t.text
+                    ),
+                    subject: None,
+                });
+            }
+            if PANIC_MACROS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|t| t.is("!"))
+            {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!(
+                        "`{}!` outside test code; library code must not unwind",
+                        t.text
+                    ),
+                    subject: None,
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        NoPanic.check(&RuleCtx {
+            rel_path: "crates/core/src/deploy.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let findings = run("fn f(x: Option<u8>) -> u8 { x.unwrap() + x.expect(\"y\") }");
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains(".unwrap()"));
+        assert!(findings[1].message.contains(".expect()"));
+    }
+
+    #[test]
+    fn panic_family_macros_are_flagged() {
+        let findings = run(
+            "fn f(n: u8) { match n { 0 => panic!(\"no\"), 1 => todo!(), _ => unreachable!() } }",
+        );
+        assert_eq!(findings.len(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_and_friends_pass() {
+        let findings =
+            run("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let findings = run("fn lib() -> u8 { 0 }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); panic!(); }\n}");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn assert_macros_pass() {
+        assert!(run("fn f(n: usize) { assert!(n > 0); debug_assert_eq!(n, n); }").is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_do_not_apply() {
+        assert!(!NoPanic.applies("crates/netsim/src/link.rs"));
+        assert!(!NoPanic.applies("crates/core/tests/integration.rs"));
+        assert!(NoPanic.applies("crates/packet/src/mutate.rs"));
+    }
+}

@@ -1,0 +1,161 @@
+//! taxonomy-exhaustiveness: the `Technique` enum is the code's image of
+//! the paper's Table 3, and every query over it must stay total.
+//!
+//! The taxonomy functions (`table3_rows`, `description`, `category`,
+//! `applicable`, `overhead`) each encode one Table 3 column. A `_ =>`
+//! wildcard arm lets a newly added technique silently inherit a neighbor's
+//! category or overhead, so wildcards are banned in those functions and
+//! every variant must be named in each of them. The one sanctioned gap —
+//! `DummyPrefixData` is a beyond-Table-3 extension, not a row — carries a
+//! detail allow.
+
+use crate::items::{enum_variants, fn_spans};
+use crate::rules::{Finding, Rule, RuleCtx};
+
+pub struct TaxonomyExhaustiveness;
+
+/// The Table 3 query surface: one fn per column of the taxonomy.
+const TAXONOMY_FNS: &[&str] = &[
+    "table3_rows",
+    "description",
+    "category",
+    "applicable",
+    "overhead",
+];
+
+impl Rule for TaxonomyExhaustiveness {
+    fn name(&self) -> &'static str {
+        "taxonomy-exhaustiveness"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Every `Technique` variant must be named in each taxonomy query \
+(table3_rows, description, category, applicable, overhead), and those \
+functions must not contain `_ =>` wildcard arms. The enum mirrors the paper's \
+Table 3; a wildcard lets a newly added evasion technique silently inherit \
+another row's category, applicability, or overhead instead of forcing the \
+author to fill in its column. Suppress a deliberate gap file-wide with \
+`// lint: allow(taxonomy-exhaustiveness: <VariantName>)`."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path == "crates/core/src/evasion/mod.rs"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let variants = enum_variants(ctx.tokens, "Technique");
+        if variants.is_empty() {
+            return vec![Finding {
+                line: 1,
+                message: "enum Technique not found; taxonomy cannot be checked".into(),
+                subject: None,
+            }];
+        }
+        let spans = fn_spans(ctx.tokens);
+        let mut findings = Vec::new();
+        for &fn_name in TAXONOMY_FNS {
+            let Some(span) = spans.iter().find(|s| {
+                s.name == fn_name && !ctx.test_mask.get(s.start).copied().unwrap_or(false)
+            }) else {
+                findings.push(Finding {
+                    line: 1,
+                    message: format!("taxonomy fn `{fn_name}` is missing"),
+                    subject: Some(fn_name.to_string()),
+                });
+                continue;
+            };
+            let body = &ctx.tokens[span.start..span.end];
+            for (variant, _) in &variants {
+                if !body.iter().any(|t| t.is(variant)) {
+                    findings.push(Finding {
+                        line: span.line,
+                        message: format!("Technique::{variant} is not handled in `{fn_name}`"),
+                        subject: Some(variant.clone()),
+                    });
+                }
+            }
+            // Wildcard arms defeat the exhaustiveness the rule exists for.
+            for w in body.windows(3) {
+                if w[0].is("_") && w[1].is("=") && w[2].is(">") {
+                    findings.push(Finding {
+                        line: w[0].line,
+                        message: format!("wildcard `_ =>` arm in taxonomy fn `{fn_name}`"),
+                        subject: Some(fn_name.to_string()),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        TaxonomyExhaustiveness.check(&RuleCtx {
+            rel_path: "crates/core/src/evasion/mod.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    const COMPLETE: &str = r#"
+pub enum Technique { A, B(u8) }
+impl Technique {
+    pub fn table3_rows() -> Vec<Technique> { vec![Technique::A, Technique::B(0)] }
+    pub fn description(&self) -> &str { match self { Technique::A => "a", Technique::B(_) => "b" } }
+    pub fn category(&self) -> u8 { match self { Technique::A => 0, Technique::B(_) => 1 } }
+    pub fn applicable(&self) -> bool { match self { Technique::A | Technique::B(_) => true } }
+    pub fn overhead(&self) -> u8 { match self { Technique::A => 0, Technique::B(_) => 2 } }
+}
+"#;
+
+    #[test]
+    fn complete_taxonomy_passes() {
+        assert!(run(COMPLETE).is_empty());
+    }
+
+    #[test]
+    fn missing_variant_is_flagged_per_fn() {
+        let src = COMPLETE.replace("Technique::B(_) => \"b\"", "_ => \"b\"");
+        let findings = run(&src);
+        // `description` now misses B and contains a wildcard.
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f
+            .message
+            .contains("Technique::B is not handled in `description`")));
+        assert!(findings.iter().any(|f| f
+            .message
+            .contains("wildcard `_ =>` arm in taxonomy fn `description`")));
+    }
+
+    #[test]
+    fn missing_fn_is_flagged() {
+        let src = COMPLETE.replace("pub fn overhead", "pub fn overhead_off");
+        let findings = run(&src);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("taxonomy fn `overhead` is missing")));
+    }
+
+    #[test]
+    fn missing_enum_is_one_finding() {
+        let findings = run("pub struct NotAnEnum;");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("enum Technique not found"));
+    }
+
+    #[test]
+    fn fat_arrow_on_real_pattern_is_fine() {
+        // `Technique::A => 0` must not be mistaken for a wildcard.
+        assert!(run(COMPLETE)
+            .iter()
+            .all(|f| !f.message.contains("wildcard")));
+    }
+}

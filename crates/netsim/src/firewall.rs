@@ -177,7 +177,10 @@ mod tests {
         let mut f = fw();
         open(&mut f);
         let evil = Packet::tcp(C, S, 40000, 80, 1001 + 10_000_000, 5001, &b"EVIL"[..]);
-        assert_eq!(process(&mut f, Direction::ClientToServer, evil), Verdict::Drop);
+        assert_eq!(
+            process(&mut f, Direction::ClientToServer, evil),
+            Verdict::Drop
+        );
         assert_eq!(f.dropped, 1);
         // The connection still works for honest data.
         let data = Packet::tcp(C, S, 40000, 80, 1001, 5001, &b"ok"[..]);

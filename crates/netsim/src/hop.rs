@@ -180,8 +180,8 @@ impl PathElement for RouterHop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liberate_packet::packet::{Packet, ParsedPacket};
     use crate::icmp::parse_icmp_error;
+    use liberate_packet::packet::{Packet, ParsedPacket};
 
     fn hop() -> RouterHop {
         RouterHop::transparent("r1", Ipv4Addr::new(172, 16, 0, 1))
@@ -351,8 +351,8 @@ mod checksum_fix_tests {
 
     #[test]
     fn hop_repairs_tcp_checksums_when_asked() {
-        let mut h = RouterHop::transparent("fixer", Ipv4Addr::new(172, 16, 0, 9))
-            .fixing_tcp_checksums();
+        let mut h =
+            RouterHop::transparent("fixer", Ipv4Addr::new(172, 16, 0, 9)).fixing_tcp_checksums();
         let mut p = Packet::tcp(
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 0, 2),

@@ -181,11 +181,7 @@ impl Network {
 
     fn dispatch(&mut self, ev: Event) {
         let Event {
-            at,
-            pos,
-            dir,
-            wire,
-            ..
+            at, pos, dir, wire, ..
         } = ev;
         match dir {
             Direction::ClientToServer => {
@@ -253,12 +249,7 @@ impl Network {
         for out in self.server.take_outbox() {
             self.capture.record(at, TapPoint::ServerEgress, &out);
             let entry = self.elements.len().checked_sub(1).unwrap_or(usize::MAX);
-            self.push_event(
-                at + self.hop_latency,
-                entry,
-                Direction::ServerToClient,
-                out,
-            );
+            self.push_event(at + self.hop_latency, entry, Direction::ServerToClient, out);
         }
     }
 }

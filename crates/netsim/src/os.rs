@@ -183,10 +183,7 @@ mod tests {
         let mut p = tcp();
         p.tcp_mut().checksum = ChecksumSpec::Fixed(0x1111);
         for os in OsKind::ALL {
-            assert_eq!(
-                OsProfile::new(os).action(&defects_of(&p)),
-                OsAction::Drop
-            );
+            assert_eq!(OsProfile::new(os).action(&defects_of(&p)), OsAction::Drop);
         }
     }
 

@@ -411,8 +411,16 @@ impl ServerHost {
             let (s, r) = (conn.snd_next, conn.rcv_next);
             self.app.on_tcp_close(flow);
             // ACK the FIN and send our own FIN.
-            let fin = Packet::tcp(self.addr, flow.src, flow.dst_port, flow.src_port, s, r, vec![])
-                .with_flags(TcpFlags::FIN_ACK);
+            let fin = Packet::tcp(
+                self.addr,
+                flow.src,
+                flow.dst_port,
+                flow.src_port,
+                s,
+                r,
+                vec![],
+            )
+            .with_flags(TcpFlags::FIN_ACK);
             self.outbox.push(fin.serialize());
         }
     }
@@ -499,7 +507,10 @@ mod tests {
         let mut h = host();
         let (cseq, _) = handshake(&mut h);
         // Far-future sequence number: outside the receive window.
-        h.receive(SimTime::ZERO, &data(cseq.wrapping_add(1_000_000), 1, b"EVIL"));
+        h.receive(
+            SimTime::ZERO,
+            &data(cseq.wrapping_add(1_000_000), 1, b"EVIL"),
+        );
         let out = h.take_outbox();
         // Re-ACK only; nothing delivered.
         assert_eq!(out.len(), 1);
@@ -573,7 +584,14 @@ mod tests {
         h.receive(SimTime::ZERO, &p.serialize());
         let out = h.take_outbox();
         assert_eq!(out.len(), 1);
-        assert!(ParsedPacket::parse(&out[0]).unwrap().tcp().unwrap().flags.rst);
+        assert!(
+            ParsedPacket::parse(&out[0])
+                .unwrap()
+                .tcp()
+                .unwrap()
+                .flags
+                .rst
+        );
     }
 
     #[test]
@@ -588,7 +606,10 @@ mod tests {
         }
         let out = h.take_outbox();
         assert_eq!(out.len(), 1);
-        assert_eq!(ParsedPacket::parse(&out[0]).unwrap().payload, vec![b'z'; 100]);
+        assert_eq!(
+            ParsedPacket::parse(&out[0]).unwrap().payload,
+            vec![b'z'; 100]
+        );
     }
 
     #[test]
@@ -596,7 +617,14 @@ mod tests {
         let mut h = host();
         h.receive(SimTime::ZERO, &data(5, 1, b"orphan"));
         let out = h.take_outbox();
-        assert!(ParsedPacket::parse(&out[0]).unwrap().tcp().unwrap().flags.rst);
+        assert!(
+            ParsedPacket::parse(&out[0])
+                .unwrap()
+                .tcp()
+                .unwrap()
+                .flags
+                .rst
+        );
     }
 
     #[test]

@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn odd_length_pads_with_zero() {
-        assert_eq!(
-            internet_checksum(&[0xab]),
-            internet_checksum(&[0xab, 0x00])
-        );
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
     }
 
     #[test]

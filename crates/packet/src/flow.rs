@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn direction_flip() {
-        assert_eq!(
-            Direction::ClientToServer.flip(),
-            Direction::ServerToClient
-        );
+        assert_eq!(Direction::ClientToServer.flip(), Direction::ServerToClient);
         assert_eq!(
             Direction::ServerToClient.flip().flip(),
             Direction::ServerToClient

@@ -158,7 +158,8 @@ impl Reassembler {
         }
         self.pending.remove(&key);
 
-        let payload: Vec<u8> = buf.into_iter().map(|b| b.unwrap()).collect();
+        // No holes remain (checked above), so flatten keeps every byte.
+        let payload: Vec<u8> = buf.into_iter().flatten().collect();
         let mut out = header;
         let header_len = out.len();
         let total_length = (header_len + payload.len()) as u16;

@@ -282,9 +282,7 @@ impl ParsedIpv4 {
         let version = buf[0] >> 4;
         let ihl = buf[0] & 0x0f;
         let claimed_header_len = (ihl as usize) * 4;
-        let header_end = claimed_header_len
-            .max(IPV4_MIN_HEADER_LEN)
-            .min(buf.len());
+        let header_end = claimed_header_len.max(IPV4_MIN_HEADER_LEN).min(buf.len());
         let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
         Some(ParsedIpv4 {
             version,
@@ -379,7 +377,10 @@ mod tests {
     #[test]
     fn scan_classifies_option_areas() {
         assert_eq!(scan_options(&[]), OptionScan::None);
-        assert_eq!(scan_options(&encode_options(&[IpOption::Nop])), OptionScan::Valid);
+        assert_eq!(
+            scan_options(&encode_options(&[IpOption::Nop])),
+            OptionScan::Valid
+        );
         assert_eq!(
             scan_options(&encode_options(&[IpOption::RecordRoute {
                 pointer: 4,

@@ -13,6 +13,8 @@ use std::ops::Range;
 use rand::Rng;
 
 /// Invert every bit of a byte slice in place.
+// lint: allow(checksum-repair: invert_bits) operates on payload bytes
+// before packet construction; serialization computes checksums afresh.
 pub fn invert_bits(data: &mut [u8]) {
     for b in data.iter_mut() {
         *b = !*b;
@@ -33,6 +35,8 @@ pub fn inverted(data: &[u8]) -> Vec<u8> {
 
 /// Overwrite `range` with random bytes (the fallback control strategy when a
 /// classifier detects bit inversion, §5.1 footnote 7).
+// lint: allow(checksum-repair: randomize_range) pre-serialization payload
+// blinding; the rebuilt packet's checksums are computed at serialize time.
 pub fn randomize_range<R: Rng>(data: &mut [u8], range: Range<usize>, rng: &mut R) {
     let start = range.start.min(data.len());
     let end = range.end.min(data.len());
@@ -40,6 +44,8 @@ pub fn randomize_range<R: Rng>(data: &mut [u8], range: Range<usize>, rng: &mut R
 }
 
 /// Generate `len` random bytes.
+// lint: allow(checksum-repair: random_bytes) builds fresh payload material,
+// not wire bytes; no checksum exists yet to repair.
 pub fn random_bytes<R: Rng>(len: usize, rng: &mut R) -> Vec<u8> {
     let mut v = vec![0u8; len];
     rng.fill(&mut v[..]);
@@ -242,8 +248,14 @@ mod rewrite_tests {
             &b"abc"[..],
         )
         .serialize();
-        assert!(rewrite_tcp_payload(&wire, b"zzz", b"yyy").is_none(), "absent");
-        assert!(rewrite_tcp_payload(&wire, b"ab", b"xyz").is_none(), "length");
+        assert!(
+            rewrite_tcp_payload(&wire, b"zzz", b"yyy").is_none(),
+            "absent"
+        );
+        assert!(
+            rewrite_tcp_payload(&wire, b"ab", b"xyz").is_none(),
+            "length"
+        );
         let udp = Packet::udp(
             Ipv4Addr::new(1, 1, 1, 1),
             Ipv4Addr::new(2, 2, 2, 2),

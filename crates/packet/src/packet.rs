@@ -65,10 +65,12 @@ impl Packet {
     }
 
     /// Mutable access to the TCP header; panics if not TCP. Convenience for
-    /// the evasion transforms, which know what they built.
+    /// the evasion transforms, which know what they built — a mismatch is
+    /// a construction bug, not a runtime condition.
     pub fn tcp_mut(&mut self) -> &mut TcpHeader {
         match &mut self.transport {
             Transport::Tcp(h) => h,
+            // lint: allow(no-panic) documented contract: caller constructed the packet as TCP
             other => panic!("expected TCP transport, found {other:?}"),
         }
     }
@@ -77,6 +79,7 @@ impl Packet {
     pub fn udp_mut(&mut self) -> &mut UdpHeader {
         match &mut self.transport {
             Transport::Udp(h) => h,
+            // lint: allow(no-panic) documented contract: caller constructed the packet as UDP
             other => panic!("expected UDP transport, found {other:?}"),
         }
     }
@@ -246,10 +249,7 @@ mod tests {
         assert!(matches!(parsed.transport, ParsedTransport::Other(_)));
         // But the raw body still contains the TCP header + payload, which a
         // sloppy DPI engine might parse anyway.
-        assert!(parsed
-            .payload
-            .windows(5)
-            .any(|w| w == b"GET /"));
+        assert!(parsed.payload.windows(5).any(|w| w == b"GET /"));
     }
 
     #[test]

@@ -174,9 +174,12 @@ impl TcpHeader {
         out.extend_from_slice(&options);
         out.extend_from_slice(payload);
 
-        let ck = self
-            .checksum
-            .resolve(pseudo_header_checksum(src, dst, crate::ipv4::protocol::TCP, &out));
+        let ck = self.checksum.resolve(pseudo_header_checksum(
+            src,
+            dst,
+            crate::ipv4::protocol::TCP,
+            &out,
+        ));
         out[16..18].copy_from_slice(&ck.to_be_bytes());
         out
     }

@@ -42,9 +42,12 @@ impl UdpHeader {
         out.extend_from_slice(&length.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(payload);
-        let ck = self
-            .checksum
-            .resolve(pseudo_header_checksum(src, dst, crate::ipv4::protocol::UDP, &out));
+        let ck = self.checksum.resolve(pseudo_header_checksum(
+            src,
+            dst,
+            crate::ipv4::protocol::UDP,
+            &out,
+        ));
         // RFC 768: a computed checksum of zero is transmitted as 0xffff
         // (zero means "no checksum").
         let ck = if ck == 0 && self.checksum == ChecksumSpec::Auto {
@@ -106,7 +109,9 @@ mod tests {
         assert_eq!(parsed.length, 12);
         assert_eq!(parsed.actual_payload_len, 4);
         assert_eq!(parsed.claimed_payload_len(), 4);
-        assert!(crate::checksum::verify_pseudo_checksum(src, dst, 17, &dgram));
+        assert!(crate::checksum::verify_pseudo_checksum(
+            src, dst, 17, &dgram
+        ));
     }
 
     #[test]
@@ -132,7 +137,9 @@ mod tests {
         let mut hdr = UdpHeader::new(1, 2);
         hdr.checksum = ChecksumSpec::Fixed(0x0bad);
         let dgram = hdr.serialize(src, dst, b"xyz");
-        assert!(!crate::checksum::verify_pseudo_checksum(src, dst, 17, &dgram));
+        assert!(!crate::checksum::verify_pseudo_checksum(
+            src, dst, 17, &dgram
+        ));
     }
 
     #[test]
@@ -141,7 +148,9 @@ mod tests {
         let mut hdr = UdpHeader::new(1, 2);
         hdr.checksum = ChecksumSpec::Fixed(0);
         let dgram = hdr.serialize(src, dst, b"xyz");
-        assert!(crate::checksum::verify_pseudo_checksum(src, dst, 17, &dgram));
+        assert!(crate::checksum::verify_pseudo_checksum(
+            src, dst, 17, &dgram
+        ));
     }
 
     #[test]

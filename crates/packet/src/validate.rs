@@ -20,9 +20,7 @@ use crate::udp::UDP_HEADER_LEN;
 /// A structural defect in a single packet. The variants map one-to-one onto
 /// the inert-packet rows of Table 3 (flow-context defects such as a wrong
 /// sequence number are judged by stateful components, not here).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Malformation {
     /// IP version field is not 4.
     IpVersionInvalid,
@@ -100,7 +98,10 @@ fn validate_ip(ip: &ParsedIpv4, buf: &[u8], out: &mut MalformationSet) {
     if total < IPV4_MIN_HEADER_LEN {
         out.insert(Malformation::IpTotalLengthShort);
     }
-    let header_end = ip.claimed_header_len().min(buf.len()).max(IPV4_MIN_HEADER_LEN);
+    let header_end = ip
+        .claimed_header_len()
+        .min(buf.len())
+        .max(IPV4_MIN_HEADER_LEN);
     if buf.len() >= IPV4_MIN_HEADER_LEN && !verify_checksum(&buf[..header_end]) {
         out.insert(Malformation::IpChecksumWrong);
     }

@@ -15,7 +15,6 @@
 //! | economist.com | `GET` + `economist.com` Host (GFC-blocked) | §6.5 |
 //! | facebook.com | `facebook.com` Host (Iran-blocked) | §6.6 |
 
-
 use crate::http::{get_request, response};
 use crate::quic::initial_packet;
 use crate::recorded::{RecordedTrace, Sender, TraceMessage, TraceProtocol};
@@ -184,12 +183,7 @@ pub fn economist_http() -> RecordedTrace {
     );
     t.push_stream(
         Sender::Server,
-        &response(
-            200,
-            "OK",
-            "text/html",
-            &page_bytes(64_000),
-        ),
+        &response(200, "OK", "text/html", &page_bytes(64_000)),
     );
     t
 }
@@ -201,7 +195,10 @@ pub fn facebook_http() -> RecordedTrace {
         Sender::Client,
         &get_request("www.facebook.com", "/", "Mozilla/5.0"),
     );
-    t.push_stream(Sender::Server, &response(200, "OK", "text/html", &page_bytes(48_000)));
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "text/html", &page_bytes(48_000)),
+    );
     t
 }
 
@@ -212,7 +209,10 @@ pub fn control_http() -> RecordedTrace {
         Sender::Client,
         &get_request("www.example.org", "/index.html", "Mozilla/5.0"),
     );
-    t.push_stream(Sender::Server, &response(200, "OK", "text/html", &page_bytes(8_000)));
+    t.push_stream(
+        Sender::Server,
+        &response(200, "OK", "text/html", &page_bytes(8_000)),
+    );
     t
 }
 

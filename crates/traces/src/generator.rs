@@ -60,7 +60,10 @@ pub fn generate(spec: &WorkloadSpec) -> RecordedTrace {
             let req = get_request(&spec.host, "/generated", "workload-gen/1.0");
             t.push_stream(Sender::Client, &req);
             if spec.client_bytes > req.len() {
-                t.push_stream(Sender::Client, &bytes(&mut rng, spec.client_bytes - req.len(), ContentClass::Text));
+                t.push_stream(
+                    Sender::Client,
+                    &bytes(&mut rng, spec.client_bytes - req.len(), ContentClass::Text),
+                );
             }
             t.push_stream(
                 Sender::Server,
@@ -86,7 +89,11 @@ pub fn generate_udp_stream(seed: u64, packets: usize, payload_len: usize) -> Rec
     let mut t = RecordedTrace::new(format!("udp-{seed}"), TraceProtocol::Udp, 9999);
     for i in 0..packets {
         t.push_message(TraceMessage {
-            sender: if i % 2 == 0 { Sender::Client } else { Sender::Server },
+            sender: if i % 2 == 0 {
+                Sender::Client
+            } else {
+                Sender::Server
+            },
             payload: bytes(&mut rng, payload_len, ContentClass::Random),
             gap_micros: 1_000,
         });

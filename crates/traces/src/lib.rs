@@ -19,7 +19,5 @@ pub mod tls;
 pub mod prelude {
     pub use crate::apps;
     pub use crate::generator::{generate, generate_udp_stream, ContentClass, WorkloadSpec};
-    pub use crate::recorded::{
-        RecordedTrace, Sender, TraceMessage, TraceProtocol, RECORD_MSS,
-    };
+    pub use crate::recorded::{RecordedTrace, Sender, TraceMessage, TraceProtocol, RECORD_MSS};
 }

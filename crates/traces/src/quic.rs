@@ -22,7 +22,9 @@ pub fn initial_packet(dcid_seed: u8, payload_len: usize) -> Vec<u8> {
 
 /// Whether bytes look like a QUIC long-header packet.
 pub fn looks_like_quic(data: &[u8]) -> bool {
-    data.len() >= 7 && data[0] & 0xc0 == 0xc0 && u32::from_be_bytes([data[1], data[2], data[3], data[4]]) == 1
+    data.len() >= 7
+        && data[0] & 0xc0 == 0xc0
+        && u32::from_be_bytes([data[1], data[2], data[3], data[4]]) == 1
 }
 
 #[cfg(test)]

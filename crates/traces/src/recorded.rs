@@ -99,16 +99,12 @@ impl RecordedTrace {
 
     /// Messages sent by the client, in order.
     pub fn client_messages(&self) -> impl Iterator<Item = &TraceMessage> {
-        self.messages
-            .iter()
-            .filter(|m| m.sender == Sender::Client)
+        self.messages.iter().filter(|m| m.sender == Sender::Client)
     }
 
     /// Messages sent by the server, in order.
     pub fn server_messages(&self) -> impl Iterator<Item = &TraceMessage> {
-        self.messages
-            .iter()
-            .filter(|m| m.sender == Sender::Server)
+        self.messages.iter().filter(|m| m.sender == Sender::Server)
     }
 
     /// Total client-direction payload bytes.

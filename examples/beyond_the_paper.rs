@@ -22,11 +22,10 @@ fn main() {
         ..Default::default()
     });
 
-    let bait =
-        liberate_traces::http::get_request("x.cloudfront.net", "/liberate-decoy", "m/1");
+    let bait = liberate_traces::http::get_request("x.cloudfront.net", "/liberate-decoy", "m/1");
     let masquerade = Masquerade::ttl_limited(bait, 3);
-    let report = run_masqueraded(&mut s, &workload, &masquerade, &Signal::ZeroRating)
-        .expect("applies");
+    let report =
+        run_masqueraded(&mut s, &workload, &masquerade, &Signal::ZeroRating).expect("applies");
     println!(
         "   random 800 kB workload: complete = {}, intact = {}, rides zero-rated = {}",
         report.outcome.complete, report.outcome.integrity_ok, report.disguised

@@ -78,7 +78,10 @@ fn main() -> std::io::Result<()> {
         })
     };
     assert!(rst_at(TapPoint::ClientEgress), "we sent the inert RST");
-    assert!(!rst_at(TapPoint::ServerIngress), "it died before the server");
+    assert!(
+        !rst_at(TapPoint::ServerIngress),
+        "it died before the server"
+    );
     println!("\ninert RST visible at client egress, absent at server ingress — as designed");
     Ok(())
 }

@@ -12,7 +12,12 @@
 use liberate::prelude::*;
 use liberate_traces::apps;
 
-fn circumvent(name: &str, kind: EnvKind, flow: &liberate_traces::recorded::RecordedTrace, rotate: bool) {
+fn circumvent(
+    name: &str,
+    kind: EnvKind,
+    flow: &liberate_traces::recorded::RecordedTrace,
+    rotate: bool,
+) {
     println!("--- {name} ---");
     let session = Session::new(kind, OsKind::Linux, LiberateConfig::default());
     let mut proxy = LiberateProxy::new(

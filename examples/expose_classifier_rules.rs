@@ -36,7 +36,9 @@ fn main() {
         for f in &c.fields {
             println!(
                 "  message {} bytes {}..{}: {:?}",
-                f.message, f.range.start, f.range.end,
+                f.message,
+                f.range.start,
+                f.range.end,
                 f.as_text()
             );
         }
@@ -54,7 +56,10 @@ fn main() {
         &liberate_traces::http::get_request("x.cloudfront.net", "/liberate-decoy", "p"),
         &Signal::Readout,
     );
-    println!("middlebox location: first classifying hop at TTL {:?}", loc.middlebox_ttl);
+    println!(
+        "middlebox location: first classifying hop at TTL {:?}",
+        loc.middlebox_ttl
+    );
 
     // 4. How long does classification state live? Replay, pause
     //    increasingly long, and read the classifier.
@@ -69,11 +74,7 @@ fn main() {
             out.server_port,
             6,
         );
-        let still = session
-            .env
-            .dpi_mut()
-            .unwrap()
-            .classification_of(key);
+        let still = session.env.dpi_mut().unwrap().classification_of(key);
         println!(
             "classification after {pause:>3} s idle: {:?}",
             still.as_deref().unwrap_or("flushed")

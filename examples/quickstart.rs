@@ -36,12 +36,19 @@ fn main() {
     let report = run_pipeline(&mut session, &flow, &copts).expect("pipeline succeeds");
 
     println!("\nphase 1 - detection:");
-    println!("  differentiation: blocking = {}", report.detection.blocking);
+    println!(
+        "  differentiation: blocking = {}",
+        report.detection.blocking
+    );
 
     let c = report.characterization.as_ref().unwrap();
     println!("\nphase 2 - characterization ({} rounds):", c.rounds);
     for f in &c.fields {
-        println!("  matching field in message {}: {:?}", f.message, f.as_text());
+        println!(
+            "  matching field in message {}: {:?}",
+            f.message,
+            f.as_text()
+        );
     }
     println!(
         "  inspection: prepend-break at {:?} packet(s), matches all packets: {}",

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Tier-1 gate, runnable locally or in CI. Mirrors what the test suite
+# enforces, plus formatting when the toolchain component is installed.
+#
+# Exit: non-zero on the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s\n' "$*"; }
+
+if cargo fmt --version >/dev/null 2>&1; then
+    say "cargo fmt --check"
+    cargo fmt --all --check
+else
+    say "cargo fmt unavailable; skipping format check"
+fi
+
+say "cargo build --release"
+cargo build --release
+
+say "liberate-lint --json"
+# The linter exits 1 on findings; keep the report visible either way.
+cargo run --release -q -p liberate-lint --bin liberate-lint -- --root . --json
+
+say "cargo test -q"
+cargo test -q
+
+say "ci: all green"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3cff7dc1e5c1f448.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-3cff7dc1e5c1f448.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

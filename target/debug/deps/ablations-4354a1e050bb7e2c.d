@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4354a1e050bb7e2c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-4354a1e050bb7e2c.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4413832e212bcf90.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-4413832e212bcf90.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-61ac18f89a86bd15.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-61ac18f89a86bd15: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

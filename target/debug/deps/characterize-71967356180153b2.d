@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterize-71967356180153b2.d: crates/bench/benches/characterize.rs
+
+/root/repo/target/debug/deps/libcharacterize-71967356180153b2.rmeta: crates/bench/benches/characterize.rs
+
+crates/bench/benches/characterize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifier-619a8c4efd3e186e.d: crates/bench/benches/classifier.rs
+
+/root/repo/target/debug/deps/libclassifier-619a8c4efd3e186e.rmeta: crates/bench/benches/classifier.rs
+
+crates/bench/benches/classifier.rs:

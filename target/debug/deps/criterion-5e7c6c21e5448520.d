@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5e7c6c21e5448520.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5e7c6c21e5448520.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-677a30145c1d6dfd.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-677a30145c1d6dfd.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-677a30145c1d6dfd.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

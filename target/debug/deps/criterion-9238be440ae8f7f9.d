@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9238be440ae8f7f9.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-9238be440ae8f7f9: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

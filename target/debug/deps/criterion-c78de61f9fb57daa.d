@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c78de61f9fb57daa.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c78de61f9fb57daa.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_behavior-3e97e5742a4b04b9.d: crates/dpi/tests/device_behavior.rs
+
+/root/repo/target/debug/deps/libdevice_behavior-3e97e5742a4b04b9.rmeta: crates/dpi/tests/device_behavior.rs
+
+crates/dpi/tests/device_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_behavior-d1295a265d0ec60b.d: crates/dpi/tests/device_behavior.rs
+
+/root/repo/target/debug/deps/device_behavior-d1295a265d0ec60b: crates/dpi/tests/device_behavior.rs
+
+crates/dpi/tests/device_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_unit-1b71661f3e3ad092.d: crates/dpi/tests/device_unit.rs
+
+/root/repo/target/debug/deps/libdevice_unit-1b71661f3e3ad092.rmeta: crates/dpi/tests/device_unit.rs
+
+crates/dpi/tests/device_unit.rs:

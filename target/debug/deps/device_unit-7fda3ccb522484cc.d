@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_unit-7fda3ccb522484cc.d: crates/dpi/tests/device_unit.rs
+
+/root/repo/target/debug/deps/device_unit-7fda3ccb522484cc: crates/dpi/tests/device_unit.rs
+
+crates/dpi/tests/device_unit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_att-34031c3e57749f38.d: crates/bench/src/bin/exp-att.rs
+
+/root/repo/target/debug/deps/exp_att-34031c3e57749f38: crates/bench/src/bin/exp-att.rs
+
+crates/bench/src/bin/exp-att.rs:

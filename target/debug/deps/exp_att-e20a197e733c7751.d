@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_att-e20a197e733c7751.d: crates/bench/src/bin/exp-att.rs
+
+/root/repo/target/debug/deps/libexp_att-e20a197e733c7751.rmeta: crates/bench/src/bin/exp-att.rs
+
+crates/bench/src/bin/exp-att.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_att-eef8d891d1a6e6e0.d: crates/bench/src/bin/exp-att.rs
+
+/root/repo/target/debug/deps/libexp_att-eef8d891d1a6e6e0.rmeta: crates/bench/src/bin/exp-att.rs
+
+crates/bench/src/bin/exp-att.rs:

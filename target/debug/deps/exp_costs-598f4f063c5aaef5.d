@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_costs-598f4f063c5aaef5.d: crates/bench/src/bin/exp-costs.rs
+
+/root/repo/target/debug/deps/libexp_costs-598f4f063c5aaef5.rmeta: crates/bench/src/bin/exp-costs.rs
+
+crates/bench/src/bin/exp-costs.rs:

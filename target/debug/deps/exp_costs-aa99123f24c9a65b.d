@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_costs-aa99123f24c9a65b.d: crates/bench/src/bin/exp-costs.rs
+
+/root/repo/target/debug/deps/exp_costs-aa99123f24c9a65b: crates/bench/src/bin/exp-costs.rs
+
+crates/bench/src/bin/exp-costs.rs:

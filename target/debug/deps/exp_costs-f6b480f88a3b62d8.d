@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_costs-f6b480f88a3b62d8.d: crates/bench/src/bin/exp-costs.rs
+
+/root/repo/target/debug/deps/libexp_costs-f6b480f88a3b62d8.rmeta: crates/bench/src/bin/exp-costs.rs
+
+crates/bench/src/bin/exp-costs.rs:

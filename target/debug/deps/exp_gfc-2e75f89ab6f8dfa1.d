@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gfc-2e75f89ab6f8dfa1.d: crates/bench/src/bin/exp-gfc.rs
+
+/root/repo/target/debug/deps/libexp_gfc-2e75f89ab6f8dfa1.rmeta: crates/bench/src/bin/exp-gfc.rs
+
+crates/bench/src/bin/exp-gfc.rs:

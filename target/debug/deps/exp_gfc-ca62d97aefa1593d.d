@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gfc-ca62d97aefa1593d.d: crates/bench/src/bin/exp-gfc.rs
+
+/root/repo/target/debug/deps/libexp_gfc-ca62d97aefa1593d.rmeta: crates/bench/src/bin/exp-gfc.rs
+
+crates/bench/src/bin/exp-gfc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gfc-cd90bc7177ef0bb5.d: crates/bench/src/bin/exp-gfc.rs
+
+/root/repo/target/debug/deps/exp_gfc-cd90bc7177ef0bb5: crates/bench/src/bin/exp-gfc.rs
+
+crates/bench/src/bin/exp-gfc.rs:

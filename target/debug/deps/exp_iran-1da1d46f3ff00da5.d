@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_iran-1da1d46f3ff00da5.d: crates/bench/src/bin/exp-iran.rs
+
+/root/repo/target/debug/deps/exp_iran-1da1d46f3ff00da5: crates/bench/src/bin/exp-iran.rs
+
+crates/bench/src/bin/exp-iran.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_iran-3dc90ffdca76360d.d: crates/bench/src/bin/exp-iran.rs
+
+/root/repo/target/debug/deps/libexp_iran-3dc90ffdca76360d.rmeta: crates/bench/src/bin/exp-iran.rs
+
+crates/bench/src/bin/exp-iran.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_iran-c0ed887cf6b22d65.d: crates/bench/src/bin/exp-iran.rs
+
+/root/repo/target/debug/deps/libexp_iran-c0ed887cf6b22d65.rmeta: crates/bench/src/bin/exp-iran.rs
+
+crates/bench/src/bin/exp-iran.rs:

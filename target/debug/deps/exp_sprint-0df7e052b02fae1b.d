@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sprint-0df7e052b02fae1b.d: crates/bench/src/bin/exp-sprint.rs
+
+/root/repo/target/debug/deps/libexp_sprint-0df7e052b02fae1b.rmeta: crates/bench/src/bin/exp-sprint.rs
+
+crates/bench/src/bin/exp-sprint.rs:

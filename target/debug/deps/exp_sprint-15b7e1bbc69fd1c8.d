@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sprint-15b7e1bbc69fd1c8.d: crates/bench/src/bin/exp-sprint.rs
+
+/root/repo/target/debug/deps/exp_sprint-15b7e1bbc69fd1c8: crates/bench/src/bin/exp-sprint.rs
+
+crates/bench/src/bin/exp-sprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sprint-dca659be04ece4eb.d: crates/bench/src/bin/exp-sprint.rs
+
+/root/repo/target/debug/deps/libexp_sprint-dca659be04ece4eb.rmeta: crates/bench/src/bin/exp-sprint.rs
+
+crates/bench/src/bin/exp-sprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_testbed-3afc480f699d9699.d: crates/bench/src/bin/exp-testbed.rs
+
+/root/repo/target/debug/deps/libexp_testbed-3afc480f699d9699.rmeta: crates/bench/src/bin/exp-testbed.rs
+
+crates/bench/src/bin/exp-testbed.rs:

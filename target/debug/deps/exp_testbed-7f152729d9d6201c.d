@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_testbed-7f152729d9d6201c.d: crates/bench/src/bin/exp-testbed.rs
+
+/root/repo/target/debug/deps/libexp_testbed-7f152729d9d6201c.rmeta: crates/bench/src/bin/exp-testbed.rs
+
+crates/bench/src/bin/exp-testbed.rs:

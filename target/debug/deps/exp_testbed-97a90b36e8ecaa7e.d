@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_testbed-97a90b36e8ecaa7e.d: crates/bench/src/bin/exp-testbed.rs
+
+/root/repo/target/debug/deps/exp_testbed-97a90b36e8ecaa7e: crates/bench/src/bin/exp-testbed.rs
+
+crates/bench/src/bin/exp-testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tmus-6c70e38190572764.d: crates/bench/src/bin/exp-tmus.rs
+
+/root/repo/target/debug/deps/libexp_tmus-6c70e38190572764.rmeta: crates/bench/src/bin/exp-tmus.rs
+
+crates/bench/src/bin/exp-tmus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tmus-b03fc544bab394ef.d: crates/bench/src/bin/exp-tmus.rs
+
+/root/repo/target/debug/deps/libexp_tmus-b03fc544bab394ef.rmeta: crates/bench/src/bin/exp-tmus.rs
+
+crates/bench/src/bin/exp-tmus.rs:

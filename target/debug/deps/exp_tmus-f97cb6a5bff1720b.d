@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tmus-f97cb6a5bff1720b.d: crates/bench/src/bin/exp-tmus.rs
+
+/root/repo/target/debug/deps/exp_tmus-f97cb6a5bff1720b: crates/bench/src/bin/exp-tmus.rs
+
+crates/bench/src/bin/exp-tmus.rs:

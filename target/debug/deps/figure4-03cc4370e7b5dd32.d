@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-03cc4370e7b5dd32.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/libfigure4-03cc4370e7b5dd32.rmeta: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

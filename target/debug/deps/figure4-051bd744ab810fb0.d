@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-051bd744ab810fb0.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/libfigure4-051bd744ab810fb0.rmeta: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

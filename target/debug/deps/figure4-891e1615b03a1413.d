@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-891e1615b03a1413.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-891e1615b03a1413: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/liberate-38fa196e6c43fe95.d: crates/core/src/lib.rs crates/core/src/bilateral.rs crates/core/src/cache.rs crates/core/src/characterize.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/detect.rs crates/core/src/error.rs crates/core/src/evaluate.rs crates/core/src/evasion/mod.rs crates/core/src/evasion/transform.rs crates/core/src/masquerade.rs crates/core/src/probe.rs crates/core/src/replay.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/socket.rs
+
+/root/repo/target/debug/deps/libliberate-38fa196e6c43fe95.rmeta: crates/core/src/lib.rs crates/core/src/bilateral.rs crates/core/src/cache.rs crates/core/src/characterize.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/detect.rs crates/core/src/error.rs crates/core/src/evaluate.rs crates/core/src/evasion/mod.rs crates/core/src/evasion/transform.rs crates/core/src/masquerade.rs crates/core/src/probe.rs crates/core/src/replay.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/socket.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bilateral.rs:
+crates/core/src/cache.rs:
+crates/core/src/characterize.rs:
+crates/core/src/config.rs:
+crates/core/src/deploy.rs:
+crates/core/src/detect.rs:
+crates/core/src/error.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/evasion/mod.rs:
+crates/core/src/evasion/transform.rs:
+crates/core/src/masquerade.rs:
+crates/core/src/probe.rs:
+crates/core/src/replay.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:
+crates/core/src/socket.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/liberate_bench-0f2ffd8b72d1d905.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/liberate_bench-0f2ffd8b72d1d905: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/expected.rs:
+crates/bench/src/osmatrix.rs:
+crates/bench/src/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/liberate_bench-5089b53dea9e6482.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libliberate_bench-5089b53dea9e6482.rmeta: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/expected.rs:
+crates/bench/src/osmatrix.rs:
+crates/bench/src/table3.rs:

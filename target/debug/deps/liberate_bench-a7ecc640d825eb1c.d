@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/liberate_bench-a7ecc640d825eb1c.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libliberate_bench-a7ecc640d825eb1c.rlib: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libliberate_bench-a7ecc640d825eb1c.rmeta: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/expected.rs:
+crates/bench/src/osmatrix.rs:
+crates/bench/src/table3.rs:

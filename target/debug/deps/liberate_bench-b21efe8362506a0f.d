@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/liberate_bench-b21efe8362506a0f.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libliberate_bench-b21efe8362506a0f.rmeta: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/expected.rs:
+crates/bench/src/osmatrix.rs:
+crates/bench/src/table3.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/liberate_dpi-2e7cf480cff2ca64.d: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+/root/repo/target/debug/deps/libliberate_dpi-2e7cf480cff2ca64.rlib: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+/root/repo/target/debug/deps/libliberate_dpi-2e7cf480cff2ca64.rmeta: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+crates/dpi/src/lib.rs:
+crates/dpi/src/actions.rs:
+crates/dpi/src/device.rs:
+crates/dpi/src/flowtable.rs:
+crates/dpi/src/inspect.rs:
+crates/dpi/src/matcher.rs:
+crates/dpi/src/profiles.rs:
+crates/dpi/src/proxy.rs:
+crates/dpi/src/resource.rs:
+crates/dpi/src/rules.rs:
+crates/dpi/src/validation.rs:

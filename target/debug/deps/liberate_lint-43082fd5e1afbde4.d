@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/liberate_lint-43082fd5e1afbde4.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/items.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/checksum_repair.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/taxonomy.rs
+
+/root/repo/target/debug/deps/liberate_lint-43082fd5e1afbde4: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/items.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/checksum_repair.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/taxonomy.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/items.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules/mod.rs:
+crates/lint/src/rules/checksum_repair.rs:
+crates/lint/src/rules/determinism.rs:
+crates/lint/src/rules/no_panic.rs:
+crates/lint/src/rules/taxonomy.rs:

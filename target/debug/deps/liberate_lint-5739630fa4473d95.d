@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_lint-5739630fa4473d95.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/liberate_lint-5739630fa4473d95: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_lint-61c0cca6af174778.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/liberate_lint-61c0cca6af174778: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

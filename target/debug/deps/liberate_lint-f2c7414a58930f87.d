@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/liberate_lint-f2c7414a58930f87.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/items.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/checksum_repair.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/taxonomy.rs
+
+/root/repo/target/debug/deps/libliberate_lint-f2c7414a58930f87.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/items.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/checksum_repair.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/taxonomy.rs
+
+/root/repo/target/debug/deps/libliberate_lint-f2c7414a58930f87.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/items.rs crates/lint/src/lexer.rs crates/lint/src/rules/mod.rs crates/lint/src/rules/checksum_repair.rs crates/lint/src/rules/determinism.rs crates/lint/src/rules/no_panic.rs crates/lint/src/rules/taxonomy.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/items.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules/mod.rs:
+crates/lint/src/rules/checksum_repair.rs:
+crates/lint/src/rules/determinism.rs:
+crates/lint/src/rules/no_panic.rs:
+crates/lint/src/rules/taxonomy.rs:

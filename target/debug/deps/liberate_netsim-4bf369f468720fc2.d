@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/liberate_netsim-4bf369f468720fc2.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/element.rs crates/netsim/src/filter.rs crates/netsim/src/firewall.rs crates/netsim/src/hop.rs crates/netsim/src/icmp.rs crates/netsim/src/network.rs crates/netsim/src/os.rs crates/netsim/src/server.rs crates/netsim/src/shaper.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libliberate_netsim-4bf369f468720fc2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/element.rs crates/netsim/src/filter.rs crates/netsim/src/firewall.rs crates/netsim/src/hop.rs crates/netsim/src/icmp.rs crates/netsim/src/network.rs crates/netsim/src/os.rs crates/netsim/src/server.rs crates/netsim/src/shaper.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/element.rs:
+crates/netsim/src/filter.rs:
+crates/netsim/src/firewall.rs:
+crates/netsim/src/hop.rs:
+crates/netsim/src/icmp.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/os.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/shaper.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:

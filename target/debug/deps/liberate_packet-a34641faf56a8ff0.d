@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/liberate_packet-a34641faf56a8ff0.d: crates/packet/src/lib.rs crates/packet/src/checksum.rs crates/packet/src/flow.rs crates/packet/src/fragment.rs crates/packet/src/ipv4.rs crates/packet/src/mutate.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/validate.rs
+
+/root/repo/target/debug/deps/libliberate_packet-a34641faf56a8ff0.rmeta: crates/packet/src/lib.rs crates/packet/src/checksum.rs crates/packet/src/flow.rs crates/packet/src/fragment.rs crates/packet/src/ipv4.rs crates/packet/src/mutate.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/validate.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/fragment.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/mutate.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/validate.rs:

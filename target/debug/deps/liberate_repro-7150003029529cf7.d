@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/liberate_repro-7150003029529cf7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libliberate_repro-7150003029529cf7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libliberate_repro-7150003029529cf7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_repro-7868ab2bcb450ad4.d: src/lib.rs
+
+/root/repo/target/debug/deps/liberate_repro-7868ab2bcb450ad4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_repro-b0a47dd76959a3e7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libliberate_repro-b0a47dd76959a3e7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_repro-b97d472b20ef7677.d: src/lib.rs
+
+/root/repo/target/debug/deps/libliberate_repro-b97d472b20ef7677.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/liberate_repro-c8a9c925bac62920.d: src/lib.rs
+
+/root/repo/target/debug/deps/liberate_repro-c8a9c925bac62920: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/liberate_traces-5d7c9ffbada8494b.d: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/debug/deps/libliberate_traces-5d7c9ffbada8494b.rmeta: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/apps.rs:
+crates/traces/src/generator.rs:
+crates/traces/src/http.rs:
+crates/traces/src/quic.rs:
+crates/traces/src/recorded.rs:
+crates/traces/src/stun.rs:
+crates/traces/src/tls.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/liberate_traces-8b4e3a5dcee383a3.d: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/debug/deps/libliberate_traces-8b4e3a5dcee383a3.rmeta: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/apps.rs:
+crates/traces/src/generator.rs:
+crates/traces/src/http.rs:
+crates/traces/src/quic.rs:
+crates/traces/src/recorded.rs:
+crates/traces/src/stun.rs:
+crates/traces/src/tls.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/liberate_traces-b3e93e6b6b23c67d.d: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/debug/deps/libliberate_traces-b3e93e6b6b23c67d.rlib: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/debug/deps/libliberate_traces-b3e93e6b6b23c67d.rmeta: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/apps.rs:
+crates/traces/src/generator.rs:
+crates/traces/src/http.rs:
+crates/traces/src/quic.rs:
+crates/traces/src/recorded.rs:
+crates/traces/src/stun.rs:
+crates/traces/src/tls.rs:

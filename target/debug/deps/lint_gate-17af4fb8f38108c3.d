@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_gate-17af4fb8f38108c3.d: tests/lint_gate.rs
+
+/root/repo/target/debug/deps/lint_gate-17af4fb8f38108c3: tests/lint_gate.rs
+
+tests/lint_gate.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

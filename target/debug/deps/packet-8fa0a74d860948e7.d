@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packet-8fa0a74d860948e7.d: crates/bench/benches/packet.rs
+
+/root/repo/target/debug/deps/libpacket-8fa0a74d860948e7.rmeta: crates/bench/benches/packet.rs
+
+crates/bench/benches/packet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-708dcab93182a0a9.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-708dcab93182a0a9.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-708dcab93182a0a9.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7e189d3968d412b8.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-7e189d3968d412b8: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-bc558b2050afb26c.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-bc558b2050afb26c.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-f123b69b95149563.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f123b69b95149563.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

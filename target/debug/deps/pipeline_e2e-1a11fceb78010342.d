@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-1a11fceb78010342.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-1a11fceb78010342: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

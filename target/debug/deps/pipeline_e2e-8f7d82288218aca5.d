@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-8f7d82288218aca5.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/libpipeline_e2e-8f7d82288218aca5.rmeta: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-ac320091c87cdf78.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-ac320091c87cdf78: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ca7bc586c9fe6b7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ca7bc586c9fe6b7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4d42885499cf6095.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-4d42885499cf6095.rmeta: tests/properties.rs
+
+tests/properties.rs:

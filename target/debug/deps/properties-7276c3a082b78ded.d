@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7276c3a082b78ded.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7276c3a082b78ded: tests/properties.rs
+
+tests/properties.rs:

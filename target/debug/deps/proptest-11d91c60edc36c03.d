@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-11d91c60edc36c03.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-11d91c60edc36c03.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-329b847b503c5f2b.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-329b847b503c5f2b: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-67e93eec2fdecd15.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-67e93eec2fdecd15.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-67e93eec2fdecd15.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-b1adce06a8d3c6bb.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-b1adce06a8d3c6bb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-15a5da8e96ce794f.d: crates/packet/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-15a5da8e96ce794f.rmeta: crates/packet/tests/proptests.rs
+
+crates/packet/tests/proptests.rs:

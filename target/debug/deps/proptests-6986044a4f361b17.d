@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6986044a4f361b17.d: crates/traces/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6986044a4f361b17: crates/traces/tests/proptests.rs
+
+crates/traces/tests/proptests.rs:

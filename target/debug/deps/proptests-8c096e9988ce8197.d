@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8c096e9988ce8197.d: crates/dpi/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-8c096e9988ce8197.rmeta: crates/dpi/tests/proptests.rs
+
+crates/dpi/tests/proptests.rs:

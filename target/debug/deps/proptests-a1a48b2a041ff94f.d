@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a1a48b2a041ff94f.d: crates/packet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a1a48b2a041ff94f: crates/packet/tests/proptests.rs
+
+crates/packet/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b6dd0d84b0c58ad7.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b6dd0d84b0c58ad7: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

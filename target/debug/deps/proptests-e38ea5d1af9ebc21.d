@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e38ea5d1af9ebc21.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-e38ea5d1af9ebc21.rmeta: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e9ed1379bf0c815c.d: crates/dpi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e9ed1379bf0c815c: crates/dpi/tests/proptests.rs
+
+crates/dpi/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fbe96566f5038370.d: crates/traces/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-fbe96566f5038370.rmeta: crates/traces/tests/proptests.rs
+
+crates/traces/tests/proptests.rs:

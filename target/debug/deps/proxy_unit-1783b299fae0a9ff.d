@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy_unit-1783b299fae0a9ff.d: crates/dpi/tests/proxy_unit.rs
+
+/root/repo/target/debug/deps/proxy_unit-1783b299fae0a9ff: crates/dpi/tests/proxy_unit.rs
+
+crates/dpi/tests/proxy_unit.rs:

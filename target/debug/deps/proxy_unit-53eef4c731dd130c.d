@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy_unit-53eef4c731dd130c.d: crates/dpi/tests/proxy_unit.rs
+
+/root/repo/target/debug/deps/libproxy_unit-53eef4c731dd130c.rmeta: crates/dpi/tests/proxy_unit.rs
+
+crates/dpi/tests/proxy_unit.rs:

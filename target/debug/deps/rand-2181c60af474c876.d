@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2181c60af474c876.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2181c60af474c876.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d3e1637b440c4dd6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d3e1637b440c4dd6.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-5c7eee7c82955296.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-5c7eee7c82955296.rmeta: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c558587584b4657a.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c558587584b4657a: tests/robustness.rs
+
+tests/robustness.rs:

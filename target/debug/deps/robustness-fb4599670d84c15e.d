@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-fb4599670d84c15e.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-fb4599670d84c15e: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3d8afe57e6915c75.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3d8afe57e6915c75.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3d8afe57e6915c75.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-5782b6eaeacb1445.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5782b6eaeacb1445.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

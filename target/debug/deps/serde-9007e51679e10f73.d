@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9007e51679e10f73.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9007e51679e10f73.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

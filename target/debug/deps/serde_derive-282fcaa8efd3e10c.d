@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-282fcaa8efd3e10c.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-282fcaa8efd3e10c.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-795b69162b76cb80.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-795b69162b76cb80.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9b41559345866e2f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-9b41559345866e2f: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-31950461ac99f521.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-31950461ac99f521: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

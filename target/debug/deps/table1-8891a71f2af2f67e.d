@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8891a71f2af2f67e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-8891a71f2af2f67e.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a77b4658318f6596.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a77b4658318f6596.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

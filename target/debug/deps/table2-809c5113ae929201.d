@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-809c5113ae929201.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-809c5113ae929201.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bee8e3d46423c185.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-bee8e3d46423c185.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

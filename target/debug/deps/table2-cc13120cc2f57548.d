@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-cc13120cc2f57548.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-cc13120cc2f57548: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-10f650272148a60a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-10f650272148a60a.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9a45027a8e85052a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9a45027a8e85052a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

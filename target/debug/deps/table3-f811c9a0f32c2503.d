@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f811c9a0f32c2503.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-f811c9a0f32c2503.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_matrix-038ae16ef526a578.d: tests/table3_matrix.rs
+
+/root/repo/target/debug/deps/libtable3_matrix-038ae16ef526a578.rmeta: tests/table3_matrix.rs
+
+tests/table3_matrix.rs:

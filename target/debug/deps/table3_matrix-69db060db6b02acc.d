@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_matrix-69db060db6b02acc.d: tests/table3_matrix.rs
+
+/root/repo/target/debug/deps/table3_matrix-69db060db6b02acc: tests/table3_matrix.rs
+
+tests/table3_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_matrix-9fee285cab691f8a.d: tests/table3_matrix.rs
+
+/root/repo/target/debug/deps/table3_matrix-9fee285cab691f8a: tests/table3_matrix.rs
+
+tests/table3_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-70b677753501eb54.d: crates/bench/benches/transforms.rs
+
+/root/repo/target/debug/deps/libtransforms-70b677753501eb54.rmeta: crates/bench/benches/transforms.rs
+
+crates/bench/benches/transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beyond_the_paper-09d5ce95e575d185.d: examples/beyond_the_paper.rs
+
+/root/repo/target/debug/examples/libbeyond_the_paper-09d5ce95e575d185.rmeta: examples/beyond_the_paper.rs
+
+examples/beyond_the_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beyond_the_paper-bafc7c666c1a6226.d: examples/beyond_the_paper.rs
+
+/root/repo/target/debug/examples/beyond_the_paper-bafc7c666c1a6226: examples/beyond_the_paper.rs
+
+examples/beyond_the_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beyond_the_paper-d4bbac5492d12fdd.d: examples/beyond_the_paper.rs
+
+/root/repo/target/debug/examples/beyond_the_paper-d4bbac5492d12fdd: examples/beyond_the_paper.rs
+
+examples/beyond_the_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_to_pcap-061d270a0ea74705.d: examples/capture_to_pcap.rs
+
+/root/repo/target/debug/examples/capture_to_pcap-061d270a0ea74705: examples/capture_to_pcap.rs
+
+examples/capture_to_pcap.rs:

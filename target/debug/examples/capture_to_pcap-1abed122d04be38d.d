@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_to_pcap-1abed122d04be38d.d: examples/capture_to_pcap.rs
+
+/root/repo/target/debug/examples/capture_to_pcap-1abed122d04be38d: examples/capture_to_pcap.rs
+
+examples/capture_to_pcap.rs:

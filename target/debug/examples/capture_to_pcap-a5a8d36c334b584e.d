@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_to_pcap-a5a8d36c334b584e.d: examples/capture_to_pcap.rs
+
+/root/repo/target/debug/examples/libcapture_to_pcap-a5a8d36c334b584e.rmeta: examples/capture_to_pcap.rs
+
+examples/capture_to_pcap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/censorship_circumvention-56d24404bd60265b.d: examples/censorship_circumvention.rs
+
+/root/repo/target/debug/examples/censorship_circumvention-56d24404bd60265b: examples/censorship_circumvention.rs
+
+examples/censorship_circumvention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/censorship_circumvention-a1a1f914c2fa95a9.d: examples/censorship_circumvention.rs
+
+/root/repo/target/debug/examples/libcensorship_circumvention-a1a1f914c2fa95a9.rmeta: examples/censorship_circumvention.rs
+
+examples/censorship_circumvention.rs:

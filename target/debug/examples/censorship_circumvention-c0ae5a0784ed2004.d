@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/censorship_circumvention-c0ae5a0784ed2004.d: examples/censorship_circumvention.rs
+
+/root/repo/target/debug/examples/censorship_circumvention-c0ae5a0784ed2004: examples/censorship_circumvention.rs
+
+examples/censorship_circumvention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expose_classifier_rules-062f33b294cf5b5a.d: examples/expose_classifier_rules.rs
+
+/root/repo/target/debug/examples/expose_classifier_rules-062f33b294cf5b5a: examples/expose_classifier_rules.rs
+
+examples/expose_classifier_rules.rs:

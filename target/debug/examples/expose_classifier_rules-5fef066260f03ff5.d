@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expose_classifier_rules-5fef066260f03ff5.d: examples/expose_classifier_rules.rs
+
+/root/repo/target/debug/examples/expose_classifier_rules-5fef066260f03ff5: examples/expose_classifier_rules.rs
+
+examples/expose_classifier_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expose_classifier_rules-7fa45d4258da5673.d: examples/expose_classifier_rules.rs
+
+/root/repo/target/debug/examples/libexpose_classifier_rules-7fa45d4258da5673.rmeta: examples/expose_classifier_rules.rs
+
+examples/expose_classifier_rules.rs:

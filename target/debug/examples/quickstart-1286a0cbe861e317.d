@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1286a0cbe861e317.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1286a0cbe861e317: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3e54779c41a9a19b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3e54779c41a9a19b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6e9b6fc1e8acf7d4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6e9b6fc1e8acf7d4.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unthrottle_video-172eeaec036a947b.d: examples/unthrottle_video.rs
+
+/root/repo/target/debug/examples/libunthrottle_video-172eeaec036a947b.rmeta: examples/unthrottle_video.rs
+
+examples/unthrottle_video.rs:

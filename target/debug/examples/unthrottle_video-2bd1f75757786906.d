@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unthrottle_video-2bd1f75757786906.d: examples/unthrottle_video.rs
+
+/root/repo/target/debug/examples/unthrottle_video-2bd1f75757786906: examples/unthrottle_video.rs
+
+examples/unthrottle_video.rs:

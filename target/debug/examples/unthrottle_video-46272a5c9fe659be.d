@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unthrottle_video-46272a5c9fe659be.d: examples/unthrottle_video.rs
+
+/root/repo/target/debug/examples/unthrottle_video-46272a5c9fe659be: examples/unthrottle_video.rs
+
+examples/unthrottle_video.rs:

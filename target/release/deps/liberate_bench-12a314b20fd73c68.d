@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/liberate_bench-12a314b20fd73c68.d: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libliberate_bench-12a314b20fd73c68.rlib: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libliberate_bench-12a314b20fd73c68.rmeta: crates/bench/src/lib.rs crates/bench/src/envs.rs crates/bench/src/expected.rs crates/bench/src/osmatrix.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/envs.rs:
+crates/bench/src/expected.rs:
+crates/bench/src/osmatrix.rs:
+crates/bench/src/table3.rs:

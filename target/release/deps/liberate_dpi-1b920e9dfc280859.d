@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/liberate_dpi-1b920e9dfc280859.d: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+/root/repo/target/release/deps/libliberate_dpi-1b920e9dfc280859.rlib: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+/root/repo/target/release/deps/libliberate_dpi-1b920e9dfc280859.rmeta: crates/dpi/src/lib.rs crates/dpi/src/actions.rs crates/dpi/src/device.rs crates/dpi/src/flowtable.rs crates/dpi/src/inspect.rs crates/dpi/src/matcher.rs crates/dpi/src/profiles.rs crates/dpi/src/proxy.rs crates/dpi/src/resource.rs crates/dpi/src/rules.rs crates/dpi/src/validation.rs
+
+crates/dpi/src/lib.rs:
+crates/dpi/src/actions.rs:
+crates/dpi/src/device.rs:
+crates/dpi/src/flowtable.rs:
+crates/dpi/src/inspect.rs:
+crates/dpi/src/matcher.rs:
+crates/dpi/src/profiles.rs:
+crates/dpi/src/proxy.rs:
+crates/dpi/src/resource.rs:
+crates/dpi/src/rules.rs:
+crates/dpi/src/validation.rs:

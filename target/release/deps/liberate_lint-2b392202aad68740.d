@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/liberate_lint-2b392202aad68740.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/liberate_lint-2b392202aad68740: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

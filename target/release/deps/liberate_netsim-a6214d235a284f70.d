@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/liberate_netsim-a6214d235a284f70.d: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/element.rs crates/netsim/src/filter.rs crates/netsim/src/firewall.rs crates/netsim/src/hop.rs crates/netsim/src/icmp.rs crates/netsim/src/network.rs crates/netsim/src/os.rs crates/netsim/src/server.rs crates/netsim/src/shaper.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libliberate_netsim-a6214d235a284f70.rlib: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/element.rs crates/netsim/src/filter.rs crates/netsim/src/firewall.rs crates/netsim/src/hop.rs crates/netsim/src/icmp.rs crates/netsim/src/network.rs crates/netsim/src/os.rs crates/netsim/src/server.rs crates/netsim/src/shaper.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libliberate_netsim-a6214d235a284f70.rmeta: crates/netsim/src/lib.rs crates/netsim/src/capture.rs crates/netsim/src/element.rs crates/netsim/src/filter.rs crates/netsim/src/firewall.rs crates/netsim/src/hop.rs crates/netsim/src/icmp.rs crates/netsim/src/network.rs crates/netsim/src/os.rs crates/netsim/src/server.rs crates/netsim/src/shaper.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/capture.rs:
+crates/netsim/src/element.rs:
+crates/netsim/src/filter.rs:
+crates/netsim/src/firewall.rs:
+crates/netsim/src/hop.rs:
+crates/netsim/src/icmp.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/os.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/shaper.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:

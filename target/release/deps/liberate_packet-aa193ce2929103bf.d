@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/liberate_packet-aa193ce2929103bf.d: crates/packet/src/lib.rs crates/packet/src/checksum.rs crates/packet/src/flow.rs crates/packet/src/fragment.rs crates/packet/src/ipv4.rs crates/packet/src/mutate.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/validate.rs
+
+/root/repo/target/release/deps/libliberate_packet-aa193ce2929103bf.rlib: crates/packet/src/lib.rs crates/packet/src/checksum.rs crates/packet/src/flow.rs crates/packet/src/fragment.rs crates/packet/src/ipv4.rs crates/packet/src/mutate.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/validate.rs
+
+/root/repo/target/release/deps/libliberate_packet-aa193ce2929103bf.rmeta: crates/packet/src/lib.rs crates/packet/src/checksum.rs crates/packet/src/flow.rs crates/packet/src/fragment.rs crates/packet/src/ipv4.rs crates/packet/src/mutate.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/validate.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/fragment.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/mutate.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/validate.rs:

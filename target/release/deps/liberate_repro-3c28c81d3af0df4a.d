@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/liberate_repro-3c28c81d3af0df4a.d: src/lib.rs
+
+/root/repo/target/release/deps/libliberate_repro-3c28c81d3af0df4a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libliberate_repro-3c28c81d3af0df4a.rmeta: src/lib.rs
+
+src/lib.rs:

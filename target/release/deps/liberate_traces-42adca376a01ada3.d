@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/liberate_traces-42adca376a01ada3.d: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/release/deps/libliberate_traces-42adca376a01ada3.rlib: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+/root/repo/target/release/deps/libliberate_traces-42adca376a01ada3.rmeta: crates/traces/src/lib.rs crates/traces/src/apps.rs crates/traces/src/generator.rs crates/traces/src/http.rs crates/traces/src/quic.rs crates/traces/src/recorded.rs crates/traces/src/stun.rs crates/traces/src/tls.rs
+
+crates/traces/src/lib.rs:
+crates/traces/src/apps.rs:
+crates/traces/src/generator.rs:
+crates/traces/src/http.rs:
+crates/traces/src/quic.rs:
+crates/traces/src/recorded.rs:
+crates/traces/src/stun.rs:
+crates/traces/src/tls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5cf606b8db915396.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-5cf606b8db915396: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

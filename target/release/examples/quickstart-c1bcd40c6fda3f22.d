@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c1bcd40c6fda3f22.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c1bcd40c6fda3f22: examples/quickstart.rs
+
+examples/quickstart.rs:

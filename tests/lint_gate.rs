@@ -1,0 +1,45 @@
+//! Tier-1 gate: the workspace must lint clean.
+//!
+//! Runs the `liberate-lint` rules in-process over the repository and
+//! fails on any diagnostic, so `cargo test -q` enforces the domain
+//! invariants (checksum repair, taxonomy exhaustiveness, determinism,
+//! no-panic) on every change. Run `liberate-lint explain <rule>` for the
+//! rationale behind a failure, or add a `// lint: allow(<rule>)`
+//! annotation where the violation is intentional.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = liberate_lint::lint_workspace(root).expect("lint walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "liberate-lint found {} diagnostic(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = liberate_lint::lint_workspace(root).expect("lint walk succeeds");
+    let json = liberate_lint::to_json(&diags);
+    assert!(json.starts_with("{\"count\":"));
+    assert!(json.contains("\"diagnostics\":["));
+}
+
+#[test]
+fn every_rule_has_an_explanation() {
+    for rule in liberate_lint::rule_names() {
+        assert!(
+            liberate_lint::explain(rule).is_some(),
+            "rule {rule} lacks explain text"
+        );
+    }
+}

@@ -35,14 +35,17 @@ fn gfc_pipeline_finds_an_evasion() {
 #[test]
 fn iran_pipeline_lands_on_splitting() {
     let mut s = session(EnvKind::Iran);
-    let report = run_pipeline(&mut s, &apps::facebook_http(), &CharacterizeOpts::default()).unwrap();
+    let report =
+        run_pipeline(&mut s, &apps::facebook_http(), &CharacterizeOpts::default()).unwrap();
     assert!(report.detection.blocking);
-    assert!(report
-        .characterization
-        .as_ref()
-        .unwrap()
-        .position
-        .matches_all_packets);
+    assert!(
+        report
+            .characterization
+            .as_ref()
+            .unwrap()
+            .position
+            .matches_all_packets
+    );
     let chosen = report.chosen.expect("Iran is evadable");
     // An all-packets classifier leaves only splitting/reordering (§5.2).
     assert!(matches!(

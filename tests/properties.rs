@@ -11,8 +11,7 @@ use liberate_traces::recorded::{RecordedTrace, TraceMessage, TraceProtocol};
 use std::net::Ipv4Addr;
 
 fn addr() -> impl Strategy<Value = Ipv4Addr> {
-    (1u8..=254, 0u8..=255, 0u8..=255, 1u8..=254)
-        .prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
+    (1u8..=254, 0u8..=255, 0u8..=255, 1u8..=254).prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
 }
 
 proptest! {
@@ -163,6 +162,69 @@ proptest! {
             let skip = out.server_skip_prefix as usize;
             prop_assert_eq!(&stream[skip..], &trace.client_stream()[..],
                 "{:?} corrupted the stream", technique);
+        }
+    }
+
+    /// The full applicability matrix: for every technique in Table 3 plus
+    /// the dummy-prefix extension, on both transports, `apply()` succeeds
+    /// exactly when `applicable()` says so, and every produced schedule
+    /// reassembles (counts-true packets sorted by offset, minus the
+    /// server-skipped prefix) to the original client byte stream.
+    #[test]
+    fn applicable_transforms_reassemble(
+        body in proptest::collection::vec(any::<u8>(), 16..1200),
+        second in proptest::collection::vec(any::<u8>(), 1..64),
+        prefix in 1usize..512,
+        mb_ttl in 1u8..12,
+    ) {
+        for proto in [TraceProtocol::Tcp, TraceProtocol::Udp] {
+            let mut trace = RecordedTrace::new("m", proto, 443);
+            trace.push_message(TraceMessage::client(body.clone()));
+            trace.push_message(TraceMessage::server(&b"ack"[..]));
+            trace.push_message(TraceMessage::client(second.clone()));
+            let ctx = EvasionContext {
+                matching_fields: vec![liberate_packet::mutate::ByteRegion::new(
+                    0,
+                    4..12,
+                )],
+                decoy: decoy_request(),
+                middlebox_ttl: mb_ttl,
+            };
+            let base = Schedule::from_trace(&trace);
+            let expected = trace.client_stream();
+
+            let mut all = Technique::table3_rows();
+            all.push(Technique::DummyPrefixData { bytes: prefix });
+            for technique in all {
+                let out = technique.apply(&base, &ctx);
+                if !technique.applicable(proto) {
+                    prop_assert!(out.is_none(),
+                        "{:?} applied on {:?} despite applicable()=false", technique, proto);
+                    continue;
+                }
+                let Some(out) = out else {
+                    panic!("{technique:?} is applicable on {proto:?} but apply() returned None");
+                };
+                let mut pkts: Vec<(u64, Vec<u8>)> = out
+                    .steps
+                    .iter()
+                    .filter_map(|s| match s {
+                        Step::Packet(p) if p.counts => Some((p.offset, p.payload.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                pkts.sort_by_key(|(off, _)| *off);
+                let mut stream = Vec::new();
+                for (off, chunk) in pkts {
+                    prop_assert_eq!(off as usize, stream.len(),
+                        "{:?} left a gap/overlap on {:?}", technique, proto);
+                    stream.extend_from_slice(&chunk);
+                }
+                let skip = out.server_skip_prefix as usize;
+                prop_assert!(stream.len() >= skip + expected.len());
+                prop_assert_eq!(&stream[skip..], &expected[..],
+                    "{:?} corrupted the {:?} stream", technique, proto);
+            }
         }
     }
 

@@ -1,0 +1,152 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The registry is unreachable from the build environment, so the
+//! workspace vendors a std-only mini property-testing engine with the same
+//! surface syntax: the `proptest!` macro, `any::<T>()`, integer-range and
+//! tuple strategies, `prop_map`, `prop_oneof!`, `proptest::collection::vec`,
+//! `prop::sample::Index`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the panic message only.
+//! - **Deterministic by construction.** Each test's RNG is seeded from the
+//!   test's module path and name, so a failure reproduces on every run —
+//!   the property lib·erate itself needs from its measurement pipeline
+//!   (and what the `liberate-lint` determinism rule enforces elsewhere).
+//! - **Default cases = 64** (upstream 256), keeping the packet-level
+//!   simulation suites fast; override per-block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod strategy;
+
+pub mod string;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod sample;
+
+pub mod test_runner;
+
+pub mod prelude {
+    /// Upstream's prelude aliases the crate itself as `prop`, enabling
+    /// `prop::sample::Index` and friends.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define a block of property tests. Each `fn name(pat in strategy, ...)`
+/// expands to a `#[test]` that generates `cases` inputs from a
+/// deterministic per-test RNG and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Upstream returns an `Err` to the runner; without shrinking a plain
+/// `assert!` carries the same information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choose uniformly among the given strategies (upstream also supports
+/// weighted arms; the workspace only uses the unweighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_compose() {
+        let mut rng = crate::test_runner::TestRng::from_name("compose");
+        let strat = crate::collection::vec((0u64..100, 5usize..10), 1..4);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 100);
+                assert!((5..10).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let strat = prop_oneof![Just(6u8), Just(17u8)].prop_map(|p| p as u16);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 6 || v == 17);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            bytes in crate::collection::vec(any::<u8>(), 0..16),
+            which in 0usize..3,
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(bytes.len() < 16);
+            prop_assert!(which < 3);
+            let _ = idx.index(bytes.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `prop::sample::Index` — an arbitrary index scalable to any collection.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// Raw entropy that callers project onto a concrete collection length.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `[0, size)`. Panics if `size == 0`, as upstream does.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_in_bounds() {
+        let mut rng = TestRng::from_name("index");
+        for size in 1..50usize {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(size) < size);
+        }
+    }
+}

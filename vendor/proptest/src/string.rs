@@ -1,0 +1,247 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream treats any `&str` as a full regex generator. The shim supports
+//! the subset the workspace's patterns use: literal characters, character
+//! classes `[a-z0-9_.-]`, non-capturing sequence groups `(...)`, and the
+//! quantifiers `{m,n}`, `{m}`, `*`, `+`, `?` applied to the preceding
+//! element. Unsupported syntax (alternation, anchors, backreferences)
+//! panics at generation time so a new pattern fails loudly rather than
+//! producing wrong data.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One char drawn from `choices`, repeated per the quantifier.
+    Class {
+        choices: Vec<char>,
+        min: u32,
+        max: u32,
+    },
+    /// A sub-sequence repeated per the quantifier.
+    Group {
+        nodes: Vec<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+fn parse_class(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let Some(c) = chars.next() else {
+            panic!("unterminated character class in pattern {pattern:?}");
+        };
+        match c {
+            ']' => break,
+            '\\' => {
+                let c = chars.next().expect("dangling escape");
+                set.push(c);
+                prev = Some(c);
+            }
+            '-' => {
+                // A range if flanked; a literal '-' otherwise.
+                match (prev, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        // `lo` is already in the set.
+                        let mut cur = lo;
+                        while cur < hi {
+                            cur =
+                                char::from_u32(cur as u32 + 1).expect("range crosses invalid char");
+                            set.push(cur);
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            c => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    set
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> (u32, u32) {
+    let (min, max) = match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m: u32 = spec.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    };
+    assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+    (min, max)
+}
+
+/// Parse a sequence until end of input or an unmatched `)` (consumed by
+/// the caller for groups).
+fn parse_seq(chars: &mut Peekable<Chars<'_>>, pattern: &str, in_group: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unmatched ')' in pattern {pattern:?}");
+            return nodes;
+        }
+        chars.next();
+        let node = match c {
+            '[' => {
+                let choices = parse_class(chars, pattern);
+                let (min, max) = parse_quantifier(chars, pattern);
+                Node::Class { choices, min, max }
+            }
+            '(' => {
+                let inner = parse_seq(chars, pattern, true);
+                assert_eq!(chars.next(), Some(')'), "unterminated group in {pattern:?}");
+                let (min, max) = parse_quantifier(chars, pattern);
+                Node::Group {
+                    nodes: inner,
+                    min,
+                    max,
+                }
+            }
+            '\\' => {
+                let c = chars.next().expect("dangling escape");
+                let (min, max) = parse_quantifier(chars, pattern);
+                Node::Class {
+                    choices: vec![c],
+                    min,
+                    max,
+                }
+            }
+            '|' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in shim pattern {pattern:?}")
+            }
+            c => {
+                let (min, max) = parse_quantifier(chars, pattern);
+                Node::Class {
+                    choices: vec![c],
+                    min,
+                    max,
+                }
+            }
+        };
+        nodes.push(node);
+    }
+    assert!(!in_group, "unterminated group in pattern {pattern:?}");
+    nodes
+}
+
+fn generate_seq(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        match node {
+            Node::Class { choices, min, max } => {
+                let n = min + rng.below(u64::from(max - min) + 1) as u32;
+                for _ in 0..n {
+                    out.push(choices[rng.below(choices.len() as u64) as usize]);
+                }
+            }
+            Node::Group { nodes, min, max } => {
+                let n = min + rng.below(u64::from(max - min) + 1) as u32;
+                for _ in 0..n {
+                    generate_seq(nodes, rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Strategy for &'a str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_seq(&mut self.chars().peekable(), self, false);
+        let mut out = String::new();
+        generate_seq(&nodes, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_patterns_generate_in_class() {
+        let mut rng = TestRng::from_name("string");
+        for _ in 0..200 {
+            let p = Strategy::generate(&"/[a-z0-9/._-]{0,40}", &mut rng);
+            assert!(p.starts_with('/'));
+            assert!(p.len() <= 41);
+            assert!(p[1..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/._-".contains(c)));
+
+            let ua = Strategy::generate(&"[a-zA-Z0-9/. -]{1,30}", &mut rng);
+            assert!((1..=30).contains(&ua.len()));
+            assert!(ua
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/. -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn hostname_pattern_with_groups() {
+        let mut rng = TestRng::from_name("host");
+        for _ in 0..200 {
+            let host = Strategy::generate(&"[a-z]{1,12}(\\.[a-z]{2,10}){1,3}", &mut rng);
+            let labels: Vec<&str> = host.split('.').collect();
+            assert!((2..=4).contains(&labels.len()), "{host}");
+            assert!(labels
+                .iter()
+                .all(|l| !l.is_empty() && l.chars().all(|c| c.is_ascii_lowercase())));
+        }
+    }
+
+    #[test]
+    fn literals_and_simple_quantifiers() {
+        let mut rng = TestRng::from_name("lit");
+        assert_eq!(Strategy::generate(&"abc", &mut rng), "abc");
+        let v = Strategy::generate(&"x[01]{3}", &mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.starts_with('x'));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for the slice of `serde` this workspace touches. Types
+//! derive `Serialize`/`Deserialize` but nothing serializes through serde
+//! yet, so the traits are markers and the derives (re-exported from the
+//! sibling `serde_derive` shim) expand to nothing. If a future PR needs
+//! real serialization, replace `vendor/serde` with the upstream crate and
+//! nothing else has to change.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

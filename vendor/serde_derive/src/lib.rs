@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on wire/report types for forward
+//! compatibility but never actually serializes through serde (reports are
+//! hand-rendered). The derives therefore expand to nothing; `#[serde(...)]`
+//! helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
