@@ -13,14 +13,20 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-att`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::{fmt_bps, fmt_bytes};
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 use liberate_traces::recorded::Sender;
 
 fn main() {
     println!("Experiment §6.3: AT&T Stream Saver\n");
+    let journal = Arc::new(Journal::new());
     let mut session = Session::new(EnvKind::Att, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
     let video = apps::nbcsports_http(2_000_000);
 
     // --- Detection: throttled vs the bit-inverted control.
@@ -108,5 +114,6 @@ fn main() {
         fmt_bps(out.avg_bps)
     );
 
+    obsflag::finish(&journal);
     println!("\n[ok] §6.3 findings reproduce");
 }

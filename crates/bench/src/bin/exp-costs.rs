@@ -5,12 +5,17 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-costs`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::{fmt_bytes, TextTable};
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 
 fn main() {
     println!("Experiment §5.3: lib\u{b7}erate's costs\n");
+    let journal = Arc::new(Journal::new());
 
     // --- One-time characterization cost per application class.
     let mut table = TextTable::new(&["Application (env)", "Rounds", "Sim. time", "Data consumed"]);
@@ -53,6 +58,7 @@ fn main() {
     let mut results = Vec::new();
     for (name, kind, trace, signal, rotate) in cases {
         let mut session = Session::new(kind, OsKind::Linux, LiberateConfig::default());
+        session.attach_journal(journal.clone());
         let copts = CharacterizeOpts {
             rotate_server_ports: rotate,
             ..Default::default()
@@ -132,5 +138,6 @@ fn main() {
     );
     assert!(overhead < 0.005);
 
+    obsflag::finish(&journal);
     println!("\n[ok] §5.3 cost findings reproduce");
 }

@@ -13,13 +13,19 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-gfc`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::fmt_bytes;
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 
 fn main() {
     println!("Experiment §6.5: the Great Firewall of China\n");
+    let journal = Arc::new(Journal::new());
     let mut session = Session::new(EnvKind::Gfc, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
     let trace = apps::economist_http();
 
     // --- Blocking signal: 3-5 RSTs.
@@ -52,6 +58,7 @@ fn main() {
 
     // --- Characterization with port rotation.
     let mut fresh = Session::new(EnvKind::Gfc, OsKind::Linux, LiberateConfig::default());
+    fresh.attach_journal(journal.clone());
     let copts = CharacterizeOpts {
         rotate_server_ports: true,
         ..Default::default()
@@ -124,5 +131,6 @@ fn main() {
     assert!(after.blocked(), "RST-after does not evade");
     println!("RST flush: before-match evades, after-match does not (matches §6.5)");
 
+    obsflag::finish(&journal);
     println!("\n[ok] §6.5 findings reproduce");
 }

@@ -15,13 +15,19 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-iran`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::fmt_bytes;
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 
 fn main() {
     println!("Experiment §6.6: Iran\n");
+    let journal = Arc::new(Journal::new());
     let mut session = Session::new(EnvKind::Iran, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
     let trace = apps::facebook_http();
 
     // --- Blocking signal: 403 page + 2 RSTs.
@@ -129,5 +135,6 @@ fn main() {
     }
     println!("evasion: splitting the matching field across 2 segments evades (±reorder)");
 
+    obsflag::finish(&journal);
     println!("\n[ok] §6.6 findings reproduce");
 }

@@ -8,13 +8,19 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-sprint`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::fmt_bps;
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 
 fn main() {
     println!("Experiment §6.4: Sprint\n");
+    let journal = Arc::new(Journal::new());
     let mut session = Session::new(EnvKind::Sprint, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
 
     let cases: Vec<(&str, liberate_traces::recorded::RecordedTrace, Option<u16>)> = vec![
         (
@@ -84,5 +90,6 @@ fn main() {
          independent of content, port, or bit inversion (paper: \"we found no\n\
          pattern to which flows received relatively more or less bandwidth\")"
     );
+    obsflag::finish(&journal);
     println!("\n[ok] §6.4 findings reproduce");
 }

@@ -15,16 +15,22 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-testbed`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::{fmt_bytes, TextTable};
+use liberate_bench::obsflag;
+use liberate_obs::{phase_summaries, Journal, Phase};
 use liberate_traces::apps;
 
 fn characterize_app(
     name: &str,
     trace: &liberate_traces::recorded::RecordedTrace,
     table: &mut TextTable,
+    journal: &Arc<Journal>,
 ) -> Characterization {
     let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
     let c = characterize(
         &mut session,
         trace,
@@ -44,6 +50,7 @@ fn characterize_app(
 
 fn main() {
     println!("Experiment §6.1: testbed classifier analysis\n");
+    let journal = Arc::new(Journal::new());
     let mut table = TextTable::new(&[
         "Application",
         "Rounds",
@@ -58,12 +65,13 @@ fn main() {
         "Amazon Prime Video",
         &apps::amazon_prime_http(20_000),
         &mut table,
+        &journal,
     );
-    let spotify = characterize_app("Spotify", &apps::spotify_http(20_000), &mut table);
-    let espn = characterize_app("ESPN", &apps::espn_http(20_000), &mut table);
+    let spotify = characterize_app("Spotify", &apps::spotify_http(20_000), &mut table, &journal);
+    let espn = characterize_app("ESPN", &apps::espn_http(20_000), &mut table, &journal);
 
     // UDP: Skype via STUN.
-    let skype = characterize_app("Skype (UDP)", &apps::skype_stun(8), &mut table);
+    let skype = characterize_app("Skype (UDP)", &apps::skype_stun(8), &mut table, &journal);
 
     println!("{}", table.render());
 
@@ -104,5 +112,25 @@ fn main() {
         "measured: HTTP {} / {} / {} rounds; Skype {} rounds; fields in packet 0 only",
         prime.rounds, spotify.rounds, espn.rounds, skype.rounds
     );
+
+    // --- Journal accounting: the per-phase summary must account for
+    // every replay the characterizer reported, exactly.
+    let events = journal.events();
+    let probe_replays: u64 = phase_summaries(&events)
+        .iter()
+        .filter(|s| matches!(s.phase, Phase::BlindSearch | Phase::PositionProbe))
+        .map(|s| s.replays)
+        .sum();
+    let reported_rounds = prime.rounds + spotify.rounds + espn.rounds + skype.rounds;
+    assert_eq!(
+        probe_replays, reported_rounds,
+        "journal must account for every characterizer replay"
+    );
+    println!(
+        "journal: {probe_replays} replays in blind-search/position-probe spans \
+         == {reported_rounds} characterizer rounds"
+    );
+
+    obsflag::finish(&journal);
     println!("\n[ok] §6.1 efficiency and matching-field findings reproduce");
 }

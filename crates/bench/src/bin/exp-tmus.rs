@@ -14,13 +14,19 @@
 //!
 //! Run with: `cargo run --release -p liberate-bench --bin exp-tmus`
 
+use std::sync::Arc;
+
 use liberate::prelude::*;
 use liberate::report::{fmt_bps, fmt_bytes};
+use liberate_bench::obsflag;
+use liberate_obs::Journal;
 use liberate_traces::apps;
 
 fn main() {
     println!("Experiment §6.2: T-Mobile Binge On\n");
+    let journal = Arc::new(Journal::new());
     let mut session = Session::new(EnvKind::TMobile, OsKind::Linux, LiberateConfig::default());
+    session.attach_journal(journal.clone());
 
     // --- Detection: zero-rating shows up on the billed counter.
     let video = apps::amazon_prime_http(400_000);
@@ -111,5 +117,6 @@ fn main() {
     assert!(evaded.avg_bps > 2.0 * throttled.avg_bps);
     assert!(evaded.peak_bps > 2.0 * throttled.peak_bps);
 
+    obsflag::finish(&journal);
     println!("\n[ok] §6.2 findings reproduce (zero-rating, fields, QUIC, throughput gain)");
 }

@@ -175,6 +175,27 @@ impl RuleCache {
         self.entries.get(&key(network, app))
     }
 
+    /// [`RuleCache::lookup`] variant that records the hit or miss in an
+    /// observability journal, so cache effectiveness shows up in traces.
+    pub fn lookup_observed(
+        &self,
+        network: &str,
+        app: &str,
+        journal: &liberate_obs::Journal,
+        t_us: u64,
+    ) -> Option<&CachedRules> {
+        let k = key(network, app);
+        let found = self.entries.get(&k);
+        if found.is_some() {
+            journal.metrics.incr(liberate_obs::Counter::CacheHits);
+            journal.record(t_us, liberate_obs::EventKind::CacheHit { key: k });
+        } else {
+            journal.metrics.incr(liberate_obs::Counter::CacheMisses);
+            journal.record(t_us, liberate_obs::EventKind::CacheMiss { key: k });
+        }
+        found
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use rand::Rng;
 
+use liberate_obs::{Counter, Phase};
 use liberate_packet::mutate::{invert_range, merge_regions, ByteRegion};
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage};
 
@@ -149,8 +150,17 @@ impl<'a> Prober<'a> {
     /// still happened.
     fn classified_with_blinded(&mut self, blind: &[(usize, Range<usize>)]) -> bool {
         let mut t = self.trace.clone();
+        let mut blinded_bytes = 0u64;
         for (msg, range) in blind {
+            blinded_bytes += range.len() as u64;
             invert_range(&mut t.messages[*msg].payload, range.clone());
+        }
+        if blinded_bytes > 0 {
+            self.session
+                .env
+                .journal
+                .metrics
+                .add(Counter::BytesBlinded, blinded_bytes);
         }
         let replay_opts = ReplayOpts {
             server_port: self.port_for_round(),
@@ -274,6 +284,19 @@ pub fn find_matching_fields(
     signal: &Signal,
     opts: &CharacterizeOpts,
 ) -> (Vec<MatchingField>, u64) {
+    let journal = session.env.journal.clone();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::BlindSearch);
+    let out = find_matching_fields_inner(session, trace, signal, opts);
+    journal.span_end(session.env.network.clock.as_micros(), Phase::BlindSearch);
+    out
+}
+
+fn find_matching_fields_inner(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> (Vec<MatchingField>, u64) {
     let mut prober = Prober {
         session,
         trace,
@@ -314,6 +337,19 @@ pub fn find_matching_fields(
 
 /// Phase 2b: position probing (prepend ladders).
 pub fn probe_position(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> (PositionProfile, u64) {
+    let journal = session.env.journal.clone();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::PositionProbe);
+    let out = probe_position_inner(session, trace, signal, opts);
+    journal.span_end(session.env.network.clock.as_micros(), Phase::PositionProbe);
+    out
+}
+
+fn probe_position_inner(
     session: &mut Session,
     trace: &RecordedTrace,
     signal: &Signal,

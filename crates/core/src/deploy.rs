@@ -12,6 +12,7 @@
 
 use std::time::Duration;
 
+use liberate_obs::Phase;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::characterize::{characterize, Characterization, CharacterizeOpts};
@@ -221,9 +222,13 @@ impl LiberateProxy {
     /// verify against the live classifier (per-field blinding replays
     /// using the signal the contributor recorded).
     fn shared_rules_for(&mut self, trace: &RecordedTrace) -> Option<Characterization> {
+        let journal = self.session.env.journal.clone();
+        let t_us = self.session.env.network.clock.as_micros();
         let (cache, network) = self.rule_cache.as_ref()?;
         let network = network.clone();
-        let entry = cache.lookup(&network, &trace.app)?.clone();
+        let entry = cache
+            .lookup_observed(&network, &trace.app, &journal, t_us)?
+            .clone();
         let cache_snapshot = self.rule_cache.as_ref().map(|(c, _)| c.clone())?;
         let signal = entry.signal.to_signal(&mut self.session, trace);
         let fresh =
@@ -238,6 +243,14 @@ impl LiberateProxy {
 
     /// Send one application flow, evading as needed.
     pub fn run_flow(&mut self, trace: &RecordedTrace) -> Result<FlowReport> {
+        let journal = self.session.env.journal.clone();
+        journal.span_start(self.session.env.network.clock.as_micros(), Phase::Deploy);
+        let out = self.run_flow_inner(trace);
+        journal.span_end(self.session.env.network.clock.as_micros(), Phase::Deploy);
+        out
+    }
+
+    fn run_flow_inner(&mut self, trace: &RecordedTrace) -> Result<FlowReport> {
         // Fast path: apply the cached technique.
         if let Some(cached) = &self.cached {
             let schedule = cached

@@ -6,6 +6,7 @@
 //! guarantees no classification keyword survives in the control, avoiding
 //! the accidental matches the paper saw with random payloads.
 
+use liberate_obs::Phase;
 use liberate_packet::flow::FlowKey;
 use liberate_packet::mutate::invert_bits;
 use liberate_traces::recorded::RecordedTrace;
@@ -173,6 +174,9 @@ pub fn detect_rotating(
     trace: &RecordedTrace,
     rotate_base: Option<u16>,
 ) -> DetectionOutcome {
+    let journal = session.env.journal.clone();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::Detect);
+
     let port_for = |session: &Session, i: u16| {
         rotate_base.map(|b| {
             b.wrapping_add(i)
@@ -230,6 +234,7 @@ pub fn detect_rotating(
     let content_modification =
         !original.response_matches && control.response_matches && original.complete;
 
+    journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
     DetectionOutcome {
         differentiated: blocking
             || throttling

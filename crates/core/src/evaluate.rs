@@ -5,6 +5,7 @@
 //! working technique for deployment.
 
 use liberate_netsim::capture::TapPoint;
+use liberate_obs::{Counter, EventKind, Phase};
 use liberate_packet::packet::ParsedPacket;
 use liberate_packet::validate::{validate_wire, Malformation};
 use liberate_traces::recorded::RecordedTrace;
@@ -270,6 +271,14 @@ pub fn evaluate_technique(
         // through: a technique that merely kills the transfer (e.g.
         // fragments dropped in-network in Iran, §6.6) did not evade.
         let evaded = baseline_classified && !classified && outcome.complete;
+        session.env.journal.metrics.incr(Counter::TechniquesTried);
+        session.env.journal.record(
+            session.env.network.clock.as_micros(),
+            EventKind::TechniqueTried {
+                technique: cand.description(),
+                evaded,
+            },
+        );
         last = Some((cand, outcome, classified, reach));
         if evaded {
             break;
@@ -321,6 +330,19 @@ pub fn plan(
 /// Run the planned candidates until one evades; return it with the try
 /// count (§4: "iteratively try them until one succeeds").
 pub fn find_working_technique(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    position: &PositionProfile,
+    inputs: &EvaluationInputs,
+) -> Option<(TechniqueResult, u64)> {
+    let journal = session.env.journal.clone();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::Evaluate);
+    let out = find_working_technique_inner(session, trace, position, inputs);
+    journal.span_end(session.env.network.clock.as_micros(), Phase::Evaluate);
+    out
+}
+
+fn find_working_technique_inner(
     session: &mut Session,
     trace: &RecordedTrace,
     position: &PositionProfile,

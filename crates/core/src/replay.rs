@@ -21,6 +21,7 @@ use liberate_netsim::os::OsKind;
 use liberate_netsim::server::ServerApp;
 use liberate_netsim::stats::ThroughputMeter;
 use liberate_netsim::time::SimTime;
+use liberate_obs::{Counter, EventKind, Journal};
 use liberate_packet::flow::FlowKey;
 use liberate_packet::fragment::fragment_packet;
 use liberate_packet::packet::{Packet, ParsedPacket};
@@ -237,7 +238,7 @@ impl Session {
             start_time_of_day_secs,
         );
         let seed = config.seed;
-        Session {
+        let session = Session {
             env,
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -247,7 +248,32 @@ impl Session {
             bytes_sent_total: 0,
             bytes_received_total: 0,
             started: SimTime::ZERO,
-        }
+        };
+        session.record_session_started();
+        session
+    }
+
+    /// The observability journal shared with the environment and network.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.env.journal
+    }
+
+    /// Share a journal with this session (e.g. one journal across all the
+    /// sessions an experiment binary creates). Re-records the session
+    /// header so the journal stays self-describing.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.env.attach_journal(journal);
+        self.record_session_started();
+    }
+
+    fn record_session_started(&self) {
+        self.env.journal.record(
+            self.env.network.clock.as_micros(),
+            EventKind::SessionStarted {
+                env: self.env.kind.name().to_string(),
+                seed: self.config.seed,
+            },
+        );
     }
 
     /// Replay a trace unmodified.
@@ -282,6 +308,7 @@ impl Session {
         opts: &ReplayOpts,
     ) -> ReplayOutcome {
         self.replays += 1;
+        self.env.journal.metrics.incr(Counter::ReplaysExecuted);
         self.env.network.capture.clear();
 
         let client_port = self.next_client_port;
@@ -355,6 +382,7 @@ impl Session {
         // Walk the schedule.
         if handshake_ok {
             for step in &schedule.steps {
+                self.env.journal.metrics.incr(Counter::StepsLowered);
                 match step {
                     Step::Pause(d) => {
                         self.env.network.run_until_idle();
@@ -480,7 +508,7 @@ impl Session {
         };
 
         let duration = self.env.network.clock - t_start;
-        ReplayOutcome {
+        let outcome = ReplayOutcome {
             client_port,
             server_port,
             handshake_ok,
@@ -497,7 +525,17 @@ impl Session {
             request_to_response,
             response_matches,
             icmp,
-        }
+        };
+        self.env.journal.record(
+            self.env.network.clock.as_micros(),
+            EventKind::ReplayFinished {
+                replay: self.replays,
+                bytes_sent,
+                server_bytes: server_payload,
+                blocked: outcome.blocked(),
+            },
+        );
+        outcome
     }
 
     #[allow(clippy::too_many_arguments)]

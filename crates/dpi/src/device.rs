@@ -8,10 +8,12 @@
 //! of §6.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use liberate_netsim::element::{Effects, PathElement, TimedPacket, Verdict};
 use liberate_netsim::shaper::TokenBucket;
 use liberate_netsim::time::SimTime;
+use liberate_obs::{Counter, EventKind, Journal};
 use liberate_packet::flow::{Direction, FlowKey};
 use liberate_packet::packet::{Packet, ParsedPacket};
 use liberate_packet::tcp::TcpFlags;
@@ -72,6 +74,12 @@ pub struct DpiDevice {
     pub events: Vec<ClassificationEvent>,
     /// Latest packet time seen, used by the readout API for expiry.
     last_seen: SimTime,
+    /// Observability journal, attached by the owning `Network`.
+    journal: Option<Arc<Journal>>,
+    /// Flow-table totals already reported to the journal (the table's
+    /// counters are monotonic; the journal sees deltas).
+    flows_created_synced: u64,
+    flows_evicted_synced: u64,
 }
 
 impl DpiDevice {
@@ -83,6 +91,42 @@ impl DpiDevice {
             zero_rated_bytes: 0,
             events: Vec::new(),
             last_seen: SimTime::ZERO,
+            journal: None,
+            flows_created_synced: 0,
+            flows_evicted_synced: 0,
+        }
+    }
+
+    /// Report flow-table creation/eviction deltas to the journal. Runs
+    /// after every processed packet so the counters are exact at packet
+    /// boundaries (the table also evicts lazily inside `lookup`).
+    fn sync_flow_metrics(&mut self) {
+        let Some(j) = &self.journal else {
+            return;
+        };
+        let created = self.table.created_total;
+        if created > self.flows_created_synced {
+            j.metrics
+                .add(Counter::FlowsCreated, created - self.flows_created_synced);
+            self.flows_created_synced = created;
+        }
+        let evicted = self.table.evicted_total;
+        if evicted > self.flows_evicted_synced {
+            j.metrics
+                .add(Counter::FlowsEvicted, evicted - self.flows_evicted_synced);
+            self.flows_evicted_synced = evicted;
+        }
+    }
+
+    fn journal_record(&self, now: SimTime, kind: EventKind) {
+        if let Some(j) = &self.journal {
+            j.record(now.as_micros(), kind);
+        }
+    }
+
+    fn journal_incr(&self, c: Counter) {
+        if let Some(j) = &self.journal {
+            j.metrics.incr(c);
         }
     }
 
@@ -402,7 +446,29 @@ impl PathElement for DpiDevice {
         self
     }
 
+    fn attach_journal(&mut self, journal: &Arc<Journal>) {
+        // Totals accumulated before attachment stay local; the journal
+        // sees deltas from this point on.
+        self.flows_created_synced = self.table.created_total;
+        self.flows_evicted_synced = self.table.evicted_total;
+        self.journal = Some(journal.clone());
+    }
+
     fn process(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        wire: Vec<u8>,
+        effects: &mut Effects,
+    ) -> Verdict {
+        let verdict = self.process_packet(now, dir, wire, effects);
+        self.sync_flow_metrics();
+        verdict
+    }
+}
+
+impl DpiDevice {
+    fn process_packet(
         &mut self,
         now: SimTime,
         dir: Direction,
@@ -481,7 +547,10 @@ impl PathElement for DpiDevice {
         // RST observation affects flow state.
         if let Some(t) = pkt.tcp() {
             if t.flags.rst {
-                self.table.apply_rst(key, &self.config.flow);
+                if self.table.apply_rst(key, &self.config.flow) {
+                    self.journal_incr(Counter::FlowResets);
+                    self.journal_record(now, EventKind::FlowReset);
+                }
                 self.account(false, len);
                 return Verdict::pass(now, wire);
             }
@@ -567,6 +636,14 @@ impl PathElement for DpiDevice {
                     }
                 }
                 if newly {
+                    self.journal_incr(Counter::Verdicts);
+                    self.journal_record(
+                        now,
+                        EventKind::ClassifierVerdict {
+                            class: class.clone(),
+                            rule_id: rule_id.clone(),
+                        },
+                    );
                     self.events.push(ClassificationEvent {
                         at: now,
                         flow: key,

@@ -154,6 +154,11 @@ pub struct FlowTable {
     entries: HashMap<FlowKey, FlowEntry>,
     /// (server addr, server port) → (blocked-flow count, penalty expiry).
     penalties: HashMap<(Ipv4Addr, u16), (u32, Option<SimTime>)>,
+    /// Monotonic creation count (never reset, even by `clear`), so the
+    /// observability layer can report exact lifetime totals.
+    pub created_total: u64,
+    /// Monotonic eviction count: expiry removals plus RST flushes.
+    pub evicted_total: u64,
 }
 
 impl FlowTable {
@@ -193,6 +198,7 @@ impl FlowTable {
         };
         if remove {
             self.entries.remove(&canonical);
+            self.evicted_total += 1;
             return None;
         }
         self.entries.get_mut(&canonical)
@@ -202,6 +208,7 @@ impl FlowTable {
     /// the first datagram for UDP).
     pub fn create(&mut self, key: FlowKey, now: SimTime, window_bytes: usize) -> &mut FlowEntry {
         let canonical = key.canonical();
+        self.created_total += 1;
         self.entries.insert(
             canonical,
             FlowEntry {
@@ -215,10 +222,13 @@ impl FlowTable {
     }
 
     /// Apply a RST's effect to a flow per the device's configuration.
-    pub fn apply_rst(&mut self, key: FlowKey, config: &FlowConfig) {
+    /// Returns whether the RST changed flow state (flushed the entry, or
+    /// shortened a classification's timeout) — false for `Ignored` or an
+    /// absent entry.
+    pub fn apply_rst(&mut self, key: FlowKey, config: &FlowConfig) -> bool {
         let canonical = key.canonical();
         let Some(entry) = self.entries.get_mut(&canonical) else {
-            return;
+            return false;
         };
         let effect = if entry.classification.is_some() {
             config.rst_after_match
@@ -226,13 +236,18 @@ impl FlowTable {
             config.rst_before_match
         };
         match effect {
-            RstEffect::Ignored => {}
+            RstEffect::Ignored => false,
             RstEffect::FlushImmediately => {
                 self.entries.remove(&canonical);
+                self.evicted_total += 1;
+                true
             }
             RstEffect::ShortenTimeout(t) => {
                 if let Some(c) = entry.classification.as_mut() {
                     c.result_timeout = Some(t);
+                    true
+                } else {
+                    false
                 }
             }
         }
@@ -387,6 +402,26 @@ mod tests {
         // Tracking (120 s) still there, classification flushed.
         let e = e.expect("tracking survives");
         assert!(e.classification.is_none());
+    }
+
+    #[test]
+    fn lifetime_counters_are_monotonic() {
+        let mut table = FlowTable::default();
+        let cfg = config();
+        table.create(key(), SimTime::ZERO, 4096);
+        assert_eq!(table.created_total, 1);
+        // Before a match the testbed config flushes on RST: one eviction.
+        assert!(table.apply_rst(key(), &cfg));
+        assert_eq!(table.evicted_total, 1);
+        // A RST against a missing entry changes nothing.
+        assert!(!table.apply_rst(key(), &cfg));
+        assert_eq!(table.evicted_total, 1);
+        table.create(key(), SimTime::ZERO, 4096);
+        table.clear();
+        assert_eq!(table.created_total, 2);
+        // clear() resets live state, not the lifetime counters; it is a
+        // harness reset, not an eviction the middlebox performed.
+        assert_eq!(table.evicted_total, 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use liberate_netsim::element::PathElement;
@@ -15,6 +16,7 @@ use liberate_netsim::network::Network;
 use liberate_netsim::os::{OsKind, OsProfile};
 use liberate_netsim::server::{ServerApp, ServerHost};
 use liberate_netsim::shaper::LinkShaper;
+use liberate_obs::Journal;
 use liberate_packet::validate::Malformation::*;
 
 use crate::actions::{BlockBehavior, Policy};
@@ -325,9 +327,18 @@ pub struct Environment {
     /// server).
     pub hops_before_middlebox: u8,
     pub total_hops: u8,
+    /// Shared observability journal (the same handle the network and its
+    /// DPI elements write into).
+    pub journal: Arc<Journal>,
 }
 
 impl Environment {
+    /// Replace the journal, propagating the handle to the network and all
+    /// path elements. Used when several sessions share one journal.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.network.set_journal(journal.clone());
+        self.journal = journal;
+    }
     /// Downcast accessor for the DPI device, when the environment has one.
     pub fn dpi_mut(&mut self) -> Option<&mut DpiDevice> {
         let idx = self.network.element_index(DPI_NAME)?;
@@ -522,11 +533,15 @@ pub fn build_environment(
         }
     }
 
+    let journal = Arc::new(Journal::new());
+    let mut network = Network::new(CLIENT_ADDR, elements, server);
+    network.set_journal(journal.clone());
     Environment {
         kind,
-        network: Network::new(CLIENT_ADDR, elements, server),
+        network,
         hops_before_middlebox: hops_before,
         total_hops: total,
+        journal,
     }
 }
 

@@ -14,6 +14,8 @@
 //!   DPI models.
 //! - **no-panic** — library crates report errors via `LiberateError`,
 //!   never by unwinding.
+//! - **pcap-byte-order** — wire headers and pcap records are serialized
+//!   via `to_be_bytes`/`to_le_bytes`, never hand-assembled with shifts.
 //!
 //! Suppression: `// lint: allow(<rule>)` within two lines above (or on)
 //! the flagged line, or `// lint: allow(<rule>: <subject>)` anywhere in
@@ -160,14 +162,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_four_rules() {
+    fn registry_has_the_five_rules() {
         assert_eq!(
             rule_names(),
             vec![
                 "checksum-repair",
                 "taxonomy-exhaustiveness",
                 "determinism",
-                "no-panic"
+                "no-panic",
+                "pcap-byte-order"
             ]
         );
         for name in rule_names() {

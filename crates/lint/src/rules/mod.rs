@@ -5,6 +5,7 @@
 mod checksum_repair;
 mod determinism;
 mod no_panic;
+mod pcap_byte_order;
 mod taxonomy;
 
 use crate::lexer::Token;
@@ -46,6 +47,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(taxonomy::TaxonomyExhaustiveness),
         Box::new(determinism::Determinism),
         Box::new(no_panic::NoPanic),
+        Box::new(pcap_byte_order::PcapByteOrder),
     ]
 }
 

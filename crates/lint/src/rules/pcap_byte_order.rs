@@ -1,0 +1,154 @@
+//! pcap-byte-order: multi-byte header fields must be serialized through
+//! `to_be_bytes` / `to_le_bytes`, never hand-assembled with shifts.
+//!
+//! The packet crate emits on-the-wire IP/TCP/UDP headers (big-endian) and
+//! pcap file headers (little-endian). A hand-written `(v >> 8) as u8` /
+//! `v as u8` pair silently encodes whichever order the author happened to
+//! type, and a single swapped field corrupts every capture or checksum
+//! downstream — the classic pcap bug that parses fine on one tool and
+//! garbage on another. `to_be_bytes`/`to_le_bytes` name the byte order at
+//! the write site and make it reviewable.
+
+use crate::items::fn_spans;
+use crate::rules::{in_test_tree, Finding, Rule, RuleCtx};
+
+pub struct PcapByteOrder;
+
+/// Is this numeric literal a byte-lane shift distance (8/16/24, with or
+/// without a type suffix like `16u32`)?
+fn is_byte_shift_amount(text: &str) -> bool {
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let suffix = &text[digits.len()..];
+    matches!(digits.as_str(), "8" | "16" | "24")
+        && (suffix.is_empty() || suffix.starts_with('u') || suffix.starts_with('i'))
+}
+
+impl Rule for PcapByteOrder {
+    fn name(&self) -> &'static str {
+        "pcap-byte-order"
+    }
+
+    fn explain(&self) -> &'static str {
+        "crates/packet serializes wire headers (big-endian) and pcap file \
+records (little-endian). Assembling a multi-byte field by hand — \
+`(v >> 8) as u8` followed by `v as u8` — hides the byte order in \
+arithmetic, and one swapped lane yields captures that one tool reads and \
+another rejects. Write the whole field with `to_be_bytes()` or \
+`to_le_bytes()` so the endianness is named at the write site. Suppress a \
+deliberate lane extraction with `// lint: allow(pcap-byte-order)` directly \
+above it."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/packet/") && !in_test_tree(rel_path)
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        let spans = fn_spans(toks);
+        for i in 0..toks.len() {
+            if ctx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            // `>> 8` (or 16/24) as a token sequence...
+            if !(toks[i].is(">")
+                && toks.get(i + 1).is_some_and(|t| t.is(">"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| is_byte_shift_amount(&t.text)))
+            {
+                continue;
+            }
+            // ...truncated to a byte within the next few tokens (allows a
+            // closing paren or two before the cast).
+            let cast = (i + 3..toks.len().min(i + 6))
+                .any(|j| toks[j].is("as") && toks.get(j + 1).is_some_and(|t| t.is("u8")));
+            if !cast {
+                continue;
+            }
+            let line = toks[i].line;
+            let subject = spans
+                .iter()
+                .find(|s| s.start <= i && i < s.end)
+                .map(|s| s.name.clone());
+            let in_fn = subject
+                .as_deref()
+                .map(|n| format!(" in `{n}`"))
+                .unwrap_or_default();
+            findings.push(Finding {
+                line,
+                message: format!(
+                    "hand-written byte-order shift{in_fn}: write the whole field \
+                     with to_be_bytes()/to_le_bytes() instead of `>> {}` + `as u8`",
+                    toks[i + 2].text
+                ),
+                subject,
+            });
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        PcapByteOrder.check(&RuleCtx {
+            rel_path: "crates/packet/src/pcap.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn manual_shift_truncate_is_flagged() {
+        let findings = run("fn write_len(out: &mut Vec<u8>, v: u16) {\n\
+             out.push((v >> 8) as u8);\n\
+             out.push(v as u8);\n\
+             }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("to_be_bytes"));
+        assert_eq!(findings[0].subject.as_deref(), Some("write_len"));
+    }
+
+    #[test]
+    fn all_three_byte_lanes_are_flagged() {
+        let findings = run("fn f(v: u32, o: &mut [u8]) {\n\
+             o[0] = (v >> 24) as u8; o[1] = (v >> 16) as u8; o[2] = (v >> 8) as u8;\n\
+             }");
+        assert_eq!(findings.len(), 3);
+    }
+
+    #[test]
+    fn to_be_bytes_and_checksum_folding_pass() {
+        let findings = run("fn g(v: u16, out: &mut Vec<u8>, mut acc: u32) -> u32 {\n\
+             out.extend_from_slice(&v.to_be_bytes());\n\
+             acc = (acc & 0xffff) + (acc >> 16);\n\
+             acc\n\
+             }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings = run("#[cfg(test)] mod t {\n\
+             fn fixture(v: u16) -> u8 { (v >> 8) as u8 }\n\
+             }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_is_the_packet_crate_excluding_test_trees() {
+        assert!(PcapByteOrder.applies("crates/packet/src/pcap.rs"));
+        assert!(PcapByteOrder.applies("crates/packet/src/tcp.rs"));
+        assert!(!PcapByteOrder.applies("crates/packet/tests/roundtrip.rs"));
+        assert!(!PcapByteOrder.applies("crates/netsim/src/capture.rs"));
+    }
+}

@@ -2,6 +2,9 @@
 //! the server — router hops, normalizing gateways, shapers, and (from the
 //! `liberate-dpi` crate) DPI middleboxes and transparent proxies.
 
+use std::sync::Arc;
+
+use liberate_obs::Journal;
 use liberate_packet::flow::Direction;
 
 use crate::time::SimTime;
@@ -86,6 +89,10 @@ pub trait PathElement {
     fn decrements_ttl(&self) -> bool {
         false
     }
+
+    /// Hand the element a journal handle for verdict/flow events. Most
+    /// elements ignore it; the DPI device keeps a clone.
+    fn attach_journal(&mut self, _journal: &Arc<Journal>) {}
 }
 
 #[cfg(test)]

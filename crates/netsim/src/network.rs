@@ -10,8 +10,10 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
+use liberate_obs::{Counter, EventKind, Journal};
 use liberate_packet::flow::Direction;
 
 use crate::capture::{Capture, TapPoint};
@@ -68,6 +70,10 @@ pub struct Network {
     pub hop_latency: Duration,
     client_inbox: Vec<(SimTime, Vec<u8>)>,
     pub capture: Capture,
+    /// Shared observability journal; every simulator step and injected
+    /// packet is counted here (timestamps are SimTime micros, never the
+    /// wall clock).
+    journal: Arc<Journal>,
 }
 
 impl Network {
@@ -86,7 +92,21 @@ impl Network {
             hop_latency: Duration::from_millis(1),
             client_inbox: Vec::new(),
             capture: Capture::default(),
+            journal: Arc::new(Journal::new()),
         }
+    }
+
+    /// Replace the journal and propagate the handle to every path element.
+    pub fn set_journal(&mut self, journal: Arc<Journal>) {
+        for el in &mut self.elements {
+            el.attach_journal(&journal);
+        }
+        self.journal = journal;
+    }
+
+    /// The shared observability journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
     /// Number of path elements.
@@ -135,6 +155,13 @@ impl Network {
     pub fn send_from_client(&mut self, delay: Duration, wire: Vec<u8>) {
         let at = self.clock + delay;
         self.capture.record(at, TapPoint::ClientEgress, &wire);
+        self.journal.metrics.incr(Counter::PacketsInjected);
+        self.journal.record(
+            at.as_micros(),
+            EventKind::PacketInjected {
+                bytes: wire.len() as u64,
+            },
+        );
         self.push_event(at, 0, Direction::ClientToServer, wire);
     }
 
@@ -165,6 +192,7 @@ impl Network {
             }
             let ev = self.events.pop().expect("peeked");
             self.clock = self.clock.max(ev.at);
+            self.journal.metrics.incr(Counter::PacketsStepped);
             self.dispatch(ev);
             budget -= 1;
             if budget == 0 {

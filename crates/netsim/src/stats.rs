@@ -13,8 +13,19 @@ pub struct ThroughputMeter {
 }
 
 impl ThroughputMeter {
+    /// Record a sample, keeping `samples` sorted by time. Arrivals are
+    /// almost always in order (the simulator's clock is monotonic), so the
+    /// common case is a plain push; a late sample pays one binary search
+    /// plus an insert instead of forcing `peak_bps` to clone-and-sort the
+    /// whole vector on every call.
     pub fn record(&mut self, at: SimTime, bytes: usize) {
-        self.samples.push((at, bytes));
+        match self.samples.last() {
+            Some((last, _)) if *last > at => {
+                let pos = self.samples.partition_point(|(t, _)| *t <= at);
+                self.samples.insert(pos, (at, bytes));
+            }
+            _ => self.samples.push((at, bytes)),
+        }
     }
 
     pub fn total_bytes(&self) -> u64 {
@@ -25,11 +36,11 @@ impl ThroughputMeter {
         self.samples.is_empty()
     }
 
-    /// First and last sample times.
+    /// First and last sample times (samples are kept sorted by `record`).
     pub fn span(&self) -> Option<(SimTime, SimTime)> {
-        let first = self.samples.iter().map(|(t, _)| *t).min()?;
-        let last = self.samples.iter().map(|(t, _)| *t).max()?;
-        Some((first, last))
+        let (first, _) = self.samples.first()?;
+        let (last, _) = self.samples.last()?;
+        Some((*first, *last))
     }
 
     /// Average throughput in bits per second over the sample span.
@@ -46,16 +57,14 @@ impl ThroughputMeter {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by_key(|(t, _)| *t);
         let win = window.as_secs_f64().max(1e-6);
         let mut best = 0.0f64;
         let mut lo = 0;
         let mut in_window = 0u64;
-        for hi in 0..sorted.len() {
-            in_window += sorted[hi].1 as u64;
-            while sorted[hi].0 - sorted[lo].0 > window {
-                in_window -= sorted[lo].1 as u64;
+        for hi in 0..self.samples.len() {
+            in_window += self.samples[hi].1 as u64;
+            while self.samples[hi].0 - self.samples[lo].0 > window {
+                in_window -= self.samples[lo].1 as u64;
                 lo += 1;
             }
             best = best.max(in_window as f64 * 8.0 / win);
@@ -90,6 +99,46 @@ mod tests {
         let avg = m.average_bps();
         let peak = m.peak_bps(Duration::from_secs(1));
         assert!(peak > avg * 5.0, "peak {peak} avg {avg}");
+    }
+
+    #[test]
+    fn out_of_order_records_match_in_order() {
+        // Same burst as above, recorded backwards and interleaved: the
+        // sorted-on-insert path must give identical answers.
+        let mut fwd = ThroughputMeter::default();
+        fwd.record(SimTime::from_secs(0), 5_000);
+        fwd.record(SimTime::from_millis_helper(500), 5_000);
+        fwd.record(SimTime::from_secs(10), 1);
+
+        let mut rev = ThroughputMeter::default();
+        rev.record(SimTime::from_secs(10), 1);
+        rev.record(SimTime::from_millis_helper(500), 5_000);
+        rev.record(SimTime::from_secs(0), 5_000);
+
+        assert_eq!(fwd.span(), rev.span());
+        assert_eq!(fwd.total_bytes(), rev.total_bytes());
+        assert_eq!(fwd.average_bps(), rev.average_bps());
+        assert_eq!(
+            fwd.peak_bps(Duration::from_secs(1)),
+            rev.peak_bps(Duration::from_secs(1))
+        );
+        assert!(rev.peak_bps(Duration::from_secs(1)) > 79_000.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_all_samples() {
+        let mut m = ThroughputMeter::default();
+        m.record(SimTime::from_secs(1), 100);
+        m.record(SimTime::from_secs(1), 200);
+        m.record(SimTime::from_secs(0), 50);
+        assert_eq!(m.total_bytes(), 350);
+        assert_eq!(
+            m.span(),
+            Some((SimTime::from_secs(0), SimTime::from_secs(1)))
+        );
+        // All 350 bytes land inside a 2 s window.
+        let peak = m.peak_bps(Duration::from_secs(2));
+        assert!((peak - 350.0 * 8.0 / 2.0).abs() < 1e-6, "peak {peak}");
     }
 
     #[test]

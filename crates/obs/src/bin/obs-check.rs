@@ -1,0 +1,33 @@
+//! Validate a JSONL journal produced by `--trace` / `LIBERATE_TRACE`.
+//!
+//! Exit codes: 0 valid, 1 invalid journal, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => p,
+        _ => {
+            eprintln!("usage: obs-check <journal.jsonl>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-check: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match liberate_obs::validate_jsonl(&text) {
+        Ok(n) => {
+            println!("obs-check: {path}: {n} lines ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs-check: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

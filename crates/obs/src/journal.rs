@@ -1,0 +1,235 @@
+//! The event journal: an append-only log of what the pipeline did, in
+//! simulation time.
+//!
+//! Phases mirror Fig. 3 of the paper: detect (inverted control), the two
+//! characterization searches (blind byte search §5.1, position probe
+//! §5.2), evaluation of the Table 3 taxonomy, and deployment through the
+//! rule cache. Spans nest — a deploy span that triggers a fresh
+//! characterization encloses blind-search/position-probe spans — and every
+//! typed event is attributed to the innermost open span at record time.
+
+use parking_lot::Mutex;
+
+use crate::metrics::Metrics;
+
+/// A pipeline phase (Fig. 3 step) that can be spanned in the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Detect,
+    BlindSearch,
+    PositionProbe,
+    Evaluate,
+    Deploy,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 5] = [
+        Phase::Detect,
+        Phase::BlindSearch,
+        Phase::PositionProbe,
+        Phase::Evaluate,
+        Phase::Deploy,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Detect => "detect",
+            Phase::BlindSearch => "blind-search",
+            Phase::PositionProbe => "position-probe",
+            Phase::Evaluate => "evaluate",
+            Phase::Deploy => "deploy",
+        }
+    }
+
+    /// Position in `Phase::ALL`; used as an array index by the summary.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What happened. Every variant carries only deterministic data — values
+/// derived from the trace, the seed, or the simulation clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    SpanStart {
+        phase: Phase,
+    },
+    SpanEnd {
+        phase: Phase,
+    },
+    /// A `Session` came up against an environment with a seed. Recording
+    /// the seed makes journals self-describing and guarantees different
+    /// seeds produce different journals.
+    SessionStarted {
+        env: String,
+        seed: u64,
+    },
+    /// A client packet entered the simulated network.
+    PacketInjected {
+        bytes: u64,
+    },
+    /// The DPI device classified a flow.
+    ClassifierVerdict {
+        class: String,
+        rule_id: String,
+    },
+    /// A client RST changed DPI flow state (flush or timeout shortening).
+    FlowReset,
+    CacheHit {
+        key: String,
+    },
+    CacheMiss {
+        key: String,
+    },
+    /// One Table 3 candidate was evaluated end to end.
+    TechniqueTried {
+        technique: String,
+        evaded: bool,
+    },
+    /// One replay finished; `replay` is the session's running count.
+    ReplayFinished {
+        replay: u64,
+        bytes_sent: u64,
+        server_bytes: u64,
+        blocked: bool,
+    },
+}
+
+impl EventKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::SessionStarted { .. } => "session_started",
+            EventKind::PacketInjected { .. } => "packet_injected",
+            EventKind::ClassifierVerdict { .. } => "classifier_verdict",
+            EventKind::FlowReset => "flow_reset",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::TechniqueTried { .. } => "technique_tried",
+            EventKind::ReplayFinished { .. } => "replay_finished",
+        }
+    }
+}
+
+/// One journal entry. `t_us` is microseconds on the simulation clock
+/// (`SimTime::as_micros()` at the call site — never the wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub t_us: u64,
+    /// Innermost open span when the event was recorded. For
+    /// `SpanStart`/`SpanEnd` this is the span's own phase.
+    pub phase: Option<Phase>,
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    stack: Vec<Phase>,
+}
+
+/// The journal: event log plus counter registry, shared as an
+/// `Arc<Journal>` by `Environment`, `Session`, and the path elements.
+/// All execution is synchronous today, so the mutex is uncontended; it
+/// exists so the handle can be cloned freely across layers.
+#[derive(Debug, Default)]
+pub struct Journal {
+    inner: Mutex<Inner>,
+    pub metrics: Metrics,
+}
+
+impl Journal {
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Record a typed event, attributed to the innermost open span.
+    pub fn record(&self, t_us: u64, kind: EventKind) {
+        let mut inner = self.inner.lock();
+        let phase = inner.stack.last().copied();
+        inner.events.push(Event { t_us, phase, kind });
+    }
+
+    /// Open a phase span at `t_us`.
+    pub fn span_start(&self, t_us: u64, phase: Phase) {
+        let mut inner = self.inner.lock();
+        inner.stack.push(phase);
+        inner.events.push(Event {
+            t_us,
+            phase: Some(phase),
+            kind: EventKind::SpanStart { phase },
+        });
+    }
+
+    /// Close the innermost span of `phase` at `t_us`. Tolerates a span
+    /// that was never opened (the end event is still recorded, so the
+    /// imbalance is visible in the journal rather than a panic).
+    pub fn span_end(&self, t_us: u64, phase: Phase) {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.stack.iter().rposition(|&p| p == phase) {
+            inner.stack.remove(pos);
+        }
+        inner.events.push(Event {
+            t_us,
+            phase: Some(phase),
+            kind: EventKind::SpanEnd { phase },
+        });
+    }
+
+    /// Innermost open span, if any.
+    pub fn current_phase(&self) -> Option<Phase> {
+        self.inner.lock().stack.last().copied()
+    }
+
+    /// A snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_inherit_innermost_phase() {
+        let j = Journal::new();
+        j.record(0, EventKind::FlowReset);
+        j.span_start(10, Phase::Deploy);
+        j.span_start(20, Phase::BlindSearch);
+        j.record(25, EventKind::PacketInjected { bytes: 100 });
+        j.span_end(30, Phase::BlindSearch);
+        j.record(35, EventKind::PacketInjected { bytes: 50 });
+        j.span_end(40, Phase::Deploy);
+
+        let evs = j.events();
+        assert_eq!(evs[0].phase, None);
+        assert_eq!(evs[3].phase, Some(Phase::BlindSearch));
+        assert_eq!(evs[5].phase, Some(Phase::Deploy));
+        assert_eq!(j.current_phase(), None);
+    }
+
+    #[test]
+    fn unbalanced_end_is_recorded_not_fatal() {
+        let j = Journal::new();
+        j.span_end(5, Phase::Evaluate);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.current_phase(), None);
+    }
+
+    #[test]
+    fn phase_index_matches_all_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

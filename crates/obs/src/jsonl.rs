@@ -1,0 +1,449 @@
+//! JSONL export and validation.
+//!
+//! The vendored `serde` shim is marker-traits-only, so serialization is
+//! hand-rolled — which is what makes the byte-level determinism guarantee
+//! easy to state: keys are emitted in a fixed order (`t_us`, `phase`,
+//! `event`, then kind-specific fields), events in record order, and the
+//! counter snapshot in `Counter::ALL` order, so identical runs produce
+//! identical bytes.
+
+use std::fmt::Write as _;
+
+use crate::journal::{Event, EventKind, Journal};
+use crate::metrics::Counter;
+
+/// Serialize the journal (events, then one `counter` line per counter)
+/// as JSON Lines.
+pub fn to_jsonl(journal: &Journal) -> String {
+    let events = journal.events();
+    let mut out = String::new();
+    let mut last_t = 0u64;
+    for ev in &events {
+        last_t = last_t.max(ev.t_us);
+        write_event(&mut out, ev);
+    }
+    for c in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "{{\"t_us\":{},\"phase\":null,\"event\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            last_t,
+            c.name(),
+            journal.metrics.get(c)
+        );
+    }
+    out
+}
+
+fn write_event(out: &mut String, ev: &Event) {
+    let _ = write!(out, "{{\"t_us\":{},\"phase\":", ev.t_us);
+    match ev.phase {
+        Some(p) => {
+            let _ = write!(out, "\"{}\"", p.name());
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"event\":\"{}\"", ev.kind.name());
+    match &ev.kind {
+        EventKind::SpanStart { .. } | EventKind::SpanEnd { .. } | EventKind::FlowReset => {}
+        EventKind::SessionStarted { env, seed } => {
+            let _ = write!(out, ",\"env\":{},\"seed\":{}", json_str(env), seed);
+        }
+        EventKind::PacketInjected { bytes } => {
+            let _ = write!(out, ",\"bytes\":{bytes}");
+        }
+        EventKind::ClassifierVerdict { class, rule_id } => {
+            let _ = write!(
+                out,
+                ",\"class\":{},\"rule_id\":{}",
+                json_str(class),
+                json_str(rule_id)
+            );
+        }
+        EventKind::CacheHit { key } => {
+            let _ = write!(out, ",\"key\":{}", json_str(key));
+        }
+        EventKind::CacheMiss { key } => {
+            let _ = write!(out, ",\"key\":{}", json_str(key));
+        }
+        EventKind::TechniqueTried { technique, evaded } => {
+            let _ = write!(
+                out,
+                ",\"technique\":{},\"evaded\":{}",
+                json_str(technique),
+                evaded
+            );
+        }
+        EventKind::ReplayFinished {
+            replay,
+            bytes_sent,
+            server_bytes,
+            blocked,
+        } => {
+            let _ = write!(
+                out,
+                ",\"replay\":{replay},\"bytes_sent\":{bytes_sent},\
+                 \"server_bytes\":{server_bytes},\"blocked\":{blocked}"
+            );
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// A JSON string literal for `s` (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validate a JSONL journal: every non-empty line must parse as a JSON
+/// object with a numeric `t_us` and a string `event`. Returns the number
+/// of valid lines.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_object_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let t_us = fields.iter().find(|(k, _)| k == "t_us");
+        match t_us {
+            Some((_, JsonValue::Number)) => {}
+            Some(_) => return Err(format!("line {}: \"t_us\" is not a number", i + 1)),
+            None => return Err(format!("line {}: missing \"t_us\"", i + 1)),
+        }
+        let event = fields.iter().find(|(k, _)| k == "event");
+        match event {
+            Some((_, JsonValue::String(_))) => {}
+            Some(_) => return Err(format!("line {}: \"event\" is not a string", i + 1)),
+            None => return Err(format!("line {}: missing \"event\"", i + 1)),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Parsed JSON value, shape-only where the validator doesn't need the
+/// content (numbers, nested containers).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool,
+    Number,
+    String(String),
+    Array,
+    Object,
+}
+
+/// Parse one line as a JSON object, returning its top-level fields.
+fn parse_object_line(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let fields = p.parse_object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.parse_object()?;
+                Ok(JsonValue::Object)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array);
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Array);
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        Ok(JsonValue::Number)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogates validate as the replacement char;
+                            // the journal never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar from the source str.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{EventKind, Phase};
+    use crate::metrics::Counter;
+
+    #[test]
+    fn export_validates_and_counts() {
+        let j = Journal::new();
+        j.record(
+            0,
+            EventKind::SessionStarted {
+                env: "Testbed".to_string(),
+                seed: 7,
+            },
+        );
+        j.span_start(5, Phase::BlindSearch);
+        j.record(10, EventKind::PacketInjected { bytes: 1460 });
+        j.record(
+            12,
+            EventKind::ClassifierVerdict {
+                class: "video".to_string(),
+                rule_id: "host:\"quoted\"".to_string(),
+            },
+        );
+        j.span_end(20, Phase::BlindSearch);
+        j.metrics.add(Counter::PacketsStepped, 3);
+
+        let text = to_jsonl(&j);
+        let lines = validate_jsonl(&text).expect("journal validates");
+        assert_eq!(lines, 5 + Counter::ALL.len());
+        // Counter lines carry the final sim timestamp and fixed order.
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("\"t_us\":20"), "{last}");
+        assert!(last.contains("\"name\":\"techniques-tried\""), "{last}");
+        let first_counter = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"counter\""))
+            .unwrap();
+        assert!(
+            first_counter.contains("\"name\":\"packets-stepped\",\"value\":3"),
+            "{first_counter}"
+        );
+    }
+
+    #[test]
+    fn fixed_key_order() {
+        let j = Journal::new();
+        j.span_start(1, Phase::Detect);
+        let text = to_jsonl(&j);
+        let first = text.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"t_us\":1,\"phase\":\"detect\",\"event\":\"span_start\"}"
+        );
+    }
+
+    #[test]
+    fn escaping_survives_validation() {
+        let j = Journal::new();
+        j.record(
+            0,
+            EventKind::CacheMiss {
+                key: "net/\"app\"\\with\nnewline\tand\u{1}ctl".to_string(),
+            },
+        );
+        let text = to_jsonl(&j);
+        assert!(validate_jsonl(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(validate_jsonl("{\"t_us\":1,\"event\":\"x\"}\nnot json\n").is_err());
+        assert!(
+            validate_jsonl("{\"event\":\"x\"}\n").is_err(),
+            "missing t_us"
+        );
+        assert!(
+            validate_jsonl("{\"t_us\":\"one\",\"event\":\"x\"}\n").is_err(),
+            "string t_us"
+        );
+        assert!(validate_jsonl("{\"t_us\":1}\n").is_err(), "missing event");
+        assert!(
+            validate_jsonl("{\"t_us\":1,\"event\":\"x\"} extra\n").is_err(),
+            "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_fine() {
+        assert_eq!(validate_jsonl("").unwrap(), 0);
+        assert_eq!(
+            validate_jsonl("{\"t_us\":0,\"event\":\"a\"}\n\n{\"t_us\":1,\"event\":\"b\"}\n")
+                .unwrap(),
+            2
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Hot-path counters: a fixed registry of atomics cheap enough to bump
+//! from `Network::run_until`'s event loop without perturbing experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every counter the pipeline maintains. The numeric discriminant indexes
+/// the atomic array in [`Metrics`]; `ALL` fixes the export order so JSONL
+/// journals are byte-stable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Simulator events dispatched by `netsim::Network::run_until`.
+    PacketsStepped,
+    /// Client packets entering the network via `send_from_client`.
+    PacketsInjected,
+    /// Flow-table entries created by the DPI device.
+    FlowsCreated,
+    /// Flow-table entries evicted (timeout expiry or RST flush).
+    FlowsEvicted,
+    /// Replays executed by `Session::replay_schedule`.
+    ReplaysExecuted,
+    /// Payload bytes blinded during characterization probes.
+    BytesBlinded,
+    /// Schedule steps lowered to wire activity during replay.
+    StepsLowered,
+    /// Rule-cache lookups that found an entry.
+    CacheHits,
+    /// Rule-cache lookups that missed.
+    CacheMisses,
+    /// Classification verdicts emitted by the DPI device.
+    Verdicts,
+    /// Client RSTs that changed DPI flow state.
+    FlowResets,
+    /// Evasion techniques attempted during evaluation.
+    TechniquesTried,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 12] = [
+        Counter::PacketsStepped,
+        Counter::PacketsInjected,
+        Counter::FlowsCreated,
+        Counter::FlowsEvicted,
+        Counter::ReplaysExecuted,
+        Counter::BytesBlinded,
+        Counter::StepsLowered,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::Verdicts,
+        Counter::FlowResets,
+        Counter::TechniquesTried,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PacketsStepped => "packets-stepped",
+            Counter::PacketsInjected => "packets-injected",
+            Counter::FlowsCreated => "flows-created",
+            Counter::FlowsEvicted => "flows-evicted",
+            Counter::ReplaysExecuted => "replays-executed",
+            Counter::BytesBlinded => "bytes-blinded",
+            Counter::StepsLowered => "steps-lowered",
+            Counter::CacheHits => "cache-hits",
+            Counter::CacheMisses => "cache-misses",
+            Counter::Verdicts => "verdicts",
+            Counter::FlowResets => "flow-resets",
+            Counter::TechniquesTried => "techniques-tried",
+        }
+    }
+}
+
+/// The counter registry. Shared behind the `Arc<Journal>` that rides on
+/// `Environment`/`Session`; increments are relaxed atomics because all
+/// counters are independent and only read after the run quiesces.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: [AtomicU64; Counter::ALL.len()],
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// All counters in `Counter::ALL` order.
+    pub fn snapshot(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL.iter().map(|&c| (c, self.get(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_add_get_roundtrip() {
+        let m = Metrics::new();
+        m.incr(Counter::PacketsStepped);
+        m.incr(Counter::PacketsStepped);
+        m.add(Counter::BytesBlinded, 40);
+        assert_eq!(m.get(Counter::PacketsStepped), 2);
+        assert_eq!(m.get(Counter::BytesBlinded), 40);
+        assert_eq!(m.get(Counter::CacheHits), 0);
+    }
+
+    #[test]
+    fn snapshot_follows_declared_order() {
+        let m = Metrics::new();
+        m.incr(Counter::Verdicts);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), Counter::ALL.len());
+        for (i, (c, _)) in snap.iter().enumerate() {
+            assert_eq!(*c, Counter::ALL[i]);
+        }
+        assert_eq!(snap[Counter::Verdicts as usize].1, 1);
+    }
+
+    #[test]
+    fn names_are_unique_and_kebab() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{n}");
+        }
+    }
+}

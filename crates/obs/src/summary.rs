@@ -1,0 +1,126 @@
+//! Per-phase span accounting: how many spans each Fig. 3 phase opened,
+//! how much simulated time they covered, and what flowed through them.
+
+use crate::journal::{Event, EventKind, Phase};
+
+/// Aggregates for one phase across a whole journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSummary {
+    pub phase: Phase,
+    /// Completed span_start/span_end pairs.
+    pub spans: u64,
+    /// Total simulated microseconds inside completed spans.
+    pub sim_us: u64,
+    /// Replays finished while this phase was innermost.
+    pub replays: u64,
+    /// Client packets injected while this phase was innermost.
+    pub packets: u64,
+    /// Client payload bytes injected while this phase was innermost.
+    pub bytes: u64,
+}
+
+/// Fold a journal's events into one row per phase, in `Phase::ALL` order.
+pub fn phase_summaries(events: &[Event]) -> Vec<PhaseSummary> {
+    let mut rows: Vec<PhaseSummary> = Phase::ALL
+        .iter()
+        .map(|&phase| PhaseSummary {
+            phase,
+            spans: 0,
+            sim_us: 0,
+            replays: 0,
+            packets: 0,
+            bytes: 0,
+        })
+        .collect();
+    // Open-span start times, per phase (spans of the same phase can nest
+    // in principle; pair each end with the most recent start).
+    let mut open: Vec<Vec<u64>> = vec![Vec::new(); Phase::ALL.len()];
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanStart { phase } => open[phase.index()].push(ev.t_us),
+            EventKind::SpanEnd { phase } => {
+                if let Some(start) = open[phase.index()].pop() {
+                    let row = &mut rows[phase.index()];
+                    row.spans += 1;
+                    row.sim_us += ev.t_us.saturating_sub(start);
+                }
+            }
+            EventKind::ReplayFinished { .. } => {
+                if let Some(p) = ev.phase {
+                    rows[p.index()].replays += 1;
+                }
+            }
+            EventKind::PacketInjected { bytes } => {
+                if let Some(p) = ev.phase {
+                    rows[p.index()].packets += 1;
+                    rows[p.index()].bytes += *bytes;
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    #[test]
+    fn spans_and_traffic_aggregate_per_phase() {
+        let j = Journal::new();
+        j.span_start(0, Phase::Detect);
+        j.record(10, EventKind::PacketInjected { bytes: 100 });
+        j.record(
+            20,
+            EventKind::ReplayFinished {
+                replay: 1,
+                bytes_sent: 100,
+                server_bytes: 0,
+                blocked: false,
+            },
+        );
+        j.span_end(30, Phase::Detect);
+        j.span_start(40, Phase::BlindSearch);
+        j.record(50, EventKind::PacketInjected { bytes: 200 });
+        j.span_end(100, Phase::BlindSearch);
+
+        let rows = phase_summaries(&j.events());
+        let detect = rows[Phase::Detect.index()];
+        assert_eq!(detect.spans, 1);
+        assert_eq!(detect.sim_us, 30);
+        assert_eq!(detect.replays, 1);
+        assert_eq!(detect.packets, 1);
+        assert_eq!(detect.bytes, 100);
+        let blind = rows[Phase::BlindSearch.index()];
+        assert_eq!(blind.sim_us, 60);
+        assert_eq!(blind.bytes, 200);
+        assert_eq!(rows[Phase::Deploy.index()].spans, 0);
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_innermost() {
+        let j = Journal::new();
+        j.span_start(0, Phase::Deploy);
+        j.span_start(10, Phase::BlindSearch);
+        j.record(15, EventKind::PacketInjected { bytes: 10 });
+        j.span_end(20, Phase::BlindSearch);
+        j.record(25, EventKind::PacketInjected { bytes: 20 });
+        j.span_end(30, Phase::Deploy);
+
+        let rows = phase_summaries(&j.events());
+        assert_eq!(rows[Phase::BlindSearch.index()].packets, 1);
+        assert_eq!(rows[Phase::Deploy.index()].packets, 1);
+        assert_eq!(rows[Phase::Deploy.index()].sim_us, 30);
+    }
+
+    #[test]
+    fn unmatched_end_contributes_nothing() {
+        let j = Journal::new();
+        j.span_end(10, Phase::Evaluate);
+        let rows = phase_summaries(&j.events());
+        assert_eq!(rows[Phase::Evaluate.index()].spans, 0);
+        assert_eq!(rows[Phase::Evaluate.index()].sim_us, 0);
+    }
+}

@@ -26,4 +26,8 @@ cargo run --release -q -p liberate-lint --bin liberate-lint -- --root . --json
 say "cargo test -q"
 cargo test -q
 
+say "exp-testbed --trace + journal validation"
+cargo run --release -q -p liberate-bench --bin exp-testbed -- --trace target/trace.jsonl >/dev/null
+cargo run --release -q -p liberate-obs --bin obs-check -- target/trace.jsonl
+
 say "ci: all green"

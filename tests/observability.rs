@@ -1,0 +1,167 @@
+//! Observability guarantees: journal determinism (identical seeds yield
+//! byte-identical JSONL; different seeds differ) and metric correctness
+//! (a scripted replay produces exactly the counter values the packets
+//! warrant).
+
+use liberate::cache::{CachedRules, RuleCache};
+use liberate::characterize::{characterize, Characterization, CharacterizeOpts};
+use liberate::config::LiberateConfig;
+use liberate::detect::Signal;
+use liberate::replay::{ReplayOpts, Session};
+use liberate_dpi::profiles::EnvKind;
+use liberate_netsim::os::OsKind;
+use liberate_obs::{to_jsonl, validate_jsonl, Counter, EventKind, Journal};
+use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage, TraceProtocol};
+
+/// A minimal Skype-like UDP trace: three client datagrams, the first a
+/// STUN-shaped packet (0x0001 binding-request prefix passes the testbed
+/// gate) carrying the 0x8055 MS-SERVICE-QUALITY attribute the skype-sq
+/// rule keys on.
+fn scripted_trace() -> RecordedTrace {
+    let mut t = RecordedTrace::new("scripted", TraceProtocol::Udp, 3478);
+    let mut stun = vec![0x00, 0x01, 0x00, 0x08, 0x21, 0x12, 0xa4, 0x42];
+    stun.extend_from_slice(&[0u8; 12]); // transaction id
+    stun.extend_from_slice(&[0x80, 0x55, 0x00, 0x04, 0x00, 0x01, 0x00, 0x00]);
+    t.push_message(TraceMessage {
+        sender: Sender::Client,
+        payload: stun,
+        gap_micros: 0,
+    });
+    for i in 0..2u8 {
+        t.push_message(TraceMessage {
+            sender: Sender::Client,
+            payload: vec![0xa0 + i; 120],
+            gap_micros: 20_000,
+        });
+    }
+    t
+}
+
+fn run_scripted(seed: u64) -> (String, Characterization) {
+    let config = LiberateConfig {
+        seed,
+        ..LiberateConfig::default()
+    };
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, config);
+    let trace = scripted_trace();
+    let c = characterize(
+        &mut session,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    (to_jsonl(session.journal()), c)
+}
+
+#[test]
+fn same_seed_journals_are_byte_identical() {
+    let (a, ca) = run_scripted(7);
+    let (b, cb) = run_scripted(7);
+    assert_eq!(ca.rounds, cb.rounds);
+    assert_eq!(a, b, "identical seeds must produce byte-identical JSONL");
+    let lines = validate_jsonl(&a).expect("journal JSONL is well-formed");
+    assert!(
+        lines > 10,
+        "expected a non-trivial journal, got {lines} lines"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_journals() {
+    let (a, _) = run_scripted(7);
+    let (b, _) = run_scripted(8);
+    assert_ne!(a, b, "the seed is part of the session_started event");
+}
+
+#[test]
+fn scripted_replay_counts_exactly() {
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    let trace = scripted_trace();
+    let out = session.replay_trace(&trace, &ReplayOpts::default());
+    // No server bytes are scripted, so `complete` cannot hold; the flow
+    // must simply not be blocked (voip is throttled, not dropped).
+    assert!(!out.blocked());
+
+    let m = &session.journal().metrics;
+    // Three client datagrams entered the network...
+    assert_eq!(m.get(Counter::PacketsInjected), 3);
+    // ...each dispatched through DPI, the silent lab router, and final
+    // delivery: three event-loop steps per packet.
+    assert_eq!(m.get(Counter::PacketsStepped), 9);
+    // One replay, lowered to one step per datagram plus one wait step
+    // per inter-message gap (two 20 ms gaps).
+    assert_eq!(m.get(Counter::ReplaysExecuted), 1);
+    assert_eq!(m.get(Counter::StepsLowered), 5);
+    // The STUN packet matched skype-sq exactly once; one flow entry, no
+    // eviction within the replay window.
+    assert_eq!(m.get(Counter::Verdicts), 1);
+    assert_eq!(m.get(Counter::FlowsCreated), 1);
+    assert_eq!(m.get(Counter::FlowsEvicted), 0);
+    // Nothing was blinded and no technique ran in a bare replay.
+    assert_eq!(m.get(Counter::BytesBlinded), 0);
+    assert_eq!(m.get(Counter::TechniquesTried), 0);
+
+    let events = session.journal().events();
+    let verdicts = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ClassifierVerdict { class, rule_id } => {
+                Some((class.clone(), rule_id.clone()))
+            }
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(verdicts, vec![("voip".to_string(), "skype-sq".to_string())]);
+}
+
+#[test]
+fn blinding_is_metered_during_characterization() {
+    let (_, c) = run_scripted(3);
+    assert!(!c.fields.is_empty(), "the 0x8055 attribute must be found");
+    let config = LiberateConfig {
+        seed: 3,
+        ..LiberateConfig::default()
+    };
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, config);
+    characterize(
+        &mut session,
+        &scripted_trace(),
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    let m = &session.journal().metrics;
+    assert!(m.get(Counter::BytesBlinded) > 0);
+    assert_eq!(m.get(Counter::ReplaysExecuted), c.rounds);
+}
+
+#[test]
+fn observed_cache_lookups_emit_hit_and_miss() {
+    let journal = Journal::new();
+    let mut cache = RuleCache::new();
+
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    let trace = scripted_trace();
+    let c = characterize(
+        &mut session,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    cache.publish(
+        "testbed",
+        &trace.app,
+        CachedRules::from_characterization(&c, 0),
+    );
+
+    assert!(cache
+        .lookup_observed("testbed", &trace.app, &journal, 10)
+        .is_some());
+    assert!(cache
+        .lookup_observed("elsewhere", &trace.app, &journal, 20)
+        .is_none());
+
+    assert_eq!(journal.metrics.get(Counter::CacheHits), 1);
+    assert_eq!(journal.metrics.get(Counter::CacheMisses), 1);
+    let kinds: Vec<&'static str> = journal.events().iter().map(|e| e.kind.name()).collect();
+    assert_eq!(kinds, vec!["cache_hit", "cache_miss"]);
+}
