@@ -28,15 +28,58 @@ fn characterize_app(
     trace: &liberate_traces::recorded::RecordedTrace,
     table: &mut TextTable,
     journal: &Arc<Journal>,
+    workers: usize,
 ) -> Characterization {
-    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
-    session.attach_journal(journal.clone());
-    let c = characterize(
-        &mut session,
-        trace,
-        &Signal::Readout,
-        &CharacterizeOpts::default(),
-    );
+    let c = if workers <= 1 {
+        let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+        session.attach_journal(journal.clone());
+        characterize(
+            &mut session,
+            trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        )
+    } else {
+        // Engine path: a worker pool over one shared sharded flow table,
+        // checked probe-for-probe against the sequential reference (which
+        // keeps its own private journal so the shared one only accounts
+        // for the pool's replays).
+        let mut pool = SessionPool::new(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            LiberateConfig::default(),
+            workers,
+        );
+        let c = characterize_parallel(
+            &mut pool,
+            trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+        pool.merge_journals_into(journal);
+
+        let mut reference =
+            Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+        let r = characterize(
+            &mut reference,
+            trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+        assert_eq!(
+            c.fields, r.fields,
+            "{name}: parallel matching fields must equal sequential"
+        );
+        assert_eq!(
+            c.rounds, r.rounds,
+            "{name}: parallel replay count must equal sequential"
+        );
+        assert_eq!(
+            c.position, r.position,
+            "{name}: parallel position profile must equal sequential"
+        );
+        c
+    };
     let fields: Vec<String> = c.fields.iter().map(|f| f.as_text()).collect();
     table.row(vec![
         name.to_string(),
@@ -49,7 +92,13 @@ fn characterize_app(
 }
 
 fn main() {
+    let workers = obsflag::workers();
     println!("Experiment §6.1: testbed classifier analysis\n");
+    if workers > 1 {
+        println!(
+            "engine: SessionPool with {workers} worker sessions (sequential parity checked)\n"
+        );
+    }
     let journal = Arc::new(Journal::new());
     let mut table = TextTable::new(&[
         "Application",
@@ -66,12 +115,31 @@ fn main() {
         &apps::amazon_prime_http(20_000),
         &mut table,
         &journal,
+        workers,
     );
-    let spotify = characterize_app("Spotify", &apps::spotify_http(20_000), &mut table, &journal);
-    let espn = characterize_app("ESPN", &apps::espn_http(20_000), &mut table, &journal);
+    let spotify = characterize_app(
+        "Spotify",
+        &apps::spotify_http(20_000),
+        &mut table,
+        &journal,
+        workers,
+    );
+    let espn = characterize_app(
+        "ESPN",
+        &apps::espn_http(20_000),
+        &mut table,
+        &journal,
+        workers,
+    );
 
     // UDP: Skype via STUN.
-    let skype = characterize_app("Skype (UDP)", &apps::skype_stun(8), &mut table, &journal);
+    let skype = characterize_app(
+        "Skype (UDP)",
+        &apps::skype_stun(8),
+        &mut table,
+        &journal,
+        workers,
+    );
 
     println!("{}", table.render());
 

@@ -29,6 +29,24 @@ pub fn trace_path() -> Option<String> {
         .filter(|s| !s.is_empty())
 }
 
+/// Worker-session count requested via `--workers <n>` (or
+/// `--workers=<n>`), defaulting to 1 — the sequential, pre-engine path.
+/// Values below 1 and unparsable values fall back to 1.
+pub fn workers() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            if let Some(v) = args.next() {
+                return v.parse().unwrap_or(1).max(1);
+            }
+        }
+        if let Some(v) = a.strip_prefix("--workers=") {
+            return v.parse().unwrap_or(1).max(1);
+        }
+    }
+    1
+}
+
 /// Render the per-phase span summary (count, simulated duration, replays,
 /// packets, bytes) with the same table builder the experiments use.
 pub fn render_phase_summary(journal: &Journal) -> String {

@@ -149,38 +149,57 @@ impl<'a> Prober<'a> {
     /// Replay with the given ranges blinded; return whether classification
     /// still happened.
     fn classified_with_blinded(&mut self, blind: &[(usize, Range<usize>)]) -> bool {
-        let mut t = self.trace.clone();
-        let mut blinded_bytes = 0u64;
-        for (msg, range) in blind {
-            blinded_bytes += range.len() as u64;
-            invert_range(&mut t.messages[*msg].payload, range.clone());
-        }
-        if blinded_bytes > 0 {
-            self.session
-                .env
-                .journal
-                .metrics
-                .add(Counter::BytesBlinded, blinded_bytes);
-        }
-        let replay_opts = ReplayOpts {
-            server_port: self.port_for_round(),
-            ..Default::default()
-        };
+        let round = self.round;
         self.round += 1;
-        let (_, classified) = probe(self.session, &t, &replay_opts, self.signal);
-        classified
+        probe_blinded(
+            self.session,
+            self.trace,
+            self.signal,
+            self.opts,
+            blind,
+            round,
+        )
     }
+}
 
-    fn port_for_round(&self) -> Option<u16> {
-        if self.opts.rotate_server_ports {
-            Some(
-                self.opts
-                    .rotate_base
-                    .wrapping_add((self.round % 50_000) as u16),
-            )
-        } else {
-            None
-        }
+/// One blinding probe at an explicit round number — the shared primitive
+/// under the sequential recursion and the engine's parallel wave search.
+/// The round only feeds [`port_for_round`], so any execution order that
+/// assigns the same round numbers produces the same replays.
+pub(crate) fn probe_blinded(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+    blind: &[(usize, Range<usize>)],
+    round: u64,
+) -> bool {
+    let mut t = trace.clone();
+    let mut blinded_bytes = 0u64;
+    for (msg, range) in blind {
+        blinded_bytes += range.len() as u64;
+        invert_range(&mut t.messages[*msg].payload, range.clone());
+    }
+    if blinded_bytes > 0 {
+        session
+            .env
+            .journal
+            .metrics
+            .add(Counter::BytesBlinded, blinded_bytes);
+    }
+    let replay_opts = ReplayOpts {
+        server_port: port_for_round(opts, round),
+        ..Default::default()
+    };
+    let (_, classified) = probe(session, &t, &replay_opts, signal);
+    classified
+}
+
+pub(crate) fn port_for_round(opts: &CharacterizeOpts, round: u64) -> Option<u16> {
+    if opts.rotate_server_ports {
+        Some(opts.rotate_base.wrapping_add((round % 50_000) as u16))
+    } else {
+        None
     }
 }
 
@@ -349,7 +368,7 @@ pub fn probe_position(
     out
 }
 
-fn probe_position_inner(
+pub(crate) fn probe_position_inner(
     session: &mut Session,
     trace: &RecordedTrace,
     signal: &Signal,

@@ -202,22 +202,46 @@ pub fn detect_rotating(
     let billed_after = read_billed_counter(session);
     session.rest(session.config.round_gap);
 
+    let orig_billed = (billed_mid - billed_before).max(0) as u64;
+    let ctrl_billed = (billed_after - billed_mid).max(0) as u64;
+    let ratio = session.config.throttle_ratio;
+    let min_bytes = session.config.min_zero_rating_bytes;
+
+    journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
+    verdict(
+        original,
+        control,
+        orig_billed,
+        ctrl_billed,
+        ratio,
+        min_bytes,
+    )
+}
+
+/// Judge the original-vs-control pair — the shared back half of
+/// [`detect_rotating`] and [`detect_parallel`]. `orig_billed`/`ctrl_billed`
+/// are the billed-counter deltas attributed to each replay.
+fn verdict(
+    original: ReplayOutcome,
+    control: ReplayOutcome,
+    orig_billed: u64,
+    ctrl_billed: u64,
+    throttle_ratio: f64,
+    min_zero_rating_bytes: u64,
+) -> DetectionOutcome {
     // Blocking comparison.
     let blocking = original.blocked() && !control.blocked();
     let content_independent_block = original.blocked() && control.blocked();
 
     // Throughput comparison (only meaningful when both transferred data).
-    let ratio = session.config.throttle_ratio;
     let throttling = original.avg_bps > 0.0
         && control.avg_bps > 0.0
-        && original.avg_bps < control.avg_bps * ratio;
+        && original.avg_bps < control.avg_bps * throttle_ratio;
 
     // Zero-rating comparison: billed delta per replay.
     let orig_moved = original.bytes_sent + original.server_payload_bytes;
     let ctrl_moved = control.bytes_sent + control.server_payload_bytes;
-    let orig_billed = (billed_mid - billed_before).max(0) as u64;
-    let ctrl_billed = (billed_after - billed_mid).max(0) as u64;
-    let big_enough = orig_moved >= session.config.min_zero_rating_bytes;
+    let big_enough = orig_moved >= min_zero_rating_bytes;
     let zero_rating = big_enough
         && orig_billed + 100_000 < orig_moved
         && ctrl_billed + 100_000 >= ctrl_moved.saturating_sub(100_000);
@@ -234,7 +258,6 @@ pub fn detect_rotating(
     let content_modification =
         !original.response_matches && control.response_matches && original.complete;
 
-    journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
     DetectionOutcome {
         differentiated: blocking
             || throttling
@@ -250,6 +273,55 @@ pub fn detect_rotating(
         original,
         control,
     }
+}
+
+/// [`detect_rotating`] with the original and control replays fanned out
+/// as one two-job wave on a [`SessionPool`]: each replay runs on its own
+/// worker (own network, own billed counter, shared sharded flow table),
+/// so the pair costs one round gap of simulated time instead of two. On
+/// a single-worker pool the jobs run back-to-back, degenerating to the
+/// sequential behavior.
+pub fn detect_parallel(
+    pool: &mut crate::engine::SessionPool,
+    trace: &RecordedTrace,
+    rotate_base: Option<u16>,
+) -> DetectionOutcome {
+    let control_trace = inverted_trace(trace);
+    let jobs: Vec<(u16, &RecordedTrace)> = vec![(0, trace), (1, &control_trace)];
+    let exec = |session: &mut Session, (slot, t): (u16, &RecordedTrace)| {
+        let journal = session.journal().clone();
+        journal.span_start(session.env.network.clock.as_micros(), Phase::Detect);
+        let opts = ReplayOpts {
+            server_port: rotate_base.map(|b| {
+                b.wrapping_add(slot)
+                    .wrapping_add((session.replays % 100) as u16)
+            }),
+            ..Default::default()
+        };
+        let billed_before = read_billed_counter(session);
+        let outcome = session.replay_trace(t, &opts);
+        let billed_after = read_billed_counter(session);
+        let gap = session.config.round_gap;
+        session.rest(gap);
+        journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
+        (outcome, (billed_after - billed_before).max(0) as u64)
+    };
+    let mut results = pool.run_wave(jobs, &exec);
+    // lint: allow(no-panic) contract: run_wave returns one result per job
+    let (control, ctrl_billed) = results.pop().expect("two jobs in");
+    let (original, orig_billed) = results.pop().expect("two jobs in");
+    let (ratio, min_bytes) = {
+        let config = &pool.session_mut(0).config;
+        (config.throttle_ratio, config.min_zero_rating_bytes)
+    };
+    verdict(
+        original,
+        control,
+        orig_billed,
+        ctrl_billed,
+        ratio,
+        min_bytes,
+    )
 }
 
 #[cfg(test)]
@@ -356,6 +428,24 @@ mod tests {
         assert!(d.content_modification, "{d:?}");
         assert!(d.differentiated);
         assert!(d.control.response_matches);
+    }
+
+    #[test]
+    fn parallel_detect_matches_sequential_verdict_in_gfc() {
+        let mut s = session(EnvKind::Gfc);
+        let seq = detect(&mut s, &apps::economist_http());
+
+        let mut pool = crate::engine::SessionPool::new(
+            EnvKind::Gfc,
+            OsKind::Linux,
+            LiberateConfig::default(),
+            2,
+        );
+        let par = detect_parallel(&mut pool, &apps::economist_http(), None);
+        assert_eq!(par.differentiated, seq.differentiated);
+        assert_eq!(par.blocking, seq.blocking);
+        assert!(!par.content_independent);
+        assert!(!par.control.blocked(), "inverted control must pass");
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! The multi-session replay engine: a pool of worker [`Session`]s, each
+//! with its own deterministically-seeded network, fronting one shared
+//! sharded DPI flow table
+//! ([`liberate_dpi::sharded::ShardedFlowTable`]).
+//!
+//! The paper's measurements are embarrassingly parallel at the probe
+//! level: on a live path, characterization wall-clock is dominated by the
+//! mandatory gap between rounds ([`crate::config::LiberateConfig::round_gap`]),
+//! and probes over disjoint flows neither share client state nor — thanks
+//! to port striding — contend on classifier flow entries. The engine
+//! exploits that by converting the characterizer's recursive blinding
+//! search into a **level-synchronous wave search**: every bisection level
+//! enqueues its left/right(/middle) probes as independent jobs, workers
+//! execute them on pool sessions, and results are merged in canonical
+//! order.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed seed and worker count, every run is bit-identical. Across
+//! *worker counts*, the engine executes the **same probe multiset** as
+//! the sequential recursion — only the execution order and the
+//! round-number permutation differ. Probe outcomes under the
+//! [`Signal::Readout`] and [`Signal::Blocking`] signals are
+//! history-independent (each probe is a fresh flow on a fresh client
+//! port; rotated server ports are used at most once, so residual
+//! penalties never fire), so:
+//!
+//! - discovered [`MatchingField`]s are identical to sequential for any
+//!   worker count (leaves are merged through the canonically-sorting
+//!   [`merge_regions`]);
+//! - per-probe counter totals ([`liberate_obs::Counter`]) sum to the
+//!   sequential totals.
+//!
+//! Worker `w` seeds its RNG with `seed + w` and owns the client-port
+//! lane `42_000 + w, step workers`, so concurrent probes always hit
+//! disjoint [`liberate_packet::flow::FlowKey`]s of the shared table.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use liberate_dpi::profiles::{EnvKind, EnvironmentBlueprint};
+use liberate_netsim::os::OsKind;
+use liberate_obs::{Journal, Phase};
+use liberate_packet::mutate::{merge_regions, ByteRegion};
+use liberate_traces::recorded::{RecordedTrace, Sender};
+
+use crate::characterize::{
+    probe_blinded, probe_position_inner, Characterization, CharacterizeOpts, MatchingField,
+};
+use crate::config::LiberateConfig;
+use crate::detect::Signal;
+use crate::replay::Session;
+
+/// A pool of worker sessions over one [`EnvironmentBlueprint`]. Every
+/// worker owns a full network (and journal); all DPI devices front the
+/// blueprint's shared [`liberate_dpi::sharded::ShardedFlowTable`].
+pub struct SessionPool {
+    sessions: Vec<Session>,
+}
+
+impl SessionPool {
+    /// Build a pool of `workers` sessions (at least one) against a fresh
+    /// blueprint for `kind`.
+    pub fn new(kind: EnvKind, os: OsKind, config: LiberateConfig, workers: usize) -> SessionPool {
+        let blueprint = EnvironmentBlueprint::new(kind, 0);
+        SessionPool::from_blueprint(&blueprint, os, config, workers)
+    }
+
+    /// Build a pool over an existing blueprint (e.g. to share its flow
+    /// table with sessions created elsewhere).
+    pub fn from_blueprint(
+        blueprint: &EnvironmentBlueprint,
+        os: OsKind,
+        config: LiberateConfig,
+        workers: usize,
+    ) -> SessionPool {
+        let n = workers.max(1);
+        let sessions = (0..n)
+            .map(|w| Session::worker_from_blueprint(blueprint, os, config.clone(), w, n))
+            .collect();
+        SessionPool { sessions }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    pub fn session_mut(&mut self, worker: usize) -> &mut Session {
+        &mut self.sessions[worker]
+    }
+
+    /// Fold every worker's journal (events tagged with the worker index,
+    /// counters summed) into `journal`, in ascending worker order. Call
+    /// once, after the pool's work is done.
+    pub fn merge_journals_into(&self, journal: &Arc<Journal>) {
+        for (w, s) in self.sessions.iter().enumerate() {
+            journal.absorb_worker(w as u32, s.journal());
+        }
+    }
+
+    /// Execute one wave of jobs. Job `i` runs on worker `i % workers`
+    /// (deterministic round-robin); each worker processes its bucket in
+    /// order on its own OS thread; results come back in job order. A
+    /// single-worker pool (or a single job) runs inline — no threads, no
+    /// behavioral difference.
+    pub fn run_wave<T, R, F>(&mut self, jobs: Vec<T>, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut Session, T) -> R + Sync,
+    {
+        let n = self.sessions.len();
+        if n == 1 || jobs.len() <= 1 {
+            return jobs
+                .into_iter()
+                .map(|job| f(&mut self.sessions[0], job))
+                .collect();
+        }
+
+        let mut buckets: Vec<Vec<(usize, T)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % n].push((i, job));
+        }
+
+        let mut tagged: Vec<(usize, R)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (session, bucket) in self.sessions.iter_mut().zip(buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, job)| (i, f(session, job)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(mut part) => tagged.append(&mut part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// A bisection node awaiting its probes in the next wave. Mirrors the
+/// sequential recursion's stack frames exactly.
+enum Pending {
+    /// `search_message_range` frame: bisect over message indices.
+    SplitAtoms(Vec<usize>),
+    /// `search_message` frame: bisect a byte range of one message.
+    SplitBytes { msg: usize, range: Range<usize> },
+    /// The conditional centered-half probe of a `SplitBytes` whose halves
+    /// both failed to kill classification.
+    Middle {
+        msg: usize,
+        range: Range<usize>,
+        middle: Range<usize>,
+    },
+}
+
+/// One blinding probe, bound to its trace and pre-assigned round number.
+struct ProbeJob {
+    trace: usize,
+    round: u64,
+    blind: Vec<(usize, Range<usize>)>,
+}
+
+/// What one probe cost and decided, measured on the worker that ran it.
+struct ProbeResult {
+    classified: bool,
+    bytes_sent: u64,
+    bytes_received: u64,
+    elapsed: Duration,
+}
+
+/// Per-trace search state, accumulated across waves.
+#[derive(Default)]
+struct TraceState {
+    /// Blinding rounds consumed (also the next round id to assign).
+    rounds: u64,
+    pending: Vec<Pending>,
+    /// Located single-range leaves, `(message, byte range)`.
+    leaves: Vec<(usize, Range<usize>)>,
+    fields: Vec<MatchingField>,
+    bytes_sent: u64,
+    bytes_received: u64,
+    elapsed: Duration,
+}
+
+impl TraceState {
+    fn absorb_cost(&mut self, r: &ProbeResult) {
+        self.bytes_sent += r.bytes_sent;
+        self.bytes_received += r.bytes_received;
+        self.elapsed += r.elapsed;
+    }
+
+    fn take_round(&mut self) -> u64 {
+        let round = self.rounds;
+        self.rounds += 1;
+        round
+    }
+
+    /// Normalize-and-enqueue for message-index nodes: empty ranges vanish,
+    /// single messages fall through to the byte search — exactly the
+    /// sequential base cases.
+    fn push_atoms(&mut self, trace: &RecordedTrace, atoms: Vec<usize>) {
+        match atoms.len() {
+            0 => {}
+            1 => {
+                let i = atoms[0];
+                self.push_bytes(i, 0..trace.messages[i].payload.len());
+            }
+            _ => self.pending.push(Pending::SplitAtoms(atoms)),
+        }
+    }
+
+    /// Normalize-and-enqueue for byte-range nodes: ranges at bisection
+    /// granularity become leaves without probing.
+    fn push_bytes(&mut self, msg: usize, range: Range<usize>) {
+        if range.len() <= 1 {
+            self.leaves.push((msg, range));
+        } else {
+            self.pending.push(Pending::SplitBytes { msg, range });
+        }
+    }
+}
+
+fn blind_all(atoms: &[usize], trace: &RecordedTrace) -> Vec<(usize, Range<usize>)> {
+    atoms
+        .iter()
+        .map(|&i| (i, 0..trace.messages[i].payload.len()))
+        .collect()
+}
+
+/// [`crate::characterize::characterize`] for a batch of traces, fanned
+/// out over the pool. One trace and one worker degenerate to the
+/// sequential algorithm; several traces share each wave, which is what
+/// actually fills the pool (individual bisection levels are narrow).
+pub fn characterize_many(
+    pool: &mut SessionPool,
+    traces: &[RecordedTrace],
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> Vec<Characterization> {
+    let exec = |session: &mut Session, job: ProbeJob| -> ProbeResult {
+        let bytes0 = session.bytes_sent_total;
+        let recv0 = session.bytes_received_total;
+        let t0 = session.env.network.clock;
+        let classified = probe_blinded(
+            session,
+            &traces[job.trace],
+            signal,
+            opts,
+            &job.blind,
+            job.round,
+        );
+        ProbeResult {
+            classified,
+            bytes_sent: session.bytes_sent_total - bytes0,
+            bytes_received: session.bytes_received_total - recv0,
+            elapsed: session.env.network.clock - t0,
+        }
+    };
+
+    let mut states: Vec<TraceState> = traces.iter().map(|_| TraceState::default()).collect();
+
+    for s in pool.sessions.iter() {
+        s.journal()
+            .span_start(s.env.network.clock.as_micros(), Phase::BlindSearch);
+    }
+
+    // Wave A — sanity: each unmodified trace must classify.
+    let boot_jobs: Vec<ProbeJob> = (0..traces.len())
+        .map(|t| ProbeJob {
+            trace: t,
+            round: states[t].take_round(),
+            blind: Vec::new(),
+        })
+        .collect();
+    let boot = pool.run_wave(boot_jobs, &exec);
+    let survivors: Vec<usize> = boot
+        .iter()
+        .enumerate()
+        .map(|(t, r)| {
+            states[t].absorb_cost(r);
+            (t, r.classified)
+        })
+        .filter(|&(_, classified)| classified)
+        .map(|(t, _)| t)
+        .collect();
+
+    // Wave B — bisection invariant: blinding the whole searchable space
+    // must stop classification.
+    let atoms_of: Vec<Vec<usize>> = traces
+        .iter()
+        .map(|trace| {
+            trace
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    !m.payload.is_empty()
+                        && (m.sender == Sender::Client || opts.search_server_direction)
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let everything_jobs: Vec<ProbeJob> = survivors
+        .iter()
+        .map(|&t| ProbeJob {
+            trace: t,
+            round: states[t].take_round(),
+            blind: blind_all(&atoms_of[t], &traces[t]),
+        })
+        .collect();
+    let everything = pool.run_wave(everything_jobs, &exec);
+    for (&t, r) in survivors.iter().zip(&everything) {
+        states[t].absorb_cost(r);
+        if !r.classified {
+            let atoms = atoms_of[t].clone();
+            states[t].push_atoms(&traces[t], atoms);
+        }
+    }
+
+    // Wave loop: one bisection level per wave. Jobs are enumerated in
+    // canonical order — trace ascending, node order, left before right —
+    // and round ids are assigned per trace at enumeration time, so the
+    // schedule is independent of how jobs later map onto workers.
+    loop {
+        struct WaveItem {
+            trace: usize,
+            pending: Pending,
+            jobs: Range<usize>,
+        }
+        let mut items: Vec<WaveItem> = Vec::new();
+        let mut jobs: Vec<ProbeJob> = Vec::new();
+        for t in 0..traces.len() {
+            for pending in std::mem::take(&mut states[t].pending) {
+                let start = jobs.len();
+                match &pending {
+                    Pending::SplitAtoms(atoms) => {
+                        let mid = atoms.len() / 2;
+                        let (left, right) = atoms.split_at(mid);
+                        for half in [left, right] {
+                            jobs.push(ProbeJob {
+                                trace: t,
+                                round: states[t].take_round(),
+                                blind: blind_all(half, &traces[t]),
+                            });
+                        }
+                    }
+                    Pending::SplitBytes { msg, range } => {
+                        let mid = range.start + range.len() / 2;
+                        for half in [range.start..mid, mid..range.end] {
+                            jobs.push(ProbeJob {
+                                trace: t,
+                                round: states[t].take_round(),
+                                blind: vec![(*msg, half)],
+                            });
+                        }
+                    }
+                    Pending::Middle { msg, middle, .. } => {
+                        jobs.push(ProbeJob {
+                            trace: t,
+                            round: states[t].take_round(),
+                            blind: vec![(*msg, middle.clone())],
+                        });
+                    }
+                }
+                items.push(WaveItem {
+                    trace: t,
+                    pending,
+                    jobs: start..jobs.len(),
+                });
+            }
+        }
+        if jobs.is_empty() {
+            break;
+        }
+        let job_trace: Vec<usize> = jobs.iter().map(|j| j.trace).collect();
+        let results = pool.run_wave(jobs, &exec);
+        for (idx, r) in results.iter().enumerate() {
+            states[job_trace[idx]].absorb_cost(r);
+        }
+
+        // Expand each node with the sequential recursion's exact rules.
+        for item in items {
+            let t = item.trace;
+            let kills: Vec<bool> = item.jobs.clone().map(|i| !results[i].classified).collect();
+            match item.pending {
+                Pending::SplitAtoms(atoms) => {
+                    let mid = atoms.len() / 2;
+                    let (left, right) = atoms.split_at(mid);
+                    let (lk, rk) = (kills[0], kills[1]);
+                    if lk {
+                        states[t].push_atoms(&traces[t], left.to_vec());
+                    }
+                    if rk {
+                        states[t].push_atoms(&traces[t], right.to_vec());
+                    }
+                    if !lk && !rk {
+                        // Conjunctive fields split across the halves:
+                        // recurse into both without further probes.
+                        states[t].push_atoms(&traces[t], left.to_vec());
+                        states[t].push_atoms(&traces[t], right.to_vec());
+                    }
+                }
+                Pending::SplitBytes { msg, range } => {
+                    let mid = range.start + range.len() / 2;
+                    let (lk, rk) = (kills[0], kills[1]);
+                    if lk {
+                        states[t].push_bytes(msg, range.start..mid);
+                    }
+                    if rk {
+                        states[t].push_bytes(msg, mid..range.end);
+                    }
+                    if !lk && !rk {
+                        // The field straddles the midpoint: try the
+                        // centered half, if it is strictly smaller.
+                        let quarter = range.len() / 4;
+                        let middle = (range.start + quarter)
+                            ..(range.end - quarter).max(range.start + quarter + 1);
+                        if middle.len() < range.len() {
+                            states[t]
+                                .pending
+                                .push(Pending::Middle { msg, range, middle });
+                        } else {
+                            states[t].leaves.push((msg, range));
+                        }
+                    }
+                }
+                Pending::Middle { msg, range, middle } => {
+                    if kills[0] {
+                        states[t].push_bytes(msg, middle);
+                    } else {
+                        // Give up at this granularity: the whole range is
+                        // the field.
+                        states[t].leaves.push((msg, range));
+                    }
+                }
+            }
+        }
+    }
+
+    for s in pool.sessions.iter() {
+        s.journal()
+            .span_end(s.env.network.clock.as_micros(), Phase::BlindSearch);
+    }
+
+    // Leaves → canonical fields: per message ascending, ranges merged by
+    // the sorting `merge_regions`, so the output is independent of the
+    // order waves discovered them in.
+    for (t, state) in states.iter_mut().enumerate() {
+        let mut msgs: Vec<usize> = state.leaves.iter().map(|&(m, _)| m).collect();
+        msgs.sort_unstable();
+        msgs.dedup();
+        for m in msgs {
+            let regions: Vec<ByteRegion> = state
+                .leaves
+                .iter()
+                .filter(|&&(mm, _)| mm == m)
+                .map(|(_, r)| ByteRegion::new(m, r.clone()))
+                .collect();
+            let msg = &traces[t].messages[m];
+            for region in merge_regions(regions) {
+                state.fields.push(MatchingField {
+                    message: m,
+                    sender: msg.sender,
+                    range: region.range.clone(),
+                    bytes: msg.payload[region.range.clone()].to_vec(),
+                });
+            }
+        }
+    }
+
+    // Position phase: one prepend ladder per trace, each a single
+    // sequential job (the ladder is inherently serial), traces fanned
+    // across workers.
+    let pos_exec = |session: &mut Session, t: usize| {
+        let journal = session.journal().clone();
+        journal.span_start(session.env.network.clock.as_micros(), Phase::PositionProbe);
+        let bytes0 = session.bytes_sent_total;
+        let recv0 = session.bytes_received_total;
+        let t0 = session.env.network.clock;
+        let (profile, rounds) = probe_position_inner(session, &traces[t], signal, opts);
+        journal.span_end(session.env.network.clock.as_micros(), Phase::PositionProbe);
+        (
+            profile,
+            rounds,
+            session.bytes_sent_total - bytes0,
+            session.bytes_received_total - recv0,
+            session.env.network.clock - t0,
+        )
+    };
+    let ladders = pool.run_wave((0..traces.len()).collect(), &pos_exec);
+
+    states
+        .into_iter()
+        .zip(ladders)
+        .map(
+            |(state, (position, ladder_rounds, bytes_sent, bytes_received, elapsed))| {
+                Characterization {
+                    fields: state.fields,
+                    position,
+                    rounds: state.rounds + ladder_rounds,
+                    bytes_sent: state.bytes_sent + bytes_sent,
+                    bytes_received: state.bytes_received + bytes_received,
+                    elapsed: state.elapsed + elapsed,
+                }
+            },
+        )
+        .collect()
+}
+
+/// [`characterize_many`] for a single trace.
+pub fn characterize_parallel(
+    pool: &mut SessionPool,
+    trace: &RecordedTrace,
+    signal: &Signal,
+    opts: &CharacterizeOpts,
+) -> Characterization {
+    let mut out = characterize_many(pool, std::slice::from_ref(trace), signal, opts);
+    // lint: allow(no-panic) contract: one characterization per trace in
+    out.pop().expect("one trace in, one characterization out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use liberate_obs::Counter;
+    use liberate_traces::apps;
+
+    fn pool(workers: usize) -> SessionPool {
+        SessionPool::new(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            LiberateConfig::default(),
+            workers,
+        )
+    }
+
+    #[test]
+    fn run_wave_returns_results_in_job_order() {
+        let mut p = pool(3);
+        let jobs: Vec<usize> = (0..10).collect();
+        let out = p.run_wave(jobs, &|_s, i| i * 2);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_stun_characterization_matches_sequential() {
+        let trace = apps::skype_stun(4);
+        let opts = CharacterizeOpts::default();
+
+        let mut solo = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+        let seq = characterize(&mut solo, &trace, &Signal::Readout, &opts);
+
+        for workers in [1usize, 2] {
+            let mut p = pool(workers);
+            let par = characterize_parallel(&mut p, &trace, &Signal::Readout, &opts);
+            assert_eq!(par.fields, seq.fields, "workers={workers}");
+            assert_eq!(par.rounds, seq.rounds, "workers={workers}");
+            assert_eq!(par.position, seq.position, "workers={workers}");
+            assert_eq!(par.bytes_sent, seq.bytes_sent, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn merged_journal_accounts_every_replay() {
+        let trace = apps::skype_stun(4);
+        let mut p = pool(2);
+        let c = characterize_parallel(
+            &mut p,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+
+        let merged = Arc::new(Journal::new());
+        p.merge_journals_into(&merged);
+        assert_eq!(merged.metrics.get(Counter::ReplaysExecuted), c.rounds);
+        // Every absorbed event carries its worker tag.
+        assert!(merged.events().iter().all(|e| e.worker.is_some()));
+    }
+
+    #[test]
+    fn pool_workers_share_one_flow_table() {
+        let blueprint = EnvironmentBlueprint::new(EnvKind::Testbed, 0);
+        let mut p =
+            SessionPool::from_blueprint(&blueprint, OsKind::Linux, LiberateConfig::default(), 3);
+        assert_eq!(p.workers(), 3);
+        let shared = blueprint.shared_table();
+        for w in 0..p.workers() {
+            let table = p
+                .session_mut(w)
+                .env
+                .dpi_mut()
+                .expect("testbed has a DPI device")
+                .shared_table();
+            assert!(Arc::ptr_eq(&shared, &table), "worker {w}");
+        }
+    }
+}

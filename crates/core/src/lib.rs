@@ -26,6 +26,11 @@
 //! 4. **[`deploy`]** — apply the cheapest working technique to live
 //!    application flows, re-learning when the classifier changes.
 //!
+//! The **[`engine`]** module parallelizes phases 1–3: a [`engine::SessionPool`]
+//! of worker sessions over one shared sharded DPI flow table executes
+//! probe waves concurrently while keeping results canonical and
+//! deterministic.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -48,6 +53,7 @@ pub mod characterize;
 pub mod config;
 pub mod deploy;
 pub mod detect;
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod evasion;
@@ -69,11 +75,14 @@ pub mod prelude {
     pub use crate::deploy::{
         run_pipeline, signal_from_detection, FlowReport, LiberateProxy, PipelineReport,
     };
-    pub use crate::detect::{detect, inverted_trace, probe, DetectionOutcome, Signal};
+    pub use crate::detect::{
+        detect, detect_parallel, inverted_trace, probe, DetectionOutcome, Signal,
+    };
+    pub use crate::engine::{characterize_many, characterize_parallel, SessionPool};
     pub use crate::error::{LiberateError, Result};
     pub use crate::evaluate::{
-        cheapest, evaluate_technique, find_working_technique, plan, EvaluationInputs, Reach,
-        TechniqueResult,
+        cheapest, evaluate_technique, evaluate_techniques_parallel, find_working_technique, plan,
+        EvaluationInputs, Reach, TechniqueResult,
     };
     pub use crate::evasion::{Category, EvasionContext, Overhead, Technique};
     pub use crate::masquerade::{run_masqueraded, Masquerade, MasqueradeReport};

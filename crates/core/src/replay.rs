@@ -15,7 +15,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use liberate_dpi::profiles::{build_environment, EnvKind, Environment, CLIENT_ADDR, SERVER_ADDR};
+use liberate_dpi::profiles::{
+    build_environment, EnvKind, Environment, EnvironmentBlueprint, CLIENT_ADDR, SERVER_ADDR,
+};
 use liberate_netsim::icmp::{parse_icmp_error, IcmpError};
 use liberate_netsim::os::OsKind;
 use liberate_netsim::server::ServerApp;
@@ -205,6 +207,11 @@ pub struct Session {
     pub config: LiberateConfig,
     pub rng: StdRng,
     next_client_port: u16,
+    /// Client-port advance per replay. A solo session strides by 1; pool
+    /// workers stride by the worker count (each starting at a distinct
+    /// offset) so concurrent probes land on disjoint [`FlowKey`]s of the
+    /// shared sharded flow table.
+    port_stride: u16,
     isn_counter: u32,
     /// Total replays run (the paper's "rounds" metric).
     pub replays: u64,
@@ -243,6 +250,37 @@ impl Session {
             config,
             rng: StdRng::seed_from_u64(seed),
             next_client_port: 42_000,
+            port_stride: 1,
+            isn_counter: 11_000,
+            replays: 0,
+            bytes_sent_total: 0,
+            bytes_received_total: 0,
+            started: SimTime::ZERO,
+        };
+        session.record_session_started();
+        session
+    }
+
+    /// Build one pool worker's session from a shared
+    /// [`EnvironmentBlueprint`]: its own network and journal, the pool's
+    /// sharded flow table, a deterministic per-worker RNG seed, and a
+    /// client-port lane disjoint from every other worker's
+    /// (`42_000 + worker`, striding by `workers`).
+    pub fn worker_from_blueprint(
+        blueprint: &EnvironmentBlueprint,
+        os: OsKind,
+        config: LiberateConfig,
+        worker: usize,
+        workers: usize,
+    ) -> Session {
+        let env = blueprint.build(os, Box::new(liberate_netsim::server::SinkApp::default()));
+        let seed = config.seed.wrapping_add(worker as u64);
+        let session = Session {
+            env,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_client_port: 42_000u16.wrapping_add(worker as u16),
+            port_stride: (workers.max(1)) as u16,
             isn_counter: 11_000,
             replays: 0,
             bytes_sent_total: 0,
@@ -312,7 +350,10 @@ impl Session {
         self.env.network.capture.clear();
 
         let client_port = self.next_client_port;
-        self.next_client_port = self.next_client_port.wrapping_add(1).max(20_000);
+        self.next_client_port = self
+            .next_client_port
+            .wrapping_add(self.port_stride.max(1))
+            .max(20_000);
         let server_port = opts.server_port.unwrap_or(trace.server_port);
 
         // Install the scripted server for this (possibly transformed)

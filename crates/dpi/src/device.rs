@@ -25,6 +25,7 @@ use crate::inspect::{FlowConfig, InspectionPolicy, ReassemblyMode};
 use crate::matcher::starts_with_any;
 use crate::resource::TimeOfDayLoad;
 use crate::rules::RuleSet;
+use crate::sharded::ShardedFlowTable;
 use crate::validation::ValidationModel;
 
 /// Default stream-assembly window when the reassembly mode does not
@@ -65,7 +66,9 @@ pub struct ClassificationEvent {
 /// The middlebox.
 pub struct DpiDevice {
     pub config: DpiConfig,
-    table: FlowTable,
+    /// Flow state, possibly shared with sibling devices in a session
+    /// pool. A solo device (via [`DpiDevice::new`]) owns its own table.
+    table: Arc<ShardedFlowTable>,
     /// Bytes attributed to the subscriber's quota.
     pub billed_bytes: u64,
     /// Bytes zero-rated under a matched policy.
@@ -76,46 +79,68 @@ pub struct DpiDevice {
     last_seen: SimTime,
     /// Observability journal, attached by the owning `Network`.
     journal: Option<Arc<Journal>>,
-    /// Flow-table totals already reported to the journal (the table's
-    /// counters are monotonic; the journal sees deltas).
-    flows_created_synced: u64,
-    flows_evicted_synced: u64,
+    /// Flow churn this device caused but has not yet reported to the
+    /// journal. Per-device deltas (captured from the shard guard), not
+    /// table totals: with a shared table, totals mix in sibling devices'
+    /// churn and would double-report.
+    flows_created_pending: u64,
+    flows_evicted_pending: u64,
 }
 
 impl DpiDevice {
     pub fn new(config: DpiConfig) -> DpiDevice {
+        DpiDevice::with_shared_table(config, Arc::new(ShardedFlowTable::default()))
+    }
+
+    /// A device fronting a table shared with other devices — the pooled
+    /// engine builds one device per worker network, all handing packets
+    /// to the same sharded state.
+    pub fn with_shared_table(config: DpiConfig, table: Arc<ShardedFlowTable>) -> DpiDevice {
         DpiDevice {
             config,
-            table: FlowTable::default(),
+            table,
             billed_bytes: 0,
             zero_rated_bytes: 0,
             events: Vec::new(),
             last_seen: SimTime::ZERO,
             journal: None,
-            flows_created_synced: 0,
-            flows_evicted_synced: 0,
+            flows_created_pending: 0,
+            flows_evicted_pending: 0,
         }
     }
 
-    /// Report flow-table creation/eviction deltas to the journal. Runs
-    /// after every processed packet so the counters are exact at packet
-    /// boundaries (the table also evicts lazily inside `lookup`).
+    /// The flow state this device fronts (for sharing with a sibling or
+    /// inspecting from tests).
+    pub fn shared_table(&self) -> Arc<ShardedFlowTable> {
+        Arc::clone(&self.table)
+    }
+
+    /// Report this device's pending flow-churn deltas to the journal.
+    /// Runs after every processed packet so the counters are exact at
+    /// packet boundaries (the table also evicts lazily inside `lookup`).
+    /// Deltas accumulated while no journal is attached stay local, like
+    /// pre-attachment totals did before sharding.
     fn sync_flow_metrics(&mut self) {
+        let created = std::mem::take(&mut self.flows_created_pending);
+        let evicted = std::mem::take(&mut self.flows_evicted_pending);
         let Some(j) = &self.journal else {
             return;
         };
-        let created = self.table.created_total;
-        if created > self.flows_created_synced {
-            j.metrics
-                .add(Counter::FlowsCreated, created - self.flows_created_synced);
-            self.flows_created_synced = created;
+        if created > 0 {
+            j.metrics.add(Counter::FlowsCreated, created);
         }
-        let evicted = self.table.evicted_total;
-        if evicted > self.flows_evicted_synced {
-            j.metrics
-                .add(Counter::FlowsEvicted, evicted - self.flows_evicted_synced);
-            self.flows_evicted_synced = evicted;
+        if evicted > 0 {
+            j.metrics.add(Counter::FlowsEvicted, evicted);
         }
+    }
+
+    /// Fold a finished shard guard's churn into this device's pending
+    /// deltas.
+    fn absorb_shard_deltas(&mut self, shard: crate::sharded::ShardGuard<'_>) {
+        let (created, evicted) = shard.deltas();
+        drop(shard);
+        self.flows_created_pending += created;
+        self.flows_evicted_pending += evicted;
     }
 
     fn journal_record(&self, now: SimTime, kind: EventKind) {
@@ -135,10 +160,14 @@ impl DpiDevice {
         // Peek without refreshing activity; expiry is applied so a flushed
         // result reads as unclassified.
         let now = self.last_seen;
-        self.table
+        let table = Arc::clone(&self.table);
+        let mut shard = table.shard(key);
+        let class = shard
             .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
             .and_then(|e| e.classification.as_ref())
-            .map(|c| c.class.clone())
+            .map(|c| c.class.clone());
+        self.absorb_shard_deltas(shard);
+        class
     }
 
     /// Most recent classification event, if any.
@@ -147,8 +176,10 @@ impl DpiDevice {
     }
 
     /// Forget all flow state and counters (between experiment runs).
+    /// With a shared table this resets flows *and* penalties for every
+    /// device on it, so pooled workers must be quiescent.
     pub fn reset(&mut self) {
-        self.table.clear();
+        self.table.reset_all();
         self.billed_bytes = 0;
         self.zero_rated_bytes = 0;
         self.events.clear();
@@ -371,17 +402,18 @@ impl DpiDevice {
         }
     }
 
-    /// Apply the classified policy to a forwarded packet.
+    /// Apply the classified policy to a forwarded packet. `ft` is the
+    /// caller's already-locked shard for this flow.
     fn forward_classified(
         &mut self,
+        ft: &mut FlowTable,
         now: SimTime,
         dir: Direction,
         wire: Vec<u8>,
         key: FlowKey,
     ) -> Verdict {
         let canonicalish = key;
-        let entry = self
-            .table
+        let entry = ft
             .lookup(
                 canonicalish,
                 now,
@@ -422,8 +454,7 @@ impl DpiDevice {
         };
 
         if let (Some((rate, burst)), Direction::ServerToClient) = (policy.throttle, dir) {
-            let entry = self
-                .table
+            let entry = ft
                 .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
                 .expect("still present");
             let c = entry.classification.as_mut().expect("still classified");
@@ -447,10 +478,10 @@ impl PathElement for DpiDevice {
     }
 
     fn attach_journal(&mut self, journal: &Arc<Journal>) {
-        // Totals accumulated before attachment stay local; the journal
+        // Churn accumulated before attachment stays local; the journal
         // sees deltas from this point on.
-        self.flows_created_synced = self.table.created_total;
-        self.flows_evicted_synced = self.table.evicted_total;
+        self.flows_created_pending = 0;
+        self.flows_evicted_pending = 0;
         self.journal = Some(journal.clone());
     }
 
@@ -541,13 +572,42 @@ impl DpiDevice {
             return Verdict::pass(now, wire);
         }
 
+        // Everything from here on reads or writes this flow's entry: take
+        // the owning shard's lock once for the rest of the packet. The
+        // guard borrows a local clone of the `Arc` so `self` stays free,
+        // and its lifetime-counter deltas are folded into this device's
+        // pending journal figures on the way out.
+        let table = Arc::clone(&self.table);
+        let mut shard = table.shard(key);
+        let verdict =
+            self.process_flow(&mut shard, now, dir, &pkt, key, wire, effects, server_port);
+        self.absorb_shard_deltas(shard);
+        verdict
+    }
+
+    /// Per-flow stages of packet processing, run under the flow's shard
+    /// lock (`ft`). May take the cross-shard penalty lock (via
+    /// `fire_block`) — that nesting is the declared lock order.
+    #[allow(clippy::too_many_arguments)]
+    fn process_flow(
+        &mut self,
+        ft: &mut FlowTable,
+        now: SimTime,
+        dir: Direction,
+        pkt: &ParsedPacket,
+        key: FlowKey,
+        wire: Vec<u8>,
+        effects: &mut Effects,
+        server_port: u16,
+    ) -> Verdict {
+        let len = wire.len();
         let is_tcp = pkt.tcp().is_some();
         let is_udp = pkt.udp().is_some();
 
         // RST observation affects flow state.
         if let Some(t) = pkt.tcp() {
             if t.flags.rst {
-                if self.table.apply_rst(key, &self.config.flow) {
+                if ft.apply_rst(key, &self.config.flow) {
                     self.journal_incr(Counter::FlowResets);
                     self.journal_record(now, EventKind::FlowReset);
                 }
@@ -558,8 +618,7 @@ impl DpiDevice {
 
         // Flow entry management.
         let window_bytes = self.window_bytes();
-        let have_entry = self
-            .table
+        let have_entry = ft
             .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
             .is_some();
         if !have_entry {
@@ -576,7 +635,7 @@ impl DpiDevice {
                 self.account(false, len);
                 return Verdict::pass(now, wire);
             }
-            let entry = self.table.create(key, now, window_bytes);
+            let entry = ft.create(key, now, window_bytes);
             if is_tcp {
                 let t = pkt.tcp().expect("is_tcp");
                 if let Some(tr) = entry.tracking.as_mut() {
@@ -589,15 +648,13 @@ impl DpiDevice {
 
         // Refresh activity.
         {
-            let entry = self
-                .table
+            let entry = ft
                 .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
                 .expect("present");
             entry.last_activity = now;
         }
 
-        let already_classified = self
-            .table
+        let already_classified = ft
             .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
             .map(|e| e.classification.is_some())
             .unwrap_or(false);
@@ -611,17 +668,15 @@ impl DpiDevice {
         if eligible {
             let matched = {
                 let config = &self.config;
-                let entry = self
-                    .table
+                let entry = ft
                     .lookup(key, now, &config.flow, config.resource.as_ref())
                     .expect("present");
-                Self::inspect(entry, config, &pkt, dir, server_port)
+                Self::inspect(entry, config, pkt, dir, server_port)
             };
             if let Some((class, rule_id)) = matched {
                 let newly = !already_classified;
                 {
-                    let entry = self
-                        .table
+                    let entry = ft
                         .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
                         .expect("present");
                     if entry.classification.is_none() {
@@ -650,13 +705,10 @@ impl DpiDevice {
                         class: class.clone(),
                         rule_id,
                     });
-                    self.fire_block(now, dir, &pkt, key, effects, &class);
-                    if let Some(entry) = self.table.lookup(
-                        key,
-                        now,
-                        &self.config.flow,
-                        self.config.resource.as_ref(),
-                    ) {
+                    self.fire_block(now, dir, pkt, key, effects, &class);
+                    if let Some(entry) =
+                        ft.lookup(key, now, &self.config.flow, self.config.resource.as_ref())
+                    {
                         if let Some(c) = entry.classification.as_mut() {
                             c.block_fired = true;
                         }
@@ -666,13 +718,12 @@ impl DpiDevice {
         }
 
         // Forward under whatever classification now stands.
-        let classified_now = self
-            .table
+        let classified_now = ft
             .lookup(key, now, &self.config.flow, self.config.resource.as_ref())
             .map(|e| e.classification.is_some())
             .unwrap_or(false);
         if classified_now {
-            self.forward_classified(now, dir, wire, key)
+            self.forward_classified(ft, now, dir, wire, key)
         } else {
             self.account(false, len);
             Verdict::pass(now, wire)

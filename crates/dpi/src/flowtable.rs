@@ -148,12 +148,72 @@ pub struct FlowEntry {
     pub classification: Option<Classification>,
 }
 
+/// Residual server:port blocking state (the GFC's collateral damage,
+/// §6.5): a blocked-flow count per (server, port) pair and, once the
+/// device's threshold is crossed, an expiry until which *all* traffic
+/// toward the pair is disrupted regardless of content.
+///
+/// Factored out of [`FlowTable`] so the sharded table
+/// ([`crate::sharded::ShardedFlowTable`]) can promote it to a single
+/// cross-shard structure: a penalty earned by a flow hashed to one shard
+/// must hit flows hashed to every other shard.
+#[derive(Debug, Default, Clone)]
+pub struct PenaltyBox {
+    /// (server addr, server port) → (blocked-flow count, penalty expiry).
+    penalties: HashMap<(Ipv4Addr, u16), (u32, Option<SimTime>)>,
+}
+
+impl PenaltyBox {
+    /// Record a blocked flow toward a server:port and return whether the
+    /// pair has crossed into penalty blocking.
+    pub fn record_blocked_flow(
+        &mut self,
+        server: Ipv4Addr,
+        port: u16,
+        now: SimTime,
+        threshold: u32,
+        penalty: Duration,
+    ) -> bool {
+        let entry = self.penalties.entry((server, port)).or_insert((0, None));
+        entry.0 += 1;
+        if entry.0 >= threshold {
+            entry.1 = Some(now + penalty);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether (server, port) is currently under penalty blocking.
+    pub fn is_penalized(&self, server: Ipv4Addr, port: u16, now: SimTime) -> bool {
+        match self.penalties.get(&(server, port)) {
+            Some((_, Some(until))) => now < *until,
+            _ => false,
+        }
+    }
+
+    /// Number of (server, port) pairs with recorded blocked flows.
+    pub fn tracked_pairs(&self) -> usize {
+        self.penalties.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.penalties.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.penalties.clear();
+    }
+}
+
 /// The middlebox flow table.
 #[derive(Debug, Default)]
 pub struct FlowTable {
     entries: HashMap<FlowKey, FlowEntry>,
-    /// (server addr, server port) → (blocked-flow count, penalty expiry).
-    penalties: HashMap<(Ipv4Addr, u16), (u32, Option<SimTime>)>,
+    /// Residual server:port penalties. In the sharded engine this box is
+    /// unused — penalties live in the cross-shard [`PenaltyBox`] owned by
+    /// [`crate::sharded::ShardedFlowTable`] instead.
+    penalties: PenaltyBox,
     /// Monotonic creation count (never reset, even by `clear`), so the
     /// observability layer can report exact lifetime totals.
     pub created_total: u64,
@@ -263,29 +323,39 @@ impl FlowTable {
         threshold: u32,
         penalty: Duration,
     ) -> bool {
-        let entry = self.penalties.entry((server, port)).or_insert((0, None));
-        entry.0 += 1;
-        if entry.0 >= threshold {
-            entry.1 = Some(now + penalty);
-            true
-        } else {
-            false
-        }
+        self.penalties
+            .record_blocked_flow(server, port, now, threshold, penalty)
     }
 
     /// Whether (server, port) is currently under penalty blocking.
     pub fn is_penalized(&self, server: Ipv4Addr, port: u16, now: SimTime) -> bool {
-        match self.penalties.get(&(server, port)) {
-            Some((_, Some(until))) => now < *until,
-            _ => false,
-        }
+        self.penalties.is_penalized(server, port, now)
     }
 
     pub fn live_flow_count(&self) -> usize {
         self.entries.len()
     }
 
+    /// Full harness reset: forget live flows **and** the penalty box.
+    /// Alias of [`FlowTable::reset_all`], kept for callers that predate
+    /// the explicit naming. Lifetime counters survive — they are
+    /// observability totals, not middlebox state.
     pub fn clear(&mut self) {
+        self.reset_all();
+    }
+
+    /// Forget live flow entries but keep penalty-box state. This is what
+    /// a middlebox losing (or shedding) flow state actually does: residual
+    /// server:port penalties outlive the flows that earned them (§6.5).
+    pub fn clear_flows(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Forget live flows *and* penalties: the explicit between-experiment
+    /// reset. Pooled sessions sharing a table must use this (not
+    /// [`FlowTable::clear_flows`]) so blocked-flow state cannot leak from
+    /// one probe run into the next. Lifetime counters are preserved.
+    pub fn reset_all(&mut self) {
         self.entries.clear();
         self.penalties.clear();
     }
@@ -438,6 +508,35 @@ mod tests {
         assert!(!table.is_penalized(server, 80, now + Duration::from_secs(91)));
         // A different port is unaffected.
         assert!(!table.is_penalized(server, 8080, now));
+    }
+
+    #[test]
+    fn clear_flows_keeps_penalties_but_reset_all_drops_them() {
+        let mut table = FlowTable::default();
+        let server = Ipv4Addr::new(10, 9, 9, 9);
+        let now = SimTime::from_secs(100);
+        table.create(key(), SimTime::ZERO, 4096);
+        table.record_blocked_flow(server, 80, now, 1, Duration::from_secs(90));
+        assert!(table.is_penalized(server, 80, now));
+
+        // clear_flows: the flow entries go, the penalty persists — losing
+        // flow state must not amnesty a penalized server:port.
+        table.clear_flows();
+        assert_eq!(table.live_flow_count(), 0);
+        assert!(table.is_penalized(server, 80, now));
+
+        // reset_all (and its clear() alias): everything goes.
+        table.create(key(), SimTime::ZERO, 4096);
+        table.reset_all();
+        assert_eq!(table.live_flow_count(), 0);
+        assert!(!table.is_penalized(server, 80, now));
+
+        table.record_blocked_flow(server, 80, now, 1, Duration::from_secs(90));
+        table.clear();
+        assert!(
+            !table.is_penalized(server, 80, now),
+            "clear() is a full reset including the penalty box"
+        );
     }
 
     #[test]

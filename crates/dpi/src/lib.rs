@@ -14,6 +14,8 @@
 //! - [`validation`]: which malformed packets the device still processes;
 //! - [`flowtable`]: state lifecycles — result/tracking timeouts, RST
 //!   effects, and resource-pressure eviction ([`resource`]);
+//! - [`sharded`]: the flow table split into independently locked shards
+//!   with a cross-shard penalty box, shared by pooled worker sessions;
 //! - [`actions`]: throttle, zero-rate, RST/403 blocking with residual
 //!   server:port penalties;
 //! - [`device`]: the composed middlebox as a simulator path element;
@@ -29,6 +31,7 @@ pub mod profiles;
 pub mod proxy;
 pub mod resource;
 pub mod rules;
+pub mod sharded;
 pub mod validation;
 
 pub mod prelude {
@@ -38,10 +41,12 @@ pub mod prelude {
         FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode, RstEffect,
     };
     pub use crate::profiles::{
-        build_environment, EnvKind, Environment, CLIENT_ADDR, DPI_NAME, SERVER_ADDR,
+        build_environment, EnvKind, Environment, EnvironmentBlueprint, CLIENT_ADDR, DPI_NAME,
+        SERVER_ADDR,
     };
     pub use crate::proxy::{ProxyConfig, TransparentProxy};
     pub use crate::resource::TimeOfDayLoad;
     pub use crate::rules::{MatchRule, PositionConstraint, RuleSet};
+    pub use crate::sharded::{ShardGuard, ShardedFlowTable, DEFAULT_SHARDS};
     pub use crate::validation::ValidationModel;
 }

@@ -8,6 +8,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use liberate_netsim::blueprint::{ElementFactory, NetworkBlueprint};
 use liberate_netsim::element::PathElement;
 use liberate_netsim::filter::{FilterPolicy, FragmentHandling};
 use liberate_netsim::firewall::StatefulFirewall;
@@ -25,6 +26,7 @@ use crate::inspect::{FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode,
 use crate::proxy::{ProxyConfig, TransparentProxy};
 use crate::resource::TimeOfDayLoad;
 use crate::rules::{MatchRule, RuleSet};
+use crate::sharded::ShardedFlowTable;
 use crate::validation::ValidationModel;
 
 /// Client address used by every environment.
@@ -362,187 +364,262 @@ fn hop_addr(i: u8) -> Ipv4Addr {
     Ipv4Addr::new(172, 16, 1, i)
 }
 
+/// Wrap a concrete-element constructor as a boxed [`ElementFactory`].
+fn factory<E, F>(f: F) -> ElementFactory
+where
+    E: PathElement + 'static,
+    F: Fn() -> E + Send + Sync + 'static,
+{
+    Box::new(move || Box::new(f()))
+}
+
+/// A reusable recipe for one environment: the element-chain blueprint,
+/// path metadata, and the single [`ShardedFlowTable`] that every DPI
+/// device built from this recipe fronts. Building the same blueprint N
+/// times yields N independent networks (fresh hops, shapers, proxies,
+/// firewalls, journals) whose middleboxes share flow state — exactly what
+/// a pool of worker sessions probing one middlebox needs.
+pub struct EnvironmentBlueprint {
+    kind: EnvKind,
+    net: NetworkBlueprint,
+    hops_before_middlebox: u8,
+    total_hops: u8,
+    shared_table: Arc<ShardedFlowTable>,
+}
+
+impl EnvironmentBlueprint {
+    /// Lay out the element chain for `kind`. `start_time_of_day_secs`
+    /// only affects the GFC (Figure 4's clock).
+    pub fn new(kind: EnvKind, start_time_of_day_secs: u64) -> EnvironmentBlueprint {
+        let table = Arc::new(ShardedFlowTable::default());
+        let mut net = NetworkBlueprint::new(CLIENT_ADDR);
+        let (hops_before, total);
+
+        match kind {
+            EnvKind::Testbed => {
+                // client — DPI — router — server (§6.1). The lab router
+                // drops structurally-broken IP and ACK-less data, and
+                // reassembles fragments before the server (Table 3
+                // footnote 2).
+                let t = Arc::clone(&table);
+                net.push(factory(move || {
+                    DpiDevice::with_shared_table(testbed_device(), Arc::clone(&t))
+                }));
+                net.push(factory(|| {
+                    RouterHop::new(
+                        "lab-router",
+                        hop_addr(1),
+                        FilterPolicy::ip_hygiene()
+                            .also_dropping([TcpAckFlagMissing])
+                            .with_fragments(FragmentHandling::Reassemble),
+                    )
+                    .silent()
+                }));
+                hops_before = 0;
+                total = 1;
+            }
+            EnvKind::TMobile => {
+                // client — access shaper — r1 — r2(normalizer) — DPI — r3 —
+                // server. TTL = 3 reaches the classifier (§6.2). The
+                // cellular gateway normalizes aggressively (most inert
+                // packets die in-network) and tracks TCP sequence windows;
+                // invalid-option packets die *after* the classifier.
+                net.push(factory(|| {
+                    LinkShaper::symmetric("lte-access", 4_000_000, 900_000)
+                }));
+                net.push(factory(|| RouterHop::transparent("r1", hop_addr(1))));
+                net.push(factory(|| StatefulFirewall::new("gw-firewall", 65_535)));
+                net.push(factory(|| {
+                    RouterHop::new(
+                        "gw-normalizer",
+                        hop_addr(2),
+                        FilterPolicy::strict_normalizer()
+                            .with_fragments(FragmentHandling::Reassemble),
+                    )
+                    .silent()
+                }));
+                let t = Arc::clone(&table);
+                net.push(factory(move || {
+                    DpiDevice::with_shared_table(tmus_device(), Arc::clone(&t))
+                }));
+                net.push(factory(|| {
+                    RouterHop::new(
+                        "core-r3",
+                        hop_addr(3),
+                        FilterPolicy::dropping([IpOptionsInvalid, IpOptionsDeprecated]),
+                    )
+                    .silent()
+                }));
+                hops_before = 2;
+                total = 3;
+            }
+            EnvKind::Att => {
+                // client — r1 — proxy — r2 — server (§6.3).
+                net.push(factory(|| {
+                    RouterHop::transparent("r1", hop_addr(1)).silent()
+                }));
+                net.push(factory(|| {
+                    TransparentProxy::new(ProxyConfig::stream_saver())
+                }));
+                net.push(factory(|| {
+                    RouterHop::transparent("r2", hop_addr(2)).silent()
+                }));
+                hops_before = 1;
+                total = 2;
+            }
+            EnvKind::Sprint => {
+                // client — access shaper — r1 — r2 — server: no DPI (§6.4).
+                net.push(factory(|| {
+                    LinkShaper::symmetric("lte-access", 6_000_000, 900_000)
+                }));
+                net.push(factory(|| {
+                    RouterHop::transparent("r1", hop_addr(1)).silent()
+                }));
+                net.push(factory(|| {
+                    RouterHop::transparent("r2", hop_addr(2)).silent()
+                }));
+                hops_before = 2;
+                total = 2;
+            }
+            EnvKind::Gfc => {
+                // client — r1..r9 — GFC — r10..r13 — server: a TTL of 10
+                // reaches the classifier without reaching the server
+                // (§6.5). The border normalizer (r5) enforces IP hygiene,
+                // drops IP options and malformed-length UDP, repairs TCP
+                // checksums (footnote 4), and reassembles fragments before
+                // the GFC.
+                for i in 1..=9u8 {
+                    if i == 5 {
+                        net.push(factory(move || {
+                            RouterHop::new(
+                                "border-normalizer",
+                                hop_addr(i),
+                                FilterPolicy::ip_hygiene()
+                                    .also_dropping([
+                                        IpOptionsInvalid,
+                                        IpOptionsDeprecated,
+                                        UdpLengthLong,
+                                        UdpLengthShort,
+                                    ])
+                                    .with_fragments(FragmentHandling::Reassemble),
+                            )
+                            .silent()
+                            .fixing_tcp_checksums()
+                        }));
+                    } else {
+                        net.push(factory(move || {
+                            RouterHop::transparent(format!("r{i}"), hop_addr(i))
+                        }));
+                    }
+                }
+                let t = Arc::clone(&table);
+                net.push(factory(move || {
+                    DpiDevice::with_shared_table(gfc_device(start_time_of_day_secs), Arc::clone(&t))
+                }));
+                for i in 10..=13u8 {
+                    net.push(factory(move || {
+                        RouterHop::transparent(format!("r{i}"), hop_addr(i))
+                    }));
+                }
+                hops_before = 9;
+                total = 13;
+            }
+            EnvKind::Iran => {
+                // client — r1..r7 — DPI — firewall — r8 — server: the
+                // classifier answers at a TTL of 8 (§6.6). Hard-broken IP
+                // and all fragments die before the classifier; IP options
+                // and malformed TCP die after it (hence footnote 3: the
+                // classifier *processed* them); malformed UDP sails
+                // through everywhere.
+                for i in 1..=7u8 {
+                    if i == 4 {
+                        net.push(factory(move || {
+                            RouterHop::new(
+                                "edge-filter",
+                                hop_addr(i),
+                                FilterPolicy::ip_hygiene()
+                                    .also_dropping([IpProtocolUnknown, TcpDataOffsetInvalid])
+                                    .with_fragments(FragmentHandling::Drop),
+                            )
+                            .silent()
+                        }));
+                    } else {
+                        net.push(factory(move || {
+                            RouterHop::transparent(format!("r{i}"), hop_addr(i))
+                        }));
+                    }
+                }
+                let t = Arc::clone(&table);
+                net.push(factory(move || {
+                    DpiDevice::with_shared_table(iran_device(), Arc::clone(&t))
+                }));
+                net.push(factory(|| StatefulFirewall::new("post-firewall", 65_535)));
+                net.push(factory(|| {
+                    RouterHop::new(
+                        "post-filter",
+                        hop_addr(8),
+                        FilterPolicy::dropping([
+                            IpOptionsInvalid,
+                            IpOptionsDeprecated,
+                            TcpChecksumWrong,
+                            TcpAckFlagMissing,
+                            TcpFlagsInvalid,
+                        ]),
+                    )
+                    .silent()
+                }));
+                hops_before = 7;
+                total = 8;
+            }
+        }
+
+        EnvironmentBlueprint {
+            kind,
+            net,
+            hops_before_middlebox: hops_before,
+            total_hops: total,
+            shared_table: table,
+        }
+    }
+
+    pub fn kind(&self) -> EnvKind {
+        self.kind
+    }
+
+    /// The flow table every DPI device built from this blueprint fronts.
+    pub fn shared_table(&self) -> Arc<ShardedFlowTable> {
+        Arc::clone(&self.shared_table)
+    }
+
+    /// Materialize one environment: a fresh network (own journal, own
+    /// element state except the shared flow table) around the given
+    /// server OS and application.
+    pub fn build(&self, os: OsKind, app: Box<dyn ServerApp>) -> Environment {
+        let server = ServerHost::new(SERVER_ADDR, OsProfile::new(os), app);
+        let journal = Arc::new(Journal::new());
+        let mut network = self.net.build(server);
+        network.set_journal(journal.clone());
+        Environment {
+            kind: self.kind,
+            network,
+            hops_before_middlebox: self.hops_before_middlebox,
+            total_hops: self.total_hops,
+            journal,
+        }
+    }
+}
+
 /// Build an environment with the given server OS and server application.
-/// `start_time_of_day_secs` only affects the GFC (Figure 4's clock).
+/// `start_time_of_day_secs` only affects the GFC (Figure 4's clock). One
+/// blueprint, one build: a solo session gets a private flow table, same
+/// as before the blueprint refactor.
 pub fn build_environment(
     kind: EnvKind,
     os: OsKind,
     app: Box<dyn ServerApp>,
     start_time_of_day_secs: u64,
 ) -> Environment {
-    let server = ServerHost::new(SERVER_ADDR, OsProfile::new(os), app);
-    let mut elements: Vec<Box<dyn PathElement>> = Vec::new();
-    let (hops_before, total);
-
-    match kind {
-        EnvKind::Testbed => {
-            // client — DPI — router — server (§6.1). The lab router drops
-            // structurally-broken IP and ACK-less data, and reassembles
-            // fragments before the server (Table 3 footnote 2).
-            elements.push(Box::new(DpiDevice::new(testbed_device())));
-            elements.push(Box::new(
-                RouterHop::new(
-                    "lab-router",
-                    hop_addr(1),
-                    FilterPolicy::ip_hygiene()
-                        .also_dropping([TcpAckFlagMissing])
-                        .with_fragments(FragmentHandling::Reassemble),
-                )
-                .silent(),
-            ));
-            hops_before = 0;
-            total = 1;
-        }
-        EnvKind::TMobile => {
-            // client — access shaper — r1 — r2(normalizer) — DPI — r3 —
-            // server. TTL = 3 reaches the classifier (§6.2). The cellular
-            // gateway normalizes aggressively (most inert packets die
-            // in-network) and tracks TCP sequence windows; invalid-option
-            // packets die *after* the classifier.
-            elements.push(Box::new(LinkShaper::symmetric(
-                "lte-access",
-                4_000_000,
-                900_000,
-            )));
-            elements.push(Box::new(RouterHop::transparent("r1", hop_addr(1))));
-            elements.push(Box::new(StatefulFirewall::new("gw-firewall", 65_535)));
-            elements.push(Box::new(
-                RouterHop::new(
-                    "gw-normalizer",
-                    hop_addr(2),
-                    FilterPolicy::strict_normalizer().with_fragments(FragmentHandling::Reassemble),
-                )
-                .silent(),
-            ));
-            elements.push(Box::new(DpiDevice::new(tmus_device())));
-            elements.push(Box::new(
-                RouterHop::new(
-                    "core-r3",
-                    hop_addr(3),
-                    FilterPolicy::dropping([IpOptionsInvalid, IpOptionsDeprecated]),
-                )
-                .silent(),
-            ));
-            hops_before = 2;
-            total = 3;
-        }
-        EnvKind::Att => {
-            // client — r1 — proxy — r2 — server (§6.3).
-            elements.push(Box::new(RouterHop::transparent("r1", hop_addr(1)).silent()));
-            elements.push(Box::new(TransparentProxy::new(ProxyConfig::stream_saver())));
-            elements.push(Box::new(RouterHop::transparent("r2", hop_addr(2)).silent()));
-            hops_before = 1;
-            total = 2;
-        }
-        EnvKind::Sprint => {
-            // client — access shaper — r1 — r2 — server: no DPI (§6.4).
-            elements.push(Box::new(LinkShaper::symmetric(
-                "lte-access",
-                6_000_000,
-                900_000,
-            )));
-            elements.push(Box::new(RouterHop::transparent("r1", hop_addr(1)).silent()));
-            elements.push(Box::new(RouterHop::transparent("r2", hop_addr(2)).silent()));
-            hops_before = 2;
-            total = 2;
-        }
-        EnvKind::Gfc => {
-            // client — r1..r9 — GFC — r10..r13 — server: a TTL of 10
-            // reaches the classifier without reaching the server (§6.5).
-            // The border normalizer (r5) enforces IP hygiene, drops IP
-            // options and malformed-length UDP, repairs TCP checksums
-            // (footnote 4), and reassembles fragments before the GFC.
-            for i in 1..=9u8 {
-                if i == 5 {
-                    elements.push(Box::new(
-                        RouterHop::new(
-                            "border-normalizer",
-                            hop_addr(i),
-                            FilterPolicy::ip_hygiene()
-                                .also_dropping([
-                                    IpOptionsInvalid,
-                                    IpOptionsDeprecated,
-                                    UdpLengthLong,
-                                    UdpLengthShort,
-                                ])
-                                .with_fragments(FragmentHandling::Reassemble),
-                        )
-                        .silent()
-                        .fixing_tcp_checksums(),
-                    ));
-                } else {
-                    elements.push(Box::new(RouterHop::transparent(
-                        format!("r{i}"),
-                        hop_addr(i),
-                    )));
-                }
-            }
-            elements.push(Box::new(DpiDevice::new(gfc_device(start_time_of_day_secs))));
-            for i in 10..=13u8 {
-                elements.push(Box::new(RouterHop::transparent(
-                    format!("r{i}"),
-                    hop_addr(i),
-                )));
-            }
-            hops_before = 9;
-            total = 13;
-        }
-        EnvKind::Iran => {
-            // client — r1..r7 — DPI — firewall — r8 — server: the
-            // classifier answers at a TTL of 8 (§6.6). Hard-broken IP and
-            // all fragments die before the classifier; IP options and
-            // malformed TCP die after it (hence footnote 3: the classifier
-            // *processed* them); malformed UDP sails through everywhere.
-            for i in 1..=7u8 {
-                if i == 4 {
-                    elements.push(Box::new(
-                        RouterHop::new(
-                            "edge-filter",
-                            hop_addr(i),
-                            FilterPolicy::ip_hygiene()
-                                .also_dropping([IpProtocolUnknown, TcpDataOffsetInvalid])
-                                .with_fragments(FragmentHandling::Drop),
-                        )
-                        .silent(),
-                    ));
-                } else {
-                    elements.push(Box::new(RouterHop::transparent(
-                        format!("r{i}"),
-                        hop_addr(i),
-                    )));
-                }
-            }
-            elements.push(Box::new(DpiDevice::new(iran_device())));
-            elements.push(Box::new(StatefulFirewall::new("post-firewall", 65_535)));
-            elements.push(Box::new(
-                RouterHop::new(
-                    "post-filter",
-                    hop_addr(8),
-                    FilterPolicy::dropping([
-                        IpOptionsInvalid,
-                        IpOptionsDeprecated,
-                        TcpChecksumWrong,
-                        TcpAckFlagMissing,
-                        TcpFlagsInvalid,
-                    ]),
-                )
-                .silent(),
-            ));
-            hops_before = 7;
-            total = 8;
-        }
-    }
-
-    let journal = Arc::new(Journal::new());
-    let mut network = Network::new(CLIENT_ADDR, elements, server);
-    network.set_journal(journal.clone());
-    Environment {
-        kind,
-        network,
-        hops_before_middlebox: hops_before,
-        total_hops: total,
-        journal,
-    }
+    EnvironmentBlueprint::new(kind, start_time_of_day_secs).build(os, app)
 }
 
 #[cfg(test)]
@@ -577,6 +654,38 @@ mod tests {
         assert_eq!(env(EnvKind::Gfc).hops_before_middlebox + 1, 10);
         // Iran: "the classifier is eight hops away" (§6.6).
         assert_eq!(env(EnvKind::Iran).hops_before_middlebox + 1, 8);
+    }
+
+    #[test]
+    fn blueprint_builds_share_one_flow_table() {
+        let bp = EnvironmentBlueprint::new(EnvKind::Testbed, 0);
+        let mut a = bp.build(OsKind::Linux, Box::<EchoApp>::default());
+        let mut b = bp.build(OsKind::Linux, Box::<EchoApp>::default());
+        let ta = a.dpi_mut().expect("testbed has DPI").shared_table();
+        let tb = b.dpi_mut().expect("testbed has DPI").shared_table();
+        assert!(Arc::ptr_eq(&ta, &tb), "workers must front one table");
+        assert!(Arc::ptr_eq(&ta, &bp.shared_table()));
+        // Journals, by contrast, are per-build.
+        assert!(!Arc::ptr_eq(&a.journal, &b.journal));
+    }
+
+    #[test]
+    fn solo_builds_get_private_flow_tables() {
+        let mut a = build_environment(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            Box::<EchoApp>::default(),
+            0,
+        );
+        let mut b = build_environment(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            Box::<EchoApp>::default(),
+            0,
+        );
+        let ta = a.dpi_mut().expect("testbed has DPI").shared_table();
+        let tb = b.dpi_mut().expect("testbed has DPI").shared_table();
+        assert!(!Arc::ptr_eq(&ta, &tb));
     }
 
     #[test]

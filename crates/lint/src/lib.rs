@@ -162,13 +162,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_five_rules() {
+    fn registry_has_the_six_rules() {
         assert_eq!(
             rule_names(),
             vec![
                 "checksum-repair",
                 "taxonomy-exhaustiveness",
                 "determinism",
+                "flowtable-lock-ordering",
                 "no-panic",
                 "pcap-byte-order"
             ]

@@ -4,6 +4,7 @@
 
 mod checksum_repair;
 mod determinism;
+mod flowtable_lock_ordering;
 mod no_panic;
 mod pcap_byte_order;
 mod taxonomy;
@@ -46,6 +47,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(checksum_repair::ChecksumRepair),
         Box::new(taxonomy::TaxonomyExhaustiveness),
         Box::new(determinism::Determinism),
+        Box::new(flowtable_lock_ordering::FlowtableLockOrdering),
         Box::new(no_panic::NoPanic),
         Box::new(pcap_byte_order::PcapByteOrder),
     ]

@@ -65,7 +65,11 @@ impl Effects {
 }
 
 /// An element on the client-to-server path.
-pub trait PathElement {
+///
+/// `Send` so a worker session's whole `Network` can move to (or be
+/// borrowed by) a pool thread; elements hold plain data or `Arc`s of
+/// sync state, never thread-bound handles.
+pub trait PathElement: Send {
     /// Short name for traces and captures.
     fn name(&self) -> &str;
 

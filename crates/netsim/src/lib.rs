@@ -23,6 +23,7 @@
 //! ([`capture::Capture`]) provide the tcpdump-equivalent observations the
 //! paper's RS? column relies on, exportable as pcap.
 
+pub mod blueprint;
 pub mod capture;
 pub mod element;
 pub mod filter;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod time;
 
 pub mod prelude {
+    pub use crate::blueprint::{ElementFactory, NetworkBlueprint};
     pub use crate::capture::{Capture, CaptureRecord, TapPoint};
     pub use crate::element::{Effects, PathElement, TimedPacket, Verdict};
     pub use crate::filter::{FilterPolicy, FragmentHandling};

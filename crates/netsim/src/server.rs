@@ -24,7 +24,10 @@ use crate::time::SimTime;
 pub const SERVER_MSS: usize = 1460;
 
 /// Application logic running on the server.
-pub trait ServerApp {
+///
+/// `Send` for the same reason as [`crate::element::PathElement`]: worker
+/// networks (server included) run on pool threads.
+pub trait ServerApp: Send {
     /// In-order TCP bytes delivered on `flow` (the client→server key).
     /// Returns response bytes to send back (may be empty).
     fn on_tcp_data(&mut self, flow: FlowKey, data: &[u8]) -> Vec<u8>;

@@ -120,6 +120,11 @@ pub struct Event {
     /// Innermost open span when the event was recorded. For
     /// `SpanStart`/`SpanEnd` this is the span's own phase.
     pub phase: Option<Phase>,
+    /// Pool worker whose session recorded this event; `None` in a
+    /// single-session run (and omitted from the JSONL), so sequential
+    /// journals are byte-identical to pre-engine ones. Set by
+    /// [`Journal::absorb_worker`], never at record time.
+    pub worker: Option<u32>,
     pub kind: EventKind,
 }
 
@@ -148,7 +153,12 @@ impl Journal {
     pub fn record(&self, t_us: u64, kind: EventKind) {
         let mut inner = self.inner.lock();
         let phase = inner.stack.last().copied();
-        inner.events.push(Event { t_us, phase, kind });
+        inner.events.push(Event {
+            t_us,
+            phase,
+            worker: None,
+            kind,
+        });
     }
 
     /// Open a phase span at `t_us`.
@@ -158,6 +168,7 @@ impl Journal {
         inner.events.push(Event {
             t_us,
             phase: Some(phase),
+            worker: None,
             kind: EventKind::SpanStart { phase },
         });
     }
@@ -173,8 +184,30 @@ impl Journal {
         inner.events.push(Event {
             t_us,
             phase: Some(phase),
+            worker: None,
             kind: EventKind::SpanEnd { phase },
         });
+    }
+
+    /// Fold a pool worker's journal into this one: its events are
+    /// appended tagged `worker = Some(w)` (in their original order), and
+    /// its counter values are added to this journal's registry. Callers
+    /// absorb workers in ascending index order so the merged journal is
+    /// deterministic for a fixed seed and worker count.
+    pub fn absorb_worker(&self, worker: u32, other: &Journal) {
+        let events = other.events();
+        {
+            let mut inner = self.inner.lock();
+            inner.events.extend(events.into_iter().map(|mut e| {
+                e.worker = Some(worker);
+                e
+            }));
+        }
+        for (counter, value) in other.metrics.snapshot() {
+            if value > 0 {
+                self.metrics.add(counter, value);
+            }
+        }
     }
 
     /// Innermost open span, if any.
@@ -224,6 +257,33 @@ mod tests {
         j.span_end(5, Phase::Evaluate);
         assert_eq!(j.len(), 1);
         assert_eq!(j.current_phase(), None);
+    }
+
+    #[test]
+    fn absorb_worker_tags_events_and_sums_counters() {
+        use crate::metrics::Counter;
+
+        let main = Journal::new();
+        main.record(0, EventKind::FlowReset);
+        main.metrics.add(Counter::Verdicts, 1);
+
+        let w0 = Journal::new();
+        w0.record(5, EventKind::PacketInjected { bytes: 10 });
+        w0.metrics.add(Counter::Verdicts, 2);
+        let w1 = Journal::new();
+        w1.record(3, EventKind::PacketInjected { bytes: 20 });
+        w1.metrics.add(Counter::PacketsInjected, 1);
+
+        main.absorb_worker(0, &w0);
+        main.absorb_worker(1, &w1);
+
+        let evs = main.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].worker, None);
+        assert_eq!(evs[1].worker, Some(0));
+        assert_eq!(evs[2].worker, Some(1));
+        assert_eq!(main.metrics.get(Counter::Verdicts), 3);
+        assert_eq!(main.metrics.get(Counter::PacketsInjected), 1);
     }
 
     #[test]

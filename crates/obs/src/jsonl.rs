@@ -3,7 +3,8 @@
 //! The vendored `serde` shim is marker-traits-only, so serialization is
 //! hand-rolled — which is what makes the byte-level determinism guarantee
 //! easy to state: keys are emitted in a fixed order (`t_us`, `phase`,
-//! `event`, then kind-specific fields), events in record order, and the
+//! `event`, `worker` when present, then kind-specific fields), events in
+//! record order, and the
 //! counter snapshot in `Counter::ALL` order, so identical runs produce
 //! identical bytes.
 
@@ -43,6 +44,11 @@ fn write_event(out: &mut String, ev: &Event) {
         None => out.push_str("null"),
     }
     let _ = write!(out, ",\"event\":\"{}\"", ev.kind.name());
+    // Present only on events merged from a pool worker, so sequential
+    // journals keep their pre-engine byte layout.
+    if let Some(w) = ev.worker {
+        let _ = write!(out, ",\"worker\":{w}");
+    }
     match &ev.kind {
         EventKind::SpanStart { .. } | EventKind::SpanEnd { .. } | EventKind::FlowReset => {}
         EventKind::SessionStarted { env, seed } => {
@@ -404,6 +410,26 @@ mod tests {
             first,
             "{\"t_us\":1,\"phase\":\"detect\",\"event\":\"span_start\"}"
         );
+    }
+
+    #[test]
+    fn worker_field_appears_only_on_absorbed_events() {
+        let main = Journal::new();
+        main.span_start(1, Phase::Detect);
+        let w = Journal::new();
+        w.record(2, EventKind::FlowReset);
+        main.absorb_worker(3, &w);
+
+        let text = to_jsonl(&main);
+        let mut lines = text.lines();
+        let first = lines.next().unwrap();
+        assert!(!first.contains("\"worker\""), "{first}");
+        let second = lines.next().unwrap();
+        assert_eq!(
+            second,
+            "{\"t_us\":2,\"phase\":null,\"event\":\"flow_reset\",\"worker\":3}"
+        );
+        assert!(validate_jsonl(&text).is_ok());
     }
 
     #[test]

@@ -30,4 +30,11 @@ say "exp-testbed --trace + journal validation"
 cargo run --release -q -p liberate-bench --bin exp-testbed -- --trace target/trace.jsonl >/dev/null
 cargo run --release -q -p liberate-obs --bin obs-check -- target/trace.jsonl
 
+say "exp-testbed --workers 4 (engine parity) + journal validation"
+cargo run --release -q -p liberate-bench --bin exp-testbed -- --workers 4 --trace target/trace-parallel.jsonl >/dev/null
+cargo run --release -q -p liberate-obs --bin obs-check -- target/trace-parallel.jsonl
+
+say "exp-parallel (regenerates results/BENCH_parallel.json)"
+cargo run --release -q -p liberate-bench --bin exp-parallel >/dev/null
+
 say "ci: all green"

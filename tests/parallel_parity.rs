@@ -1,0 +1,85 @@
+//! Engine parity: characterizing a testbed profile through a
+//! `SessionPool` at 1, 2, or 4 workers must discover byte-identical
+//! `MatchingField`s and bill the exact same metric totals as the
+//! sequential characterizer. The pool reorders probes across workers but
+//! never changes *which* probes run — see the determinism contract in
+//! `liberate::engine`.
+
+use liberate::characterize::{characterize, CharacterizeOpts};
+use liberate::config::LiberateConfig;
+use liberate::detect::Signal;
+use liberate::engine::{characterize_parallel, SessionPool};
+use liberate::replay::Session;
+use liberate_dpi::profiles::EnvKind;
+use liberate_netsim::os::OsKind;
+use liberate_obs::{Counter, Journal};
+use liberate_traces::apps;
+use liberate_traces::recorded::RecordedTrace;
+
+/// Sequential reference: fields, rounds, and the final counter totals of
+/// the session's own journal.
+fn sequential(trace: &RecordedTrace) -> (Vec<String>, u64, Vec<(Counter, u64)>) {
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    let c = characterize(
+        &mut session,
+        trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    let fields = c.fields.iter().map(|f| f.as_text()).collect();
+    (fields, c.rounds, session.journal().metrics.snapshot())
+}
+
+/// Pool run at `workers`: fields, rounds, and the counter totals after
+/// merging every worker journal into one.
+fn parallel(trace: &RecordedTrace, workers: usize) -> (Vec<String>, u64, Vec<(Counter, u64)>) {
+    let mut pool = SessionPool::new(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        workers,
+    );
+    let c = characterize_parallel(
+        &mut pool,
+        trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    let merged = std::sync::Arc::new(Journal::new());
+    pool.merge_journals_into(&merged);
+    let fields = c.fields.iter().map(|f| f.as_text()).collect();
+    (fields, c.rounds, merged.metrics.snapshot())
+}
+
+fn assert_parity(name: &str, trace: &RecordedTrace) {
+    let (seq_fields, seq_rounds, seq_counters) = sequential(trace);
+    assert!(
+        !seq_fields.is_empty(),
+        "{name}: sequential run must find matching fields"
+    );
+    for workers in [1usize, 2, 4] {
+        let (fields, rounds, counters) = parallel(trace, workers);
+        assert_eq!(
+            fields, seq_fields,
+            "{name}: matching fields diverge at {workers} workers"
+        );
+        assert_eq!(
+            rounds, seq_rounds,
+            "{name}: replay count diverges at {workers} workers"
+        );
+        assert_eq!(
+            counters, seq_counters,
+            "{name}: merged counter totals diverge at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn http_profile_is_parallelism_invariant() {
+    assert_parity("amazon-prime-http", &apps::amazon_prime_http(20_000));
+}
+
+#[test]
+fn stun_profile_is_parallelism_invariant() {
+    assert_parity("skype-stun", &apps::skype_stun(4));
+}
