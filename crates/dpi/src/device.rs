@@ -20,7 +20,8 @@ use liberate_packet::tcp::TcpFlags;
 use liberate_packet::validate::validate_wire;
 
 use crate::actions::Policy;
-use crate::flowtable::{Classification, FlowEntry, FlowTable, GateStatus};
+use crate::automaton::{CompiledRuleSet, MatcherKind};
+use crate::flowtable::{Classification, FlowEntry, FlowTable, GateStatus, StreamDelta};
 use crate::inspect::{FlowConfig, InspectionPolicy, ReassemblyMode};
 use crate::matcher::starts_with_any;
 use crate::resource::TimeOfDayLoad;
@@ -51,6 +52,10 @@ pub struct DpiConfig {
     /// bogus (the testbed device classifies "wrong protocol" packets as if
     /// they were TCP — Table 3 footnote 1). Strict devices leave this off.
     pub loose_transport_parsing: bool,
+    /// Which matcher implementation inspects payloads. Verdicts are
+    /// byte-identical either way (pinned by the matcher parity tests);
+    /// the automaton feeds each stream byte once instead of rescanning.
+    pub matcher: MatcherKind,
 }
 
 /// One classification event, for diagnostics and the testbed's immediate
@@ -85,6 +90,9 @@ pub struct DpiDevice {
     /// churn and would double-report.
     flows_created_pending: u64,
     flows_evicted_pending: u64,
+    /// Lazily compiled automaton over `config.rules` + gate prefixes
+    /// (`None` until first use, or always under `MatcherKind::NaiveRescan`).
+    compiled: Option<Arc<CompiledRuleSet>>,
 }
 
 impl DpiDevice {
@@ -106,7 +114,36 @@ impl DpiDevice {
             journal: None,
             flows_created_pending: 0,
             flows_evicted_pending: 0,
+            compiled: None,
         }
+    }
+
+    /// The compiled automaton for this device's rules, building it on
+    /// first use. `None` under [`MatcherKind::NaiveRescan`]. Callers hold
+    /// the returned `Arc` across flow-table borrows.
+    fn compiled_rules(&mut self) -> Option<Arc<CompiledRuleSet>> {
+        if self.config.matcher == MatcherKind::NaiveRescan {
+            return None;
+        }
+        if self.compiled.is_none() {
+            let compiled = Arc::new(CompiledRuleSet::compile(
+                &self.config.rules,
+                self.config.inspect.reassembly.gate_prefixes(),
+            ));
+            if let Some(j) = &self.journal {
+                j.metrics
+                    .add(Counter::AutomatonStates, compiled.state_count() as u64);
+            }
+            self.compiled = Some(compiled);
+        }
+        self.compiled.clone()
+    }
+
+    /// Drop the compiled automaton so the next packet recompiles — for
+    /// tests and tools that mutate `config.rules` or `config.matcher`
+    /// after the device has already inspected traffic.
+    pub fn invalidate_compiled_rules(&mut self) {
+        self.compiled = None;
     }
 
     /// The flow state this device fronts (for sharing with a sibling or
@@ -201,15 +238,23 @@ impl DpiDevice {
     }
 
     /// Inspect one payload-bearing packet for a tracked flow. Returns the
-    /// matched (class, rule id) if classification fires now.
+    /// matched (class, rule id) if classification fires now, plus the
+    /// payload bytes the matcher examined (for `matcher-bytes-scanned`).
+    ///
+    /// `compiled` selects the implementation: `None` runs the naive
+    /// reference rescanner, `Some` streams bytes through the automaton.
+    /// Both produce identical verdicts; the parity tests pin this.
     fn inspect(
         entry: &mut FlowEntry,
         config: &DpiConfig,
+        compiled: Option<&CompiledRuleSet>,
         pkt: &ParsedPacket,
         dir: Direction,
         server_port: u16,
-    ) -> Option<(String, String)> {
-        let tracking = entry.tracking.as_mut()?;
+    ) -> (Option<(String, String)>, u64) {
+        let Some(tracking) = entry.tracking.as_mut() else {
+            return (None, 0);
+        };
         let (idx, offset) = match dir {
             Direction::ClientToServer => (
                 tracking.client_payload_packets,
@@ -246,68 +291,188 @@ impl DpiDevice {
             };
         }
 
+        let rule_at = |i: usize| {
+            let r = &config.rules.rules[i];
+            (r.class.clone(), r.id.clone())
+        };
         match &config.inspect.reassembly {
             ReassemblyMode::PerPacket => {
                 if !config.inspect.within_scope_at(idx, offset) {
-                    return None;
+                    return (None, 0);
                 }
-                config
-                    .rules
-                    .first_match(&pkt.payload, dir, server_port, Some(idx))
-                    .map(|r| (r.class.clone(), r.id.clone()))
+                match compiled {
+                    Some(c) => {
+                        let (m, scanned) = c.first_match_packet(
+                            &config.rules,
+                            &pkt.payload,
+                            dir,
+                            server_port,
+                            Some(idx),
+                        );
+                        (m.map(rule_at), scanned)
+                    }
+                    None => {
+                        let (m, scanned) = config.rules.first_match_counted(
+                            &pkt.payload,
+                            dir,
+                            server_port,
+                            Some(idx),
+                        );
+                        (m.map(|r| (r.class.clone(), r.id.clone())), scanned)
+                    }
+                }
             }
             ReassemblyMode::GatedPerPacket { .. } => {
                 if tracking.gate != GateStatus::Passed
                     || !config.inspect.within_scope_at(idx, offset)
                 {
-                    return None;
+                    return (None, 0);
                 }
-                config
-                    .rules
-                    .first_match(&pkt.payload, dir, server_port, Some(idx))
-                    .map(|r| (r.class.clone(), r.id.clone()))
+                match compiled {
+                    Some(c) => {
+                        let (m, scanned) = c.first_match_packet(
+                            &config.rules,
+                            &pkt.payload,
+                            dir,
+                            server_port,
+                            Some(idx),
+                        );
+                        (m.map(rule_at), scanned)
+                    }
+                    None => {
+                        let (m, scanned) = config.rules.first_match_counted(
+                            &pkt.payload,
+                            dir,
+                            server_port,
+                            Some(idx),
+                        );
+                        (m.map(|r| (r.class.clone(), r.id.clone())), scanned)
+                    }
+                }
             }
             ReassemblyMode::GatedStream { window_packets, .. } => {
                 if tracking.gate != GateStatus::Passed || dir != Direction::ClientToServer {
-                    return None;
+                    return (None, 0);
                 }
-                if tracking.window_packets.len() < *window_packets {
-                    let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
-                    tracking.window_packets.push((seq, pkt.payload.clone()));
+                let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
+                match compiled {
+                    None => {
+                        if tracking.window_packets.len() < *window_packets {
+                            tracking.window_packets.push((seq, pkt.payload.clone()));
+                        }
+                        // Sequence-anchored reassembly of the window, anchored at
+                        // the first *arriving* payload packet, first-wins on
+                        // overlap (so a same-sequence inert decoy shadows the real
+                        // data). Data before the anchor or beyond the window is
+                        // invisible.
+                        let mut asm = crate::flowtable::StreamAssembler::new(
+                            window_packets * SERVER_MSS_BYTES,
+                        );
+                        asm.base_seq = Some(tracking.window_packets[0].0);
+                        for (seq, payload) in &tracking.window_packets {
+                            asm.insert(*seq, payload);
+                        }
+                        let stream = asm.assembled_prefix();
+                        let (m, scanned) =
+                            config
+                                .rules
+                                .first_match_counted(&stream, dir, server_port, None);
+                        (m.map(|r| (r.class.clone(), r.id.clone())), scanned)
+                    }
+                    Some(c) => {
+                        // Same window semantics, but the assembler persists
+                        // across packets and only newly contiguous bytes are
+                        // fed to the automaton. The packet cap counts pushed
+                        // packets (in-window or not), like the naive buffer.
+                        if tracking.window_asm.is_none() {
+                            let mut asm = crate::flowtable::StreamAssembler::new(
+                                window_packets * SERVER_MSS_BYTES,
+                            );
+                            asm.base_seq = Some(seq);
+                            tracking.window_asm = Some(asm);
+                        }
+                        let asm = tracking.window_asm.as_mut().expect("just ensured");
+                        if tracking.window_seen < *window_packets {
+                            tracking.window_seen += 1;
+                            asm.insert(seq, &pkt.payload);
+                        }
+                        let scanned = match asm.drain_new_contiguous() {
+                            StreamDelta::Restart(all) => {
+                                tracking.window_scan.reset();
+                                c.feed(&mut tracking.window_scan, &all);
+                                all.len() as u64
+                            }
+                            StreamDelta::Append(new) => {
+                                c.feed(&mut tracking.window_scan, &new);
+                                new.len() as u64
+                            }
+                        };
+                        let m = c.first_match_stream(
+                            &config.rules,
+                            &tracking.window_scan,
+                            dir,
+                            server_port,
+                        );
+                        (m.map(rule_at), scanned)
+                    }
                 }
-                // Sequence-anchored reassembly of the window, anchored at
-                // the first *arriving* payload packet, first-wins on
-                // overlap (so a same-sequence inert decoy shadows the real
-                // data). Data before the anchor or beyond the window is
-                // invisible.
-                let mut asm =
-                    crate::flowtable::StreamAssembler::new(window_packets * SERVER_MSS_BYTES);
-                asm.base_seq = Some(tracking.window_packets[0].0);
-                for (seq, payload) in &tracking.window_packets {
-                    asm.insert(*seq, payload);
-                }
-                let stream = asm.assembled_prefix();
-                config
-                    .rules
-                    .first_match(&stream, dir, server_port, None)
-                    .map(|r| (r.class.clone(), r.id.clone()))
             }
             ReassemblyMode::FullStream { gate_prefixes, .. } => {
                 if dir != Direction::ClientToServer {
-                    return None;
+                    return (None, 0);
                 }
                 let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
                 if !tracking.stream.insert(seq, &pkt.payload) {
-                    return None; // out-of-window or no ISN anchor
+                    return (None, 0); // out-of-window or no ISN anchor
                 }
-                let assembled = tracking.stream.assembled_prefix();
-                if assembled.is_empty() || !starts_with_any(&assembled, gate_prefixes) {
-                    return None;
+                match compiled {
+                    None => {
+                        let assembled = tracking.stream.assembled_prefix();
+                        if assembled.is_empty() || !starts_with_any(&assembled, gate_prefixes) {
+                            return (None, 0);
+                        }
+                        let (m, scanned) =
+                            config
+                                .rules
+                                .first_match_counted(&assembled, dir, server_port, None);
+                        (m.map(|r| (r.class.clone(), r.id.clone())), scanned)
+                    }
+                    Some(c) => {
+                        // Feed only the newly contiguous bytes. The gate is
+                        // compiled into the automaton: it passes iff a gate
+                        // prefix occurred at stream offset 0, and once enough
+                        // bytes are in to rule that out, appends are skipped
+                        // entirely (a first-wins overlap rewrite triggers a
+                        // Restart, which refeeds the real prefix).
+                        let scanned = match tracking.stream.drain_new_contiguous() {
+                            StreamDelta::Restart(all) => {
+                                tracking.stream_scan.reset();
+                                c.feed(&mut tracking.stream_scan, &all);
+                                all.len() as u64
+                            }
+                            StreamDelta::Append(new) => {
+                                if c.gate_failed(&tracking.stream_scan) {
+                                    0
+                                } else {
+                                    c.feed(&mut tracking.stream_scan, &new);
+                                    new.len() as u64
+                                }
+                            }
+                        };
+                        if tracking.stream_scan.fed_bytes() == 0
+                            || !c.gate_passed(&tracking.stream_scan)
+                        {
+                            return (None, scanned);
+                        }
+                        let m = c.first_match_stream(
+                            &config.rules,
+                            &tracking.stream_scan,
+                            dir,
+                            server_port,
+                        );
+                        (m.map(rule_at), scanned)
+                    }
                 }
-                config
-                    .rules
-                    .first_match(&assembled, dir, server_port, None)
-                    .map(|r| (r.class.clone(), r.id.clone()))
             }
         }
     }
@@ -666,13 +831,19 @@ impl DpiDevice {
             && (!already_classified || !self.config.inspect.match_and_forget);
 
         if eligible {
-            let matched = {
+            let compiled = self.compiled_rules();
+            let (matched, scanned) = {
                 let config = &self.config;
                 let entry = ft
                     .lookup(key, now, &config.flow, config.resource.as_ref())
                     .expect("present");
-                Self::inspect(entry, config, pkt, dir, server_port)
+                Self::inspect(entry, config, compiled.as_deref(), pkt, dir, server_port)
             };
+            if scanned > 0 {
+                if let Some(j) = &self.journal {
+                    j.metrics.add(Counter::MatcherBytesScanned, scanned);
+                }
+            }
             if let Some((class, rule_id)) = matched {
                 let newly = !already_classified;
                 {

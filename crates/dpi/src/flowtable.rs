@@ -10,6 +10,7 @@ use liberate_netsim::shaper::TokenBucket;
 use liberate_netsim::time::SimTime;
 use liberate_packet::flow::FlowKey;
 
+use crate::automaton::StreamScan;
 use crate::inspect::{FlowConfig, RstEffect};
 use crate::resource::TimeOfDayLoad;
 
@@ -34,6 +35,22 @@ pub struct StreamAssembler {
     segments: BTreeMap<u64, Vec<u8>>,
     /// Cap on buffered stream bytes.
     window_bytes: usize,
+    /// Contiguous bytes already handed out by `drain_new_contiguous`.
+    drained: usize,
+    /// A segment landed below `drained`: first-wins overlap may have
+    /// rewritten bytes already handed out, so the next drain restarts.
+    dirty: bool,
+}
+
+/// What `drain_new_contiguous` yields to a streaming consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamDelta {
+    /// The newly contiguous bytes extending the prefix (possibly empty).
+    Append(Vec<u8>),
+    /// Already-drained bytes may have changed (a new segment claimed
+    /// cells under the drained prefix): here is the full prefix again,
+    /// the consumer must restart from scratch.
+    Restart(Vec<u8>),
 }
 
 impl StreamAssembler {
@@ -42,6 +59,8 @@ impl StreamAssembler {
             base_seq: None,
             segments: BTreeMap::new(),
             window_bytes,
+            drained: 0,
+            dirty: false,
         }
     }
 
@@ -61,9 +80,15 @@ impl StreamAssembler {
         // First arrival at an offset wins: this is what lets an inert
         // decoy segment shadow the real request that later reuses the same
         // sequence range (wrong-checksum / missing-ACK evasion, §4.3).
-        self.segments
-            .entry(offset as u64)
-            .or_insert_with(|| payload.to_vec());
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.segments.entry(offset as u64)
+        {
+            slot.insert(payload.to_vec());
+            // A fresh segment under the drained prefix can steal cells
+            // from a later-offset segment that currently owns them.
+            if (offset as usize) < self.drained {
+                self.dirty = true;
+            }
+        }
         true
     }
 
@@ -89,6 +114,47 @@ impl StreamAssembler {
             .map(|b| b.unwrap())
             .collect()
     }
+
+    /// Incremental counterpart of [`StreamAssembler::assembled_prefix`]:
+    /// yield only the bytes that became contiguous since the last drain,
+    /// or the whole prefix again (as [`StreamDelta::Restart`]) when a
+    /// first-wins overlap may have rewritten already-drained bytes. The
+    /// concatenation of drained bytes (restarting on `Restart`) is always
+    /// exactly `assembled_prefix()` — the device's streaming matcher
+    /// depends on that invariant for byte parity with the naive rescanner.
+    pub fn drain_new_contiguous(&mut self) -> StreamDelta {
+        if self.dirty {
+            self.dirty = false;
+            let all = self.assembled_prefix();
+            self.drained = all.len();
+            return StreamDelta::Restart(all);
+        }
+        let mut out = Vec::new();
+        let mut cursor = self.drained;
+        'fill: while cursor < self.window_bytes {
+            // The cell at `cursor` belongs to the first segment in offset
+            // order covering it; that segment owns the whole run up to
+            // its end (any lower-offset segment reaching into the run
+            // would have covered `cursor` too).
+            for (&off, data) in self.segments.range(..=cursor as u64) {
+                let off = off as usize;
+                let end = (off + data.len()).min(self.window_bytes);
+                if end > cursor {
+                    out.extend_from_slice(&data[cursor - off..end - off]);
+                    cursor = end;
+                    continue 'fill;
+                }
+            }
+            break; // hole at `cursor`
+        }
+        self.drained = cursor;
+        StreamDelta::Append(out)
+    }
+
+    /// Bytes already handed out by `drain_new_contiguous`.
+    pub fn drained_len(&self) -> usize {
+        self.drained
+    }
 }
 
 /// Pre-classification tracking state for one flow.
@@ -108,6 +174,18 @@ pub struct Tracking {
     pub window_packets: Vec<(u32, Vec<u8>)>,
     /// Sequence-anchored assembler for `FullStream`.
     pub stream: StreamAssembler,
+    /// Automaton cursor over `stream`'s drained prefix (`FullStream`
+    /// with `MatcherKind::Automaton`).
+    pub stream_scan: StreamScan,
+    /// Persistent windowed assembler for `GatedStream` under the
+    /// automaton matcher (the naive path rebuilds one per packet from
+    /// `window_packets` instead). Anchored at the first pushed packet.
+    pub window_asm: Option<StreamAssembler>,
+    /// Automaton cursor over `window_asm`'s drained prefix.
+    pub window_scan: StreamScan,
+    /// Payload packets counted toward the `GatedStream` window cap —
+    /// mirrors `window_packets.len()` growth without buffering payloads.
+    pub window_seen: usize,
 }
 
 impl Tracking {
@@ -120,6 +198,10 @@ impl Tracking {
             server_payload_bytes: 0,
             window_packets: Vec::new(),
             stream: StreamAssembler::new(window_bytes),
+            stream_scan: StreamScan::default(),
+            window_asm: None,
+            window_scan: StreamScan::default(),
+            window_seen: 0,
         }
     }
 }
@@ -418,6 +500,105 @@ mod tests {
         a.insert(0, b"AAAA");
         a.insert(2, b"BBBB");
         assert_eq!(a.assembled_prefix(), b"AAAABB");
+    }
+
+    /// Drive an assembler with `drain_new_contiguous` after every insert
+    /// and check the streaming view reconstructs `assembled_prefix`
+    /// exactly at every step.
+    fn drain_tracks_prefix(window: usize, inserts: &[(u32, &[u8])]) {
+        let mut a = StreamAssembler::new(window);
+        a.base_seq = Some(0);
+        let mut streamed: Vec<u8> = Vec::new();
+        for &(seq, payload) in inserts {
+            a.insert(seq, payload);
+            match a.drain_new_contiguous() {
+                StreamDelta::Restart(all) => streamed = all,
+                StreamDelta::Append(new) => streamed.extend_from_slice(&new),
+            }
+            assert_eq!(streamed, a.assembled_prefix(), "after insert at seq {seq}");
+            assert_eq!(streamed.len(), a.drained_len());
+        }
+    }
+
+    #[test]
+    fn drain_in_order_appends() {
+        drain_tracks_prefix(4096, &[(0, b"GET /"), (5, b"index"), (10, b".html")]);
+    }
+
+    #[test]
+    fn drain_out_of_order_hole_fills_later() {
+        // Holes at 0 and 10 fill after later segments arrived.
+        drain_tracks_prefix(
+            4096,
+            &[(5, b"index"), (10, b".html"), (0, b"GET /"), (15, b" HTTP")],
+        );
+    }
+
+    #[test]
+    fn drain_duplicate_retransmissions_are_inert() {
+        drain_tracks_prefix(
+            4096,
+            &[(0, b"hello"), (0, b"hello"), (5, b"world"), (0, b"XXXXX")],
+        );
+    }
+
+    #[test]
+    fn drain_overlap_extending_past_drained_prefix() {
+        // Segment at 2 overlaps the drained [0,4) prefix and reaches
+        // beyond it; first-wins means only cells 4..8 are new.
+        drain_tracks_prefix(4096, &[(0, b"AAAA"), (2, b"BBBBBB")]);
+    }
+
+    #[test]
+    fn drain_restart_when_overlap_rewrites_drained_bytes() {
+        // A@0 and B@4 drain as AAAABBBB; then C@2 arrives. Cells 4..7 now
+        // belong to C (the first segment in offset order covering them),
+        // so the already-drained bytes changed retroactively.
+        let mut a = StreamAssembler::new(4096);
+        a.base_seq = Some(0);
+        a.insert(0, b"AAAA");
+        a.insert(4, b"BBBB");
+        assert_eq!(
+            a.drain_new_contiguous(),
+            StreamDelta::Append(b"AAAABBBB".to_vec())
+        );
+        a.insert(2, b"CCCCCC");
+        let delta = a.drain_new_contiguous();
+        assert_eq!(delta, StreamDelta::Restart(b"AAAACCCC".to_vec()));
+        assert_eq!(a.assembled_prefix(), b"AAAACCCC");
+        // The restart clears the flag: the next drain appends normally.
+        a.insert(8, b"DD");
+        assert_eq!(
+            a.drain_new_contiguous(),
+            StreamDelta::Append(b"DD".to_vec())
+        );
+    }
+
+    #[test]
+    fn drain_caps_at_window() {
+        drain_tracks_prefix(6, &[(0, b"AAAA"), (4, b"BBBB"), (8, b"CCCC")]);
+        // And mid-segment truncation specifically:
+        let mut a = StreamAssembler::new(6);
+        a.base_seq = Some(0);
+        a.insert(0, b"AAAABBBB");
+        assert_eq!(
+            a.drain_new_contiguous(),
+            StreamDelta::Append(b"AAAABB".to_vec())
+        );
+        assert_eq!(a.drain_new_contiguous(), StreamDelta::Append(Vec::new()));
+    }
+
+    #[test]
+    fn drain_with_hole_yields_nothing_until_filled() {
+        let mut a = StreamAssembler::new(4096);
+        a.base_seq = Some(1000);
+        a.insert(1005, b"world");
+        assert_eq!(a.drain_new_contiguous(), StreamDelta::Append(Vec::new()));
+        a.insert(1000, b"hello");
+        assert_eq!(
+            a.drain_new_contiguous(),
+            StreamDelta::Append(b"helloworld".to_vec())
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! incompleteness is a knob here:
 //!
 //! - [`rules`]: keyword rules with direction/port/position constraints;
+//! - [`automaton`]: the rule set compiled into one Aho–Corasick DFA with
+//!   per-flow streaming scan state (each stream byte fed exactly once);
 //! - [`inspect`]: how much of a flow is examined and how payload is
 //!   (mis)assembled — per-packet, protocol-gated, windowed, or full
 //!   sequence-tracked reassembly;
@@ -23,6 +25,7 @@
 //! - [`profiles`]: the six environments of §6, calibrated knob-by-knob.
 
 pub mod actions;
+pub mod automaton;
 pub mod device;
 pub mod flowtable;
 pub mod inspect;
@@ -36,6 +39,7 @@ pub mod validation;
 
 pub mod prelude {
     pub use crate::actions::{BlockBehavior, Policy};
+    pub use crate::automaton::{Automaton, CompiledRuleSet, MatcherKind, StreamScan};
     pub use crate::device::{ClassificationEvent, DpiConfig, DpiDevice};
     pub use crate::inspect::{
         FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode, RstEffect,

@@ -21,6 +21,7 @@ use liberate_obs::Journal;
 use liberate_packet::validate::Malformation::*;
 
 use crate::actions::{BlockBehavior, Policy};
+use crate::automaton::MatcherKind;
 use crate::device::{DpiConfig, DpiDevice};
 use crate::inspect::{FlowConfig, InspectScope, InspectionPolicy, ReassemblyMode, RstEffect};
 use crate::proxy::{ProxyConfig, TransparentProxy};
@@ -159,6 +160,7 @@ pub fn testbed_device() -> DpiConfig {
         policies,
         resource: None,
         loose_transport_parsing: true,
+        matcher: MatcherKind::Automaton,
     }
 }
 
@@ -215,6 +217,7 @@ pub fn tmus_device() -> DpiConfig {
         policies,
         resource: None,
         loose_transport_parsing: false,
+        matcher: MatcherKind::Automaton,
     }
 }
 
@@ -275,6 +278,7 @@ pub fn gfc_device(start_time_of_day_secs: u64) -> DpiConfig {
         policies,
         resource: Some(TimeOfDayLoad::gfc(start_time_of_day_secs)),
         loose_transport_parsing: false,
+        matcher: MatcherKind::Automaton,
     }
 }
 
@@ -316,6 +320,7 @@ pub fn iran_device() -> DpiConfig {
         policies,
         resource: None,
         loose_transport_parsing: false,
+        matcher: MatcherKind::Automaton,
     }
 }
 

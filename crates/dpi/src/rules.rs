@@ -132,6 +132,38 @@ impl RuleSet {
             .find(|r| r.matches(data, dir, server_port, packet_index))
     }
 
+    /// [`RuleSet::first_match`] plus the scan cost it paid: `data.len()`
+    /// for every rule whose keyword was actually searched (rules filtered
+    /// out by port/direction/position or with empty keywords cost
+    /// nothing; the scan stops at the first match). This is the naive
+    /// model's contribution to the `matcher-bytes-scanned` counter.
+    pub fn first_match_counted(
+        &self,
+        data: &[u8],
+        dir: Direction,
+        server_port: u16,
+        packet_index: Option<usize>,
+    ) -> (Option<&MatchRule>, u64) {
+        let mut scanned = 0u64;
+        for r in &self.rules {
+            if !r.applies_to_port(server_port) || !r.applies_to_direction(dir) {
+                continue;
+            }
+            let position_ok = match r.position {
+                PositionConstraint::Anywhere => true,
+                PositionConstraint::PacketIndex(want) => packet_index == Some(want),
+            };
+            if !position_ok || r.keyword.is_empty() {
+                continue;
+            }
+            scanned += data.len() as u64;
+            if contains(data, &r.keyword) {
+                return (Some(r), scanned);
+            }
+        }
+        (None, scanned)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
@@ -189,6 +221,38 @@ mod tests {
         ));
         // Reassembled stream data has no packet index: position rules skip.
         assert!(!r.matches(&[0, 1, 0x80, 0x55], Direction::ClientToServer, 3478, None));
+    }
+
+    #[test]
+    fn first_match_counted_agrees_and_counts() {
+        let rs = RuleSet::new(vec![
+            MatchRule::keyword("srv", "a", &b"zzz"[..]).server_only(),
+            MatchRule::keyword("empty", "b", Vec::new()),
+            MatchRule::keyword("miss", "c", &b"nothere"[..]),
+            MatchRule::keyword("hit", "d", &b"shared"[..]),
+            MatchRule::keyword("after", "e", &b"shared"[..]),
+        ]);
+        let data = b"xx shared";
+        let (m, scanned) = rs.first_match_counted(data, Direction::ClientToServer, 80, None);
+        assert_eq!(
+            m.map(|r| r.id.as_str()),
+            rs.first_match(data, Direction::ClientToServer, 80, None)
+                .map(|r| r.id.as_str())
+        );
+        // srv filtered by direction, empty keyword skipped, miss + hit
+        // scanned, the rule after the match never reached.
+        assert_eq!(scanned, 2 * data.len() as u64);
+        // Server direction: srv, miss, and hit all scan (hit matches).
+        let (m, scanned) = rs.first_match_counted(data, Direction::ServerToClient, 80, None);
+        assert_eq!(m.map(|r| r.id.as_str()), Some("hit"));
+        assert_eq!(scanned, 3 * data.len() as u64);
+        // No applicable rule at all (all filtered): zero cost.
+        let only = RuleSet::new(vec![
+            MatchRule::keyword("cli", "a", &b"shared"[..]).client_only()
+        ]);
+        let (m, scanned) = only.first_match_counted(data, Direction::ServerToClient, 80, None);
+        assert!(m.is_none());
+        assert_eq!(scanned, 0);
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_six_rules() {
+    fn registry_has_the_seven_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -171,7 +171,8 @@ mod tests {
                 "determinism",
                 "flowtable-lock-ordering",
                 "no-panic",
-                "pcap-byte-order"
+                "pcap-byte-order",
+                "simtime-monotonicity"
             ]
         );
         for name in rule_names() {

@@ -7,6 +7,7 @@ mod determinism;
 mod flowtable_lock_ordering;
 mod no_panic;
 mod pcap_byte_order;
+mod simtime_monotonicity;
 mod taxonomy;
 
 use crate::lexer::Token;
@@ -50,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(flowtable_lock_ordering::FlowtableLockOrdering),
         Box::new(no_panic::NoPanic),
         Box::new(pcap_byte_order::PcapByteOrder),
+        Box::new(simtime_monotonicity::SimtimeMonotonicity),
     ]
 }
 

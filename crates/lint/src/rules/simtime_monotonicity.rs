@@ -1,0 +1,239 @@
+//! simtime-monotonicity: never feed a subtraction-derived delta into a
+//! clock-advancing API, and never grow new `SimTime` subtraction impls.
+//!
+//! `SimTime - SimTime` deliberately saturates: when the "later" operand
+//! is actually earlier, the result is `Duration::ZERO`, not an error
+//! (see `crates/netsim/src/time.rs`). That is the right contract for
+//! idle-gap measurements, but it makes subtraction a trap inside
+//! `Network::advance` / `run_until` style calls: a swapped operand pair
+//! compiles, runs, and silently advances the clock by nothing, stalling
+//! every timeout the simulation was supposed to fire. This rule flags
+//! any `-` inside the argument list of a clock-advancing call, and any
+//! `Sub`/`SubAssign` impl for `SimTime` declared outside `time.rs`
+//! (where the single saturating impl lives and is documented).
+
+use crate::items::fn_spans;
+use crate::rules::{in_test_tree, Finding, Rule, RuleCtx};
+
+pub struct SimtimeMonotonicity;
+
+/// Methods that move a simulation clock forward.
+const ADVANCERS: &[&str] = &["advance", "advance_to", "run_until"];
+
+impl Rule for SimtimeMonotonicity {
+    fn name(&self) -> &'static str {
+        "simtime-monotonicity"
+    }
+
+    fn explain(&self) -> &'static str {
+        "SimTime subtraction saturates to Duration::ZERO when the operands \
+are swapped (crates/netsim/src/time.rs), so a delta computed with `-` and \
+fed straight into .advance()/.advance_to()/.run_until() can silently \
+advance the clock by nothing and stall every pending timeout. Compute \
+gaps with SimTime::since() and bind them to a named local first, or pass \
+an absolute target time; and keep the one saturating Sub impl in time.rs \
+— new Sub/SubAssign impls for SimTime elsewhere fork the contract. \
+Suppress a proven-safe site with `// lint: allow(simtime-monotonicity)`."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        (rel_path.starts_with("crates/netsim/")
+            || rel_path.starts_with("crates/dpi/")
+            || rel_path.starts_with("crates/core/"))
+            && rel_path != "crates/netsim/src/time.rs"
+            && !in_test_tree(rel_path)
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        let spans = fn_spans(toks);
+        let subject_at = |i: usize| {
+            spans
+                .iter()
+                .find(|s| s.start <= i && i < s.end)
+                .map(|s| s.name.clone())
+        };
+
+        for i in 0..toks.len() {
+            if ctx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+
+            // A new Sub/SubAssign impl for SimTime outside time.rs: scan
+            // the impl header (everything before its `{`) for
+            // `Sub…for SimTime`.
+            if toks[i].is("impl") {
+                let mut saw_sub = false;
+                let mut j = i + 1;
+                while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") {
+                    if toks[j].is("Sub") || toks[j].is("SubAssign") {
+                        saw_sub = true;
+                    }
+                    if saw_sub
+                        && toks[j].is("for")
+                        && toks.get(j + 1).is_some_and(|t| t.is("SimTime"))
+                    {
+                        findings.push(Finding {
+                            line: toks[i].line,
+                            message: "subtraction impl for SimTime outside \
+crates/netsim/src/time.rs: the saturating Sub contract is defined once \
+there — extend it, don't fork it"
+                                .to_string(),
+                            subject: Some("SimTime".to_string()),
+                        });
+                        break;
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+
+            // A clock-advancing call: `.<advancer>(` …
+            if !toks[i].is(".") {
+                continue;
+            }
+            let Some(method) = toks.get(i + 1) else {
+                continue;
+            };
+            if !ADVANCERS.contains(&method.text.as_str())
+                || !toks.get(i + 2).is_some_and(|t| t.is("("))
+            {
+                continue;
+            }
+            // … whose balanced argument list contains a bare `-` (minus
+            // that is not half of a `->` arrow, e.g. in a closure's
+            // return type).
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                if t.is("(") || t.is("[") || t.is("{") {
+                    depth += 1;
+                } else if t.is(")") || t.is("]") || t.is("}") {
+                    depth -= 1;
+                } else if t.is("-") && !toks.get(j + 1).is_some_and(|n| n.is(">")) {
+                    let subject = subject_at(i);
+                    let in_fn = subject
+                        .as_deref()
+                        .map(|n| format!(" in `{n}`"))
+                        .unwrap_or_default();
+                    findings.push(Finding {
+                        line: t.line,
+                        message: format!(
+                            "subtraction inside `.{}()`{in_fn}: SimTime \
+subtraction saturates to zero when operands swap, silently stalling the \
+clock — use SimTime::since() into a named local, or pass an absolute \
+target",
+                            method.text
+                        ),
+                        subject,
+                    });
+                    break;
+                }
+                j += 1;
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        SimtimeMonotonicity.check(&RuleCtx {
+            rel_path: "crates/netsim/src/network.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn subtraction_inside_advance_is_flagged() {
+        let findings = run("fn f(&mut self) { self.network.advance(now - start); }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("saturates"));
+        assert_eq!(findings[0].subject.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn subtraction_inside_run_until_is_flagged() {
+        let findings = run("fn f(&mut self) { net.run_until(deadline - grace); }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("run_until"));
+    }
+
+    #[test]
+    fn nested_call_arguments_are_scanned() {
+        let findings =
+            run("fn f(&mut self) { net.advance(Duration::from_micros(a.as_micros() - 1)); }");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn absolute_targets_and_named_deltas_pass() {
+        let findings = run(
+            "fn f(&mut self) { let gap = now.since(start); net.advance(gap); \
+net.run_until(SimTime::from_micros(u64::MAX)); }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn closure_arrow_is_not_a_subtraction() {
+        let findings = run("fn f(&mut self) { net.advance(delay_of(|| -> Duration { gap })); }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn subtraction_outside_an_advancer_passes() {
+        let findings = run("fn f(a: SimTime, b: SimTime) -> Duration { a - b }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn foreign_sub_impl_for_simtime_is_flagged() {
+        let findings = run("impl Sub<Duration> for SimTime { type Output = SimTime; \
+fn sub(self, rhs: Duration) -> SimTime { SimTime(0) } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("time.rs"));
+    }
+
+    #[test]
+    fn sub_assign_impl_is_flagged_too() {
+        let findings = run(
+            "impl SubAssign<Duration> for SimTime { fn sub_assign(&mut self, r: Duration) {} }",
+        );
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_impls_pass() {
+        let findings =
+            run("impl Sub<SimTime> for Other { type Output = u64; } impl Add for SimTime {}");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_masked_code_is_skipped() {
+        let findings =
+            run("#[cfg(test)] mod t { fn f(net: &mut Network) { net.advance(a - b); } }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_covers_sim_crates_but_not_the_defining_file() {
+        assert!(SimtimeMonotonicity.applies("crates/netsim/src/network.rs"));
+        assert!(SimtimeMonotonicity.applies("crates/dpi/src/device.rs"));
+        assert!(SimtimeMonotonicity.applies("crates/core/src/replay.rs"));
+        assert!(!SimtimeMonotonicity.applies("crates/netsim/src/time.rs"));
+        assert!(!SimtimeMonotonicity.applies("crates/netsim/tests/clock.rs"));
+        assert!(!SimtimeMonotonicity.applies("crates/obs/src/journal.rs"));
+    }
+}

@@ -389,7 +389,7 @@ mod tests {
         // Counter lines carry the final sim timestamp and fixed order.
         let last = text.lines().last().unwrap();
         assert!(last.contains("\"t_us\":20"), "{last}");
-        assert!(last.contains("\"name\":\"techniques-tried\""), "{last}");
+        assert!(last.contains("\"name\":\"automaton-states\""), "{last}");
         let first_counter = text
             .lines()
             .find(|l| l.contains("\"event\":\"counter\""))

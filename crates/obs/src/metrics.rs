@@ -32,10 +32,16 @@ pub enum Counter {
     FlowResets,
     /// Evasion techniques attempted during evaluation.
     TechniquesTried,
+    /// Payload bytes the DPI matcher actually examined. The naive rescan
+    /// model pays per applicable rule per (re)scan; the compiled automaton
+    /// pays once per stream byte (plus refeeds after an overlap rewrite).
+    MatcherBytesScanned,
+    /// States in compiled rule automata (added once per lazy compile).
+    AutomatonStates,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 14] = [
         Counter::PacketsStepped,
         Counter::PacketsInjected,
         Counter::FlowsCreated,
@@ -48,6 +54,8 @@ impl Counter {
         Counter::Verdicts,
         Counter::FlowResets,
         Counter::TechniquesTried,
+        Counter::MatcherBytesScanned,
+        Counter::AutomatonStates,
     ];
 
     pub fn name(self) -> &'static str {
@@ -64,6 +72,8 @@ impl Counter {
             Counter::Verdicts => "verdicts",
             Counter::FlowResets => "flow-resets",
             Counter::TechniquesTried => "techniques-tried",
+            Counter::MatcherBytesScanned => "matcher-bytes-scanned",
+            Counter::AutomatonStates => "automaton-states",
         }
     }
 }

@@ -37,4 +37,9 @@ cargo run --release -q -p liberate-obs --bin obs-check -- target/trace-parallel.
 say "exp-parallel (regenerates results/BENCH_parallel.json)"
 cargo run --release -q -p liberate-bench --bin exp-parallel >/dev/null
 
+say "exp-matcher (matcher parity + speedup gate, regenerates results/BENCH_matcher.json)"
+# Asserts internally that the automaton scans >= 5x fewer bytes and is
+# no slower than the naive matcher on the largest synthetic trace.
+cargo run --release -q -p liberate-bench --bin exp-matcher >/dev/null
+
 say "ci: all green"
