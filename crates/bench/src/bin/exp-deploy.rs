@@ -1,0 +1,271 @@
+//! **Pool-backed deployment benchmark**: live-flow throughput at 1/2/4
+//! workers and adaptation latency under a scripted mid-deployment rule
+//! flip. Writes `results/BENCH_deploy.json`.
+//!
+//! The script: eight simulated users stream Amazon Prime video through a
+//! `DeploymentPool` on the testbed model. After a steady wave, the
+//! operator re-classes the decoy "web" rule as "video" (a genuine
+//! rule-set swap — the decoy request the low-TTL inert technique leans on
+//! suddenly draws the video throttle), burning the published technique.
+//! Every user's flow reports the change; the pool re-characterizes ONCE,
+//! publishes the refreshed technique generation-stamped, and the recovery
+//! wave streams clean again.
+//!
+//! Metrics (simulated clocks only, so runs are reproducible):
+//! - **throughput**: application bytes delivered in the recovery wave
+//!   over the wave's wall-clock (max per-worker clock advance — workers
+//!   stream concurrently);
+//! - **adaptation latency**: wall-clock from the rule flip to the
+//!   refreshed technique being published and live (burned flows, change
+//!   detection, the shared re-characterization wave, evaluation);
+//! - **parity**: the adapted technique must equal what the sequential
+//!   `LiberateProxy` re-learns from the same flip, at every worker count,
+//!   and a single-user single-worker pool must adapt about as fast as the
+//!   sequential proxy (the pool machinery may not tax the change path).
+//!
+//! Run with: `cargo run --release -p liberate-bench --bin exp-deploy`
+//! (`--workers <n>` picks which pool's merged journal `--trace` dumps,
+//! default 4.)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use liberate::prelude::*;
+use liberate::report::Json;
+use liberate_bench::obsflag;
+use liberate_dpi::rules::RuleSet;
+use liberate_obs::Journal;
+use liberate_traces::apps;
+use liberate_traces::recorded::RecordedTrace;
+
+const USERS: usize = 8;
+
+/// The scripted classifier change: the decoy "web" rule re-classed as
+/// throttled video.
+fn flipped_rules(rules: &RuleSet) -> RuleSet {
+    let mut rules = rules.clone();
+    for r in &mut rules.rules {
+        if r.id == "web" {
+            r.class = "video".to_string();
+        }
+    }
+    rules
+}
+
+fn app_bytes(trace: &RecordedTrace) -> u64 {
+    trace.messages.iter().map(|m| m.payload.len() as u64).sum()
+}
+
+fn max_clock_us(pool: &mut DeploymentPool) -> u64 {
+    pool.pool_mut()
+        .sessions()
+        .iter()
+        .map(|s| s.env.network.clock.as_micros())
+        .max()
+        .unwrap_or(0)
+}
+
+struct RunStats {
+    workers: usize,
+    throughput_bps: f64,
+    adaptation_latency_us: u64,
+    recharacterizations: u64,
+    host_ms: u64,
+}
+
+impl RunStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workers".into(), Json::n(self.workers as f64)),
+            (
+                "recovery_throughput_bps".into(),
+                Json::Num((self.throughput_bps * 10.0).round() / 10.0),
+            ),
+            (
+                "adaptation_latency_us".into(),
+                Json::n(self.adaptation_latency_us as f64),
+            ),
+            (
+                "recharacterizations".into(),
+                Json::n(self.recharacterizations as f64),
+            ),
+            ("host_cpu_ms".into(), Json::n(self.host_ms as f64)),
+        ])
+    }
+}
+
+fn main() {
+    println!("Benchmark: pool-backed deployment under a scripted rule flip\n");
+    let trace = apps::amazon_prime_http(1_200_000);
+    let copts = CharacterizeOpts::default();
+    let wave_bytes = app_bytes(&trace) * USERS as u64;
+
+    // --- Sequential baseline: one LiberateProxy rides the same flip.
+    let session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    let mut proxy = LiberateProxy::new(session, copts.clone());
+    proxy.run_flow(&trace).expect("sequential initial learn");
+    let seq_initial = proxy.active_technique().unwrap().effective.clone();
+    let rules = flipped_rules(&proxy.session.env.dpi_mut().unwrap().config.rules);
+    let before = proxy.session.env.network.clock.as_micros();
+    proxy
+        .session
+        .env
+        .dpi_mut()
+        .unwrap()
+        .hot_swap_rules(rules.clone());
+    let report = proxy.run_flow(&trace).expect("sequential re-learn");
+    assert!(report.recharacterized, "the flip must force a re-learn");
+    let seq_latency_us = proxy.session.env.network.clock.as_micros() - before;
+    let seq_adapted = proxy.active_technique().unwrap().effective.clone();
+    println!(
+        "sequential proxy: adapts to \"{}\" in {:.1} s simulated",
+        seq_adapted.description(),
+        seq_latency_us as f64 / 1e6
+    );
+
+    // --- Latency parity: a 1-worker, 1-user pool must ride the same flip
+    // about as fast as the sequential proxy (same pipeline, plus the
+    // pool's publish machinery, which must stay cheap).
+    let mut solo = DeploymentPool::new(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        1,
+        copts.clone(),
+    );
+    solo.run_flows(&trace, 1).expect("solo initial wave");
+    let before = max_clock_us(&mut solo);
+    solo.hot_swap_rules(&rules);
+    let wave = solo.run_flows(&trace, 1).expect("solo flip wave");
+    assert!(wave.recharacterized);
+    let solo_latency_us = max_clock_us(&mut solo) - before;
+    let ratio = solo_latency_us as f64 / seq_latency_us.max(1) as f64;
+    println!(
+        "1-user pool:      adapts in {:.1} s simulated ({ratio:.2}x the sequential path)",
+        solo_latency_us as f64 / 1e6
+    );
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "pool adaptation latency must track the sequential path: {ratio:.2}x"
+    );
+
+    // --- Scaling sweep: USERS users per wave at 1, 2, and 4 workers,
+    // through steady -> flip -> recovery.
+    let trace_workers = obsflag::workers().max(2).min(4);
+    let trace_journal = Arc::new(Journal::new());
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let mut pool = DeploymentPool::new(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            LiberateConfig::default(),
+            workers,
+            copts.clone(),
+        );
+        let wave1 = pool.run_flows(&trace, USERS).expect("steady wave");
+        assert!(wave1.all_evaded(), "steady wave must stream clean");
+        assert_eq!(
+            pool.active_technique().unwrap(),
+            seq_initial,
+            "initial parity at {workers} workers"
+        );
+
+        // The flip. Adaptation latency: flip -> refreshed technique live.
+        let before = max_clock_us(&mut pool);
+        pool.hot_swap_rules(&rules);
+        let wave2 = pool.run_flows(&trace, USERS).expect("flip wave");
+        let adaptation_latency_us = max_clock_us(&mut pool) - before;
+        assert_eq!(wave2.change_signals(), USERS, "every user sees the flip");
+        assert!(wave2.recharacterized);
+        assert_eq!(
+            pool.characterizations, 2,
+            "{USERS} change signals, exactly one re-characterization"
+        );
+        assert_eq!(
+            pool.active_technique().unwrap(),
+            seq_adapted,
+            "adapted parity at {workers} workers"
+        );
+
+        // Recovery: throughput of the post-adaptation steady state.
+        let before = max_clock_us(&mut pool);
+        let wave3 = pool.run_flows(&trace, USERS).expect("recovery wave");
+        let recovery_us = max_clock_us(&mut pool) - before;
+        assert!(wave3.all_evaded(), "recovery wave must stream clean");
+        assert!(!wave3.recharacterized);
+        let throughput_bps = wave_bytes as f64 * 8.0 / (recovery_us as f64 / 1e6);
+
+        let host_ms = t0.elapsed().as_millis() as u64;
+        println!(
+            "{workers} worker(s): recovery {:.2} Mbps aggregate, adaptation {:.1} s simulated, \
+{host_ms} ms host CPU",
+            throughput_bps / 1e6,
+            adaptation_latency_us as f64 / 1e6
+        );
+        if workers == trace_workers {
+            pool.merge_journals_into(&trace_journal);
+        }
+        runs.push(RunStats {
+            workers,
+            throughput_bps,
+            adaptation_latency_us,
+            recharacterizations: pool.characterizations,
+            host_ms,
+        });
+    }
+
+    let one = &runs[0];
+    let four = &runs[runs.len() - 1];
+    let scaling = four.throughput_bps / one.throughput_bps.max(1.0);
+    println!("\nrecovery throughput scaling (4 workers vs 1): {scaling:.2}x");
+    assert!(
+        scaling >= 1.5,
+        "fanning {USERS} users over 4 workers must scale recovery throughput: {scaling:.2}x"
+    );
+
+    let dataset = Json::Obj(vec![
+        ("experiment".into(), Json::s("pool-deployment-rule-flip")),
+        ("trace".into(), Json::s("amazon-prime-http")),
+        ("users_per_wave".into(), Json::n(USERS as f64)),
+        (
+            "clock".into(),
+            Json::s("simulated wall-clock (max per-worker clock advance per wave)"),
+        ),
+        (
+            "rule_flip".into(),
+            Json::s("testbed 'web' decoy rule re-classed as throttled video"),
+        ),
+        (
+            "sequential_adaptation_latency_us".into(),
+            Json::n(seq_latency_us as f64),
+        ),
+        (
+            "solo_pool_adaptation_latency_us".into(),
+            Json::n(solo_latency_us as f64),
+        ),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(RunStats::to_json).collect()),
+        ),
+        (
+            "throughput_scaling_4v1".into(),
+            Json::Num((scaling * 100.0).round() / 100.0),
+        ),
+    ]);
+
+    let out_dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join("BENCH_deploy.json");
+        match std::fs::write(&path, dataset.render() + "\n") {
+            Ok(()) => println!("dataset: wrote {}", path.display()),
+            Err(e) => eprintln!("dataset: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    obsflag::finish(&trace_journal);
+    println!(
+        "\n[ok] one re-characterization per flip, adapted technique matches the \
+sequential proxy, recovery throughput scales with workers"
+    );
+}

@@ -12,7 +12,9 @@
 //! re-verified cheaply (one replay) instead of re-characterized (~70).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use liberate_traces::recorded::{RecordedTrace, Sender};
@@ -234,6 +236,81 @@ impl RuleCache {
             }
         }
         Some(true)
+    }
+}
+
+/// A [`RuleCache`] handle shared between concurrent users — the paper's
+/// "well known public location" when several sessions on one network hit
+/// it at once. Lookups clone the entry out from under the read lock, so
+/// holders never keep the lock across a replay; publishes take the write
+/// lock briefly. Cloning the handle shares the same underlying store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRuleCache {
+    inner: Arc<RwLock<RuleCache>>,
+}
+
+impl SharedRuleCache {
+    pub fn new() -> SharedRuleCache {
+        SharedRuleCache::default()
+    }
+
+    /// Wrap an existing cache (e.g. one deserialized from the public
+    /// store) for concurrent use.
+    pub fn from_cache(cache: RuleCache) -> SharedRuleCache {
+        SharedRuleCache {
+            inner: Arc::new(RwLock::new(cache)),
+        }
+    }
+
+    pub fn publish(&self, network: &str, app: &str, rules: CachedRules) {
+        self.inner.write().publish(network, app, rules);
+    }
+
+    pub fn lookup(&self, network: &str, app: &str) -> Option<CachedRules> {
+        self.inner.read().lookup(network, app).cloned()
+    }
+
+    /// [`SharedRuleCache::lookup`] that journals the hit or miss.
+    pub fn lookup_observed(
+        &self,
+        network: &str,
+        app: &str,
+        journal: &liberate_obs::Journal,
+        t_us: u64,
+    ) -> Option<CachedRules> {
+        self.inner
+            .read()
+            .lookup_observed(network, app, journal, t_us)
+            .cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// An owned copy of the current store, for redistribution.
+    pub fn snapshot(&self) -> RuleCache {
+        self.inner.read().clone()
+    }
+
+    /// [`RuleCache::verify`] against a point-in-time snapshot: the entry
+    /// is cloned out first, so the verification replays run without
+    /// holding the lock (another user may publish meanwhile — the caller
+    /// sees the entry it verified, not the concurrent update).
+    pub fn verify(
+        &self,
+        network: &str,
+        app: &str,
+        session: &mut Session,
+        trace: &RecordedTrace,
+        signal: &Signal,
+    ) -> Option<bool> {
+        let snapshot = self.snapshot();
+        snapshot.verify(network, app, session, trace, signal)
     }
 }
 

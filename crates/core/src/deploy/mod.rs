@@ -3,12 +3,19 @@
 //! [`run_pipeline`] chains the four phases — differentiation detection,
 //! characterization, middlebox localization, evasion evaluation — and
 //! returns the cheapest working technique. [`LiberateProxy`] is the
-//! deployment vehicle: it applies the chosen technique to application
-//! flows at runtime and re-runs the pipeline when the classifier changes
-//! (the adaptation loop of §4.2: "If differentiation occurs even when
-//! using a previously successful evasion technique, then lib·erate assumes
-//! that matching rules have changed, and repeats the characterization and
-//! evasion steps").
+//! single-session deployment vehicle: it applies the chosen technique to
+//! application flows at runtime and re-runs the pipeline when the
+//! classifier changes (the adaptation loop of §4.2: "If differentiation
+//! occurs even when using a previously successful evasion technique, then
+//! lib·erate assumes that matching rules have changed, and repeats the
+//! characterization and evasion steps"). [`pool::DeploymentPool`] is the
+//! scaled variant: many users' flows fanned across a
+//! [`crate::engine::SessionPool`], sharing one adaptation loop through a
+//! generation-stamped published technique.
+
+pub mod pool;
+
+pub use pool::{DeployWave, DeploymentPool, PoolFlowReport, PublishedState, PublishedTechnique};
 
 use std::time::Duration;
 
@@ -94,9 +101,34 @@ pub fn run_pipeline_with_rules(
         Some(c) => c,
         None => characterize(session, trace, &signal, copts),
     };
+
+    let mut report =
+        complete_pipeline(session, trace, copts, detection, &signal, characterization)?;
+    report.total_rounds = session.replays - rounds0;
+    report.total_bytes = session.bytes_sent_total + session.bytes_received_total - bytes0;
+    report.elapsed = session.env.network.clock - t0;
+    Ok(report)
+}
+
+/// Phases 3–4 of the pipeline — localization and evaluation — given an
+/// already-run detection and characterization. The single-session
+/// [`run_pipeline_with_rules`] and the pool's re-characterization wave
+/// (which runs phase 2 via [`crate::engine::characterize_parallel`]) both
+/// funnel through here, so the adaptation logic cannot drift between the
+/// two deployment vehicles. Cost fields of the returned report are zero;
+/// callers account their own phase-1/2 spend.
+pub(crate) fn complete_pipeline(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    copts: &CharacterizeOpts,
+    detection: DetectionOutcome,
+    signal: &Signal,
+    characterization: Characterization,
+) -> Result<PipelineReport> {
     if characterization.fields.is_empty() {
         return Err(LiberateError::NoMatchingFields);
     }
+    let rotate_base = copts.rotate_server_ports.then_some(copts.rotate_base);
 
     // Phase 3: localization (via a TTL-limited inert probe carrying the
     // first matching field's packet).
@@ -119,7 +151,7 @@ pub fn run_pipeline_with_rules(
         session,
         &carrier,
         &matching_packet,
-        &signal,
+        signal,
         rotate_base.map(|b| b.wrapping_add(31_000)),
     );
 
@@ -132,7 +164,7 @@ pub fn run_pipeline_with_rules(
             .unwrap_or(session.env.hops_before_middlebox + 1),
     };
     let inputs = EvaluationInputs {
-        signal,
+        signal: signal.clone(),
         ctx,
         rotate_server_ports: copts.rotate_server_ports,
     };
@@ -148,17 +180,57 @@ pub fn run_pipeline_with_rules(
         localization: Some(localization),
         chosen,
         evaluation_tries: tries,
-        total_rounds: session.replays - rounds0,
-        total_bytes: session.bytes_sent_total + session.bytes_received_total - bytes0,
-        elapsed: session.env.network.clock - t0,
+        total_rounds: 0,
+        total_bytes: 0,
+        elapsed: Duration::ZERO,
     })
 }
 
-/// Cached evasion state for one application.
-struct CachedEvasion {
-    technique: TechniqueResult,
-    ctx: EvasionContext,
-    signal: Signal,
+/// The evasion state one deployment vehicle holds for one application:
+/// the technique to apply, the context it needs, and the signal that
+/// detects when it stops working. Shared by [`LiberateProxy`] (one per
+/// proxy) and [`pool::DeploymentPool`] (one, generation-stamped, behind
+/// [`pool::PublishedState`]).
+#[derive(Debug, Clone)]
+pub struct ActiveEvasion {
+    pub technique: TechniqueResult,
+    pub ctx: EvasionContext,
+    pub signal: Signal,
+}
+
+impl ActiveEvasion {
+    /// Assemble deployable state from a finished pipeline report, exactly
+    /// as the proxy's adaptation loop does. Errors when the pipeline
+    /// found no working technique.
+    pub fn from_report(
+        report: &PipelineReport,
+        trace: &RecordedTrace,
+        session: &Session,
+    ) -> Result<ActiveEvasion> {
+        let chosen = report
+            .chosen
+            .clone()
+            .ok_or(LiberateError::NoWorkingTechnique)?;
+        let ctx = EvasionContext {
+            matching_fields: report
+                .characterization
+                .as_ref()
+                .map(|c| c.client_field_regions(trace))
+                .unwrap_or_default(),
+            decoy: decoy_request(),
+            middlebox_ttl: report
+                .localization
+                .as_ref()
+                .and_then(|l| l.middlebox_ttl)
+                .unwrap_or(session.env.hops_before_middlebox + 1),
+        };
+        let signal = signal_from_detection(&report.detection, session.config.throttle_ratio);
+        Ok(ActiveEvasion {
+            technique: chosen,
+            ctx,
+            signal,
+        })
+    }
 }
 
 /// Per-flow report from the deployment proxy.
@@ -178,12 +250,13 @@ pub struct FlowReport {
 pub struct LiberateProxy {
     pub session: Session,
     copts: CharacterizeOpts,
-    cached: Option<CachedEvasion>,
+    cached: Option<ActiveEvasion>,
     /// Times the pipeline ran (1 = initial; more = classifier changed).
     pub characterizations: u64,
     /// Shared characterization store (§4.2) and the network name keying
-    /// it.
-    rule_cache: Option<(crate::cache::RuleCache, String)>,
+    /// it. Held as a [`SharedRuleCache`] handle, so several proxies (or a
+    /// whole [`pool::DeploymentPool`]) can ride one live store.
+    rule_cache: Option<(crate::cache::SharedRuleCache, String)>,
     /// Characterizations skipped thanks to the shared cache.
     pub cache_hits: u64,
 }
@@ -200,17 +273,29 @@ impl LiberateProxy {
         }
     }
 
-    /// Attach a shared rule cache under the given network name. Fresh
+    /// Attach an owned rule cache under the given network name. Fresh
     /// entries let this proxy skip its own characterization after a
     /// per-field verification replay (§4.2).
-    pub fn with_cache(mut self, cache: crate::cache::RuleCache, network: &str) -> LiberateProxy {
+    pub fn with_cache(self, cache: crate::cache::RuleCache, network: &str) -> LiberateProxy {
+        self.with_shared_cache(crate::cache::SharedRuleCache::from_cache(cache), network)
+    }
+
+    /// Attach a live shared cache handle: publishes from this proxy are
+    /// visible to every other holder of the handle immediately, and vice
+    /// versa.
+    pub fn with_shared_cache(
+        mut self,
+        cache: crate::cache::SharedRuleCache,
+        network: &str,
+    ) -> LiberateProxy {
         self.rule_cache = Some((cache, network.to_string()));
         self
     }
 
-    /// Take the (possibly updated) shared cache back for redistribution.
+    /// Take a snapshot of the (possibly updated) shared cache back for
+    /// redistribution, detaching this proxy from it.
     pub fn take_cache(&mut self) -> Option<crate::cache::RuleCache> {
-        self.rule_cache.take().map(|(c, _)| c)
+        self.rule_cache.take().map(|(c, _)| c.snapshot())
     }
 
     /// Whether the proxy currently holds a working technique.
@@ -225,14 +310,10 @@ impl LiberateProxy {
         let journal = self.session.env.journal.clone();
         let t_us = self.session.env.network.clock.as_micros();
         let (cache, network) = self.rule_cache.as_ref()?;
-        let network = network.clone();
-        let entry = cache
-            .lookup_observed(&network, &trace.app, &journal, t_us)?
-            .clone();
-        let cache_snapshot = self.rule_cache.as_ref().map(|(c, _)| c.clone())?;
+        let (cache, network) = (cache.clone(), network.clone());
+        let entry = cache.lookup_observed(&network, &trace.app, &journal, t_us)?;
         let signal = entry.signal.to_signal(&mut self.session, trace);
-        let fresh =
-            cache_snapshot.verify(&network, &trace.app, &mut self.session, trace, &signal)?;
+        let fresh = cache.verify(&network, &trace.app, &mut self.session, trace, &signal)?;
         if fresh {
             self.cache_hits += 1;
             Some(entry.to_characterization(trace))
@@ -284,7 +365,7 @@ impl LiberateProxy {
         let report = run_pipeline_with_rules(&mut self.session, trace, &copts, pre_learned)?;
         self.characterizations += 1;
         // Publish what we learned for the next user.
-        if let Some((cache, network)) = self.rule_cache.as_mut() {
+        if let Some((cache, network)) = self.rule_cache.as_ref() {
             if let Some(c) = report.characterization.as_ref() {
                 if c.rounds > 0 {
                     let signal = crate::cache::CachedSignal::from_signal(&signal_from_detection(
@@ -303,35 +384,18 @@ impl LiberateProxy {
                 }
             }
         }
-        let chosen = report.chosen.ok_or(LiberateError::NoWorkingTechnique)?;
-        let ctx = EvasionContext {
-            matching_fields: report
-                .characterization
-                .as_ref()
-                .map(|c| c.client_field_regions(trace))
-                .unwrap_or_default(),
-            decoy: decoy_request(),
-            middlebox_ttl: report
-                .localization
-                .as_ref()
-                .and_then(|l| l.middlebox_ttl)
-                .unwrap_or(self.session.env.hops_before_middlebox + 1),
-        };
-        let signal = signal_from_detection(&report.detection, self.session.config.throttle_ratio);
+        let evasion = ActiveEvasion::from_report(&report, trace, &self.session)?;
 
         // Run the flow for real with the chosen technique.
-        let schedule = chosen
+        let schedule = evasion
+            .technique
             .effective
-            .apply(&Schedule::from_trace(trace), &ctx)
+            .apply(&Schedule::from_trace(trace), &evasion.ctx)
             .ok_or(LiberateError::NoWorkingTechnique)?;
         let outcome = self
             .session
             .replay_schedule(trace, &schedule, &ReplayOpts::default());
-        self.cached = Some(CachedEvasion {
-            technique: chosen,
-            ctx,
-            signal,
-        });
+        self.cached = Some(evasion);
         Ok(FlowReport {
             outcome,
             evaded: true,

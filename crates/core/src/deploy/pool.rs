@@ -1,0 +1,501 @@
+//! Pool-backed deployment (§4.4 at scale): many simulated users' live
+//! application flows fanned across a [`SessionPool`]'s workers over one
+//! shared sharded DPI flow table, with one adaptation loop for all of
+//! them.
+//!
+//! The single-session [`super::LiberateProxy`] re-learns inline the moment
+//! its one flow trips the change signal. A pool cannot do that: N workers
+//! may observe the same classifier change in the same wave, and N
+//! re-characterizations would multiply the most expensive phase of the
+//! pipeline by the worker count. Instead the pool publishes its evasion
+//! state once, generation-stamped, behind [`PublishedState`]:
+//!
+//! - **Workers only read.** Each flow snapshots the published state
+//!   (an `Arc` clone — never a torn read), applies the technique, and
+//!   reports back the generation it used. A flow whose technique burned
+//!   mid-wave degrades onto the configured fallback ladder, in order, so
+//!   the user's traffic keeps moving while the pool re-learns.
+//! - **The driver only writes, between waves.** After a wave, change
+//!   signals reported against the *current* generation trigger exactly one
+//!   re-characterization (phase 2 runs level-synchronous across the whole
+//!   pool via [`characterize_parallel`]); reports against an older
+//!   generation are stale — some earlier wave already paid for the
+//!   re-learn — and are ignored, which is how lagging workers self-correct
+//!   without coordination.
+//!
+//! Determinism: workers never write shared deployment state and the
+//! driver's writes are serialized between waves, so for a fixed seed and
+//! worker count the merged journal is byte-identical run to run (the
+//! same contract the engine pins for characterization).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use liberate_dpi::profiles::EnvKind;
+use liberate_dpi::rules::RuleSet;
+use liberate_netsim::os::OsKind;
+use liberate_obs::{Counter, EventKind, Journal, Phase};
+use liberate_traces::recorded::RecordedTrace;
+
+use crate::cache::SharedRuleCache;
+use crate::characterize::{Characterization, CharacterizeOpts};
+use crate::config::LiberateConfig;
+use crate::deploy::{complete_pipeline, signal_from_detection, ActiveEvasion};
+use crate::detect::{detect_rotating, read_billed_counter, was_classified};
+use crate::engine::{characterize_parallel, SessionPool};
+use crate::error::{LiberateError, Result};
+use crate::evasion::Technique;
+use crate::replay::{ReplayOpts, ReplayOutcome, Session};
+use crate::schedule::Schedule;
+
+/// The generation-stamped evasion state the pool publishes to its
+/// workers. The technique rides in an `Arc`, so a snapshot hands workers
+/// a complete, immutable view — there is no moment at which a reader can
+/// see generation `g+1` paired with generation `g`'s technique.
+#[derive(Debug, Clone, Default)]
+pub struct PublishedTechnique {
+    /// Monotonic publish count; 0 means nothing published yet.
+    pub generation: u64,
+    pub evasion: Option<Arc<ActiveEvasion>>,
+}
+
+/// The shared cell holding the current [`PublishedTechnique`]. Cloning
+/// the handle shares the cell; [`PublishedState::snapshot`] is the only
+/// read path and [`PublishedState::publish`] the only write path.
+#[derive(Debug, Clone, Default)]
+pub struct PublishedState {
+    inner: Arc<RwLock<PublishedTechnique>>,
+}
+
+impl PublishedState {
+    pub fn new() -> PublishedState {
+        PublishedState::default()
+    }
+
+    /// The current generation and technique, as one consistent view.
+    pub fn snapshot(&self) -> PublishedTechnique {
+        self.inner.read().clone()
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+
+    /// Atomically install `evasion` under the next generation; returns
+    /// the new generation stamp.
+    pub fn publish(&self, evasion: Arc<ActiveEvasion>) -> u64 {
+        let mut state = self.inner.write();
+        state.generation += 1;
+        state.evasion = Some(evasion);
+        state.generation
+    }
+}
+
+/// What one user's flow did in one deployment wave.
+#[derive(Debug, Clone)]
+pub struct PoolFlowReport {
+    /// The user (job) index within the wave.
+    pub user: usize,
+    /// The pool worker whose session carried the flow.
+    pub worker: usize,
+    /// The published generation this flow read at its start.
+    pub generation: u64,
+    /// The technique that ultimately carried the flow (the published one,
+    /// or the fallback that caught it), if any applied.
+    pub technique: Option<Technique>,
+    /// The flow escaped classification.
+    pub evaded: bool,
+    /// The fallback-ladder entry that caught the flow after the published
+    /// technique burned.
+    pub parked_on_fallback: Option<Technique>,
+    /// The published technique failed against the live classifier — the
+    /// pool's cue to re-characterize (once) after the wave.
+    pub change_signal: bool,
+    pub outcome: ReplayOutcome,
+}
+
+/// One completed call to [`DeploymentPool::run_flows`].
+#[derive(Debug)]
+pub struct DeployWave {
+    /// Per-user reports, in user order.
+    pub reports: Vec<PoolFlowReport>,
+    /// Whether this wave's change signals triggered a re-characterization
+    /// (at most one, regardless of how many workers reported the change).
+    pub recharacterized: bool,
+    /// The published generation after the wave (and any re-learn).
+    pub generation: u64,
+}
+
+impl DeployWave {
+    /// Every user's flow escaped classification (possibly via fallback).
+    pub fn all_evaded(&self) -> bool {
+        self.reports.iter().all(|r| r.evaded)
+    }
+
+    /// How many flows reported the published technique burned.
+    pub fn change_signals(&self) -> usize {
+        self.reports.iter().filter(|r| r.change_signal).count()
+    }
+}
+
+/// The pool-backed deployment subsystem: live flows from many simulated
+/// users fanned across [`SessionPool`] workers, one shared
+/// [`SharedRuleCache`], one generation-stamped published technique.
+pub struct DeploymentPool {
+    pool: SessionPool,
+    copts: CharacterizeOpts,
+    fallback: Vec<Technique>,
+    published: PublishedState,
+    cache: Option<(SharedRuleCache, String)>,
+    /// Times the pipeline ran (1 = initial; more = classifier changed).
+    pub characterizations: u64,
+    /// Characterizations skipped thanks to the shared cache.
+    pub cache_hits: u64,
+}
+
+impl DeploymentPool {
+    /// A pool of `workers` deployment sessions against a fresh
+    /// environment of `kind`.
+    pub fn new(
+        kind: EnvKind,
+        os: OsKind,
+        config: LiberateConfig,
+        workers: usize,
+        copts: CharacterizeOpts,
+    ) -> DeploymentPool {
+        DeploymentPool::over(SessionPool::new(kind, os, config, workers), copts)
+    }
+
+    /// Wrap an existing session pool (e.g. one built from a shared
+    /// blueprint).
+    pub fn over(pool: SessionPool, copts: CharacterizeOpts) -> DeploymentPool {
+        DeploymentPool {
+            pool,
+            copts,
+            fallback: Vec::new(),
+            published: PublishedState::new(),
+            cache: None,
+            characterizations: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Techniques to degrade onto, in order, when the published technique
+    /// burns mid-wave.
+    pub fn with_fallback_ladder(mut self, ladder: Vec<Technique>) -> DeploymentPool {
+        self.fallback = ladder;
+        self
+    }
+
+    /// Attach a live shared rule cache under the given network name.
+    pub fn with_shared_cache(mut self, cache: SharedRuleCache, network: &str) -> DeploymentPool {
+        self.cache = Some((cache, network.to_string()));
+        self
+    }
+
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The published-state cell (e.g. for concurrent-read tests or for
+    /// wiring external monitors).
+    pub fn published(&self) -> &PublishedState {
+        &self.published
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.published.generation()
+    }
+
+    /// The currently published technique, if any.
+    pub fn active_technique(&self) -> Option<Technique> {
+        self.published
+            .snapshot()
+            .evasion
+            .map(|e| e.technique.effective.clone())
+    }
+
+    /// Direct access to the underlying pool (tests script classifier
+    /// changes through a worker's environment).
+    pub fn pool_mut(&mut self) -> &mut SessionPool {
+        &mut self.pool
+    }
+
+    /// Script a classifier change: swap the rule set on every worker's
+    /// DPI device (they model one middlebox, so all must agree). Flow
+    /// state is kept, mirroring a real rule push.
+    pub fn hot_swap_rules(&mut self, rules: &RuleSet) {
+        for w in 0..self.pool.workers() {
+            if let Some(dpi) = self.pool.session_mut(w).env.dpi_mut() {
+                dpi.hot_swap_rules(rules.clone());
+            }
+        }
+    }
+
+    /// Fold every worker's journal into `journal` (ascending worker
+    /// order, deterministic). Call once, after the pool's work is done.
+    pub fn merge_journals_into(&self, journal: &Arc<Journal>) {
+        self.pool.merge_journals_into(journal);
+    }
+
+    /// Drive one wave of live flows: `users` copies of `trace`, user `u`
+    /// on worker `u % workers`. Publishes an initial technique first if
+    /// none is live yet. After the wave, change signals against the
+    /// current generation trigger exactly one re-characterization; the
+    /// refreshed technique is published for the next wave.
+    pub fn run_flows(&mut self, trace: &RecordedTrace, users: usize) -> Result<DeployWave> {
+        if self.published.snapshot().evasion.is_none() {
+            self.recharacterize(trace)?;
+        }
+
+        let workers = self.pool.workers();
+        let published = self.published.clone();
+        let fallback = self.fallback.clone();
+        // run_wave sends job i to worker i % n, or everything to worker 0
+        // when the pool (or wave) is too small to fan out.
+        let worker_of = move |user: usize| {
+            if workers == 1 || users <= 1 {
+                0
+            } else {
+                user % workers
+            }
+        };
+        let exec = |session: &mut Session, user: usize| {
+            run_one_flow(session, trace, user, worker_of(user), &published, &fallback)
+        };
+        let reports = self.pool.run_wave((0..users).collect(), &exec);
+
+        // Exactly one re-characterization per acknowledged change: every
+        // report in this wave read the same generation (the driver is the
+        // only writer, and it only writes between waves), so one re-learn
+        // covers all of them. A report stamped with an older generation
+        // would mean some earlier wave already paid — ignore it and let
+        // the worker pick up the newer technique next wave.
+        let current = self.published.generation();
+        let needs_relearn = reports
+            .iter()
+            .any(|r| r.change_signal && r.generation == current);
+        let recharacterized = if needs_relearn {
+            self.recharacterize(trace)?;
+            true
+        } else {
+            false
+        };
+
+        Ok(DeployWave {
+            reports,
+            recharacterized,
+            generation: self.published.generation(),
+        })
+    }
+
+    /// Fresh shared rules for this trace, if the cache has them and they
+    /// verify against the live classifier (worker 0 pays the per-field
+    /// verification replays).
+    fn shared_rules_for(&mut self, trace: &RecordedTrace) -> Option<Characterization> {
+        let (cache, network) = self.cache.clone()?;
+        let session = self.pool.session_mut(0);
+        let journal = session.journal().clone();
+        let t_us = session.env.network.clock.as_micros();
+        let entry = cache.lookup_observed(&network, &trace.app, &journal, t_us)?;
+        let signal = entry.signal.to_signal(session, trace);
+        let fresh = cache.verify(&network, &trace.app, session, trace, &signal)?;
+        if fresh {
+            self.cache_hits += 1;
+            Some(entry.to_characterization(trace))
+        } else {
+            None
+        }
+    }
+
+    /// The single re-characterization wave: detection and the sequential
+    /// phases (localization, evaluation) run on worker 0; the blinding
+    /// search fans across the whole pool via [`characterize_parallel`].
+    /// Ends by atomically publishing the refreshed technique under the
+    /// next generation.
+    fn recharacterize(&mut self, trace: &RecordedTrace) -> Result<()> {
+        let copts = self.copts.clone();
+        let rotate_base = copts.rotate_server_ports.then_some(copts.rotate_base);
+
+        // Phase 1: detection, on worker 0.
+        let detection = {
+            let session = self.pool.session_mut(0);
+            detect_rotating(session, trace, rotate_base.map(|b| b.wrapping_add(30_000)))
+        };
+        if !detection.differentiated {
+            return Err(LiberateError::NoDifferentiation);
+        }
+        let throttle_ratio = self.pool.sessions()[0].config.throttle_ratio;
+        let signal = signal_from_detection(&detection, throttle_ratio);
+
+        // Phase 2: consult the shared cache, else the level-synchronous
+        // blinding search across every worker.
+        let characterization = match self.shared_rules_for(trace) {
+            Some(c) => c,
+            None => characterize_parallel(&mut self.pool, trace, &signal, &copts),
+        };
+
+        // Phases 3–4, on worker 0 — the same code path the sequential
+        // proxy runs, so the adapted technique cannot diverge from it.
+        let report = complete_pipeline(
+            self.pool.session_mut(0),
+            trace,
+            &copts,
+            detection,
+            &signal,
+            characterization,
+        )?;
+
+        // Publish what we learned for the next user on this network.
+        if let Some((cache, network)) = self.cache.as_ref() {
+            if let Some(c) = report.characterization.as_ref() {
+                if c.rounds > 0 {
+                    let learned_at =
+                        self.pool.sessions()[0].env.network.clock.as_micros() / 1_000_000;
+                    cache.publish(
+                        network,
+                        &trace.app,
+                        crate::cache::CachedRules::from_characterization_with_signal(
+                            c,
+                            learned_at,
+                            crate::cache::CachedSignal::from_signal(&signal),
+                        ),
+                    );
+                }
+            }
+        }
+
+        let evasion = ActiveEvasion::from_report(&report, trace, &self.pool.sessions()[0])?;
+        let description = evasion.technique.effective.description();
+        let generation = self.published.publish(Arc::new(evasion));
+        self.characterizations += 1;
+
+        let session = self.pool.session_mut(0);
+        let journal = session.journal().clone();
+        journal.metrics.incr(Counter::RecharacterizeWaves);
+        journal.record(
+            session.env.network.clock.as_micros(),
+            EventKind::TechniquePublished {
+                generation,
+                technique: description,
+            },
+        );
+        Ok(())
+    }
+}
+
+/// One user's flow on one worker session: apply the published technique,
+/// watch for the change signal, degrade onto the fallback ladder if it
+/// burns. Runs inside a `Phase::Deploy` span on the worker's journal.
+fn run_one_flow(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    user: usize,
+    worker: usize,
+    published: &PublishedState,
+    fallback: &[Technique],
+) -> PoolFlowReport {
+    let journal = session.journal().clone();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::Deploy);
+    journal.metrics.incr(Counter::DeployFlows);
+    let report = run_one_flow_inner(session, trace, user, worker, published, fallback, &journal);
+    journal.span_end(session.env.network.clock.as_micros(), Phase::Deploy);
+    report
+}
+
+fn run_one_flow_inner(
+    session: &mut Session,
+    trace: &RecordedTrace,
+    user: usize,
+    worker: usize,
+    published: &PublishedState,
+    fallback: &[Technique],
+    journal: &Arc<Journal>,
+) -> PoolFlowReport {
+    let snapshot = published.snapshot();
+    let generation = snapshot.generation;
+    let Some(evasion) = snapshot.evasion else {
+        // `run_flows` publishes before the first wave, so this only
+        // happens when a caller drives flows against an empty cell: send
+        // the traffic plain and report a change signal so the driver
+        // learns a technique for the next wave.
+        let outcome = session.replay_trace(trace, &ReplayOpts::default());
+        return PoolFlowReport {
+            user,
+            worker,
+            generation,
+            technique: None,
+            evaded: false,
+            parked_on_fallback: None,
+            change_signal: true,
+            outcome,
+        };
+    };
+
+    fn apply_and_judge(
+        session: &mut Session,
+        trace: &RecordedTrace,
+        evasion: &ActiveEvasion,
+        technique: &Technique,
+    ) -> Option<(ReplayOutcome, bool)> {
+        let schedule = technique.apply(&Schedule::from_trace(trace), &evasion.ctx)?;
+        let billed_before = read_billed_counter(session);
+        let outcome = session.replay_schedule(trace, &schedule, &ReplayOpts::default());
+        let classified = was_classified(session, &evasion.signal, &outcome, billed_before);
+        Some((outcome, classified))
+    }
+
+    let main = evasion.technique.effective.clone();
+    let (mut outcome, classified) = match apply_and_judge(session, trace, &evasion, &main) {
+        Some(judged) => judged,
+        // A published technique always applied once (evaluation proved
+        // it); replay the trace plain if the trace shape changed under us.
+        None => (session.replay_trace(trace, &ReplayOpts::default()), true),
+    };
+
+    if !classified {
+        return PoolFlowReport {
+            user,
+            worker,
+            generation,
+            technique: Some(main.clone()),
+            evaded: true,
+            parked_on_fallback: None,
+            change_signal: false,
+            outcome,
+        };
+    }
+
+    // The classifier caught the published technique: flag the change and
+    // park this user's traffic on the first ladder rung that still works.
+    let mut parked = None;
+    for rung in fallback {
+        let Some((out, still_classified)) = apply_and_judge(session, trace, &evasion, rung) else {
+            continue;
+        };
+        outcome = out;
+        if !still_classified {
+            journal.metrics.incr(Counter::FallbackParks);
+            journal.record(
+                session.env.network.clock.as_micros(),
+                EventKind::FallbackEngaged {
+                    technique: rung.description(),
+                },
+            );
+            parked = Some(rung.clone());
+            break;
+        }
+    }
+
+    PoolFlowReport {
+        user,
+        worker,
+        generation,
+        technique: parked.clone().or_else(|| Some(main.clone())),
+        evaded: parked.is_some(),
+        parked_on_fallback: parked,
+        change_signal: true,
+        outcome,
+    }
+}

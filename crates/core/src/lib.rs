@@ -67,13 +67,14 @@ pub mod socket;
 /// One-stop imports for applications and experiments.
 pub mod prelude {
     pub use crate::bilateral::{run_bilateral, BilateralCodec, BilateralReport};
-    pub use crate::cache::{CachedRules, RuleCache};
+    pub use crate::cache::{CachedRules, RuleCache, SharedRuleCache};
     pub use crate::characterize::{
         characterize, Characterization, CharacterizeOpts, MatchingField, PositionProfile,
     };
     pub use crate::config::LiberateConfig;
     pub use crate::deploy::{
-        run_pipeline, signal_from_detection, FlowReport, LiberateProxy, PipelineReport,
+        run_pipeline, signal_from_detection, ActiveEvasion, DeployWave, DeploymentPool, FlowReport,
+        LiberateProxy, PipelineReport, PoolFlowReport, PublishedState, PublishedTechnique,
     };
     pub use crate::detect::{
         detect, detect_parallel, inverted_trace, probe, DetectionOutcome, Signal,

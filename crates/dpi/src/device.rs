@@ -146,6 +146,26 @@ impl DpiDevice {
         self.compiled = None;
     }
 
+    /// Replace this device's rule set in place — the scripted
+    /// "classifier changed under us" event benches and deployment tests
+    /// use to exercise re-characterization. Existing flow state is kept
+    /// (live flows keep their verdicts until expiry, like a real
+    /// middlebox taking a rule push); the compiled automaton is dropped
+    /// so the next inspected packet compiles the new rules. Journaled as
+    /// a `rule_swap` event plus the `rule-swaps` counter.
+    pub fn hot_swap_rules(&mut self, rules: RuleSet) {
+        self.config.rules = rules;
+        self.invalidate_compiled_rules();
+        self.journal_incr(Counter::RuleSwaps);
+        self.journal_record(
+            self.last_seen,
+            EventKind::RuleSwap {
+                device: self.config.name.clone(),
+                rules: self.config.rules.rules.len() as u64,
+            },
+        );
+    }
+
     /// The flow state this device fronts (for sharing with a sibling or
     /// inspecting from tests).
     pub fn shared_table(&self) -> Arc<ShardedFlowTable> {

@@ -162,7 +162,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_seven_rules() {
+    fn registry_has_the_eight_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -171,6 +171,7 @@ mod tests {
                 "determinism",
                 "flowtable-lock-ordering",
                 "no-panic",
+                "overhead-consistency",
                 "pcap-byte-order",
                 "simtime-monotonicity"
             ]

@@ -6,6 +6,7 @@ mod checksum_repair;
 mod determinism;
 mod flowtable_lock_ordering;
 mod no_panic;
+mod overhead_consistency;
 mod pcap_byte_order;
 mod simtime_monotonicity;
 mod taxonomy;
@@ -50,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::Determinism),
         Box::new(flowtable_lock_ordering::FlowtableLockOrdering),
         Box::new(no_panic::NoPanic),
+        Box::new(overhead_consistency::OverheadConsistency),
         Box::new(pcap_byte_order::PcapByteOrder),
         Box::new(simtime_monotonicity::SimtimeMonotonicity),
     ]

@@ -1,0 +1,427 @@
+//! overhead-consistency: `Technique::overhead()` must bill what
+//! `transform::apply()` actually emits.
+//!
+//! Table 2's per-flow overhead classes are the basis on which deployment
+//! picks the cheapest working technique (§4.4), so a variant billed under
+//! the wrong class — or billed a constant while the transform emits a
+//! parameterized schedule — silently skews every `cheapest()` decision
+//! and the deployment pool's fallback-ladder economics. Two token-level
+//! cross-checks keep the model honest:
+//!
+//! 1. In `fn overhead` (crates/core/src/evasion/mod.rs), each match arm's
+//!    `Overhead::` family must agree with the variant-name family:
+//!    `Inert*`/`TtlRst*` → `InertPackets` (and exactly `InertPackets(1)`
+//!    for unit variants — the transform inserts exactly one inert packet
+//!    per flow), `Pause*` → `PauseSeconds`, `DummyPrefixData` →
+//!    `PrefixBytes`, `*Split*`/`*Reorder*` → `ExtraHeaders`. A variant
+//!    outside every family, or a wildcard arm, is flagged: a 27th
+//!    technique must pick its overhead class explicitly.
+//! 2. In both `fn overhead` and `fn apply`
+//!    (crates/core/src/evasion/transform.rs), every binder a pattern
+//!    captures (`segments`, `pieces`, `bytes`, `d`) must appear in the
+//!    arm's body. An `apply` arm that ignores `bytes` emits a schedule
+//!    whose size `overhead()` no longer predicts; an `overhead` arm that
+//!    ignores its binder bills a constant for a parameterized emission.
+
+use crate::items::fn_spans;
+use crate::rules::{in_test_tree, Finding, Rule, RuleCtx};
+
+pub struct OverheadConsistency;
+
+/// One parsed `pattern => body` arm of a match.
+struct Arm {
+    line: u32,
+    /// Uppercase-initial path segments in the pattern (variant names).
+    variants: Vec<String>,
+    /// Lowercase identifiers bound by the pattern.
+    binders: Vec<String>,
+    /// Body tokens, as text.
+    body: Vec<String>,
+}
+
+/// Expected `Overhead` constructor for a Technique variant name, by the
+/// naming families Table 2 groups them into.
+fn expected_family(variant: &str) -> Option<&'static str> {
+    if variant == "DummyPrefixData" {
+        Some("PrefixBytes")
+    } else if variant.starts_with("Inert") || variant.starts_with("TtlRst") {
+        Some("InertPackets")
+    } else if variant.starts_with("Pause") {
+        Some("PauseSeconds")
+    } else if variant.contains("Split") || variant.contains("Reorder") {
+        Some("ExtraHeaders")
+    } else {
+        None
+    }
+}
+
+fn is_upper_ident(text: &str) -> bool {
+    text.starts_with(|c: char| c.is_ascii_uppercase())
+        && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_lower_ident(text: &str) -> bool {
+    text.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+        && text != "_"
+        && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse the arms of the first `match` block inside `[start, end)`.
+/// Returns `None` when the span holds no match expression.
+fn match_arms(toks: &[crate::lexer::Token], start: usize, end: usize) -> Option<Vec<Arm>> {
+    let mut i = start;
+    while i < end && !toks[i].is("match") {
+        i += 1;
+    }
+    if i >= end {
+        return None;
+    }
+    // Skip the scrutinee up to the match block's `{`.
+    while i < end && !toks[i].is("{") {
+        i += 1;
+    }
+    let mut arms = Vec::new();
+    let mut depth = 1i32; // inside the match block
+    let mut in_body = false;
+    let mut arm = Arm {
+        line: 0,
+        variants: Vec::new(),
+        binders: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut j = i + 1;
+    while j < end && depth > 0 {
+        let t = &toks[j];
+        if t.is("(") || t.is("[") || t.is("{") {
+            depth += 1;
+        } else if t.is(")") || t.is("]") || t.is("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if depth == 1 && t.is("=") && toks.get(j + 1).is_some_and(|n| n.is(">")) {
+            in_body = true;
+            j += 2;
+            // A block body (`=> { ... }`) ends at its matching brace, with
+            // no comma required: consume it balanced and close the arm.
+            if toks.get(j).is_some_and(|n| n.is("{")) {
+                let mut body_depth = 1i32;
+                j += 1;
+                while j < end && body_depth > 0 {
+                    let b = &toks[j];
+                    if b.is("(") || b.is("[") || b.is("{") {
+                        body_depth += 1;
+                    } else if b.is(")") || b.is("]") || b.is("}") {
+                        body_depth -= 1;
+                    }
+                    if body_depth > 0 {
+                        arm.body.push(b.text.clone());
+                    }
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|n| n.is(",")) {
+                    j += 1;
+                }
+                arms.push(arm);
+                arm = Arm {
+                    line: 0,
+                    variants: Vec::new(),
+                    binders: Vec::new(),
+                    body: Vec::new(),
+                };
+                in_body = false;
+            }
+            continue;
+        }
+        if depth == 1 && t.is(",") && in_body {
+            arms.push(arm);
+            arm = Arm {
+                line: 0,
+                variants: Vec::new(),
+                binders: Vec::new(),
+                body: Vec::new(),
+            };
+            in_body = false;
+            j += 1;
+            continue;
+        }
+        if in_body {
+            arm.body.push(t.text.clone());
+        } else if is_upper_ident(&t.text) {
+            if arm.variants.is_empty() {
+                arm.line = t.line;
+            }
+            arm.variants.push(t.text.clone());
+        } else if is_lower_ident(&t.text) {
+            arm.binders.push(t.text.clone());
+        } else if t.is("_") {
+            arm.variants.push("_".to_string());
+            if arm.line == 0 {
+                arm.line = t.line;
+            }
+        }
+        j += 1;
+    }
+    if in_body && (!arm.body.is_empty() || !arm.variants.is_empty()) {
+        arms.push(arm);
+    }
+    Some(arms)
+}
+
+/// Flag pattern binders the arm's body never reads.
+fn unused_binder_findings(fn_name: &str, arms: &[Arm], findings: &mut Vec<Finding>) {
+    for arm in arms {
+        for binder in &arm.binders {
+            if !arm.body.iter().any(|t| t == binder) {
+                findings.push(Finding {
+                    line: arm.line,
+                    message: format!(
+                        "`fn {fn_name}` arm for {} binds `{binder}` but never uses it: \
+the billed overhead and the emitted schedule can silently diverge for \
+parameterized techniques",
+                        arm.variants.join(" | "),
+                    ),
+                    subject: arm.variants.first().cloned(),
+                });
+            }
+        }
+    }
+}
+
+impl Rule for OverheadConsistency {
+    fn name(&self) -> &'static str {
+        "overhead-consistency"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Technique::overhead() (Table 2) is what deployment ranks candidate \
+techniques by, so it must agree with what transform::apply() emits. Each \
+`fn overhead` arm must bill the family its variant name belongs to \
+(Inert*/TtlRst* -> InertPackets(1): the transform inserts exactly one \
+inert packet; Pause* -> PauseSeconds; DummyPrefixData -> PrefixBytes; \
+*Split*/*Reorder* -> ExtraHeaders), wildcard arms are banned (a new \
+technique must pick a class), and every pattern binder in `fn overhead` \
+and transform.rs's `fn apply` must flow into the arm body — an ignored \
+`bytes` or `segments` means the bill no longer tracks the emission. \
+Suppress a proven-safe site with `// lint: allow(overhead-consistency)`."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/evasion/") && !in_test_tree(rel_path)
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let spans = fn_spans(ctx.tokens);
+
+        for span in &spans {
+            if ctx.test_mask.get(span.start).copied().unwrap_or(false) {
+                continue;
+            }
+            match span.name.as_str() {
+                "overhead" => {
+                    let Some(arms) = match_arms(ctx.tokens, span.start, span.end) else {
+                        continue;
+                    };
+                    for arm in &arms {
+                        // The billed family: the segment following `Overhead` in
+                        // the body (`Overhead :: Family ( ... )`).
+                        let billed = arm
+                            .body
+                            .iter()
+                            .position(|t| t == "Overhead")
+                            .and_then(|p| arm.body.get(p + 3))
+                            .cloned();
+                        for variant in &arm.variants {
+                            if variant == "_" {
+                                findings.push(Finding {
+                                    line: arm.line,
+                                    message: "wildcard arm in `fn overhead`: every \
+technique must pick its Table 2 overhead class explicitly, or a new \
+variant silently inherits another family's bill"
+                                        .to_string(),
+                                    subject: None,
+                                });
+                                continue;
+                            }
+                            let Some(expected) = expected_family(variant) else {
+                                findings.push(Finding {
+                                    line: arm.line,
+                                    message: format!(
+                                        "`{variant}` fits no known overhead family \
+(Inert*/TtlRst*, Pause*, DummyPrefixData, *Split*/*Reorder*): extend the \
+overhead-consistency families alongside the new technique"
+                                    ),
+                                    subject: Some(variant.clone()),
+                                });
+                                continue;
+                            };
+                            match billed.as_deref() {
+                                Some(actual) if actual == expected => {}
+                                Some(actual) => findings.push(Finding {
+                                    line: arm.line,
+                                    message: format!(
+                                        "`{variant}` billed as Overhead::{actual}, \
+but its family emits Overhead::{expected} (Table 2)"
+                                    ),
+                                    subject: Some(variant.clone()),
+                                }),
+                                None => findings.push(Finding {
+                                    line: arm.line,
+                                    message: format!(
+                                        "`{variant}` arm in `fn overhead` never \
+constructs an Overhead value — the bill for this technique is opaque"
+                                    ),
+                                    subject: Some(variant.clone()),
+                                }),
+                            }
+                            // Unit inert variants: the transform inserts exactly
+                            // ONE inert packet, so the bill must be the literal 1.
+                            if expected == "InertPackets"
+                                && arm.binders.is_empty()
+                                && billed.as_deref() == Some("InertPackets")
+                            {
+                                let literal_one = arm
+                                    .body
+                                    .iter()
+                                    .position(|t| t == "InertPackets")
+                                    .and_then(|p| arm.body.get(p + 2))
+                                    .is_some_and(|t| t == "1");
+                                if !literal_one {
+                                    findings.push(Finding {
+                                        line: arm.line,
+                                        message: format!(
+                                            "`{variant}` must bill \
+InertPackets(1): the transform emits exactly one inert packet per flow"
+                                        ),
+                                        subject: Some(variant.clone()),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    unused_binder_findings("overhead", &arms, &mut findings);
+                }
+                "apply" => {
+                    let Some(arms) = match_arms(ctx.tokens, span.start, span.end) else {
+                        continue;
+                    };
+                    unused_binder_findings("apply", &arms, &mut findings);
+                }
+                _ => {}
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::test_mask;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        OverheadConsistency.check(&RuleCtx {
+            rel_path: "crates/core/src/evasion/mod.rs",
+            tokens: &out.tokens,
+            test_mask: &mask,
+        })
+    }
+
+    #[test]
+    fn consistent_overhead_table_passes() {
+        let findings = run("pub fn overhead(&self) -> Overhead { match self { \
+InertLowTtl | InertTcpWrongSeq => Overhead::InertPackets(1), \
+TcpSegmentSplit { segments } => Overhead::ExtraHeaders(segments - 1), \
+UdpReorder => Overhead::ExtraHeaders(0), \
+PauseAfterMatch(d) | PauseBeforeMatch(d) => Overhead::PauseSeconds(d.as_secs()), \
+TtlRstAfterMatch => Overhead::InertPackets(1), \
+DummyPrefixData { bytes } => Overhead::PrefixBytes(*bytes), } }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn wrong_family_is_flagged() {
+        let findings = run("fn overhead(&self) -> Overhead { match self { \
+PauseAfterMatch(d) => Overhead::InertPackets(d.as_secs() as usize), } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("PauseSeconds"));
+        assert_eq!(findings[0].subject.as_deref(), Some("PauseAfterMatch"));
+    }
+
+    #[test]
+    fn inert_must_bill_exactly_one_packet() {
+        let findings = run("fn overhead(&self) -> Overhead { match self { \
+InertLowTtl => Overhead::InertPackets(2), } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("exactly one inert packet"));
+    }
+
+    #[test]
+    fn wildcard_arm_is_banned() {
+        let findings = run("fn overhead(&self) -> Overhead { match self { \
+InertLowTtl => Overhead::InertPackets(1), _ => Overhead::InertPackets(1), } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn unknown_family_forces_a_decision() {
+        let findings = run("fn overhead(&self) -> Overhead { match self { \
+QuantumTunnel => Overhead::InertPackets(1), } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no known overhead family"));
+    }
+
+    #[test]
+    fn ignored_binder_in_overhead_is_flagged() {
+        let findings = run("fn overhead(&self) -> Overhead { match self { \
+DummyPrefixData { bytes } => Overhead::PrefixBytes(1500), } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("binds `bytes`"));
+    }
+
+    #[test]
+    fn ignored_binder_in_apply_is_flagged() {
+        let findings = run(
+            "pub fn apply(t: &Technique, s: &Schedule) -> Option<Schedule> { match t { \
+TcpSegmentSplit { segments } => { split(s, 2) } \
+DummyPrefixData { bytes } => { prefix(s, *bytes) }, } }",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`segments`"));
+        assert!(findings[0].message.contains("fn apply"));
+    }
+
+    #[test]
+    fn binder_passthrough_in_apply_passes() {
+        let findings = run(
+            "pub fn apply(t: &Technique, s: &Schedule) -> Option<Schedule> { match t { \
+TcpSegmentSplit { segments } => { split(s, *segments) } \
+PauseAfterMatch(d) => { pause(s, d) }, } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn other_fns_and_test_code_are_ignored() {
+        let findings = run(
+            "fn category(&self) -> Category { match self { PauseAfterMatch(_) => \
+Category::Flushing, } } #[cfg(test)] mod tests { fn overhead() -> Overhead { \
+match x { InertLowTtl => Overhead::PrefixBytes(9), } } }",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_covers_the_evasion_module_only() {
+        assert!(OverheadConsistency.applies("crates/core/src/evasion/mod.rs"));
+        assert!(OverheadConsistency.applies("crates/core/src/evasion/transform.rs"));
+        assert!(!OverheadConsistency.applies("crates/core/src/evaluate.rs"));
+        assert!(!OverheadConsistency.applies("crates/core/tests/evasion.rs"));
+    }
+}

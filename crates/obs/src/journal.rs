@@ -93,6 +93,22 @@ pub enum EventKind {
         server_bytes: u64,
         blocked: bool,
     },
+    /// A DPI device's rule set was hot-swapped mid-deployment.
+    RuleSwap {
+        device: String,
+        rules: u64,
+    },
+    /// The deployment pool atomically published a (re)characterized
+    /// technique under a new generation stamp.
+    TechniquePublished {
+        generation: u64,
+        technique: String,
+    },
+    /// A flow parked on a fallback-ladder technique after the published
+    /// technique burned mid-wave.
+    FallbackEngaged {
+        technique: String,
+    },
 }
 
 impl EventKind {
@@ -108,6 +124,9 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::TechniqueTried { .. } => "technique_tried",
             EventKind::ReplayFinished { .. } => "replay_finished",
+            EventKind::RuleSwap { .. } => "rule_swap",
+            EventKind::TechniquePublished { .. } => "technique_published",
+            EventKind::FallbackEngaged { .. } => "fallback_engaged",
         }
     }
 }

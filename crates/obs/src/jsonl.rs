@@ -91,6 +91,22 @@ fn write_event(out: &mut String, ev: &Event) {
                  \"server_bytes\":{server_bytes},\"blocked\":{blocked}"
             );
         }
+        EventKind::RuleSwap { device, rules } => {
+            let _ = write!(out, ",\"device\":{},\"rules\":{}", json_str(device), rules);
+        }
+        EventKind::TechniquePublished {
+            generation,
+            technique,
+        } => {
+            let _ = write!(
+                out,
+                ",\"generation\":{generation},\"technique\":{}",
+                json_str(technique)
+            );
+        }
+        EventKind::FallbackEngaged { technique } => {
+            let _ = write!(out, ",\"technique\":{}", json_str(technique));
+        }
     }
     out.push_str("}\n");
 }
@@ -389,7 +405,7 @@ mod tests {
         // Counter lines carry the final sim timestamp and fixed order.
         let last = text.lines().last().unwrap();
         assert!(last.contains("\"t_us\":20"), "{last}");
-        assert!(last.contains("\"name\":\"automaton-states\""), "{last}");
+        assert!(last.contains("\"name\":\"rule-swaps\""), "{last}");
         let first_counter = text
             .lines()
             .find(|l| l.contains("\"event\":\"counter\""))

@@ -38,10 +38,20 @@ pub enum Counter {
     MatcherBytesScanned,
     /// States in compiled rule automata (added once per lazy compile).
     AutomatonStates,
+    /// Live application flows driven by `DeploymentPool::run_flows`.
+    DeployFlows,
+    /// Re-characterization waves the deployment pool has run (one per
+    /// acknowledged classifier change, regardless of worker count).
+    RecharacterizeWaves,
+    /// Flows parked on a fallback-ladder technique after the published
+    /// technique burned mid-wave.
+    FallbackParks,
+    /// Rule-set hot swaps applied to a DPI device mid-deployment.
+    RuleSwaps,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::PacketsStepped,
         Counter::PacketsInjected,
         Counter::FlowsCreated,
@@ -56,6 +66,10 @@ impl Counter {
         Counter::TechniquesTried,
         Counter::MatcherBytesScanned,
         Counter::AutomatonStates,
+        Counter::DeployFlows,
+        Counter::RecharacterizeWaves,
+        Counter::FallbackParks,
+        Counter::RuleSwaps,
     ];
 
     pub fn name(self) -> &'static str {
@@ -74,6 +88,10 @@ impl Counter {
             Counter::TechniquesTried => "techniques-tried",
             Counter::MatcherBytesScanned => "matcher-bytes-scanned",
             Counter::AutomatonStates => "automaton-states",
+            Counter::DeployFlows => "deploy-flows",
+            Counter::RecharacterizeWaves => "recharacterize-waves",
+            Counter::FallbackParks => "fallback-parks",
+            Counter::RuleSwaps => "rule-swaps",
         }
     }
 }

@@ -37,6 +37,13 @@ cargo run --release -q -p liberate-obs --bin obs-check -- target/trace-parallel.
 say "exp-parallel (regenerates results/BENCH_parallel.json)"
 cargo run --release -q -p liberate-bench --bin exp-parallel >/dev/null
 
+say "exp-deploy --workers 4 --trace (deployment pool gates, regenerates results/BENCH_deploy.json)"
+# Asserts internally: adaptation latency within 1.5x of the sequential
+# proxy, ONE re-characterization per scripted rule flip, adapted-technique
+# parity at 1/2/4 workers, and >= 1.5x recovery-throughput scaling.
+cargo run --release -q -p liberate-bench --bin exp-deploy -- --workers 4 --trace target/trace-deploy.jsonl >/dev/null
+cargo run --release -q -p liberate-obs --bin obs-check -- target/trace-deploy.jsonl
+
 say "exp-matcher (matcher parity + speedup gate, regenerates results/BENCH_matcher.json)"
 # Asserts internally that the automaton scans >= 5x fewer bytes and is
 # no slower than the naive matcher on the largest synthetic trace.

@@ -1,0 +1,335 @@
+//! Deployment test battery for the pool-backed proxy (§4.4 at scale).
+//!
+//! Pins the tentpole contracts of `DeploymentPool`:
+//!
+//! - a classifier change seen by N workers in one wave triggers exactly
+//!   ONE re-characterization, not N;
+//! - the published generation is monotonic and snapshots are never torn
+//!   (a reader can never pair generation g with generation g-1's
+//!   technique);
+//! - a burned published technique degrades onto the fallback ladder in
+//!   ladder order;
+//! - the adapted technique at 1, 2, and 4 workers is identical to what
+//!   the sequential `LiberateProxy` re-learns from the same rule flip;
+//! - same seed, same worker count ⇒ byte-identical merged journals.
+//!
+//! The scripted classifier change used throughout: the testbed's "web"
+//! rule (keyword `example.org`, a decoy class with a no-op policy) is
+//! re-classed to "video", so the decoy request the low-TTL inert
+//! technique leans on suddenly draws the video throttle. That burns the
+//! initial technique (`InertLowTtl`) while leaving the video keyword
+//! fields themselves intact — a genuine rule-set swap, not a policy
+//! tweak.
+
+use std::sync::Arc;
+
+use liberate::prelude::*;
+use liberate_obs::{to_jsonl, validate_jsonl, Counter, Journal};
+use liberate_traces::apps;
+
+fn trace() -> liberate_traces::recorded::RecordedTrace {
+    apps::amazon_prime_http(1_200_000)
+}
+
+/// The scripted rule flip: re-class the testbed's decoy "web" rule as
+/// "video" so decoy traffic draws the throttle.
+fn flipped_rules(rules: &liberate_dpi::rules::RuleSet) -> liberate_dpi::rules::RuleSet {
+    let mut rules = rules.clone();
+    for r in &mut rules.rules {
+        if r.id == "web" {
+            r.class = "video".to_string();
+        }
+    }
+    rules
+}
+
+fn testbed_pool(workers: usize) -> DeploymentPool {
+    DeploymentPool::new(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        workers,
+        CharacterizeOpts::default(),
+    )
+}
+
+/// (a) N workers observing the same classifier flip in one wave cause
+/// exactly one re-characterization, and stale change reports from the
+/// flip wave never trigger a second one.
+#[test]
+fn one_recharacterization_per_flip_despite_many_witnesses() {
+    let trace = trace();
+    let workers = 4;
+    let users = workers * 2;
+    let mut pool = testbed_pool(workers);
+
+    let wave1 = pool.run_flows(&trace, users).expect("initial wave");
+    assert_eq!(pool.characterizations, 1, "initial learn only");
+    assert_eq!(wave1.generation, 1);
+    assert!(wave1.all_evaded());
+    assert_eq!(wave1.change_signals(), 0);
+
+    let rules = {
+        let dpi = pool.pool_mut().session_mut(0).env.dpi_mut().unwrap();
+        flipped_rules(&dpi.config.rules)
+    };
+    pool.hot_swap_rules(&rules);
+
+    let wave2 = pool.run_flows(&trace, users).expect("flip wave");
+    assert_eq!(
+        wave2.change_signals(),
+        users,
+        "every user's flow should witness the burned technique"
+    );
+    assert!(wave2.recharacterized);
+    assert_eq!(
+        pool.characterizations, 2,
+        "eight change signals, ONE re-characterization"
+    );
+    assert_eq!(wave2.generation, 2, "one publish per acknowledged change");
+    // Every report in the wave read the pre-flip generation.
+    assert!(wave2.reports.iter().all(|r| r.generation == 1));
+
+    // The next wave runs on the refreshed technique: no residual change
+    // signals, no further re-learning.
+    let wave3 = pool.run_flows(&trace, users).expect("recovery wave");
+    assert!(wave3.all_evaded());
+    assert_eq!(wave3.change_signals(), 0);
+    assert!(!wave3.recharacterized);
+    assert_eq!(pool.characterizations, 2);
+    assert_eq!(wave3.generation, 2);
+
+    // The journal agrees with the driver's own accounting.
+    let merged = Arc::new(Journal::new());
+    pool.merge_journals_into(&merged);
+    assert_eq!(merged.metrics.get(Counter::RecharacterizeWaves), 2);
+    assert_eq!(
+        merged.metrics.get(Counter::DeployFlows),
+        (users * 3) as u64,
+        "every flow of every wave runs inside a Deploy span"
+    );
+    assert_eq!(
+        merged.metrics.get(Counter::RuleSwaps),
+        workers as u64,
+        "the scripted flip touches each worker's device once"
+    );
+}
+
+/// (b) Generation monotonicity and torn-read freedom: concurrent readers
+/// hammering `PublishedState::snapshot` while a publisher installs new
+/// techniques must always see a generation that never goes backwards and
+/// a technique that matches the generation it is paired with.
+#[test]
+fn published_state_is_monotonic_and_never_torn() {
+    // Borrow a real ActiveEvasion from a tiny pool run, then re-publish
+    // mutated clones whose technique encodes the expected generation.
+    let trace = trace();
+    let mut pool = testbed_pool(1);
+    pool.run_flows(&trace, 1).expect("initial wave");
+    let base = pool
+        .published()
+        .snapshot()
+        .evasion
+        .expect("initial technique published");
+
+    let state = PublishedState::new();
+    assert_eq!(state.generation(), 0);
+    assert!(state.snapshot().evasion.is_none());
+
+    const PUBLISHES: usize = 500;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let state = state.clone();
+            scope.spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let snap = state.snapshot();
+                    assert!(
+                        snap.generation >= last,
+                        "generation went backwards: {} -> {}",
+                        last,
+                        snap.generation
+                    );
+                    last = snap.generation;
+                    match snap.evasion {
+                        None => assert_eq!(snap.generation, 0, "technique without a generation"),
+                        Some(e) => assert_eq!(
+                            e.technique.effective,
+                            Technique::DummyPrefixData {
+                                bytes: snap.generation as usize
+                            },
+                            "torn read: generation {} paired with {:?}",
+                            snap.generation,
+                            e.technique.effective
+                        ),
+                    }
+                    if last >= PUBLISHES as u64 {
+                        break;
+                    }
+                }
+            });
+        }
+
+        for i in 1..=PUBLISHES {
+            let mut e = (*base).clone();
+            e.technique.effective = Technique::DummyPrefixData { bytes: i };
+            let generation = state.publish(Arc::new(e));
+            assert_eq!(generation, i as u64, "publish stamps are sequential");
+        }
+    });
+    assert_eq!(state.generation(), PUBLISHES as u64);
+}
+
+/// (c) Mid-wave degradation walks the fallback ladder in order: a burned
+/// first rung is skipped, the first surviving rung catches the flow, and
+/// reordering the ladder changes which rung parks the traffic.
+#[test]
+fn fallback_ladder_is_walked_in_order() {
+    let trace = trace();
+    // `InertLowTtl` is the initial published technique, which the flip
+    // burns; `InertTcpInvalidFlags` survives the flip (it is what the
+    // re-learn converges to — see adapted-parity test below).
+    let burned = Technique::InertLowTtl;
+    let survivor = Technique::InertTcpInvalidFlags;
+
+    for (ladder, expect_parked) in [
+        (vec![burned.clone(), survivor.clone()], survivor.clone()),
+        (vec![survivor.clone(), burned.clone()], survivor.clone()),
+    ] {
+        let first_rung = ladder[0].clone();
+        let mut pool = testbed_pool(2).with_fallback_ladder(ladder);
+        pool.run_flows(&trace, 4).expect("initial wave");
+        assert_eq!(pool.active_technique().unwrap(), burned);
+
+        let rules = {
+            let dpi = pool.pool_mut().session_mut(0).env.dpi_mut().unwrap();
+            flipped_rules(&dpi.config.rules)
+        };
+        pool.hot_swap_rules(&rules);
+        let wave = pool.run_flows(&trace, 4).expect("flip wave");
+
+        for r in &wave.reports {
+            assert!(r.change_signal, "published technique should burn");
+            assert_eq!(
+                r.parked_on_fallback.as_ref(),
+                Some(&expect_parked),
+                "ladder {first_rung:?}-first should park on {expect_parked:?}"
+            );
+            assert!(r.evaded, "parked traffic keeps moving");
+            assert_eq!(r.technique.as_ref(), Some(&expect_parked));
+        }
+
+        let merged = Arc::new(Journal::new());
+        pool.merge_journals_into(&merged);
+        assert_eq!(
+            merged.metrics.get(Counter::FallbackParks),
+            wave.reports.len() as u64,
+            "each degraded flow records one park"
+        );
+    }
+}
+
+/// (c') A ladder whose every rung is burned parks nothing: the flow
+/// reports the change but does not evade until the re-learn lands.
+#[test]
+fn exhausted_ladder_parks_nothing() {
+    let trace = trace();
+    let mut pool = testbed_pool(1).with_fallback_ladder(vec![Technique::InertLowTtl]);
+    pool.run_flows(&trace, 2).expect("initial wave");
+
+    let rules = {
+        let dpi = pool.pool_mut().session_mut(0).env.dpi_mut().unwrap();
+        flipped_rules(&dpi.config.rules)
+    };
+    pool.hot_swap_rules(&rules);
+    let wave = pool.run_flows(&trace, 2).expect("flip wave");
+    for r in &wave.reports {
+        assert!(r.change_signal);
+        assert!(r.parked_on_fallback.is_none(), "sole rung is burned too");
+        assert!(!r.evaded);
+    }
+    // The re-learn still lands, so the next wave evades without parking.
+    let recovery = pool.run_flows(&trace, 2).expect("recovery wave");
+    assert!(recovery.all_evaded());
+    assert_eq!(recovery.change_signals(), 0);
+}
+
+/// (d) Worker-count parity: after the same scripted flip, the pool at 1,
+/// 2, and 4 workers publishes exactly the technique the sequential
+/// `LiberateProxy` adapts to — fanning deployment out never changes what
+/// is deployed.
+#[test]
+fn adapted_technique_matches_sequential_proxy_at_1_2_4_workers() {
+    let trace = trace();
+
+    // Sequential baseline.
+    let session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    let mut proxy = LiberateProxy::new(session, CharacterizeOpts::default());
+    let first = proxy.run_flow(&trace).expect("initial learn");
+    assert!(first.recharacterized);
+    let seq_initial = proxy.active_technique().unwrap().effective.clone();
+
+    let rules = flipped_rules(&proxy.session.env.dpi_mut().unwrap().config.rules);
+    proxy
+        .session
+        .env
+        .dpi_mut()
+        .unwrap()
+        .hot_swap_rules(rules.clone());
+    let adapted = proxy.run_flow(&trace).expect("re-learn");
+    assert!(adapted.recharacterized, "flip should force a re-learn");
+    let seq_adapted = proxy.active_technique().unwrap().effective.clone();
+    assert_ne!(
+        seq_initial, seq_adapted,
+        "the flip burns the initial technique"
+    );
+
+    for workers in [1usize, 2, 4] {
+        let mut pool = testbed_pool(workers);
+        let wave1 = pool.run_flows(&trace, workers * 2).expect("initial wave");
+        assert!(wave1.all_evaded());
+        assert_eq!(
+            pool.active_technique().unwrap(),
+            seq_initial,
+            "initial parity at {workers} workers"
+        );
+
+        pool.hot_swap_rules(&rules);
+        let wave2 = pool.run_flows(&trace, workers * 2).expect("flip wave");
+        assert!(wave2.recharacterized);
+        assert_eq!(
+            pool.active_technique().unwrap(),
+            seq_adapted,
+            "adapted parity at {workers} workers"
+        );
+
+        let wave3 = pool.run_flows(&trace, workers * 2).expect("recovery wave");
+        assert!(wave3.all_evaded(), "refreshed technique carries all users");
+    }
+}
+
+/// (e) Same seed, same worker count ⇒ byte-identical merged journals,
+/// even through a scripted flip, a fallback ladder, and a re-learn.
+#[test]
+fn same_seed_deployment_journals_are_byte_identical() {
+    let trace = trace();
+    let run = || {
+        let mut pool = testbed_pool(2).with_fallback_ladder(vec![Technique::InertTcpInvalidFlags]);
+        pool.run_flows(&trace, 4).expect("initial wave");
+        let rules = {
+            let dpi = pool.pool_mut().session_mut(0).env.dpi_mut().unwrap();
+            flipped_rules(&dpi.config.rules)
+        };
+        pool.hot_swap_rules(&rules);
+        pool.run_flows(&trace, 4).expect("flip wave");
+        pool.run_flows(&trace, 4).expect("recovery wave");
+        let merged = Arc::new(Journal::new());
+        pool.merge_journals_into(&merged);
+        to_jsonl(&merged)
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    validate_jsonl(&a).expect("merged deployment journal is valid JSONL");
+    assert_eq!(a, b, "same seed must replay to byte-identical journals");
+}
