@@ -84,6 +84,9 @@ impl PublishedState {
 
     /// Atomically install `evasion` under the next generation; returns
     /// the new generation stamp.
+    // lint: allow(generation-discipline: publish) the single sanctioned
+    // writer: the bump happens under the state write lock, and every
+    // other reader goes through snapshot()/generation().
     pub fn publish(&self, evasion: Arc<ActiveEvasion>) -> u64 {
         let mut state = self.inner.write();
         state.generation += 1;
@@ -271,11 +274,14 @@ impl DeploymentPool {
         // only writer, and it only writes between waves), so one re-learn
         // covers all of them. A report stamped with an older generation
         // would mean some earlier wave already paid — ignore it and let
-        // the worker pick up the newer technique next wave.
+        // the worker pick up the newer technique next wave. Monotonic
+        // `>=` rather than `==`: if the counter ever advances more than
+        // once between a flow's snapshot and this check, an equality test
+        // would silently drop the change signal.
         let current = self.published.generation();
         let needs_relearn = reports
             .iter()
-            .any(|r| r.change_signal && r.generation == current);
+            .any(|r| r.change_signal && r.generation >= current);
         let recharacterized = if needs_relearn {
             self.recharacterize(trace)?;
             true

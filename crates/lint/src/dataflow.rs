@@ -1,0 +1,498 @@
+//! Guard-lifetime dataflow over the statement IR.
+//!
+//! For each function, finds every lock-guard *acquisition* — a
+//! zero-argument `.lock()`/`.read()`/`.write()` (Mutex/RwLock guards take
+//! no arguments, which cleanly separates them from `io::Read::read` and
+//! friends), a `.shard()`/`.shard_at()` call on the sharded flow table,
+//! or a helper call whose name ends in `_guard`/`_lock` (the
+//! returned-from-helper case the token engine could not see) — and
+//! computes the token range over which the resulting guard is *live*:
+//!
+//! - a `let`-bound guard lives from its acquisition until an explicit
+//!   `drop(name)`, a by-value move into a call (`absorb(guard)`), a
+//!   move out of the block as its trailing value, or the closing `}` of
+//!   its scope;
+//! - a temporary (no `let`) lives to the end of its statement;
+//! - a reborrow (`helper(&guard)`, `helper(&mut guard)`) does **not**
+//!   end the range — the guard comes back;
+//! - shadowing (`let g = a.lock(); let g = b.lock();`) does **not** end
+//!   the first range either: Rust keeps the shadowed guard alive to
+//!   scope end, which is exactly the double-lock hazard the rules exist
+//!   to catch. Once a binding is shadowed, later `drop`/move mentions
+//!   refer to the new binding, so the scan for the old range stops and
+//!   the range runs to scope end.
+//!
+//! Rules decide what a guard *means* (shard tier vs penalty tier vs any
+//! blocking-sensitive guard); this module only answers "what is live
+//! where".
+
+use crate::ir::{pattern_bindings, Block, FnIr, Stmt};
+use crate::lexer::Token;
+
+/// Guard-returning methods with a zero-argument signature.
+const BARE_ACQUIRERS: &[&str] = &["lock", "read", "write"];
+/// Guard-returning methods that take arguments (sharded flow table API).
+const ARG_ACQUIRERS: &[&str] = &["shard", "shard_at"];
+
+/// One guard acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acq {
+    /// The acquiring method or helper-fn name.
+    pub method: String,
+    /// Receiver chain identifiers, innermost first (`self.table.lock()`
+    /// yields `["table", "self"]`). Empty for bare helper calls.
+    pub receiver: Vec<String>,
+    /// Token index of the method/helper name.
+    pub at: usize,
+    pub line: u32,
+}
+
+/// How a guard's live range ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Release {
+    /// `drop(name)`.
+    Dropped,
+    /// Moved by value into a call or out of the block.
+    Moved,
+    /// The enclosing scope's `}` (or the scan stopped at a shadowing
+    /// rebind of the same name).
+    ScopeEnd,
+    /// A temporary: the guard never outlived its statement.
+    StatementEnd,
+}
+
+/// The live range of one acquired guard.
+#[derive(Debug, Clone)]
+pub struct GuardRange {
+    pub acq: Acq,
+    /// The `let` binding holding the guard; `None` for temporaries.
+    pub binding: Option<String>,
+    /// First token index at which the guard is live (the acquisition).
+    pub start: usize,
+    /// Exclusive token index at which the guard is no longer live.
+    pub end: usize,
+    pub released: Release,
+}
+
+impl GuardRange {
+    /// Is the guard live at token index `i` (excluding its own
+    /// acquisition token)?
+    pub fn live_at(&self, i: usize) -> bool {
+        self.start < i && i < self.end
+    }
+}
+
+/// Per-function guard analysis.
+#[derive(Debug)]
+pub struct FnGuards {
+    pub fn_name: String,
+    pub fn_line: u32,
+    /// Every acquisition in the function, in token order.
+    pub acqs: Vec<Acq>,
+    /// Live ranges (let-bound and temporary), in acquisition order.
+    pub ranges: Vec<GuardRange>,
+    /// Token spans of fns nested inside this one — different stack
+    /// frames, skipped by lifetime scans.
+    nested: Vec<(usize, usize)>,
+}
+
+impl FnGuards {
+    pub fn in_nested_fn(&self, i: usize) -> bool {
+        self.nested.iter().any(|&(s, e)| s <= i && i < e)
+    }
+}
+
+/// Analyze every function in the file.
+pub fn analyze(tokens: &[Token], fns: &[FnIr]) -> Vec<FnGuards> {
+    fns.iter()
+        .filter(|f| f.body.is_some())
+        .map(|f| analyze_fn(tokens, fns, f))
+        .collect()
+}
+
+fn analyze_fn(tokens: &[Token], all: &[FnIr], f: &FnIr) -> FnGuards {
+    let nested: Vec<(usize, usize)> = all
+        .iter()
+        .filter(|g| g.start > f.start && g.end <= f.end)
+        .map(|g| (g.start, g.end))
+        .collect();
+    let mut out = FnGuards {
+        fn_name: f.name.clone(),
+        fn_line: f.line,
+        acqs: Vec::new(),
+        ranges: Vec::new(),
+        nested,
+    };
+    if let Some(body) = &f.body {
+        walk_block(tokens, body, &mut out);
+    }
+    out.acqs.sort_by_key(|a| a.at);
+    out.ranges.sort_by_key(|r| r.start);
+    out
+}
+
+fn walk_block(tokens: &[Token], block: &Block, out: &mut FnGuards) {
+    for stmt in &block.stmts {
+        // Acquisitions at this statement's own level (tokens inside the
+        // statement's nested blocks are found when walking those blocks).
+        let acqs = stmt_level_acqs(tokens, stmt, out);
+        if !acqs.is_empty() {
+            if stmt.bindings.is_empty() {
+                for acq in &acqs {
+                    out.ranges.push(GuardRange {
+                        acq: acq.clone(),
+                        binding: None,
+                        start: acq.at,
+                        end: stmt.end,
+                        released: Release::StatementEnd,
+                    });
+                }
+            } else if stmt.bindings.len() == acqs.len() {
+                // Positional pairing: `let (a, b) = (x.lock(), y.lock())`.
+                for (b, acq) in stmt.bindings.iter().zip(&acqs) {
+                    push_bound_range(tokens, out, stmt, block, &b.name, acq);
+                }
+            } else {
+                // Counts differ (e.g. one acquisition destructured into
+                // several names, or several acquisitions folded into one
+                // binding): every name conservatively holds every guard.
+                for b in &stmt.bindings {
+                    for acq in &acqs {
+                        push_bound_range(tokens, out, stmt, block, &b.name, acq);
+                    }
+                }
+            }
+        }
+        out.acqs.extend(acqs);
+        for inner in &stmt.blocks {
+            walk_block(tokens, inner, out);
+        }
+    }
+}
+
+/// Find acquisitions in `stmt`'s tokens, excluding nested-block spans and
+/// nested-fn spans.
+fn stmt_level_acqs(tokens: &[Token], stmt: &Stmt, ctx: &FnGuards) -> Vec<Acq> {
+    let mut acqs = Vec::new();
+    let mut i = stmt.start;
+    while i < stmt.end.min(tokens.len()) {
+        if let Some(b) = stmt.blocks.iter().find(|b| b.start <= i && i < b.end) {
+            i = b.end;
+            continue;
+        }
+        if ctx.in_nested_fn(i) {
+            i += 1;
+            continue;
+        }
+        if let Some(acq) = acquisition_at(tokens, i) {
+            acqs.push(acq);
+        }
+        i += 1;
+    }
+    acqs
+}
+
+/// Is the token at `i` the method/helper name of a guard acquisition?
+fn acquisition_at(tokens: &[Token], i: usize) -> Option<Acq> {
+    let t = tokens.get(i)?;
+    if !tokens.get(i + 1).is_some_and(|n| n.is("(")) {
+        return None;
+    }
+    // Definitions are not acquisitions.
+    if i > 0 && tokens[i - 1].is("fn") {
+        return None;
+    }
+    let name = t.text.as_str();
+    let is_method = i > 0 && tokens[i - 1].is(".");
+    let bare_hit = BARE_ACQUIRERS.contains(&name) && tokens.get(i + 2).is_some_and(|n| n.is(")"));
+    let arg_hit = ARG_ACQUIRERS.contains(&name);
+    let helper_hit = name.ends_with("_guard") || name.ends_with("_lock");
+    let hit = if is_method {
+        bare_hit || arg_hit || helper_hit
+    } else {
+        // Bare helper call (`grab_shard_guard(...)`).
+        helper_hit
+    };
+    if !hit {
+        return None;
+    }
+    let receiver = if is_method && i >= 2 {
+        receiver_idents(tokens, i - 2)
+    } else {
+        Vec::new()
+    };
+    Some(Acq {
+        method: t.text.clone(),
+        receiver,
+        at: i,
+        line: t.line,
+    })
+}
+
+/// Walk the receiver chain backwards from `end` (the token before the
+/// method's `.`), collecting the idents of e.g. `self.shards[idx]` while
+/// skipping balanced `[...]` / `(...)` groups.
+pub fn receiver_idents(toks: &[Token], end: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut i = end as isize;
+    while i >= 0 {
+        let t = &toks[i as usize];
+        if t.is("]") || t.is(")") {
+            let (open, close) = if t.is("]") { ("[", "]") } else { ("(", ")") };
+            let mut balance = 1i32;
+            i -= 1;
+            while i >= 0 && balance > 0 {
+                if toks[i as usize].is(close) {
+                    balance += 1;
+                } else if toks[i as usize].is(open) {
+                    balance -= 1;
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        let is_ident = t
+            .text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && !t.text.is_empty();
+        if !is_ident {
+            break;
+        }
+        idents.push(t.text.clone());
+        // Continue through a field chain (`self.table.`); stop otherwise.
+        if i >= 1 && toks[i as usize - 1].is(".") {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    idents
+}
+
+fn push_bound_range(
+    tokens: &[Token],
+    out: &mut FnGuards,
+    stmt: &Stmt,
+    block: &Block,
+    name: &str,
+    acq: &Acq,
+) {
+    let (end, released) = release_point(tokens, out, name, stmt.end, block);
+    out.ranges.push(GuardRange {
+        acq: acq.clone(),
+        binding: Some(name.to_string()),
+        start: acq.at,
+        end,
+        released,
+    });
+}
+
+/// Scan forward from `from` to the enclosing block's `}` for the event
+/// that releases the binding `name`.
+fn release_point(
+    tokens: &[Token],
+    ctx: &FnGuards,
+    name: &str,
+    from: usize,
+    block: &Block,
+) -> (usize, Release) {
+    let scope_close = block.end.saturating_sub(1); // index of `}`
+    let mut i = from;
+    while i < scope_close {
+        if ctx.in_nested_fn(i) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        // A shadowing `let` rebinds the name: later mentions refer to the
+        // new binding, and the old guard stays alive to scope end.
+        if t.is("let") {
+            let mut eq = i + 1;
+            let mut depth = 0i32;
+            while eq < scope_close {
+                match tokens[eq].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 => break,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                eq += 1;
+            }
+            if pattern_bindings(tokens, i + 1, eq)
+                .iter()
+                .any(|b| b.name == name)
+            {
+                return (scope_close, Release::ScopeEnd);
+            }
+            i = eq;
+            continue;
+        }
+        // `drop(name)`.
+        if t.is("drop")
+            && tokens.get(i + 1).is_some_and(|n| n.is("("))
+            && tokens.get(i + 2).is_some_and(|n| n.is(name))
+            && tokens.get(i + 3).is_some_and(|n| n.is(")"))
+        {
+            return (i, Release::Dropped);
+        }
+        if t.is(name) {
+            let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+            let next = tokens.get(i + 1).map(|n| n.text.as_str());
+            // By-value move as a whole call argument: `f(name)` /
+            // `f(a, name, b)`. A preceding `&`/`mut` is a reborrow and
+            // keeps the guard alive; a following `.` is a method call.
+            let arg_pos = matches!(prev, Some("(") | Some(","));
+            let arg_end = matches!(next, Some(")") | Some(","));
+            if arg_pos && arg_end {
+                return (i + 1, Release::Moved);
+            }
+            // Moved out of the block as its trailing value, or returned.
+            let returned = matches!(prev, Some("return")) && matches!(next, Some(";") | Some("}"));
+            let trailing = matches!(prev, Some(";") | Some("{")) && matches!(next, Some("}"));
+            if returned || trailing {
+                return (i + 1, Release::Moved);
+            }
+        }
+        i += 1;
+    }
+    (scope_close, Release::ScopeEnd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use crate::lexer::lex;
+
+    fn guards(src: &str) -> Vec<FnGuards> {
+        let out = lex(src);
+        let fns = lower(&out.tokens);
+        analyze(&out.tokens, &fns)
+    }
+
+    fn one(src: &str) -> FnGuards {
+        let mut g = guards(src);
+        assert_eq!(g.len(), 1, "expected one fn in {src}");
+        g.remove(0)
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_scope_end() {
+        let g = one("fn f() { let a = self.shards[0].lock(); work(); }");
+        assert_eq!(g.ranges.len(), 1);
+        let r = &g.ranges[0];
+        assert_eq!(r.binding.as_deref(), Some("a"));
+        assert_eq!(r.released, Release::ScopeEnd);
+        assert_eq!(r.acq.method, "lock");
+        assert_eq!(r.acq.receiver, vec!["shards", "self"]);
+    }
+
+    #[test]
+    fn early_drop_ends_the_range() {
+        let src = "fn f() { let a = x.lock(); drop(a); y.lock(); }";
+        let g = one(src);
+        let toks = lex(src).tokens;
+        let r = &g.ranges[0];
+        assert_eq!(r.released, Release::Dropped);
+        // The second acquisition must be outside the first range.
+        let second = g.acqs.iter().find(|a| a.receiver == vec!["y"]).unwrap();
+        assert!(!r.live_at(second.at), "{r:?} vs {second:?}");
+        let _ = toks;
+    }
+
+    #[test]
+    fn inner_scope_ends_at_its_brace() {
+        let g = one("fn f() { { let a = x.lock(); } y.lock(); }");
+        let a = g.ranges.iter().find(|r| r.binding.is_some()).unwrap();
+        let y = g.acqs.iter().find(|q| q.receiver == vec!["y"]).unwrap();
+        assert!(!a.live_at(y.at));
+    }
+
+    #[test]
+    fn destructured_tuple_guards_pair_positionally() {
+        let g = one("fn f() { let (a, b) = (x.lock(), y.lock()); }");
+        assert_eq!(g.ranges.len(), 2);
+        let ra = &g.ranges[0];
+        let rb = &g.ranges[1];
+        assert_eq!(ra.binding.as_deref(), Some("a"));
+        assert_eq!(rb.binding.as_deref(), Some("b"));
+        // The second acquisition happens while the first guard is live.
+        assert!(ra.live_at(rb.acq.at));
+    }
+
+    #[test]
+    fn helper_returned_guard_is_tracked() {
+        let g = one("fn f() { let g = grab_shard_guard(&table, key); other.lock(); }");
+        let helper = g
+            .ranges
+            .iter()
+            .find(|r| r.acq.method == "grab_shard_guard")
+            .unwrap();
+        let other = g.acqs.iter().find(|q| q.method == "lock").unwrap();
+        assert!(helper.live_at(other.at));
+    }
+
+    #[test]
+    fn move_into_helper_releases() {
+        let g = one("fn f() { let s = table.shard(k); s.touch(); absorb(s); x.lock(); }");
+        let r = &g.ranges[0];
+        assert_eq!(r.released, Release::Moved);
+        let x = g.acqs.iter().find(|q| q.receiver == vec!["x"]).unwrap();
+        assert!(!r.live_at(x.at));
+    }
+
+    #[test]
+    fn reborrow_does_not_release() {
+        let g = one("fn f() { let s = table.shard(k); helper(&mut s); x.lock(); }");
+        let r = &g.ranges[0];
+        assert_eq!(r.released, Release::ScopeEnd);
+        let x = g.acqs.iter().find(|q| q.receiver == vec!["x"]).unwrap();
+        assert!(r.live_at(x.at));
+    }
+
+    #[test]
+    fn shadowing_keeps_the_old_guard_alive() {
+        let g = one("fn f() { let g = a.lock(); let g = b.lock(); use_it(&g); }");
+        assert_eq!(g.ranges.len(), 2);
+        let first = &g.ranges[0];
+        let second = &g.ranges[1];
+        // Rust does not drop a shadowed guard: both are live after the
+        // second `let`.
+        assert_eq!(first.released, Release::ScopeEnd);
+        assert!(first.live_at(second.acq.at));
+    }
+
+    #[test]
+    fn temporaries_live_for_their_statement_only() {
+        let g = one("fn f() { table.shard(k).create(key); other.shard(k2).create(key2); }");
+        assert_eq!(g.ranges.len(), 2);
+        let (r1, r2) = (&g.ranges[0], &g.ranges[1]);
+        assert_eq!(r1.released, Release::StatementEnd);
+        assert!(!r1.live_at(r2.acq.at));
+    }
+
+    #[test]
+    fn io_read_write_with_arguments_are_not_guards() {
+        let g = one("fn f() { file.read(&mut buf); w.write(&bytes); }");
+        assert!(g.acqs.is_empty(), "{:?}", g.acqs);
+    }
+
+    #[test]
+    fn closure_acquisitions_scope_to_the_closure_block() {
+        let g = one("fn f() { xs.iter().map(|s| { let l = s.lock(); l.len() }).sum(); }");
+        // One acquisition, bound inside the closure block.
+        assert_eq!(g.ranges.len(), 1);
+        assert_eq!(g.ranges[0].binding.as_deref(), Some("l"));
+    }
+
+    #[test]
+    fn nested_fn_bodies_do_not_leak_into_the_parent() {
+        let g = guards("fn outer() { let a = x.lock(); fn inner() { y.lock(); } tail(); } ");
+        let outer = g.iter().find(|f| f.fn_name == "outer").unwrap();
+        // inner's acquisition is not attributed to outer.
+        assert_eq!(outer.ranges.len(), 1);
+        assert!(outer.acqs.iter().all(|a| a.receiver != vec!["y"]));
+    }
+}

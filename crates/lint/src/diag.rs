@@ -8,6 +8,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub rule: &'static str,
+    /// Stable `LIBnnn` code for the rule; what CI diffs against.
+    pub code: &'static str,
     /// Path relative to the workspace root, with `/` separators.
     pub file: String,
     pub line: u32,
@@ -18,8 +20,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}: [{} {}] {}",
+            self.file, self.line, self.code, self.rule, self.message
         )
     }
 }
@@ -44,8 +46,8 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a diagnostic list as a machine-readable JSON report:
-/// `{"count": N, "diagnostics": [{"rule": ..., "file": ..., "line": N,
-/// "message": ...}, ...]}`.
+/// `{"count": N, "diagnostics": [{"rule": ..., "code": ..., "file": ...,
+/// "line": N, "message": ...}, ...]}`.
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{{\"count\":{},\"diagnostics\":[", diags.len()));
@@ -54,8 +56,9 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"code\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
             json_escape(d.rule),
+            json_escape(d.code),
             json_escape(&d.file),
             d.line,
             json_escape(&d.message)
@@ -73,13 +76,14 @@ mod tests {
     fn display_is_file_line_rule_message() {
         let d = Diagnostic {
             rule: "no-panic",
+            code: "LIB004",
             file: "crates/core/src/socket.rs".into(),
             line: 42,
             message: "call to unwrap() outside tests".into(),
         };
         assert_eq!(
             d.to_string(),
-            "crates/core/src/socket.rs:42: [no-panic] call to unwrap() outside tests"
+            "crates/core/src/socket.rs:42: [LIB004 no-panic] call to unwrap() outside tests"
         );
     }
 
@@ -88,12 +92,14 @@ mod tests {
         let diags = vec![
             Diagnostic {
                 rule: "determinism",
+                code: "LIB003",
                 file: "crates/netsim/src/link.rs".into(),
                 line: 7,
                 message: "SystemTime::now in simulated code".into(),
             },
             Diagnostic {
                 rule: "no-panic",
+                code: "LIB004",
                 file: "a.rs".into(),
                 line: 1,
                 message: "quote \" and backslash \\".into(),
@@ -102,6 +108,7 @@ mod tests {
         let json = to_json(&diags);
         assert!(json.starts_with("{\"count\":2,\"diagnostics\":["));
         assert!(json.contains("\"rule\":\"determinism\""));
+        assert!(json.contains("\"code\":\"LIB003\""));
         assert!(json.contains("\"file\":\"crates/netsim/src/link.rs\""));
         assert!(json.contains("\"line\":7"));
         assert!(json.contains("quote \\\" and backslash \\\\"));

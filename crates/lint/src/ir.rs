@@ -1,0 +1,460 @@
+//! A statement-level IR over the token stream: per-function block trees
+//! with statement segmentation and `let`-binding extraction.
+//!
+//! The token rules of PRs 1–5 pattern-match flat token windows, which is
+//! enough for "this identifier appears" checks but blind to *lifetimes*:
+//! a lock guard bound by destructuring, shadowed, or moved into a helper
+//! is invisible to a window scan. This module recovers just enough
+//! structure to reason about binding lifetimes — a brace-matched block
+//! tree per `fn`, statements segmented at top-level `;`/`,`, and the
+//! names each `let` pattern binds (tuples, slices, structs, tuple
+//! structs, `ref`/`mut` modifiers) — without becoming a Rust parser. The
+//! guard-lifetime dataflow in [`crate::dataflow`] runs on top of it.
+//!
+//! Deliberate approximations (documented so rule authors know the edges):
+//! statement segmentation treats `,` at brace depth 0 as a separator (so
+//! match arms and struct-literal fields become "statements", which only
+//! makes scopes finer, never coarser), `if let`/`while let` condition
+//! bindings are not tracked (no guard in the workspace is bound that
+//! way), and pattern idents starting with an uppercase letter are treated
+//! as paths/variants rather than bindings, per Rust naming convention.
+
+use crate::items::{fn_spans, matching_brace};
+use crate::lexer::Token;
+
+/// One name introduced by a `let` pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    pub name: String,
+    /// Token index of the binding identifier.
+    pub at: usize,
+    pub line: u32,
+}
+
+/// One statement: a run of tokens ended by a top-level `;`/`,`, a
+/// statement-level block, or the enclosing block's close.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// First token of the statement (inclusive).
+    pub start: usize,
+    /// Token just past the statement, including its separator (exclusive).
+    pub end: usize,
+    pub line: u32,
+    /// Names bound when this is a `let` statement (destructuring yields
+    /// several, in pattern order).
+    pub bindings: Vec<Binding>,
+    /// Token span of the initializer expression — after `=`, before the
+    /// terminating `;` (or the `else` of a `let ... else`).
+    pub init: Option<(usize, usize)>,
+    /// Brace blocks lexically inside this statement, in source order:
+    /// if/else arms, loop and match bodies, closure bodies, struct
+    /// literals, `let ... else` blocks.
+    pub blocks: Vec<Block>,
+}
+
+/// A `{ ... }` region holding a statement sequence.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token index of the opening `{`.
+    pub start: usize,
+    /// Token just past the matching `}` (exclusive).
+    pub end: usize,
+    pub stmts: Vec<Stmt>,
+}
+
+/// One function lowered to the IR.
+#[derive(Debug, Clone)]
+pub struct FnIr {
+    pub name: String,
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token just past the body's closing `}` (exclusive).
+    pub end: usize,
+    /// The body block; `None` for bodyless trait-method declarations.
+    pub body: Option<Block>,
+}
+
+impl FnIr {
+    /// Does token index `i` fall inside this fn's span?
+    pub fn contains(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+}
+
+/// Lower every `fn` in the token stream. Nested fns appear both as their
+/// own `FnIr` and (as an opaque block) inside their parent's tree; the
+/// dataflow skips nested spans when scanning parents.
+pub fn lower(tokens: &[Token]) -> Vec<FnIr> {
+    fn_spans(tokens)
+        .into_iter()
+        .map(|s| FnIr {
+            body: s.body_start.map(|b| parse_block(tokens, b)),
+            name: s.name,
+            line: s.line,
+            start: s.start,
+            end: s.end,
+        })
+        .collect()
+}
+
+/// Keywords that open a control-flow statement whose body block (rather
+/// than a `;`) can terminate the statement.
+const CTRL_KEYWORDS: &[&str] = &["if", "match", "while", "for", "loop", "unsafe"];
+
+/// Parse the block whose `{` sits at `open`.
+fn parse_block(tokens: &[Token], open: usize) -> Block {
+    let end = matching_brace(tokens, open);
+    let close = end.saturating_sub(1); // index of the `}` itself
+    let mut stmts = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let stmt = parse_stmt(tokens, i, close);
+        let next = stmt.end.max(i + 1);
+        stmts.push(stmt);
+        i = next;
+    }
+    Block {
+        start: open,
+        end,
+        stmts,
+    }
+}
+
+/// Parse one statement starting at `start`, not scanning past `limit`
+/// (the enclosing block's `}`).
+fn parse_stmt(tokens: &[Token], start: usize, limit: usize) -> Stmt {
+    let line = tokens[start].line;
+    let mut bindings = Vec::new();
+    let mut init: Option<(usize, usize)> = None;
+    let mut blocks = Vec::new();
+
+    let is_let = tokens[start].is("let");
+    // Bare `{ ... }` statements terminate at their close, like control
+    // statements do.
+    let is_ctrl = CTRL_KEYWORDS.contains(&tokens[start].text.as_str()) || tokens[start].is("{");
+
+    let mut i = start;
+    if is_let {
+        // Pattern runs to the `=` (or type `:`) at bracket depth 0.
+        let mut j = start + 1;
+        let mut depth = 0i32;
+        let mut pat_end = None;
+        while j < limit {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 && !tokens.get(j + 1).is_some_and(|n| n.is("=")) => {
+                    pat_end = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                ":" if depth == 0 && !tokens.get(j + 1).is_some_and(|n| n.is(":")) => {
+                    // Type annotation: pattern is done, keep looking for `=`.
+                    bindings = pattern_bindings(tokens, start + 1, j);
+                    let mut k = j + 1;
+                    let mut tdepth = 0i32;
+                    while k < limit {
+                        match tokens[k].text.as_str() {
+                            "(" | "[" | "{" => tdepth += 1,
+                            ")" | "]" | "}" => tdepth -= 1,
+                            "=" if tdepth == 0 && !tokens.get(k + 1).is_some_and(|n| n.is("=")) => {
+                                pat_end = Some(k);
+                                break;
+                            }
+                            ";" if tdepth == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(eq) = pat_end {
+            if bindings.is_empty() {
+                bindings = pattern_bindings(tokens, start + 1, eq);
+            }
+            i = eq + 1;
+            let init_start = i;
+            let end = scan_expr(tokens, &mut i, limit, &mut blocks, false);
+            // The initializer stops before a `let ... else { .. }` block.
+            let mut init_end = end.saturating_sub(1).max(init_start);
+            if let Some(else_at) = (init_start..init_end).find(|&k| tokens[k].is("else")) {
+                init_end = else_at;
+            }
+            init = Some((init_start, init_end));
+            return Stmt {
+                start,
+                end,
+                line,
+                bindings,
+                init,
+                blocks,
+            };
+        }
+        // `let` without `=` before the terminator (malformed or `let x;`):
+        // fall through and consume to the separator.
+        if bindings.is_empty() {
+            let stop = pat_end.unwrap_or(j.min(limit));
+            bindings = pattern_bindings(tokens, start + 1, stop);
+        }
+        i = j;
+        let end = scan_expr(tokens, &mut i, limit, &mut blocks, false);
+        return Stmt {
+            start,
+            end,
+            line,
+            bindings,
+            init,
+            blocks,
+        };
+    }
+
+    let end = scan_expr(tokens, &mut i, limit, &mut blocks, is_ctrl);
+    Stmt {
+        start,
+        end,
+        line,
+        bindings,
+        init,
+        blocks,
+    }
+}
+
+/// Advance `*i` to the end of the current statement, collecting nested
+/// blocks along the way. Returns the exclusive end index (past the
+/// `;`/`,` separator when one terminated the statement).
+///
+/// `block_terminates`: for control statements (`if`/`match`/...), a brace
+/// block at paren depth 0 ends the statement unless followed by `else`
+/// (else-if chains keep going) or by `.`/`?` (a block expression being
+/// methoded on).
+fn scan_expr(
+    tokens: &[Token],
+    i: &mut usize,
+    limit: usize,
+    blocks: &mut Vec<Block>,
+    block_terminates: bool,
+) -> usize {
+    let mut paren_depth = 0i32;
+    while *i < limit {
+        let t = &tokens[*i];
+        match t.text.as_str() {
+            "(" | "[" => {
+                paren_depth += 1;
+                *i += 1;
+            }
+            ")" | "]" => {
+                paren_depth -= 1;
+                *i += 1;
+            }
+            "{" => {
+                let block = parse_block(tokens, *i);
+                let after = block.end;
+                blocks.push(block);
+                *i = after;
+                if paren_depth == 0 {
+                    let next = tokens.get(*i);
+                    let chained =
+                        next.is_some_and(|n| n.is("else") || n.is(".") || n.is("?") || n.is("{"));
+                    if block_terminates && !chained {
+                        return *i;
+                    }
+                    if !block_terminates && next.is_some_and(|n| n.is("}")) {
+                        // Trailing block expression at the end of the
+                        // enclosing block.
+                        return *i;
+                    }
+                }
+            }
+            ";" | "," if paren_depth <= 0 => {
+                *i += 1;
+                return *i;
+            }
+            _ => *i += 1,
+        }
+    }
+    *i
+}
+
+/// Rust keywords and pattern atoms that are never bindings.
+const NON_BINDING: &[&str] = &[
+    "mut", "ref", "box", "_", "true", "false", "self", "Self", "super", "crate", "dyn", "move",
+    "static", "const", "if", "else", "in",
+];
+
+/// Extract the names a pattern in `tokens[lo..hi]` binds.
+pub fn pattern_bindings(tokens: &[Token], lo: usize, hi: usize) -> Vec<Binding> {
+    let mut out = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        let t = &tokens[j];
+        let is_ident = !t.text.is_empty()
+            && t.text
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && !t.text.chars().next().is_some_and(|c| c.is_ascii_digit());
+        if !is_ident || NON_BINDING.contains(&t.text.as_str()) {
+            j += 1;
+            continue;
+        }
+        // Uppercase-initial idents are paths/variants by convention.
+        if t.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            j += 1;
+            continue;
+        }
+        // Path segments (`foo::Bar`, `Foo::baz`) are not bindings.
+        let after_path_sep = j >= 2 && tokens[j - 1].is(":") && tokens[j - 2].is(":");
+        // Lookahead stays inside the pattern span: a `:` just past `hi`
+        // is the statement's type annotation, not part of the pattern.
+        let next = tokens.get(j + 1).filter(|_| j + 1 < hi);
+        let next2 = tokens.get(j + 2).filter(|_| j + 2 < hi);
+        // A constructor/path head: `ident(`, `ident{`, `ident::`, `ident!`.
+        let is_head = next.is_some_and(|n| n.is("(") || n.is("{") || n.is("!"))
+            || (next.is_some_and(|n| n.is(":")) && next2.is_some_and(|n| n.is(":")));
+        // A struct-pattern field name before `:` binds the ident after
+        // the colon, not this one (`Point { x: px }`).
+        let is_field_label = next.is_some_and(|n| n.is(":")) && !next2.is_some_and(|n| n.is(":"));
+        if !after_path_sep && !is_head && !is_field_label {
+            out.push(Binding {
+                name: t.text.clone(),
+                at: j,
+                line: t.line,
+            });
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ir_of(src: &str) -> Vec<FnIr> {
+        lower(&lex(src).tokens)
+    }
+
+    fn binding_names(stmt: &Stmt) -> Vec<&str> {
+        stmt.bindings.iter().map(|b| b.name.as_str()).collect()
+    }
+
+    #[test]
+    fn simple_let_statements_segment() {
+        let fns = ir_of("fn f() { let a = 1; let b = a + 2; b }");
+        assert_eq!(fns.len(), 1);
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        assert_eq!(binding_names(&body.stmts[0]), vec!["a"]);
+        assert_eq!(binding_names(&body.stmts[1]), vec!["b"]);
+        assert!(body.stmts[2].bindings.is_empty());
+    }
+
+    #[test]
+    fn tuple_destructuring_binds_all_names() {
+        let fns = ir_of("fn f() { let (a, mut b, _) = three(); }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(binding_names(&body.stmts[0]), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn struct_destructuring_binds_renamed_fields() {
+        let fns = ir_of("fn f() { let Point { x: px, y, .. } = p; }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(binding_names(&body.stmts[0]), vec!["px", "y"]);
+    }
+
+    #[test]
+    fn tuple_struct_pattern_skips_the_constructor() {
+        let fns = ir_of("fn f() { let Some(inner) = opt else { return; }; }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(binding_names(&body.stmts[0]), vec!["inner"]);
+        // The let-else block is captured as a nested block.
+        assert_eq!(body.stmts[0].blocks.len(), 1);
+        // The initializer stops before `else`.
+        let (lo, hi) = body.stmts[0].init.unwrap();
+        let toks = lex("fn f() { let Some(inner) = opt else { return; }; }").tokens;
+        let init_text: Vec<&str> = toks[lo..hi].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(init_text, vec!["opt"]);
+    }
+
+    #[test]
+    fn typed_let_finds_the_initializer() {
+        let fns = ir_of("fn f() { let v: Vec<(u8, u8)> = make(); v; }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(binding_names(&body.stmts[0]), vec!["v"]);
+        assert!(body.stmts[0].init.is_some());
+    }
+
+    #[test]
+    fn nested_blocks_attach_to_their_statement() {
+        let fns = ir_of("fn f() { if x { let a = 1; } else { let b = 2; } let c = 3; }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2, "{:?}", body.stmts);
+        assert_eq!(body.stmts[0].blocks.len(), 2);
+        assert_eq!(binding_names(&body.stmts[0].blocks[0].stmts[0]), vec!["a"]);
+        assert_eq!(binding_names(&body.stmts[0].blocks[1].stmts[0]), vec!["b"]);
+        assert_eq!(binding_names(&body.stmts[1]), vec!["c"]);
+    }
+
+    #[test]
+    fn closure_bodies_inside_calls_become_blocks() {
+        let fns = ir_of("fn f() { items.iter().map(|s| { s.len() }).sum::<usize>(); }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 1);
+        assert_eq!(body.stmts[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn match_statement_ends_at_its_block() {
+        let fns = ir_of("fn f() { match x { A => 1, B => 2 } let tail = 9; }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2, "{:?}", body.stmts);
+        assert_eq!(binding_names(&body.stmts[1]), vec!["tail"]);
+    }
+
+    #[test]
+    fn let_with_match_initializer_runs_to_semicolon() {
+        let fns = ir_of("fn f() { let v = match x { A => 1, B => 2 }; v }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        assert_eq!(binding_names(&body.stmts[0]), vec!["v"]);
+        // init span covers through the match block's end.
+        assert!(body.stmts[0].init.is_some());
+        assert_eq!(body.stmts[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn shadowing_lets_are_separate_statements() {
+        let fns = ir_of("fn f() { let g = a.lock(); let g = b.lock(); }");
+        let body = fns[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        assert_eq!(binding_names(&body.stmts[0]), vec!["g"]);
+        assert_eq!(binding_names(&body.stmts[1]), vec!["g"]);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body() {
+        let fns = ir_of("trait T { fn decl(&self) -> u8; } fn real() { }");
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none());
+        assert!(fns[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_lower_separately_and_nest_in_parent() {
+        let fns = ir_of("fn outer() { fn inner() { let x = 1; } let y = 2; }");
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        assert!(fns[0].contains(fns[1].start));
+    }
+}

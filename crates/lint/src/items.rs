@@ -87,7 +87,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
 }
 
 /// Given `i` at a `{` token, return the index just past its matching `}`.
-fn matching_brace(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0usize;
     let mut j = i;
     while j < tokens.len() {

@@ -17,11 +17,31 @@
 //! - **pcap-byte-order** — wire headers and pcap records are serialized
 //!   via `to_be_bytes`/`to_le_bytes`, never hand-assembled with shifts.
 //!
+//! The concurrency pack (PR 6) runs on a statement-level IR with
+//! guard-lifetime dataflow ([`ir`], [`dataflow`]) instead of flat token
+//! windows:
+//!
+//! - **flowtable-lock-ordering** — shard/penalty-box locks nest in the
+//!   declared order, now seeing destructured and helper-returned guards.
+//! - **guard-across-blocking** — no lock guard live across `run_wave`,
+//!   replay, JSONL export, or channel send/recv.
+//! - **generation-discipline** — `PublishedState` generations written
+//!   only by `publish` and compared only monotonically.
+//! - **obs-coverage** — every journal event emission increments its
+//!   paired metrics counter in the same function.
+//!
+//! Each rule also carries a stable `LIBnnn` code for CI diffing.
+//!
 //! Suppression: `// lint: allow(<rule>)` within two lines above (or on)
 //! the flagged line, or `// lint: allow(<rule>: <subject>)` anywhere in
-//! the file to suppress findings about one named fn or variant.
+//! the file to suppress findings about one named fn or variant. An allow
+//! that no longer suppresses anything is itself flagged (**unused-allow**,
+//! the engine-level meta-check) so stale suppressions cannot rot in
+//! place.
 
+pub mod dataflow;
 pub mod diag;
+pub mod ir;
 pub mod items;
 pub mod lexer;
 pub mod rules;
@@ -36,6 +56,10 @@ use rules::{Rule, RuleCtx};
 /// How many lines above a finding a detail-less allow annotation reaches.
 const ALLOW_REACH_LINES: u32 = 2;
 
+/// Name and code of the engine-level meta-check for stale allows.
+pub const UNUSED_ALLOW_RULE: &str = "unused-allow";
+pub const UNUSED_ALLOW_CODE: &str = "LIB012";
+
 /// Lint a single source text as if it lived at `rel_path` in the
 /// workspace. This is the unit the fixture tests drive.
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
@@ -45,34 +69,79 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 fn lint_source_with(active: &[Box<dyn Rule>], rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let lexed = lexer::lex(source);
     let mask = items::test_mask(&lexed.tokens);
+    let fn_ir = ir::lower(&lexed.tokens);
+    let guards = dataflow::analyze(&lexed.tokens, &fn_ir);
     let ctx = RuleCtx {
         rel_path,
         tokens: &lexed.tokens,
         test_mask: &mask,
+        ir: &fn_ir,
+        guards: &guards,
     };
     let mut out = Vec::new();
+    let mut used = vec![false; lexed.allows.len()];
     for rule in active {
         if !rule.applies(rel_path) {
             continue;
         }
         for finding in rule.check(&ctx) {
-            if suppressed(rule.name(), &finding, &lexed.allows) {
+            if let Some(k) = suppressing_allow(rule.name(), &finding, &lexed.allows) {
+                used[k] = true;
                 continue;
             }
             out.push(Diagnostic {
                 rule: rule.name(),
+                code: rule.code(),
                 file: rel_path.to_string(),
                 line: finding.line,
                 message: finding.message,
             });
         }
     }
+    // Meta-check: an allow naming a registered rule that applies to this
+    // file, yet suppressing nothing, is stale and must be deleted (or the
+    // violation it once covered has returned elsewhere). Allows naming
+    // unregistered rules are ignored — prose in doc comments may quote
+    // the annotation syntax without being one.
+    for (k, a) in lexed.allows.iter().enumerate() {
+        if used[k] {
+            continue;
+        }
+        let Some(rule) = active.iter().find(|r| r.name() == a.rule) else {
+            continue;
+        };
+        if !rule.applies(rel_path) {
+            continue;
+        }
+        let meta = rules::Finding {
+            line: a.line,
+            message: String::new(),
+            subject: Some(a.rule.clone()),
+        };
+        if suppressing_allow(UNUSED_ALLOW_RULE, &meta, &lexed.allows).is_some() {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: UNUSED_ALLOW_RULE,
+            code: UNUSED_ALLOW_CODE,
+            file: rel_path.to_string(),
+            line: a.line,
+            message: format!(
+                "allow({}{}) suppresses nothing; delete it or re-justify it",
+                a.rule,
+                a.detail
+                    .as_deref()
+                    .map(|d| format!(": {d}"))
+                    .unwrap_or_default()
+            ),
+        });
+    }
     out
 }
 
-/// Does some allow annotation in the file cover this finding?
-fn suppressed(rule: &str, finding: &rules::Finding, allows: &[Allow]) -> bool {
-    allows.iter().any(|a| {
+/// The index of the allow annotation covering this finding, if any.
+fn suppressing_allow(rule: &str, finding: &rules::Finding, allows: &[Allow]) -> Option<usize> {
+    allows.iter().position(|a| {
         if a.rule != rule {
             return false;
         }
@@ -146,10 +215,27 @@ fn rel_unix_path(root: &Path, path: &Path) -> String {
 /// Rationale text for `liberate-lint explain <rule>`, or `None` for an
 /// unknown rule name.
 pub fn explain(rule: &str) -> Option<String> {
+    if rule == UNUSED_ALLOW_RULE {
+        return Some(
+            "Engine-level meta-check: a `// lint: allow(<rule>)` annotation naming a registered rule that applies to its file must suppress at least one finding. An allow that suppresses nothing is stale — the violation it covered was fixed or moved — and stale allows are how real violations sneak back in unreviewed. Delete the annotation, or suppress the meta-check itself for a deliberately-kept annotation with `// lint: allow(unused-allow: <rule>)`."
+                .to_string(),
+        );
+    }
     rules::all()
         .iter()
         .find(|r| r.name() == rule)
         .map(|r| r.explain().to_string())
+}
+
+/// The stable code for a rule name (`LIBnnn`), including the meta-check.
+pub fn rule_code(rule: &str) -> Option<&'static str> {
+    if rule == UNUSED_ALLOW_RULE {
+        return Some(UNUSED_ALLOW_CODE);
+    }
+    rules::all()
+        .iter()
+        .find(|r| r.name() == rule)
+        .map(|r| r.code())
 }
 
 /// The registered rule names, for `explain` error messages and docs.
@@ -162,7 +248,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_eight_rules() {
+    fn registry_has_the_eleven_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -170,7 +256,10 @@ mod tests {
                 "taxonomy-exhaustiveness",
                 "determinism",
                 "flowtable-lock-ordering",
+                "guard-across-blocking",
+                "generation-discipline",
                 "no-panic",
+                "obs-coverage",
                 "overhead-consistency",
                 "pcap-byte-order",
                 "simtime-monotonicity"
@@ -181,6 +270,70 @@ mod tests {
             assert!(text.len() > 80, "{name} explanation too thin");
         }
         assert!(explain("not-a-rule").is_none());
+        assert!(explain(UNUSED_ALLOW_RULE).is_some());
+    }
+
+    #[test]
+    fn rule_codes_are_stable_and_unique() {
+        let mut codes: Vec<&str> = rule_names()
+            .iter()
+            .map(|n| rule_code(n).expect("every rule has a code"))
+            .collect();
+        codes.push(rule_code(UNUSED_ALLOW_RULE).unwrap());
+        assert_eq!(codes.len(), 12);
+        let mut deduped = codes.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), codes.len(), "duplicate codes: {codes:?}");
+        assert!(codes.iter().all(|c| c.starts_with("LIB") && c.len() == 6));
+        assert_eq!(rule_code("flowtable-lock-ordering"), Some("LIB006"));
+        assert_eq!(rule_code("not-a-rule"), None);
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        // The allow names a registered, applicable rule but nothing in
+        // the file violates it.
+        let src = "// lint: allow(no-panic)\nfn fine() -> u8 { 1 }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "unused-allow");
+        assert_eq!(diags[0].code, "LIB012");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn used_allow_is_not_flagged() {
+        let src = "// lint: allow(no-panic) contract: caller checked\n\
+fn f() { panic!() }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_for_inapplicable_rule_is_not_meta_flagged() {
+        // pcap-byte-order does not scan crates/core, so an allow naming
+        // it there is inert prose, not a stale suppression.
+        let src = "// lint: allow(pcap-byte-order)\nfn fine() -> u8 { 1 }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_for_unregistered_rule_is_ignored() {
+        // Doc prose quoting the annotation syntax must not trip the
+        // meta-check (tests/lint_gate.rs quotes `lint: allow(<rule>)`).
+        let src = "// lint: allow(<rule>)\nfn fine() -> u8 { 1 }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_allow_can_itself_be_allowed() {
+        let src = "// lint: allow(unused-allow: no-panic) kept for the template\n\
+// lint: allow(no-panic)\nfn fine() -> u8 { 1 }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -202,7 +355,12 @@ fn naked() {
     fn point_allow_does_not_reach_far() {
         let src = "// lint: allow(no-panic)\n\n\n\nfn f() { panic!() }\n";
         let diags = lint_source("crates/core/src/x.rs", src);
-        assert_eq!(diags.len(), 1);
+        // The panic is reported AND the out-of-reach allow is now stale.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "no-panic" && d.line == 5));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "unused-allow" && d.line == 1));
     }
 
     #[test]

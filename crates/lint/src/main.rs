@@ -1,10 +1,15 @@
 //! CLI for the lib·erate domain linter.
 //!
 //! ```text
-//! liberate-lint [--root <dir>] [--json]   lint the workspace
+//! liberate-lint [--root <dir>] [--json] [--rule <name|code>]...
+//!                                         lint the workspace
 //! liberate-lint explain <rule>            print a rule's rationale
-//! liberate-lint --list                    list registered rules
+//! liberate-lint --list                    list registered rules + codes
 //! ```
+//!
+//! `--rule` filters the *output* to one or more rules (by name or LIBnnn
+//! code, repeatable); the full engine still runs, so the unused-allow
+//! meta-check keeps seeing every rule's suppressions.
 //!
 //! Exit codes (script-stable): 0 = clean, 1 = diagnostics found,
 //! 2 = internal error (bad usage, unreadable tree, unknown rule).
@@ -12,9 +17,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use liberate_lint::{explain, lint_workspace, rule_names, to_json};
+use liberate_lint::{explain, lint_workspace, rule_code, rule_names, to_json, UNUSED_ALLOW_RULE};
 
-const USAGE: &str = "usage: liberate-lint [--root <dir>] [--json]
+const USAGE: &str = "usage: liberate-lint [--root <dir>] [--json] [--rule <name|code>]...
        liberate-lint explain <rule>
        liberate-lint --list";
 
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
     let mut explain_rule: Option<String> = None;
+    let mut rule_filter: Vec<String> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -32,9 +38,22 @@ fn main() -> ExitCode {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage_error("--root needs a directory"),
             },
+            "--rule" => match it.next() {
+                Some(rule) => match resolve_rule(rule) {
+                    Some(name) => rule_filter.push(name),
+                    None => {
+                        eprintln!(
+                            "liberate-lint: unknown rule {rule:?}; known rules: {}",
+                            known_rules().join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage_error("--rule needs a rule name or LIBnnn code"),
+            },
             "--list" => {
-                for name in rule_names() {
-                    println!("{name}");
+                for name in known_rules() {
+                    println!("{} {name}", rule_code(name).unwrap_or("??????"));
                 }
                 return ExitCode::SUCCESS;
             }
@@ -51,15 +70,18 @@ fn main() -> ExitCode {
     }
 
     if let Some(rule) = explain_rule {
-        return match explain(&rule) {
+        let name = resolve_rule(&rule);
+        return match name.as_deref().and_then(explain) {
             Some(text) => {
-                println!("{rule}\n\n{text}");
+                println!("{} [{}]\n\n{text}", name.as_deref().unwrap_or(&rule), {
+                    name.as_deref().and_then(rule_code).unwrap_or("??????")
+                });
                 ExitCode::SUCCESS
             }
             None => {
                 eprintln!(
                     "liberate-lint: unknown rule {rule:?}; known rules: {}",
-                    rule_names().join(", ")
+                    known_rules().join(", ")
                 );
                 ExitCode::from(2)
             }
@@ -67,7 +89,10 @@ fn main() -> ExitCode {
     }
 
     match lint_workspace(&root) {
-        Ok(diags) => {
+        Ok(mut diags) => {
+            if !rule_filter.is_empty() {
+                diags.retain(|d| rule_filter.iter().any(|r| r == d.rule));
+            }
             if json {
                 println!("{}", to_json(&diags));
             } else {
@@ -93,7 +118,29 @@ fn main() -> ExitCode {
     }
 }
 
+/// Every rule a user can name: the registry plus the engine meta-check.
+fn known_rules() -> Vec<&'static str> {
+    let mut names = rule_names();
+    names.push(UNUSED_ALLOW_RULE);
+    names
+}
+
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("liberate-lint: {msg}\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// Accept a rule by kebab-case name or by `LIBnnn` code (case-insensitive
+/// on the code); returns the canonical name.
+fn resolve_rule(arg: &str) -> Option<String> {
+    let upper = arg.to_ascii_uppercase();
+    for name in known_rules() {
+        if name == arg {
+            return Some(name.to_string());
+        }
+        if rule_code(name) == Some(upper.as_str()) {
+            return Some(name.to_string());
+        }
+    }
+    None
 }

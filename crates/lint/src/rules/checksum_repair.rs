@@ -30,6 +30,10 @@ impl Rule for ChecksumRepair {
         "checksum-repair"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB001"
+    }
+
     fn explain(&self) -> &'static str {
         "Functions in crates/packet/src/mutate.rs and crates/core/src/evasion/ that \
 write TCP/IP header or payload bytes (indexed stores, copy_from_slice, fill, \
@@ -97,17 +101,10 @@ fn indexed_store(body: &[crate::lexer::Token]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(path: &str, src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        ChecksumRepair.check(&RuleCtx {
-            rel_path: path,
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&ChecksumRepair, path, src)
     }
 
     #[test]

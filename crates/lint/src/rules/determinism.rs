@@ -22,6 +22,10 @@ impl Rule for Determinism {
         "determinism"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB003"
+    }
+
     fn explain(&self) -> &'static str {
         "crates/netsim and crates/dpi must not read wall-clock time \
 (SystemTime::now, Instant::now) or ambient randomness (thread_rng, \
@@ -74,17 +78,10 @@ above the call."
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        Determinism.check(&RuleCtx {
-            rel_path: "crates/netsim/src/link.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&Determinism, "crates/netsim/src/link.rs", src)
     }
 
     #[test]

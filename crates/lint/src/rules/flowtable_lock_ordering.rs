@@ -5,28 +5,22 @@
 //! penalty-box mutex. The deadlock-free contract (documented on the
 //! type): hold **at most one shard lock at a time**, and take the
 //! penalty lock only **after** a shard lock — never the other way
-//! around, and never two shard locks nested. This rule enforces the
-//! contract at the token level: it tracks `let`-bound guards returned by
-//! `.lock()` / `.read()` / `.write()` / `.shard()` / `.shard_at()` per
-//! brace scope, assigns each acquisition a tier from its receiver chain
-//! (`shard…` → tier 0, `penalt…` → tier 1), and flags any acquisition
-//! made while a guard of an equal or higher tier is still live — or
-//! whose tier it cannot classify at all.
+//! around, and never two shard locks nested.
+//!
+//! This rule runs on the guard-lifetime dataflow ([`crate::dataflow`])
+//! rather than the flat token stream, so it sees the cases the original
+//! token engine missed: guards bound by destructuring (`let (idx, g) =
+//! split_shard_guard(..)`), guards returned from `_guard`/`_lock`
+//! helpers, early `drop()`, and moves into helper calls. Each
+//! acquisition gets a tier from its method and receiver chain (`shard…`
+//! → tier 0, `penalt…` → tier 1); an acquisition made while a guard of
+//! an equal or higher tier is still live — or one the rule cannot
+//! classify at all while any classified guard is live — is flagged.
 
+use crate::dataflow::GuardRange;
 use crate::rules::{Finding, Rule, RuleCtx};
 
 pub struct FlowtableLockOrdering;
-
-/// Methods whose return value is (or wraps) a lock guard.
-const ACQUIRERS: &[&str] = &["lock", "read", "write", "shard", "shard_at"];
-
-/// A live `let`-bound guard.
-struct Held {
-    name: String,
-    tier: u8,
-    depth: usize,
-    line: u32,
-}
 
 fn tier_name(tier: u8) -> &'static str {
     match tier {
@@ -35,52 +29,16 @@ fn tier_name(tier: u8) -> &'static str {
     }
 }
 
-/// Walk the receiver chain backwards from `end` (the token before the
-/// method's `.`), collecting the idents of e.g. `self.shards[idx]` while
-/// skipping balanced `[...]` / `(...)` groups.
-fn receiver_idents(toks: &[crate::lexer::Token], end: usize) -> Vec<String> {
-    let mut idents = Vec::new();
-    let mut i = end as isize;
-    while i >= 0 {
-        let t = &toks[i as usize];
-        if t.is("]") || t.is(")") {
-            let (open, close) = if t.is("]") { ("[", "]") } else { ("(", ")") };
-            let mut balance = 1i32;
-            i -= 1;
-            while i >= 0 && balance > 0 {
-                if toks[i as usize].is(close) {
-                    balance += 1;
-                } else if toks[i as usize].is(open) {
-                    balance -= 1;
-                }
-                i -= 1;
-            }
-            continue;
-        }
-        let is_ident = t
-            .text
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && !t.text.is_empty();
-        if !is_ident {
-            break;
-        }
-        idents.push(t.text.clone());
-        // Continue through a field chain (`self.table.`); stop otherwise.
-        if i >= 1 && toks[i as usize - 1].is(".") {
-            i -= 2;
-        } else {
-            break;
-        }
-    }
-    idents
-}
-
 /// Classify an acquisition: tier 0 for the shard mutexes, tier 1 for the
-/// penalty box, `None` when the receiver names neither.
+/// penalty box, `None` when neither the method nor the receiver names
+/// either family.
 fn tier_of(method: &str, receiver: &[String]) -> Option<u8> {
-    if method == "shard" || method == "shard_at" {
+    let m = method.to_ascii_lowercase();
+    if m.contains("shard") {
         return Some(0);
+    }
+    if m.contains("penalt") {
+        return Some(1);
     }
     let lower: Vec<String> = receiver.iter().map(|s| s.to_ascii_lowercase()).collect();
     if lower.iter().any(|s| s.contains("shard")) {
@@ -92,26 +50,8 @@ fn tier_of(method: &str, receiver: &[String]) -> Option<u8> {
     None
 }
 
-/// Is the token at `at` the start of a `let`-bound statement? Scans back
-/// to the nearest statement boundary; returns the bound name if so.
-fn let_binding(toks: &[crate::lexer::Token], at: usize) -> Option<String> {
-    let mut i = at as isize - 1;
-    while i >= 0 {
-        let t = &toks[i as usize];
-        if t.is(";") || t.is("{") || t.is("}") {
-            break;
-        }
-        i -= 1;
-    }
-    let mut j = (i + 1) as usize;
-    if toks.get(j).is_some_and(|t| t.is("let")) {
-        j += 1;
-        if toks.get(j).is_some_and(|t| t.is("mut")) {
-            j += 1;
-        }
-        return toks.get(j).map(|t| t.text.clone());
-    }
-    None
+fn range_tier(r: &GuardRange) -> Option<u8> {
+    tier_of(&r.acq.method, &r.acq.receiver)
 }
 
 impl Rule for FlowtableLockOrdering {
@@ -119,16 +59,23 @@ impl Rule for FlowtableLockOrdering {
         "flowtable-lock-ordering"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB006"
+    }
+
     fn explain(&self) -> &'static str {
         "crates/dpi and crates/netsim must acquire ShardedFlowTable locks in \
 the declared order: at most one shard lock (.shard()/.shard_at()/a shards[..] \
-.lock()) held at a time, and the cross-shard penalty-box lock only ever taken \
-after — never before, never held across — a shard acquisition. Nested \
-acquisitions in any other order (shard-under-shard, shard-under-penalty, or a \
-lock this rule cannot classify while another guard is live) can deadlock two \
-pool workers probing flows that hash to each other's shards. Keep guard \
-scopes minimal, drop the shard guard before long work, and suppress a proven \
-exception with `// lint: allow(flowtable-lock-ordering)`."
+.lock()/a *_guard helper) held at a time, and the cross-shard penalty-box \
+lock only ever taken after — never before, never held across — a shard \
+acquisition. The check runs on guard-lifetime dataflow, so destructured \
+bindings, helper-returned guards, early drop(), and moves into helpers are \
+all understood. Nested acquisitions in any other order (shard-under-shard, \
+shard-under-penalty, or a lock this rule cannot classify while another guard \
+is live) can deadlock two pool workers probing flows that hash to each \
+other's shards. Keep guard scopes minimal, drop the shard guard before long \
+work, and suppress a proven exception with \
+`// lint: allow(flowtable-lock-ordering)`."
     }
 
     fn applies(&self, rel_path: &str) -> bool {
@@ -138,77 +85,41 @@ exception with `// lint: allow(flowtable-lock-ordering)`."
 
     fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
         let mut findings = Vec::new();
-        let toks = ctx.tokens;
-        let mut depth = 0usize;
-        let mut held: Vec<Held> = Vec::new();
-
-        for (i, t) in toks.iter().enumerate() {
-            if t.is("{") {
-                depth += 1;
-                continue;
-            }
-            if t.is("}") {
-                depth = depth.saturating_sub(1);
-                held.retain(|h| h.depth <= depth);
-                continue;
-            }
-            if ctx.test_mask.get(i).copied().unwrap_or(false) {
-                continue;
-            }
-            // Explicit early release: `drop(name)`.
-            if t.is("drop")
-                && toks.get(i + 1).is_some_and(|t| t.is("("))
-                && toks.get(i + 3).is_some_and(|t| t.is(")"))
-            {
-                if let Some(name) = toks.get(i + 2) {
-                    held.retain(|h| h.name != name.text);
+        for fg in ctx.guards {
+            // Conservative cross-product pairing can give two ranges the
+            // same underlying acquisition; report each hazard pair once.
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            for acq in &fg.acqs {
+                if ctx.test_mask.get(acq.at).copied().unwrap_or(false) {
+                    continue;
                 }
-                continue;
-            }
-            // An acquisition: `.<method>(` for a guard-returning method.
-            if !t.is(".") {
-                continue;
-            }
-            let Some(method) = toks.get(i + 1) else {
-                continue;
-            };
-            if !ACQUIRERS.contains(&method.text.as_str())
-                || !toks.get(i + 2).is_some_and(|t| t.is("("))
-            {
-                continue;
-            }
-            let receiver = if i == 0 {
-                Vec::new()
-            } else {
-                receiver_idents(toks, i - 1)
-            };
-            let tier = tier_of(&method.text, &receiver);
-            for h in &held {
-                let ordered = tier.is_some_and(|r| r > h.tier);
-                if !ordered {
+                let tier = tier_of(&acq.method, &acq.receiver);
+                for r in &fg.ranges {
+                    if !r.live_at(acq.at) {
+                        continue;
+                    }
+                    // A guard the rule cannot classify constrains nothing.
+                    let Some(held_tier) = range_tier(r) else {
+                        continue;
+                    };
+                    let ordered = tier.is_some_and(|t| t > held_tier);
+                    if ordered || seen.contains(&(acq.at, r.acq.at)) {
+                        continue;
+                    }
+                    seen.push((acq.at, r.acq.at));
+                    let held_name = r.binding.as_deref().unwrap_or("<temporary>");
                     findings.push(Finding {
-                        line: method.line,
+                        line: acq.line,
                         message: format!(
-                            "`.{}()` acquired while `{}` ({} guard from line {}) is \
-still held; the declared order is one shard lock at a time, penalty box \
+                            "`{}()` acquired while `{}` ({} guard from line {}) is \
+still live; the declared order is one shard lock at a time, penalty box \
 strictly after",
-                            method.text,
-                            h.name,
-                            tier_name(h.tier),
-                            h.line
+                            acq.method,
+                            held_name,
+                            tier_name(held_tier),
+                            r.acq.line
                         ),
-                        subject: Some(method.text.clone()),
-                    });
-                }
-            }
-            // Only `let`-bound guards outlive the statement.
-            if let Some(tier) = tier {
-                if let Some(name) = let_binding(toks, i) {
-                    held.push(Held {
-                        name,
-                        tier,
-                        depth,
-                        line: method.line,
+                        subject: Some(acq.method.clone()),
                     });
                 }
             }
@@ -220,17 +131,10 @@ strictly after",
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        FlowtableLockOrdering.check(&RuleCtx {
-            rel_path: "crates/dpi/src/sharded.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&FlowtableLockOrdering, "crates/dpi/src/sharded.rs", src)
     }
 
     #[test]
@@ -247,6 +151,7 @@ let b = self.shards[1].lock(); }";
         let findings = run(src);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("one shard lock at a time"));
+        assert!(findings[0].message.contains("`a`"));
     }
 
     #[test]
@@ -289,5 +194,42 @@ let b = self.shards[1].lock(); }";
         let src = "#[cfg(test)] mod t { fn f() { let a = shards[0].lock(); \
 let b = shards[1].lock(); } }";
         assert!(run(src).is_empty());
+    }
+
+    // --- cases the token engine provably missed ---
+
+    #[test]
+    fn destructured_helper_guard_ordering_violation_is_caught() {
+        // The token engine only tracked `let <ident> = <acquirer>()`:
+        // a guard arriving through tuple destructuring from a helper was
+        // invisible, so the shard lock below went unflagged.
+        let src = "fn f(&self) { let (idx, guard) = self.split_shard_guard(key); \
+let other = self.shards[1].lock(); }";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("shard guard"));
+    }
+
+    #[test]
+    fn helper_returned_guard_ordering_violation_is_caught() {
+        // `shard_guard()` is not `.lock()`/`.shard()`, so the token
+        // engine never saw the guard it returns.
+        let src = "fn f(&self) { let g = self.shard_guard(key); \
+let s = self.shards[0].lock(); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn moved_guard_no_longer_constrains() {
+        let src = "fn f(&self) { let s = table.shard(key); absorb(s); \
+let t = table.shard(other); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn reborrowed_guard_still_constrains() {
+        let src = "fn f(&self) { let s = table.shard(key); touch(&mut s); \
+let t = table.shard(other); }";
+        assert_eq!(run(src).len(), 1);
     }
 }

@@ -1,0 +1,219 @@
+//! generation-discipline: `PublishedState` generation stamps are written
+//! in exactly one place and compared only monotonically.
+//!
+//! The deployment pool's lock-step contract rests on the generation
+//! counter: `publish()` bumps it under the state lock, flows snapshot it
+//! at start, and the driver compares report stamps against the current
+//! generation to bill exactly one re-characterization per change. That
+//! argument breaks if any other code pokes the field, or if staleness is
+//! tested with `==`/`!=` — a generation that advanced *twice* between a
+//! flow's snapshot and the driver's check makes an equality test silently
+//! drop the change signal. Writes outside `publish` and equality
+//! comparisons on generation values are flagged; monotonic `>=`/`>`
+//! (and their flipped forms) pass.
+
+use crate::rules::{Finding, Rule, RuleCtx};
+
+pub struct GenerationDiscipline;
+
+/// Is the token at `i` an identifier character-wise?
+fn is_ident(text: &str) -> bool {
+    !text.is_empty()
+        && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !text.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+impl Rule for GenerationDiscipline {
+    fn name(&self) -> &'static str {
+        "generation-discipline"
+    }
+
+    fn code(&self) -> &'static str {
+        "LIB010"
+    }
+
+    fn explain(&self) -> &'static str {
+        "PublishedState's generation stamp may only be written by \
+PublishedState::publish (under the state lock) and may only be read via a \
+snapshot; staleness checks must use monotonic comparisons (>=, >, or their \
+flipped forms), never == or !=. The pool's exactly-one-re-characterization \
+billing argument assumes generations advance monotonically and that a \
+report stamped with ANY older generation is treated as already paid for — \
+an equality test drops the change signal whenever the counter advanced \
+more than once between snapshot and check, and a stray field write forges \
+a stamp that was never published. Suppress the single sanctioned writer \
+with `// lint: allow(generation-discipline: <fn>)`."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/deploy/") && !crate::rules::in_test_tree(rel_path)
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is("generation") || ctx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let next2 = toks.get(i + 2).map(|n| n.text.as_str());
+            // Declarations (`generation: u64`), struct-literal fields
+            // (`generation: value,`), shorthand init (`generation,`),
+            // and method calls (`generation()`) are not reads or writes
+            // of the field.
+            let prev_is_dot = i > 0 && toks[i - 1].is(".");
+            if next == Some("(") {
+                continue;
+            }
+            let fn_name = enclosing_fn(ctx, i);
+            let subject = fn_name.clone();
+            // Field writes: `.generation = v`, `.generation += v`.
+            if prev_is_dot {
+                let plain_write = next == Some("=") && next2 != Some("=");
+                let compound_write = matches!(next, Some("+") | Some("-")) && next2 == Some("=");
+                if plain_write || compound_write {
+                    findings.push(Finding {
+                        line: t.line,
+                        message: format!(
+                            "generation field written directly{}; only \
+PublishedState::publish may advance the stamp",
+                            fn_name
+                                .as_deref()
+                                .map(|f| format!(" in `{f}`"))
+                                .unwrap_or_default()
+                        ),
+                        subject,
+                    });
+                    continue;
+                }
+            }
+            // Equality comparisons, operand on the left:
+            // `r.generation == current`, `gen != current`.
+            let eq_right = (next == Some("=") && next2 == Some("="))
+                || (next == Some("!") && next2 == Some("="));
+            // Operand on the right: `current == r.generation`. Walk back
+            // over the field chain (`r.generation`, `snapshot.inner.generation`)
+            // to the operand start, then look at the two tokens before it.
+            let eq_left = {
+                let mut j = i;
+                while j >= 2 && toks[j - 1].is(".") && is_ident(&toks[j - 2].text) {
+                    j -= 2;
+                }
+                // A plain assignment (`let x = r.generation`) has a single
+                // `=` before the operand; `==`/`!=` leave an operator pair.
+                j >= 2 && toks[j - 1].is("=") && (toks[j - 2].is("=") || toks[j - 2].is("!"))
+            };
+            if eq_right || eq_left {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!(
+                        "generation compared with ==/!={}; staleness checks must be \
+monotonic (>= / >) so multi-step advances are not missed",
+                        fn_name
+                            .as_deref()
+                            .map(|f| format!(" in `{f}`"))
+                            .unwrap_or_default()
+                    ),
+                    subject,
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// The innermost fn whose span contains token `i`.
+fn enclosing_fn(ctx: &RuleCtx<'_>, i: usize) -> Option<String> {
+    ctx.ir
+        .iter()
+        .filter(|f| f.contains(i))
+        .max_by_key(|f| f.start)
+        .map(|f| f.name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_rule(&GenerationDiscipline, "crates/core/src/deploy/pool.rs", src)
+    }
+
+    #[test]
+    fn equality_comparison_is_flagged() {
+        let src = "fn f() { let stale = r.generation == current; }";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("monotonic"));
+        assert_eq!(findings[0].subject.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn inequality_comparison_is_flagged() {
+        let src = "fn f() { if r.generation != current { bail(); } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn flipped_equality_is_flagged() {
+        let src = "fn f() { let stale = current == r.generation; }";
+        assert_eq!(run(src).len(), 1, "{:?}", run(src));
+    }
+
+    #[test]
+    fn monotonic_comparisons_pass() {
+        let src = "fn f() { let acked = r.generation >= current; \
+let newer = r.generation > old; let older = current >= r.generation; }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn field_write_is_flagged() {
+        let src = "fn sneak(&mut self) { self.state.generation = forged; }";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("publish"));
+    }
+
+    #[test]
+    fn compound_write_is_flagged() {
+        let src = "fn publish(&self) { state.generation += 1; }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn declarations_and_struct_literals_pass() {
+        let src = "struct S { pub generation: u64 } \
+fn f() -> S { S { generation: snapshot.generation, } }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn snapshot_reads_and_method_calls_pass() {
+        let src = "fn f(&self) -> u64 { let g = self.published.generation(); \
+let h = snapshot.generation; g + h }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn plain_let_binding_named_generation_passes() {
+        let src = "fn f(&self) { let generation = self.published.generation(); \
+use_it(generation); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        assert!(!GenerationDiscipline.applies("crates/core/src/engine.rs"));
+        assert!(!GenerationDiscipline.applies("crates/core/src/deploy/tests/x.rs"));
+        assert!(GenerationDiscipline.applies("crates/core/src/deploy/pool.rs"));
+    }
+
+    #[test]
+    fn test_masked_comparisons_are_skipped() {
+        let src = "#[cfg(test)] mod t { fn f() { assert!(r.generation == 2); } }";
+        assert!(run(src).is_empty());
+    }
+}

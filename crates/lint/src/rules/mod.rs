@@ -1,16 +1,22 @@
 //! The rule registry. Each rule is scoped to the part of the workspace
 //! where its invariant holds, emits [`Finding`]s against the token
-//! stream, and documents itself for `liberate-lint explain <rule>`.
+//! stream (and, for the concurrency pack, the statement IR and guard
+//! dataflow), and documents itself for `liberate-lint explain <rule>`.
 
 mod checksum_repair;
 mod determinism;
 mod flowtable_lock_ordering;
+mod generation_discipline;
+mod guard_across_blocking;
 mod no_panic;
+mod obs_coverage;
 mod overhead_consistency;
 mod pcap_byte_order;
 mod simtime_monotonicity;
 mod taxonomy;
 
+use crate::dataflow::FnGuards;
+use crate::ir::FnIr;
 use crate::lexer::Token;
 
 /// Everything a rule sees for one file.
@@ -20,6 +26,10 @@ pub struct RuleCtx<'a> {
     pub tokens: &'a [Token],
     /// Parallel to `tokens`: true for tokens inside `#[cfg(test)]` items.
     pub test_mask: &'a [bool],
+    /// Statement-level IR: every fn lowered to a block tree.
+    pub ir: &'a [FnIr],
+    /// Guard-lifetime dataflow over `ir`, one entry per fn with a body.
+    pub guards: &'a [FnGuards],
 }
 
 /// A rule hit before allow-suppression is applied.
@@ -36,6 +46,9 @@ pub struct Finding {
 pub trait Rule {
     /// Stable kebab-case identifier, used in diagnostics and allows.
     fn name(&self) -> &'static str;
+    /// Stable `LIBnnn` diagnostic code, used in `--json` output and CI
+    /// diffs. Codes are assigned once and never reused.
+    fn code(&self) -> &'static str;
     /// Rationale shown by `liberate-lint explain <rule>`.
     fn explain(&self) -> &'static str;
     /// Whether this rule scans the given workspace-relative file.
@@ -50,7 +63,10 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(taxonomy::TaxonomyExhaustiveness),
         Box::new(determinism::Determinism),
         Box::new(flowtable_lock_ordering::FlowtableLockOrdering),
+        Box::new(guard_across_blocking::GuardAcrossBlocking),
+        Box::new(generation_discipline::GenerationDiscipline),
         Box::new(no_panic::NoPanic),
+        Box::new(obs_coverage::ObsCoverage),
         Box::new(overhead_consistency::OverheadConsistency),
         Box::new(pcap_byte_order::PcapByteOrder),
         Box::new(simtime_monotonicity::SimtimeMonotonicity),
@@ -62,4 +78,22 @@ pub fn all() -> Vec<Box<dyn Rule>> {
 /// the `#[cfg(test)]` token mask inside regular sources).
 pub(crate) fn in_test_tree(rel_path: &str) -> bool {
     rel_path.contains("/tests/") || rel_path.contains("/benches/")
+}
+
+/// Test helper: run one rule over a source text as if it lived at
+/// `rel_path`, with the IR and dataflow prepared the same way the engine
+/// does. Allow-suppression is NOT applied — rule tests see raw findings.
+#[cfg(test)]
+pub(crate) fn run_rule(rule: &dyn Rule, rel_path: &str, source: &str) -> Vec<Finding> {
+    let lexed = crate::lexer::lex(source);
+    let mask = crate::items::test_mask(&lexed.tokens);
+    let ir = crate::ir::lower(&lexed.tokens);
+    let guards = crate::dataflow::analyze(&lexed.tokens, &ir);
+    rule.check(&RuleCtx {
+        rel_path,
+        tokens: &lexed.tokens,
+        test_mask: &mask,
+        ir: &ir,
+        guards: &guards,
+    })
 }

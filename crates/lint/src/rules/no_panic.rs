@@ -24,6 +24,10 @@ impl Rule for NoPanic {
         "no-panic"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB004"
+    }
+
     fn explain(&self) -> &'static str {
         "Non-test code in crates/core and crates/packet must not call .unwrap() or \
 .expect(), or invoke panic!/unreachable!/todo!/unimplemented!. The evasion \
@@ -83,17 +87,10 @@ the call."
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        NoPanic.check(&RuleCtx {
-            rel_path: "crates/core/src/deploy.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&NoPanic, "crates/core/src/deploy.rs", src)
     }
 
     #[test]

@@ -194,6 +194,10 @@ impl Rule for OverheadConsistency {
         "overhead-consistency"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB008"
+    }
+
     fn explain(&self) -> &'static str {
         "Technique::overhead() (Table 2) is what deployment ranks candidate \
 techniques by, so it must agree with what transform::apply() emits. Each \
@@ -319,17 +323,10 @@ InertPackets(1): the transform emits exactly one inert packet per flow"
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        OverheadConsistency.check(&RuleCtx {
-            rel_path: "crates/core/src/evasion/mod.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&OverheadConsistency, "crates/core/src/evasion/mod.rs", src)
     }
 
     #[test]

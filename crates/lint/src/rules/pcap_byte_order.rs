@@ -28,6 +28,10 @@ impl Rule for PcapByteOrder {
         "pcap-byte-order"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB005"
+    }
+
     fn explain(&self) -> &'static str {
         "crates/packet serializes wire headers (big-endian) and pcap file \
 records (little-endian). Assembling a multi-byte field by hand — \
@@ -93,17 +97,10 @@ above it."
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        PcapByteOrder.check(&RuleCtx {
-            rel_path: "crates/packet/src/pcap.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&PcapByteOrder, "crates/packet/src/pcap.rs", src)
     }
 
     #[test]

@@ -25,6 +25,10 @@ impl Rule for SimtimeMonotonicity {
         "simtime-monotonicity"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB007"
+    }
+
     fn explain(&self) -> &'static str {
         "SimTime subtraction saturates to Duration::ZERO when the operands \
 are swapped (crates/netsim/src/time.rs), so a delta computed with `-` and \
@@ -141,17 +145,10 @@ target",
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        SimtimeMonotonicity.check(&RuleCtx {
-            rel_path: "crates/netsim/src/network.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(&SimtimeMonotonicity, "crates/netsim/src/network.rs", src)
     }
 
     #[test]

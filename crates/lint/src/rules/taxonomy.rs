@@ -28,6 +28,10 @@ impl Rule for TaxonomyExhaustiveness {
         "taxonomy-exhaustiveness"
     }
 
+    fn code(&self) -> &'static str {
+        "LIB002"
+    }
+
     fn explain(&self) -> &'static str {
         "Every `Technique` variant must be named in each taxonomy query \
 (table3_rows, description, category, applicable, overhead), and those \
@@ -92,17 +96,14 @@ author to fill in its column. Suppress a deliberate gap file-wide with \
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::test_mask;
-    use crate::lexer::lex;
+    use crate::rules::run_rule;
 
     fn run(src: &str) -> Vec<Finding> {
-        let out = lex(src);
-        let mask = test_mask(&out.tokens);
-        TaxonomyExhaustiveness.check(&RuleCtx {
-            rel_path: "crates/core/src/evasion/mod.rs",
-            tokens: &out.tokens,
-            test_mask: &mask,
-        })
+        run_rule(
+            &TaxonomyExhaustiveness,
+            "crates/core/src/evasion/mod.rs",
+            src,
+        )
     }
 
     const COMPLETE: &str = r#"

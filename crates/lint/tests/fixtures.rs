@@ -1,0 +1,193 @@
+//! Golden-file corpus for the lint rules.
+//!
+//! Every rule ships one positive fixture (the rule fires) and one
+//! negative fixture (a near-miss that stays clean) under
+//! `tests/fixtures/`. A fixture's first line maps it into the workspace
+//! path space its rule applies to:
+//!
+//! ```text
+//! // lint-fixture: path=crates/dpi/src/flowtable.rs
+//! ```
+//!
+//! The full engine runs on every fixture — all rules, the allow miner,
+//! and the unused-allow meta-check — so cross-rule interference shows up
+//! here, not in production. The JSON output is compared against the
+//! checked-in `<fixture>.expected.json`. After changing a rule or adding
+//! a fixture, regenerate the goldens with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test -p liberate-lint --test fixtures
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use liberate_lint::{lint_source, rule_names, to_json, UNUSED_ALLOW_RULE};
+
+struct Fixture {
+    file: PathBuf,
+    /// Rule under test, derived from the file stem (`_` → `-`).
+    rule: String,
+    /// `_pos` fixtures must fire the rule; `_neg` must stay clean.
+    positive: bool,
+    /// Workspace-relative path the fixture pretends to live at.
+    mapped_path: String,
+    source: String,
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = fixtures_dir();
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/fixtures directory")
+        .map(|e| e.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures found in {}", dir.display());
+
+    paths
+        .into_iter()
+        .map(|file| {
+            let source = fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+            let stem = file
+                .file_stem()
+                .expect("fixture file name")
+                .to_string_lossy()
+                .into_owned();
+            let (base, positive) = match (stem.strip_suffix("_pos"), stem.strip_suffix("_neg")) {
+                (Some(b), _) => (b, true),
+                (_, Some(b)) => (b, false),
+                _ => panic!("fixture `{stem}` must end in _pos or _neg"),
+            };
+            let mapped_path = source
+                .lines()
+                .next()
+                .and_then(|l| l.strip_prefix("// lint-fixture: path="))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: first line must be `// lint-fixture: path=<rel_path>`",
+                        file.display()
+                    )
+                })
+                .trim()
+                .to_string();
+            Fixture {
+                file,
+                rule: base.replace('_', "-"),
+                positive,
+                mapped_path,
+                source,
+            }
+        })
+        .collect()
+}
+
+/// Each fixture's full-engine JSON output matches its checked-in golden.
+#[test]
+fn fixtures_match_their_goldens() {
+    let update = std::env::var_os("UPDATE_FIXTURES").is_some();
+    let mut mismatches = Vec::new();
+    for fx in load_fixtures() {
+        let got = to_json(&lint_source(&fx.mapped_path, &fx.source));
+        let golden = fx.file.with_extension("expected.json");
+        if update {
+            fs::write(&golden, format!("{got}\n"))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", golden.display()));
+            continue;
+        }
+        let want = fs::read_to_string(&golden).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {}; regenerate with UPDATE_FIXTURES=1",
+                golden.display()
+            )
+        });
+        if want.trim_end() != got {
+            mismatches.push(format!(
+                "{}:\n  want: {}\n  got:  {got}",
+                fx.file.display(),
+                want.trim_end()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden mismatches (UPDATE_FIXTURES=1 to accept):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Positive fixtures fire their rule, negatives stay clean, and no
+/// fixture trips a rule other than the one it exercises — a stray
+/// diagnostic means two rules' scopes are interfering.
+#[test]
+fn fixtures_are_polarized_and_pure() {
+    for fx in load_fixtures() {
+        let diags = lint_source(&fx.mapped_path, &fx.source);
+        let hits = diags.iter().filter(|d| d.rule == fx.rule).count();
+        if fx.positive {
+            assert!(
+                hits > 0,
+                "{}: expected at least one `{}` diagnostic, got none",
+                fx.file.display(),
+                fx.rule
+            );
+        } else {
+            assert_eq!(
+                hits,
+                0,
+                "{}: negative fixture fired `{}`",
+                fx.file.display(),
+                fx.rule
+            );
+        }
+        for d in &diags {
+            assert_eq!(
+                d.rule,
+                fx.rule,
+                "{}: stray diagnostic from another rule: {d}",
+                fx.file.display()
+            );
+        }
+    }
+}
+
+/// The corpus covers the whole registry: one positive and one negative
+/// fixture per rule, including the engine-level unused-allow meta-check.
+#[test]
+fn every_rule_has_both_fixture_polarities() {
+    let fixtures = load_fixtures();
+    let mut names = rule_names();
+    names.push(UNUSED_ALLOW_RULE);
+    for name in names {
+        for positive in [true, false] {
+            assert!(
+                fixtures
+                    .iter()
+                    .any(|f| f.rule == name && f.positive == positive),
+                "rule `{name}` is missing a {} fixture",
+                if positive { "positive" } else { "negative" }
+            );
+        }
+    }
+}
+
+/// The acceptance regression for the IR port: a destructured shard guard
+/// — invisible to the old token-level engine — is caught holding its
+/// tier when a same-tier shard is acquired.
+#[test]
+fn destructured_guard_regression_is_locked_in() {
+    let fx_path = fixtures_dir().join("flowtable_lock_ordering_pos.rs");
+    let source = fs::read_to_string(&fx_path).expect("regression fixture");
+    let diags = lint_source("crates/dpi/src/flowtable.rs", &source);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "flowtable-lock-ordering" && d.message.contains("guard")),
+        "destructured-guard violation no longer detected: {diags:?}"
+    );
+}

@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/packet/src/mutate.rs
+
+/// Rewrites the sequence number and repairs the checksum afterwards.
+pub fn rewrite_seq(wire: &mut [u8], seq: u32) {
+    wire[4..8].copy_from_slice(&seq.to_be_bytes());
+    let ck = pseudo_header_checksum(wire);
+    wire[16..18].copy_from_slice(&ck.to_be_bytes());
+}

@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/packet/src/mutate.rs
+
+/// Zeroes the TCP checksum field and never repairs it: the receiving
+/// stack drops the replayed packet before the classifier sees it.
+pub fn clobber_checksum(wire: &mut [u8]) {
+    wire[16] = 0;
+    wire[17] = 0;
+}

@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/netsim/src/jitter.rs
+
+/// Same sampler, but the rng is seeded by the scenario and time comes
+/// from the simulated clock: replays are bit-identical.
+pub fn sample_delay_ns(rng: &mut StdRng, now: SimTime, ceiling: u64) -> u64 {
+    (rng.next_u64() ^ now.as_nanos()) % ceiling
+}

@@ -1,0 +1,9 @@
+// lint-fixture: path=crates/netsim/src/jitter.rs
+
+/// Samples link jitter from ambient entropy and the wall clock: two runs
+/// of the same scenario produce different traces.
+pub fn sample_delay_ns(ceiling: u64) -> u64 {
+    let mut rng = thread_rng();
+    let started = Instant::now();
+    (rng.next_u64() ^ started.elapsed().subsec_nanos() as u64) % ceiling
+}

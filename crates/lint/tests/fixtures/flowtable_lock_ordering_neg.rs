@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/dpi/src/flowtable.rs
+
+impl FlowTable {
+    /// Tier-ordered acquisition: shard (tier 0) before penalty box
+    /// (tier 1) is the sanctioned order.
+    pub fn park(&self, key: FlowKey) {
+        let shard = self.shard(key);
+        let mut penalty = self.penalty_box.lock();
+        penalty.push(shard.evict());
+    }
+}

@@ -1,0 +1,15 @@
+// lint-fixture: path=crates/dpi/src/flowtable.rs
+
+impl FlowTable {
+    /// Regression fixture: the pre-IR token engine only recognised guards
+    /// bound by a plain `let g = ...lock()`, so a shard guard arriving
+    /// through destructuring was invisible to it and this cross-shard
+    /// acquisition (shard held, second shard taken — same tier, no
+    /// ordering) went unflagged. The guard-lifetime dataflow pass tracks
+    /// the destructured binding and catches it.
+    pub fn rebalance(&self, key: FlowKey) {
+        let (idx, guard) = self.split_shard_guard(key);
+        let other = self.shards[idx + 1].lock();
+        merge_flows(guard, other);
+    }
+}

@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/core/src/deploy/state.rs
+
+impl PoolDriver {
+    /// Monotonic staleness check: any report stamped at or past the
+    /// current generation has already paid for the change.
+    pub fn acked(&self, report: &FlowReport) -> bool {
+        report.generation >= self.current
+    }
+
+    /// Reads go through the snapshot accessor, never the raw field.
+    pub fn snapshot_stamp(&self) -> u64 {
+        self.published.generation()
+    }
+}

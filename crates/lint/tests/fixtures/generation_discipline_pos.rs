@@ -1,0 +1,15 @@
+// lint-fixture: path=crates/core/src/deploy/state.rs
+
+impl PoolDriver {
+    /// Forges a stamp outside publish(): readers can now observe a
+    /// generation that was never published under the state lock.
+    pub fn force_stamp(&mut self, forged: u64) {
+        self.state.generation = forged;
+    }
+
+    /// Equality staleness check: if the generation advanced twice between
+    /// this flow's snapshot and the check, the change signal is dropped.
+    pub fn is_stale(&self, report: &FlowReport) -> bool {
+        report.generation != self.current
+    }
+}

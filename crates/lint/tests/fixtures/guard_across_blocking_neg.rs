@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/core/src/deploy/wave.rs
+
+impl WaveDriver {
+    /// Copies what the wave needs out of the guard's scope, then replays
+    /// without holding the session table.
+    pub fn run_all(&self) -> Result<(), LiberateError> {
+        let plan = {
+            let guard = self.sessions.lock();
+            guard.plan.clone()
+        };
+        self.run_wave(&plan)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,12 @@
+// lint-fixture: path=crates/core/src/deploy/wave.rs
+
+impl WaveDriver {
+    /// Holds the session-table guard across run_wave: every flow that
+    /// tries to register while the wave replays serializes behind this
+    /// lock for the wave's full duration.
+    pub fn run_all(&self) -> Result<(), LiberateError> {
+        let guard = self.sessions.lock();
+        self.run_wave(&guard.plan)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/core/src/schedule.rs
+
+/// Same lookup, but the failure surfaces as LiberateError so the caller
+/// can fall back to the untransformed schedule.
+pub fn first_packet(s: &Schedule) -> Result<Packet, LiberateError> {
+    let p = s
+        .packets
+        .first()
+        .ok_or(LiberateError::EmptySchedule)?;
+    Ok(p.clone())
+}

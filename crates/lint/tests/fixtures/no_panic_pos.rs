@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/core/src/schedule.rs
+
+/// Unwinds on an empty schedule: inline on a live flow, this tears down
+/// the user's connection instead of degrading.
+pub fn first_packet(s: &Schedule) -> Packet {
+    let p = s.packets.first().unwrap();
+    if p.payload.is_empty() {
+        panic!("schedule starts with an empty packet");
+    }
+    p.clone()
+}

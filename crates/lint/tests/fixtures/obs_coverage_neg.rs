@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/obs/src/reporter.rs
+
+impl Reporter {
+    /// Event and counter move together: the journal and the summary
+    /// table stay two views of one activity stream.
+    pub fn note_injection(&mut self, at: SimTime, bytes: usize) {
+        self.metrics.incr(Counter::PacketsInjected);
+        self.journal.record(at, EventKind::PacketInjected { bytes });
+    }
+}

@@ -1,0 +1,9 @@
+// lint-fixture: path=crates/obs/src/reporter.rs
+
+impl Reporter {
+    /// Journals the injection but never moves the paired counter: the
+    /// summary table cannot corroborate what the event stream shows.
+    pub fn note_injection(&mut self, at: SimTime, bytes: usize) {
+        self.journal.record(at, EventKind::PacketInjected { bytes });
+    }
+}

@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/core/src/evasion/transform.rs
+
+/// Every pattern binder flows into the arm body: the emission stays the
+/// size the overhead table predicts.
+pub fn apply(t: &Technique, base: &Schedule) -> Option<Schedule> {
+    use Technique::*;
+    match t {
+        TcpSegmentSplit { segments } => Some(split_segments(base, *segments)),
+        PauseAfterMatch(d) => Some(insert_pause(base, d)),
+    }
+}

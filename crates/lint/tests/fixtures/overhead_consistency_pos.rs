@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/core/src/evasion/transform.rs
+
+/// The split arm binds `segments` and then hardcodes 2: the emitted
+/// schedule's size no longer tracks what overhead() bills for it.
+pub fn apply(t: &Technique, base: &Schedule) -> Option<Schedule> {
+    use Technique::*;
+    match t {
+        TcpSegmentSplit { segments } => Some(split_segments(base, 2)),
+        PauseAfterMatch(d) => Some(insert_pause(base, d)),
+    }
+}

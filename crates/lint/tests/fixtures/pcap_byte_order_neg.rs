@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/packet/src/pcap.rs
+
+/// Writes the whole field through to_le_bytes: the pcap file header is
+/// little-endian and the call site says so.
+pub fn write_snaplen(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}

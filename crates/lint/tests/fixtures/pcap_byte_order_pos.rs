@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/packet/src/pcap.rs
+
+/// Hand-assembles the snaplen field one byte lane at a time: the byte
+/// order lives in the arithmetic instead of being named at the write site.
+pub fn write_snaplen(out: &mut Vec<u8>, v: u32) {
+    out.push((v >> 24) as u8);
+    out.push((v >> 16) as u8);
+    out.push((v >> 8) as u8);
+    out.push(v as u8);
+}

@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/netsim/src/scheduler.rs
+
+impl Scheduler {
+    /// Passes an absolute target instead: no subtraction can go negative.
+    pub fn catch_up(&mut self, target: SimTime) {
+        self.clock.advance_to(target);
+    }
+}

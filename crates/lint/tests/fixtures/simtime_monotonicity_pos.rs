@@ -1,0 +1,9 @@
+// lint-fixture: path=crates/netsim/src/scheduler.rs
+
+impl Scheduler {
+    /// Advances the clock by a subtraction: SimTime's Sub saturates to
+    /// zero when the operands swap, silently stalling the simulation.
+    pub fn catch_up(&mut self, now: SimTime, lag: SimTime) {
+        self.clock.advance(now - lag);
+    }
+}

@@ -1,0 +1,43 @@
+// lint-fixture: path=crates/core/src/evasion/mod.rs
+
+pub enum Technique {
+    InertLowTtl,
+    PauseAfterMatch(Duration),
+}
+
+impl Technique {
+    pub fn table3_rows() -> Vec<Technique> {
+        vec![
+            Technique::InertLowTtl,
+            Technique::PauseAfterMatch(Duration::ZERO),
+        ]
+    }
+
+    pub fn description(&self) -> &'static str {
+        match self {
+            Technique::InertLowTtl => "inert packet with a TTL too low to arrive",
+            Technique::PauseAfterMatch(_) => "pause after the keyword to flush state",
+        }
+    }
+
+    pub fn category(&self) -> Category {
+        match self {
+            Technique::InertLowTtl => Category::InertInsertion,
+            Technique::PauseAfterMatch(_) => Category::Flushing,
+        }
+    }
+
+    pub fn applicable(&self) -> bool {
+        match self {
+            Technique::InertLowTtl | Technique::PauseAfterMatch(_) => true,
+        }
+    }
+
+    pub fn overhead(&self) -> Overhead {
+        use Technique::*;
+        match self {
+            InertLowTtl => Overhead::InertPackets(1),
+            PauseAfterMatch(d) => Overhead::PauseSeconds(d.as_secs()),
+        }
+    }
+}
