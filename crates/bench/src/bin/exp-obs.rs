@@ -1,0 +1,166 @@
+//! **Observability overhead**: the tracing layer must be close to free.
+//!
+//! Runs the same characterization workload twice per repetition — once
+//! with the journal enabled (spans, events, histograms) and once with a
+//! disabled journal (`Journal::disabled()`, every record/span/observe
+//! call short-circuits on the atomic gate) — and compares host
+//! wall-clock. The gate: enabled must cost less than
+//! `LIBERATE_OBS_BUDGET_PCT` percent (default 10) over disabled,
+//! min-of-reps on both sides so scheduler noise cannot fail the run.
+//!
+//! Also asserts the enabled runs are deterministic: every repetition
+//! must export a byte-identical journal.
+//!
+//! Writes `results/BENCH_obs.json`.
+//!
+//! Run with: `cargo run --release -p liberate-bench --bin exp-obs`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use liberate::prelude::*;
+use liberate::report::Json;
+use liberate_obs::{to_jsonl, Journal};
+use liberate_traces::apps;
+
+const REPS: usize = 5;
+const DEFAULT_BUDGET_PCT: f64 = 10.0;
+
+fn budget_pct() -> f64 {
+    std::env::var("LIBERATE_OBS_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(DEFAULT_BUDGET_PCT)
+}
+
+/// One full workload pass: characterize an HTTP and a UDP application
+/// against the testbed classifier with the given journal attached.
+/// Returns (host micros, replay rounds) — rounds pin the workload as
+/// identical across arms.
+fn run_workload(journal: &Arc<Journal>) -> (u64, u64) {
+    let start = Instant::now();
+    let mut rounds = 0;
+    for trace in [
+        apps::amazon_prime_http(20_000),
+        apps::spotify_http(20_000),
+        apps::espn_http(20_000),
+        apps::skype_stun(8),
+    ] {
+        let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+        session.attach_journal(journal.clone());
+        let c = characterize(
+            &mut session,
+            &trace,
+            &Signal::Readout,
+            &CharacterizeOpts::default(),
+        );
+        rounds += c.rounds;
+    }
+    (start.elapsed().as_micros() as u64, rounds)
+}
+
+fn main() {
+    println!("Experiment: observability overhead (journal on vs off)\n");
+    let budget = budget_pct();
+
+    let mut on_us = Vec::with_capacity(REPS);
+    let mut off_us = Vec::with_capacity(REPS);
+    let mut on_rounds = 0;
+    let mut off_rounds = 0;
+    let mut first_jsonl: Option<String> = None;
+    let mut journal_events = 0;
+
+    for rep in 0..REPS {
+        // Alternate arm order per rep so cache warm-up cannot
+        // systematically favor one side.
+        for arm in 0..2 {
+            let enabled = (rep + arm) % 2 == 0;
+            let journal = Arc::new(if enabled {
+                Journal::new()
+            } else {
+                Journal::disabled()
+            });
+            let (us, rounds) = run_workload(&journal);
+            if enabled {
+                on_us.push(us);
+                on_rounds = rounds;
+                journal_events = journal.len();
+                let jsonl = to_jsonl(&journal);
+                match &first_jsonl {
+                    None => first_jsonl = Some(jsonl),
+                    Some(prev) => assert_eq!(
+                        prev, &jsonl,
+                        "enabled-journal export must be byte-identical across reps"
+                    ),
+                }
+            } else {
+                off_us.push(us);
+                off_rounds = rounds;
+                assert_eq!(journal.len(), 0, "disabled journal must record no events");
+            }
+        }
+    }
+
+    assert_eq!(
+        on_rounds, off_rounds,
+        "journal gating must not change the workload"
+    );
+
+    let on_min = *on_us.iter().min().unwrap();
+    let off_min = *off_us.iter().min().unwrap();
+    let overhead_pct = if off_min == 0 {
+        0.0
+    } else {
+        (on_min as f64 - off_min as f64) / off_min as f64 * 100.0
+    };
+
+    println!("workload: 3x http + skype-stun characterization, {on_rounds} rounds");
+    println!(
+        "journal on  (min of {REPS}): {:>10} us, {journal_events} events",
+        on_min
+    );
+    println!("journal off (min of {REPS}): {:>10} us", off_min);
+    println!("overhead: {overhead_pct:.2}% (budget {budget:.1}%)");
+
+    let dataset = Json::Obj(vec![
+        ("experiment".into(), Json::s("observability overhead")),
+        (
+            "workload".into(),
+            Json::s("prime+spotify+espn http(20000) + skype-stun(8) testbed characterization"),
+        ),
+        ("reps".into(), Json::n(REPS as f64)),
+        ("rounds".into(), Json::n(on_rounds as f64)),
+        ("journal_events".into(), Json::n(journal_events as f64)),
+        ("on_min_us".into(), Json::n(on_min as f64)),
+        ("off_min_us".into(), Json::n(off_min as f64)),
+        (
+            "overhead_pct".into(),
+            Json::Num((overhead_pct * 100.0).round() / 100.0),
+        ),
+        ("budget_pct".into(), Json::Num(budget)),
+        (
+            "on_us".into(),
+            Json::Arr(on_us.iter().map(|&u| Json::n(u as f64)).collect()),
+        ),
+        (
+            "off_us".into(),
+            Json::Arr(off_us.iter().map(|&u| Json::n(u as f64)).collect()),
+        ),
+    ]);
+    let out_dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join("BENCH_obs.json");
+        match std::fs::write(&path, dataset.render() + "\n") {
+            Ok(()) => println!("dataset: wrote {}", path.display()),
+            Err(e) => eprintln!("dataset: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    assert!(
+        overhead_pct < budget,
+        "tracing overhead {overhead_pct:.2}% exceeds the {budget:.1}% budget \
+         (override with LIBERATE_OBS_BUDGET_PCT)"
+    );
+    println!("\n[ok] tracing overhead within budget, exports byte-identical across reps");
+}

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use rand::Rng;
 
-use liberate_obs::{Counter, Phase};
+use liberate_obs::{Counter, Hist, Phase};
 use liberate_packet::mutate::{invert_range, merge_regions, ByteRegion};
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage};
 
@@ -307,6 +307,9 @@ pub fn find_matching_fields(
     journal.span_start(session.env.network.clock.as_micros(), Phase::BlindSearch);
     let out = find_matching_fields_inner(session, trace, signal, opts);
     journal.span_end(session.env.network.clock.as_micros(), Phase::BlindSearch);
+    // Rounds-per-characterization distribution (§6.1 reports the worst
+    // case; the histogram shows where typical searches land).
+    journal.observe(Hist::BlindRounds, out.1);
     out
 }
 

@@ -41,7 +41,7 @@ use std::time::Duration;
 
 use liberate_dpi::profiles::{EnvKind, EnvironmentBlueprint};
 use liberate_netsim::os::OsKind;
-use liberate_obs::{Journal, Phase};
+use liberate_obs::{Hist, Journal, Phase};
 use liberate_packet::mutate::{merge_regions, ByteRegion};
 use liberate_traces::recorded::{RecordedTrace, Sender};
 
@@ -116,10 +116,14 @@ impl SessionPool {
     {
         let n = self.sessions.len();
         if n == 1 || jobs.len() <= 1 {
-            return jobs
-                .into_iter()
-                .map(|job| f(&mut self.sessions[0], job))
-                .collect();
+            if jobs.is_empty() {
+                return Vec::new();
+            }
+            let session = &mut self.sessions[0];
+            wave_open(session, jobs.len());
+            let out = jobs.into_iter().map(|job| f(session, job)).collect();
+            wave_close(session);
+            return out;
         }
 
         let mut buckets: Vec<Vec<(usize, T)>> = (0..n).map(|_| Vec::new()).collect();
@@ -135,10 +139,13 @@ impl SessionPool {
                     continue;
                 }
                 handles.push(scope.spawn(move || {
-                    bucket
+                    wave_open(session, bucket.len());
+                    let part = bucket
                         .into_iter()
                         .map(|(i, job)| (i, f(session, job)))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    wave_close(session);
+                    part
                 }));
             }
             for handle in handles {
@@ -151,6 +158,21 @@ impl SessionPool {
         tagged.sort_by_key(|(i, _)| *i);
         tagged.into_iter().map(|(_, r)| r).collect()
     }
+}
+
+/// Open a wave span on the worker's own journal and record how many
+/// jobs landed in its bucket (the per-wave occupancy distribution the
+/// ROADMAP's worker-scaling question needs).
+fn wave_open(session: &Session, occupancy: usize) {
+    let journal = session.journal();
+    journal.span_start(session.env.network.clock.as_micros(), Phase::Wave);
+    journal.observe(Hist::WaveOccupancy, occupancy as u64);
+}
+
+fn wave_close(session: &Session) {
+    session
+        .journal()
+        .span_end(session.env.network.clock.as_micros(), Phase::Wave);
 }
 
 /// A bisection node awaiting its probes in the next wave. Mirrors the
@@ -505,6 +527,15 @@ pub fn characterize_many(
         )
     };
     let ladders = pool.run_wave((0..traces.len()).collect(), &pos_exec);
+
+    // One blind-rounds sample per trace, mirroring the sequential
+    // `find_matching_fields`. Worker 0's journal keeps the merged
+    // histogram invariant across worker counts.
+    for state in &states {
+        pool.sessions[0]
+            .journal()
+            .observe(Hist::BlindRounds, state.rounds);
+    }
 
     states
         .into_iter()

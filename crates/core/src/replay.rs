@@ -23,7 +23,7 @@ use liberate_netsim::os::OsKind;
 use liberate_netsim::server::ServerApp;
 use liberate_netsim::stats::ThroughputMeter;
 use liberate_netsim::time::SimTime;
-use liberate_obs::{Counter, EventKind, Journal};
+use liberate_obs::{Counter, EventKind, Hist, Journal, Phase};
 use liberate_packet::flow::FlowKey;
 use liberate_packet::fragment::fragment_packet;
 use liberate_packet::packet::{Packet, ParsedPacket};
@@ -347,6 +347,15 @@ impl Session {
     ) -> ReplayOutcome {
         self.replays += 1;
         self.env.journal.metrics.incr(Counter::ReplaysExecuted);
+        // Each replay is a micro span under whichever Fig. 3 phase is
+        // running it, and the one place host time is measured: core is
+        // outside the simulator's determinism boundary, and the wall
+        // clock feeds only the non-deterministic replay-host-micros
+        // histogram (never the JSONL export).
+        let host_start = std::time::Instant::now();
+        self.env
+            .journal
+            .span_start(self.env.network.clock.as_micros(), Phase::Replay);
         self.env.network.capture.clear();
 
         let client_port = self.next_client_port;
@@ -575,6 +584,13 @@ impl Session {
                 server_bytes: server_payload,
                 blocked: outcome.blocked(),
             },
+        );
+        self.env
+            .journal
+            .span_end(self.env.network.clock.as_micros(), Phase::Replay);
+        self.env.journal.observe(
+            Hist::ReplayHostMicros,
+            host_start.elapsed().as_micros() as u64,
         );
         outcome
     }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use liberate_netsim::element::{Effects, PathElement, TimedPacket, Verdict};
 use liberate_netsim::shaper::TokenBucket;
 use liberate_netsim::time::SimTime;
-use liberate_obs::{Counter, EventKind, Journal};
+use liberate_obs::{Counter, EventKind, Hist, Journal};
 use liberate_packet::flow::{Direction, FlowKey};
 use liberate_packet::packet::{Packet, ParsedPacket};
 use liberate_packet::tcp::TcpFlags;
@@ -90,6 +90,9 @@ pub struct DpiDevice {
     /// churn and would double-report.
     flows_created_pending: u64,
     flows_evicted_pending: u64,
+    /// Per-flow scanned-byte figures drained from the shard but not yet
+    /// observed into the bytes-scanned histogram.
+    evicted_scanned_pending: Vec<u64>,
     /// Lazily compiled automaton over `config.rules` + gate prefixes
     /// (`None` until first use, or always under `MatcherKind::NaiveRescan`).
     compiled: Option<Arc<CompiledRuleSet>>,
@@ -114,6 +117,7 @@ impl DpiDevice {
             journal: None,
             flows_created_pending: 0,
             flows_evicted_pending: 0,
+            evicted_scanned_pending: Vec::new(),
             compiled: None,
         }
     }
@@ -180,6 +184,7 @@ impl DpiDevice {
     fn sync_flow_metrics(&mut self) {
         let created = std::mem::take(&mut self.flows_created_pending);
         let evicted = std::mem::take(&mut self.flows_evicted_pending);
+        let scanned = std::mem::take(&mut self.evicted_scanned_pending);
         let Some(j) = &self.journal else {
             return;
         };
@@ -189,15 +194,20 @@ impl DpiDevice {
         if evicted > 0 {
             j.metrics.add(Counter::FlowsEvicted, evicted);
         }
+        for bytes in scanned {
+            j.observe(Hist::FlowBytesScanned, bytes);
+        }
     }
 
     /// Fold a finished shard guard's churn into this device's pending
     /// deltas.
-    fn absorb_shard_deltas(&mut self, shard: crate::sharded::ShardGuard<'_>) {
+    fn absorb_shard_deltas(&mut self, mut shard: crate::sharded::ShardGuard<'_>) {
         let (created, evicted) = shard.deltas();
+        let scanned = shard.drain_evicted_scanned();
         drop(shard);
         self.flows_created_pending += created;
         self.flows_evicted_pending += evicted;
+        self.evicted_scanned_pending.extend(scanned);
     }
 
     fn journal_record(&self, now: SimTime, kind: EventKind) {

@@ -301,6 +301,12 @@ pub struct FlowTable {
     pub created_total: u64,
     /// Monotonic eviction count: expiry removals plus RST flushes.
     pub evicted_total: u64,
+    /// Payload-byte totals (client + server) of flows whose tracking
+    /// state was dropped (timeout expiry or RST flush) and not yet
+    /// drained into the per-flow bytes-scanned histogram. The holder of
+    /// the shard lock drains these after processing, so with a shared
+    /// table each device reports only its own churn.
+    evicted_scanned_pending: Vec<u64>,
 }
 
 impl FlowTable {
@@ -333,7 +339,10 @@ impl FlowTable {
             };
             if let Some(t) = tracking_timeout {
                 if idle > t {
-                    entry.tracking = None;
+                    if let Some(tr) = entry.tracking.take() {
+                        self.evicted_scanned_pending
+                            .push(tr.client_payload_bytes + tr.server_payload_bytes);
+                    }
                 }
             }
             entry.classification.is_none() && entry.tracking.is_none()
@@ -380,7 +389,12 @@ impl FlowTable {
         match effect {
             RstEffect::Ignored => false,
             RstEffect::FlushImmediately => {
-                self.entries.remove(&canonical);
+                if let Some(e) = self.entries.remove(&canonical) {
+                    if let Some(tr) = e.tracking {
+                        self.evicted_scanned_pending
+                            .push(tr.client_payload_bytes + tr.server_payload_bytes);
+                    }
+                }
                 self.evicted_total += 1;
                 true
             }
@@ -393,6 +407,12 @@ impl FlowTable {
                 }
             }
         }
+    }
+
+    /// Drain the per-flow scanned-byte figures of flows whose tracking
+    /// died since the last drain (see `evicted_scanned_pending`).
+    pub fn drain_evicted_scanned(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.evicted_scanned_pending)
     }
 
     /// Record a blocked flow toward a server:port and return whether the

@@ -7,4 +7,17 @@ impl Reporter {
         self.metrics.incr(Counter::PacketsInjected);
         self.journal.record(at, EventKind::PacketInjected { bytes });
     }
+
+    /// Histogram next to its paired counter: quantiles and rate move
+    /// together.
+    pub fn note_wire_size(&mut self, bytes: usize) {
+        self.metrics.incr(Counter::PacketsInjected);
+        self.journal.observe(Hist::InjectBytes, bytes as u64);
+    }
+
+    /// Distribution-only histogram: the pairing table exempts it, so no
+    /// counter is demanded.
+    pub fn note_occupancy(&mut self, workers: usize) {
+        self.journal.observe(Hist::WaveOccupancy, workers as u64);
+    }
 }

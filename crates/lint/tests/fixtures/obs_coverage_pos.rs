@@ -6,4 +6,10 @@ impl Reporter {
     pub fn note_injection(&mut self, at: SimTime, bytes: usize) {
         self.journal.record(at, EventKind::PacketInjected { bytes });
     }
+
+    /// Same blind spot on the histogram surface: bytes quantiles with
+    /// no injection count to corroborate them.
+    pub fn note_wire_size(&mut self, bytes: usize) {
+        self.journal.observe(Hist::InjectBytes, bytes as u64);
+    }
 }

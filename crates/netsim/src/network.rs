@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use liberate_obs::{Counter, EventKind, Journal};
+use liberate_obs::{Counter, EventKind, Hist, Journal};
 use liberate_packet::flow::Direction;
 
 use crate::capture::{Capture, TapPoint};
@@ -74,6 +74,9 @@ pub struct Network {
     /// packet is counted here (timestamps are SimTime micros, never the
     /// wall clock).
     journal: Arc<Journal>,
+    /// Sim timestamp of the last dispatched event, feeding the
+    /// step-sim-micros inter-event-gap histogram.
+    last_step_us: u64,
 }
 
 impl Network {
@@ -93,6 +96,7 @@ impl Network {
             client_inbox: Vec::new(),
             capture: Capture::default(),
             journal: Arc::new(Journal::new()),
+            last_step_us: 0,
         }
     }
 
@@ -156,6 +160,7 @@ impl Network {
         let at = self.clock + delay;
         self.capture.record(at, TapPoint::ClientEgress, &wire);
         self.journal.metrics.incr(Counter::PacketsInjected);
+        self.journal.observe(Hist::InjectBytes, wire.len() as u64);
         self.journal.record(
             at.as_micros(),
             EventKind::PacketInjected {
@@ -193,6 +198,12 @@ impl Network {
             let ev = self.events.pop().expect("peeked");
             self.clock = self.clock.max(ev.at);
             self.journal.metrics.incr(Counter::PacketsStepped);
+            let now_us = self.clock.as_micros();
+            self.journal.observe(
+                Hist::StepSimMicros,
+                now_us.saturating_sub(self.last_step_us),
+            );
+            self.last_step_us = now_us;
             self.dispatch(ev);
             budget -= 1;
             if budget == 0 {

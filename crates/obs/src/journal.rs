@@ -8,11 +8,17 @@
 //! characterization encloses blind-search/position-probe spans — and every
 //! typed event is attributed to the innermost open span at record time.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::Mutex;
 
+use crate::hist::Hist;
 use crate::metrics::Metrics;
 
-/// A pipeline phase (Fig. 3 step) that can be spanned in the journal.
+/// A pipeline phase that can be spanned in the journal. The first five
+/// mirror Fig. 3 of the paper; `Wave` and `Replay` are *micro* phases —
+/// engine-level spans that nest inside a Fig. 3 phase to show where its
+/// time went (one wave bucket, one replayed trace).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     Detect,
@@ -20,15 +26,19 @@ pub enum Phase {
     PositionProbe,
     Evaluate,
     Deploy,
+    Wave,
+    Replay,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Detect,
         Phase::BlindSearch,
         Phase::PositionProbe,
         Phase::Evaluate,
         Phase::Deploy,
+        Phase::Wave,
+        Phase::Replay,
     ];
 
     pub fn name(self) -> &'static str {
@@ -38,12 +48,26 @@ impl Phase {
             Phase::PositionProbe => "position-probe",
             Phase::Evaluate => "evaluate",
             Phase::Deploy => "deploy",
+            Phase::Wave => "wave",
+            Phase::Replay => "replay",
         }
+    }
+
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
     }
 
     /// Position in `Phase::ALL`; used as an array index by the summary.
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// Micro phases are engine plumbing, not Fig. 3 steps. Events keep
+    /// being *attributed* (`Event::phase`) to the innermost open Fig. 3
+    /// phase so per-phase replay/packet accounting is unchanged by the
+    /// finer spans; micro spans still appear in the span tree via ids.
+    pub fn is_micro(self) -> bool {
+        matches!(self, Phase::Wave | Phase::Replay)
     }
 }
 
@@ -51,11 +75,19 @@ impl Phase {
 /// derived from the trace, the seed, or the simulation clock.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
+    /// A span opened. `id` is unique within one journal (pool workers
+    /// have their own id sequences; a merged journal keys spans by
+    /// `(worker, id)`), `parent` is the id of the enclosing open span.
     SpanStart {
         phase: Phase,
+        id: u64,
+        parent: Option<u64>,
     },
+    /// A span closed. `id` is 0 for an end with no matching start (the
+    /// imbalance stays visible in the journal rather than panicking).
     SpanEnd {
         phase: Phase,
+        id: u64,
     },
     /// A `Session` came up against an environment with a seed. Recording
     /// the seed makes journals self-describing and guarantees different
@@ -136,7 +168,9 @@ impl EventKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     pub t_us: u64,
-    /// Innermost open span when the event was recorded. For
+    /// Innermost open *Fig. 3* span when the event was recorded — micro
+    /// phases (`Wave`, `Replay`) are skipped for attribution so the
+    /// per-phase accounting matches the paper's pipeline. For
     /// `SpanStart`/`SpanEnd` this is the span's own phase.
     pub phase: Option<Phase>,
     /// Pool worker whose session recorded this event; `None` in a
@@ -144,23 +178,52 @@ pub struct Event {
     /// journals are byte-identical to pre-engine ones. Set by
     /// [`Journal::absorb_worker`], never at record time.
     pub worker: Option<u32>,
+    /// Id of the innermost open span of *any* phase at record time. For
+    /// `SpanStart`/`SpanEnd` this is the span's own id. Together with
+    /// `SpanStart::parent`, this nests every event into the span tree.
+    pub span: Option<u64>,
     pub kind: EventKind,
+}
+
+/// One open span on the stack: phase, id, and when it opened (so the
+/// closing end can feed the per-phase sim-latency histogram).
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    phase: Phase,
+    id: u64,
+    start_us: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     events: Vec<Event>,
-    stack: Vec<Phase>,
+    stack: Vec<OpenSpan>,
+    /// Next span id; ids start at 1 (0 marks an unmatched span end).
+    next_span: u64,
 }
 
 /// The journal: event log plus counter registry, shared as an
 /// `Arc<Journal>` by `Environment`, `Session`, and the path elements.
 /// All execution is synchronous today, so the mutex is uncontended; it
 /// exists so the handle can be cloned freely across layers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Journal {
     inner: Mutex<Inner>,
+    /// When false every record/span/observe call is a no-op. `exp-obs`
+    /// uses this to measure tracing overhead (journal on vs off) on an
+    /// otherwise identical workload; counters stay live either way.
+    enabled: AtomicBool,
     pub metrics: Metrics,
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal {
+            inner: Mutex::default(),
+            enabled: AtomicBool::new(true),
+            metrics: Metrics::default(),
+        }
+    }
 }
 
 impl Journal {
@@ -168,50 +231,108 @@ impl Journal {
         Journal::default()
     }
 
-    /// Record a typed event, attributed to the innermost open span.
+    /// A journal whose record/span/observe calls are no-ops (counters
+    /// still count). The baseline side of the `exp-obs` overhead gate.
+    pub fn disabled() -> Journal {
+        let j = Journal::new();
+        j.set_enabled(false);
+        j
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record a typed event, attributed to the innermost open Fig. 3
+    /// span (micro spans carry ids but never attribution).
     pub fn record(&self, t_us: u64, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
         let mut inner = self.inner.lock();
-        let phase = inner.stack.last().copied();
+        let phase = inner
+            .stack
+            .iter()
+            .rev()
+            .find(|s| !s.phase.is_micro())
+            .map(|s| s.phase);
+        let span = inner.stack.last().map(|s| s.id);
         inner.events.push(Event {
             t_us,
             phase,
             worker: None,
+            span,
             kind,
         });
     }
 
-    /// Open a phase span at `t_us`.
-    pub fn span_start(&self, t_us: u64, phase: Phase) {
+    /// Record one histogram sample, gated like events so the disabled
+    /// journal measures a true tracing-off baseline.
+    pub fn observe(&self, h: Hist, v: u64) {
+        if self.is_enabled() {
+            self.metrics.observe(h, v);
+        }
+    }
+
+    /// Open a phase span at `t_us`; returns its id (0 when disabled).
+    pub fn span_start(&self, t_us: u64, phase: Phase) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
         let mut inner = self.inner.lock();
-        inner.stack.push(phase);
+        inner.next_span += 1;
+        let id = inner.next_span;
+        let parent = inner.stack.last().map(|s| s.id);
+        inner.stack.push(OpenSpan {
+            phase,
+            id,
+            start_us: t_us,
+        });
         inner.events.push(Event {
             t_us,
             phase: Some(phase),
             worker: None,
-            kind: EventKind::SpanStart { phase },
+            span: Some(id),
+            kind: EventKind::SpanStart { phase, id, parent },
         });
+        id
     }
 
-    /// Close the innermost span of `phase` at `t_us`. Tolerates a span
-    /// that was never opened (the end event is still recorded, so the
+    /// Close the innermost span of `phase` at `t_us`, feeding the
+    /// phase's sim-latency histogram. Tolerates a span that was never
+    /// opened (the end event is still recorded with id 0, so the
     /// imbalance is visible in the journal rather than a panic).
     pub fn span_end(&self, t_us: u64, phase: Phase) {
+        if !self.is_enabled() {
+            return;
+        }
         let mut inner = self.inner.lock();
-        if let Some(pos) = inner.stack.iter().rposition(|&p| p == phase) {
-            inner.stack.remove(pos);
+        let mut id = 0;
+        if let Some(pos) = inner.stack.iter().rposition(|s| s.phase == phase) {
+            let open = inner.stack.remove(pos);
+            id = open.id;
+            self.metrics
+                .observe(Hist::for_phase(phase), t_us.saturating_sub(open.start_us));
         }
         inner.events.push(Event {
             t_us,
             phase: Some(phase),
             worker: None,
-            kind: EventKind::SpanEnd { phase },
+            span: Some(id),
+            kind: EventKind::SpanEnd { phase, id },
         });
     }
 
     /// Fold a pool worker's journal into this one: its events are
-    /// appended tagged `worker = Some(w)` (in their original order), and
-    /// its counter values are added to this journal's registry. Callers
-    /// absorb workers in ascending index order so the merged journal is
+    /// appended tagged `worker = Some(w)` (in their original order), its
+    /// counter values are added to this journal's registry, and its
+    /// histograms merge bucket-wise. Span ids stay worker-local — a
+    /// merged journal keys spans by `(worker, id)`. Callers absorb
+    /// workers in ascending index order so the merged journal is
     /// deterministic for a fixed seed and worker count.
     pub fn absorb_worker(&self, worker: u32, other: &Journal) {
         let events = other.events();
@@ -227,11 +348,12 @@ impl Journal {
                 self.metrics.add(counter, value);
             }
         }
+        self.metrics.merge_hists(&other.metrics);
     }
 
-    /// Innermost open span, if any.
+    /// Innermost open span's phase, micro or not, if any.
     pub fn current_phase(&self) -> Option<Phase> {
-        self.inner.lock().stack.last().copied()
+        self.inner.lock().stack.last().map(|s| s.phase)
     }
 
     /// A snapshot of all events recorded so far.
@@ -265,9 +387,68 @@ mod tests {
 
         let evs = j.events();
         assert_eq!(evs[0].phase, None);
+        assert_eq!(evs[0].span, None);
         assert_eq!(evs[3].phase, Some(Phase::BlindSearch));
+        assert_eq!(evs[3].span, Some(2));
         assert_eq!(evs[5].phase, Some(Phase::Deploy));
+        assert_eq!(evs[5].span, Some(1));
         assert_eq!(j.current_phase(), None);
+    }
+
+    #[test]
+    fn span_ids_nest_with_parents() {
+        let j = Journal::new();
+        let outer = j.span_start(0, Phase::Detect);
+        let inner = j.span_start(5, Phase::Replay);
+        assert_eq!(outer, 1);
+        assert_eq!(inner, 2);
+        j.span_end(9, Phase::Replay);
+        j.span_end(10, Phase::Detect);
+
+        let evs = j.events();
+        assert_eq!(
+            evs[0].kind,
+            EventKind::SpanStart {
+                phase: Phase::Detect,
+                id: 1,
+                parent: None
+            }
+        );
+        assert_eq!(
+            evs[1].kind,
+            EventKind::SpanStart {
+                phase: Phase::Replay,
+                id: 2,
+                parent: Some(1)
+            }
+        );
+        assert_eq!(
+            evs[2].kind,
+            EventKind::SpanEnd {
+                phase: Phase::Replay,
+                id: 2
+            }
+        );
+    }
+
+    #[test]
+    fn micro_phases_carry_ids_but_not_attribution() {
+        use crate::hist::Hist;
+
+        let j = Journal::new();
+        j.span_start(0, Phase::BlindSearch);
+        j.span_start(10, Phase::Replay);
+        j.record(15, EventKind::PacketInjected { bytes: 9 });
+        j.span_end(40, Phase::Replay);
+        j.span_end(50, Phase::BlindSearch);
+
+        let evs = j.events();
+        // Attribution skips the micro Replay span; the span id does not.
+        assert_eq!(evs[2].phase, Some(Phase::BlindSearch));
+        assert_eq!(evs[2].span, Some(2));
+        // Closing spans fed the per-phase sim-latency histograms.
+        assert_eq!(j.metrics.hist(Hist::ReplaySimMicros).sum(), 30);
+        assert_eq!(j.metrics.hist(Hist::BlindSearchSimMicros).sum(), 50);
     }
 
     #[test]
@@ -275,20 +456,47 @@ mod tests {
         let j = Journal::new();
         j.span_end(5, Phase::Evaluate);
         assert_eq!(j.len(), 1);
+        assert_eq!(
+            j.events()[0].kind,
+            EventKind::SpanEnd {
+                phase: Phase::Evaluate,
+                id: 0
+            }
+        );
         assert_eq!(j.current_phase(), None);
     }
 
     #[test]
+    fn disabled_journal_records_nothing() {
+        use crate::hist::Hist;
+        use crate::metrics::Counter;
+
+        let j = Journal::disabled();
+        assert_eq!(j.span_start(0, Phase::Detect), 0);
+        j.record(5, EventKind::FlowReset);
+        j.observe(Hist::BlindRounds, 3);
+        j.span_end(10, Phase::Detect);
+        assert!(j.is_empty());
+        assert!(j.metrics.hist(Hist::BlindRounds).is_empty());
+        // Counters bypass the gate: they are the cheap always-on surface.
+        j.metrics.incr(Counter::FlowResets);
+        assert_eq!(j.metrics.get(Counter::FlowResets), 1);
+    }
+
+    #[test]
     fn absorb_worker_tags_events_and_sums_counters() {
+        use crate::hist::Hist;
         use crate::metrics::Counter;
 
         let main = Journal::new();
         main.record(0, EventKind::FlowReset);
         main.metrics.add(Counter::Verdicts, 1);
+        main.observe(Hist::BlindRounds, 4);
 
         let w0 = Journal::new();
         w0.record(5, EventKind::PacketInjected { bytes: 10 });
         w0.metrics.add(Counter::Verdicts, 2);
+        w0.observe(Hist::BlindRounds, 6);
         let w1 = Journal::new();
         w1.record(3, EventKind::PacketInjected { bytes: 20 });
         w1.metrics.add(Counter::PacketsInjected, 1);
@@ -303,6 +511,17 @@ mod tests {
         assert_eq!(evs[2].worker, Some(1));
         assert_eq!(main.metrics.get(Counter::Verdicts), 3);
         assert_eq!(main.metrics.get(Counter::PacketsInjected), 1);
+        let rounds = main.metrics.hist(Hist::BlindRounds).snapshot();
+        assert_eq!(rounds.count, 2);
+        assert_eq!(rounds.sum, 10);
+    }
+
+    #[test]
+    fn phase_from_name_roundtrips() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
     }
 
     #[test]

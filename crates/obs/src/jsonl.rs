@@ -3,18 +3,20 @@
 //! The vendored `serde` shim is marker-traits-only, so serialization is
 //! hand-rolled — which is what makes the byte-level determinism guarantee
 //! easy to state: keys are emitted in a fixed order (`t_us`, `phase`,
-//! `event`, `worker` when present, then kind-specific fields), events in
-//! record order, and the
-//! counter snapshot in `Counter::ALL` order, so identical runs produce
-//! identical bytes.
+//! `event`, `worker`/`span` when present, then kind-specific fields),
+//! events in record order, the counter snapshot in `Counter::ALL` order,
+//! and the non-empty deterministic histograms in `Hist::ALL` order, so
+//! identical runs produce identical bytes. Host-time histograms never
+//! reach the export (see `Hist::is_deterministic`).
 
 use std::fmt::Write as _;
 
 use crate::journal::{Event, EventKind, Journal};
 use crate::metrics::Counter;
 
-/// Serialize the journal (events, then one `counter` line per counter)
-/// as JSON Lines.
+/// Serialize the journal (events, then one `counter` line per counter,
+/// then one `hist` line per non-empty deterministic histogram) as JSON
+/// Lines.
 pub fn to_jsonl(journal: &Journal) -> String {
     let events = journal.events();
     let mut out = String::new();
@@ -31,6 +33,28 @@ pub fn to_jsonl(journal: &Journal) -> String {
             c.name(),
             journal.metrics.get(c)
         );
+    }
+    for (h, snap) in journal.metrics.hist_snapshot() {
+        if !h.is_deterministic() || snap.count == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"phase\":null,\"event\":\"hist\",\"name\":\"{}\",\
+             \"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+            last_t,
+            h.name(),
+            snap.count,
+            snap.sum,
+            snap.max
+        );
+        for (i, (idx, n)) in snap.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{n}]");
+        }
+        out.push_str("]}\n");
     }
     out
 }
@@ -49,8 +73,30 @@ fn write_event(out: &mut String, ev: &Event) {
     if let Some(w) = ev.worker {
         let _ = write!(out, ",\"worker\":{w}");
     }
+    // Span starts/ends carry their id in kind-specific fields; for every
+    // other event `span` names the innermost enclosing span.
+    if !matches!(
+        ev.kind,
+        EventKind::SpanStart { .. } | EventKind::SpanEnd { .. }
+    ) {
+        if let Some(s) = ev.span {
+            let _ = write!(out, ",\"span\":{s}");
+        }
+    }
     match &ev.kind {
-        EventKind::SpanStart { .. } | EventKind::SpanEnd { .. } | EventKind::FlowReset => {}
+        EventKind::SpanStart { id, parent, .. } => {
+            let _ = write!(out, ",\"id\":{id},\"parent\":");
+            match parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+        }
+        EventKind::SpanEnd { id, .. } => {
+            let _ = write!(out, ",\"id\":{id}");
+        }
+        EventKind::FlowReset => {}
         EventKind::SessionStarted { env, seed } => {
             let _ = write!(out, ",\"env\":{},\"seed\":{}", json_str(env), seed);
         }
@@ -144,7 +190,7 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         let fields = parse_object_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let t_us = fields.iter().find(|(k, _)| k == "t_us");
         match t_us {
-            Some((_, JsonValue::Number)) => {}
+            Some((_, JsonValue::Number(_))) => {}
             Some(_) => return Err(format!("line {}: \"t_us\" is not a number", i + 1)),
             None => return Err(format!("line {}: missing \"t_us\"", i + 1)),
         }
@@ -159,20 +205,45 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     Ok(count)
 }
 
-/// Parsed JSON value, shape-only where the validator doesn't need the
-/// content (numbers, nested containers).
+/// Parsed JSON value. Fully typed so the `obs-query` reader can recover
+/// counters, histogram buckets, and span ids from an exported journal.
+/// Numbers are `f64` — exact for every integer the journal emits (all
+/// well under 2^53).
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
     Null,
-    Bool,
-    Number,
+    Bool(bool),
+    Number(f64),
     String(String),
-    Array,
-    Object,
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse one line as a JSON object, returning its top-level fields.
-fn parse_object_line(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+pub fn parse_object_line(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,
@@ -245,34 +316,32 @@ impl Parser<'_> {
 
     fn parse_value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
-            Some(b'{') => {
-                self.parse_object()?;
-                Ok(JsonValue::Object)
-            }
+            Some(b'{') => Ok(JsonValue::Object(self.parse_object()?)),
             Some(b'[') => {
                 self.pos += 1;
                 self.skip_ws();
+                let mut items = Vec::new();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
-                    return Ok(JsonValue::Array);
+                    return Ok(JsonValue::Array(items));
                 }
                 loop {
                     self.skip_ws();
-                    self.parse_value()?;
+                    items.push(self.parse_value()?);
                     self.skip_ws();
                     match self.peek() {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
-                            return Ok(JsonValue::Array);
+                            return Ok(JsonValue::Array(items));
                         }
                         _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
                     }
                 }
             }
             Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
-            Some(b't') => self.parse_lit("true", JsonValue::Bool),
-            Some(b'f') => self.parse_lit("false", JsonValue::Bool),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
             Some(b'n') => self.parse_lit("null", JsonValue::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
             _ => Err(format!("unexpected value at byte {}", self.pos)),
@@ -315,7 +384,12 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        Ok(JsonValue::Number)
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("malformed number at byte {start}"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("malformed number at byte {start}"))?;
+        Ok(JsonValue::Number(n))
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
@@ -401,11 +475,17 @@ mod tests {
 
         let text = to_jsonl(&j);
         let lines = validate_jsonl(&text).expect("journal validates");
-        assert_eq!(lines, 5 + Counter::ALL.len());
+        // 5 events + all counters + one hist line (the closing
+        // blind-search span fed its sim-latency histogram).
+        assert_eq!(lines, 5 + Counter::ALL.len() + 1);
         // Counter lines carry the final sim timestamp and fixed order.
         let last = text.lines().last().unwrap();
-        assert!(last.contains("\"t_us\":20"), "{last}");
-        assert!(last.contains("\"name\":\"rule-swaps\""), "{last}");
+        assert_eq!(
+            last,
+            "{\"t_us\":20,\"phase\":null,\"event\":\"hist\",\
+             \"name\":\"blind-search-sim-micros\",\"count\":1,\"sum\":15,\
+             \"max\":15,\"buckets\":[[15,1]]}"
+        );
         let first_counter = text
             .lines()
             .find(|l| l.contains("\"event\":\"counter\""))
@@ -420,11 +500,27 @@ mod tests {
     fn fixed_key_order() {
         let j = Journal::new();
         j.span_start(1, Phase::Detect);
+        j.span_start(2, Phase::Replay);
+        j.record(3, EventKind::PacketInjected { bytes: 7 });
+        j.span_end(4, Phase::Replay);
         let text = to_jsonl(&j);
-        let first = text.lines().next().unwrap();
+        let mut lines = text.lines();
         assert_eq!(
-            first,
-            "{\"t_us\":1,\"phase\":\"detect\",\"event\":\"span_start\"}"
+            lines.next().unwrap(),
+            "{\"t_us\":1,\"phase\":\"detect\",\"event\":\"span_start\",\"id\":1,\"parent\":null}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_us\":2,\"phase\":\"replay\",\"event\":\"span_start\",\"id\":2,\"parent\":1}"
+        );
+        // Attribution skips the micro replay phase; the span id does not.
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_us\":3,\"phase\":\"detect\",\"event\":\"packet_injected\",\"span\":2,\"bytes\":7}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"t_us\":4,\"phase\":\"replay\",\"event\":\"span_end\",\"id\":2}"
         );
     }
 
@@ -477,6 +573,105 @@ mod tests {
             validate_jsonl("{\"t_us\":1,\"event\":\"x\"} extra\n").is_err(),
             "trailing garbage"
         );
+    }
+
+    /// `json_str` output with the quotes stripped, re-parsed as a JSON
+    /// string body — the round trip every escape must survive.
+    fn roundtrip(s: &str) -> String {
+        let lit = json_str(s);
+        let line = format!("{{\"t_us\":0,\"event\":\"x\",\"k\":{lit}}}");
+        let fields = parse_object_line(&line).expect("escaped string parses");
+        match fields.iter().find(|(k, _)| k == "k") {
+            Some((_, JsonValue::String(v))) => v.clone(),
+            other => panic!("expected string field, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_control_character_roundtrips() {
+        for c in 0u32..0x20 {
+            let ch = char::from_u32(c).unwrap();
+            let s = format!("a{ch}b");
+            assert_eq!(roundtrip(&s), s, "control char U+{c:04X}");
+            // The escaped form must contain no raw control bytes.
+            assert!(
+                json_str(&s).bytes().all(|b| b >= 0x20),
+                "raw control byte leaked for U+{c:04X}"
+            );
+        }
+    }
+
+    #[test]
+    fn quotes_and_backslashes_roundtrip() {
+        for s in [
+            "\"",
+            "\\",
+            "\\\"",
+            "\\\\",
+            "a\"b\\c",
+            "\\u0041",
+            "ends with \\",
+            "\"quoted\"",
+        ] {
+            assert_eq!(roundtrip(s), s, "{s:?}");
+        }
+        // `\u0041` typed literally must not collapse into `A`.
+        assert_eq!(json_str("\\u0041"), "\"\\\\u0041\"");
+    }
+
+    #[test]
+    fn non_ascii_is_emitted_as_raw_utf8() {
+        // Raw payload bytes become rule ids and cache keys; multi-byte
+        // scalars (including astral-plane ones) must pass through as
+        // UTF-8, never as lone surrogate escapes.
+        for s in ["café", "日本語", "🦀 crab", "mixed π≈3.14159"] {
+            let lit = json_str(s);
+            assert!(!lit.contains("\\u"), "unneeded escape in {lit}");
+            assert_eq!(roundtrip(s), s);
+        }
+    }
+
+    #[test]
+    fn parser_maps_surrogate_escapes_to_replacement() {
+        // The journal never emits surrogates, but a hand-edited file
+        // must not produce an invalid Rust string.
+        let line = "{\"t_us\":0,\"event\":\"x\",\"k\":\"\\ud800\"}";
+        let fields = parse_object_line(line).unwrap();
+        assert_eq!(
+            fields.iter().find(|(k, _)| k == "k").unwrap().1,
+            JsonValue::String("\u{fffd}".to_string())
+        );
+    }
+
+    #[test]
+    fn del_and_separators_stay_raw_but_valid() {
+        // U+007F and the U+2028/U+2029 separators are legal raw inside
+        // JSON strings; the escaper leaves them alone.
+        for s in ["\u{7f}", "\u{2028}", "\u{2029}"] {
+            assert_eq!(roundtrip(s), s);
+        }
+    }
+
+    #[test]
+    fn typed_parser_recovers_values() {
+        let line = "{\"t_us\":12,\"ok\":true,\"no\":false,\"nul\":null,\
+                    \"arr\":[[1,2],[3,4]],\"neg\":-5}";
+        let fields = parse_object_line(line).unwrap();
+        let get = |k: &str| &fields.iter().find(|(f, _)| f == k).unwrap().1;
+        assert_eq!(get("t_us").as_u64(), Some(12));
+        assert_eq!(get("ok").as_bool(), Some(true));
+        assert_eq!(get("nul"), &JsonValue::Null);
+        assert_eq!(get("neg").as_u64(), None);
+        match get("arr") {
+            JsonValue::Array(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(
+                    items[0],
+                    JsonValue::Array(vec![JsonValue::Number(1.0), JsonValue::Number(2.0)])
+                );
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
     }
 
     #[test]

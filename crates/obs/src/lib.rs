@@ -12,12 +12,18 @@
 //! are raw microseconds (`SimTime::as_micros()` at the call sites) rather
 //! than `SimTime` values.
 
+pub mod hist;
 pub mod journal;
 pub mod jsonl;
 pub mod metrics;
+pub mod reader;
+pub mod spantree;
 pub mod summary;
 
+pub use hist::{Hist, HistSnapshot, Histogram};
 pub use journal::{Event, EventKind, Journal, Phase};
 pub use jsonl::{to_jsonl, validate_jsonl};
 pub use metrics::{Counter, Metrics};
+pub use reader::{parse_journal, ParsedJournal};
+pub use spantree::{build_span_forest, critical_path, folded_stacks, SpanForest, SpanNode};
 pub use summary::{phase_summaries, PhaseSummary};

@@ -3,6 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::hist::{Hist, HistSnapshot, Histogram};
+
 /// Every counter the pipeline maintains. The numeric discriminant indexes
 /// the atomic array in [`Metrics`]; `ALL` fixes the export order so JSONL
 /// journals are byte-stable across runs.
@@ -102,6 +104,7 @@ impl Counter {
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: [AtomicU64; Counter::ALL.len()],
+    hists: [Histogram; Hist::ALL.len()],
 }
 
 impl Metrics {
@@ -124,6 +127,36 @@ impl Metrics {
     /// All counters in `Counter::ALL` order.
     pub fn snapshot(&self) -> Vec<(Counter, u64)> {
         Counter::ALL.iter().map(|&c| (c, self.get(c))).collect()
+    }
+
+    /// Record one sample into a histogram.
+    pub fn observe(&self, h: Hist, v: u64) {
+        self.hists[h as usize].record(v);
+    }
+
+    pub fn hist(&self, h: Hist) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// All histograms in `Hist::ALL` order, mirroring [`Self::snapshot`]
+    /// so exports stay byte-identical across platforms.
+    pub fn hist_snapshot(&self) -> Vec<(Hist, HistSnapshot)> {
+        Hist::ALL
+            .iter()
+            .map(|&h| (h, self.hists[h as usize].snapshot()))
+            .collect()
+    }
+
+    /// Fold another registry's histograms into this one (bucket-wise
+    /// addition; see `Histogram::merge`). Counters are merged separately
+    /// by `Journal::absorb_worker`.
+    pub fn merge_hists(&self, other: &Metrics) {
+        for h in Hist::ALL {
+            let theirs = &other.hists[h as usize];
+            if !theirs.is_empty() {
+                self.hists[h as usize].merge(theirs);
+            }
+        }
     }
 }
 
@@ -152,6 +185,32 @@ mod tests {
             assert_eq!(*c, Counter::ALL[i]);
         }
         assert_eq!(snap[Counter::Verdicts as usize].1, 1);
+    }
+
+    #[test]
+    fn hist_snapshot_follows_declared_order() {
+        let m = Metrics::new();
+        m.observe(Hist::BlindRounds, 7);
+        let snap = m.hist_snapshot();
+        assert_eq!(snap.len(), Hist::ALL.len());
+        for (i, (h, _)) in snap.iter().enumerate() {
+            assert_eq!(*h, Hist::ALL[i]);
+        }
+        assert_eq!(snap[Hist::BlindRounds as usize].1.count, 1);
+        assert_eq!(snap[Hist::BlindRounds as usize].1.sum, 7);
+    }
+
+    #[test]
+    fn merge_hists_sums_bucketwise() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.observe(Hist::WaveOccupancy, 2);
+        b.observe(Hist::WaveOccupancy, 2);
+        b.observe(Hist::WaveOccupancy, 9);
+        a.merge_hists(&b);
+        let snap = a.hist(Hist::WaveOccupancy).snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max, 9);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Journal reader: the inverse of [`crate::jsonl::to_jsonl`].
+//!
+//! `obs-query` works on exported journals, not live `Journal` handles,
+//! so this module parses a JSONL file back into typed [`Event`]s plus
+//! the counter and histogram snapshots. Because the export is total —
+//! every field of every `EventKind` is written — the round trip is
+//! lossless, and the query engine gets to reuse the same summary and
+//! span-tree code the tests run against in-memory journals.
+
+use crate::hist::HistSnapshot;
+use crate::journal::{Event, EventKind, Phase};
+use crate::jsonl::{parse_object_line, JsonValue};
+
+/// A journal recovered from its JSONL export.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedJournal {
+    pub events: Vec<Event>,
+    /// Counter lines in file (= `Counter::ALL`) order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram lines in file (= `Hist::ALL`) order.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl ParsedJournal {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+/// Parse a complete JSONL journal. Fails on the first malformed or
+/// unrecognized line, with its 1-based line number.
+pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
+    let mut out = ParsedJournal::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        parse_line(line, &mut out).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str, out: &mut ParsedJournal) -> Result<(), String> {
+    let fields = parse_object_line(line)?;
+    let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v);
+    let req_u64 = |k: &str| {
+        get(k)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or non-numeric \"{k}\""))
+    };
+    let req_str = |k: &str| {
+        get(k)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string \"{k}\""))
+    };
+    let req_bool = |k: &str| {
+        get(k)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("missing or non-bool \"{k}\""))
+    };
+
+    let t_us = req_u64("t_us")?;
+    let event = req_str("event")?;
+
+    match event.as_str() {
+        "counter" => {
+            out.counters.push((req_str("name")?, req_u64("value")?));
+            return Ok(());
+        }
+        "hist" => {
+            let mut snap = HistSnapshot {
+                count: req_u64("count")?,
+                sum: req_u64("sum")?,
+                max: req_u64("max")?,
+                buckets: Vec::new(),
+            };
+            let Some(JsonValue::Array(items)) = get("buckets") else {
+                return Err("missing or non-array \"buckets\"".to_string());
+            };
+            for item in items {
+                let JsonValue::Array(pair) = item else {
+                    return Err("histogram bucket is not a pair".to_string());
+                };
+                match (
+                    pair.first().and_then(JsonValue::as_u64),
+                    pair.get(1).and_then(JsonValue::as_u64),
+                ) {
+                    (Some(idx), Some(n)) if pair.len() == 2 => {
+                        snap.buckets.push((idx as u32, n));
+                    }
+                    _ => return Err("histogram bucket is not a [index, count] pair".to_string()),
+                }
+            }
+            out.hists.push((req_str("name")?, snap));
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let phase = match get("phase") {
+        Some(JsonValue::String(s)) => {
+            Some(Phase::from_name(s).ok_or_else(|| format!("unknown phase \"{s}\""))?)
+        }
+        Some(JsonValue::Null) | None => None,
+        Some(other) => return Err(format!("\"phase\" is not a string: {other:?}")),
+    };
+    let worker = match get("worker") {
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "non-numeric \"worker\"".to_string())? as u32,
+        ),
+        None => None,
+    };
+    let span_field = match get("span") {
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "non-numeric \"span\"".to_string())?,
+        ),
+        None => None,
+    };
+
+    let span_phase = || phase.ok_or_else(|| format!("span event \"{event}\" carries no phase"));
+    let kind = match event.as_str() {
+        "span_start" => {
+            let parent = match get("parent") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| "non-numeric \"parent\"".to_string())?,
+                ),
+            };
+            EventKind::SpanStart {
+                phase: span_phase()?,
+                id: req_u64("id")?,
+                parent,
+            }
+        }
+        "span_end" => EventKind::SpanEnd {
+            phase: span_phase()?,
+            id: req_u64("id")?,
+        },
+        "session_started" => EventKind::SessionStarted {
+            env: req_str("env")?,
+            seed: req_u64("seed")?,
+        },
+        "packet_injected" => EventKind::PacketInjected {
+            bytes: req_u64("bytes")?,
+        },
+        "classifier_verdict" => EventKind::ClassifierVerdict {
+            class: req_str("class")?,
+            rule_id: req_str("rule_id")?,
+        },
+        "flow_reset" => EventKind::FlowReset,
+        "cache_hit" => EventKind::CacheHit {
+            key: req_str("key")?,
+        },
+        "cache_miss" => EventKind::CacheMiss {
+            key: req_str("key")?,
+        },
+        "technique_tried" => EventKind::TechniqueTried {
+            technique: req_str("technique")?,
+            evaded: req_bool("evaded")?,
+        },
+        "replay_finished" => EventKind::ReplayFinished {
+            replay: req_u64("replay")?,
+            bytes_sent: req_u64("bytes_sent")?,
+            server_bytes: req_u64("server_bytes")?,
+            blocked: req_bool("blocked")?,
+        },
+        "rule_swap" => EventKind::RuleSwap {
+            device: req_str("device")?,
+            rules: req_u64("rules")?,
+        },
+        "technique_published" => EventKind::TechniquePublished {
+            generation: req_u64("generation")?,
+            technique: req_str("technique")?,
+        },
+        "fallback_engaged" => EventKind::FallbackEngaged {
+            technique: req_str("technique")?,
+        },
+        other => return Err(format!("unknown event \"{other}\"")),
+    };
+
+    // Span boundaries carry their own id as the span field (the export
+    // elides it in favor of "id"); other events carry the enclosing id.
+    let span = match &kind {
+        EventKind::SpanStart { id, .. } | EventKind::SpanEnd { id, .. } => Some(*id),
+        _ => span_field,
+    };
+    out.events.push(Event {
+        t_us,
+        phase,
+        worker,
+        span,
+        kind,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Hist;
+    use crate::journal::Journal;
+    use crate::jsonl::to_jsonl;
+    use crate::metrics::Counter;
+
+    /// Round-trip: export a journal, parse it back, export the parse.
+    #[test]
+    fn export_parse_roundtrip_is_lossless() {
+        let j = Journal::new();
+        j.record(
+            0,
+            EventKind::SessionStarted {
+                env: "Testbed".to_string(),
+                seed: 7,
+            },
+        );
+        j.span_start(1, Phase::Deploy);
+        j.span_start(2, Phase::Replay);
+        j.record(3, EventKind::PacketInjected { bytes: 1460 });
+        j.record(
+            4,
+            EventKind::ReplayFinished {
+                replay: 1,
+                bytes_sent: 1460,
+                server_bytes: 200,
+                blocked: false,
+            },
+        );
+        j.span_end(5, Phase::Replay);
+        j.record(
+            6,
+            EventKind::ClassifierVerdict {
+                class: "video".to_string(),
+                rule_id: "host:\"x\"".to_string(),
+            },
+        );
+        j.span_end(7, Phase::Deploy);
+        j.metrics.add(Counter::PacketsInjected, 1);
+        j.observe(Hist::BlindRounds, 12);
+
+        let text = to_jsonl(&j);
+        let parsed = parse_journal(&text).expect("parses");
+        assert_eq!(parsed.events, j.events());
+        assert_eq!(parsed.counter("packets-injected"), 1);
+        assert_eq!(parsed.counter("verdicts"), 0);
+        let rounds = parsed.hist("blind-rounds").expect("hist exported");
+        assert_eq!(rounds.count, 1);
+        assert_eq!(rounds.sum, 12);
+        // Per-phase latency hists fed by the closing spans also survive.
+        assert!(parsed.hist("replay-sim-micros").is_some());
+        assert_eq!(parsed.counters.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn worker_tags_survive() {
+        let main = Journal::new();
+        let w = Journal::new();
+        w.span_start(1, Phase::Evaluate);
+        w.span_end(2, Phase::Evaluate);
+        main.absorb_worker(3, &w);
+        let parsed = parse_journal(&to_jsonl(&main)).unwrap();
+        assert_eq!(parsed.events[0].worker, Some(3));
+        assert_eq!(parsed.events, main.events());
+    }
+
+    #[test]
+    fn bad_lines_carry_line_numbers() {
+        let err = parse_journal("{\"t_us\":0,\"event\":\"flow_reset\"}\nnope\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_journal("{\"t_us\":0,\"event\":\"mystery\"}\n").unwrap_err();
+        assert!(err.contains("unknown event"), "{err}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Span trees: reconstruct the detect → blind-search → wave → replay
+//! nesting from a journal's span events, attribute each root's
+//! simulated time to its dominant child chain (the critical path), and
+//! export folded stacks in the flamegraph collapsed format.
+//!
+//! Span ids are unique within one worker's journal and merged journals
+//! key spans by `(worker, id)`, so a pooled run yields one forest with
+//! per-worker subtrees side by side.
+
+use std::collections::HashMap;
+
+use crate::journal::{Event, EventKind, Phase};
+
+/// One reconstructed span. `end_us` is `None` for a span whose end was
+/// never recorded (a crashed or truncated run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    pub worker: Option<u32>,
+    pub id: u64,
+    pub phase: Phase,
+    pub start_us: u64,
+    pub end_us: Option<u64>,
+    /// Indices into `SpanForest::nodes`, in start order.
+    pub children: Vec<usize>,
+    /// Index of the parent node, if any.
+    pub parent: Option<usize>,
+}
+
+impl SpanNode {
+    /// Simulated duration; an unclosed span contributes zero.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us
+            .map_or(0, |end| end.saturating_sub(self.start_us))
+    }
+}
+
+/// All spans of a journal, with root indices in start order.
+#[derive(Debug, Clone, Default)]
+pub struct SpanForest {
+    pub nodes: Vec<SpanNode>,
+    pub roots: Vec<usize>,
+}
+
+impl SpanForest {
+    /// Self time of a node: its duration minus its children's.
+    pub fn self_us(&self, idx: usize) -> u64 {
+        let node = &self.nodes[idx];
+        let child_sum: u64 = node
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].duration_us())
+            .sum();
+        node.duration_us().saturating_sub(child_sum)
+    }
+}
+
+/// Reconstruct the span forest from a journal's events. Unmatched span
+/// ends (id 0) are ignored; a start whose parent id was never seen
+/// becomes a root, so a truncated journal still yields a usable forest.
+pub fn build_span_forest(events: &[Event]) -> SpanForest {
+    let mut forest = SpanForest::default();
+    let mut by_key: HashMap<(Option<u32>, u64), usize> = HashMap::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanStart { phase, id, parent } => {
+                let parent_idx = parent.and_then(|p| by_key.get(&(ev.worker, p)).copied());
+                let idx = forest.nodes.len();
+                forest.nodes.push(SpanNode {
+                    worker: ev.worker,
+                    id: *id,
+                    phase: *phase,
+                    start_us: ev.t_us,
+                    end_us: None,
+                    children: Vec::new(),
+                    parent: parent_idx,
+                });
+                by_key.insert((ev.worker, *id), idx);
+                match parent_idx {
+                    Some(p) => forest.nodes[p].children.push(idx),
+                    None => forest.roots.push(idx),
+                }
+            }
+            EventKind::SpanEnd { id, .. } if *id != 0 => {
+                if let Some(&idx) = by_key.get(&(ev.worker, *id)) {
+                    forest.nodes[idx].end_us = Some(ev.t_us);
+                }
+            }
+            _ => {}
+        }
+    }
+    forest
+}
+
+/// The dominant chain under `root`: at every level, descend into the
+/// child with the longest simulated duration (ties break toward the
+/// earlier-started child, so the path is deterministic). Returns node
+/// indices from the root down.
+pub fn critical_path(forest: &SpanForest, root: usize) -> Vec<usize> {
+    let mut path = vec![root];
+    let mut cur = root;
+    loop {
+        let node = &forest.nodes[cur];
+        let Some(&next) = node.children.iter().max_by(|&&a, &&b| {
+            let (da, db) = (forest.nodes[a].duration_us(), forest.nodes[b].duration_us());
+            // max_by keeps the *last* maximal element; order start
+            // times in reverse so the earlier child wins ties.
+            da.cmp(&db)
+                .then(forest.nodes[b].start_us.cmp(&forest.nodes[a].start_us))
+                .then(b.cmp(&a))
+        }) else {
+            return path;
+        };
+        path.push(next);
+        cur = next;
+    }
+}
+
+/// Folded stacks in the flamegraph collapsed format: one line per
+/// distinct `worker;phase;…;phase` frame stack, weighted by the summed
+/// *self* time (simulated micros) of spans at that stack. Lines come
+/// out sorted, so same-seed journals fold to identical bytes.
+pub fn folded_stacks(forest: &SpanForest) -> Vec<(String, u64)> {
+    let mut agg: HashMap<String, u64> = HashMap::new();
+    for idx in 0..forest.nodes.len() {
+        let node = &forest.nodes[idx];
+        let mut frames = vec![node.phase.name().to_string()];
+        let mut up = node.parent;
+        while let Some(p) = up {
+            frames.push(forest.nodes[p].phase.name().to_string());
+            up = forest.nodes[p].parent;
+        }
+        frames.push(match node.worker {
+            Some(w) => format!("w{w}"),
+            None => "main".to_string(),
+        });
+        frames.reverse();
+        *agg.entry(frames.join(";")).or_insert(0) += forest.self_us(idx);
+    }
+    let mut rows: Vec<(String, u64)> = agg.into_iter().collect();
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    fn sample() -> SpanForest {
+        let j = Journal::new();
+        j.span_start(0, Phase::BlindSearch); // id 1
+        j.span_start(10, Phase::Wave); // id 2
+        j.span_start(10, Phase::Replay); // id 3
+        j.span_end(40, Phase::Replay);
+        j.span_start(40, Phase::Replay); // id 4
+        j.span_end(90, Phase::Replay);
+        j.span_end(95, Phase::Wave);
+        j.span_end(100, Phase::BlindSearch);
+        build_span_forest(&j.events())
+    }
+
+    #[test]
+    fn nesting_is_reconstructed() {
+        let f = sample();
+        assert_eq!(f.roots, vec![0]);
+        assert_eq!(f.nodes[0].phase, Phase::BlindSearch);
+        assert_eq!(f.nodes[0].children, vec![1]);
+        assert_eq!(f.nodes[1].children, vec![2, 3]);
+        assert_eq!(f.nodes[2].parent, Some(1));
+        assert_eq!(f.nodes[0].duration_us(), 100);
+        assert_eq!(f.nodes[3].duration_us(), 50);
+    }
+
+    #[test]
+    fn critical_path_follows_dominant_children() {
+        let f = sample();
+        let path = critical_path(&f, 0);
+        let phases: Vec<_> = path.iter().map(|&i| f.nodes[i].phase).collect();
+        assert_eq!(phases, vec![Phase::BlindSearch, Phase::Wave, Phase::Replay]);
+        // The 50 us second replay dominates the 30 us first.
+        assert_eq!(f.nodes[*path.last().unwrap()].id, 4);
+    }
+
+    #[test]
+    fn ties_break_toward_earlier_start() {
+        let j = Journal::new();
+        j.span_start(0, Phase::Detect); // id 1
+        j.span_start(5, Phase::Replay); // id 2, 10 us
+        j.span_end(15, Phase::Replay);
+        j.span_start(20, Phase::Replay); // id 3, 10 us
+        j.span_end(30, Phase::Replay);
+        j.span_end(40, Phase::Detect);
+        let f = build_span_forest(&j.events());
+        let path = critical_path(&f, 0);
+        assert_eq!(f.nodes[*path.last().unwrap()].id, 2);
+    }
+
+    #[test]
+    fn folded_stacks_carry_self_time() {
+        let f = sample();
+        let rows = folded_stacks(&f);
+        let find = |s: &str| rows.iter().find(|(k, _)| k == s).map(|(_, v)| *v);
+        // Root self time: 100 total − 85 in the wave.
+        assert_eq!(find("main;blind-search"), Some(15));
+        // Wave self time: 85 − (30 + 50) in replays.
+        assert_eq!(find("main;blind-search;wave"), Some(5));
+        // Both replays fold into one stack.
+        assert_eq!(find("main;blind-search;wave;replay"), Some(80));
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted: {rows:?}");
+    }
+
+    #[test]
+    fn per_worker_subtrees_do_not_collide() {
+        let main = Journal::new();
+        let w0 = Journal::new();
+        w0.span_start(0, Phase::Deploy); // id 1 in w0
+        w0.span_end(10, Phase::Deploy);
+        let w1 = Journal::new();
+        w1.span_start(0, Phase::Deploy); // id 1 in w1 too
+        w1.span_start(2, Phase::Replay);
+        w1.span_end(8, Phase::Replay);
+        w1.span_end(10, Phase::Deploy);
+        main.absorb_worker(0, &w0);
+        main.absorb_worker(1, &w1);
+
+        let f = build_span_forest(&main.events());
+        assert_eq!(f.roots.len(), 2);
+        let rows = folded_stacks(&f);
+        assert!(rows.iter().any(|(k, _)| k == "w0;deploy"));
+        assert!(rows.iter().any(|(k, _)| k == "w1;deploy;replay"));
+    }
+
+    #[test]
+    fn unclosed_spans_contribute_zero() {
+        let j = Journal::new();
+        j.span_start(5, Phase::Evaluate);
+        let f = build_span_forest(&j.events());
+        assert_eq!(f.nodes[0].end_us, None);
+        assert_eq!(f.nodes[0].duration_us(), 0);
+        assert_eq!(folded_stacks(&f)[0], ("main;evaluate".to_string(), 0));
+    }
+}

@@ -37,8 +37,8 @@ pub fn phase_summaries(events: &[Event]) -> Vec<PhaseSummary> {
     let mut open: Vec<Vec<u64>> = vec![Vec::new(); Phase::ALL.len()];
     for ev in events {
         match &ev.kind {
-            EventKind::SpanStart { phase } => open[phase.index()].push(ev.t_us),
-            EventKind::SpanEnd { phase } => {
+            EventKind::SpanStart { phase, .. } => open[phase.index()].push(ev.t_us),
+            EventKind::SpanEnd { phase, .. } => {
                 if let Some(start) = open[phase.index()].pop() {
                     let row = &mut rows[phase.index()];
                     row.spans += 1;

@@ -45,6 +45,13 @@ say "exp-testbed --trace + journal validation"
 cargo run --release -q -p liberate-bench --bin exp-testbed -- --trace target/trace.jsonl >/dev/null
 cargo run --release -q -p liberate-obs --bin obs-check -- target/trace.jsonl
 
+say "obs-query diff (same-seed reruns must show zero drift)"
+# A second sequential run at the same (default) seed: the exported
+# journal — span ids, histograms, counters, every event — must diff
+# clean against the first. obs-query exits 1 on any drift.
+cargo run --release -q -p liberate-bench --bin exp-testbed -- --trace target/trace-rerun.jsonl >/dev/null
+cargo run --release -q -p liberate-obs --bin obs-query -- diff target/trace.jsonl target/trace-rerun.jsonl
+
 say "exp-testbed --workers 4 (engine parity) + journal validation"
 cargo run --release -q -p liberate-bench --bin exp-testbed -- --workers 4 --trace target/trace-parallel.jsonl >/dev/null
 cargo run --release -q -p liberate-obs --bin obs-check -- target/trace-parallel.jsonl
@@ -63,5 +70,18 @@ say "exp-matcher (matcher parity + speedup gate, regenerates results/BENCH_match
 # Asserts internally that the automaton scans >= 5x fewer bytes and is
 # no slower than the naive matcher on the largest synthetic trace.
 cargo run --release -q -p liberate-bench --bin exp-matcher >/dev/null
+
+say "exp-obs (tracing-overhead gate, regenerates results/BENCH_obs.json)"
+# Asserts internally: journal-on vs journal-off overhead under 10% host
+# wall-clock (LIBERATE_OBS_BUDGET_PCT overrides) and byte-identical
+# exports across repetitions.
+cargo run --release -q -p liberate-bench --bin exp-obs >/dev/null
+
+say "bench history (results/BENCH_history.jsonl)"
+for bench in results/BENCH_obs.json results/BENCH_parallel.json \
+    results/BENCH_deploy.json results/BENCH_matcher.json; do
+    [ -f "$bench" ] || continue
+    ./target/release/obs-query bench-history "$bench" results/BENCH_history.jsonl
+done
 
 say "ci: all green"

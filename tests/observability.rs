@@ -10,7 +10,10 @@ use liberate::detect::Signal;
 use liberate::replay::{ReplayOpts, Session};
 use liberate_dpi::profiles::EnvKind;
 use liberate_netsim::os::OsKind;
-use liberate_obs::{to_jsonl, validate_jsonl, Counter, EventKind, Journal};
+use liberate_obs::{
+    build_span_forest, critical_path, folded_stacks, parse_journal, to_jsonl, validate_jsonl,
+    Counter, EventKind, Hist, Journal, Phase,
+};
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage, TraceProtocol};
 
 /// A minimal Skype-like UDP trace: three client datagrams, the first a
@@ -132,6 +135,132 @@ fn blinding_is_metered_during_characterization() {
     let m = &session.journal().metrics;
     assert!(m.get(Counter::BytesBlinded) > 0);
     assert_eq!(m.get(Counter::ReplaysExecuted), c.rounds);
+}
+
+#[test]
+fn same_seed_span_ids_and_hist_snapshots_are_pinned() {
+    let (a, _) = run_scripted(7);
+    let (b, _) = run_scripted(7);
+
+    // Span boundaries — ids, parents, order — must be byte-identical
+    // lines, not merely equivalent trees.
+    let span_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| {
+                l.contains("\"event\":\"span_start\"") || l.contains("\"event\":\"span_end\"")
+            })
+            .map(String::from)
+            .collect()
+    };
+    assert_eq!(span_lines(&a), span_lines(&b));
+    assert!(!span_lines(&a).is_empty());
+
+    // Histogram snapshot lines too: same buckets, counts, sums.
+    let hist_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.contains("\"event\":\"hist\""))
+            .map(String::from)
+            .collect()
+    };
+    assert_eq!(hist_lines(&a), hist_lines(&b));
+    assert!(
+        !hist_lines(&a).is_empty(),
+        "characterization must export histograms"
+    );
+
+    // The non-deterministic host-clock histogram must never reach the
+    // export, or same-seed byte identity would be a coin flip.
+    assert!(!a.contains(Hist::ReplayHostMicros.name()));
+}
+
+#[test]
+fn span_tree_reconstructs_with_replays_under_probe_phases() {
+    let (text, c) = run_scripted(7);
+    let parsed = parse_journal(&text).expect("exported journal parses");
+    let forest = build_span_forest(&parsed.events);
+
+    // Every replay span nests under a Fig. 3 probe phase, never at the
+    // top level: the parent chain is what obs-query `top` reports.
+    let mut replay_spans = 0;
+    for node in &forest.nodes {
+        if node.phase == Phase::Replay {
+            replay_spans += 1;
+            let parent = node.parent.expect("replay spans have parents");
+            assert!(
+                !forest.nodes[parent].phase.is_micro(),
+                "replay nests directly under a Fig. 3 phase"
+            );
+        }
+    }
+    assert_eq!(replay_spans as u64, c.rounds, "one replay span per round");
+
+    // The critical path of each root starts at the root and only
+    // descends: durations never increase along the chain.
+    for &root in &forest.roots {
+        let path = critical_path(&forest, root);
+        assert_eq!(path[0], root);
+        for w in path.windows(2) {
+            assert!(forest.nodes[w[0]].duration_us() >= forest.nodes[w[1]].duration_us());
+        }
+    }
+
+    // Folded stacks conserve time: total self time equals the total
+    // root duration.
+    let folded_total: u64 = folded_stacks(&forest).iter().map(|(_, us)| us).sum();
+    let root_total: u64 = forest
+        .roots
+        .iter()
+        .map(|&r| forest.nodes[r].duration_us())
+        .sum();
+    assert_eq!(folded_total, root_total);
+}
+
+#[test]
+fn exported_hist_quantiles_match_live_histograms() {
+    let config = LiberateConfig {
+        seed: 7,
+        ..LiberateConfig::default()
+    };
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, config);
+    characterize(
+        &mut session,
+        &scripted_trace(),
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    let live = session
+        .journal()
+        .metrics
+        .hist(Hist::StepSimMicros)
+        .snapshot();
+    assert!(live.count > 0);
+
+    let parsed = parse_journal(&to_jsonl(session.journal())).expect("journal parses");
+    let exported = parsed
+        .hist(Hist::StepSimMicros.name())
+        .expect("step-sim-micros exported");
+    assert_eq!(exported, &live, "export round-trips the full snapshot");
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(exported.quantile(q), live.quantile(q));
+    }
+}
+
+#[test]
+fn disabled_journal_suppresses_events_but_not_counters() {
+    let config = LiberateConfig::default();
+    let mut session = Session::new(EnvKind::Testbed, OsKind::Linux, config);
+    session.attach_journal(std::sync::Arc::new(Journal::disabled()));
+    let out = session.replay_trace(&scripted_trace(), &ReplayOpts::default());
+    assert!(!out.blocked());
+
+    let j = session.journal();
+    assert_eq!(j.len(), 0, "no events while disabled");
+    let empty_hists = Hist::ALL
+        .iter()
+        .all(|&h| j.metrics.hist(h).snapshot().count == 0);
+    assert!(empty_hists, "no histogram samples while disabled");
+    // Counters are the cheap always-on surface; they keep moving.
+    assert_eq!(j.metrics.get(Counter::PacketsInjected), 3);
 }
 
 #[test]
