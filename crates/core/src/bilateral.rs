@@ -10,6 +10,7 @@
 //! faithfully reassembles and forwards a stream whose matching fields
 //! simply are not there.
 
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::characterize::MatchingField;
@@ -67,8 +68,8 @@ pub struct BilateralReport {
 
 /// Run a flow under a bilateral codec: the replay server cooperates by
 /// speaking the encoded protocol (it *is* the other lib·erate endpoint).
-pub fn run_bilateral(
-    session: &mut Session,
+pub fn run_bilateral<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     codec: &BilateralCodec,
     signal: &Signal,
@@ -91,8 +92,8 @@ mod tests {
     use super::*;
     use crate::characterize::{characterize, CharacterizeOpts};
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn learn_fields(

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, Sender};
 
 use crate::characterize::{Characterization, MatchingField, PositionProfile};
@@ -46,9 +47,9 @@ impl CachedSignal {
 
     /// Reconstruct a usable signal, measuring a local throttling control
     /// when needed.
-    pub fn to_signal(
+    pub fn to_signal<S: Substrate>(
         self,
-        session: &mut Session,
+        session: &mut Session<S>,
         trace: &liberate_traces::recorded::RecordedTrace,
     ) -> Signal {
         match self {
@@ -216,11 +217,11 @@ impl RuleCache {
     /// Per-field blinding matters: blinding all fields at once would also
     /// blind protocol-anchoring bytes like `GET `, which stops *any*
     /// gated rule and would mask a rule change.
-    pub fn verify(
+    pub fn verify<S: Substrate>(
         &self,
         network: &str,
         app: &str,
-        session: &mut Session,
+        session: &mut Session<S>,
         trace: &RecordedTrace,
         signal: &Signal,
     ) -> Option<bool> {
@@ -301,11 +302,11 @@ impl SharedRuleCache {
     /// is cloned out first, so the verification replays run without
     /// holding the lock (another user may publish meanwhile — the caller
     /// sees the entry it verified, not the concurrent update).
-    pub fn verify(
+    pub fn verify<S: Substrate>(
         &self,
         network: &str,
         app: &str,
-        session: &mut Session,
+        session: &mut Session<S>,
         trace: &RecordedTrace,
         signal: &Signal,
     ) -> Option<bool> {
@@ -319,8 +320,8 @@ mod tests {
     use super::*;
     use crate::characterize::{characterize, CharacterizeOpts};
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     #[test]

@@ -19,6 +19,7 @@ use rand::Rng;
 
 use liberate_obs::{Counter, Hist, Phase};
 use liberate_packet::mutate::{invert_range, merge_regions, ByteRegion};
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceMessage};
 
 use crate::detect::{probe, Signal};
@@ -137,15 +138,15 @@ impl Characterization {
     }
 }
 
-struct Prober<'a> {
-    session: &'a mut Session,
+struct Prober<'a, S: Substrate> {
+    session: &'a mut Session<S>,
     trace: &'a RecordedTrace,
     signal: &'a Signal,
     opts: &'a CharacterizeOpts,
     round: u64,
 }
 
-impl<'a> Prober<'a> {
+impl<'a, S: Substrate> Prober<'a, S> {
     /// Replay with the given ranges blinded; return whether classification
     /// still happened.
     fn classified_with_blinded(&mut self, blind: &[(usize, Range<usize>)]) -> bool {
@@ -166,8 +167,8 @@ impl<'a> Prober<'a> {
 /// under the sequential recursion and the engine's parallel wave search.
 /// The round only feeds [`port_for_round`], so any execution order that
 /// assigns the same round numbers produces the same replays.
-pub(crate) fn probe_blinded(
-    session: &mut Session,
+pub(crate) fn probe_blinded<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
@@ -183,7 +184,7 @@ pub(crate) fn probe_blinded(
     if blinded_bytes > 0 {
         session
             .env
-            .journal
+            .journal()
             .metrics
             .add(Counter::BytesBlinded, blinded_bytes);
     }
@@ -205,8 +206,8 @@ pub(crate) fn port_for_round(opts: &CharacterizeOpts, round: u64) -> Option<u16>
 
 /// Binary blinding search over one message. Precondition: blinding the
 /// whole message stops classification.
-fn search_message(
-    prober: &mut Prober<'_>,
+fn search_message<S: Substrate>(
+    prober: &mut Prober<'_, S>,
     msg_idx: usize,
     range: Range<usize>,
     found: &mut Vec<Range<usize>>,
@@ -246,7 +247,11 @@ fn search_message(
 /// stops classification, then byte-search inside each. This keeps round
 /// counts logarithmic in trace length (a multi-megabyte video trace has
 /// thousands of messages; probing each would take thousands of replays).
-fn search_message_range(prober: &mut Prober<'_>, atoms: &[usize], fields: &mut Vec<MatchingField>) {
+fn search_message_range<S: Substrate>(
+    prober: &mut Prober<'_, S>,
+    atoms: &[usize],
+    fields: &mut Vec<MatchingField>,
+) {
     let blind_all = |atoms: &[usize], trace: &RecordedTrace| -> Vec<(usize, Range<usize>)> {
         atoms
             .iter()
@@ -297,24 +302,24 @@ fn search_message_range(prober: &mut Prober<'_>, atoms: &[usize], fields: &mut V
 }
 
 /// Phase 2a: locate the matching fields.
-pub fn find_matching_fields(
-    session: &mut Session,
+pub fn find_matching_fields<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
 ) -> (Vec<MatchingField>, u64) {
-    let journal = session.env.journal.clone();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::BlindSearch);
+    let journal = session.env.journal().clone();
+    journal.span_start(session.env.clock().as_micros(), Phase::BlindSearch);
     let out = find_matching_fields_inner(session, trace, signal, opts);
-    journal.span_end(session.env.network.clock.as_micros(), Phase::BlindSearch);
+    journal.span_end(session.env.clock().as_micros(), Phase::BlindSearch);
     // Rounds-per-characterization distribution (§6.1 reports the worst
     // case; the histogram shows where typical searches land).
     journal.observe(Hist::BlindRounds, out.1);
     out
 }
 
-fn find_matching_fields_inner(
-    session: &mut Session,
+fn find_matching_fields_inner<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
@@ -358,21 +363,21 @@ fn find_matching_fields_inner(
 }
 
 /// Phase 2b: position probing (prepend ladders).
-pub fn probe_position(
-    session: &mut Session,
+pub fn probe_position<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
 ) -> (PositionProfile, u64) {
-    let journal = session.env.journal.clone();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::PositionProbe);
+    let journal = session.env.journal().clone();
+    journal.span_start(session.env.clock().as_micros(), Phase::PositionProbe);
     let out = probe_position_inner(session, trace, signal, opts);
-    journal.span_end(session.env.network.clock.as_micros(), Phase::PositionProbe);
+    journal.span_end(session.env.clock().as_micros(), Phase::PositionProbe);
     out
 }
 
-pub(crate) fn probe_position_inner(
-    session: &mut Session,
+pub(crate) fn probe_position_inner<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
@@ -381,7 +386,7 @@ pub(crate) fn probe_position_inner(
     let mut rounds = 0u64;
     let mut prepend_break = None;
 
-    let run = |session: &mut Session, k: usize, size: usize, round: u64| -> bool {
+    let run = |session: &mut Session<S>, k: usize, size: usize, round: u64| -> bool {
         let mut t = trace.clone();
         let mut rng_bytes = vec![0u8; size * k];
         session.rng.fill(&mut rng_bytes[..]);
@@ -430,13 +435,13 @@ pub(crate) fn probe_position_inner(
 }
 
 /// Full characterization: fields + position profile + cost accounting.
-pub fn characterize(
-    session: &mut Session,
+pub fn characterize<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,
 ) -> Characterization {
-    let t0 = session.env.network.clock;
+    let t0 = session.env.clock();
     let bytes0 = session.bytes_sent_total;
     let recv0 = session.bytes_received_total;
     let (fields, rounds_a) = find_matching_fields(session, trace, signal, opts);
@@ -447,7 +452,7 @@ pub fn characterize(
         rounds: rounds_a + rounds_b,
         bytes_sent: session.bytes_sent_total - bytes0,
         bytes_received: session.bytes_received_total - recv0,
-        elapsed: session.env.network.clock - t0,
+        elapsed: session.env.clock() - t0,
     }
 }
 
@@ -455,8 +460,8 @@ pub fn characterize(
 mod tests {
     use super::*;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn session(kind: EnvKind) -> Session {

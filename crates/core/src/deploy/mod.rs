@@ -20,6 +20,7 @@ pub use pool::{DeployWave, DeploymentPool, PoolFlowReport, PublishedState, Publi
 use std::time::Duration;
 
 use liberate_obs::Phase;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::characterize::{characterize, Characterization, CharacterizeOpts};
@@ -32,6 +33,7 @@ use crate::evasion::EvasionContext;
 use crate::probe::{decoy_request, Localization};
 use crate::replay::{ReplayOpts, ReplayOutcome, Session};
 use crate::schedule::Schedule;
+use crate::sim::SimSubstrate;
 
 /// Everything the pipeline produced, with cost accounting.
 #[derive(Debug)]
@@ -67,8 +69,8 @@ pub fn signal_from_detection(d: &DetectionOutcome, config_ratio: f64) -> Signal 
 }
 
 /// Run the whole pipeline against one application trace.
-pub fn run_pipeline(
-    session: &mut Session,
+pub fn run_pipeline<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     copts: &CharacterizeOpts,
 ) -> Result<PipelineReport> {
@@ -78,15 +80,15 @@ pub fn run_pipeline(
 /// [`run_pipeline`] with pre-learned rules (e.g. from a shared
 /// [`crate::cache::RuleCache`], §4.2): the expensive characterization
 /// phase is skipped.
-pub fn run_pipeline_with_rules(
-    session: &mut Session,
+pub fn run_pipeline_with_rules<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     copts: &CharacterizeOpts,
     pre_learned: Option<Characterization>,
 ) -> Result<PipelineReport> {
     let rounds0 = session.replays;
     let bytes0 = session.bytes_sent_total + session.bytes_received_total;
-    let t0 = session.env.network.clock;
+    let t0 = session.env.clock();
 
     // Phase 1: detection.
     let rotate_base = copts.rotate_server_ports.then_some(copts.rotate_base);
@@ -106,7 +108,7 @@ pub fn run_pipeline_with_rules(
         complete_pipeline(session, trace, copts, detection, &signal, characterization)?;
     report.total_rounds = session.replays - rounds0;
     report.total_bytes = session.bytes_sent_total + session.bytes_received_total - bytes0;
-    report.elapsed = session.env.network.clock - t0;
+    report.elapsed = session.env.clock() - t0;
     Ok(report)
 }
 
@@ -117,8 +119,8 @@ pub fn run_pipeline_with_rules(
 /// funnel through here, so the adaptation logic cannot drift between the
 /// two deployment vehicles. Cost fields of the returned report are zero;
 /// callers account their own phase-1/2 spend.
-pub(crate) fn complete_pipeline(
-    session: &mut Session,
+pub(crate) fn complete_pipeline<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     copts: &CharacterizeOpts,
     detection: DetectionOutcome,
@@ -161,7 +163,7 @@ pub(crate) fn complete_pipeline(
         decoy: decoy_request(),
         middlebox_ttl: localization
             .middlebox_ttl
-            .unwrap_or(session.env.hops_before_middlebox + 1),
+            .unwrap_or(session.env.hops_before_middlebox() + 1),
     };
     let inputs = EvaluationInputs {
         signal: signal.clone(),
@@ -202,10 +204,10 @@ impl ActiveEvasion {
     /// Assemble deployable state from a finished pipeline report, exactly
     /// as the proxy's adaptation loop does. Errors when the pipeline
     /// found no working technique.
-    pub fn from_report(
+    pub fn from_report<S: Substrate>(
         report: &PipelineReport,
         trace: &RecordedTrace,
-        session: &Session,
+        session: &Session<S>,
     ) -> Result<ActiveEvasion> {
         let chosen = report
             .chosen
@@ -222,7 +224,7 @@ impl ActiveEvasion {
                 .localization
                 .as_ref()
                 .and_then(|l| l.middlebox_ttl)
-                .unwrap_or(session.env.hops_before_middlebox + 1),
+                .unwrap_or(session.env.hops_before_middlebox() + 1),
         };
         let signal = signal_from_detection(&report.detection, session.config.throttle_ratio);
         Ok(ActiveEvasion {
@@ -247,8 +249,8 @@ pub struct FlowReport {
 /// their flows to the proxy; the proxy transparently transforms them with
 /// the cheapest known-working technique, re-learning when the classifier
 /// changes.
-pub struct LiberateProxy {
-    pub session: Session,
+pub struct LiberateProxy<S: Substrate = SimSubstrate> {
+    pub session: Session<S>,
     copts: CharacterizeOpts,
     cached: Option<ActiveEvasion>,
     /// Times the pipeline ran (1 = initial; more = classifier changed).
@@ -261,8 +263,8 @@ pub struct LiberateProxy {
     pub cache_hits: u64,
 }
 
-impl LiberateProxy {
-    pub fn new(session: Session, copts: CharacterizeOpts) -> LiberateProxy {
+impl<S: Substrate> LiberateProxy<S> {
+    pub fn new(session: Session<S>, copts: CharacterizeOpts) -> LiberateProxy<S> {
         LiberateProxy {
             session,
             copts,
@@ -276,7 +278,7 @@ impl LiberateProxy {
     /// Attach an owned rule cache under the given network name. Fresh
     /// entries let this proxy skip its own characterization after a
     /// per-field verification replay (§4.2).
-    pub fn with_cache(self, cache: crate::cache::RuleCache, network: &str) -> LiberateProxy {
+    pub fn with_cache(self, cache: crate::cache::RuleCache, network: &str) -> LiberateProxy<S> {
         self.with_shared_cache(crate::cache::SharedRuleCache::from_cache(cache), network)
     }
 
@@ -287,7 +289,7 @@ impl LiberateProxy {
         mut self,
         cache: crate::cache::SharedRuleCache,
         network: &str,
-    ) -> LiberateProxy {
+    ) -> LiberateProxy<S> {
         self.rule_cache = Some((cache, network.to_string()));
         self
     }
@@ -307,8 +309,8 @@ impl LiberateProxy {
     /// verify against the live classifier (per-field blinding replays
     /// using the signal the contributor recorded).
     fn shared_rules_for(&mut self, trace: &RecordedTrace) -> Option<Characterization> {
-        let journal = self.session.env.journal.clone();
-        let t_us = self.session.env.network.clock.as_micros();
+        let journal = self.session.env.journal().clone();
+        let t_us = self.session.env.clock().as_micros();
         let (cache, network) = self.rule_cache.as_ref()?;
         let (cache, network) = (cache.clone(), network.clone());
         let entry = cache.lookup_observed(&network, &trace.app, &journal, t_us)?;
@@ -324,10 +326,10 @@ impl LiberateProxy {
 
     /// Send one application flow, evading as needed.
     pub fn run_flow(&mut self, trace: &RecordedTrace) -> Result<FlowReport> {
-        let journal = self.session.env.journal.clone();
-        journal.span_start(self.session.env.network.clock.as_micros(), Phase::Deploy);
+        let journal = self.session.env.journal().clone();
+        journal.span_start(self.session.env.clock().as_micros(), Phase::Deploy);
         let out = self.run_flow_inner(trace);
-        journal.span_end(self.session.env.network.clock.as_micros(), Phase::Deploy);
+        journal.span_end(self.session.env.clock().as_micros(), Phase::Deploy);
         out
     }
 
@@ -377,7 +379,7 @@ impl LiberateProxy {
                         &trace.app,
                         crate::cache::CachedRules::from_characterization_with_signal(
                             c,
-                            self.session.env.network.clock.as_micros() / 1_000_000,
+                            self.session.env.clock().as_micros() / 1_000_000,
                             signal,
                         ),
                     );
@@ -408,8 +410,8 @@ impl LiberateProxy {
 mod tests {
     use super::*;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn session(kind: EnvKind) -> Session {
@@ -521,8 +523,8 @@ mod cache_integration_tests {
     use super::*;
     use crate::cache::RuleCache;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     #[test]

@@ -34,8 +34,8 @@ use parking_lot::RwLock;
 
 use liberate_dpi::profiles::EnvKind;
 use liberate_dpi::rules::RuleSet;
-use liberate_netsim::os::OsKind;
 use liberate_obs::{Counter, EventKind, Journal, Phase};
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::cache::SharedRuleCache;
@@ -48,6 +48,7 @@ use crate::error::{LiberateError, Result};
 use crate::evasion::Technique;
 use crate::replay::{ReplayOpts, ReplayOutcome, Session};
 use crate::schedule::Schedule;
+use crate::sim::{OsKind, SimSubstrate};
 
 /// The generation-stamped evasion state the pool publishes to its
 /// workers. The technique rides in an `Arc`, so a snapshot hands workers
@@ -145,8 +146,8 @@ impl DeployWave {
 /// The pool-backed deployment subsystem: live flows from many simulated
 /// users fanned across [`SessionPool`] workers, one shared
 /// [`SharedRuleCache`], one generation-stamped published technique.
-pub struct DeploymentPool {
-    pool: SessionPool,
+pub struct DeploymentPool<S: Substrate = SimSubstrate> {
+    pool: SessionPool<S>,
     copts: CharacterizeOpts,
     fallback: Vec<Technique>,
     published: PublishedState,
@@ -157,7 +158,7 @@ pub struct DeploymentPool {
     pub cache_hits: u64,
 }
 
-impl DeploymentPool {
+impl DeploymentPool<SimSubstrate> {
     /// A pool of `workers` deployment sessions against a fresh
     /// environment of `kind`.
     pub fn new(
@@ -170,9 +171,22 @@ impl DeploymentPool {
         DeploymentPool::over(SessionPool::new(kind, os, config, workers), copts)
     }
 
+    /// Script a classifier change: swap the rule set on every worker's
+    /// DPI device (they model one middlebox, so all must agree). Flow
+    /// state is kept, mirroring a real rule push.
+    pub fn hot_swap_rules(&mut self, rules: &RuleSet) {
+        for w in 0..self.pool.workers() {
+            if let Some(dpi) = self.pool.session_mut(w).env.dpi_mut() {
+                dpi.hot_swap_rules(rules.clone());
+            }
+        }
+    }
+}
+
+impl<S: Substrate> DeploymentPool<S> {
     /// Wrap an existing session pool (e.g. one built from a shared
     /// blueprint).
-    pub fn over(pool: SessionPool, copts: CharacterizeOpts) -> DeploymentPool {
+    pub fn over(pool: SessionPool<S>, copts: CharacterizeOpts) -> DeploymentPool<S> {
         DeploymentPool {
             pool,
             copts,
@@ -186,13 +200,13 @@ impl DeploymentPool {
 
     /// Techniques to degrade onto, in order, when the published technique
     /// burns mid-wave.
-    pub fn with_fallback_ladder(mut self, ladder: Vec<Technique>) -> DeploymentPool {
+    pub fn with_fallback_ladder(mut self, ladder: Vec<Technique>) -> DeploymentPool<S> {
         self.fallback = ladder;
         self
     }
 
     /// Attach a live shared rule cache under the given network name.
-    pub fn with_shared_cache(mut self, cache: SharedRuleCache, network: &str) -> DeploymentPool {
+    pub fn with_shared_cache(mut self, cache: SharedRuleCache, network: &str) -> DeploymentPool<S> {
         self.cache = Some((cache, network.to_string()));
         self
     }
@@ -221,19 +235,8 @@ impl DeploymentPool {
 
     /// Direct access to the underlying pool (tests script classifier
     /// changes through a worker's environment).
-    pub fn pool_mut(&mut self) -> &mut SessionPool {
+    pub fn pool_mut(&mut self) -> &mut SessionPool<S> {
         &mut self.pool
-    }
-
-    /// Script a classifier change: swap the rule set on every worker's
-    /// DPI device (they model one middlebox, so all must agree). Flow
-    /// state is kept, mirroring a real rule push.
-    pub fn hot_swap_rules(&mut self, rules: &RuleSet) {
-        for w in 0..self.pool.workers() {
-            if let Some(dpi) = self.pool.session_mut(w).env.dpi_mut() {
-                dpi.hot_swap_rules(rules.clone());
-            }
-        }
     }
 
     /// Fold every worker's journal into `journal` (ascending worker
@@ -264,7 +267,7 @@ impl DeploymentPool {
                 user % workers
             }
         };
-        let exec = |session: &mut Session, user: usize| {
+        let exec = |session: &mut Session<S>, user: usize| {
             run_one_flow(session, trace, user, worker_of(user), &published, &fallback)
         };
         let reports = self.pool.run_wave((0..users).collect(), &exec);
@@ -303,7 +306,7 @@ impl DeploymentPool {
         let (cache, network) = self.cache.clone()?;
         let session = self.pool.session_mut(0);
         let journal = session.journal().clone();
-        let t_us = session.env.network.clock.as_micros();
+        let t_us = session.env.clock().as_micros();
         let entry = cache.lookup_observed(&network, &trace.app, &journal, t_us)?;
         let signal = entry.signal.to_signal(session, trace);
         let fresh = cache.verify(&network, &trace.app, session, trace, &signal)?;
@@ -357,8 +360,7 @@ impl DeploymentPool {
         if let Some((cache, network)) = self.cache.as_ref() {
             if let Some(c) = report.characterization.as_ref() {
                 if c.rounds > 0 {
-                    let learned_at =
-                        self.pool.sessions()[0].env.network.clock.as_micros() / 1_000_000;
+                    let learned_at = self.pool.sessions()[0].env.clock().as_micros() / 1_000_000;
                     cache.publish(
                         network,
                         &trace.app,
@@ -381,7 +383,7 @@ impl DeploymentPool {
         let journal = session.journal().clone();
         journal.metrics.incr(Counter::RecharacterizeWaves);
         journal.record(
-            session.env.network.clock.as_micros(),
+            session.env.clock().as_micros(),
             EventKind::TechniquePublished {
                 generation,
                 technique: description,
@@ -394,8 +396,8 @@ impl DeploymentPool {
 /// One user's flow on one worker session: apply the published technique,
 /// watch for the change signal, degrade onto the fallback ladder if it
 /// burns. Runs inside a `Phase::Deploy` span on the worker's journal.
-fn run_one_flow(
-    session: &mut Session,
+fn run_one_flow<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     user: usize,
     worker: usize,
@@ -403,15 +405,15 @@ fn run_one_flow(
     fallback: &[Technique],
 ) -> PoolFlowReport {
     let journal = session.journal().clone();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::Deploy);
+    journal.span_start(session.env.clock().as_micros(), Phase::Deploy);
     journal.metrics.incr(Counter::DeployFlows);
     let report = run_one_flow_inner(session, trace, user, worker, published, fallback, &journal);
-    journal.span_end(session.env.network.clock.as_micros(), Phase::Deploy);
+    journal.span_end(session.env.clock().as_micros(), Phase::Deploy);
     report
 }
 
-fn run_one_flow_inner(
-    session: &mut Session,
+fn run_one_flow_inner<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     user: usize,
     worker: usize,
@@ -439,8 +441,8 @@ fn run_one_flow_inner(
         };
     };
 
-    fn apply_and_judge(
-        session: &mut Session,
+    fn apply_and_judge<S: Substrate>(
+        session: &mut Session<S>,
         trace: &RecordedTrace,
         evasion: &ActiveEvasion,
         technique: &Technique,
@@ -484,7 +486,7 @@ fn run_one_flow_inner(
         if !still_classified {
             journal.metrics.incr(Counter::FallbackParks);
             journal.record(
-                session.env.network.clock.as_micros(),
+                session.env.clock().as_micros(),
                 EventKind::FallbackEngaged {
                     technique: rung.description(),
                 },

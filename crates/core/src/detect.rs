@@ -9,6 +9,7 @@
 use liberate_obs::Phase;
 use liberate_packet::flow::FlowKey;
 use liberate_packet::mutate::invert_bits;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::replay::{ReplayOpts, ReplayOutcome, Session};
@@ -36,24 +37,23 @@ pub enum Signal {
 /// A deterministic jitter model for the carrier's data-usage counter: the
 /// paper found reads may be "slightly out of date, or include data from
 /// background traffic", making sub-200 KB replays unreliable.
-pub fn counter_jitter(session: &mut Session) -> i64 {
+pub fn counter_jitter<S: Substrate>(session: &mut Session<S>) -> i64 {
     use rand::Rng;
     session.rng.gen_range(-50_000..50_000)
 }
 
 /// Read the subscriber's billed-byte counter (with jitter).
-pub fn read_billed_counter(session: &mut Session) -> i64 {
+pub fn read_billed_counter<S: Substrate>(session: &mut Session<S>) -> i64 {
     let exact = session
         .env
-        .dpi_mut()
-        .map(|d| d.billed_bytes)
+        .billed_bytes()
         .unwrap_or(session.bytes_sent_total);
     exact as i64 + counter_jitter(session)
 }
 
 /// Decide whether a finished replay was classified, per `signal`.
-pub fn was_classified(
-    session: &mut Session,
+pub fn was_classified<S: Substrate>(
+    session: &mut Session<S>,
     signal: &Signal,
     outcome: &ReplayOutcome,
     billed_before: i64,
@@ -85,27 +85,25 @@ pub fn was_classified(
     }
 }
 
-fn classified_with_policy(session: &mut Session, key: FlowKey, outcome: &ReplayOutcome) -> bool {
+fn classified_with_policy<S: Substrate>(
+    session: &mut Session<S>,
+    key: FlowKey,
+    outcome: &ReplayOutcome,
+) -> bool {
     // Try both TCP and UDP keys; only classes with effective policies
     // count.
-    let Some(dpi) = session.env.dpi_mut() else {
-        return false;
-    };
     for proto in [6u8, 17u8] {
         let k = FlowKey {
             protocol: proto,
             ..key
         };
-        if let Some(class) = dpi.classification_of(k) {
-            let effective = dpi
-                .config
-                .policies
-                .get(&class)
-                .map(|p| !p.is_noop())
-                .unwrap_or(false);
-            if effective {
-                return true;
-            }
+        if session
+            .env
+            .verdict_for(k)
+            .map(|v| v.effective)
+            .unwrap_or(false)
+        {
+            return true;
         }
     }
     let _ = outcome;
@@ -114,8 +112,8 @@ fn classified_with_policy(session: &mut Session, key: FlowKey, outcome: &ReplayO
 
 /// A probe = one replay + one classification judgment. The work-horse of
 /// detection, characterization, localization, and evasion evaluation.
-pub fn probe(
-    session: &mut Session,
+pub fn probe<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     opts: &ReplayOpts,
     signal: &Signal,
@@ -161,7 +159,7 @@ pub struct DetectionOutcome {
 
 /// Phase 1: detect DPI-based differentiation by comparing the original
 /// replay against its bit-inverted control (Fig. 1, left).
-pub fn detect(session: &mut Session, trace: &RecordedTrace) -> DetectionOutcome {
+pub fn detect<S: Substrate>(session: &mut Session<S>, trace: &RecordedTrace) -> DetectionOutcome {
     detect_rotating(session, trace, None)
 }
 
@@ -169,15 +167,15 @@ pub fn detect(session: &mut Session, trace: &RecordedTrace) -> DetectionOutcome 
 /// classifiers with residual server:port penalties like the GFC (§6.5),
 /// where the original replay's own blocking would otherwise poison the
 /// control.
-pub fn detect_rotating(
-    session: &mut Session,
+pub fn detect_rotating<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     rotate_base: Option<u16>,
 ) -> DetectionOutcome {
-    let journal = session.env.journal.clone();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::Detect);
+    let journal = session.env.journal().clone();
+    journal.span_start(session.env.clock().as_micros(), Phase::Detect);
 
-    let port_for = |session: &Session, i: u16| {
+    let port_for = |session: &Session<S>, i: u16| {
         rotate_base.map(|b| {
             b.wrapping_add(i)
                 .wrapping_add((session.replays % 100) as u16)
@@ -207,7 +205,7 @@ pub fn detect_rotating(
     let ratio = session.config.throttle_ratio;
     let min_bytes = session.config.min_zero_rating_bytes;
 
-    journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
+    journal.span_end(session.env.clock().as_micros(), Phase::Detect);
     verdict(
         original,
         control,
@@ -281,16 +279,16 @@ fn verdict(
 /// so the pair costs one round gap of simulated time instead of two. On
 /// a single-worker pool the jobs run back-to-back, degenerating to the
 /// sequential behavior.
-pub fn detect_parallel(
-    pool: &mut crate::engine::SessionPool,
+pub fn detect_parallel<S: Substrate>(
+    pool: &mut crate::engine::SessionPool<S>,
     trace: &RecordedTrace,
     rotate_base: Option<u16>,
 ) -> DetectionOutcome {
     let control_trace = inverted_trace(trace);
     let jobs: Vec<(u16, &RecordedTrace)> = vec![(0, trace), (1, &control_trace)];
-    let exec = |session: &mut Session, (slot, t): (u16, &RecordedTrace)| {
+    let exec = |session: &mut Session<S>, (slot, t): (u16, &RecordedTrace)| {
         let journal = session.journal().clone();
-        journal.span_start(session.env.network.clock.as_micros(), Phase::Detect);
+        journal.span_start(session.env.clock().as_micros(), Phase::Detect);
         let opts = ReplayOpts {
             server_port: rotate_base.map(|b| {
                 b.wrapping_add(slot)
@@ -303,7 +301,7 @@ pub fn detect_parallel(
         let billed_after = read_billed_counter(session);
         let gap = session.config.round_gap;
         session.rest(gap);
-        journal.span_end(session.env.network.clock.as_micros(), Phase::Detect);
+        journal.span_end(session.env.clock().as_micros(), Phase::Detect);
         (outcome, (billed_after - billed_before).max(0) as u64)
     };
     let mut results = pool.run_wave(jobs, &exec);
@@ -328,8 +326,8 @@ pub fn detect_parallel(
 mod tests {
     use super::*;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn session(kind: EnvKind) -> Session {

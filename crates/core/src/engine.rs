@@ -40,9 +40,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use liberate_dpi::profiles::{EnvKind, EnvironmentBlueprint};
-use liberate_netsim::os::OsKind;
 use liberate_obs::{Hist, Journal, Phase};
 use liberate_packet::mutate::{merge_regions, ByteRegion};
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, Sender};
 
 use crate::characterize::{
@@ -51,15 +51,17 @@ use crate::characterize::{
 use crate::config::LiberateConfig;
 use crate::detect::Signal;
 use crate::replay::Session;
+use crate::sim::{OsKind, SimSubstrate};
 
 /// A pool of worker sessions over one [`EnvironmentBlueprint`]. Every
 /// worker owns a full network (and journal); all DPI devices front the
 /// blueprint's shared [`liberate_dpi::sharded::ShardedFlowTable`].
-pub struct SessionPool {
-    sessions: Vec<Session>,
+/// Generic over the [`Substrate`]; the default is the simulator.
+pub struct SessionPool<S: Substrate = SimSubstrate> {
+    sessions: Vec<Session<S>>,
 }
 
-impl SessionPool {
+impl SessionPool<SimSubstrate> {
     /// Build a pool of `workers` sessions (at least one) against a fresh
     /// blueprint for `kind`.
     pub fn new(kind: EnvKind, os: OsKind, config: LiberateConfig, workers: usize) -> SessionPool {
@@ -81,16 +83,27 @@ impl SessionPool {
             .collect();
         SessionPool { sessions }
     }
+}
+
+impl<S: Substrate> SessionPool<S> {
+    /// Build a pool from pre-built worker sessions (the generic
+    /// counterpart of [`SessionPool::from_blueprint`]; callers construct
+    /// each worker via [`Session::worker_over`]). Panics on an empty
+    /// vector.
+    pub fn from_sessions(sessions: Vec<Session<S>>) -> SessionPool<S> {
+        assert!(!sessions.is_empty(), "a pool needs at least one worker");
+        SessionPool { sessions }
+    }
 
     pub fn workers(&self) -> usize {
         self.sessions.len()
     }
 
-    pub fn sessions(&self) -> &[Session] {
+    pub fn sessions(&self) -> &[Session<S>] {
         &self.sessions
     }
 
-    pub fn session_mut(&mut self, worker: usize) -> &mut Session {
+    pub fn session_mut(&mut self, worker: usize) -> &mut Session<S> {
         &mut self.sessions[worker]
     }
 
@@ -112,7 +125,7 @@ impl SessionPool {
     where
         T: Send,
         R: Send,
-        F: Fn(&mut Session, T) -> R + Sync,
+        F: Fn(&mut Session<S>, T) -> R + Sync,
     {
         let n = self.sessions.len();
         if n == 1 || jobs.len() <= 1 {
@@ -163,16 +176,16 @@ impl SessionPool {
 /// Open a wave span on the worker's own journal and record how many
 /// jobs landed in its bucket (the per-wave occupancy distribution the
 /// ROADMAP's worker-scaling question needs).
-fn wave_open(session: &Session, occupancy: usize) {
+fn wave_open<S: Substrate>(session: &Session<S>, occupancy: usize) {
     let journal = session.journal();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::Wave);
+    journal.span_start(session.env.clock().as_micros(), Phase::Wave);
     journal.observe(Hist::WaveOccupancy, occupancy as u64);
 }
 
-fn wave_close(session: &Session) {
+fn wave_close<S: Substrate>(session: &Session<S>) {
     session
         .journal()
-        .span_end(session.env.network.clock.as_micros(), Phase::Wave);
+        .span_end(session.env.clock().as_micros(), Phase::Wave);
 }
 
 /// A bisection node awaiting its probes in the next wave. Mirrors the
@@ -269,16 +282,16 @@ fn blind_all(atoms: &[usize], trace: &RecordedTrace) -> Vec<(usize, Range<usize>
 /// out over the pool. One trace and one worker degenerate to the
 /// sequential algorithm; several traces share each wave, which is what
 /// actually fills the pool (individual bisection levels are narrow).
-pub fn characterize_many(
-    pool: &mut SessionPool,
+pub fn characterize_many<S: Substrate>(
+    pool: &mut SessionPool<S>,
     traces: &[RecordedTrace],
     signal: &Signal,
     opts: &CharacterizeOpts,
 ) -> Vec<Characterization> {
-    let exec = |session: &mut Session, job: ProbeJob| -> ProbeResult {
+    let exec = |session: &mut Session<S>, job: ProbeJob| -> ProbeResult {
         let bytes0 = session.bytes_sent_total;
         let recv0 = session.bytes_received_total;
-        let t0 = session.env.network.clock;
+        let t0 = session.env.clock();
         let classified = probe_blinded(
             session,
             &traces[job.trace],
@@ -291,7 +304,7 @@ pub fn characterize_many(
             classified,
             bytes_sent: session.bytes_sent_total - bytes0,
             bytes_received: session.bytes_received_total - recv0,
-            elapsed: session.env.network.clock - t0,
+            elapsed: session.env.clock() - t0,
         }
     };
 
@@ -299,7 +312,7 @@ pub fn characterize_many(
 
     for s in pool.sessions.iter() {
         s.journal()
-            .span_start(s.env.network.clock.as_micros(), Phase::BlindSearch);
+            .span_start(s.env.clock().as_micros(), Phase::BlindSearch);
     }
 
     // Wave A — sanity: each unmodified trace must classify.
@@ -478,7 +491,7 @@ pub fn characterize_many(
 
     for s in pool.sessions.iter() {
         s.journal()
-            .span_end(s.env.network.clock.as_micros(), Phase::BlindSearch);
+            .span_end(s.env.clock().as_micros(), Phase::BlindSearch);
     }
 
     // Leaves → canonical fields: per message ascending, ranges merged by
@@ -510,20 +523,20 @@ pub fn characterize_many(
     // Position phase: one prepend ladder per trace, each a single
     // sequential job (the ladder is inherently serial), traces fanned
     // across workers.
-    let pos_exec = |session: &mut Session, t: usize| {
+    let pos_exec = |session: &mut Session<S>, t: usize| {
         let journal = session.journal().clone();
-        journal.span_start(session.env.network.clock.as_micros(), Phase::PositionProbe);
+        journal.span_start(session.env.clock().as_micros(), Phase::PositionProbe);
         let bytes0 = session.bytes_sent_total;
         let recv0 = session.bytes_received_total;
-        let t0 = session.env.network.clock;
+        let t0 = session.env.clock();
         let (profile, rounds) = probe_position_inner(session, &traces[t], signal, opts);
-        journal.span_end(session.env.network.clock.as_micros(), Phase::PositionProbe);
+        journal.span_end(session.env.clock().as_micros(), Phase::PositionProbe);
         (
             profile,
             rounds,
             session.bytes_sent_total - bytes0,
             session.bytes_received_total - recv0,
-            session.env.network.clock - t0,
+            session.env.clock() - t0,
         )
     };
     let ladders = pool.run_wave((0..traces.len()).collect(), &pos_exec);
@@ -556,8 +569,8 @@ pub fn characterize_many(
 }
 
 /// [`characterize_many`] for a single trace.
-pub fn characterize_parallel(
-    pool: &mut SessionPool,
+pub fn characterize_parallel<S: Substrate>(
+    pool: &mut SessionPool<S>,
     trace: &RecordedTrace,
     signal: &Signal,
     opts: &CharacterizeOpts,

@@ -4,10 +4,11 @@
 //! candidates using what characterization learned, and pick the cheapest
 //! working technique for deployment.
 
-use liberate_netsim::capture::TapPoint;
 use liberate_obs::{Counter, EventKind, Phase};
 use liberate_packet::packet::ParsedPacket;
 use liberate_packet::validate::{validate_wire, Malformation};
+use liberate_substrate::capture::TapPoint;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::characterize::PositionProfile;
@@ -56,7 +57,7 @@ pub struct EvaluationInputs {
     pub rotate_server_ports: bool,
 }
 
-fn replay_opts(inputs: &EvaluationInputs, session: &Session) -> ReplayOpts {
+fn replay_opts<S: Substrate>(inputs: &EvaluationInputs, session: &Session<S>) -> ReplayOpts {
     ReplayOpts {
         server_port: inputs
             .rotate_server_ports
@@ -66,8 +67,8 @@ fn replay_opts(inputs: &EvaluationInputs, session: &Session) -> ReplayOpts {
 }
 
 /// Replay `trace` with `technique`; judge classification.
-fn run_technique(
-    session: &mut Session,
+fn run_technique<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     technique: &Technique,
     inputs: &EvaluationInputs,
@@ -107,13 +108,13 @@ fn expected_defect(technique: &Technique) -> Option<Malformation> {
 }
 
 /// Judge RS? from the server-ingress capture of the replay just run.
-fn judge_reach(
-    session: &Session,
+fn judge_reach<S: Substrate>(
+    session: &Session<S>,
     technique: &Technique,
     trace: &RecordedTrace,
     ctx: &EvasionContext,
 ) -> Reach {
-    let capture = &session.env.network.capture;
+    let capture = session.env.capture();
     let ingress: Vec<&[u8]> = capture
         .at(TapPoint::ServerIngress)
         .map(|r| r.wire.as_slice())
@@ -236,8 +237,8 @@ fn matching_payload_reach(ingress: &[&[u8]], trace: &RecordedTrace, ctx: &Evasio
 
 /// Evaluate one Table 3 row. Split/reorder rows escalate their parameter
 /// until evasion succeeds or the configured maximum is reached (§5.2).
-pub fn evaluate_technique(
-    session: &mut Session,
+pub fn evaluate_technique<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     technique: &Technique,
     inputs: &EvaluationInputs,
@@ -271,9 +272,9 @@ pub fn evaluate_technique(
         // through: a technique that merely kills the transfer (e.g.
         // fragments dropped in-network in Iran, §6.6) did not evade.
         let evaded = baseline_classified && !classified && outcome.complete;
-        session.env.journal.metrics.incr(Counter::TechniquesTried);
-        session.env.journal.record(
-            session.env.network.clock.as_micros(),
+        session.env.journal().metrics.incr(Counter::TechniquesTried);
+        session.env.journal().record(
+            session.env.clock().as_micros(),
             EventKind::TechniqueTried {
                 technique: cand.description(),
                 evaded,
@@ -329,21 +330,21 @@ pub fn plan(
 
 /// Run the planned candidates until one evades; return it with the try
 /// count (§4: "iteratively try them until one succeeds").
-pub fn find_working_technique(
-    session: &mut Session,
+pub fn find_working_technique<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     position: &PositionProfile,
     inputs: &EvaluationInputs,
 ) -> Option<(TechniqueResult, u64)> {
-    let journal = session.env.journal.clone();
-    journal.span_start(session.env.network.clock.as_micros(), Phase::Evaluate);
+    let journal = session.env.journal().clone();
+    journal.span_start(session.env.clock().as_micros(), Phase::Evaluate);
     let out = find_working_technique_inner(session, trace, position, inputs);
-    journal.span_end(session.env.network.clock.as_micros(), Phase::Evaluate);
+    journal.span_end(session.env.clock().as_micros(), Phase::Evaluate);
     out
 }
 
-fn find_working_technique_inner(
-    session: &mut Session,
+fn find_working_technique_inner<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     position: &PositionProfile,
     inputs: &EvaluationInputs,
@@ -369,18 +370,18 @@ fn find_working_technique_inner(
 /// would share. Results come back in the input techniques' order — the
 /// canonical plan order — regardless of which worker ran what; `None`
 /// entries mean the technique does not apply to this trace's transport.
-pub fn evaluate_techniques_parallel(
-    pool: &mut crate::engine::SessionPool,
+pub fn evaluate_techniques_parallel<S: Substrate>(
+    pool: &mut crate::engine::SessionPool<S>,
     trace: &RecordedTrace,
     techniques: &[Technique],
     inputs: &EvaluationInputs,
     baseline_classified: bool,
 ) -> Vec<Option<TechniqueResult>> {
-    let exec = |session: &mut Session, technique: Technique| {
+    let exec = |session: &mut Session<S>, technique: Technique| {
         let journal = session.journal().clone();
-        journal.span_start(session.env.network.clock.as_micros(), Phase::Evaluate);
+        journal.span_start(session.env.clock().as_micros(), Phase::Evaluate);
         let out = evaluate_technique(session, trace, &technique, inputs, baseline_classified);
-        journal.span_end(session.env.network.clock.as_micros(), Phase::Evaluate);
+        journal.span_end(session.env.clock().as_micros(), Phase::Evaluate);
         out
     };
     pool.run_wave(techniques.to_vec(), &exec)
@@ -400,8 +401,8 @@ mod tests {
     use crate::characterize::{characterize, CharacterizeOpts};
     use crate::config::LiberateConfig;
     use crate::probe::decoy_request;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn session(kind: EnvKind) -> Session {

@@ -62,6 +62,7 @@ pub mod probe;
 pub mod replay;
 pub mod report;
 pub mod schedule;
+pub mod sim;
 pub mod socket;
 
 /// One-stop imports for applications and experiments.
@@ -90,9 +91,11 @@ pub mod prelude {
     pub use crate::probe::{
         decoy_request, inert_reach, locate_middlebox, InertReach, Localization, DECOY_MARKER,
     };
-    pub use crate::replay::{ReplayOpts, ReplayOutcome, Session};
+    pub use crate::replay::{server_script, ReplayOpts, ReplayOutcome, Session};
     pub use crate::schedule::{Craft, FragPlan, Schedule, ScheduledPacket, Step};
+    pub use crate::sim::{OsKind, SimSubstrate};
     pub use crate::socket::LiberateSocket;
     pub use liberate_dpi::profiles::EnvKind;
-    pub use liberate_netsim::os::OsKind;
+    pub use liberate_substrate::nft::{NftSubstrate, RecordingSink, RuleProgramSink};
+    pub use liberate_substrate::{ClassVerdict, Substrate};
 }

@@ -8,6 +8,7 @@
 //! but the server never does ("Our framework supports masquerading as
 //! long as users supply traffic to place in inert packets").
 
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::detect::{read_billed_counter, was_classified, Signal};
@@ -63,8 +64,8 @@ pub struct MasqueradeReport {
 /// Run `trace` disguised as the favored class and judge the disguise with
 /// `favored_signal` (e.g. [`Signal::ZeroRating`]: did the bytes ride
 /// free?).
-pub fn run_masqueraded(
-    session: &mut Session,
+pub fn run_masqueraded<S: Substrate>(
+    session: &mut Session<S>,
     trace: &RecordedTrace,
     masquerade: &Masquerade,
     favored_signal: &Signal,
@@ -82,8 +83,8 @@ pub fn run_masqueraded(
 mod tests {
     use super::*;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::generator::{generate, WorkloadSpec};
 
     fn bait_video() -> Vec<u8> {

@@ -2,7 +2,8 @@
 //! checking whether crafted inert packets survive to the middlebox and/or
 //! the server.
 
-use liberate_netsim::capture::TapPoint;
+use liberate_substrate::capture::TapPoint;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::RecordedTrace;
 
 use crate::detect::{read_billed_counter, was_classified, Signal};
@@ -35,8 +36,8 @@ pub struct Localization {
 /// at flow start; sweep the TTL upward until classification appears
 /// (§5.2: "a series of probes ... incrementing the TTL until we observe a
 /// response indicating that the TTL-limited flow was classified").
-pub fn locate_middlebox(
-    session: &mut Session,
+pub fn locate_middlebox<S: Substrate>(
+    session: &mut Session<S>,
     carrier: &RecordedTrace,
     matching_payload: &[u8],
     signal: &Signal,
@@ -47,8 +48,8 @@ pub fn locate_middlebox(
 /// [`locate_middlebox`] with per-probe server-port rotation (each probe
 /// whose TTL reaches a GFC-style classifier gets that flow blocked, which
 /// would otherwise accrue a server:port penalty, §6.5).
-pub fn locate_middlebox_rotating(
-    session: &mut Session,
+pub fn locate_middlebox_rotating<S: Substrate>(
+    session: &mut Session<S>,
     carrier: &RecordedTrace,
     matching_payload: &[u8],
     signal: &Signal,
@@ -88,11 +89,10 @@ pub fn locate_middlebox_rotating(
 /// Whether an inert packet carrying [`DECOY_MARKER`] reached the server's
 /// NIC during the most recent replay (the RS? measurement: a capture at
 /// the replay server).
-pub fn decoy_reached_server(session: &Session) -> bool {
+pub fn decoy_reached_server<S: Substrate>(session: &Session<S>) -> bool {
     session
         .env
-        .network
-        .capture
+        .capture()
         .any_at(TapPoint::ServerIngress, |wire| {
             wire.windows(DECOY_MARKER.len()).any(|w| w == DECOY_MARKER)
         })
@@ -118,8 +118,8 @@ pub enum InertReach {
 /// carry *matching* content for a flow the carrier itself does not
 /// trigger, so middlebox processing becomes observable as differentiation
 /// of the otherwise-innocuous carrier.
-pub fn inert_reach(
-    session: &mut Session,
+pub fn inert_reach<S: Substrate>(
+    session: &mut Session<S>,
     carrier: &RecordedTrace,
     technique: &Technique,
     ctx: &EvasionContext,
@@ -145,8 +145,8 @@ pub fn inert_reach(
 mod tests {
     use super::*;
     use crate::config::LiberateConfig;
+    use crate::sim::OsKind;
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
     use liberate_traces::apps;
 
     fn session(kind: EnvKind) -> Session {

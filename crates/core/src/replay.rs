@@ -1,146 +1,66 @@
-//! The replay engine: lowers a [`Schedule`] onto a live connection inside
-//! a simulated environment and reports everything lib·erate's phases need
-//! to observe (Fig. 3, step 2).
+//! The replay engine: lowers a [`Schedule`] onto a live connection over a
+//! [`Substrate`] and reports everything lib·erate's phases need to
+//! observe (Fig. 3, step 2).
 //!
 //! The client side is driven packet-by-packet with raw-socket-level
 //! control (the real tool does the same via a transparent proxy); the
-//! server side runs [`ReplayServerApp`] on the environment's endpoint
-//! stack, answering scripted responses once the expected client bytes
-//! arrive.
+//! server side runs a scripted replay server
+//! ([`liberate_substrate::script::ScriptEngine`]) installed through the
+//! substrate, answering scripted responses once the expected client bytes
+//! arrive. The engine itself is generic: the same code drives the
+//! simulator backend ([`crate::sim::SimSubstrate`], the default) and the
+//! nftables-shaped real-wire backend
+//! ([`liberate_substrate::nft::NftSubstrate`]).
 
-use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use liberate_dpi::profiles::{
-    build_environment, EnvKind, Environment, EnvironmentBlueprint, CLIENT_ADDR, SERVER_ADDR,
-};
-use liberate_netsim::icmp::{parse_icmp_error, IcmpError};
-use liberate_netsim::os::OsKind;
-use liberate_netsim::server::ServerApp;
-use liberate_netsim::stats::ThroughputMeter;
-use liberate_netsim::time::SimTime;
+use liberate_dpi::profiles::{EnvKind, EnvironmentBlueprint, CLIENT_ADDR, SERVER_ADDR};
 use liberate_obs::{Counter, EventKind, Hist, Journal, Phase};
-use liberate_packet::flow::FlowKey;
 use liberate_packet::fragment::fragment_packet;
 use liberate_packet::packet::{Packet, ParsedPacket};
 use liberate_packet::tcp::TcpFlags;
+use liberate_substrate::icmp::{parse_icmp_error, IcmpError};
+use liberate_substrate::script::ServerScript;
+use liberate_substrate::stats::ThroughputMeter;
+use liberate_substrate::time::SimTime;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, Sender, TraceProtocol};
+use std::sync::Arc;
 
 use crate::config::LiberateConfig;
 use crate::evasion::{EvasionContext, Technique};
 use crate::schedule::{Schedule, ScheduledPacket, Step};
+use crate::sim::{OsKind, SimSubstrate};
 
-/// State shared between the replay server application (running inside the
-/// simulated server) and the observing replay engine.
-#[derive(Debug, Default)]
-pub struct ReplayServerShared {
-    /// Client stream bytes delivered to the app (TCP) — after prefix skip.
-    pub received_stream: Vec<u8>,
-    /// Raw delivered bytes before prefix skipping.
-    pub raw_received: u64,
-    /// UDP datagrams delivered.
-    pub datagrams: Vec<Vec<u8>>,
-    /// Server messages already emitted.
-    pub responses_sent: usize,
-}
-
-/// The scripted replay server (Fig. 3): plays back the server side of a
-/// recorded trace when the corresponding client bytes arrive.
-pub struct ReplayServerApp {
-    /// (cumulative client bytes required, response payload) for TCP.
-    tcp_script: Vec<(u64, Vec<u8>)>,
-    /// (client datagram count required, response payload) for UDP.
-    udp_script: Vec<(usize, Vec<u8>)>,
-    /// Bytes at the start of the client stream to discard (server-side
-    /// support for the dummy-prefix technique).
-    skip_prefix: u64,
-    shared: Arc<Mutex<ReplayServerShared>>,
-}
-
-impl ReplayServerApp {
-    pub fn new(
-        trace: &RecordedTrace,
-        skip_prefix: u64,
-    ) -> (ReplayServerApp, Arc<Mutex<ReplayServerShared>>) {
-        let mut tcp_script = Vec::new();
-        let mut udp_script = Vec::new();
-        let mut client_bytes = 0u64;
-        let mut client_dgrams = 0usize;
-        for msg in &trace.messages {
-            match msg.sender {
-                Sender::Client => {
-                    client_bytes += msg.payload.len() as u64;
-                    client_dgrams += 1;
-                }
-                Sender::Server => {
-                    tcp_script.push((client_bytes, msg.payload.clone()));
-                    udp_script.push((client_dgrams, msg.payload.clone()));
-                }
+/// Build the scripted replay server for a (possibly transformed) trace:
+/// `(cumulative client bytes required, response payload)` for TCP and
+/// `(client datagram count required, response payload)` for UDP, plus the
+/// stream prefix to discard (server-side support for the dummy-prefix
+/// technique).
+pub fn server_script(trace: &RecordedTrace, skip_prefix: u64) -> ServerScript {
+    let mut tcp_script = Vec::new();
+    let mut udp_script = Vec::new();
+    let mut client_bytes = 0u64;
+    let mut client_dgrams = 0usize;
+    for msg in &trace.messages {
+        match msg.sender {
+            Sender::Client => {
+                client_bytes += msg.payload.len() as u64;
+                client_dgrams += 1;
+            }
+            Sender::Server => {
+                tcp_script.push((client_bytes, msg.payload.clone()));
+                udp_script.push((client_dgrams, msg.payload.clone()));
             }
         }
-        let shared = Arc::new(Mutex::new(ReplayServerShared::default()));
-        (
-            ReplayServerApp {
-                tcp_script,
-                udp_script,
-                skip_prefix,
-                shared: shared.clone(),
-            },
-            shared,
-        )
     }
-}
-
-impl ServerApp for ReplayServerApp {
-    fn on_tcp_data(&mut self, _flow: FlowKey, data: &[u8]) -> Vec<u8> {
-        let mut shared = self.shared.lock();
-        shared.raw_received += data.len() as u64;
-        // Apply the prefix skip.
-        let already = shared.received_stream.len() as u64
-            + self
-                .skip_prefix
-                .min(shared.raw_received - data.len() as u64);
-        let _ = already;
-        let mut data = data;
-        let consumed_before = shared.raw_received - data.len() as u64;
-        if consumed_before < self.skip_prefix {
-            let to_skip = (self.skip_prefix - consumed_before).min(data.len() as u64) as usize;
-            data = &data[to_skip..];
-        }
-        shared.received_stream.extend_from_slice(data);
-        let effective = shared.received_stream.len() as u64;
-        let mut out = Vec::new();
-        while shared.responses_sent < self.tcp_script.len() {
-            let (needed, payload) = &self.tcp_script[shared.responses_sent];
-            if effective + self.skip_prefix >= *needed + self.skip_prefix && effective >= *needed {
-                out.extend_from_slice(payload);
-                shared.responses_sent += 1;
-            } else {
-                break;
-            }
-        }
-        out
-    }
-
-    fn on_udp_datagram(&mut self, _flow: FlowKey, data: &[u8]) -> Vec<Vec<u8>> {
-        let mut shared = self.shared.lock();
-        shared.datagrams.push(data.to_vec());
-        let count = shared.datagrams.len();
-        let mut out = Vec::new();
-        while shared.responses_sent < self.udp_script.len() {
-            let (needed, payload) = &self.udp_script[shared.responses_sent];
-            if count >= *needed {
-                out.push(payload.clone());
-                shared.responses_sent += 1;
-            } else {
-                break;
-            }
-        }
-        out
+    ServerScript {
+        tcp_script,
+        udp_script,
+        skip_prefix,
     }
 }
 
@@ -200,17 +120,19 @@ impl ReplayOutcome {
     }
 }
 
-/// A measurement session against one environment: owns the network, hands
-/// out client ports, accumulates cost accounting.
-pub struct Session {
-    pub env: Environment,
+/// A measurement session against one environment: owns the substrate,
+/// hands out client ports, accumulates cost accounting. Generic over the
+/// backend; `Session` with no parameter is the simulator-backed default.
+pub struct Session<S: Substrate = SimSubstrate> {
+    pub env: S,
     pub config: LiberateConfig,
     pub rng: StdRng,
     next_client_port: u16,
     /// Client-port advance per replay. A solo session strides by 1; pool
     /// workers stride by the worker count (each starting at a distinct
-    /// offset) so concurrent probes land on disjoint [`FlowKey`]s of the
-    /// shared sharded flow table.
+    /// offset) so concurrent probes land on disjoint
+    /// [`liberate_packet::flow::FlowKey`]s of the shared sharded flow
+    /// table.
     port_stride: u16,
     isn_counter: u32,
     /// Total replays run (the paper's "rounds" metric).
@@ -223,8 +145,9 @@ pub struct Session {
     pub started: SimTime,
 }
 
-impl Session {
-    /// Build a session against a freshly constructed environment.
+impl Session<SimSubstrate> {
+    /// Build a session against a freshly constructed simulator
+    /// environment.
     pub fn new(kind: EnvKind, os: OsKind, config: LiberateConfig) -> Session {
         Session::with_start_time(kind, os, config, 0)
     }
@@ -237,13 +160,34 @@ impl Session {
         config: LiberateConfig,
         start_time_of_day_secs: u64,
     ) -> Session {
-        // The app is replaced per replay; a sink placeholder to start.
-        let env = build_environment(
-            kind,
-            os,
-            Box::new(liberate_netsim::server::SinkApp::default()),
-            start_time_of_day_secs,
-        );
+        Session::over(SimSubstrate::new(kind, os, start_time_of_day_secs), config)
+    }
+
+    /// Build one pool worker's session from a shared
+    /// [`EnvironmentBlueprint`]: its own network and journal, the pool's
+    /// sharded flow table, a deterministic per-worker RNG seed, and a
+    /// client-port lane disjoint from every other worker's
+    /// (`42_000 + worker`, striding by `workers`).
+    pub fn worker_from_blueprint(
+        blueprint: &EnvironmentBlueprint,
+        os: OsKind,
+        config: LiberateConfig,
+        worker: usize,
+        workers: usize,
+    ) -> Session {
+        Session::worker_over(
+            SimSubstrate::from_blueprint(blueprint, os),
+            config,
+            worker,
+            workers,
+        )
+    }
+}
+
+impl<S: Substrate> Session<S> {
+    /// Wrap any substrate as a solo session (the generic counterpart of
+    /// [`Session::new`]).
+    pub fn over(env: S, config: LiberateConfig) -> Session<S> {
         let seed = config.seed;
         let session = Session {
             env,
@@ -261,19 +205,14 @@ impl Session {
         session
     }
 
-    /// Build one pool worker's session from a shared
-    /// [`EnvironmentBlueprint`]: its own network and journal, the pool's
-    /// sharded flow table, a deterministic per-worker RNG seed, and a
-    /// client-port lane disjoint from every other worker's
-    /// (`42_000 + worker`, striding by `workers`).
-    pub fn worker_from_blueprint(
-        blueprint: &EnvironmentBlueprint,
-        os: OsKind,
+    /// Wrap any substrate as pool worker `worker` of `workers` (the
+    /// generic counterpart of [`Session::worker_from_blueprint`]).
+    pub fn worker_over(
+        env: S,
         config: LiberateConfig,
         worker: usize,
         workers: usize,
-    ) -> Session {
-        let env = blueprint.build(os, Box::new(liberate_netsim::server::SinkApp::default()));
+    ) -> Session<S> {
         let seed = config.seed.wrapping_add(worker as u64);
         let session = Session {
             env,
@@ -291,25 +230,26 @@ impl Session {
         session
     }
 
-    /// The observability journal shared with the environment and network.
+    /// The observability journal shared with the substrate.
     pub fn journal(&self) -> &Arc<Journal> {
-        &self.env.journal
+        self.env.journal()
     }
 
     /// Share a journal with this session (e.g. one journal across all the
     /// sessions an experiment binary creates). Re-records the session
     /// header so the journal stays self-describing.
     pub fn attach_journal(&mut self, journal: Arc<Journal>) {
-        self.env.attach_journal(journal);
+        self.env.set_journal(journal);
         self.record_session_started();
     }
 
     fn record_session_started(&self) {
-        self.env.journal.record(
-            self.env.network.clock.as_micros(),
+        self.env.journal().record(
+            self.env.clock().as_micros(),
             EventKind::SessionStarted {
-                env: self.env.kind.name().to_string(),
+                env: self.env.env_name(),
                 seed: self.config.seed,
+                substrate: self.env.backend_name().to_string(),
             },
         );
     }
@@ -335,7 +275,7 @@ impl Session {
 
     /// Idle the environment between rounds.
     pub fn rest(&mut self, d: Duration) {
-        self.env.network.advance(d);
+        self.env.advance(d);
     }
 
     /// Replay an explicit schedule derived from `trace`.
@@ -346,7 +286,7 @@ impl Session {
         opts: &ReplayOpts,
     ) -> ReplayOutcome {
         self.replays += 1;
-        self.env.journal.metrics.incr(Counter::ReplaysExecuted);
+        self.env.journal().metrics.incr(Counter::ReplaysExecuted);
         // Each replay is a micro span under whichever Fig. 3 phase is
         // running it, and the one place host time is measured: core is
         // outside the simulator's determinism boundary, and the wall
@@ -354,9 +294,9 @@ impl Session {
         // histogram (never the JSONL export).
         let host_start = std::time::Instant::now();
         self.env
-            .journal
-            .span_start(self.env.network.clock.as_micros(), Phase::Replay);
-        self.env.network.capture.clear();
+            .journal()
+            .span_start(self.env.clock().as_micros(), Phase::Replay);
+        self.env.clear_capture();
 
         let client_port = self.next_client_port;
         self.next_client_port = self
@@ -367,10 +307,11 @@ impl Session {
 
         // Install the scripted server for this (possibly transformed)
         // trace.
-        let (app, shared) = ReplayServerApp::new(trace, schedule.server_skip_prefix);
-        self.env.network.server.set_app(Box::new(app));
+        let obs = self
+            .env
+            .install_server_script(server_script(trace, schedule.server_skip_prefix));
 
-        let t_start = self.env.network.clock;
+        let t_start = self.env.clock();
         let mut bytes_sent = 0u64;
         let mut first_data_sent: Option<SimTime> = None;
 
@@ -395,11 +336,9 @@ impl Session {
             )
             .with_flags(TcpFlags::SYN);
             bytes_sent += syn.serialize().len() as u64;
-            self.env
-                .network
-                .send_from_client(Duration::ZERO, syn.serialize());
-            self.env.network.run_until_idle();
-            let inbox = self.env.network.take_client_inbox();
+            self.env.inject_client(Duration::ZERO, syn.serialize());
+            self.env.run_until_idle();
+            let inbox = self.env.take_client_inbox();
             let syn_ack = inbox.iter().find_map(|(_, w)| {
                 let p = ParsedPacket::parse(w)?;
                 let t = p.tcp()?;
@@ -420,10 +359,8 @@ impl Session {
                     )
                     .with_flags(TcpFlags::ACK);
                     bytes_sent += ack.serialize().len() as u64;
-                    self.env
-                        .network
-                        .send_from_client(Duration::ZERO, ack.serialize());
-                    self.env.network.run_until_idle();
+                    self.env.inject_client(Duration::ZERO, ack.serialize());
+                    self.env.run_until_idle();
                 }
                 None => handshake_ok = false,
             }
@@ -432,21 +369,21 @@ impl Session {
         // Walk the schedule.
         if handshake_ok {
             for step in &schedule.steps {
-                self.env.journal.metrics.incr(Counter::StepsLowered);
+                self.env.journal().metrics.incr(Counter::StepsLowered);
                 match step {
                     Step::Pause(d) => {
-                        self.env.network.run_until_idle();
-                        self.env.network.advance(*d);
+                        self.env.run_until_idle();
+                        self.env.advance(*d);
                     }
                     Step::AwaitServer { .. } => {
                         // run_until_idle drains even shaper-delayed
                         // deliveries, so one pass suffices.
-                        self.env.network.run_until_idle();
-                        inbox_log.extend(self.env.network.take_client_inbox());
+                        self.env.run_until_idle();
+                        inbox_log.extend(self.env.take_client_inbox());
                     }
                     Step::Packet(sp) => {
                         if sp.counts && !sp.payload.is_empty() && first_data_sent.is_none() {
-                            first_data_sent = Some(self.env.network.clock);
+                            first_data_sent = Some(self.env.clock());
                         }
                         for wire in self.build_packet(
                             protocol,
@@ -458,17 +395,17 @@ impl Session {
                             opts,
                         ) {
                             bytes_sent += wire.len() as u64;
-                            self.env.network.send_from_client(Duration::ZERO, wire);
+                            self.env.inject_client(Duration::ZERO, wire);
                         }
-                        self.env.network.run_until_idle();
-                        inbox_log.extend(self.env.network.take_client_inbox());
+                        self.env.run_until_idle();
+                        inbox_log.extend(self.env.take_client_inbox());
                     }
                 }
             }
-            self.env.network.run_until_idle();
-            inbox_log.extend(self.env.network.take_client_inbox());
+            self.env.run_until_idle();
+            inbox_log.extend(self.env.take_client_inbox());
         } else {
-            inbox_log.extend(self.env.network.take_client_inbox());
+            inbox_log.extend(self.env.take_client_inbox());
         }
 
         self.bytes_sent_total += bytes_sent;
@@ -521,14 +458,14 @@ impl Session {
         // Server-side integrity: the delivered stream must match the
         // trace's client stream (after prefix skipping).
         let expected_client = trace.client_stream();
-        let shared = shared.lock();
+        let obs = obs.lock();
         let integrity_ok = match protocol {
             TraceProtocol::Tcp => {
-                let got = &shared.received_stream;
+                let got = &obs.received_stream;
                 expected_client.starts_with(got.as_slice())
                     || got.as_slice().starts_with(&expected_client)
             }
-            TraceProtocol::Udp => shared.datagrams.iter().all(|d| {
+            TraceProtocol::Udp => obs.datagrams.iter().all(|d| {
                 trace
                     .client_messages()
                     .any(|m| m.payload == *d || m.payload.starts_with(d))
@@ -557,7 +494,7 @@ impl Session {
             _ => None,
         };
 
-        let duration = self.env.network.clock - t_start;
+        let duration = self.env.clock() - t_start;
         let outcome = ReplayOutcome {
             client_port,
             server_port,
@@ -576,8 +513,8 @@ impl Session {
             response_matches,
             icmp,
         };
-        self.env.journal.record(
-            self.env.network.clock.as_micros(),
+        self.env.journal().record(
+            self.env.clock().as_micros(),
             EventKind::ReplayFinished {
                 replay: self.replays,
                 bytes_sent,
@@ -586,9 +523,9 @@ impl Session {
             },
         );
         self.env
-            .journal
-            .span_end(self.env.network.clock.as_micros(), Phase::Replay);
-        self.env.journal.observe(
+            .journal()
+            .span_end(self.env.clock().as_micros(), Phase::Replay);
+        self.env.journal().observe(
             Hist::ReplayHostMicros,
             host_start.elapsed().as_micros() as u64,
         );

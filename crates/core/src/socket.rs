@@ -13,6 +13,7 @@ use std::time::Duration;
 use liberate_dpi::profiles::{CLIENT_ADDR, SERVER_ADDR};
 use liberate_packet::packet::{Packet, ParsedPacket};
 use liberate_packet::tcp::TcpFlags;
+use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, TraceMessage, TraceProtocol};
 
 use crate::error::{LiberateError, Result};
@@ -38,18 +39,18 @@ struct Conn {
 }
 
 /// A socket-like handle whose traffic is liberated transparently.
-pub struct LiberateSocket {
-    pub session: Session,
+pub struct LiberateSocket<S: Substrate = crate::sim::SimSubstrate> {
+    pub session: Session<S>,
     technique: Option<(Technique, EvasionContext)>,
     conn: Option<Conn>,
     /// MSS used when segmenting application sends.
     pub mss: usize,
 }
 
-impl LiberateSocket {
+impl<S: Substrate> LiberateSocket<S> {
     /// Wrap a session. Without a learned technique the socket behaves like
     /// a plain stack.
-    pub fn new(session: Session) -> LiberateSocket {
+    pub fn new(session: Session<S>) -> LiberateSocket<S> {
         LiberateSocket {
             session,
             technique: None,
@@ -82,11 +83,10 @@ impl LiberateSocket {
         .with_flags(TcpFlags::SYN);
         self.session
             .env
-            .network
-            .send_from_client(Duration::ZERO, syn.serialize());
-        self.session.env.network.run_until_idle();
+            .inject_client(Duration::ZERO, syn.serialize());
+        self.session.env.run_until_idle();
 
-        let inbox = self.session.env.network.take_client_inbox();
+        let inbox = self.session.env.take_client_inbox();
         // A blocking middlebox may inject RSTs during the handshake while
         // the SYN still reaches the server; record them.
         let handshake_rsts = inbox
@@ -118,9 +118,8 @@ impl LiberateSocket {
         .with_flags(TcpFlags::ACK);
         self.session
             .env
-            .network
-            .send_from_client(Duration::ZERO, ack.serialize());
-        self.session.env.network.run_until_idle();
+            .inject_client(Duration::ZERO, ack.serialize());
+        self.session.env.run_until_idle();
 
         self.conn = Some(Conn {
             client_port,
@@ -195,8 +194,8 @@ impl LiberateSocket {
         for step in &schedule.steps {
             match step {
                 Step::Pause(d) => {
-                    self.session.env.network.run_until_idle();
-                    self.session.env.network.advance(*d);
+                    self.session.env.run_until_idle();
+                    self.session.env.advance(*d);
                 }
                 Step::AwaitServer { .. } => {}
                 Step::Packet(sp) => {
@@ -212,11 +211,7 @@ impl LiberateSocket {
                     sp.craft.apply(&mut pkt);
                     let wire = pkt.serialize();
                     match &sp.fragment {
-                        None => self
-                            .session
-                            .env
-                            .network
-                            .send_from_client(Duration::ZERO, wire),
+                        None => self.session.env.inject_client(Duration::ZERO, wire),
                         Some(plan) => {
                             let chunk = (((wire.len() - 20) / plan.pieces.max(1)) / 8).max(1) * 8;
                             let mut frags =
@@ -225,11 +220,11 @@ impl LiberateSocket {
                                 frags.reverse();
                             }
                             for f in frags {
-                                self.session.env.network.send_from_client(Duration::ZERO, f);
+                                self.session.env.inject_client(Duration::ZERO, f);
                             }
                         }
                     }
-                    self.session.env.network.run_until_idle();
+                    self.session.env.run_until_idle();
                 }
             }
             self.drain_inbox();
@@ -243,7 +238,7 @@ impl LiberateSocket {
         let Some(conn) = self.conn.as_mut() else {
             return;
         };
-        for (_, wire) in self.session.env.network.take_client_inbox() {
+        for (_, wire) in self.session.env.take_client_inbox() {
             let Some(p) = ParsedPacket::parse(&wire) else {
                 continue;
             };
@@ -264,7 +259,7 @@ impl LiberateSocket {
 
     /// Receive whatever server payload has arrived.
     pub fn recv(&mut self) -> Vec<u8> {
-        self.session.env.network.run_until_idle();
+        self.session.env.run_until_idle();
         self.drain_inbox();
         self.conn
             .as_mut()
@@ -294,9 +289,8 @@ impl LiberateSocket {
             .with_flags(TcpFlags::FIN_ACK);
             self.session
                 .env
-                .network
-                .send_from_client(Duration::ZERO, fin.serialize());
-            self.session.env.network.run_until_idle();
+                .inject_client(Duration::ZERO, fin.serialize());
+            self.session.env.run_until_idle();
         }
     }
 }
@@ -306,9 +300,8 @@ mod tests {
     use super::*;
     use crate::config::LiberateConfig;
     use crate::probe::decoy_request;
+    use crate::sim::{EchoApp, OsKind};
     use liberate_dpi::profiles::EnvKind;
-    use liberate_netsim::os::OsKind;
-    use liberate_netsim::server::EchoApp;
     use liberate_traces::http::get_request;
 
     fn socket(kind: EnvKind) -> LiberateSocket {

@@ -19,6 +19,7 @@ use liberate_netsim::server::{ServerApp, ServerHost};
 use liberate_netsim::shaper::LinkShaper;
 use liberate_obs::Journal;
 use liberate_packet::validate::Malformation::*;
+use liberate_substrate::nft::{WirePolicy, WireRule, WireRuleset};
 
 use crate::actions::{BlockBehavior, Policy};
 use crate::automaton::MatcherKind;
@@ -614,6 +615,80 @@ impl EnvironmentBlueprint {
     }
 }
 
+/// Lower an environment's classifier configuration into the backend-
+/// neutral [`WireRuleset`] vocabulary the nftables-shaped substrate
+/// programs onto a real wire. This is a *projection*, not the full
+/// device model: keyword rules, port/first-packet constraints, and the
+/// per-class policy kind survive; reassembly modes, validation models,
+/// and flow-state timeouts are simulator-only detail the kernel ruleset
+/// cannot express.
+pub fn wire_ruleset(kind: EnvKind) -> WireRuleset {
+    fn keyword_rules() -> Vec<WireRule> {
+        vec![
+            WireRule::keyword("cf-host", "video", &b"cloudfront.net"[..]),
+            WireRule::keyword("yt-sni", "video", &b".googlevideo.com"[..]),
+            WireRule::keyword("espn-host", "video", &b"espncdn.com"[..]),
+            WireRule::keyword("nbc-host", "video", &b"nbcsports.com"[..]),
+            WireRule::keyword("spotify-host", "music", &b"spotify.com"[..]),
+            WireRule::keyword("web", "web", &b"example.org"[..]),
+        ]
+    }
+    let (rules, policies) = match kind {
+        EnvKind::Testbed => {
+            let mut rules = keyword_rules();
+            rules.push(WireRule::keyword("skype-sq", "voip", vec![0x80, 0x55]).in_packet(0));
+            (
+                rules,
+                vec![
+                    ("video".to_string(), WirePolicy::Throttle { bps: 1_500_000 }),
+                    ("music".to_string(), WirePolicy::Throttle { bps: 1_500_000 }),
+                    ("voip".to_string(), WirePolicy::Throttle { bps: 256_000 }),
+                    ("web".to_string(), WirePolicy::NoOp),
+                ],
+            )
+        }
+        EnvKind::TMobile => (
+            keyword_rules(),
+            vec![
+                ("video".to_string(), WirePolicy::Throttle { bps: 1_500_000 }),
+                ("music".to_string(), WirePolicy::ZeroRate),
+                ("web".to_string(), WirePolicy::NoOp),
+            ],
+        ),
+        EnvKind::Att => (
+            vec![WireRule::keyword("stream-saver", "video", &b"video"[..]).on_ports([80])],
+            vec![("video".to_string(), WirePolicy::Throttle { bps: 1_500_000 })],
+        ),
+        EnvKind::Sprint => (Vec::new(), Vec::new()),
+        EnvKind::Gfc => (
+            vec![WireRule::keyword(
+                "economist",
+                "blocked",
+                &b"economist.com"[..],
+            )],
+            vec![("blocked".to_string(), WirePolicy::Block { rsts: 3 })],
+        ),
+        EnvKind::Iran => (
+            vec![WireRule::keyword("facebook", "blocked", &b"facebook.com"[..]).on_ports([80])],
+            vec![("blocked".to_string(), WirePolicy::Block { rsts: 1 })],
+        ),
+    };
+    let hops = match kind {
+        EnvKind::Testbed => 0,
+        EnvKind::TMobile => 2,
+        EnvKind::Att => 1,
+        EnvKind::Sprint => 2,
+        EnvKind::Gfc => 9,
+        EnvKind::Iran => 7,
+    };
+    WireRuleset {
+        profile: kind.name().to_string(),
+        rules,
+        policies,
+        hops_before_middlebox: hops,
+    }
+}
+
 /// Build an environment with the given server OS and server application.
 /// `start_time_of_day_secs` only affects the GFC (Figure 4's clock). One
 /// blueprint, one build: a solo session gets a private flow table, same
@@ -691,6 +766,29 @@ mod tests {
         let ta = a.dpi_mut().expect("testbed has DPI").shared_table();
         let tb = b.dpi_mut().expect("testbed has DPI").shared_table();
         assert!(!Arc::ptr_eq(&ta, &tb));
+    }
+
+    #[test]
+    fn wire_rulesets_mirror_blueprint_path_metadata() {
+        for kind in EnvKind::ALL {
+            let env = build_environment(kind, OsKind::Linux, Box::<EchoApp>::default(), 0);
+            let rs = wire_ruleset(kind);
+            assert_eq!(
+                rs.hops_before_middlebox,
+                env.hops_before_middlebox,
+                "{}",
+                kind.name()
+            );
+            assert_eq!(rs.profile, kind.name());
+            // Every policy class is reachable through at least one rule.
+            for (class, _) in &rs.policies {
+                assert!(
+                    rs.rules.iter().any(|r| &r.class == class),
+                    "{}: unreachable policy class {class}",
+                    kind.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -248,7 +248,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_eleven_rules() {
+    fn registry_has_the_twelve_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -262,7 +262,8 @@ mod tests {
                 "obs-coverage",
                 "overhead-consistency",
                 "pcap-byte-order",
-                "simtime-monotonicity"
+                "simtime-monotonicity",
+                "substrate-seam"
             ]
         );
         for name in rule_names() {
@@ -280,7 +281,7 @@ mod tests {
             .map(|n| rule_code(n).expect("every rule has a code"))
             .collect();
         codes.push(rule_code(UNUSED_ALLOW_RULE).unwrap());
-        assert_eq!(codes.len(), 12);
+        assert_eq!(codes.len(), 13);
         let mut deduped = codes.clone();
         deduped.sort();
         deduped.dedup();

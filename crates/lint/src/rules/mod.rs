@@ -13,6 +13,7 @@ mod obs_coverage;
 mod overhead_consistency;
 mod pcap_byte_order;
 mod simtime_monotonicity;
+mod substrate_seam;
 mod taxonomy;
 
 use crate::dataflow::FnGuards;
@@ -70,6 +71,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(overhead_consistency::OverheadConsistency),
         Box::new(pcap_byte_order::PcapByteOrder),
         Box::new(simtime_monotonicity::SimtimeMonotonicity),
+        Box::new(substrate_seam::SubstrateSeam),
     ]
 }
 

@@ -1,0 +1,126 @@
+//! substrate-seam: crates/core talks to its environment exclusively
+//! through the `Substrate` trait; only the sim backend adapter
+//! (`crates/core/src/sim.rs`) may name `liberate_netsim` directly.
+//!
+//! The seam exists so probe/evade logic runs unchanged over any backend —
+//! the packet-level simulator, the nftables-shaped wire backend, or a
+//! future real-socket one. A single `liberate_netsim::` path outside the
+//! adapter quietly re-couples the whole phase pipeline to the simulator
+//! and breaks every non-sim deployment, so the boundary is enforced
+//! mechanically. Test modules are NOT exempt: tests reach sim-only
+//! surface through the `crate::sim` re-exports and `Deref`, keeping the
+//! import seam identical in shipped and test code.
+
+use crate::items::fn_spans;
+use crate::rules::{Finding, Rule, RuleCtx};
+
+pub struct SubstrateSeam;
+
+impl Rule for SubstrateSeam {
+    fn name(&self) -> &'static str {
+        "substrate-seam"
+    }
+
+    fn code(&self) -> &'static str {
+        "LIB013"
+    }
+
+    fn explain(&self) -> &'static str {
+        "crates/core is generic over the `Substrate` trait: injection, \
+observation, and clock access go through trait calls so the same \
+probe/evade logic drives the simulator, the nftables-shaped wire backend, \
+or any future substrate. Only the adapter module `crates/core/src/sim.rs` \
+may name `liberate_netsim`; anywhere else the path re-couples core to one \
+backend and silently breaks the others. Import what you need from \
+`crate::sim` (which re-exports the sim-only surface) or widen the \
+`Substrate` trait instead. Suppress a deliberate exception with \
+`// lint: allow(substrate-seam)` directly above it."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/") && rel_path != "crates/core/src/sim.rs"
+    }
+
+    fn check(&self, ctx: &RuleCtx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let toks = ctx.tokens;
+        let spans = fn_spans(toks);
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.text != "liberate_netsim" {
+                continue;
+            }
+            let subject = spans
+                .iter()
+                .find(|s| s.start <= i && i < s.end)
+                .map(|s| s.name.clone());
+            let in_fn = subject
+                .as_deref()
+                .map(|n| format!(" in `{n}`"))
+                .unwrap_or_default();
+            findings.push(Finding {
+                line: tok.line,
+                message: format!(
+                    "`liberate_netsim` named outside the sim adapter{in_fn}: core must \
+                     reach the backend through the Substrate trait (or crate::sim \
+                     re-exports), not the simulator crate directly"
+                ),
+                subject,
+            });
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rule;
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_rule(&SubstrateSeam, "crates/core/src/replay.rs", src)
+    }
+
+    #[test]
+    fn direct_import_is_flagged() {
+        let findings = run("use liberate_netsim::os::OsKind;\nfn f() {}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("Substrate trait"));
+    }
+
+    #[test]
+    fn qualified_path_inside_a_fn_names_the_fn() {
+        let findings = run("fn build() {\n\
+             let e = liberate_netsim::env::Environment::new();\n\
+             }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].subject.as_deref(), Some("build"));
+    }
+
+    #[test]
+    fn test_modules_are_not_exempt() {
+        let findings = run("#[cfg(test)] mod t {\n\
+             use liberate_netsim::server::EchoApp;\n\
+             }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn trait_calls_and_sim_reexports_pass() {
+        let findings = run("use liberate_substrate::Substrate;\n\
+             use crate::sim::{OsKind, SimSubstrate};\n\
+             fn f<S: Substrate>(s: &mut S) { s.run_until_idle(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_excludes_the_sim_adapter_and_other_crates() {
+        assert!(SubstrateSeam.applies("crates/core/src/replay.rs"));
+        assert!(SubstrateSeam.applies("crates/core/src/deploy/pool.rs"));
+        assert!(!SubstrateSeam.applies("crates/core/src/sim.rs"));
+        assert!(!SubstrateSeam.applies("crates/substrate/src/lib.rs"));
+        assert!(!SubstrateSeam.applies("crates/netsim/src/env.rs"));
+        assert!(!SubstrateSeam.applies("src/lib.rs"));
+    }
+}

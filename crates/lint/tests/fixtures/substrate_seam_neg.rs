@@ -1,0 +1,19 @@
+// lint-fixture: path=crates/core/src/replay.rs
+
+/// Reaches the backend through the Substrate trait and the crate::sim
+/// re-exports: the seam stays intact.
+use liberate_substrate::Substrate;
+
+use crate::sim::{OsKind, SimSubstrate};
+
+pub fn default_os() -> OsKind {
+    OsKind::Linux
+}
+
+pub fn settle<S: Substrate>(env: &mut S) {
+    env.run_until_idle();
+}
+
+pub fn backend_of(env: &SimSubstrate) -> &'static str {
+    env.backend_name()
+}

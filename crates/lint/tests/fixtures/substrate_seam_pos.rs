@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/core/src/replay.rs
+
+/// Imports the simulator crate directly from a generic core module,
+/// re-coupling the probe/evade pipeline to one backend.
+use liberate_netsim::os::OsKind;
+
+pub fn default_os() -> OsKind {
+    OsKind::Linux
+}
+
+/// A qualified path is just as much a seam violation as a `use`.
+pub fn fresh_env_name() -> String {
+    liberate_netsim::env::Environment::describe()
+}

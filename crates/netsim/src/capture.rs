@@ -1,114 +1,5 @@
-//! Capture taps: the simulator's tcpdump.
-//!
-//! The paper's RS? ("reaches server?") measurement is a packet capture at
-//! the replay server; CC? diagnostics in the testbed read the middlebox
-//! directly. Taps record raw wire bytes at well-defined points so
-//! experiments can answer both, and can be exported as pcap files.
+//! Capture taps: the simulator's tcpdump — moved to the backend-neutral
+//! `liberate-substrate` crate (the RS? vantage exists on every backend);
+//! re-exported here so simulator-facing code keeps its paths.
 
-use liberate_packet::pcap::{write_pcap, CapturedPacket};
-
-use crate::time::SimTime;
-
-/// Where on the path a packet was observed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TapPoint {
-    /// Leaving the client NIC (what lib·erate sent).
-    ClientEgress,
-    /// Arriving at the client NIC (responses, RSTs, block pages, ICMP).
-    ClientIngress,
-    /// Arriving at the server NIC — the paper's RS? vantage.
-    ServerIngress,
-    /// Leaving the server NIC.
-    ServerEgress,
-}
-
-/// One captured packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CaptureRecord {
-    pub at: SimTime,
-    pub point: TapPoint,
-    pub wire: Vec<u8>,
-}
-
-/// An in-memory capture buffer.
-#[derive(Debug, Default)]
-pub struct Capture {
-    records: Vec<CaptureRecord>,
-}
-
-impl Capture {
-    pub fn record(&mut self, at: SimTime, point: TapPoint, wire: &[u8]) {
-        self.records.push(CaptureRecord {
-            at,
-            point,
-            wire: wire.to_vec(),
-        });
-    }
-
-    pub fn all(&self) -> &[CaptureRecord] {
-        &self.records
-    }
-
-    /// Records observed at one tap point.
-    pub fn at(&self, point: TapPoint) -> impl Iterator<Item = &CaptureRecord> {
-        self.records.iter().filter(move |r| r.point == point)
-    }
-
-    /// Whether any packet at `point` satisfies `pred`.
-    pub fn any_at(&self, point: TapPoint, mut pred: impl FnMut(&[u8]) -> bool) -> bool {
-        self.at(point).any(|r| pred(&r.wire))
-    }
-
-    pub fn clear(&mut self) {
-        self.records.clear();
-    }
-
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Export one tap point as a pcap byte buffer.
-    pub fn to_pcap(&self, point: TapPoint) -> Vec<u8> {
-        let packets: Vec<CapturedPacket> = self
-            .at(point)
-            .map(|r| CapturedPacket {
-                timestamp_micros: r.at.as_micros(),
-                bytes: r.wire.clone(),
-            })
-            .collect();
-        let mut out = Vec::new();
-        write_pcap(&mut out, &packets).expect("writing to Vec cannot fail");
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn taps_filter_by_point() {
-        let mut c = Capture::default();
-        c.record(SimTime::ZERO, TapPoint::ClientEgress, &[1]);
-        c.record(SimTime::from_secs(1), TapPoint::ServerIngress, &[2, 2]);
-        c.record(SimTime::from_secs(2), TapPoint::ServerIngress, &[3]);
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.at(TapPoint::ServerIngress).count(), 2);
-        assert!(c.any_at(TapPoint::ServerIngress, |w| w.len() == 2));
-        assert!(!c.any_at(TapPoint::ClientIngress, |_| true));
-    }
-
-    #[test]
-    fn pcap_export_contains_only_requested_point() {
-        let mut c = Capture::default();
-        c.record(SimTime::ZERO, TapPoint::ClientEgress, &[0x45, 0, 0, 0]);
-        c.record(SimTime::ZERO, TapPoint::ServerIngress, &[0x45]);
-        let pcap = c.to_pcap(TapPoint::ServerIngress);
-        // Global header (24) + one record header (16) + 1 byte.
-        assert_eq!(pcap.len(), 24 + 16 + 1);
-    }
-}
+pub use liberate_substrate::capture::*;

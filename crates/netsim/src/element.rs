@@ -1,6 +1,11 @@
 //! The path-element abstraction: anything sitting between the client and
 //! the server — router hops, normalizing gateways, shapers, and (from the
 //! `liberate-dpi` crate) DPI middleboxes and transparent proxies.
+//!
+//! The verdict vocabulary ([`Verdict`], [`Effects`], [`TimedPacket`])
+//! moved to the backend-neutral `liberate-substrate` crate and is
+//! re-exported here; the [`PathElement`] trait itself is simulator-only
+//! (real-wire backends have no element chain to walk).
 
 use std::sync::Arc;
 
@@ -9,60 +14,7 @@ use liberate_packet::flow::Direction;
 
 use crate::time::SimTime;
 
-/// A packet scheduled for (re)transmission at a given instant.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TimedPacket {
-    pub at: SimTime,
-    pub wire: Vec<u8>,
-}
-
-impl TimedPacket {
-    pub fn now(at: SimTime, wire: Vec<u8>) -> TimedPacket {
-        TimedPacket { at, wire }
-    }
-}
-
-/// What a path element decided to do with a packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Verdict {
-    /// Forward these packets onward in the packet's original direction.
-    /// Usually one packet at `now`; shapers delay, normalizers may emit
-    /// several (e.g. a reassembled datagram), proxies may emit re-written
-    /// segments.
-    Forward(Vec<TimedPacket>),
-    /// Silently drop.
-    Drop,
-}
-
-impl Verdict {
-    /// Forward a single packet immediately.
-    pub fn pass(now: SimTime, wire: Vec<u8>) -> Verdict {
-        Verdict::Forward(vec![TimedPacket::now(now, wire)])
-    }
-}
-
-/// Side effects a path element may produce while processing a packet:
-/// injected packets traveling toward either endpoint (RST injection, block
-/// pages, ICMP errors). Injected packets enter the path *at this element's
-/// position* and traverse the remaining elements in their direction.
-#[derive(Debug, Default)]
-pub struct Effects {
-    pub toward_client: Vec<TimedPacket>,
-    pub toward_server: Vec<TimedPacket>,
-}
-
-impl Effects {
-    pub fn inject(&mut self, dir: Direction, pkt: TimedPacket) {
-        match dir {
-            Direction::ServerToClient => self.toward_client.push(pkt),
-            Direction::ClientToServer => self.toward_server.push(pkt),
-        }
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.toward_client.is_empty() && self.toward_server.is_empty()
-    }
-}
+pub use liberate_substrate::verdict::{Effects, TimedPacket, Verdict};
 
 /// An element on the client-to-server path.
 ///
@@ -97,37 +49,4 @@ pub trait PathElement: Send {
     /// Hand the element a journal handle for verdict/flow events. Most
     /// elements ignore it; the DPI device keeps a clone.
     fn attach_journal(&mut self, _journal: &Arc<Journal>) {}
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn effects_routing() {
-        let mut fx = Effects::default();
-        assert!(fx.is_empty());
-        fx.inject(
-            Direction::ServerToClient,
-            TimedPacket::now(SimTime::ZERO, vec![1]),
-        );
-        fx.inject(
-            Direction::ClientToServer,
-            TimedPacket::now(SimTime::ZERO, vec![2]),
-        );
-        assert_eq!(fx.toward_client.len(), 1);
-        assert_eq!(fx.toward_server.len(), 1);
-        assert!(!fx.is_empty());
-    }
-
-    #[test]
-    fn verdict_pass_is_single_immediate() {
-        match Verdict::pass(SimTime::from_secs(3), vec![9]) {
-            Verdict::Forward(v) => {
-                assert_eq!(v.len(), 1);
-                assert_eq!(v[0].at, SimTime::from_secs(3));
-            }
-            Verdict::Drop => panic!("expected forward"),
-        }
-    }
 }

@@ -1,104 +1,4 @@
-//! Simulated time.
-//!
-//! The paper's measurements involve wall-clock phenomena — 120 s classifier
-//! timeouts, 240 s flush probes, time-of-day load cycles (Figure 4), and
-//! characterization runs quoted in minutes. A virtual clock reproduces all
-//! of them deterministically and instantly.
+//! Simulated time — moved to the backend-neutral `liberate-substrate`
+//! crate; re-exported here so simulator-facing code keeps its paths.
 
-use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
-use std::time::Duration;
-
-use serde::{Deserialize, Serialize};
-
-/// An instant on the simulation clock, in microseconds since the start of
-/// the simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct SimTime(u64);
-
-impl SimTime {
-    pub const ZERO: SimTime = SimTime(0);
-
-    pub fn from_micros(micros: u64) -> SimTime {
-        SimTime(micros)
-    }
-
-    pub fn from_secs(secs: u64) -> SimTime {
-        SimTime(secs * 1_000_000)
-    }
-
-    pub fn as_micros(self) -> u64 {
-        self.0
-    }
-
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e6
-    }
-
-    /// Duration since an earlier instant (saturating).
-    pub fn since(self, earlier: SimTime) -> Duration {
-        Duration::from_micros(self.0.saturating_sub(earlier.0))
-    }
-
-    /// Seconds past local midnight, given the wall-clock second at which the
-    /// simulation started. Drives the GFC time-of-day load model (Fig. 4).
-    pub fn time_of_day_secs(self, sim_start_wallclock_secs: u64) -> u64 {
-        (sim_start_wallclock_secs + self.0 / 1_000_000) % 86_400
-    }
-}
-
-impl Add<Duration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0 + rhs.as_micros() as u64)
-    }
-}
-
-impl AddAssign<Duration> for SimTime {
-    fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.as_micros() as u64;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = Duration;
-    fn sub(self, rhs: SimTime) -> Duration {
-        Duration::from_micros(self.0.saturating_sub(rhs.0))
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arithmetic() {
-        let t = SimTime::from_secs(2) + Duration::from_millis(500);
-        assert_eq!(t.as_micros(), 2_500_000);
-        assert_eq!(t - SimTime::from_secs(1), Duration::from_micros(1_500_000));
-        assert_eq!(SimTime::ZERO - t, Duration::ZERO); // saturating
-    }
-
-    #[test]
-    fn time_of_day_wraps() {
-        // Simulation starts at 23:59:50 wall clock; 20 sim-seconds later it
-        // is 00:00:10.
-        let start = 23 * 3600 + 59 * 60 + 50;
-        let t = SimTime::from_secs(20);
-        assert_eq!(t.time_of_day_secs(start), 10);
-    }
-
-    #[test]
-    fn ordering() {
-        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
-        assert_eq!(SimTime::from_micros(5).as_secs_f64(), 5e-6);
-    }
-}
+pub use liberate_substrate::time::*;

@@ -91,10 +91,13 @@ pub enum EventKind {
     },
     /// A `Session` came up against an environment with a seed. Recording
     /// the seed makes journals self-describing and guarantees different
-    /// seeds produce different journals.
+    /// seeds produce different journals. `substrate` names the backend
+    /// the session ran on ("sim", "nft"); the JSONL encoding omits it for
+    /// "sim" so simulator journals are stable across the seam refactor.
     SessionStarted {
         env: String,
         seed: u64,
+        substrate: String,
     },
     /// A client packet entered the simulated network.
     PacketInjected {

@@ -97,8 +97,17 @@ fn write_event(out: &mut String, ev: &Event) {
             let _ = write!(out, ",\"id\":{id}");
         }
         EventKind::FlowReset => {}
-        EventKind::SessionStarted { env, seed } => {
+        EventKind::SessionStarted {
+            env,
+            seed,
+            substrate,
+        } => {
             let _ = write!(out, ",\"env\":{},\"seed\":{}", json_str(env), seed);
+            // The simulator is the default backend; omitting its tag keeps
+            // sim journals byte-stable (same trick as the worker field).
+            if substrate != "sim" {
+                let _ = write!(out, ",\"substrate\":{}", json_str(substrate));
+            }
         }
         EventKind::PacketInjected { bytes } => {
             let _ = write!(out, ",\"bytes\":{bytes}");
@@ -459,6 +468,7 @@ mod tests {
             EventKind::SessionStarted {
                 env: "Testbed".to_string(),
                 seed: 7,
+                substrate: "sim".to_string(),
             },
         );
         j.span_start(5, Phase::BlindSearch);

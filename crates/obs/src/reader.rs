@@ -150,6 +150,15 @@ fn parse_line(line: &str, out: &mut ParsedJournal) -> Result<(), String> {
         "session_started" => EventKind::SessionStarted {
             env: req_str("env")?,
             seed: req_u64("seed")?,
+            // Absent before the substrate seam (and omitted by the
+            // simulator backend since): default to "sim".
+            substrate: match get("substrate") {
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string \"substrate\"".to_string())?,
+                None => "sim".to_string(),
+            },
         },
         "packet_injected" => EventKind::PacketInjected {
             bytes: req_u64("bytes")?,
@@ -222,6 +231,7 @@ mod tests {
             EventKind::SessionStarted {
                 env: "Testbed".to_string(),
                 seed: 7,
+                substrate: "sim".to_string(),
             },
         );
         j.span_start(1, Phase::Deploy);
@@ -271,6 +281,36 @@ mod tests {
         let parsed = parse_journal(&to_jsonl(&main)).unwrap();
         assert_eq!(parsed.events[0].worker, Some(3));
         assert_eq!(parsed.events, main.events());
+    }
+
+    #[test]
+    fn substrate_tags_roundtrip_and_default_to_sim() {
+        // Non-default backends tag the session; the tag survives a parse.
+        let j = Journal::new();
+        j.record(
+            0,
+            EventKind::SessionStarted {
+                env: "China".to_string(),
+                seed: 9,
+                substrate: "nft".to_string(),
+            },
+        );
+        let text = to_jsonl(&j);
+        assert!(text.contains("\"substrate\":\"nft\""), "{text}");
+        let parsed = parse_journal(&text).expect("parses");
+        assert_eq!(parsed.events, j.events());
+
+        // Pre-seam journals (no substrate field) parse as the simulator.
+        let legacy = "{\"t_us\":0,\"event\":\"session_started\",\"env\":\"Testbed\",\"seed\":7}\n";
+        let parsed = parse_journal(legacy).expect("parses");
+        assert_eq!(
+            parsed.events[0].kind,
+            EventKind::SessionStarted {
+                env: "Testbed".to_string(),
+                seed: 7,
+                substrate: "sim".to_string(),
+            }
+        );
     }
 
     #[test]

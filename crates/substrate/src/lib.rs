@@ -1,0 +1,167 @@
+//! # liberate-substrate
+//!
+//! The seam between lib·erate's probe/evade logic and the world it runs
+//! against. `crates/core` is generic over the [`Substrate`] trait — the
+//! injection/observation/clock surface the replay engine, the blinding
+//! bisection, and the deployment pool actually use — so the same logic
+//! drives two backends:
+//!
+//! - **`SimSubstrate`** (in `liberate`'s `sim` module): the deterministic
+//!   discrete-event simulator from `liberate-netsim`, the reference
+//!   implementation and default backend;
+//! - **[`nft::NftSubstrate`]**: an nftables-shaped real-wire backend that
+//!   lowers the six §6 profile rule sets into table/chain/counter
+//!   programs, shells out behind a [`nft::RuleProgramSink`], and maps
+//!   counter deltas back into the same verdict vocabulary.
+//!
+//! This crate also hosts the backend-neutral vocabulary both worlds
+//! speak: [`time::SimTime`], [`verdict::Verdict`]/[`verdict::Effects`],
+//! [`capture::Capture`], [`icmp::IcmpError`], [`stats::ThroughputMeter`],
+//! and the scripted replay server ([`script`]).
+
+pub mod capture;
+pub mod icmp;
+pub mod nft;
+pub mod script;
+pub mod stats;
+pub mod time;
+pub mod verdict;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use liberate_obs::Journal;
+use liberate_packet::flow::FlowKey;
+use parking_lot::Mutex;
+
+use crate::capture::Capture;
+use crate::script::{ServerObs, ServerScript};
+use crate::time::SimTime;
+
+/// A classifier's answer for one flow, backend-neutral: the class it
+/// assigned and whether a non-no-op policy (throttle, block, zero-rate)
+/// is attached — i.e. whether classification has observable effects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassVerdict {
+    pub class: String,
+    pub effective: bool,
+}
+
+/// The world lib·erate runs against: packet injection, response and
+/// ICMP observation, classifier verdict readout, and a virtual clock.
+///
+/// Object-safe and `Send` so whole sessions (and their substrates) can
+/// fan out across pool worker threads, boxed or not.
+pub trait Substrate: Send {
+    /// Short backend identifier for journal tagging ("sim", "nft").
+    fn backend_name(&self) -> &'static str;
+
+    /// Human-readable environment name (e.g. "Testbed", "China").
+    fn env_name(&self) -> String;
+
+    /// TTL-decrementing hops before the middlebox: a probe TTL of
+    /// `hops_before_middlebox() + 1` reaches it without reaching the
+    /// server (§5.2 localization).
+    fn hops_before_middlebox(&self) -> u8;
+
+    /// The current instant on the backend clock.
+    fn clock(&self) -> SimTime;
+
+    /// Advance the clock with no traffic (pause-based flush probes),
+    /// processing anything scheduled inside the window.
+    fn advance(&mut self, d: Duration);
+
+    /// Process all in-flight traffic until the backend quiesces.
+    fn run_until_idle(&mut self);
+
+    /// Inject one raw wire packet from the client after `delay`.
+    fn inject_client(&mut self, delay: Duration, wire: Vec<u8>);
+
+    /// Drain the packets delivered to the client so far.
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)>;
+
+    /// Install the scripted replay server for the next flow, returning
+    /// the observation handle the replay engine reads afterwards.
+    fn install_server_script(&mut self, script: ServerScript) -> Arc<Mutex<ServerObs>>;
+
+    /// The capture buffer (RS? vantage and friends).
+    fn capture(&self) -> &Capture;
+
+    /// Clear the capture buffer between replays.
+    fn clear_capture(&mut self);
+
+    /// The observability journal this backend writes into.
+    fn journal(&self) -> &Arc<Journal>;
+
+    /// Replace the journal (e.g. to share one across sessions).
+    fn set_journal(&mut self, journal: Arc<Journal>);
+
+    /// The middlebox's billed-byte counter, when the backend exposes one
+    /// (the §5.3 zero-rating side channel). `None` means no counter is
+    /// readable and callers fall back to their own accounting.
+    fn billed_bytes(&mut self) -> Option<u64>;
+
+    /// The classifier's verdict for `flow`, when one is readable
+    /// (testbed-style direct readout, or counter deltas on the real
+    /// wire). `None` means unclassified or unreadable.
+    fn verdict_for(&mut self, flow: FlowKey) -> Option<ClassVerdict>;
+}
+
+impl Substrate for Box<dyn Substrate> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn env_name(&self) -> String {
+        (**self).env_name()
+    }
+    fn hops_before_middlebox(&self) -> u8 {
+        (**self).hops_before_middlebox()
+    }
+    fn clock(&self) -> SimTime {
+        (**self).clock()
+    }
+    fn advance(&mut self, d: Duration) {
+        (**self).advance(d)
+    }
+    fn run_until_idle(&mut self) {
+        (**self).run_until_idle()
+    }
+    fn inject_client(&mut self, delay: Duration, wire: Vec<u8>) {
+        (**self).inject_client(delay, wire)
+    }
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)> {
+        (**self).take_client_inbox()
+    }
+    fn install_server_script(&mut self, script: ServerScript) -> Arc<Mutex<ServerObs>> {
+        (**self).install_server_script(script)
+    }
+    fn capture(&self) -> &Capture {
+        (**self).capture()
+    }
+    fn clear_capture(&mut self) {
+        (**self).clear_capture()
+    }
+    fn journal(&self) -> &Arc<Journal> {
+        (**self).journal()
+    }
+    fn set_journal(&mut self, journal: Arc<Journal>) {
+        (**self).set_journal(journal)
+    }
+    fn billed_bytes(&mut self) -> Option<u64> {
+        (**self).billed_bytes()
+    }
+    fn verdict_for(&mut self, flow: FlowKey) -> Option<ClassVerdict> {
+        (**self).verdict_for(flow)
+    }
+}
+
+pub mod prelude {
+    pub use crate::capture::{Capture, CaptureRecord, TapPoint};
+    pub use crate::icmp::{parse_icmp_error, IcmpError};
+    pub use crate::nft::{NftSubstrate, RecordingSink, RuleProgramSink, WireRuleset};
+    pub use crate::script::{ScriptEngine, ServerObs, ServerScript};
+    pub use crate::stats::ThroughputMeter;
+    pub use crate::time::SimTime;
+    pub use crate::verdict::{Effects, TimedPacket, Verdict};
+    pub use crate::{ClassVerdict, Substrate};
+}

@@ -77,7 +77,15 @@ say "exp-obs (tracing-overhead gate, regenerates results/BENCH_obs.json)"
 # exports across repetitions.
 cargo run --release -q -p liberate-bench --bin exp-obs >/dev/null
 
-say "bench history (results/BENCH_history.jsonl)"
+say "nft backend goldens (recording loopback fixture vs tests/fixtures/nft/)"
+# Lowers all six profile rule sets through NftSubstrate with the
+# recording sink and diffs the emitted nftables programs (and the
+# counter->verdict mapping) against the checked-in goldens. Catches wire
+# program drift the sim-backed suites never exercise. Regenerate after a
+# deliberate lowering change with UPDATE_FIXTURES=1.
+cargo test -q --test nft_fixtures
+
+say "bench history (results/BENCH_history.jsonl, exact repeats dedup)"
 for bench in results/BENCH_obs.json results/BENCH_parallel.json \
     results/BENCH_deploy.json results/BENCH_matcher.json; do
     [ -f "$bench" ] || continue

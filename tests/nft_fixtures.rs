@@ -1,0 +1,178 @@
+//! NftSubstrate golden fixtures: the six §6 profile rule sets lower to
+//! pinned nftables program text, and the counter→verdict mapping back
+//! from the (recording loopback) sink is pinned alongside.
+//!
+//! Goldens live under `tests/fixtures/nft/`:
+//!
+//! - `<profile>.nft` — the program `RuleProgramSink::apply` receives
+//! - `<profile>.verdicts.txt` — one `cnt_<rule> class=<c> effective=<b>`
+//!   line per match rule, as `counter_verdicts` reports them once every
+//!   rule counter has moved
+//!
+//! Regenerate after a deliberate lowering change with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test --test nft_fixtures
+//! ```
+//!
+//! CI diffs both against the checked-in goldens, so an accidental change
+//! to the wire programs (table names, match expressions, policy rules,
+//! marks) fails the gate even though the sim path never exercises them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use liberate_dpi::profiles::{wire_ruleset, EnvKind};
+use liberate_substrate::nft::{NftSubstrate, RecordingSink, RuleProgramSink};
+
+const PROFILES: [EnvKind; 6] = [
+    EnvKind::Testbed,
+    EnvKind::TMobile,
+    EnvKind::Att,
+    EnvKind::Sprint,
+    EnvKind::Gfc,
+    EnvKind::Iran,
+];
+
+fn profile_slug(kind: EnvKind) -> &'static str {
+    match kind {
+        EnvKind::Testbed => "testbed",
+        EnvKind::TMobile => "t_mobile",
+        EnvKind::Att => "at_t",
+        EnvKind::Sprint => "sprint",
+        EnvKind::Gfc => "china",
+        EnvKind::Iran => "iran",
+    }
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/nft")
+}
+
+fn check_golden(path: &Path, got: &str, mismatches: &mut Vec<String>) {
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, got).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        return;
+    }
+    let want = fs::read_to_string(path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; regenerate with UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    if want != got {
+        mismatches.push(format!(
+            "{}:\n--- want\n{want}\n--- got\n{got}",
+            path.display()
+        ));
+    }
+}
+
+/// The emitted rule program for every profile matches its golden, and the
+/// recording sink received exactly that program.
+#[test]
+fn rule_programs_match_their_goldens() {
+    let mut mismatches = Vec::new();
+    for kind in PROFILES {
+        let sink = RecordingSink::new();
+        let state = sink.state();
+        let sub = NftSubstrate::with_sink(wire_ruleset(kind), Box::new(sink))
+            .expect("recording sink never fails to apply");
+        assert_eq!(
+            state.lock().programs,
+            vec![sub.program().to_string()],
+            "{kind:?}: the sink must receive the lowered program verbatim"
+        );
+        let golden = fixtures_dir().join(format!("{}.nft", profile_slug(kind)));
+        check_golden(&golden, sub.program(), &mut mismatches);
+    }
+    assert!(
+        mismatches.is_empty(),
+        "nft program drift (UPDATE_FIXTURES=1 to accept):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Once every rule counter has moved, `counter_verdicts` maps each back
+/// to its class and policy effectiveness — pinned per profile.
+#[test]
+fn counter_verdict_mapping_matches_its_goldens() {
+    let mut mismatches = Vec::new();
+    for kind in PROFILES {
+        let sink = RecordingSink::new();
+        let mut feeder = sink.clone();
+        let mut sub = NftSubstrate::with_sink(wire_ruleset(kind), Box::new(sink))
+            .expect("recording sink never fails to apply");
+        // The loopback fixture counts only what it is told about: mark
+        // every declared rule counter as having seen one packet.
+        let rule_counters: Vec<String> = sub
+            .program()
+            .lines()
+            .filter_map(|l| l.strip_prefix(&format!("add counter inet {} ", sub.ruleset().table())))
+            .filter(|n| n.starts_with("cnt_"))
+            .map(str::to_string)
+            .collect();
+        for c in &rule_counters {
+            feeder.record_match(c, 1460);
+        }
+        let verdicts = sub.counter_verdicts().expect("recording sink reads back");
+        assert_eq!(
+            verdicts.len(),
+            rule_counters.len(),
+            "{kind:?}: every moved rule counter yields a verdict"
+        );
+        let mut text = String::new();
+        for (counter, v) in &verdicts {
+            text.push_str(&format!(
+                "{counter} class={} effective={}\n",
+                v.class, v.effective
+            ));
+        }
+        let golden = fixtures_dir().join(format!("{}.verdicts.txt", profile_slug(kind)));
+        check_golden(&golden, &text, &mut mismatches);
+    }
+    assert!(
+        mismatches.is_empty(),
+        "counter->verdict drift (UPDATE_FIXTURES=1 to accept):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Untouched counters never produce verdicts: a freshly programmed
+/// substrate reports an empty mapping for every profile.
+#[test]
+fn idle_counters_yield_no_verdicts() {
+    for kind in PROFILES {
+        let mut sub = NftSubstrate::with_sink(wire_ruleset(kind), Box::new(RecordingSink::new()))
+            .expect("recording sink never fails to apply");
+        assert!(
+            sub.counter_verdicts().unwrap().is_empty(),
+            "{kind:?}: zero counters must map to zero verdicts"
+        );
+    }
+}
+
+/// The README quickstart, end to end: a Session over the GFC wire rules
+/// sees its censored fetch RST while an innocuous fetch completes.
+#[test]
+fn readme_quickstart_blocks_a_censored_fetch() {
+    use liberate::prelude::*;
+
+    let nft = NftSubstrate::new(wire_ruleset(EnvKind::Gfc)).expect("program applies");
+    assert!(nft.program().contains("add table inet liberate_china"));
+    let mut session = Session::over(nft, LiberateConfig::default());
+    let outcome = session.replay_trace(
+        &liberate_traces::apps::economist_http(),
+        &ReplayOpts::default(),
+    );
+    assert!(outcome.blocked(), "{outcome:?}");
+
+    let nft = NftSubstrate::new(wire_ruleset(EnvKind::Gfc)).unwrap();
+    let mut session = Session::over(nft, LiberateConfig::default());
+    let control = session.replay_trace(
+        &liberate_traces::apps::control_http(),
+        &ReplayOpts::default(),
+    );
+    assert!(!control.blocked() && control.complete, "{control:?}");
+}

@@ -1,0 +1,125 @@
+//! Substrate-seam parity: driving the pipeline through `dyn Substrate`
+//! must be observationally identical to the direct, statically-typed
+//! path. Any divergence — an extra event, a reordered probe, a drifted
+//! counter — means the trait boundary leaks behavior, and a non-sim
+//! backend would silently produce different science than the simulator.
+
+use std::sync::Arc;
+
+use liberate::prelude::*;
+use liberate_dpi::profiles::EnvironmentBlueprint;
+use liberate_obs::{to_jsonl, Journal};
+use liberate_traces::apps;
+
+/// Same-seed characterization through `Session<SimSubstrate>` (static)
+/// and `Session<Box<dyn Substrate>>` (boxed) must export byte-identical
+/// journals and identical characterization results.
+#[test]
+fn dyn_substrate_matches_static_at_one_worker() {
+    let trace = apps::amazon_prime_http(20_000);
+
+    let journal_static = Arc::new(Journal::new());
+    let mut direct = Session::new(EnvKind::Testbed, OsKind::Linux, LiberateConfig::default());
+    direct.attach_journal(journal_static.clone());
+    let c_static = characterize(
+        &mut direct,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+
+    let journal_dyn = Arc::new(Journal::new());
+    let env: Box<dyn Substrate> = Box::new(SimSubstrate::new(EnvKind::Testbed, OsKind::Linux, 0));
+    let mut boxed = Session::over(env, LiberateConfig::default());
+    boxed.attach_journal(journal_dyn.clone());
+    let c_dyn = characterize(
+        &mut boxed,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+
+    assert_eq!(c_static.fields, c_dyn.fields, "matching fields must agree");
+    assert_eq!(c_static.position, c_dyn.position);
+    assert_eq!(c_static.rounds, c_dyn.rounds);
+    assert_eq!(c_static.bytes_sent, c_dyn.bytes_sent);
+    assert_eq!(c_static.bytes_received, c_dyn.bytes_received);
+    assert_eq!(c_static.elapsed, c_dyn.elapsed);
+
+    let (a, b) = (to_jsonl(&journal_static), to_jsonl(&journal_dyn));
+    assert!(a == b, "journals must be byte-identical through the seam");
+    assert!(a.lines().count() > 100, "the journal must be substantive");
+}
+
+/// The engine path: a 4-worker pool of boxed substrates over one shared
+/// blueprint must reproduce the statically-typed pool byte for byte.
+#[test]
+fn dyn_substrate_matches_static_at_four_workers() {
+    let trace = apps::amazon_prime_http(20_000);
+    let workers = 4;
+
+    let journal_static = Arc::new(Journal::new());
+    let mut pool_static = SessionPool::new(
+        EnvKind::Testbed,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        workers,
+    );
+    let c_static = characterize_parallel(
+        &mut pool_static,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    pool_static.merge_journals_into(&journal_static);
+
+    let journal_dyn = Arc::new(Journal::new());
+    let blueprint = EnvironmentBlueprint::new(EnvKind::Testbed, 0);
+    let sessions: Vec<Session<Box<dyn Substrate>>> = (0..workers)
+        .map(|w| {
+            let env: Box<dyn Substrate> =
+                Box::new(SimSubstrate::from_blueprint(&blueprint, OsKind::Linux));
+            Session::worker_over(env, LiberateConfig::default(), w, workers)
+        })
+        .collect();
+    let mut pool_dyn = SessionPool::from_sessions(sessions);
+    let c_dyn = characterize_parallel(
+        &mut pool_dyn,
+        &trace,
+        &Signal::Readout,
+        &CharacterizeOpts::default(),
+    );
+    pool_dyn.merge_journals_into(&journal_dyn);
+
+    assert_eq!(c_static.fields, c_dyn.fields);
+    assert_eq!(c_static.position, c_dyn.position);
+    assert_eq!(c_static.rounds, c_dyn.rounds);
+    assert_eq!(c_static.bytes_sent, c_dyn.bytes_sent);
+    assert_eq!(c_static.bytes_received, c_dyn.bytes_received);
+
+    let (a, b) = (to_jsonl(&journal_static), to_jsonl(&journal_dyn));
+    assert!(
+        a == b,
+        "4-worker journals must be byte-identical through the seam"
+    );
+}
+
+/// The boxed path journals a `substrate` tag of "sim", which the JSONL
+/// exporter elides (sim is the default) — so session_started lines stay
+/// identical to pre-seam journals.
+#[test]
+fn sim_substrate_tag_is_elided_in_exports() {
+    let journal = Arc::new(Journal::new());
+    let env: Box<dyn Substrate> = Box::new(SimSubstrate::new(EnvKind::Testbed, OsKind::Linux, 0));
+    let mut s = Session::over(env, LiberateConfig::default());
+    s.attach_journal(journal.clone());
+    let text = to_jsonl(&journal);
+    let started = text
+        .lines()
+        .find(|l| l.contains("session_started"))
+        .expect("session_started recorded");
+    assert!(
+        !started.contains("substrate"),
+        "sim runs must not grow a substrate field: {started}"
+    );
+}
