@@ -14,7 +14,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use liberate_substrate::Substrate;
@@ -242,12 +241,16 @@ impl RuleCache {
 
 /// A [`RuleCache`] handle shared between concurrent users — the paper's
 /// "well known public location" when several sessions on one network hit
-/// it at once. Lookups clone the entry out from under the read lock, so
-/// holders never keep the lock across a replay; publishes take the write
-/// lock briefly. Cloning the handle shares the same underlying store.
+/// it at once. Reads are epoch-style snapshots through a
+/// [`Seqlock`](crate::seqlock::Seqlock): a lookup clones one `Arc`, never
+/// takes a reader lock, and never holds anything across a replay.
+/// Publishes copy the store, insert, and install the copy as the next
+/// generation — rare enough (once per learned network/app) that the
+/// copy is noise next to the ~70 replays the entry saves. Cloning the
+/// handle shares the same underlying store.
 #[derive(Debug, Clone, Default)]
 pub struct SharedRuleCache {
-    inner: Arc<RwLock<RuleCache>>,
+    inner: Arc<crate::seqlock::Seqlock<RuleCache>>,
 }
 
 impl SharedRuleCache {
@@ -259,12 +262,13 @@ impl SharedRuleCache {
     /// store) for concurrent use.
     pub fn from_cache(cache: RuleCache) -> SharedRuleCache {
         SharedRuleCache {
-            inner: Arc::new(RwLock::new(cache)),
+            inner: Arc::new(crate::seqlock::Seqlock::new(cache)),
         }
     }
 
     pub fn publish(&self, network: &str, app: &str, rules: CachedRules) {
-        self.inner.write().publish(network, app, rules);
+        self.inner
+            .update(|store| store.publish(network, app, rules));
     }
 
     pub fn lookup(&self, network: &str, app: &str) -> Option<CachedRules> {
@@ -295,7 +299,7 @@ impl SharedRuleCache {
 
     /// An owned copy of the current store, for redistribution.
     pub fn snapshot(&self) -> RuleCache {
-        self.inner.read().clone()
+        RuleCache::clone(&self.inner.read())
     }
 
     /// [`RuleCache::verify`] against a point-in-time snapshot: the entry

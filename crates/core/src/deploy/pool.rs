@@ -30,8 +30,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
 use liberate_dpi::profiles::EnvKind;
 use liberate_dpi::rules::RuleSet;
 use liberate_obs::{Counter, EventKind, Journal, Phase};
@@ -64,9 +62,16 @@ pub struct PublishedTechnique {
 /// The shared cell holding the current [`PublishedTechnique`]. Cloning
 /// the handle shares the cell; [`PublishedState::snapshot`] is the only
 /// read path and [`PublishedState::publish`] the only write path.
+///
+/// Reads go through a [`Seqlock`](crate::seqlock::Seqlock): N workers
+/// snapshotting per flow never take a reader lock, and the driver's
+/// between-wave publish lands in the idle slot without stalling them.
+/// The seqlock's own generation word moves in lockstep with the
+/// [`PublishedTechnique::generation`] stamp (one completed publish each),
+/// so the two can never disagree.
 #[derive(Debug, Clone, Default)]
 pub struct PublishedState {
-    inner: Arc<RwLock<PublishedTechnique>>,
+    inner: Arc<crate::seqlock::Seqlock<PublishedTechnique>>,
 }
 
 impl PublishedState {
@@ -76,7 +81,7 @@ impl PublishedState {
 
     /// The current generation and technique, as one consistent view.
     pub fn snapshot(&self) -> PublishedTechnique {
-        self.inner.read().clone()
+        PublishedTechnique::clone(&self.inner.read())
     }
 
     pub fn generation(&self) -> u64 {
@@ -86,13 +91,15 @@ impl PublishedState {
     /// Atomically install `evasion` under the next generation; returns
     /// the new generation stamp.
     // lint: allow(generation-discipline: publish) the single sanctioned
-    // writer: the bump happens under the state write lock, and every
-    // other reader goes through snapshot()/generation().
+    // writer: the bump happens inside the seqlock's serialized write
+    // path, and every other reader goes through snapshot()/generation().
     pub fn publish(&self, evasion: Arc<ActiveEvasion>) -> u64 {
-        let mut state = self.inner.write();
-        state.generation += 1;
-        state.evasion = Some(evasion);
-        state.generation
+        // `update` serializes writers, so the bump-and-install is atomic
+        // and the returned seqlock stamp equals the new generation.
+        self.inner.update(move |state| {
+            state.generation += 1;
+            state.evasion = Some(evasion);
+        })
     }
 }
 
@@ -271,6 +278,13 @@ impl<S: Substrate> DeploymentPool<S> {
             run_one_flow(session, trace, user, worker_of(user), &published, &fallback)
         };
         let reports = self.pool.run_wave((0..users).collect(), &exec);
+
+        // Between-wave housekeeping: the wave left one abandoned probe
+        // flow per user in the shared table, and nothing ever looks them
+        // up again — sweep whatever has gone idle in one batched pass
+        // (one lock acquisition per shard) through worker 0, the only
+        // actor while the pool is quiescent.
+        self.pool.session_mut(0).env.reclaim_flows();
 
         // Exactly one re-characterization per acknowledged change: every
         // report in this wave read the same generation (the driver is the

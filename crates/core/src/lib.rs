@@ -62,6 +62,7 @@ pub mod probe;
 pub mod replay;
 pub mod report;
 pub mod schedule;
+pub mod seqlock;
 pub mod sim;
 pub mod socket;
 

@@ -187,8 +187,13 @@ impl Session<SimSubstrate> {
 impl<S: Substrate> Session<S> {
     /// Wrap any substrate as a solo session (the generic counterpart of
     /// [`Session::new`]).
-    pub fn over(env: S, config: LiberateConfig) -> Session<S> {
+    pub fn over(mut env: S, config: LiberateConfig) -> Session<S> {
         let seed = config.seed;
+        // The session's detectors (RS? in evaluate/probe) only ever read
+        // the server-ingress vantage; narrowing the capture there keeps
+        // the other taps from aliasing in-flight buffers, so in-path
+        // mutation (TTL decrements) stays copy-free.
+        env.set_capture_points(&[liberate_substrate::capture::TapPoint::ServerIngress]);
         let session = Session {
             env,
             config,
@@ -208,12 +213,14 @@ impl<S: Substrate> Session<S> {
     /// Wrap any substrate as pool worker `worker` of `workers` (the
     /// generic counterpart of [`Session::worker_from_blueprint`]).
     pub fn worker_over(
-        env: S,
+        mut env: S,
         config: LiberateConfig,
         worker: usize,
         workers: usize,
     ) -> Session<S> {
         let seed = config.seed.wrapping_add(worker as u64);
+        // Same BPF-style capture narrowing as [`Session::over`].
+        env.set_capture_points(&[liberate_substrate::capture::TapPoint::ServerIngress]);
         let session = Session {
             env,
             config,
@@ -318,7 +325,7 @@ impl<S: Substrate> Session<S> {
         let mut handshake_ok = true;
         let mut client_isn = 0u32;
         let mut server_isn = 0u32;
-        let mut inbox_log: Vec<(SimTime, Vec<u8>)> = Vec::new();
+        let mut inbox_log: Vec<(SimTime, liberate_substrate::buf::PacketBuf)> = Vec::new();
 
         let protocol = schedule.protocol.unwrap_or(trace.protocol);
 

@@ -1,0 +1,202 @@
+//! A generation-stamped snapshot cell: seqlock-style reads for state
+//! that is read by every worker on the hot path and written rarely, by
+//! one driver, between waves.
+//!
+//! [`PublishedState`](crate::deploy::pool::PublishedState) and
+//! [`SharedRuleCache`](crate::cache::SharedRuleCache) used to sit behind
+//! an `RwLock`: every flow's snapshot took the read lock, so N workers
+//! serialized on one cache line even though the driver writes at most
+//! once per wave. [`Seqlock`] removes the reader-side lock:
+//!
+//! - A `seq` word carries the generation, doubled; it is **odd** while a
+//!   publish is in flight. Readers load it, pick the slot the current
+//!   generation lives in, clone the `Arc` out, and re-check `seq` — an
+//!   unchanged even value proves the snapshot was fully published.
+//! - Values live in **two slots**, generation `g` in slot `g % 2`. A
+//!   writer installing generation `g+1` only touches the *other* slot, so
+//!   a reader of the current generation never waits on the writer. The
+//!   per-slot mutex is uncontended in the steady state; it only matters
+//!   when a reader has fallen two generations behind, and the re-check
+//!   makes it retry then anyway.
+//! - Writers serialize on a dedicated mutex, bump `seq` to odd, install,
+//!   and bump to the next even value. Generations are therefore exactly
+//!   the number of completed writes — the monotonic stamp the deployment
+//!   pool's "one re-learn per acknowledged change" protocol relies on.
+//!
+//! A torn read is impossible by construction: the value is a single
+//! `Arc` pointer, slots are never written in place for the generation a
+//! reader holds, and the seq re-check catches every interleaving where a
+//! writer lapped the reader.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// The snapshot cell. `T` is the published value; readers get `Arc<T>`
+/// clones, writers install whole new values.
+#[derive(Debug, Default)]
+pub struct Seqlock<T> {
+    /// Generation * 2, odd while a write is in flight.
+    seq: AtomicU64,
+    /// Generation `g`'s value lives in slot `g % 2`.
+    slots: [Mutex<Arc<T>>; 2],
+    /// Serializes writers; readers never touch it.
+    writer: Mutex<()>,
+}
+
+impl<T> Seqlock<T> {
+    pub fn new(initial: T) -> Seqlock<T> {
+        let initial = Arc::new(initial);
+        Seqlock {
+            seq: AtomicU64::new(0),
+            slots: [Mutex::new(Arc::clone(&initial)), Mutex::new(initial)],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Number of completed writes (0 = still the initial value).
+    pub fn generation(&self) -> u64 {
+        // An odd word means generation `(seq+1)/2` is mid-publish; the
+        // last *completed* generation is seq/2 either way.
+        self.seq.load(Ordering::Acquire) / 2
+    }
+
+    /// A consistent snapshot of the current value. Never blocks on a
+    /// writer: retries while a publish is in flight (bounded by the
+    /// writer's two atomic stores and one slot swap), and the slot mutex
+    /// it takes is only ever contended by a writer two generations ahead.
+    pub fn read(&self) -> Arc<T> {
+        loop {
+            let s = self.seq.load(Ordering::Acquire);
+            if s & 1 == 1 {
+                // A publish is in flight; its slot swap is imminent.
+                std::hint::spin_loop();
+                continue;
+            }
+            let slot = ((s / 2) % 2) as usize;
+            let value = Arc::clone(&self.slots[slot].lock());
+            // Unchanged even seq ⇒ the slot still held generation s/2 for
+            // the whole clone: the snapshot is fully published.
+            if self.seq.load(Ordering::Acquire) == s {
+                return value;
+            }
+        }
+    }
+
+    /// Install `value` as the next generation; returns the new generation
+    /// stamp. Writers serialize; readers of the current generation are
+    /// never blocked (the write lands in the other slot).
+    pub fn write(&self, value: T) -> u64 {
+        self.install(Arc::new(value))
+    }
+
+    /// Copy-on-write update: clone the current value, let `f` mutate the
+    /// copy, install it as the next generation. Returns the new stamp.
+    pub fn update(&self, f: impl FnOnce(&mut T)) -> u64
+    where
+        T: Clone,
+    {
+        let _writer = self.writer.lock();
+        let s = self.seq.load(Ordering::Relaxed);
+        let current = ((s / 2) % 2) as usize;
+        let mut fresh = T::clone(&self.slots[current].lock());
+        f(&mut fresh);
+        self.install_locked(s, Arc::new(fresh))
+    }
+
+    fn install(&self, value: Arc<T>) -> u64 {
+        let _writer = self.writer.lock();
+        let s = self.seq.load(Ordering::Relaxed);
+        self.install_locked(s, value)
+    }
+
+    /// The publish protocol; caller holds the writer mutex and `s` is the
+    /// current (even) seq word.
+    fn install_locked(&self, s: u64, value: Arc<T>) -> u64 {
+        let next = s / 2 + 1;
+        // Odd: readers that load now will retry rather than trust a slot
+        // mid-swap.
+        self.seq.store(next * 2 - 1, Ordering::Release);
+        *self.slots[(next % 2) as usize].lock() = value;
+        self.seq.store(next * 2, Ordering::Release);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn initial_value_is_generation_zero() {
+        let cell = Seqlock::new(7u32);
+        assert_eq!(cell.generation(), 0);
+        assert_eq!(*cell.read(), 7);
+    }
+
+    #[test]
+    fn writes_bump_the_generation() {
+        let cell = Seqlock::new(0u32);
+        assert_eq!(cell.write(1), 1);
+        assert_eq!(cell.write(2), 2);
+        assert_eq!(cell.generation(), 2);
+        assert_eq!(*cell.read(), 2);
+    }
+
+    #[test]
+    fn update_clones_and_mutates() {
+        let cell = Seqlock::new(vec![1u8, 2]);
+        let old = cell.read();
+        let gen = cell.update(|v| v.push(3));
+        assert_eq!(gen, 1);
+        assert_eq!(*cell.read(), vec![1, 2, 3]);
+        // The pre-update snapshot is untouched.
+        assert_eq!(*old, vec![1, 2]);
+    }
+
+    /// 8 readers hammer the cell while a writer publishes; every snapshot
+    /// must be internally consistent (a fully-published generation), and
+    /// generations observed by any single reader must be monotone.
+    #[test]
+    fn concurrent_readers_see_only_full_generations() {
+        let cell = Arc::new(Seqlock::new((0u64, vec![0u64; 32])));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..8)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut seen = 0u64;
+                    // `|| seen == 0`: the writer may finish all 500
+                    // publishes before this thread is scheduled; every
+                    // reader still takes at least one snapshot.
+                    while !stop.load(Ordering::Relaxed) || seen == 0 {
+                        let snap = cell.read();
+                        let (gen, ref body) = *snap;
+                        assert!(
+                            body.iter().all(|&b| b == gen),
+                            "torn snapshot: generation {gen} paired with {body:?}"
+                        );
+                        assert!(gen >= last, "generation went backwards");
+                        last = gen;
+                        seen += 1;
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for g in 1..=500u64 {
+            cell.write((g, vec![g; 32]));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader made no progress");
+        }
+        assert_eq!(cell.generation(), 500);
+        assert_eq!(cell.read().0, 500);
+    }
+}

@@ -122,7 +122,7 @@ impl Substrate for SimSubstrate {
         self.env.network.send_from_client(delay, wire);
     }
 
-    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)> {
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, liberate_substrate::buf::PacketBuf)> {
         self.env.network.take_client_inbox()
     }
 
@@ -143,12 +143,22 @@ impl Substrate for SimSubstrate {
         self.env.network.capture.clear();
     }
 
+    fn set_capture_points(&mut self, points: &[liberate_substrate::capture::TapPoint]) {
+        self.env.network.capture.set_recorded_points(points);
+    }
+
     fn journal(&self) -> &Arc<Journal> {
         &self.env.journal
     }
 
     fn set_journal(&mut self, journal: Arc<Journal>) {
         self.env.attach_journal(journal);
+    }
+
+    fn reclaim_flows(&mut self) {
+        if let Some(dpi) = self.env.dpi_mut() {
+            dpi.drain_expired_flows();
+        }
     }
 
     fn billed_bytes(&mut self) -> Option<u64> {

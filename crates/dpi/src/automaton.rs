@@ -56,6 +56,14 @@ pub struct Automaton {
     out: Vec<Box<[u32]>>,
     /// Pattern lengths by pattern id.
     lens: Vec<u32>,
+    /// `root_live[b]` ⇔ byte `b` leaves the root (`delta[0][b] != 0`).
+    /// Dead bytes self-loop at the root with no outputs (the root is the
+    /// empty prefix; only non-empty patterns create states), so while the
+    /// scan sits at the root it can skim them in a tight memchr-style
+    /// loop without touching the transition table. With few patterns
+    /// (single-keyword profiles) almost every byte is dead and the skip
+    /// loop carries the whole scan.
+    root_live: [bool; 256],
 }
 
 impl Automaton {
@@ -116,11 +124,30 @@ impl Automaton {
             }
         }
 
+        let mut root_live = [false; 256];
+        for (b, live) in root_live.iter_mut().enumerate() {
+            *live = delta[0][b] != 0;
+        }
+
         Automaton {
             delta,
             out: ends.into_iter().map(|v| v.into_boxed_slice()).collect(),
             lens: patterns.iter().map(|p| p.len() as u32).collect(),
+            root_live,
         }
+    }
+
+    /// Length of the longest prefix of `bytes` made entirely of bytes
+    /// that keep the automaton at the root. Only valid to skip while the
+    /// current state *is* the root; the skipped bytes produce no
+    /// transitions and no outputs, so callers advance their byte counters
+    /// by the returned amount and the scan stays byte-exact.
+    #[inline]
+    pub fn skip_at_root(&self, bytes: &[u8]) -> usize {
+        bytes
+            .iter()
+            .take_while(|&&b| !self.root_live[b as usize])
+            .count()
     }
 
     /// Number of automaton states (trie nodes incl. the root).
@@ -151,11 +178,19 @@ impl Automaton {
     /// tests.
     pub fn find_first(&self, haystack: &[u8], pid: u32) -> Option<usize> {
         let mut state = 0u32;
-        for (i, &b) in haystack.iter().enumerate() {
-            state = self.step(state, b);
+        let mut i = 0usize;
+        while i < haystack.len() {
+            if state == 0 {
+                i += self.skip_at_root(&haystack[i..]);
+                if i >= haystack.len() {
+                    break;
+                }
+            }
+            state = self.step(state, haystack[i]);
             if self.outputs(state).contains(&pid) {
                 return Some(i + 1 - self.pattern_len(pid) as usize);
             }
+            i += 1;
         }
         None
     }
@@ -254,8 +289,20 @@ impl CompiledRuleSet {
     pub fn feed(&self, scan: &mut StreamScan, bytes: &[u8]) {
         scan.earliest.resize(self.pattern_count(), u64::MAX);
         let mut state = scan.state;
-        for &b in bytes {
-            state = self.automaton.step(state, b);
+        let mut i = 0usize;
+        while i < bytes.len() {
+            // Root fast path: skim bytes that cannot start any pattern.
+            // They count as fed (offset accounting stays byte-exact) but
+            // cost no table lookups.
+            if state == 0 {
+                let skipped = self.automaton.skip_at_root(&bytes[i..]);
+                i += skipped;
+                scan.fed += skipped as u64;
+                if i >= bytes.len() {
+                    break;
+                }
+            }
+            state = self.automaton.step(state, bytes[i]);
             let outs = self.automaton.outputs(state);
             if !outs.is_empty() {
                 for &pid in outs {
@@ -270,6 +317,7 @@ impl CompiledRuleSet {
                 }
             }
             scan.fed += 1;
+            i += 1;
         }
         scan.state = state;
     }
@@ -335,11 +383,19 @@ impl CompiledRuleSet {
         }
         let mut hit = vec![false; self.pattern_count()];
         let mut state = 0u32;
-        for &b in data {
-            state = self.automaton.step(state, b);
+        let mut i = 0usize;
+        while i < data.len() {
+            if state == 0 {
+                i += self.automaton.skip_at_root(&data[i..]);
+                if i >= data.len() {
+                    break;
+                }
+            }
+            state = self.automaton.step(state, data[i]);
             for &pid in self.automaton.outputs(state) {
                 hit[pid as usize] = true;
             }
+            i += 1;
         }
         let first = rules.rules.iter().enumerate().position(|(i, r)| {
             applies(i, r)
@@ -599,6 +655,65 @@ mod tests {
         let (_, scanned) =
             c.first_match_packet(&rules, b"facebook.com", Direction::ClientToServer, 80, None);
         assert_eq!(scanned, 12);
+    }
+
+    #[test]
+    fn skip_loop_finds_patterns_at_every_placement() {
+        // A single-pattern automaton is all skip loop: the pattern at the
+        // start, middle, end, back-to-back, and absent must all resolve
+        // to the same offsets as the naive scanner.
+        let patterns = pats(&[b"needle"]);
+        let a = Automaton::build(&patterns);
+        let dead = vec![b'x'; 500];
+        let mut cases: Vec<Vec<u8>> = vec![
+            b"needle".to_vec(),
+            dead.clone(),
+            Vec::new(),
+            b"needleneedle".to_vec(),
+            // Partial occurrences that fall back to the root mid-pattern.
+            b"neeneedle".to_vec(),
+            b"needl".to_vec(),
+        ];
+        for at in [0usize, 1, 250, 494] {
+            let mut hay = dead.clone();
+            hay[at..at + 6].copy_from_slice(b"needle");
+            cases.push(hay);
+        }
+        for hay in cases {
+            assert_eq!(
+                a.find_first(&hay, 0),
+                matcher::find(&hay, b"needle"),
+                "haystack {hay:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_loop_feed_is_split_invariant_over_dead_bytes() {
+        // Chunk boundaries landing inside skipped runs and inside the
+        // pattern itself must not change the scan's observable state.
+        let rules = RuleSet::new(vec![MatchRule::keyword("n", "c", &b"needle"[..])]);
+        let c = CompiledRuleSet::compile(&rules, None);
+        let mut data = vec![b'.'; 300];
+        data[150..156].copy_from_slice(b"needle");
+
+        let mut whole = StreamScan::default();
+        c.feed(&mut whole, &data);
+
+        for chunk in [1usize, 3, 7, 64, 151, 153] {
+            let mut scan = StreamScan::default();
+            for piece in data.chunks(chunk) {
+                c.feed(&mut scan, piece);
+            }
+            let pid = c.pattern_of_rule(0).unwrap();
+            assert_eq!(scan.fed_bytes(), whole.fed_bytes(), "chunk {chunk}");
+            assert_eq!(
+                scan.earliest_offset(pid),
+                whole.earliest_offset(pid),
+                "chunk {chunk}"
+            );
+            assert_eq!(scan.earliest_offset(pid), Some(150));
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use liberate_netsim::element::{Effects, PathElement, TimedPacket, Verdict};
+use liberate_netsim::element::{CopyTally, Effects, PacketBuf, PathElement, TimedPacket, Verdict};
 use liberate_netsim::shaper::TokenBucket;
 use liberate_netsim::time::SimTime;
 use liberate_obs::{Counter, EventKind, Hist, Journal};
@@ -199,6 +199,24 @@ impl DpiDevice {
         }
     }
 
+    /// Between-wave batch reclamation: evict every flow idle past its
+    /// deadline in one sweep — one lock acquisition per shard instead of
+    /// one per future lookup — and journal the churn (`flows-evicted`
+    /// plus the bytes-scanned histogram) immediately. The deployment
+    /// pool calls this once per wave, while its workers are quiescent.
+    /// Returns the number of flows evicted.
+    pub fn drain_expired_flows(&mut self) -> u64 {
+        let batch = self.table.drain_expired(
+            self.last_seen,
+            &self.config.flow,
+            self.config.resource.as_ref(),
+        );
+        self.flows_evicted_pending += batch.evicted;
+        self.evicted_scanned_pending.extend(batch.scanned);
+        self.sync_flow_metrics();
+        batch.evicted
+    }
+
     /// Fold a finished shard guard's churn into this device's pending
     /// deltas.
     fn absorb_shard_deltas(&mut self, mut shard: crate::sharded::ShardGuard<'_>) {
@@ -274,11 +292,13 @@ impl DpiDevice {
     /// `compiled` selects the implementation: `None` runs the naive
     /// reference rescanner, `Some` streams bytes through the automaton.
     /// Both produce identical verdicts; the parity tests pin this.
+    #[allow(clippy::too_many_arguments)]
     fn inspect(
         entry: &mut FlowEntry,
         config: &DpiConfig,
         compiled: Option<&CompiledRuleSet>,
         pkt: &ParsedPacket,
+        payload: &PacketBuf,
         dir: Direction,
         server_port: u16,
     ) -> (Option<(String, String)>, u64) {
@@ -388,7 +408,10 @@ impl DpiDevice {
                 match compiled {
                     None => {
                         if tracking.window_packets.len() < *window_packets {
-                            tracking.window_packets.push((seq, pkt.payload.clone()));
+                            // The window buffers a view of the in-flight
+                            // wire buffer, not a copy.
+                            // lint: allow(payload-copy) PacketBuf refcount bump
+                            tracking.window_packets.push((seq, payload.clone()));
                         }
                         // Sequence-anchored reassembly of the window, anchored at
                         // the first *arriving* payload packet, first-wins on
@@ -424,7 +447,7 @@ impl DpiDevice {
                         let asm = tracking.window_asm.as_mut().expect("just ensured");
                         if tracking.window_seen < *window_packets {
                             tracking.window_seen += 1;
-                            asm.insert(seq, &pkt.payload);
+                            asm.insert(seq, payload);
                         }
                         let scanned = match asm.drain_new_contiguous() {
                             StreamDelta::Restart(all) => {
@@ -452,7 +475,7 @@ impl DpiDevice {
                     return (None, 0);
                 }
                 let seq = pkt.tcp().map(|t| t.seq).unwrap_or(0);
-                if !tracking.stream.insert(seq, &pkt.payload) {
+                if !tracking.stream.insert(seq, payload) {
                     return (None, 0); // out-of-window or no ISN anchor
                 }
                 match compiled {
@@ -604,7 +627,7 @@ impl DpiDevice {
         ft: &mut FlowTable,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         key: FlowKey,
     ) -> Verdict {
         let canonicalish = key;
@@ -630,14 +653,21 @@ impl DpiDevice {
             .unwrap_or_default();
         self.account(policy.zero_rate, wire.len());
 
-        // Content modification (server direction).
+        // Content modification (server direction). The rewrite builds a
+        // fresh buffer, so it is one of the few sanctioned deep copies on
+        // the forwarding path.
         let mut wire = wire;
         if dir == Direction::ServerToClient {
             if let Some((find, replace)) = &policy.rewrite {
                 if let Some(rewritten) =
                     liberate_packet::mutate::rewrite_tcp_payload(&wire, find, replace)
                 {
-                    wire = rewritten;
+                    if let Some(j) = &self.journal {
+                        j.metrics.add(Counter::PayloadCopies, 1);
+                        j.metrics
+                            .add(Counter::PayloadBytesCopied, rewritten.len() as u64);
+                    }
+                    wire = rewritten.into();
                 }
             }
         }
@@ -684,7 +714,7 @@ impl PathElement for DpiDevice {
         &mut self,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         effects: &mut Effects,
     ) -> Verdict {
         let verdict = self.process_packet(now, dir, wire, effects);
@@ -698,7 +728,7 @@ impl DpiDevice {
         &mut self,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         effects: &mut Effects,
     ) -> Verdict {
         self.last_seen = now;
@@ -720,9 +750,18 @@ impl DpiDevice {
                     if p != liberate_packet::ipv4::protocol::ICMP
             )
         {
-            let mut patched = wire.clone();
-            if patched.len() > 9 {
-                patched[9] = liberate_packet::ipv4::protocol::TCP;
+            if wire.len() > 9 {
+                // lint: allow(payload-copy) PacketBuf refcount bump; the
+                // actual copy happens in make_mut below, which tallies it.
+                let mut patched = wire.clone();
+                let mut tally = CopyTally::default();
+                patched.make_mut(&mut tally)[9] = liberate_packet::ipv4::protocol::TCP;
+                if let Some(j) = &self.journal {
+                    if !tally.is_empty() {
+                        j.metrics.add(Counter::PayloadCopies, tally.copies);
+                        j.metrics.add(Counter::PayloadBytesCopied, tally.bytes);
+                    }
+                }
                 if let Some(as_tcp) = ParsedPacket::parse(&patched) {
                     if as_tcp.tcp().is_some() {
                         pkt = as_tcp;
@@ -791,7 +830,7 @@ impl DpiDevice {
         dir: Direction,
         pkt: &ParsedPacket,
         key: FlowKey,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         effects: &mut Effects,
         server_port: u16,
     ) -> Verdict {
@@ -862,12 +901,25 @@ impl DpiDevice {
 
         if eligible {
             let compiled = self.compiled_rules();
+            // The transport payload is always the tail of the wire buffer
+            // (`ParsedPacket::parse` slices to the end), so this view
+            // aliases the in-flight bytes — inspection and reassembly
+            // buffering never copy them.
+            let payload = wire.slice(wire.len() - pkt.payload.len()..);
             let (matched, scanned) = {
                 let config = &self.config;
                 let entry = ft
                     .lookup(key, now, &config.flow, config.resource.as_ref())
                     .expect("present");
-                Self::inspect(entry, config, compiled.as_deref(), pkt, dir, server_port)
+                Self::inspect(
+                    entry,
+                    config,
+                    compiled.as_deref(),
+                    pkt,
+                    &payload,
+                    dir,
+                    server_port,
+                )
             };
             if scanned > 0 {
                 if let Some(j) = &self.journal {

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use liberate_netsim::element::PacketBuf;
 use liberate_netsim::shaper::TokenBucket;
 use liberate_netsim::time::SimTime;
 use liberate_packet::flow::FlowKey;
@@ -31,8 +32,10 @@ pub enum GateStatus {
 pub struct StreamAssembler {
     /// Client ISN + 1 (sequence number of stream byte 0), from the SYN.
     pub base_seq: Option<u32>,
-    /// Segment payloads keyed by stream byte offset.
-    segments: BTreeMap<u64, Vec<u8>>,
+    /// Segment payloads keyed by stream byte offset. Stored as shared
+    /// [`PacketBuf`] views into the original wire buffers: buffering a
+    /// segment for reassembly is a refcount bump, not a copy.
+    segments: BTreeMap<u64, PacketBuf>,
     /// Cap on buffered stream bytes.
     window_bytes: usize,
     /// Contiguous bytes already handed out by `drain_new_contiguous`.
@@ -67,7 +70,7 @@ impl StreamAssembler {
     /// Insert a segment by TCP sequence number. Returns `false` when the
     /// segment lies outside the assembly window (e.g. a wrong-sequence
     /// inert packet) and was ignored.
-    pub fn insert(&mut self, seq: u32, payload: &[u8]) -> bool {
+    pub fn insert(&mut self, seq: u32, payload: impl Into<PacketBuf>) -> bool {
         let Some(base) = self.base_seq else {
             return false;
         };
@@ -82,7 +85,7 @@ impl StreamAssembler {
         // sequence range (wrong-checksum / missing-ACK evasion, §4.3).
         if let std::collections::btree_map::Entry::Vacant(slot) = self.segments.entry(offset as u64)
         {
-            slot.insert(payload.to_vec());
+            slot.insert(payload.into());
             // A fresh segment under the drained prefix can steal cells
             // from a later-offset segment that currently owns them.
             if (offset as usize) < self.drained {
@@ -170,8 +173,8 @@ pub struct Tracking {
     /// Payload bytes seen server→client.
     pub server_payload_bytes: u64,
     /// Arrival-order payload packets collected for `GatedStream` windows:
-    /// (sequence number, payload).
-    pub window_packets: Vec<(u32, Vec<u8>)>,
+    /// (sequence number, payload view into the original wire buffer).
+    pub window_packets: Vec<(u32, PacketBuf)>,
     /// Sequence-anchored assembler for `FullStream`.
     pub stream: StreamAssembler,
     /// Automaton cursor over `stream`'s drained prefix (`FullStream`
@@ -413,6 +416,57 @@ impl FlowTable {
     /// died since the last drain (see `evicted_scanned_pending`).
     pub fn drain_evicted_scanned(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.evicted_scanned_pending)
+    }
+
+    /// Batch expiry: apply [`FlowTable::lookup`]'s eviction rules to every
+    /// entry in one pass instead of waiting for each flow's next lookup
+    /// (which, for a replay wave's abandoned probe flows, never comes).
+    /// Returns the number of entries evicted; their scanned-byte figures
+    /// land in the same pending buffer lazy eviction feeds.
+    ///
+    /// Sweeps in canonical-key order: `HashMap` iteration order varies run
+    /// to run, and the scanned samples flow into journal output that must
+    /// stay byte-identical for a fixed seed.
+    pub fn sweep_expired(
+        &mut self,
+        now: SimTime,
+        config: &FlowConfig,
+        load: Option<&TimeOfDayLoad>,
+    ) -> u64 {
+        let tracking_timeout = match load {
+            Some(model) => model.eviction_threshold(now),
+            None => config.tracking_timeout,
+        };
+        let mut keys: Vec<FlowKey> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let mut evicted = 0;
+        for key in keys {
+            let Some(entry) = self.entries.get_mut(&key) else {
+                continue;
+            };
+            let idle = now.since(entry.last_activity);
+            if let Some(c) = &entry.classification {
+                if let Some(t) = c.result_timeout {
+                    if idle > t {
+                        entry.classification = None;
+                    }
+                }
+            }
+            if let Some(t) = tracking_timeout {
+                if idle > t {
+                    if let Some(tr) = entry.tracking.take() {
+                        self.evicted_scanned_pending
+                            .push(tr.client_payload_bytes + tr.server_payload_bytes);
+                    }
+                }
+            }
+            if entry.classification.is_none() && entry.tracking.is_none() {
+                self.entries.remove(&key);
+                self.evicted_total += 1;
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// Record a blocked flow toward a server:port and return whether the

@@ -38,6 +38,8 @@ use liberate_netsim::time::SimTime;
 use liberate_packet::flow::FlowKey;
 
 use crate::flowtable::{FlowTable, PenaltyBox};
+use crate::inspect::FlowConfig;
+use crate::resource::TimeOfDayLoad;
 
 /// Default shard count. Small enough that per-table overhead is noise,
 /// large enough that a handful of pool workers rarely collide.
@@ -174,6 +176,29 @@ impl ShardedFlowTable {
         }
     }
 
+    /// Batch-reclaim expired flows on every shard: **one lock acquisition
+    /// per shard** regardless of how many flows die, where the lazy path
+    /// pays one acquisition per future lookup — and a wave's abandoned
+    /// probe flows are never looked up again, so without this they linger
+    /// until the next experiment reset. The deployment pool runs this
+    /// between waves, when its workers are quiescent; each shard's
+    /// scanned-byte samples are drained in the same critical section so
+    /// the caller can feed the bytes-scanned histogram in one batch.
+    pub fn drain_expired(
+        &self,
+        now: SimTime,
+        config: &FlowConfig,
+        load: Option<&TimeOfDayLoad>,
+    ) -> DrainBatch {
+        let mut batch = DrainBatch::default();
+        for idx in 0..self.shards.len() {
+            let mut shard = self.shard_at(idx);
+            batch.evicted += shard.sweep_expired(now, config, load);
+            batch.scanned.extend(shard.drain_evicted_scanned());
+        }
+        batch
+    }
+
     /// Full between-experiment reset: every shard's flows *and* the
     /// cross-shard penalty box. With a pooled table this wipes state for
     /// every session sharing the `Arc`, so workers must be quiescent.
@@ -184,6 +209,19 @@ impl ShardedFlowTable {
         }
         self.penalties.lock().clear();
     }
+}
+
+/// Everything one [`ShardedFlowTable::drain_expired`] sweep reclaimed,
+/// batched across shards so the holder journals it in one pass.
+#[derive(Debug, Default)]
+pub struct DrainBatch {
+    /// Flows evicted across all shards.
+    pub evicted: u64,
+    /// Scanned-byte figures of the evicted flows (plus any samples a
+    /// prior holder left pending), for the bytes-scanned histogram. In
+    /// shard order, canonical-key order within a shard — deterministic
+    /// for a fixed seed.
+    pub scanned: Vec<u64>,
 }
 
 /// A locked shard. Dereferences to the inner [`FlowTable`]; callers that
@@ -348,6 +386,43 @@ mod tests {
         // A fresh guard starts from a zero baseline.
         let guard = table.shard(k);
         assert_eq!(guard.deltas(), (0, 0));
+    }
+
+    #[test]
+    fn drain_expired_matches_lazy_eviction() {
+        // The batched sweep must evict exactly the flows per-lookup lazy
+        // expiry would have, with identical lifetime totals.
+        let cfg = config();
+        let lazy = ShardedFlowTable::new(8);
+        let batched = ShardedFlowTable::new(8);
+        for i in 0..24u16 {
+            let k = key_with_client_port(42_000 + i);
+            // Flows 0..8 idle from t=0 (expired at t=500); the rest stay
+            // fresh at t=450 and must survive.
+            let born = if i < 8 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_secs(450)
+            };
+            lazy.shard(k).create(k, born, 4096);
+            batched.shard(k).create(k, born, 4096);
+        }
+
+        let now = SimTime::from_secs(500);
+        let report = batched.drain_expired(now, &cfg, None);
+        assert_eq!(report.evicted, 8);
+        assert_eq!(report.scanned.len(), 8, "each eviction yields a sample");
+
+        for i in 0..24u16 {
+            let k = key_with_client_port(42_000 + i);
+            lazy.shard(k).lookup(k, now, &cfg, None);
+        }
+        assert_eq!(batched.evicted_total(), lazy.evicted_total());
+        assert_eq!(batched.live_flow_count(), lazy.live_flow_count());
+        assert_eq!(batched.live_flow_count(), 16);
+
+        // Nothing newly idle: a second sweep is a no-op.
+        assert_eq!(batched.drain_expired(now, &cfg, None).evicted, 0);
     }
 
     #[test]

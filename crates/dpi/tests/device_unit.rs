@@ -19,7 +19,7 @@ const S: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
 
 fn feed(dev: &mut DpiDevice, at: SimTime, wire: Vec<u8>) -> Verdict {
     let mut fx = Effects::default();
-    dev.process(at, Direction::ClientToServer, wire, &mut fx)
+    dev.process(at, Direction::ClientToServer, wire.into(), &mut fx)
 }
 
 fn syn(port: u16, seq: u32) -> Vec<u8> {
@@ -206,7 +206,7 @@ fn throttle_delays_server_direction_only() {
         if let Verdict::Forward(out) = dev.process(
             SimTime::from_secs(1),
             Direction::ServerToClient,
-            seg,
+            seg.into(),
             &mut fx,
         ) {
             last = out[0].at;

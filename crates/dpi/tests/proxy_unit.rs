@@ -96,7 +96,7 @@ fn client_rst_tears_down_both_sides() {
     let v = proxy.process(
         SimTime::ZERO,
         Direction::ClientToServer,
-        syn.serialize(),
+        syn.serialize().into(),
         &mut fx,
     );
     assert_eq!(v, Verdict::Drop, "the proxy absorbs the SYN");
@@ -109,7 +109,7 @@ fn client_rst_tears_down_both_sides() {
     let v = proxy.process(
         SimTime::ZERO,
         Direction::ClientToServer,
-        rst.serialize(),
+        rst.serialize().into(),
         &mut fx,
     );
     assert_eq!(v, Verdict::Drop);
@@ -124,7 +124,7 @@ fn client_rst_tears_down_both_sides() {
     let v = proxy.process(
         SimTime::ZERO,
         Direction::ClientToServer,
-        data.serialize(),
+        data.serialize().into(),
         &mut fx,
     );
     assert_eq!(v, Verdict::Drop);
@@ -155,7 +155,7 @@ fn out_of_order_client_segments_are_reassembled_by_the_proxy() {
     let inbox = net.take_client_inbox();
     let echoed: Vec<u8> = inbox
         .iter()
-        .flat_map(|(_, w)| ParsedPacket::parse(w).unwrap().payload)
+        .flat_map(|(_, w)| ParsedPacket::parse(w).unwrap().payload.copy_to_vec())
         .collect();
     assert!(
         echoed
@@ -174,7 +174,7 @@ fn malformed_packets_die_at_the_proxy() {
     let v = proxy.process(
         SimTime::ZERO,
         Direction::ClientToServer,
-        bad.serialize(),
+        bad.serialize().into(),
         &mut fx,
     );
     assert_eq!(v, Verdict::Drop);

@@ -248,7 +248,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_twelve_rules() {
+    fn registry_has_the_thirteen_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -261,6 +261,7 @@ mod tests {
                 "no-panic",
                 "obs-coverage",
                 "overhead-consistency",
+                "payload-copy",
                 "pcap-byte-order",
                 "simtime-monotonicity",
                 "substrate-seam"
@@ -281,7 +282,7 @@ mod tests {
             .map(|n| rule_code(n).expect("every rule has a code"))
             .collect();
         codes.push(rule_code(UNUSED_ALLOW_RULE).unwrap());
-        assert_eq!(codes.len(), 13);
+        assert_eq!(codes.len(), 14);
         let mut deduped = codes.clone();
         deduped.sort();
         deduped.dedup();

@@ -11,6 +11,7 @@ mod guard_across_blocking;
 mod no_panic;
 mod obs_coverage;
 mod overhead_consistency;
+mod payload_copy;
 mod pcap_byte_order;
 mod simtime_monotonicity;
 mod substrate_seam;
@@ -69,6 +70,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(no_panic::NoPanic),
         Box::new(obs_coverage::ObsCoverage),
         Box::new(overhead_consistency::OverheadConsistency),
+        Box::new(payload_copy::PayloadCopy),
         Box::new(pcap_byte_order::PcapByteOrder),
         Box::new(simtime_monotonicity::SimtimeMonotonicity),
         Box::new(substrate_seam::SubstrateSeam),

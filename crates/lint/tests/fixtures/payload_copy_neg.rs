@@ -1,0 +1,25 @@
+// lint-fixture: path=crates/netsim/src/hop.rs
+//! Negative fixture: views, refcount bumps on `buf`-named bindings, an
+//! annotated sanctioned copy, and copies of non-payload data all pass.
+
+fn forward(wire: &PacketBuf) -> PacketBuf {
+    // Range views are the sanctioned way to pass payload along.
+    wire.slice(4..)
+}
+
+fn duplicate(buf: &PacketBuf) -> PacketBuf {
+    // Helpers name PacketBuf parameters `buf`: cloning one is a refcount
+    // bump, not a payload copy.
+    buf.clone()
+}
+
+fn ingest(wire: &PacketBuf) -> Vec<u8> {
+    // lint: allow(payload-copy) endpoint ingestion: the server owns its
+    // copy of the bytes once they leave the wire.
+    wire.to_vec()
+}
+
+fn bookkeeping(rules: &RuleSet, wire: &PacketBuf) -> usize {
+    let _rules = rules.clone();
+    wire.len()
+}

@@ -1,0 +1,17 @@
+// lint-fixture: path=crates/netsim/src/hop.rs
+//! Positive fixture: ad-hoc deep copies of wire payload on the hot path.
+
+fn forward(wire: &PacketBuf) -> Vec<u8> {
+    // A straight deep copy of the wire buffer: the zero-copy invariant
+    // this rule guards.
+    wire.to_vec()
+}
+
+fn duplicate(pkt: &ParsedPacket) {
+    stash(pkt.payload.clone());
+}
+
+fn feed(payload: &[u8]) {
+    let owned = payload.to_vec();
+    consume(owned);
+}

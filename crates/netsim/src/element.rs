@@ -14,6 +14,7 @@ use liberate_packet::flow::Direction;
 
 use crate::time::SimTime;
 
+pub use liberate_substrate::buf::{CopyTally, PacketBuf};
 pub use liberate_substrate::verdict::{Effects, TimedPacket, Verdict};
 
 /// An element on the client-to-server path.
@@ -31,12 +32,14 @@ pub trait PathElement: Send {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 
     /// Process one packet traveling in `dir`. `now` is the element-local
-    /// arrival time.
+    /// arrival time. The wire buffer is a shared [`PacketBuf`] view:
+    /// pass-through elements forward it untouched (a move), mutating
+    /// elements go through [`PacketBuf::make_mut`] copy-on-write.
     fn process(
         &mut self,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         effects: &mut Effects,
     ) -> Verdict;
 

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use liberate_packet::flow::{Direction, FlowKey};
 use liberate_packet::packet::ParsedPacket;
 
-use crate::element::{Effects, PathElement, Verdict};
+use crate::element::{Effects, PacketBuf, PathElement, Verdict};
 use crate::time::SimTime;
 
 /// Tracked per-connection expectations.
@@ -60,7 +60,7 @@ impl PathElement for StatefulFirewall {
         &mut self,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         _effects: &mut Effects,
     ) -> Verdict {
         let Some(pkt) = ParsedPacket::parse(&wire) else {
@@ -143,7 +143,7 @@ mod tests {
 
     fn process(fw: &mut StatefulFirewall, dir: Direction, p: Packet) -> Verdict {
         let mut fx = Effects::default();
-        fw.process(SimTime::ZERO, dir, p.serialize(), &mut fx)
+        fw.process(SimTime::ZERO, dir, p.serialize().into(), &mut fx)
     }
 
     fn open(fw: &mut StatefulFirewall) {

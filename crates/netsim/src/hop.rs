@@ -2,12 +2,14 @@
 //! filtering, and optional in-path fragment normalization.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
+use liberate_obs::{Counter, Journal};
 use liberate_packet::flow::Direction;
 use liberate_packet::fragment::{OverlapPolicy, Reassembler};
 use liberate_packet::ipv4::ParsedIpv4;
 
-use crate::element::{Effects, PathElement, TimedPacket, Verdict};
+use crate::element::{CopyTally, Effects, PacketBuf, PathElement, TimedPacket, Verdict};
 use crate::filter::{FilterPolicy, FragmentHandling};
 use crate::icmp::time_exceeded;
 use crate::time::SimTime;
@@ -30,6 +32,9 @@ pub struct RouterHop {
     pub filtered_count: u64,
     /// Packets dropped due to TTL expiry.
     pub expired_count: u64,
+    /// Journal for copy-on-write accounting (TTL/checksum rewrites on a
+    /// shared buffer fault a counted payload copy).
+    journal: Option<Arc<Journal>>,
 }
 
 impl RouterHop {
@@ -43,6 +48,7 @@ impl RouterHop {
             reassembler: Reassembler::new(OverlapPolicy::FirstWins),
             filtered_count: 0,
             expired_count: 0,
+            journal: None,
         }
     }
 
@@ -122,11 +128,15 @@ impl PathElement for RouterHop {
         true
     }
 
+    fn attach_journal(&mut self, journal: &Arc<Journal>) {
+        self.journal = Some(Arc::clone(journal));
+    }
+
     fn process(
         &mut self,
         now: SimTime,
         dir: Direction,
-        mut wire: Vec<u8>,
+        mut wire: PacketBuf,
         effects: &mut Effects,
     ) -> Verdict {
         let Some(ip) = ParsedIpv4::parse(&wire) else {
@@ -162,17 +172,29 @@ impl PathElement for RouterHop {
             FragmentHandling::Reassemble => {
                 if ip.is_fragment() {
                     match self.reassembler.push(&wire) {
-                        Some(whole) => wire = whole,
+                        Some(whole) => wire = whole.into(),
                         None => return Verdict::Drop, // held for reassembly
                     }
                 }
             }
         }
 
+        // One copy-on-write fault covers both header rewrites; a
+        // uniquely-owned buffer (every hop after the first) is free.
+        let mut tally = CopyTally::default();
+        let buf = wire.make_mut(&mut tally);
         if self.fix_tcp_checksum {
-            Self::repair_tcp_checksum(&mut wire);
+            Self::repair_tcp_checksum(buf);
         }
-        Self::decrement_ttl(&mut wire);
+        Self::decrement_ttl(buf);
+        if let Some(journal) = &self.journal {
+            if !tally.is_empty() {
+                journal.metrics.add(Counter::PayloadCopies, tally.copies);
+                journal
+                    .metrics
+                    .add(Counter::PayloadBytesCopied, tally.bytes);
+            }
+        }
         Verdict::pass(now, wire)
     }
 }
@@ -205,7 +227,12 @@ mod tests {
     fn decrements_ttl_and_fixes_checksum() {
         let mut h = hop();
         let mut fx = Effects::default();
-        match h.process(SimTime::ZERO, Direction::ClientToServer, pkt(10), &mut fx) {
+        match h.process(
+            SimTime::ZERO,
+            Direction::ClientToServer,
+            pkt(10).into(),
+            &mut fx,
+        ) {
             Verdict::Forward(out) => {
                 let p = ParsedPacket::parse(&out[0].wire).unwrap();
                 assert_eq!(p.ip.ttl, 9);
@@ -220,7 +247,12 @@ mod tests {
     fn ttl_expiry_generates_icmp_back() {
         let mut h = hop();
         let mut fx = Effects::default();
-        let verdict = h.process(SimTime::ZERO, Direction::ClientToServer, pkt(1), &mut fx);
+        let verdict = h.process(
+            SimTime::ZERO,
+            Direction::ClientToServer,
+            pkt(1).into(),
+            &mut fx,
+        );
         assert_eq!(verdict, Verdict::Drop);
         assert_eq!(h.expired_count, 1);
         assert_eq!(fx.toward_client.len(), 1);
@@ -233,7 +265,12 @@ mod tests {
         let mut h = hop().silent();
         let mut fx = Effects::default();
         assert_eq!(
-            h.process(SimTime::ZERO, Direction::ClientToServer, pkt(1), &mut fx),
+            h.process(
+                SimTime::ZERO,
+                Direction::ClientToServer,
+                pkt(1).into(),
+                &mut fx
+            ),
             Verdict::Drop
         );
         assert!(fx.is_empty());
@@ -261,7 +298,7 @@ mod tests {
             h.process(
                 SimTime::ZERO,
                 Direction::ClientToServer,
-                bad.serialize(),
+                bad.serialize().into(),
                 &mut fx
             ),
             Verdict::Drop
@@ -294,7 +331,12 @@ mod tests {
         let mut fx = Effects::default();
         for f in &frags {
             assert_eq!(
-                h.process(SimTime::ZERO, Direction::ClientToServer, f.clone(), &mut fx),
+                h.process(
+                    SimTime::ZERO,
+                    Direction::ClientToServer,
+                    f.clone().into(),
+                    &mut fx
+                ),
                 Verdict::Drop
             );
         }
@@ -324,9 +366,12 @@ mod tests {
         let mut fx = Effects::default();
         let mut forwarded = Vec::new();
         for f in &frags {
-            if let Verdict::Forward(out) =
-                h.process(SimTime::ZERO, Direction::ClientToServer, f.clone(), &mut fx)
-            {
+            if let Verdict::Forward(out) = h.process(
+                SimTime::ZERO,
+                Direction::ClientToServer,
+                f.clone().into(),
+                &mut fx,
+            ) {
                 forwarded.extend(out);
             }
         }
@@ -367,7 +412,12 @@ mod checksum_fix_tests {
         let wire = p.serialize();
         assert!(validate_wire(&wire).contains(&Malformation::TcpChecksumWrong));
         let mut fx = Effects::default();
-        match h.process(SimTime::ZERO, Direction::ClientToServer, wire, &mut fx) {
+        match h.process(
+            SimTime::ZERO,
+            Direction::ClientToServer,
+            wire.into(),
+            &mut fx,
+        ) {
             Verdict::Forward(out) => {
                 assert!(!validate_wire(&out[0].wire).contains(&Malformation::TcpChecksumWrong));
             }

@@ -17,7 +17,7 @@ use liberate_obs::{Counter, EventKind, Hist, Journal};
 use liberate_packet::flow::Direction;
 
 use crate::capture::{Capture, TapPoint};
-use crate::element::{Effects, PathElement, TimedPacket, Verdict};
+use crate::element::{Effects, PacketBuf, PathElement, TimedPacket, Verdict};
 use crate::server::ServerHost;
 use crate::time::SimTime;
 
@@ -34,7 +34,7 @@ struct Event {
     /// is delivered to the client.
     pos: usize,
     dir: Direction,
-    wire: Vec<u8>,
+    wire: PacketBuf,
 }
 
 impl PartialEq for Event {
@@ -68,7 +68,7 @@ pub struct Network {
     pub client_addr: Ipv4Addr,
     /// Propagation latency added per element traversal.
     pub hop_latency: Duration,
-    client_inbox: Vec<(SimTime, Vec<u8>)>,
+    client_inbox: Vec<(SimTime, PacketBuf)>,
     pub capture: Capture,
     /// Shared observability journal; every simulator step and injected
     /// packet is counted here (timestamps are SimTime micros, never the
@@ -143,7 +143,7 @@ impl Network {
         self.elements.iter().filter(|e| e.decrements_ttl()).count() as u8
     }
 
-    fn push_event(&mut self, at: SimTime, pos: usize, dir: Direction, wire: Vec<u8>) {
+    fn push_event(&mut self, at: SimTime, pos: usize, dir: Direction, wire: PacketBuf) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.events.push(Event {
@@ -158,6 +158,7 @@ impl Network {
     /// Inject a packet from the client after `delay`.
     pub fn send_from_client(&mut self, delay: Duration, wire: Vec<u8>) {
         let at = self.clock + delay;
+        let wire = PacketBuf::from(wire);
         self.capture.record(at, TapPoint::ClientEgress, &wire);
         self.journal.metrics.incr(Counter::PacketsInjected);
         self.journal.observe(Hist::InjectBytes, wire.len() as u64);
@@ -171,12 +172,12 @@ impl Network {
     }
 
     /// Packets delivered to the client so far.
-    pub fn client_inbox(&self) -> &[(SimTime, Vec<u8>)] {
+    pub fn client_inbox(&self) -> &[(SimTime, PacketBuf)] {
         &self.client_inbox
     }
 
     /// Drain the client inbox.
-    pub fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)> {
+    pub fn take_client_inbox(&mut self) -> Vec<(SimTime, PacketBuf)> {
         std::mem::take(&mut self.client_inbox)
     }
 
@@ -244,7 +245,7 @@ impl Network {
         }
     }
 
-    fn traverse(&mut self, at: SimTime, pos: usize, dir: Direction, wire: Vec<u8>) {
+    fn traverse(&mut self, at: SimTime, pos: usize, dir: Direction, wire: PacketBuf) {
         let mut effects = Effects::default();
         let verdict = self.elements[pos].process(at, dir, wire, &mut effects);
 
@@ -282,10 +283,11 @@ impl Network {
         }
     }
 
-    fn deliver_to_server(&mut self, at: SimTime, wire: Vec<u8>) {
+    fn deliver_to_server(&mut self, at: SimTime, wire: PacketBuf) {
         self.capture.record(at, TapPoint::ServerIngress, &wire);
         self.server.receive(at, &wire);
         for out in self.server.take_outbox() {
+            let out = PacketBuf::from(out);
             self.capture.record(at, TapPoint::ServerEgress, &out);
             let entry = self.elements.len().checked_sub(1).unwrap_or(usize::MAX);
             self.push_event(at + self.hop_latency, entry, Direction::ServerToClient, out);

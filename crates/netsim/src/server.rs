@@ -11,8 +11,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
+use liberate_packet::buf::{PacketBuf, WireBytes};
 use liberate_packet::flow::FlowKey;
 use liberate_packet::fragment::{OverlapPolicy, Reassembler};
+use liberate_packet::ipv4::ParsedIpv4;
 use liberate_packet::packet::{Packet, ParsedPacket, ParsedTransport};
 use liberate_packet::tcp::TcpFlags;
 use liberate_packet::validate::validate_wire;
@@ -98,8 +100,9 @@ struct TcpConn {
     rcv_next: u32,
     /// Next sequence number the server will send.
     snd_next: u32,
-    /// Out-of-order segments keyed by sequence number.
-    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Out-of-order segments keyed by sequence number; shared views of
+    /// the wire buffers they arrived in.
+    ooo: BTreeMap<u32, PacketBuf>,
     /// Total in-order bytes delivered to the app.
     delivered: u64,
 }
@@ -175,19 +178,22 @@ impl ServerHost {
 
     /// Receive one wire packet at the server NIC. `_now` is kept for
     /// symmetry with path elements (the stack itself is time-free).
-    pub fn receive(&mut self, _now: SimTime, wire: &[u8]) {
+    /// Accepts any [`WireBytes`] input; [`PacketBuf`] callers (the wire
+    /// path) are ingested as shared views without copying.
+    pub fn receive<W: WireBytes + ?Sized>(&mut self, _now: SimTime, wire: &W) {
         // IP-level reassembly first: all tested OSes reassemble fragments.
-        let Some(parsed_probe) = ParsedPacket::parse(wire) else {
+        // A header-only probe decides; the full parse happens once below.
+        let Some(ip_probe) = ParsedIpv4::parse(wire.wire()) else {
             self.os_dropped += 1;
             return;
         };
-        let whole: Vec<u8> = if parsed_probe.ip.is_fragment() {
-            match self.reassembler.push(wire) {
-                Some(w) => w,
+        let whole: PacketBuf = if ip_probe.is_fragment() {
+            match self.reassembler.push(wire.wire()) {
+                Some(w) => PacketBuf::from(w),
                 None => return, // awaiting more fragments
             }
         } else {
-            wire.to_vec()
+            wire.tail_view(0)
         };
 
         let defects = validate_wire(&whole);
@@ -245,10 +251,12 @@ impl ServerHost {
         let Some(flow) = FlowKey::from_packet(pkt) else {
             return;
         };
-        let mut data = pkt.payload.clone();
-        if let Some(n) = truncate_to {
-            data.truncate(n);
-        }
+        // A (possibly truncated) view of the datagram bytes — no copy.
+        let data = match truncate_to {
+            Some(n) => pkt.payload.slice(..n.min(pkt.payload.len())),
+            // lint: allow(payload-copy) refcount bump on the shared view
+            None => pkt.payload.clone(),
+        };
         for resp in self.app.on_udp_datagram(flow, &data) {
             let out = Packet::udp(self.addr, flow.src, flow.dst_port, flow.src_port, resp);
             self.outbox.push(out.serialize());
@@ -334,12 +342,14 @@ impl ServerHost {
                 return;
             }
 
-            // Trim any portion before rcv_next (retransmitted overlap).
+            // Trim any portion before rcv_next (retransmitted overlap) by
+            // re-slicing the shared view — no copy.
+            // lint: allow(payload-copy) refcount bump on the shared view
             let mut data = pkt.payload.clone();
             let mut start = seg_seq;
             if seq_lt(seg_seq, conn.rcv_next) {
                 let skip = conn.rcv_next.wrapping_sub(seg_seq) as usize;
-                data.drain(..skip.min(data.len()));
+                data = data.slice(skip.min(data.len())..);
                 start = conn.rcv_next;
             }
             // First-wins against already-buffered out-of-order data.

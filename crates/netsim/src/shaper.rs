@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use liberate_packet::flow::Direction;
 
-use crate::element::{Effects, PathElement, TimedPacket, Verdict};
+use crate::element::{Effects, PacketBuf, PathElement, TimedPacket, Verdict};
 use crate::time::SimTime;
 
 /// A byte-based token bucket. Tokens accrue at `rate_bps / 8` bytes per
@@ -89,7 +89,7 @@ impl PathElement for LinkShaper {
         &mut self,
         now: SimTime,
         dir: Direction,
-        wire: Vec<u8>,
+        wire: PacketBuf,
         _effects: &mut Effects,
     ) -> Verdict {
         let bucket = match dir {
@@ -149,7 +149,7 @@ mod tests {
         let v = s.process(
             SimTime::ZERO,
             Direction::ClientToServer,
-            vec![0; 100],
+            vec![0; 100].into(),
             &mut fx,
         );
         match v {
@@ -160,7 +160,7 @@ mod tests {
         let v = s.process(
             SimTime::ZERO,
             Direction::ServerToClient,
-            vec![0; 100],
+            vec![0; 100].into(),
             &mut fx,
         );
         match v {

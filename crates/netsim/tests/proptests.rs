@@ -54,7 +54,7 @@ proptest! {
         if corrupt {
             p.ip.checksum = ChecksumSpec::Fixed(0x0bad);
         }
-        let mut wire = p.serialize();
+        let mut wire: liberate_netsim::element::PacketBuf = p.serialize().into();
         let mut fx = Effects::default();
         for i in 0..hops {
             let mut hop = RouterHop::transparent(

@@ -50,10 +50,16 @@ pub enum Counter {
     FallbackParks,
     /// Rule-set hot swaps applied to a DPI device mid-deployment.
     RuleSwaps,
+    /// Deep copies of wire/payload buffers on the packet hot path
+    /// (copy-on-write faults and the few remaining sanctioned copies).
+    /// Paired with [`Counter::PayloadBytesCopied`] for volume.
+    PayloadCopies,
+    /// Bytes materialized by those payload copies.
+    PayloadBytesCopied,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PacketsStepped,
         Counter::PacketsInjected,
         Counter::FlowsCreated,
@@ -72,6 +78,8 @@ impl Counter {
         Counter::RecharacterizeWaves,
         Counter::FallbackParks,
         Counter::RuleSwaps,
+        Counter::PayloadCopies,
+        Counter::PayloadBytesCopied,
     ];
 
     pub fn name(self) -> &'static str {
@@ -94,6 +102,8 @@ impl Counter {
             Counter::RecharacterizeWaves => "recharacterize-waves",
             Counter::FallbackParks => "fallback-parks",
             Counter::RuleSwaps => "rule-swaps",
+            Counter::PayloadCopies => "payload-copies",
+            Counter::PayloadBytesCopied => "payload-bytes-copied",
         }
     }
 }

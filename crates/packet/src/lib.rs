@@ -31,6 +31,7 @@
 //! assert!(defects.contains(&Malformation::TcpChecksumWrong));
 //! ```
 
+pub mod buf;
 pub mod checksum;
 pub mod flow;
 pub mod fragment;
@@ -44,6 +45,7 @@ pub mod validate;
 
 /// Convenient glob import of the types used everywhere.
 pub mod prelude {
+    pub use crate::buf::{CopyTally, PacketBuf, WireBytes};
     pub use crate::checksum::ChecksumSpec;
     pub use crate::flow::{Direction, FlowKey};
     pub use crate::fragment::{fragment_packet, OverlapPolicy, Reassembler};

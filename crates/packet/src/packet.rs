@@ -8,6 +8,7 @@
 
 use std::net::Ipv4Addr;
 
+use crate::buf::{PacketBuf, WireBytes};
 use crate::ipv4::{protocol, Ipv4Header, ParsedIpv4};
 use crate::tcp::{ParsedTcp, TcpFlags, TcpHeader};
 use crate::udp::{ParsedUdp, UdpHeader};
@@ -124,8 +125,10 @@ pub enum ParsedTransport {
 pub struct ParsedPacket {
     pub ip: ParsedIpv4,
     pub transport: ParsedTransport,
-    /// Transport payload bytes actually present in the buffer.
-    pub payload: Vec<u8>,
+    /// Transport payload bytes actually present in the buffer — a shared
+    /// view of the wire buffer when parsed from a [`PacketBuf`], never a
+    /// copy.
+    pub payload: PacketBuf,
     /// The full wire bytes this view was parsed from.
     pub wire_len: usize,
 }
@@ -133,9 +136,15 @@ pub struct ParsedPacket {
 impl ParsedPacket {
     /// Parse wire bytes. Returns `None` only when there is no usable IPv4
     /// fixed header at all.
-    pub fn parse(buf: &[u8]) -> Option<ParsedPacket> {
+    ///
+    /// Accepts any [`WireBytes`] input: parsing a [`PacketBuf`] yields a
+    /// zero-copy payload view sharing the wire buffer; raw slices and
+    /// `Vec<u8>` inputs (tests, legacy callers) materialize the payload.
+    pub fn parse<W: WireBytes + ?Sized>(input: &W) -> Option<ParsedPacket> {
+        let buf = input.wire();
         let ip = ParsedIpv4::parse(buf)?;
-        let body = &buf[ip.payload_offset.min(buf.len())..];
+        let body_start = ip.payload_offset.min(buf.len());
+        let body = &buf[body_start..];
         // Fragments with non-zero offset carry raw payload, not a transport
         // header.
         let transport = if ip.fragment_offset > 0 {
@@ -153,15 +162,16 @@ impl ParsedPacket {
                 other => ParsedTransport::Other(other),
             }
         };
-        let payload = match &transport {
-            ParsedTransport::Tcp(t) => body[t.payload_offset.min(body.len())..].to_vec(),
-            ParsedTransport::Udp(_) => body[crate::udp::UDP_HEADER_LEN.min(body.len())..].to_vec(),
-            ParsedTransport::Other(_) => body.to_vec(),
-        };
+        let payload_start = body_start
+            + match &transport {
+                ParsedTransport::Tcp(t) => t.payload_offset.min(body.len()),
+                ParsedTransport::Udp(_) => crate::udp::UDP_HEADER_LEN.min(body.len()),
+                ParsedTransport::Other(_) => 0,
+            };
         Some(ParsedPacket {
             ip,
             transport,
-            payload,
+            payload: input.tail_view(payload_start),
             wire_len: buf.len(),
         })
     }

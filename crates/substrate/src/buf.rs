@@ -1,0 +1,6 @@
+//! Zero-copy wire buffers — moved to the bottom-of-stack
+//! `liberate-packet` crate so the tolerant parsers can hand out payload
+//! views that share the wire buffer; re-exported here so substrate-facing
+//! code keeps its paths.
+
+pub use liberate_packet::buf::*;

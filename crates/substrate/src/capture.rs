@@ -8,6 +8,7 @@
 
 use liberate_packet::pcap::{write_pcap, CapturedPacket};
 
+use crate::buf::PacketBuf;
 use crate::time::SimTime;
 
 /// Where on the path a packet was observed.
@@ -23,26 +24,77 @@ pub enum TapPoint {
     ServerEgress,
 }
 
-/// One captured packet.
+impl TapPoint {
+    /// All four tap points, in declaration order.
+    pub const ALL: [TapPoint; 4] = [
+        TapPoint::ClientEgress,
+        TapPoint::ClientIngress,
+        TapPoint::ServerIngress,
+        TapPoint::ServerEgress,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TapPoint::ClientEgress => 0,
+            TapPoint::ClientIngress => 1,
+            TapPoint::ServerIngress => 2,
+            TapPoint::ServerEgress => 3,
+        }
+    }
+}
+
+/// One captured packet. The wire bytes are a shared [`PacketBuf`] view:
+/// recording a packet at a tap refcounts the in-flight buffer instead of
+/// copying it (the buffer is immutable once recorded — in-path mutation
+/// goes through copy-on-write, so taps keep the bytes they saw).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaptureRecord {
     pub at: SimTime,
     pub point: TapPoint,
-    pub wire: Vec<u8>,
+    pub wire: PacketBuf,
 }
 
 /// An in-memory capture buffer.
-#[derive(Debug, Default)]
+///
+/// Records every tap point by default. Like a real capture with a BPF
+/// filter, recording can be narrowed to the points a caller's detectors
+/// actually read ([`Capture::set_recorded_points`]) — a skipped tap
+/// holds no reference to the in-flight buffer, so downstream in-path
+/// mutation (TTL decrements at hops) stays in-place instead of faulting
+/// a copy-on-write.
+#[derive(Debug)]
 pub struct Capture {
     records: Vec<CaptureRecord>,
+    enabled: [bool; 4],
+}
+
+impl Default for Capture {
+    fn default() -> Capture {
+        Capture {
+            records: Vec::new(),
+            enabled: [true; 4],
+        }
+    }
 }
 
 impl Capture {
-    pub fn record(&mut self, at: SimTime, point: TapPoint, wire: &[u8]) {
+    /// Record only the given tap points from now on; everything else is
+    /// dropped at the tap. Does not discard already-buffered records.
+    pub fn set_recorded_points(&mut self, points: &[TapPoint]) {
+        self.enabled = [false; 4];
+        for p in points {
+            self.enabled[p.index()] = true;
+        }
+    }
+
+    pub fn record(&mut self, at: SimTime, point: TapPoint, buf: impl Into<PacketBuf>) {
+        if !self.enabled[point.index()] {
+            return;
+        }
         self.records.push(CaptureRecord {
             at,
             point,
-            wire: wire.to_vec(),
+            wire: buf.into(),
         });
     }
 
@@ -72,13 +124,14 @@ impl Capture {
         self.records.is_empty()
     }
 
-    /// Export one tap point as a pcap byte buffer.
+    /// Export one tap point as a pcap byte buffer. The per-record
+    /// materialization is a sanctioned egress copy.
     pub fn to_pcap(&self, point: TapPoint) -> Vec<u8> {
         let packets: Vec<CapturedPacket> = self
             .at(point)
             .map(|r| CapturedPacket {
                 timestamp_micros: r.at.as_micros(),
-                bytes: r.wire.clone(),
+                bytes: r.wire.copy_to_vec(),
             })
             .collect();
         let mut out = Vec::new();

@@ -19,6 +19,7 @@
 //! [`capture::Capture`], [`icmp::IcmpError`], [`stats::ThroughputMeter`],
 //! and the scripted replay server ([`script`]).
 
+pub mod buf;
 pub mod capture;
 pub mod icmp;
 pub mod nft;
@@ -77,8 +78,9 @@ pub trait Substrate: Send {
     /// Inject one raw wire packet from the client after `delay`.
     fn inject_client(&mut self, delay: Duration, wire: Vec<u8>);
 
-    /// Drain the packets delivered to the client so far.
-    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)>;
+    /// Drain the packets delivered to the client so far. Buffers are
+    /// shared views ([`buf::PacketBuf`]); callers parse or copy as needed.
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, buf::PacketBuf)>;
 
     /// Install the scripted replay server for the next flow, returning
     /// the observation handle the replay engine reads afterwards.
@@ -90,11 +92,25 @@ pub trait Substrate: Send {
     /// Clear the capture buffer between replays.
     fn clear_capture(&mut self);
 
+    /// Narrow the capture to the given tap points (a BPF-style filter).
+    /// A skipped tap holds no reference to in-flight buffers, keeping
+    /// downstream in-path mutation copy-free. Default: no-op (record
+    /// everything).
+    fn set_capture_points(&mut self, _points: &[crate::capture::TapPoint]) {}
+
     /// The observability journal this backend writes into.
     fn journal(&self) -> &Arc<Journal>;
 
     /// Replace the journal (e.g. to share one across sessions).
     fn set_journal(&mut self, journal: Arc<Journal>);
+
+    /// Between-wave housekeeping: batch-reclaim whatever flow state the
+    /// backend's classifier has let go idle. The deployment pool calls
+    /// this once per wave, when its workers are quiescent, so a wave's
+    /// abandoned flows are swept in one pass instead of bleeding out one
+    /// lazy eviction per future lookup. Backends with no reclaimable
+    /// state do nothing.
+    fn reclaim_flows(&mut self) {}
 
     /// The middlebox's billed-byte counter, when the backend exposes one
     /// (the §5.3 zero-rating side channel). `None` means no counter is
@@ -129,7 +145,7 @@ impl Substrate for Box<dyn Substrate> {
     fn inject_client(&mut self, delay: Duration, wire: Vec<u8>) {
         (**self).inject_client(delay, wire)
     }
-    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)> {
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, buf::PacketBuf)> {
         (**self).take_client_inbox()
     }
     fn install_server_script(&mut self, script: ServerScript) -> Arc<Mutex<ServerObs>> {
@@ -141,11 +157,17 @@ impl Substrate for Box<dyn Substrate> {
     fn clear_capture(&mut self) {
         (**self).clear_capture()
     }
+    fn set_capture_points(&mut self, points: &[crate::capture::TapPoint]) {
+        (**self).set_capture_points(points)
+    }
     fn journal(&self) -> &Arc<Journal> {
         (**self).journal()
     }
     fn set_journal(&mut self, journal: Arc<Journal>) {
         (**self).set_journal(journal)
+    }
+    fn reclaim_flows(&mut self) {
+        (**self).reclaim_flows()
     }
     fn billed_bytes(&mut self) -> Option<u64> {
         (**self).billed_bytes()
@@ -156,6 +178,7 @@ impl Substrate for Box<dyn Substrate> {
 }
 
 pub mod prelude {
+    pub use crate::buf::{CopyTally, PacketBuf};
     pub use crate::capture::{Capture, CaptureRecord, TapPoint};
     pub use crate::icmp::{parse_icmp_error, IcmpError};
     pub use crate::nft::{NftSubstrate, RecordingSink, RuleProgramSink, WireRuleset};

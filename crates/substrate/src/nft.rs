@@ -409,7 +409,7 @@ pub struct NftSubstrate {
     clock: SimTime,
     capture: Capture,
     journal: Arc<Journal>,
-    inbox: Vec<(SimTime, Vec<u8>)>,
+    inbox: Vec<(SimTime, crate::buf::PacketBuf)>,
     engine: Option<ScriptEngine>,
     conns: HashMap<FlowKey, WireConn>,
     flow_class: HashMap<FlowKey, String>,
@@ -518,6 +518,7 @@ impl NftSubstrate {
     }
 
     fn push_inbox(&mut self, at: SimTime, wire: Vec<u8>) {
+        let wire = crate::buf::PacketBuf::from(wire);
         self.capture.record(at, TapPoint::ClientIngress, &wire);
         self.inbox.push((at, wire));
     }
@@ -750,7 +751,7 @@ impl Substrate for NftSubstrate {
         }
     }
 
-    fn take_client_inbox(&mut self) -> Vec<(SimTime, Vec<u8>)> {
+    fn take_client_inbox(&mut self) -> Vec<(SimTime, crate::buf::PacketBuf)> {
         std::mem::take(&mut self.inbox)
     }
 
@@ -766,6 +767,10 @@ impl Substrate for NftSubstrate {
 
     fn clear_capture(&mut self) {
         self.capture.clear();
+    }
+
+    fn set_capture_points(&mut self, points: &[TapPoint]) {
+        self.capture.set_recorded_points(points);
     }
 
     fn journal(&self) -> &Arc<Journal> {

@@ -94,6 +94,8 @@ impl ScriptEngine {
         while shared.responses_sent < self.script.udp_script.len() {
             let (needed, payload) = &self.script.udp_script[shared.responses_sent];
             if count >= *needed {
+                // lint: allow(payload-copy) script-owned response bytes,
+                // not wire payload: each send needs its own Vec.
                 out.push(payload.clone());
                 shared.responses_sent += 1;
             } else {

@@ -9,18 +9,24 @@
 
 use liberate_packet::flow::Direction;
 
+use crate::buf::PacketBuf;
 use crate::time::SimTime;
 
-/// A packet scheduled for (re)transmission at a given instant.
+/// A packet scheduled for (re)transmission at a given instant. The wire
+/// bytes are a shared [`PacketBuf`] view: forwarding and duplicating a
+/// packet moves or refcounts the buffer, never copies it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedPacket {
     pub at: SimTime,
-    pub wire: Vec<u8>,
+    pub wire: PacketBuf,
 }
 
 impl TimedPacket {
-    pub fn now(at: SimTime, wire: Vec<u8>) -> TimedPacket {
-        TimedPacket { at, wire }
+    pub fn now(at: SimTime, wire: impl Into<PacketBuf>) -> TimedPacket {
+        TimedPacket {
+            at,
+            wire: wire.into(),
+        }
     }
 }
 
@@ -38,7 +44,7 @@ pub enum Verdict {
 
 impl Verdict {
     /// Forward a single packet immediately.
-    pub fn pass(now: SimTime, wire: Vec<u8>) -> Verdict {
+    pub fn pass(now: SimTime, wire: impl Into<PacketBuf>) -> Verdict {
         Verdict::Forward(vec![TimedPacket::now(now, wire)])
     }
 }

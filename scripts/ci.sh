@@ -71,6 +71,13 @@ say "exp-matcher (matcher parity + speedup gate, regenerates results/BENCH_match
 # no slower than the naive matcher on the largest synthetic trace.
 cargo run --release -q -p liberate-bench --bin exp-matcher >/dev/null
 
+say "exp-hotpath (hot-path gates, regenerates results/BENCH_hotpath.json)"
+# Asserts internally: payload deep-copies per replay fall >= 5x with
+# shared buffers on (vs the eager-copy baseline), the automaton holds
+# every profile at every trace size (<= 1.05x naive), and steady-wave
+# host cost stays flat from 1 to 4 workers (<= 1.05x).
+cargo run --release -q -p liberate-bench --bin exp-hotpath >/dev/null
+
 say "exp-obs (tracing-overhead gate, regenerates results/BENCH_obs.json)"
 # Asserts internally: journal-on vs journal-off overhead under 10% host
 # wall-clock (LIBERATE_OBS_BUDGET_PCT overrides) and byte-identical
@@ -87,7 +94,8 @@ cargo test -q --test nft_fixtures
 
 say "bench history (results/BENCH_history.jsonl, exact repeats dedup)"
 for bench in results/BENCH_obs.json results/BENCH_parallel.json \
-    results/BENCH_deploy.json results/BENCH_matcher.json; do
+    results/BENCH_deploy.json results/BENCH_matcher.json \
+    results/BENCH_hotpath.json; do
     [ -f "$bench" ] || continue
     ./target/release/obs-query bench-history "$bench" results/BENCH_history.jsonl
 done

@@ -64,9 +64,10 @@ fn concurrent_lookup_counters_are_exact() {
 }
 
 /// Publish/lookup staleness race: while one thread re-publishes an entry
-/// with ever-newer markers, readers must only ever observe complete
+/// with ever-newer markers, 8 readers must only ever observe complete
 /// entries (marker fields agree) with markers that never go backwards —
-/// an entry is replaced atomically or not at all.
+/// an entry is replaced atomically or not at all. Readers go through the
+/// seqlock snapshot path, so this doubles as its torn-read gate.
 #[test]
 fn republish_race_never_tears_an_entry() {
     const PUBLISHES: u64 = 2_000;
@@ -75,7 +76,7 @@ fn republish_race_never_tears_an_entry() {
     cache.publish("net", "app", entry(0));
 
     std::thread::scope(|scope| {
-        for _ in 0..4 {
+        for _ in 0..8 {
             let cache = cache.clone();
             scope.spawn(move || {
                 let mut last = 0u64;

@@ -333,3 +333,63 @@ fn same_seed_deployment_journals_are_byte_identical() {
     validate_jsonl(&a).expect("merged deployment journal is valid JSONL");
     assert_eq!(a, b, "same seed must replay to byte-identical journals");
 }
+
+/// (f) The seqlock contention property at the API level: 8 reader
+/// threads hammering `PublishedState` while a writer publishes 500
+/// generations observe only fully-published states — the generation
+/// stamp always agrees with the marker baked into the technique it is
+/// paired with, and no reader's view ever goes backwards.
+#[test]
+fn published_state_readers_never_see_torn_generations() {
+    const PUBLISHES: u64 = 500;
+
+    // An evasion whose `rounds` field carries the generation it was
+    // published under; a torn snapshot would pair generation g with a
+    // marker != g.
+    let marked = |generation: u64| {
+        let technique = Technique::InertLowTtl;
+        Arc::new(liberate::deploy::ActiveEvasion {
+            technique: liberate::evaluate::TechniqueResult {
+                technique: technique.clone(),
+                cc: Some(false),
+                rs: Reach::No,
+                app_intact: true,
+                rounds: generation,
+                effective: technique,
+            },
+            ctx: liberate::evasion::EvasionContext::blind(Vec::new(), 2),
+            signal: Signal::Readout,
+        })
+    };
+
+    let published = PublishedState::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let published = published.clone();
+            scope.spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let snap = published.snapshot();
+                    match &snap.evasion {
+                        None => {
+                            assert_eq!(snap.generation, 0, "an empty cell can only be generation 0")
+                        }
+                        Some(e) => assert_eq!(
+                            e.technique.rounds, snap.generation,
+                            "torn snapshot: generation paired with a foreign technique"
+                        ),
+                    }
+                    assert!(snap.generation >= last, "generation went backwards");
+                    last = snap.generation;
+                    if last >= PUBLISHES {
+                        break;
+                    }
+                }
+            });
+        }
+        for g in 1..=PUBLISHES {
+            assert_eq!(published.publish(marked(g)), g, "publish stamps are exact");
+        }
+    });
+    assert_eq!(published.generation(), PUBLISHES);
+}

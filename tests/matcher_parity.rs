@@ -218,8 +218,8 @@ fn assert_device_parity(profile: &str, config: DpiConfig) {
             let at = SimTime::from_secs(secs);
             let mut fx_n = Effects::default();
             let mut fx_a = Effects::default();
-            let v_n = naive.process(at, dir, wire.clone(), &mut fx_n);
-            let v_a = auto.process(at, dir, wire, &mut fx_a);
+            let v_n = naive.process(at, dir, wire.clone().into(), &mut fx_n);
+            let v_a = auto.process(at, dir, wire.into(), &mut fx_a);
             assert_eq!(v_n, v_a, "{profile}/{name}: verdict diverges at packet {i}");
             assert_eq!(
                 format!("{fx_n:?}"),

@@ -65,7 +65,7 @@ proptest! {
                 } else {
                     Direction::ServerToClient
                 };
-                let _ = dev.process(SimTime::from_micros(i as u64), dir, wire.clone(), &mut fx);
+                let _ = dev.process(SimTime::from_micros(i as u64), dir, wire.clone().into(), &mut fx);
             }
         }
     }
@@ -82,7 +82,7 @@ proptest! {
             } else {
                 Direction::ServerToClient
             };
-            let _ = proxy.process(SimTime::from_micros(i as u64), dir, wire.clone(), &mut fx);
+            let _ = proxy.process(SimTime::from_micros(i as u64), dir, wire.clone().into(), &mut fx);
         }
     }
 
@@ -105,8 +105,8 @@ proptest! {
         for (i, wire) in packets.iter().enumerate() {
             let t = SimTime::from_micros(i as u64);
             server.receive(t, wire);
-            let _ = hop.process(t, Direction::ClientToServer, wire.clone(), &mut fx);
-            let _ = firewall.process(t, Direction::ServerToClient, wire.clone(), &mut fx);
+            let _ = hop.process(t, Direction::ClientToServer, wire.clone().into(), &mut fx);
+            let _ = firewall.process(t, Direction::ServerToClient, wire.clone().into(), &mut fx);
         }
     }
 }
