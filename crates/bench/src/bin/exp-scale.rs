@@ -1,0 +1,310 @@
+//! **Reactor scale benchmark**: how many concurrent deployed flows one
+//! pool can hold in flight. Drives waves of up to 100k+ simultaneous
+//! users through a `DeploymentPool` on the event-driven reactor engine
+//! (`Engine::Reactor`) at 1/2/4 workers, recording throughput
+//! (flows/sec), simulated wall-clock, and peak-RSS-per-flow curves to
+//! `results/BENCH_scale.json`.
+//!
+//! Each user in a wave is a resumable `FlowTask` on its own lane — no OS
+//! thread, no session clone — so the marginal cost of a flow is one task
+//! slot plus its parked timer, and memory must grow *sub-linearly in
+//! aggregate* (fixed pool overhead amortizes) with a bounded per-flow
+//! increment. Both are gated here:
+//!
+//! - every flow in the big wave must complete and report;
+//! - marginal peak RSS per flow (VmHWM delta across the wave) must stay
+//!   under `--max-bytes-per-flow` (default 64 KiB).
+//!
+//! Run with: `cargo run --release -p liberate-bench --bin exp-scale`
+//! CI runs a reduced count: `exp-scale --flows 20000`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use liberate::prelude::*;
+use liberate::report::Json;
+use liberate_obs::{Counter, Journal};
+use liberate_traces::recorded::{RecordedTrace, Sender, TraceProtocol};
+
+/// A one-request page fetch the GFC model RST-blocks on its
+/// `economist.com` keyword: a crisp Blocking signal over a handful of
+/// packets, so a wave's footprint measures the reactor's per-flow cost,
+/// not bulk payload transfer (the full `apps::economist_http()` page is
+/// 64 KB — two orders of magnitude more wire bytes than the signal
+/// needs).
+fn blocked_page() -> RecordedTrace {
+    let mut t = RecordedTrace::new("economist.com", TraceProtocol::Tcp, 80);
+    t.push_stream(
+        Sender::Client,
+        b"GET /weeklyedition HTTP/1.1\r\nHost: www.economist.com\r\nUser-Agent: Mozilla/5.0\r\nAccept: */*\r\n\r\n",
+    );
+    let body = vec![b'x'; 1_000];
+    let mut response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    response.extend_from_slice(&body);
+    t.push_stream(Sender::Server, &response);
+    t
+}
+
+/// `VmHWM` (peak resident set) in kilobytes, from `/proc/self/status`.
+/// `None` off Linux — the memory gates are skipped there.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct WaveStats {
+    workers: usize,
+    flows: usize,
+    host_ms: u64,
+    flows_per_sec: f64,
+    sim_us: u64,
+    rss_before_kb: Option<u64>,
+    rss_after_kb: Option<u64>,
+    bytes_per_flow: Option<u64>,
+    tasks_admitted: u64,
+    reactor_ticks: u64,
+    timer_fires: u64,
+}
+
+impl WaveStats {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, |v| Json::n(v as f64));
+        Json::Obj(vec![
+            ("workers".into(), Json::n(self.workers as f64)),
+            ("flows".into(), Json::n(self.flows as f64)),
+            ("host_ms".into(), Json::n(self.host_ms as f64)),
+            (
+                "flows_per_sec".into(),
+                Json::Num((self.flows_per_sec * 10.0).round() / 10.0),
+            ),
+            ("sim_us".into(), Json::n(self.sim_us as f64)),
+            ("peak_rss_before_kb".into(), opt(self.rss_before_kb)),
+            ("peak_rss_after_kb".into(), opt(self.rss_after_kb)),
+            ("bytes_per_flow".into(), opt(self.bytes_per_flow)),
+            ("tasks_admitted".into(), Json::n(self.tasks_admitted as f64)),
+            ("reactor_ticks".into(), Json::n(self.reactor_ticks as f64)),
+            ("timer_fires".into(), Json::n(self.timer_fires as f64)),
+        ])
+    }
+}
+
+/// One deployment wave of `flows` users; journals are off (counters
+/// stay live), so the measurement is the reactor, not the tracer.
+fn run_wave(
+    pool: &mut DeploymentPool,
+    trace: &liberate_traces::recorded::RecordedTrace,
+    flows: usize,
+) -> WaveStats {
+    let workers = pool.workers();
+    let before = pool
+        .pool_mut()
+        .reactor_telemetry()
+        .metrics
+        .get(Counter::ReactorTicks);
+    let admitted_before = pool
+        .pool_mut()
+        .reactor_telemetry()
+        .metrics
+        .get(Counter::ReactorTasksAdmitted);
+    let fires_before = pool
+        .pool_mut()
+        .reactor_telemetry()
+        .metrics
+        .get(Counter::ReactorTimerFires);
+    let rss_before_kb = peak_rss_kb();
+
+    let t0 = Instant::now();
+    let wave = pool.run_flows(trace, flows).expect("deployment wave");
+    let host_ms = t0.elapsed().as_millis() as u64;
+
+    assert_eq!(wave.reports.len(), flows, "every flow must report");
+    assert!(
+        wave.all_evaded(),
+        "a steady-state wave must carry every user's traffic"
+    );
+
+    let rss_after_kb = peak_rss_kb();
+    let sim_us = pool
+        .pool_mut()
+        .sessions()
+        .iter()
+        .map(|s| s.env.network.clock.as_micros())
+        .max()
+        .unwrap_or(0);
+    let telemetry = pool.pool_mut().reactor_telemetry().clone();
+    let tasks_admitted = telemetry.metrics.get(Counter::ReactorTasksAdmitted) - admitted_before;
+    assert_eq!(
+        tasks_admitted, flows as u64,
+        "every flow must run as a reactor task (not the threads fallback)"
+    );
+
+    WaveStats {
+        workers,
+        flows,
+        host_ms,
+        flows_per_sec: flows as f64 / (host_ms.max(1) as f64 / 1_000.0),
+        sim_us,
+        rss_before_kb,
+        rss_after_kb,
+        bytes_per_flow: rss_before_kb
+            .zip(rss_after_kb)
+            .map(|(b, a)| a.saturating_sub(b) * 1_024 / flows.max(1) as u64),
+        tasks_admitted,
+        reactor_ticks: telemetry.metrics.get(Counter::ReactorTicks) - before,
+        timer_fires: telemetry.metrics.get(Counter::ReactorTimerFires) - fires_before,
+    }
+}
+
+fn scale_pool(workers: usize) -> DeploymentPool {
+    let sessions = SessionPool::new(
+        EnvKind::Gfc,
+        OsKind::Linux,
+        LiberateConfig::default(),
+        workers,
+    )
+    .with_engine(Engine::Reactor);
+    // Port rotation is mandatory against the GFC model: it blocks a
+    // server:port pair after two classified flows.
+    let copts = CharacterizeOpts {
+        rotate_server_ports: true,
+        ..Default::default()
+    };
+    let mut pool = DeploymentPool::over(sessions, copts);
+    for w in 0..pool.workers() {
+        pool.pool_mut()
+            .session_mut(w)
+            .attach_journal(Arc::new(Journal::disabled()));
+    }
+    pool
+}
+
+fn main() {
+    let mut flows: usize = 100_000;
+    let mut max_bytes_per_flow: u64 = 64 * 1024;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flows" => {
+                flows = args.next().and_then(|v| v.parse().ok()).expect("--flows N");
+            }
+            "--max-bytes-per-flow" => {
+                max_bytes_per_flow = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-bytes-per-flow N");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    println!("Benchmark: reactor-engine deployment scale ({flows} concurrent flows)\n");
+    let trace = blocked_page();
+
+    // --- Memory / sim-clock curve on one worker: ascending wave sizes,
+    // same pool, so each step's VmHWM delta is that scale's marginal
+    // footprint.
+    let mut curve = Vec::new();
+    {
+        let mut pool = scale_pool(1);
+        // Pay the initial learn outside the measured waves.
+        pool.run_flows(&trace, 1).expect("initial learn");
+        for scale in [flows / 100, flows / 10, flows] {
+            if scale == 0 {
+                continue;
+            }
+            let stats = run_wave(&mut pool, &trace, scale);
+            println!(
+                "curve: {:>7} flows  {:>7} ms host  {:>6.0} flows/s  peak RSS {} kB",
+                stats.flows,
+                stats.host_ms,
+                stats.flows_per_sec,
+                stats.rss_after_kb.unwrap_or(0),
+            );
+            curve.push(stats);
+        }
+    }
+
+    // Sub-linear aggregate growth: 10x the flows must cost well under
+    // 10x the peak RSS (fixed pool overhead dominates; per-flow state is
+    // small). Gate the marginal per-flow bytes of the largest wave.
+    if let (Some(big), Some(_)) = (curve.last(), peak_rss_kb()) {
+        if let Some(bpf) = big.bytes_per_flow {
+            println!(
+                "\nmarginal memory: {} bytes/flow at {} flows (gate: <= {})",
+                bpf, big.flows, max_bytes_per_flow
+            );
+            assert!(
+                bpf <= max_bytes_per_flow,
+                "peak RSS per flow {bpf} B exceeds the {max_bytes_per_flow} B gate"
+            );
+        }
+        if curve.len() >= 2 {
+            let small = &curve[0];
+            let growth = big.rss_after_kb.unwrap_or(0) as f64
+                / small.rss_after_kb.unwrap_or(1).max(1) as f64;
+            let scale_up = big.flows as f64 / small.flows.max(1) as f64;
+            println!(
+                "aggregate growth: {growth:.2}x peak RSS across a {scale_up:.0}x flow scale-up"
+            );
+            assert!(
+                growth < scale_up,
+                "memory grew {growth:.2}x over a {scale_up:.0}x scale-up — not sub-linear"
+            );
+        }
+    } else {
+        println!("\n/proc/self/status unavailable; memory gates skipped");
+    }
+
+    // --- Worker sweep at full scale: flows/sec and RSS at 1, 2, 4
+    // workers (each its own process-phase; VmHWM is monotonic so only
+    // deltas are meaningful).
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut pool = scale_pool(workers);
+        pool.run_flows(&trace, workers).expect("initial learn");
+        let stats = run_wave(&mut pool, &trace, flows);
+        println!(
+            "{} worker(s): {} flows in {} ms host ({:.0} flows/s), {:.1} min simulated",
+            workers,
+            stats.flows,
+            stats.host_ms,
+            stats.flows_per_sec,
+            stats.sim_us as f64 / 60e6,
+        );
+        runs.push(stats);
+    }
+
+    let dataset = Json::Obj(vec![
+        ("experiment".into(), Json::s("reactor-deployment-scale")),
+        ("trace".into(), Json::s("economist-http")),
+        ("flows".into(), Json::n(flows as f64)),
+        (
+            "max_bytes_per_flow_gate".into(),
+            Json::n(max_bytes_per_flow as f64),
+        ),
+        (
+            "curve".into(),
+            Json::Arr(curve.iter().map(WaveStats::to_json).collect()),
+        ),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(WaveStats::to_json).collect()),
+        ),
+    ]);
+
+    let out_dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join("BENCH_scale.json");
+        match std::fs::write(&path, dataset.render() + "\n") {
+            Ok(()) => println!("dataset: wrote {}", path.display()),
+            Err(e) => eprintln!("dataset: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    println!("\n[ok] reactor sustained {flows} concurrent flows per wave within the memory gate");
+}

@@ -35,6 +35,21 @@ use crate::replay::{ReplayOpts, ReplayOutcome, Session};
 use crate::schedule::Schedule;
 use crate::sim::SimSubstrate;
 
+/// The billed-counter baseline for judging one deployed flow.
+/// [`Signal::ZeroRating`] is the only signal whose judgment compares
+/// against it; every other signal skips the read entirely. Skipping
+/// matters beyond cost: the read draws jitter from the session RNG, and
+/// deployed flows must stay RNG-free so the reactor engine can interleave
+/// them in any completion order without perturbing the stream the
+/// characterizer's probes consume.
+pub(crate) fn billed_baseline<S: Substrate>(session: &mut Session<S>, signal: &Signal) -> i64 {
+    if matches!(signal, Signal::ZeroRating) {
+        read_billed_counter(session)
+    } else {
+        0
+    }
+}
+
 /// Everything the pipeline produced, with cost accounting.
 #[derive(Debug)]
 pub struct PipelineReport {
@@ -341,7 +356,7 @@ impl<S: Substrate> LiberateProxy<S> {
                 .effective
                 .apply(&Schedule::from_trace(trace), &cached.ctx)
                 .ok_or(LiberateError::NoWorkingTechnique)?;
-            let billed_before = read_billed_counter(&mut self.session);
+            let billed_before = billed_baseline(&mut self.session, &cached.signal);
             let outcome = self
                 .session
                 .replay_schedule(trace, &schedule, &ReplayOpts::default());

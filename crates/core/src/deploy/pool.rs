@@ -39,14 +39,16 @@ use liberate_traces::recorded::RecordedTrace;
 use crate::cache::SharedRuleCache;
 use crate::characterize::{Characterization, CharacterizeOpts};
 use crate::config::LiberateConfig;
-use crate::deploy::{complete_pipeline, signal_from_detection, ActiveEvasion};
-use crate::detect::{detect_rotating, read_billed_counter, was_classified};
-use crate::engine::{characterize_parallel, SessionPool};
+use crate::deploy::{billed_baseline, complete_pipeline, signal_from_detection, ActiveEvasion};
+use crate::detect::{detect_rotating, was_classified, Signal};
+use crate::engine::{characterize_parallel, Engine, SessionPool};
 use crate::error::{LiberateError, Result};
 use crate::evasion::Technique;
-use crate::replay::{ReplayOpts, ReplayOutcome, Session};
+use crate::reactor::lane_addr;
+use crate::replay::{LaneAddr, ReplayOpts, ReplayOutcome, ReplaySm, Session};
 use crate::schedule::Schedule;
 use crate::sim::{OsKind, SimSubstrate};
+use crate::task::{FlowTask, TaskPoll};
 
 /// The generation-stamped evasion state the pool publishes to its
 /// workers. The technique rides in an `Arc`, so a snapshot hands workers
@@ -183,7 +185,14 @@ impl DeploymentPool<SimSubstrate> {
     /// state is kept, mirroring a real rule push.
     pub fn hot_swap_rules(&mut self, rules: &RuleSet) {
         for w in 0..self.pool.workers() {
+            // Stamp the swap at the worker's quiesced wave-boundary clock,
+            // not at its device's last inspected packet: the reactor
+            // engine's lane timestamps lag the session clock, and the
+            // swap event must land at the same instant under both
+            // engines.
+            let now = self.pool.session_mut(w).env.clock();
             if let Some(dpi) = self.pool.session_mut(w).env.dpi_mut() {
+                dpi.observe_now(now);
                 dpi.hot_swap_rules(rules.clone());
             }
         }
@@ -263,8 +272,13 @@ impl<S: Substrate> DeploymentPool<S> {
         }
 
         let workers = self.pool.workers();
-        let published = self.published.clone();
-        let fallback = self.fallback.clone();
+        // The driver is the only writer and it only writes between waves,
+        // so every flow in this wave would snapshot the same state:
+        // snapshot once, lower the technique (and fallback ladder) to
+        // packet schedules once, and share the compiled wave by
+        // reference. Schedule lowering is a pure transformation — the
+        // hoist is journal- and RNG-silent.
+        let compiled = CompiledWave::lower(trace, self.published.snapshot(), &self.fallback);
         // run_wave sends job i to worker i % n, or everything to worker 0
         // when the pool (or wave) is too small to fan out.
         let worker_of = move |user: usize| {
@@ -274,10 +288,38 @@ impl<S: Substrate> DeploymentPool<S> {
                 user % workers
             }
         };
-        let exec = |session: &mut Session<S>, user: usize| {
-            run_one_flow(session, trace, user, worker_of(user), &published, &fallback)
+        // The reactor engine interleaves flows as resumable tasks on
+        // private lanes. That is only sound when flows cannot observe
+        // each other through session-global mutable state: the zero-rating
+        // signal reads the billed counter (an RNG-jittered session
+        // global), so it stays on the threads path; blocking, throttling,
+        // and readout judgments are functions of the lane's own outcome.
+        let interleavable = compiled
+            .evasion
+            .as_deref()
+            .is_none_or(|e| !matches!(e.signal, Signal::ZeroRating));
+        let reports: Vec<PoolFlowReport> = if self.pool.engine() == Engine::Reactor
+            && interleavable
+            && self.pool.sessions()[0].env.supports_lanes()
+        {
+            let tasks: Vec<DeployFlowTask> = (0..users)
+                .map(|user| DeployFlowTask::new(trace, &compiled, user, worker_of(user)))
+                .collect();
+            self.pool
+                .run_wave_tasks(tasks)
+                .into_iter()
+                .map(|r| {
+                    // lint: allow(no-panic) contract: deploy tasks judge
+                    // and report; a panicking replay is a deployment bug.
+                    r.expect("deploy flow task completed")
+                })
+                .collect()
+        } else {
+            let exec = |session: &mut Session<S>, user: usize| {
+                run_one_flow(session, trace, user, worker_of(user), &compiled)
+            };
+            self.pool.run_wave((0..users).collect(), &exec)
         };
-        let reports = self.pool.run_wave((0..users).collect(), &exec);
 
         // Between-wave housekeeping: the wave left one abandoned probe
         // flow per user in the shared table, and nothing ever looks them
@@ -407,6 +449,61 @@ impl<S: Substrate> DeploymentPool<S> {
     }
 }
 
+/// One wave's evasion state lowered to ready-to-replay packet schedules.
+///
+/// A wave of N flows deploys the *same* published technique against the
+/// *same* trace; compiling the schedule (and every fallback rung's) once
+/// per wave instead of once per flow turns schedule lowering from O(N)
+/// into O(1) and lets both engines share the immutable result by
+/// reference — the reactor's task wave and the threads engine's closures
+/// read the same `Arc`s. `None` entries record rungs whose technique
+/// declined the trace shape (`Technique::apply` returned `None`), so
+/// flows skip them without re-attempting the lowering.
+pub(crate) struct CompiledWave {
+    /// The published generation this wave deploys.
+    generation: u64,
+    evasion: Option<Arc<ActiveEvasion>>,
+    /// The published technique's schedule; `None` when the technique no
+    /// longer applies to the trace shape (flows degrade to plain).
+    main: Option<Arc<Schedule>>,
+    /// The fallback ladder, in park order.
+    ladder: Vec<(Technique, Option<Arc<Schedule>>)>,
+    /// The unmodified trace schedule (the empty-cell and
+    /// technique-declined path).
+    plain: Arc<Schedule>,
+}
+
+impl CompiledWave {
+    fn lower(
+        trace: &RecordedTrace,
+        snapshot: PublishedTechnique,
+        fallback: &[Technique],
+    ) -> CompiledWave {
+        let plain = Arc::new(Schedule::from_trace(trace));
+        let (main, ladder) = match snapshot.evasion.as_deref() {
+            Some(evasion) => (
+                evasion
+                    .technique
+                    .effective
+                    .apply(&plain, &evasion.ctx)
+                    .map(Arc::new),
+                fallback
+                    .iter()
+                    .map(|rung| (rung.clone(), rung.apply(&plain, &evasion.ctx).map(Arc::new)))
+                    .collect(),
+            ),
+            None => (None, Vec::new()),
+        };
+        CompiledWave {
+            generation: snapshot.generation,
+            evasion: snapshot.evasion,
+            main,
+            ladder,
+            plain,
+        }
+    }
+}
+
 /// One user's flow on one worker session: apply the published technique,
 /// watch for the change signal, degrade onto the fallback ladder if it
 /// burns. Runs inside a `Phase::Deploy` span on the worker's journal.
@@ -415,13 +512,12 @@ fn run_one_flow<S: Substrate>(
     trace: &RecordedTrace,
     user: usize,
     worker: usize,
-    published: &PublishedState,
-    fallback: &[Technique],
+    compiled: &CompiledWave,
 ) -> PoolFlowReport {
     let journal = session.journal().clone();
     journal.span_start(session.env.clock().as_micros(), Phase::Deploy);
     journal.metrics.incr(Counter::DeployFlows);
-    let report = run_one_flow_inner(session, trace, user, worker, published, fallback, &journal);
+    let report = run_one_flow_inner(session, trace, user, worker, compiled, &journal);
     journal.span_end(session.env.clock().as_micros(), Phase::Deploy);
     report
 }
@@ -431,18 +527,16 @@ fn run_one_flow_inner<S: Substrate>(
     trace: &RecordedTrace,
     user: usize,
     worker: usize,
-    published: &PublishedState,
-    fallback: &[Technique],
+    compiled: &CompiledWave,
     journal: &Arc<Journal>,
 ) -> PoolFlowReport {
-    let snapshot = published.snapshot();
-    let generation = snapshot.generation;
-    let Some(evasion) = snapshot.evasion else {
+    let generation = compiled.generation;
+    let Some(evasion) = compiled.evasion.as_deref() else {
         // `run_flows` publishes before the first wave, so this only
         // happens when a caller drives flows against an empty cell: send
         // the traffic plain and report a change signal so the driver
         // learns a technique for the next wave.
-        let outcome = session.replay_trace(trace, &ReplayOpts::default());
+        let outcome = session.replay_schedule(trace, &compiled.plain, &ReplayOpts::default());
         return PoolFlowReport {
             user,
             worker,
@@ -455,25 +549,22 @@ fn run_one_flow_inner<S: Substrate>(
         };
     };
 
-    fn apply_and_judge<S: Substrate>(
-        session: &mut Session<S>,
-        trace: &RecordedTrace,
-        evasion: &ActiveEvasion,
-        technique: &Technique,
-    ) -> Option<(ReplayOutcome, bool)> {
-        let schedule = technique.apply(&Schedule::from_trace(trace), &evasion.ctx)?;
-        let billed_before = read_billed_counter(session);
-        let outcome = session.replay_schedule(trace, &schedule, &ReplayOpts::default());
+    let judge = |session: &mut Session<S>, schedule: &Schedule| {
+        let billed_before = billed_baseline(session, &evasion.signal);
+        let outcome = session.replay_schedule(trace, schedule, &ReplayOpts::default());
         let classified = was_classified(session, &evasion.signal, &outcome, billed_before);
-        Some((outcome, classified))
-    }
+        (outcome, classified)
+    };
 
     let main = evasion.technique.effective.clone();
-    let (mut outcome, classified) = match apply_and_judge(session, trace, &evasion, &main) {
-        Some(judged) => judged,
+    let (mut outcome, classified) = match compiled.main.as_deref() {
+        Some(schedule) => judge(session, schedule),
         // A published technique always applied once (evaluation proved
         // it); replay the trace plain if the trace shape changed under us.
-        None => (session.replay_trace(trace, &ReplayOpts::default()), true),
+        None => (
+            session.replay_schedule(trace, &compiled.plain, &ReplayOpts::default()),
+            true,
+        ),
     };
 
     if !classified {
@@ -492,10 +583,11 @@ fn run_one_flow_inner<S: Substrate>(
     // The classifier caught the published technique: flag the change and
     // park this user's traffic on the first ladder rung that still works.
     let mut parked = None;
-    for rung in fallback {
-        let Some((out, still_classified)) = apply_and_judge(session, trace, &evasion, rung) else {
+    for (rung, schedule) in &compiled.ladder {
+        let Some(schedule) = schedule.as_deref() else {
             continue;
         };
+        let (out, still_classified) = judge(session, schedule);
         outcome = out;
         if !still_classified {
             journal.metrics.incr(Counter::FallbackParks);
@@ -519,5 +611,231 @@ fn run_one_flow_inner<S: Substrate>(
         parked_on_fallback: parked,
         change_signal: true,
         outcome,
+    }
+}
+
+/// Which replay a [`DeployFlowTask`] is driving.
+enum DeployStage {
+    /// Empty published cell: the flow runs plain and flags a change.
+    Unpublished,
+    /// The published technique (`applied: false` means the technique
+    /// declined the trace shape and the flow fell back to plain, judged
+    /// classified unconditionally — mirroring the closure path).
+    Main { applied: bool },
+    /// Fallback rung, by index into [`CompiledWave::ladder`].
+    Rung(usize),
+}
+
+/// One deployed user flow as a reactor [`FlowTask`]: replicates
+/// [`run_one_flow`]'s exact sequence — deploy span, published technique,
+/// judgment, fallback ladder — as a resumable machine over a private
+/// lane. Between replays it moves straight to the next rung's schedule
+/// (the closure path has no inter-replay rest either).
+struct DeployFlowTask<'a> {
+    trace: &'a RecordedTrace,
+    compiled: &'a CompiledWave,
+    user: usize,
+    worker: usize,
+    started: bool,
+    stage: DeployStage,
+    sm: Option<ReplaySm<&'a RecordedTrace, Arc<Schedule>>>,
+    billed_before: i64,
+    /// The last judged outcome (what the final report carries).
+    outcome: Option<ReplayOutcome>,
+    parked: Option<Technique>,
+    replays: u64,
+}
+
+impl<'a> DeployFlowTask<'a> {
+    fn new(
+        trace: &'a RecordedTrace,
+        compiled: &'a CompiledWave,
+        user: usize,
+        worker: usize,
+    ) -> DeployFlowTask<'a> {
+        DeployFlowTask {
+            trace,
+            compiled,
+            user,
+            worker,
+            started: false,
+            stage: DeployStage::Unpublished,
+            sm: None,
+            billed_before: 0,
+            outcome: None,
+            parked: None,
+            replays: 0,
+        }
+    }
+
+    /// Stand up the next replay on this task's lane. Lane-local replay
+    /// numbering (1, 2, …) — the reactor's journal splice rebases it onto
+    /// the worker's canonical counter.
+    fn start_replay<S: Substrate>(&mut self, session: &mut Session<S>, schedule: Arc<Schedule>) {
+        self.billed_before = billed_baseline(session, &self.signal());
+        self.replays += 1;
+        let lane = LaneAddr {
+            client_addr: lane_addr(self.user),
+            replay_no: self.replays,
+        };
+        self.sm = Some(ReplaySm::new(
+            self.trace,
+            schedule,
+            ReplayOpts::default(),
+            Some(lane),
+        ));
+    }
+
+    /// The signal judging this flow. Only meaningful once published
+    /// (`Unpublished` flows are never judged).
+    fn signal(&self) -> Signal {
+        self.compiled
+            .evasion
+            .as_deref()
+            .map(|e| e.signal.clone())
+            .unwrap_or(Signal::Blocking)
+    }
+
+    /// `evaded_on_main` marks the happy path: the published technique
+    /// itself escaped classification (no change signal, no ladder).
+    fn report(&mut self, outcome: ReplayOutcome, evaded_on_main: bool) -> PoolFlowReport {
+        let main = self
+            .compiled
+            .evasion
+            .as_deref()
+            .map(|e| e.technique.effective.clone());
+        let (technique, evaded, change_signal) = if matches!(self.stage, DeployStage::Unpublished) {
+            (None, false, true)
+        } else if evaded_on_main {
+            (main, true, false)
+        } else {
+            (self.parked.clone().or(main), self.parked.is_some(), true)
+        };
+        PoolFlowReport {
+            user: self.user,
+            worker: self.worker,
+            generation: self.compiled.generation,
+            technique,
+            evaded,
+            parked_on_fallback: self.parked.clone(),
+            change_signal,
+            outcome,
+        }
+    }
+
+    /// Move to the first fallback rung at or after `from` whose technique
+    /// lowered; `None` return means a replay was started, `Some` is the
+    /// final report (ladder exhausted).
+    fn next_rung<S: Substrate>(
+        &mut self,
+        session: &mut Session<S>,
+        from: usize,
+    ) -> Option<PoolFlowReport> {
+        for (i, (_, schedule)) in self.compiled.ladder.iter().enumerate().skip(from) {
+            if let Some(schedule) = schedule.clone() {
+                self.stage = DeployStage::Rung(i);
+                self.start_replay(session, schedule);
+                return None;
+            }
+        }
+        // lint: allow(no-panic) invariant: a rung is only exhausted after
+        // the main stage judged and stored its outcome.
+        let outcome = self.outcome.take().expect("judged outcome before ladder");
+        Some(self.report(outcome, false))
+    }
+
+    /// Judge the finished replay and either report or stand up the next
+    /// one. `None` means another replay was started (poll it now).
+    fn advance<S: Substrate>(
+        &mut self,
+        session: &mut Session<S>,
+        outcome: ReplayOutcome,
+    ) -> Option<PoolFlowReport> {
+        match self.stage {
+            DeployStage::Unpublished => Some(self.report(outcome, false)),
+            DeployStage::Main { applied } => {
+                let classified = if applied {
+                    was_classified(session, &self.signal(), &outcome, self.billed_before)
+                } else {
+                    true
+                };
+                if !classified {
+                    Some(self.report(outcome, true))
+                } else {
+                    self.outcome = Some(outcome);
+                    self.next_rung(session, 0)
+                }
+            }
+            DeployStage::Rung(i) => {
+                let still_classified =
+                    was_classified(session, &self.signal(), &outcome, self.billed_before);
+                self.outcome = Some(outcome);
+                if !still_classified {
+                    let rung = self.compiled.ladder[i].0.clone();
+                    let journal = session.journal().clone();
+                    journal.metrics.incr(Counter::FallbackParks);
+                    journal.record(
+                        session.env.clock().as_micros(),
+                        EventKind::FallbackEngaged {
+                            technique: rung.description(),
+                        },
+                    );
+                    self.parked = Some(rung);
+                    // lint: allow(no-panic) invariant: stored two lines up.
+                    let outcome = self.outcome.take().expect("rung outcome stored");
+                    Some(self.report(outcome, false))
+                } else {
+                    self.next_rung(session, i + 1)
+                }
+            }
+        }
+    }
+}
+
+impl<'a, S: Substrate> FlowTask<S> for DeployFlowTask<'a> {
+    type Output = PoolFlowReport;
+
+    fn poll(&mut self, session: &mut Session<S>) -> TaskPoll<PoolFlowReport> {
+        if !self.started {
+            self.started = true;
+            let journal = session.journal().clone();
+            journal.span_start(session.env.clock().as_micros(), Phase::Deploy);
+            journal.metrics.incr(Counter::DeployFlows);
+            match (self.compiled.evasion.as_deref(), self.compiled.main.clone()) {
+                (None, _) => {
+                    self.stage = DeployStage::Unpublished;
+                    self.start_replay(session, Arc::clone(&self.compiled.plain));
+                }
+                (Some(_), Some(schedule)) => {
+                    self.stage = DeployStage::Main { applied: true };
+                    self.start_replay(session, schedule);
+                }
+                (Some(_), None) => {
+                    self.stage = DeployStage::Main { applied: false };
+                    self.start_replay(session, Arc::clone(&self.compiled.plain));
+                }
+            }
+        }
+        loop {
+            // lint: allow(no-panic) invariant: poll only runs with a
+            // replay standing (started above, or re-armed by advance).
+            let sm = self.sm.as_mut().expect("replay standing");
+            match sm.poll(session) {
+                TaskPoll::Pending(wake) => return TaskPoll::Pending(wake),
+                TaskPoll::Done(outcome) => {
+                    self.sm = None;
+                    if let Some(report) = self.advance(session, outcome) {
+                        session
+                            .journal()
+                            .span_end(session.env.clock().as_micros(), Phase::Deploy);
+                        return TaskPoll::Done(report);
+                    }
+                }
+            }
+        }
+    }
+
+    fn replays_done(&self) -> u64 {
+        self.replays
     }
 }

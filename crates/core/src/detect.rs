@@ -74,7 +74,7 @@ pub fn was_classified<S: Substrate>(
         Signal::Readout => {
             // Protocol filled per-variant inside `classified_with_policy`.
             let key = FlowKey::new(
-                liberate_dpi::profiles::CLIENT_ADDR,
+                outcome.client_addr,
                 liberate_dpi::profiles::SERVER_ADDR,
                 outcome.client_port,
                 outcome.server_port,

@@ -40,18 +40,49 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use liberate_dpi::profiles::{EnvKind, EnvironmentBlueprint};
-use liberate_obs::{Hist, Journal, Phase};
-use liberate_packet::mutate::{merge_regions, ByteRegion};
+use liberate_obs::{Counter, Hist, Journal, Phase};
+use liberate_packet::mutate::{invert_range, merge_regions, ByteRegion};
+use liberate_substrate::time::SimTime;
 use liberate_substrate::Substrate;
 use liberate_traces::recorded::{RecordedTrace, Sender};
 
 use crate::characterize::{
-    probe_blinded, probe_position_inner, Characterization, CharacterizeOpts, MatchingField,
+    port_for_round, probe_blinded, probe_position_inner, Characterization, CharacterizeOpts,
+    MatchingField,
 };
 use crate::config::LiberateConfig;
-use crate::detect::Signal;
-use crate::replay::Session;
+use crate::detect::{read_billed_counter, was_classified, Signal};
+use crate::reactor::{lane_addr, Reactor};
+use crate::replay::{LaneAddr, ReplayOpts, ReplayOutcome, ReplaySm, Session};
+use crate::schedule::Schedule;
 use crate::sim::{OsKind, SimSubstrate};
+use crate::task::{FlowTask, TaskPoll, Wake};
+
+/// How a pool executes a wave's jobs on its workers.
+///
+/// | | per-worker concurrency | blocking cost |
+/// |---|---|---|
+/// | `Threads` | none (bucket runs job-by-job) | one OS thread per worker |
+/// | `Reactor` | lane-virtualized ([`crate::reactor`]) | one OS thread per worker |
+///
+/// Both engines execute the same probe multiset and produce
+/// byte-identical per-worker journals (pinned by
+/// `tests/reactor_parity.rs`); `Reactor` additionally sustains thousands
+/// of in-flight flows per worker, which is what
+/// [`crate::deploy::DeploymentPool`] scale runs need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One OS thread per worker; each bucket's jobs run to completion in
+    /// order (the paper's wave search as-is).
+    #[default]
+    Threads,
+    /// Event-driven: jobs become [`FlowTask`]s interleaved on each
+    /// worker by a [`Reactor`] over per-flow lanes. Falls back to
+    /// chained (in-order) execution for job shapes that cannot
+    /// interleave — closure waves, non-lane substrates, signals with
+    /// cross-flow state.
+    Reactor,
+}
 
 /// A pool of worker sessions over one [`EnvironmentBlueprint`]. Every
 /// worker owns a full network (and journal); all DPI devices front the
@@ -59,6 +90,12 @@ use crate::sim::{OsKind, SimSubstrate};
 /// Generic over the [`Substrate`]; the default is the simulator.
 pub struct SessionPool<S: Substrate = SimSubstrate> {
     sessions: Vec<Session<S>>,
+    engine: Engine,
+    /// The reactor's scheduling telemetry (ticks, queue depth, timer
+    /// fires). A separate journal that is never merged into worker
+    /// journals, so engine choice cannot perturb the determinism
+    /// contract. Event recording stays off; counters are always live.
+    reactor_telemetry: Arc<Journal>,
 }
 
 impl SessionPool<SimSubstrate> {
@@ -81,7 +118,7 @@ impl SessionPool<SimSubstrate> {
         let sessions = (0..n)
             .map(|w| Session::worker_from_blueprint(blueprint, os, config.clone(), w, n))
             .collect();
-        SessionPool { sessions }
+        SessionPool::from_sessions(sessions)
     }
 }
 
@@ -92,7 +129,27 @@ impl<S: Substrate> SessionPool<S> {
     /// vector.
     pub fn from_sessions(sessions: Vec<Session<S>>) -> SessionPool<S> {
         assert!(!sessions.is_empty(), "a pool needs at least one worker");
-        SessionPool { sessions }
+        SessionPool {
+            sessions,
+            engine: Engine::default(),
+            reactor_telemetry: Arc::new(Journal::disabled()),
+        }
+    }
+
+    /// Select the wave-execution engine (builder-style).
+    pub fn with_engine(mut self, engine: Engine) -> SessionPool<S> {
+        self.engine = engine;
+        self
+    }
+
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The reactor's scheduling telemetry journal (counter/histogram
+    /// totals accumulate across waves; empty under [`Engine::Threads`]).
+    pub fn reactor_telemetry(&self) -> &Arc<Journal> {
+        &self.reactor_telemetry
     }
 
     pub fn workers(&self) -> usize {
@@ -144,6 +201,26 @@ impl<S: Substrate> SessionPool<S> {
             buckets[i % n].push((i, job));
         }
 
+        if self.engine == Engine::Reactor {
+            // Chained execution: closure jobs cannot interleave, so the
+            // reactor engine runs each worker's bucket in-order without
+            // spawning OS threads. Buckets only touch their own session,
+            // so per-worker journals are identical to the threads path.
+            let mut tagged: Vec<(usize, R)> = Vec::new();
+            for (session, bucket) in self.sessions.iter_mut().zip(buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                wave_open(session, bucket.len());
+                for (i, job) in bucket {
+                    tagged.push((i, f(session, job)));
+                }
+                wave_close(session);
+            }
+            tagged.sort_by_key(|(i, _)| *i);
+            return tagged.into_iter().map(|(_, r)| r).collect();
+        }
+
         let mut tagged: Vec<(usize, R)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -171,6 +248,96 @@ impl<S: Substrate> SessionPool<S> {
         tagged.sort_by_key(|(i, _)| *i);
         tagged.into_iter().map(|(_, r)| r).collect()
     }
+
+    /// Execute one wave of [`FlowTask`]s — the reactor counterpart of
+    /// [`SessionPool::run_wave`]. Bucketing (job `i` on worker `i % n`),
+    /// empty-bucket skipping, and the single-worker shortcut are
+    /// identical; within each worker the bucket's tasks run interleaved
+    /// on a [`Reactor`], and every finished lane's staged journal is
+    /// spliced back in admission order, so per-worker journals are
+    /// byte-identical to the threads engine running the same jobs.
+    /// `None` results mark contained task panics.
+    pub fn run_wave_tasks<T>(&mut self, tasks: Vec<T>) -> Vec<Option<T::Output>>
+    where
+        T: FlowTask<S>,
+        T::Output: Send,
+    {
+        let n = self.sessions.len();
+        let telemetry = Arc::clone(&self.reactor_telemetry);
+        if n == 1 || tasks.len() <= 1 {
+            if tasks.is_empty() {
+                return Vec::new();
+            }
+            return run_task_bucket(&mut self.sessions[0], tasks, &telemetry);
+        }
+
+        let mut buckets: Vec<Vec<(usize, T)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            buckets[i % n].push((i, task));
+        }
+
+        let mut tagged: Vec<(usize, Option<T::Output>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (session, bucket) in self.sessions.iter_mut().zip(buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let telemetry = &telemetry;
+                handles.push(scope.spawn(move || {
+                    let (ids, tasks): (Vec<usize>, Vec<T>) = bucket.into_iter().unzip();
+                    let part = run_task_bucket(session, tasks, telemetry);
+                    ids.into_iter().zip(part).collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(mut part) => tagged.append(&mut part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Run one worker's bucket of tasks on a [`Reactor`] and splice the
+/// finished lanes back into the worker's journal and timeline.
+///
+/// Splice accounting: lanes are visited in admission (bucket) order.
+/// A successful lane's staged journal is rebased by `dt_us` — the sum of
+/// earlier successful lanes' virtual durations — making the worker
+/// journal read as if the bucket had run sequentially; `replay_base`
+/// advances by every task's started replays (panicked ones included) so
+/// rebased [`liberate_obs::EventKind::ReplayFinished`] ordinals stay
+/// consistent with the session's replay counter. The worker clock then
+/// advances by the total spliced duration, closing the wave at the same
+/// instant the threads engine would.
+fn run_task_bucket<S: Substrate, T: FlowTask<S>>(
+    session: &mut Session<S>,
+    tasks: Vec<T>,
+    telemetry: &Journal,
+) -> Vec<Option<T::Output>> {
+    let t0 = session.env.clock();
+    let prewave = session.replays;
+    wave_open(session, tasks.len());
+    let mut reactor = Reactor::new(session, tasks, telemetry);
+    reactor.run(session, telemetry);
+    let outcome = reactor.into_outcome();
+    let journal = session.journal().clone();
+    let mut dt_us: u64 = 0;
+    let mut replay_base = prewave;
+    for (i, lane) in outcome.lanes.iter().enumerate() {
+        if outcome.results[i].is_some() {
+            journal.splice_staged(&lane.journal, dt_us, replay_base);
+            dt_us += (lane.clock - t0).as_micros() as u64;
+        }
+        replay_base += outcome.replays[i];
+    }
+    session.env.advance(Duration::from_micros(dt_us));
+    wave_close(session);
+    outcome.results
 }
 
 /// Open a wave span on the worker's own journal and record how many
@@ -217,6 +384,128 @@ struct ProbeResult {
     bytes_sent: u64,
     bytes_received: u64,
     elapsed: Duration,
+}
+
+/// Where a [`ProbeTask`] is between polls.
+enum ProbeTaskState {
+    /// Nothing has run: the first poll does the probe's bookkeeping
+    /// (blinded-bytes counter, billed-counter read) *and* the replay's
+    /// Init segment in one go, so every order-sensitive session-global
+    /// mutation — the RNG draw, the client-port stride, the ISN bump —
+    /// happens in admission order, exactly as the threads engine
+    /// sequences them.
+    Start,
+    /// Forwarding polls to the inner [`ReplaySm`].
+    Replaying,
+    /// Replay judged; sitting out the mandatory round gap.
+    Resting,
+}
+
+/// One blinding probe as a reactor [`FlowTask`]: replicates
+/// [`probe_blinded`]'s exact sequence — blind, counter read, replay,
+/// judgment, rest — as a resumable machine over a private lane.
+struct ProbeTask<'a> {
+    signal: &'a Signal,
+    sm: ReplaySm<RecordedTrace, Schedule>,
+    blinded_bytes: u64,
+    state: ProbeTaskState,
+    t0: SimTime,
+    billed_before: i64,
+    classified: bool,
+    outcome: Option<ReplayOutcome>,
+    replays: u64,
+}
+
+impl<'a> ProbeTask<'a> {
+    /// Build the task for `job`, cloning and blinding the trace and
+    /// compiling its schedule up front (both are journal-silent, pure
+    /// transformations). `job_index` is the wave-global job number —
+    /// the lane's unique client address.
+    fn new(
+        trace: &RecordedTrace,
+        job: ProbeJob,
+        job_index: usize,
+        signal: &'a Signal,
+        opts: &CharacterizeOpts,
+    ) -> ProbeTask<'a> {
+        let mut t = trace.clone();
+        let mut blinded_bytes = 0u64;
+        for (msg, range) in &job.blind {
+            blinded_bytes += range.len() as u64;
+            invert_range(&mut t.messages[*msg].payload, range.clone());
+        }
+        let schedule = Schedule::from_trace(&t);
+        let replay_opts = ReplayOpts {
+            server_port: port_for_round(opts, job.round),
+            ..Default::default()
+        };
+        let lane = LaneAddr {
+            client_addr: lane_addr(job_index),
+            replay_no: 1,
+        };
+        ProbeTask {
+            signal,
+            sm: ReplaySm::new(t, schedule, replay_opts, Some(lane)),
+            blinded_bytes,
+            state: ProbeTaskState::Start,
+            t0: SimTime::ZERO,
+            billed_before: 0,
+            classified: false,
+            outcome: None,
+            replays: 0,
+        }
+    }
+
+    fn step_sm<S: Substrate>(&mut self, session: &mut Session<S>) -> TaskPoll<ProbeResult> {
+        match self.sm.poll(session) {
+            TaskPoll::Done(outcome) => {
+                self.classified =
+                    was_classified(session, self.signal, &outcome, self.billed_before);
+                self.outcome = Some(outcome);
+                self.state = ProbeTaskState::Resting;
+                TaskPoll::Pending(Wake::Timer(session.config.round_gap))
+            }
+            TaskPoll::Pending(wake) => TaskPoll::Pending(wake),
+        }
+    }
+}
+
+impl<'a, S: Substrate> FlowTask<S> for ProbeTask<'a> {
+    type Output = ProbeResult;
+
+    fn poll(&mut self, session: &mut Session<S>) -> TaskPoll<ProbeResult> {
+        match self.state {
+            ProbeTaskState::Start => {
+                self.t0 = session.env.clock();
+                if self.blinded_bytes > 0 {
+                    session
+                        .env
+                        .journal()
+                        .metrics
+                        .add(Counter::BytesBlinded, self.blinded_bytes);
+                }
+                self.billed_before = read_billed_counter(session);
+                self.replays = 1;
+                self.state = ProbeTaskState::Replaying;
+                self.step_sm(session)
+            }
+            ProbeTaskState::Replaying => self.step_sm(session),
+            ProbeTaskState::Resting => {
+                // lint: allow(no-panic) invariant: set before Resting
+                let outcome = self.outcome.take().expect("outcome recorded before rest");
+                TaskPoll::Done(ProbeResult {
+                    classified: self.classified,
+                    bytes_sent: outcome.bytes_sent,
+                    bytes_received: outcome.server_payload_bytes,
+                    elapsed: session.env.clock() - self.t0,
+                })
+            }
+        }
+    }
+
+    fn replays_done(&self) -> u64 {
+        self.replays
+    }
 }
 
 /// Per-trace search state, accumulated across waves.
@@ -308,6 +597,32 @@ pub fn characterize_many<S: Substrate>(
         }
     };
 
+    // The reactor engine interleaves blinding probes on per-flow lanes.
+    // Eligibility: the substrate must support lane swaps, and the signal
+    // must be judged from per-flow state alone (Readout, Blocking) —
+    // Throttling and ZeroRating compare against shared counters whose
+    // readings are order-sensitive, so they stay chained.
+    let use_reactor = pool.engine == Engine::Reactor
+        && matches!(signal, Signal::Readout | Signal::Blocking)
+        && pool.sessions[0].env.supports_lanes();
+    let run_probe_wave = |pool: &mut SessionPool<S>, jobs: Vec<ProbeJob>| -> Vec<ProbeResult> {
+        if use_reactor {
+            let tasks: Vec<ProbeTask<'_>> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| ProbeTask::new(&traces[job.trace], job, i, signal, opts))
+                .collect();
+            pool.run_wave_tasks(tasks)
+                .into_iter()
+                // lint: allow(no-panic) contract: a panicking replay is a
+                // characterization bug; surfacing it beats a silent skip.
+                .map(|r| r.expect("probe replays do not panic"))
+                .collect()
+        } else {
+            pool.run_wave(jobs, &exec)
+        }
+    };
+
     let mut states: Vec<TraceState> = traces.iter().map(|_| TraceState::default()).collect();
 
     for s in pool.sessions.iter() {
@@ -323,7 +638,7 @@ pub fn characterize_many<S: Substrate>(
             blind: Vec::new(),
         })
         .collect();
-    let boot = pool.run_wave(boot_jobs, &exec);
+    let boot = run_probe_wave(pool, boot_jobs);
     let survivors: Vec<usize> = boot
         .iter()
         .enumerate()
@@ -360,7 +675,7 @@ pub fn characterize_many<S: Substrate>(
             blind: blind_all(&atoms_of[t], &traces[t]),
         })
         .collect();
-    let everything = pool.run_wave(everything_jobs, &exec);
+    let everything = run_probe_wave(pool, everything_jobs);
     for (&t, r) in survivors.iter().zip(&everything) {
         states[t].absorb_cost(r);
         if !r.classified {
@@ -425,7 +740,7 @@ pub fn characterize_many<S: Substrate>(
             break;
         }
         let job_trace: Vec<usize> = jobs.iter().map(|j| j.trace).collect();
-        let results = pool.run_wave(jobs, &exec);
+        let results = run_probe_wave(pool, jobs);
         for (idx, r) in results.iter().enumerate() {
             states[job_trace[idx]].absorb_cost(r);
         }

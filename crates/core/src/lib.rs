@@ -59,12 +59,14 @@ pub mod evaluate;
 pub mod evasion;
 pub mod masquerade;
 pub mod probe;
+pub mod reactor;
 pub mod replay;
 pub mod report;
 pub mod schedule;
 pub mod seqlock;
 pub mod sim;
 pub mod socket;
+pub mod task;
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
@@ -81,7 +83,7 @@ pub mod prelude {
     pub use crate::detect::{
         detect, detect_parallel, inverted_trace, probe, DetectionOutcome, Signal,
     };
-    pub use crate::engine::{characterize_many, characterize_parallel, SessionPool};
+    pub use crate::engine::{characterize_many, characterize_parallel, Engine, SessionPool};
     pub use crate::error::{LiberateError, Result};
     pub use crate::evaluate::{
         cheapest, evaluate_technique, evaluate_techniques_parallel, find_working_technique, plan,
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::probe::{
         decoy_request, inert_reach, locate_middlebox, InertReach, Localization, DECOY_MARKER,
     };
+    pub use crate::reactor::{Reactor, ReactorOutcome, TimerFire, TimerWheel};
     pub use crate::replay::{server_script, ReplayOpts, ReplayOutcome, Session};
     pub use crate::schedule::{Craft, FragPlan, Schedule, ScheduledPacket, Step};
     pub use crate::sim::{OsKind, SimSubstrate};

@@ -12,8 +12,11 @@
 //! nftables-shaped real-wire backend
 //! ([`liberate_substrate::nft::NftSubstrate`]).
 
+use std::borrow::Borrow;
+use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,8 +25,10 @@ use liberate_obs::{Counter, EventKind, Hist, Journal, Phase};
 use liberate_packet::fragment::fragment_packet;
 use liberate_packet::packet::{Packet, ParsedPacket};
 use liberate_packet::tcp::TcpFlags;
+use liberate_substrate::buf::PacketBuf;
+use liberate_substrate::capture::TapPoint;
 use liberate_substrate::icmp::{parse_icmp_error, IcmpError};
-use liberate_substrate::script::ServerScript;
+use liberate_substrate::script::{ServerObs, ServerScript};
 use liberate_substrate::stats::ThroughputMeter;
 use liberate_substrate::time::SimTime;
 use liberate_substrate::Substrate;
@@ -34,6 +39,12 @@ use crate::config::LiberateConfig;
 use crate::evasion::{EvasionContext, Technique};
 use crate::schedule::{Schedule, ScheduledPacket, Step};
 use crate::sim::{OsKind, SimSubstrate};
+use crate::task::{TaskPoll, Wake};
+
+/// The capture narrowing every session applies: the detectors (RS? in
+/// evaluate/probe) only read the server-ingress vantage. Reactor lanes
+/// mirror this when they build their per-flow capture buffers.
+pub(crate) const SESSION_TAPS: &[TapPoint] = &[TapPoint::ServerIngress];
 
 /// Build the scripted replay server for a (possibly transformed) trace:
 /// `(cumulative client bytes required, response payload)` for TCP and
@@ -78,6 +89,9 @@ pub struct ReplayOpts {
 /// Everything observed during one replay.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
+    /// Source address the client side used. [`CLIENT_ADDR`] for ordinary
+    /// sessions; reactor lanes assign each in-flight flow its own.
+    pub client_addr: Ipv4Addr,
     pub client_port: u16,
     pub server_port: u16,
     /// TCP only: did the handshake complete?
@@ -193,7 +207,7 @@ impl<S: Substrate> Session<S> {
         // the server-ingress vantage; narrowing the capture there keeps
         // the other taps from aliasing in-flight buffers, so in-path
         // mutation (TTL decrements) stays copy-free.
-        env.set_capture_points(&[liberate_substrate::capture::TapPoint::ServerIngress]);
+        env.set_capture_points(SESSION_TAPS);
         let session = Session {
             env,
             config,
@@ -220,7 +234,7 @@ impl<S: Substrate> Session<S> {
     ) -> Session<S> {
         let seed = config.seed.wrapping_add(worker as u64);
         // Same BPF-style capture narrowing as [`Session::over`].
-        env.set_capture_points(&[liberate_substrate::capture::TapPoint::ServerIngress]);
+        env.set_capture_points(SESSION_TAPS);
         let session = Session {
             env,
             config,
@@ -285,137 +299,297 @@ impl<S: Substrate> Session<S> {
         self.env.advance(d);
     }
 
-    /// Replay an explicit schedule derived from `trace`.
+    /// Replay an explicit schedule derived from `trace`. A thin inline
+    /// driver over [`ReplaySm`]: constructs the state machine and polls
+    /// it to completion, performing `Timer` advances itself — the exact
+    /// loop the reactor runs, minus the lane swaps.
     pub fn replay_schedule(
         &mut self,
         trace: &RecordedTrace,
         schedule: &Schedule,
         opts: &ReplayOpts,
     ) -> ReplayOutcome {
-        self.replays += 1;
-        self.env.journal().metrics.incr(Counter::ReplaysExecuted);
+        let mut sm = ReplaySm::new(trace, schedule, opts.clone(), None);
+        loop {
+            match sm.poll(self) {
+                TaskPoll::Done(out) => return out,
+                TaskPoll::Pending(Wake::Ready) => {}
+                TaskPoll::Pending(Wake::Timer(d)) => self.env.advance(d),
+            }
+        }
+    }
+}
+
+/// Reactor-lane addressing for one replay: the flow's own client
+/// address (every in-flight task gets a unique one, keeping DPI flow
+/// keys, IP-fragment reassembly idents, and server-side connections
+/// disjoint across interleaved lanes) and its lane-local replay number
+/// (the canonical session-wide number is restored when the lane journal
+/// is spliced back via [`liberate_obs::Journal::splice_staged`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneAddr {
+    pub client_addr: Ipv4Addr,
+    pub replay_no: u64,
+}
+
+/// Where one [`ReplaySm`] is in its replay.
+enum SmState {
+    /// Nothing has run yet: the first poll opens the span, installs the
+    /// scripted server, and performs the TCP handshake atomically.
+    Init,
+    /// Walking the schedule; the index is the next step to lower.
+    Steps(usize),
+    /// Finished (terminal; polling again is a bug).
+    Done,
+}
+
+/// One replay as a resumable state machine — the poll-style core of both
+/// the sequential [`Session::replay_schedule`] driver and the reactor's
+/// interleaved flow tasks. Generic over trace/schedule ownership so the
+/// sequential path borrows (`&RecordedTrace`) while reactor tasks share
+/// wave-compiled schedules (`Arc<Schedule>`) without cloning.
+///
+/// Invariant: every yield happens with the substrate quiesced — event
+/// heap drained (`run_until_idle`) and client inbox emptied into the
+/// machine's own log — so a reactor can swap whole lanes around each
+/// poll without leaking in-flight state across flows.
+pub(crate) struct ReplaySm<Tr, Sc> {
+    trace: Tr,
+    schedule: Sc,
+    opts: ReplayOpts,
+    lane: Option<LaneAddr>,
+    state: SmState,
+    // ---- live replay context, populated by the Init poll.
+    host_start: Option<std::time::Instant>,
+    replay_no: u64,
+    client_addr: Ipv4Addr,
+    client_port: u16,
+    server_port: u16,
+    client_isn: u32,
+    server_isn: u32,
+    protocol: TraceProtocol,
+    handshake_ok: bool,
+    bytes_sent: u64,
+    first_data_sent: Option<SimTime>,
+    inbox_log: Vec<(SimTime, PacketBuf)>,
+    obs: Option<Arc<Mutex<ServerObs>>>,
+    t_start: SimTime,
+}
+
+impl<Tr, Sc> ReplaySm<Tr, Sc>
+where
+    Tr: Borrow<RecordedTrace>,
+    Sc: Borrow<Schedule>,
+{
+    /// A machine ready for its first poll. `lane` is `None` for ordinary
+    /// (sequential / threads-engine) replays, which use [`CLIENT_ADDR`]
+    /// and the session-global replay numbering.
+    pub(crate) fn new(trace: Tr, schedule: Sc, opts: ReplayOpts, lane: Option<LaneAddr>) -> Self {
+        ReplaySm {
+            trace,
+            schedule,
+            opts,
+            lane,
+            state: SmState::Init,
+            host_start: None,
+            replay_no: 0,
+            client_addr: CLIENT_ADDR,
+            client_port: 0,
+            server_port: 0,
+            client_isn: 0,
+            server_isn: 0,
+            protocol: TraceProtocol::Tcp,
+            handshake_ok: true,
+            bytes_sent: 0,
+            first_data_sent: None,
+            inbox_log: Vec::new(),
+            obs: None,
+            t_start: SimTime::ZERO,
+        }
+    }
+
+    /// Run one quiesced segment.
+    pub(crate) fn poll<S: Substrate>(
+        &mut self,
+        session: &mut Session<S>,
+    ) -> TaskPoll<ReplayOutcome> {
+        match self.state {
+            SmState::Init => self.poll_init(session),
+            SmState::Steps(idx) => self.poll_step(session, idx),
+            // lint: allow(no-panic) contract: drivers stop at Done; a
+            // re-poll is a reactor bug, not a recoverable condition.
+            SmState::Done => unreachable!("ReplaySm polled after completion"),
+        }
+    }
+
+    fn poll_init<S: Substrate>(&mut self, session: &mut Session<S>) -> TaskPoll<ReplayOutcome> {
+        session.replays += 1;
+        self.replay_no = match self.lane {
+            Some(l) => l.replay_no,
+            None => session.replays,
+        };
+        session.env.journal().metrics.incr(Counter::ReplaysExecuted);
         // Each replay is a micro span under whichever Fig. 3 phase is
         // running it, and the one place host time is measured: core is
         // outside the simulator's determinism boundary, and the wall
         // clock feeds only the non-deterministic replay-host-micros
         // histogram (never the JSONL export).
-        let host_start = std::time::Instant::now();
-        self.env
+        self.host_start = Some(std::time::Instant::now());
+        session
+            .env
             .journal()
-            .span_start(self.env.clock().as_micros(), Phase::Replay);
-        self.env.clear_capture();
+            .span_start(session.env.clock().as_micros(), Phase::Replay);
+        session.env.clear_capture();
+        // Restart inter-event-gap accounting at the replay boundary so
+        // the step-sim-micros distribution is a per-replay property,
+        // identical across back-to-back and lane-interleaved execution.
+        session.env.mark_step_epoch();
 
-        let client_port = self.next_client_port;
-        self.next_client_port = self
+        if let Some(l) = self.lane {
+            self.client_addr = l.client_addr;
+        }
+        self.client_port = session.next_client_port;
+        session.next_client_port = session
             .next_client_port
-            .wrapping_add(self.port_stride.max(1))
+            .wrapping_add(session.port_stride.max(1))
             .max(20_000);
-        let server_port = opts.server_port.unwrap_or(trace.server_port);
+        self.server_port = self
+            .opts
+            .server_port
+            .unwrap_or(self.trace.borrow().server_port);
 
         // Install the scripted server for this (possibly transformed)
-        // trace.
-        let obs = self
-            .env
-            .install_server_script(server_script(trace, schedule.server_skip_prefix));
+        // trace — keyed by client address in lane mode, so concurrent
+        // flows each talk to their own script.
+        let script = server_script(
+            self.trace.borrow(),
+            self.schedule.borrow().server_skip_prefix,
+        );
+        self.obs = Some(match self.lane {
+            Some(l) => session.env.install_server_script_for(l.client_addr, script),
+            None => session.env.install_server_script(script),
+        });
 
-        let t_start = self.env.clock();
-        let mut bytes_sent = 0u64;
-        let mut first_data_sent: Option<SimTime> = None;
+        self.t_start = session.env.clock();
+        self.protocol = self
+            .schedule
+            .borrow()
+            .protocol
+            .unwrap_or(self.trace.borrow().protocol);
 
-        let mut handshake_ok = true;
-        let mut client_isn = 0u32;
-        let mut server_isn = 0u32;
-        let mut inbox_log: Vec<(SimTime, liberate_substrate::buf::PacketBuf)> = Vec::new();
-
-        let protocol = schedule.protocol.unwrap_or(trace.protocol);
-
-        if protocol == TraceProtocol::Tcp {
-            self.isn_counter = self.isn_counter.wrapping_add(97_000);
-            client_isn = self.isn_counter;
+        if self.protocol == TraceProtocol::Tcp {
+            session.isn_counter = session.isn_counter.wrapping_add(97_000);
+            self.client_isn = session.isn_counter;
             let syn = Packet::tcp(
-                CLIENT_ADDR,
+                self.client_addr,
                 SERVER_ADDR,
-                client_port,
-                server_port,
-                client_isn,
+                self.client_port,
+                self.server_port,
+                self.client_isn,
                 0,
                 Vec::new(),
             )
             .with_flags(TcpFlags::SYN);
-            bytes_sent += syn.serialize().len() as u64;
-            self.env.inject_client(Duration::ZERO, syn.serialize());
-            self.env.run_until_idle();
-            let inbox = self.env.take_client_inbox();
+            self.bytes_sent += syn.serialize().len() as u64;
+            session.env.inject_client(Duration::ZERO, syn.serialize());
+            session.env.run_until_idle();
+            let inbox = session.env.take_client_inbox();
+            let client_port = self.client_port;
             let syn_ack = inbox.iter().find_map(|(_, w)| {
                 let p = ParsedPacket::parse(w)?;
                 let t = p.tcp()?;
                 (t.flags.syn && t.flags.ack && t.dst_port == client_port).then(|| t.seq)
             });
-            inbox_log.extend(inbox);
+            self.inbox_log.extend(inbox);
             match syn_ack {
                 Some(s) => {
-                    server_isn = s;
+                    self.server_isn = s;
                     let ack = Packet::tcp(
-                        CLIENT_ADDR,
+                        self.client_addr,
                         SERVER_ADDR,
-                        client_port,
-                        server_port,
-                        client_isn.wrapping_add(1),
-                        server_isn.wrapping_add(1),
+                        self.client_port,
+                        self.server_port,
+                        self.client_isn.wrapping_add(1),
+                        self.server_isn.wrapping_add(1),
                         Vec::new(),
                     )
                     .with_flags(TcpFlags::ACK);
-                    bytes_sent += ack.serialize().len() as u64;
-                    self.env.inject_client(Duration::ZERO, ack.serialize());
-                    self.env.run_until_idle();
+                    self.bytes_sent += ack.serialize().len() as u64;
+                    session.env.inject_client(Duration::ZERO, ack.serialize());
+                    session.env.run_until_idle();
                 }
-                None => handshake_ok = false,
+                None => self.handshake_ok = false,
             }
         }
+        // Quiesce for the yield: anything already delivered belongs to
+        // this machine's log (collection time is invisible — the log is
+        // only read at observation, in delivery order either way).
+        self.inbox_log.extend(session.env.take_client_inbox());
 
-        // Walk the schedule.
-        if handshake_ok {
-            for step in &schedule.steps {
-                self.env.journal().metrics.incr(Counter::StepsLowered);
-                match step {
-                    Step::Pause(d) => {
-                        self.env.run_until_idle();
-                        self.env.advance(*d);
+        if !self.handshake_ok {
+            return self.finish(session);
+        }
+        self.state = SmState::Steps(0);
+        TaskPoll::Pending(Wake::Ready)
+    }
+
+    fn poll_step<S: Substrate>(
+        &mut self,
+        session: &mut Session<S>,
+        idx: usize,
+    ) -> TaskPoll<ReplayOutcome> {
+        if idx >= self.schedule.borrow().steps.len() {
+            // Trailing drain, exactly as the inline loop had after the
+            // last step (a no-op on an already-quiesced backend).
+            session.env.run_until_idle();
+            self.inbox_log.extend(session.env.take_client_inbox());
+            return self.finish(session);
+        }
+        session.env.journal().metrics.incr(Counter::StepsLowered);
+        self.state = SmState::Steps(idx + 1);
+        let wake = {
+            let schedule = self.schedule.borrow();
+            match &schedule.steps[idx] {
+                Step::Pause(d) => Wake::Timer(*d),
+                Step::AwaitServer { .. } => {
+                    // run_until_idle drains even shaper-delayed
+                    // deliveries, so one pass suffices.
+                    Wake::Ready
+                }
+                Step::Packet(sp) => {
+                    if sp.counts && !sp.payload.is_empty() && self.first_data_sent.is_none() {
+                        self.first_data_sent = Some(session.env.clock());
                     }
-                    Step::AwaitServer { .. } => {
-                        // run_until_idle drains even shaper-delayed
-                        // deliveries, so one pass suffices.
-                        self.env.run_until_idle();
-                        inbox_log.extend(self.env.take_client_inbox());
+                    for wire in build_wire_packets(
+                        self.protocol,
+                        sp,
+                        self.client_addr,
+                        self.client_port,
+                        self.server_port,
+                        self.client_isn,
+                        self.server_isn,
+                        self.replay_no,
+                        &self.opts,
+                    ) {
+                        self.bytes_sent += wire.len() as u64;
+                        session.env.inject_client(Duration::ZERO, wire);
                     }
-                    Step::Packet(sp) => {
-                        if sp.counts && !sp.payload.is_empty() && first_data_sent.is_none() {
-                            first_data_sent = Some(self.env.clock());
-                        }
-                        for wire in self.build_packet(
-                            protocol,
-                            sp,
-                            client_port,
-                            server_port,
-                            client_isn,
-                            server_isn,
-                            opts,
-                        ) {
-                            bytes_sent += wire.len() as u64;
-                            self.env.inject_client(Duration::ZERO, wire);
-                        }
-                        self.env.run_until_idle();
-                        inbox_log.extend(self.env.take_client_inbox());
-                    }
+                    Wake::Ready
                 }
             }
-            self.env.run_until_idle();
-            inbox_log.extend(self.env.take_client_inbox());
-        } else {
-            inbox_log.extend(self.env.take_client_inbox());
-        }
+        };
+        session.env.run_until_idle();
+        self.inbox_log.extend(session.env.take_client_inbox());
+        TaskPoll::Pending(wake)
+    }
 
-        self.bytes_sent_total += bytes_sent;
+    /// Observation and bookkeeping — the back half of the old inline
+    /// replay, byte-for-byte.
+    fn finish<S: Substrate>(&mut self, session: &mut Session<S>) -> TaskPoll<ReplayOutcome> {
+        session.bytes_sent_total += self.bytes_sent;
+        let trace = self.trace.borrow();
+        let client_port = self.client_port;
+        let protocol = self.protocol;
 
         // ----- Observe.
         let mut rsts = 0usize;
@@ -425,7 +599,7 @@ impl<S: Substrate> Session<S> {
         let mut icmp = Vec::new();
         let mut first_payload_at: Option<SimTime> = None;
         let mut received_stream: Vec<u8> = Vec::new();
-        for (at, wire) in &inbox_log {
+        for (at, wire) in &self.inbox_log {
             if let Some(e) = parse_icmp_error(wire) {
                 icmp.push(e);
                 continue;
@@ -465,21 +639,24 @@ impl<S: Substrate> Session<S> {
         // Server-side integrity: the delivered stream must match the
         // trace's client stream (after prefix skipping).
         let expected_client = trace.client_stream();
-        let obs = obs.lock();
-        let integrity_ok = match protocol {
-            TraceProtocol::Tcp => {
-                let got = &obs.received_stream;
-                expected_client.starts_with(got.as_slice())
-                    || got.as_slice().starts_with(&expected_client)
+        let integrity_ok = {
+            // lint: allow(no-panic) contract: obs installed in the Init poll
+            let obs = self.obs.as_ref().expect("script installed at init").lock();
+            match protocol {
+                TraceProtocol::Tcp => {
+                    let got = &obs.received_stream;
+                    expected_client.starts_with(got.as_slice())
+                        || got.as_slice().starts_with(&expected_client)
+                }
+                TraceProtocol::Udp => obs.datagrams.iter().all(|d| {
+                    trace
+                        .client_messages()
+                        .any(|m| m.payload == *d || m.payload.starts_with(d))
+                }),
             }
-            TraceProtocol::Udp => obs.datagrams.iter().all(|d| {
-                trace
-                    .client_messages()
-                    .any(|m| m.payload == *d || m.payload.starts_with(d))
-            }),
         };
 
-        self.bytes_received_total += server_payload;
+        session.bytes_received_total += server_payload;
         // Content-modification check: the bytes the client received must
         // be a prefix of the trace's server stream (bounded to the first
         // MiB for large video traces).
@@ -496,23 +673,24 @@ impl<S: Substrate> Session<S> {
             .min(1 << 20);
         let response_matches = received_stream[..cmp_len] == expected_stream[..cmp_len];
 
-        let request_to_response = match (first_data_sent, first_payload_at) {
+        let request_to_response = match (self.first_data_sent, first_payload_at) {
             (Some(a), Some(b)) if b >= a => Some(b - a),
             _ => None,
         };
 
-        let duration = self.env.clock() - t_start;
+        let duration = session.env.clock() - self.t_start;
         let outcome = ReplayOutcome {
+            client_addr: self.client_addr,
             client_port,
-            server_port,
-            handshake_ok,
+            server_port: self.server_port,
+            handshake_ok: self.handshake_ok,
             rsts,
             block_page,
             server_payload_bytes: server_payload,
             expected_server_bytes,
             complete: server_payload >= expected_server_bytes && expected_server_bytes > 0,
             integrity_ok,
-            bytes_sent,
+            bytes_sent: self.bytes_sent,
             duration,
             avg_bps: meter.average_bps(),
             peak_bps: meter.peak_bps(Duration::from_secs(1)),
@@ -520,84 +698,104 @@ impl<S: Substrate> Session<S> {
             response_matches,
             icmp,
         };
-        self.env.journal().record(
-            self.env.clock().as_micros(),
+        // lint: allow(obs-coverage: ReplayFinished) the paired
+        // ReplaysExecuted increment happens in poll_init — one state
+        // machine, split across polls.
+        session.env.journal().record(
+            session.env.clock().as_micros(),
             EventKind::ReplayFinished {
-                replay: self.replays,
-                bytes_sent,
+                replay: self.replay_no,
+                bytes_sent: self.bytes_sent,
                 server_bytes: server_payload,
                 blocked: outcome.blocked(),
             },
         );
-        self.env
+        session
+            .env
             .journal()
-            .span_end(self.env.clock().as_micros(), Phase::Replay);
-        self.env.journal().observe(
-            Hist::ReplayHostMicros,
-            host_start.elapsed().as_micros() as u64,
-        );
-        outcome
+            .span_end(session.env.clock().as_micros(), Phase::Replay);
+        if let Some(host_start) = self.host_start {
+            // lint: allow(obs-coverage: ReplayHostMicros) paired with the
+            // ReplaysExecuted increment in poll_init.
+            session.env.journal().observe(
+                Hist::ReplayHostMicros,
+                host_start.elapsed().as_micros() as u64,
+            );
+        }
+        // Lane flows tear their scripted server (and its connection
+        // state) down on completion, bounding endpoint memory when a
+        // reactor drives very many flows through one host.
+        if let Some(l) = self.lane {
+            session.env.remove_server_script_for(l.client_addr);
+        }
+        self.state = SmState::Done;
+        TaskPoll::Done(outcome)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn build_packet(
-        &mut self,
-        protocol: TraceProtocol,
-        sp: &ScheduledPacket,
-        client_port: u16,
-        server_port: u16,
-        client_isn: u32,
-        server_isn: u32,
-        opts: &ReplayOpts,
-    ) -> Vec<Vec<u8>> {
-        let mut pkt = match protocol {
-            TraceProtocol::Tcp => {
-                let seq = client_isn.wrapping_add(1).wrapping_add(sp.offset as u32);
-                Packet::tcp(
-                    CLIENT_ADDR,
-                    SERVER_ADDR,
-                    client_port,
-                    server_port,
-                    seq,
-                    server_isn.wrapping_add(1),
-                    sp.payload.clone(),
-                )
-            }
-            TraceProtocol::Udp => Packet::udp(
-                CLIENT_ADDR,
+/// Lower one scheduled packet to wire bytes. `ident` seeds the IP
+/// identification pattern (the session-global replay number inline;
+/// the lane-local one on reactor lanes, where the per-lane client
+/// address keeps reassembly keys disjoint anyway).
+#[allow(clippy::too_many_arguments)]
+fn build_wire_packets(
+    protocol: TraceProtocol,
+    sp: &ScheduledPacket,
+    client_addr: Ipv4Addr,
+    client_port: u16,
+    server_port: u16,
+    client_isn: u32,
+    server_isn: u32,
+    ident: u64,
+    opts: &ReplayOpts,
+) -> Vec<Vec<u8>> {
+    let mut pkt = match protocol {
+        TraceProtocol::Tcp => {
+            let seq = client_isn.wrapping_add(1).wrapping_add(sp.offset as u32);
+            Packet::tcp(
+                client_addr,
                 SERVER_ADDR,
                 client_port,
                 server_port,
+                seq,
+                server_isn.wrapping_add(1),
                 sp.payload.clone(),
-            ),
-        };
-        if let Some(ttl) = opts.data_ttl {
-            pkt.ip.ttl = ttl;
+            )
         }
-        pkt.ip.identification = (self.replays as u16)
-            .wrapping_mul(251)
-            .wrapping_add((sp.offset as u16).wrapping_mul(31));
-        sp.craft.apply(&mut pkt);
-        let wire = pkt.serialize();
+        TraceProtocol::Udp => Packet::udp(
+            client_addr,
+            SERVER_ADDR,
+            client_port,
+            server_port,
+            sp.payload.clone(),
+        ),
+    };
+    if let Some(ttl) = opts.data_ttl {
+        pkt.ip.ttl = ttl;
+    }
+    pkt.ip.identification = (ident as u16)
+        .wrapping_mul(251)
+        .wrapping_add((sp.offset as u16).wrapping_mul(31));
+    sp.craft.apply(&mut pkt);
+    let wire = pkt.serialize();
 
-        match &sp.fragment {
-            None => vec![wire],
-            Some(plan) => {
-                // Convert the payload-relative boundary into an IP-payload
-                // boundary (transport header included), rounded down to
-                // the fragmentation granularity.
-                let transport_header = wire.len() - 20 - sp.payload.len();
-                let boundary = plan
-                    .boundary
-                    .map(|b| transport_header + b)
-                    .unwrap_or((wire.len() - 20) / plan.pieces.max(1));
-                let chunk = (boundary / 8).max(1) * 8;
-                let mut frags = fragment_packet(&wire, chunk);
-                if plan.reverse {
-                    frags.reverse();
-                }
-                frags
+    match &sp.fragment {
+        None => vec![wire],
+        Some(plan) => {
+            // Convert the payload-relative boundary into an IP-payload
+            // boundary (transport header included), rounded down to
+            // the fragmentation granularity.
+            let transport_header = wire.len() - 20 - sp.payload.len();
+            let boundary = plan
+                .boundary
+                .map(|b| transport_header + b)
+                .unwrap_or((wire.len() - 20) / plan.pieces.max(1));
+            let chunk = (boundary / 8).max(1) * 8;
+            let mut frags = fragment_packet(&wire, chunk);
+            if plan.reverse {
+                frags.reverse();
             }
+            frags
         }
     }
 }

@@ -9,6 +9,8 @@
 //! sim-specific access (e.g. `session.env.dpi_mut()` in tests) rides the
 //! `Deref` to [`Environment`] this module provides.
 
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,7 +23,7 @@ use liberate_packet::flow::FlowKey;
 use liberate_substrate::capture::Capture;
 use liberate_substrate::script::{ScriptEngine, ServerObs, ServerScript};
 use liberate_substrate::time::SimTime;
-use liberate_substrate::{ClassVerdict, Substrate};
+use liberate_substrate::{ClassVerdict, LaneState, Substrate};
 
 pub use liberate_netsim::os::OsKind;
 pub use liberate_netsim::server::{EchoApp, ServerApp, SinkApp};
@@ -40,6 +42,36 @@ impl ServerApp for ScriptServerApp {
 
     fn on_udp_datagram(&mut self, _flow: FlowKey, data: &[u8]) -> Vec<Vec<u8>> {
         self.engine.on_udp_datagram(data)
+    }
+}
+
+/// Reactor-mode adapter: many scripted flows multiplexed through one
+/// server host, each client address owning its own [`ScriptEngine`].
+/// Routing keys on `flow.src` alone — the reactor assigns every
+/// in-flight task a unique client address, so the key is unambiguous
+/// even across that task's port-rotating replays.
+#[derive(Default)]
+struct MuxScriptApp {
+    engines: HashMap<Ipv4Addr, ScriptEngine>,
+}
+
+impl ServerApp for MuxScriptApp {
+    fn on_tcp_data(&mut self, flow: FlowKey, data: &[u8]) -> Vec<u8> {
+        match self.engines.get_mut(&flow.src) {
+            Some(engine) => engine.on_tcp_data(data),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_udp_datagram(&mut self, flow: FlowKey, data: &[u8]) -> Vec<Vec<u8>> {
+        match self.engines.get_mut(&flow.src) {
+            Some(engine) => engine.on_udp_datagram(data),
+            None => Vec::new(),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -175,6 +207,60 @@ impl Substrate for SimSubstrate {
             .map(|p| !p.is_noop())
             .unwrap_or(false);
         Some(ClassVerdict { class, effective })
+    }
+
+    fn supports_lanes(&self) -> bool {
+        true
+    }
+
+    fn swap_lane(&mut self, lane: &mut LaneState) {
+        self.env
+            .network
+            .swap_lane(&mut lane.clock, &mut lane.step_epoch_us, &mut lane.capture);
+        let prev = Arc::clone(&self.env.journal);
+        self.env.attach_journal(Arc::clone(&lane.journal));
+        lane.journal = prev;
+    }
+
+    fn mark_step_epoch(&mut self) {
+        self.env.network.mark_step_epoch();
+    }
+
+    fn install_server_script_for(
+        &mut self,
+        client: Ipv4Addr,
+        script: ServerScript,
+    ) -> Arc<Mutex<ServerObs>> {
+        let (engine, obs) = ScriptEngine::new(script);
+        let server = &mut self.env.network.server;
+        let is_mux = server
+            .app_mut()
+            .as_any_mut()
+            .is_some_and(|a| a.is::<MuxScriptApp>());
+        if !is_mux {
+            server.set_app(Box::<MuxScriptApp>::default());
+        }
+        let mux = server
+            .app_mut()
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<MuxScriptApp>())
+            // lint: allow(no-panic) invariant: the branch above just
+            // installed a MuxScriptApp when one wasn't present.
+            .expect("server app is the mux installed above");
+        mux.engines.insert(client, engine);
+        obs
+    }
+
+    fn remove_server_script_for(&mut self, client: Ipv4Addr) {
+        let server = &mut self.env.network.server;
+        if let Some(mux) = server
+            .app_mut()
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<MuxScriptApp>())
+        {
+            mux.engines.remove(&client);
+        }
+        server.evict_client(client);
     }
 }
 

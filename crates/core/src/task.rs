@@ -1,0 +1,67 @@
+//! Resumable per-flow work units for the event-driven replay reactor.
+//!
+//! A [`FlowTask`] is a poll-style state machine over a worker
+//! [`Session`]: each `poll` runs one *quiesced segment* — it may inject
+//! packets, drain the substrate to idle, and read observations, but it
+//! must leave the backend with an empty event heap and an empty client
+//! inbox before yielding. That discipline is what lets the reactor
+//! interleave thousands of tasks on one worker by swapping per-flow
+//! [`liberate_substrate::LaneState`]s around each poll: a quiescent
+//! backend carries no cross-task state outside the lane.
+//!
+//! Yields are declarative: [`Wake::Timer`] asks the driver to advance the
+//! task's (virtual) clock before the next poll — the sequential driver
+//! calls `env.advance(d)` inline, the reactor parks the task on its
+//! timer wheel — and [`Wake::Ready`] asks to be re-polled as soon as the
+//! scheduler gets back around, which is how long replays stay fair.
+
+use std::time::Duration;
+
+use liberate_substrate::Substrate;
+
+use crate::replay::Session;
+
+/// Why a task yielded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Advance this task's clock by the given delta, then poll again.
+    /// The backend is idle at the yield, so the advance is pure clock
+    /// movement wherever it executes.
+    Timer(Duration),
+    /// Poll again at the scheduler's next opportunity.
+    Ready,
+}
+
+/// The result of one [`FlowTask::poll`].
+#[derive(Debug)]
+pub enum TaskPoll<R> {
+    /// The task yielded; resume per the [`Wake`].
+    Pending(Wake),
+    /// The task finished with its output.
+    Done(R),
+}
+
+/// A resumable flow driven by the reactor (or inline by a sequential
+/// driver). `Send` so whole waves of tasks can move to pool worker
+/// threads.
+pub trait FlowTask<S: Substrate>: Send {
+    type Output: Send;
+
+    /// Run one quiesced segment. Must not block the OS thread (no
+    /// `std::thread::sleep`, no lock waits on shared state): simulated
+    /// waiting is expressed as [`Wake::Timer`] yields.
+    fn poll(&mut self, session: &mut Session<S>) -> TaskPoll<Self::Output>;
+
+    /// Replays this task has started so far (lane-local numbering). The
+    /// reactor chains these into the canonical replay numbering when it
+    /// splices lane journals back into the worker journal.
+    fn replays_done(&self) -> u64;
+
+    /// Tasks whose observable behavior depends on session- or
+    /// environment-global mutable state (billed counters, shared link
+    /// shapers, RNG draws mid-task) return `true` and the reactor runs
+    /// them to completion in admission order instead of interleaving.
+    fn atomic(&self) -> bool {
+        false
+    }
+}

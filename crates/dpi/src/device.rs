@@ -150,6 +150,18 @@ impl DpiDevice {
         self.compiled = None;
     }
 
+    /// Tell the device time has passed without traffic. `last_seen` (the
+    /// clock expiry and journaled management events read) normally moves
+    /// only when a packet is inspected; drivers that quiesce the device
+    /// and then act on it (rule swaps, batch reclamation) call this first
+    /// so the action is stamped at the driver's clock rather than the
+    /// last packet's. Monotonic: never moves the clock backwards — lane-
+    /// virtualized engines whose per-flow timestamps lag the session
+    /// clock rely on that.
+    pub fn observe_now(&mut self, now: SimTime) {
+        self.last_seen = self.last_seen.max(now);
+    }
+
     /// Replace this device's rule set in place — the scripted
     /// "classifier changed under us" event benches and deployment tests
     /// use to exercise re-characterization. Existing flow state is kept

@@ -248,7 +248,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_thirteen_rules() {
+    fn registry_has_the_fourteen_rules() {
         assert_eq!(
             rule_names(),
             vec![
@@ -263,6 +263,7 @@ mod tests {
                 "overhead-consistency",
                 "payload-copy",
                 "pcap-byte-order",
+                "reactor-blocking",
                 "simtime-monotonicity",
                 "substrate-seam"
             ]
@@ -282,7 +283,7 @@ mod tests {
             .map(|n| rule_code(n).expect("every rule has a code"))
             .collect();
         codes.push(rule_code(UNUSED_ALLOW_RULE).unwrap());
-        assert_eq!(codes.len(), 14);
+        assert_eq!(codes.len(), 15);
         let mut deduped = codes.clone();
         deduped.sort();
         deduped.dedup();

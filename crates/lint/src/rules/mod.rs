@@ -13,6 +13,7 @@ mod obs_coverage;
 mod overhead_consistency;
 mod payload_copy;
 mod pcap_byte_order;
+mod reactor_blocking;
 mod simtime_monotonicity;
 mod substrate_seam;
 mod taxonomy;
@@ -72,6 +73,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(overhead_consistency::OverheadConsistency),
         Box::new(payload_copy::PayloadCopy),
         Box::new(pcap_byte_order::PcapByteOrder),
+        Box::new(reactor_blocking::ReactorBlocking),
         Box::new(simtime_monotonicity::SimtimeMonotonicity),
         Box::new(substrate_seam::SubstrateSeam),
     ]

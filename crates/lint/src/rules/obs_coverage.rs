@@ -51,6 +51,8 @@ const HIST_PAIRING: &[(&str, Option<&str>)] = &[
     ("BlindRounds", None),
     ("InjectBytes", Some("PacketsInjected")),
     ("StepSimMicros", Some("PacketsStepped")),
+    ("ReadyQueueDepth", Some("ReactorTicks")),
+    ("ReactorTickMicros", Some("ReactorTicks")),
 ];
 
 /// How far back to look for the call head enclosing an emission.

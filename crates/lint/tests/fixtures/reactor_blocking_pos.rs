@@ -1,0 +1,21 @@
+// lint-fixture: path=crates/core/src/deploy/tasks.rs
+
+impl FlowTask<SimSubstrate> for BackoffFlowTask {
+    type Output = PoolFlowReport;
+
+    /// Waits out the retry backoff on the host clock: every other lane
+    /// multiplexed onto this worker stalls for the full 50ms while the
+    /// simulated clock never moves.
+    fn poll(&mut self, session: &mut Session) -> TaskPoll<PoolFlowReport> {
+        if self.needs_backoff {
+            std::thread::sleep(Duration::from_millis(50));
+            self.needs_backoff = false;
+            return TaskPoll::Pending(Wake::Ready);
+        }
+        TaskPoll::Done(self.report.clone())
+    }
+
+    fn replays_done(&self) -> u64 {
+        self.replays
+    }
+}

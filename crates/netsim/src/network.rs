@@ -219,6 +219,44 @@ impl Network {
         self.run_until(SimTime::from_micros(u64::MAX));
     }
 
+    /// Whether any event is still queued. Lane swaps (below) are only
+    /// legal on a quiescent network.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Restart the inter-event-gap baseline at the current clock, so the
+    /// next dispatched event's `step-sim-micros` sample measures from
+    /// *here* rather than from the previous activity burst. The replay
+    /// engine calls this at the top of every replay, making the gap
+    /// distribution a per-replay property — identical whether replays run
+    /// back to back on one timeline or on interleaved reactor lanes.
+    pub fn mark_step_epoch(&mut self) {
+        self.last_step_us = self.clock.as_micros();
+    }
+
+    /// Exchange the per-lane virtual-timeline state — clock, step-epoch
+    /// baseline, and capture buffer — with a reactor lane's stash. Only
+    /// meaningful while the network is idle (event heap and client inbox
+    /// drained): a quiesced network's *entire* mutable timeline state is
+    /// exactly these three fields, which is what makes lane-virtualized
+    /// replay (`liberate::reactor`) equivalent to sequential execution.
+    pub fn swap_lane(
+        &mut self,
+        clock: &mut SimTime,
+        step_epoch_us: &mut u64,
+        capture: &mut Capture,
+    ) {
+        debug_assert!(self.events.is_empty(), "lane swap on a non-idle network");
+        debug_assert!(
+            self.client_inbox.is_empty(),
+            "lane swap with undrained client inbox"
+        );
+        std::mem::swap(&mut self.clock, clock);
+        std::mem::swap(&mut self.last_step_us, step_epoch_us);
+        std::mem::swap(&mut self.capture, capture);
+    }
+
     fn dispatch(&mut self, ev: Event) {
         let Event {
             at, pos, dir, wire, ..

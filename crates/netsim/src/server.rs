@@ -176,6 +176,13 @@ impl ServerHost {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Drop all connection state for flows originating at `client`.
+    /// Reactor-mode sessions mux many client addresses through one host;
+    /// evicting a finished client's conns bounds endpoint memory.
+    pub fn evict_client(&mut self, client: Ipv4Addr) {
+        self.conns.retain(|flow, _| flow.src != client);
+    }
+
     /// Receive one wire packet at the server NIC. `_now` is kept for
     /// symmetry with path elements (the stack itself is time-free).
     /// Accepts any [`WireBytes`] input; [`PacketBuf`] callers (the wire

@@ -213,10 +213,16 @@ pub enum Hist {
     InjectBytes,
     /// Simulated micros between consecutive dispatched simulator events.
     StepSimMicros,
+    /// Ready-queue depth sampled at each reactor scheduler tick.
+    ReadyQueueDepth,
+    /// Host wall-clock micros per reactor scheduler tick. Like
+    /// [`Hist::ReplayHostMicros`], non-deterministic and excluded from
+    /// JSONL export; consumed by `exp-scale`.
+    ReactorTickMicros,
 }
 
 impl Hist {
-    pub const ALL: [Hist; 13] = [
+    pub const ALL: [Hist; 15] = [
         Hist::DetectSimMicros,
         Hist::BlindSearchSimMicros,
         Hist::PositionProbeSimMicros,
@@ -230,6 +236,8 @@ impl Hist {
         Hist::BlindRounds,
         Hist::InjectBytes,
         Hist::StepSimMicros,
+        Hist::ReadyQueueDepth,
+        Hist::ReactorTickMicros,
     ];
 
     pub fn name(self) -> &'static str {
@@ -247,6 +255,8 @@ impl Hist {
             Hist::BlindRounds => "blind-rounds",
             Hist::InjectBytes => "inject-bytes",
             Hist::StepSimMicros => "step-sim-micros",
+            Hist::ReadyQueueDepth => "ready-queue-depth",
+            Hist::ReactorTickMicros => "reactor-tick-micros",
         }
     }
 
@@ -268,7 +278,7 @@ impl Hist {
     /// (host wall-clock timings) are excluded from JSONL export so
     /// same-seed journals stay byte-identical.
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Hist::ReplayHostMicros)
+        !matches!(self, Hist::ReplayHostMicros | Hist::ReactorTickMicros)
     }
 }
 
@@ -375,6 +385,9 @@ mod tests {
     #[test]
     fn only_host_time_is_nondeterministic() {
         let nondet: Vec<_> = Hist::ALL.iter().filter(|h| !h.is_deterministic()).collect();
-        assert_eq!(nondet, vec![&Hist::ReplayHostMicros]);
+        assert_eq!(
+            nondet,
+            vec![&Hist::ReplayHostMicros, &Hist::ReactorTickMicros]
+        );
     }
 }

@@ -354,6 +354,85 @@ impl Journal {
         self.metrics.merge_hists(&other.metrics);
     }
 
+    /// Splice a reactor lane's *staged* journal into this one as if its
+    /// events had been recorded inline, `dt_us` later on this journal's
+    /// timeline. This is the canonicalization half of the event-driven
+    /// engine's determinism contract (`liberate::reactor`): every lane
+    /// records into a private staged journal on a virtual timeline
+    /// starting at the wave's opening instant, and the reactor splices
+    /// the lanes back in **admission order** with `dt_us` set to the sum
+    /// of the earlier lanes' durations — reproducing, byte for byte, the
+    /// journal a sequential run of the same jobs would have written.
+    ///
+    /// Concretely:
+    /// - staged timestamps are rebased by `dt_us`;
+    /// - staged span ids (a private 1.. sequence) are renumbered after
+    ///   this journal's, and staged root spans are re-parented onto this
+    ///   journal's innermost open span (the enclosing `Wave`);
+    /// - events the lane recorded outside any non-micro span inherit this
+    ///   journal's innermost open Fig. 3 phase, exactly as they would
+    ///   have had they been recorded inline under it;
+    /// - `ReplayFinished::replay` ordinals (lane-local 1..) are rebased
+    ///   by `replay_base`, the session replays that canonically precede
+    ///   this lane;
+    /// - counters are added and histograms merged bucket-wise (always,
+    ///   even when event recording is disabled).
+    pub fn splice_staged(&self, staged: &Journal, dt_us: u64, replay_base: u64) {
+        for (counter, value) in staged.metrics.snapshot() {
+            if value > 0 {
+                self.metrics.add(counter, value);
+            }
+        }
+        self.metrics.merge_hists(&staged.metrics);
+        if !self.is_enabled() {
+            return;
+        }
+        let events = staged.events();
+        let id_base = {
+            let staged_inner = staged.inner.lock();
+            staged_inner.next_span
+        };
+        let mut inner = self.inner.lock();
+        let ctx_phase = inner
+            .stack
+            .iter()
+            .rev()
+            .find(|s| !s.phase.is_micro())
+            .map(|s| s.phase);
+        let ctx_span = inner.stack.last().map(|s| s.id);
+        let base = inner.next_span;
+        inner.next_span = base + id_base;
+        let remap = |id: Option<u64>| match id {
+            // 0 marks an unmatched span end; keep the imbalance visible.
+            Some(0) => Some(0),
+            Some(id) => Some(id + base),
+            None => ctx_span,
+        };
+        inner.events.extend(events.into_iter().map(|mut e| {
+            e.t_us += dt_us;
+            if e.phase.is_none() {
+                e.phase = ctx_phase;
+            }
+            e.span = remap(e.span);
+            match &mut e.kind {
+                EventKind::SpanStart { id, parent, .. } => {
+                    *id += base;
+                    *parent = remap(*parent);
+                }
+                EventKind::SpanEnd { id, .. } => {
+                    if *id != 0 {
+                        *id += base;
+                    }
+                }
+                EventKind::ReplayFinished { replay, .. } => {
+                    *replay += replay_base;
+                }
+                _ => {}
+            }
+            e
+        }));
+    }
+
     /// Innermost open span's phase, micro or not, if any.
     pub fn current_phase(&self) -> Option<Phase> {
         self.inner.lock().stack.last().map(|s| s.phase)
@@ -517,6 +596,71 @@ mod tests {
         let rounds = main.metrics.hist(Hist::BlindRounds).snapshot();
         assert_eq!(rounds.count, 2);
         assert_eq!(rounds.sum, 10);
+    }
+
+    #[test]
+    fn splice_staged_matches_inline_recording() {
+        use crate::metrics::Counter;
+
+        // Reference: everything recorded inline on one journal.
+        let inline = Journal::new();
+        inline.span_start(0, Phase::BlindSearch);
+        inline.span_start(0, Phase::Wave);
+        inline.span_start(10, Phase::Replay);
+        inline.record(15, EventKind::PacketInjected { bytes: 9 });
+        inline.record(
+            20,
+            EventKind::ReplayFinished {
+                replay: 3,
+                bytes_sent: 9,
+                server_bytes: 0,
+                blocked: false,
+            },
+        );
+        inline.span_end(20, Phase::Replay);
+        inline.span_end(20, Phase::Wave);
+        inline.span_end(30, Phase::BlindSearch);
+
+        // Same work staged on a lane timeline starting at 0, spliced at
+        // dt=10 with two canonically-earlier replays.
+        let main = Journal::new();
+        main.span_start(0, Phase::BlindSearch);
+        main.span_start(0, Phase::Wave);
+        let staged = Journal::new();
+        staged.span_start(0, Phase::Replay);
+        staged.record(5, EventKind::PacketInjected { bytes: 9 });
+        staged.metrics.incr(Counter::PacketsInjected);
+        staged.record(
+            10,
+            EventKind::ReplayFinished {
+                replay: 1,
+                bytes_sent: 9,
+                server_bytes: 0,
+                blocked: false,
+            },
+        );
+        staged.span_end(10, Phase::Replay);
+        main.splice_staged(&staged, 10, 2);
+        main.span_end(20, Phase::Wave);
+        main.span_end(30, Phase::BlindSearch);
+
+        assert_eq!(main.events(), inline.events());
+        assert_eq!(main.metrics.get(Counter::PacketsInjected), 1);
+        // The id sequence continues past the spliced spans.
+        assert_eq!(main.span_start(40, Phase::Detect), 4);
+    }
+
+    #[test]
+    fn splice_into_disabled_journal_keeps_counters_only() {
+        use crate::metrics::Counter;
+
+        let main = Journal::disabled();
+        let staged = Journal::new();
+        staged.record(5, EventKind::FlowReset);
+        staged.metrics.incr(Counter::FlowResets);
+        main.splice_staged(&staged, 0, 0);
+        assert!(main.is_empty());
+        assert_eq!(main.metrics.get(Counter::FlowResets), 1);
     }
 
     #[test]

@@ -56,10 +56,19 @@ pub enum Counter {
     PayloadCopies,
     /// Bytes materialized by those payload copies.
     PayloadBytesCopied,
+    /// Scheduler iterations of the event-driven replay reactor (one per
+    /// task poll or timer-wheel advance).
+    ReactorTicks,
+    /// Flow tasks admitted into a reactor's ready queue.
+    ReactorTasksAdmitted,
+    /// Timer-wheel entries fired by the reactor.
+    ReactorTimerFires,
+    /// Flow tasks whose poll panicked and was contained by the reactor.
+    ReactorTaskPanics,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::PacketsStepped,
         Counter::PacketsInjected,
         Counter::FlowsCreated,
@@ -80,6 +89,10 @@ impl Counter {
         Counter::RuleSwaps,
         Counter::PayloadCopies,
         Counter::PayloadBytesCopied,
+        Counter::ReactorTicks,
+        Counter::ReactorTasksAdmitted,
+        Counter::ReactorTimerFires,
+        Counter::ReactorTaskPanics,
     ];
 
     pub fn name(self) -> &'static str {
@@ -104,6 +117,10 @@ impl Counter {
             Counter::RuleSwaps => "rule-swaps",
             Counter::PayloadCopies => "payload-copies",
             Counter::PayloadBytesCopied => "payload-bytes-copied",
+            Counter::ReactorTicks => "reactor-ticks",
+            Counter::ReactorTasksAdmitted => "reactor-tasks-admitted",
+            Counter::ReactorTimerFires => "reactor-timer-fires",
+            Counter::ReactorTaskPanics => "reactor-task-panics",
         }
     }
 }
@@ -111,15 +128,26 @@ impl Counter {
 /// The counter registry. Shared behind the `Arc<Journal>` that rides on
 /// `Environment`/`Session`; increments are relaxed atomics because all
 /// counters are independent and only read after the run quiesces.
+///
+/// The histogram table is allocated on first sample: at ~1000 buckets
+/// per histogram it is ~100 KiB of real memory, and a reactor wave
+/// carries one `Metrics` per in-flight lane — a 100k-flow wave must not
+/// pay 100 KiB per lane for tables the disabled lane journals never
+/// touch (`Journal::observe` gates samples on the enabled flag).
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: [AtomicU64; Counter::ALL.len()],
-    hists: [Histogram; Hist::ALL.len()],
+    hists: std::sync::OnceLock<Box<[Histogram]>>,
 }
 
 impl Metrics {
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    fn hist_table(&self) -> &[Histogram] {
+        self.hists
+            .get_or_init(|| (0..Hist::ALL.len()).map(|_| Histogram::default()).collect())
     }
 
     pub fn incr(&self, c: Counter) {
@@ -141,30 +169,41 @@ impl Metrics {
 
     /// Record one sample into a histogram.
     pub fn observe(&self, h: Hist, v: u64) {
-        self.hists[h as usize].record(v);
+        self.hist_table()[h as usize].record(v);
     }
 
     pub fn hist(&self, h: Hist) -> &Histogram {
-        &self.hists[h as usize]
+        &self.hist_table()[h as usize]
     }
 
     /// All histograms in `Hist::ALL` order, mirroring [`Self::snapshot`]
-    /// so exports stay byte-identical across platforms.
+    /// so exports stay byte-identical across platforms. A registry that
+    /// never recorded a sample snapshots as all-empty without allocating
+    /// its table.
     pub fn hist_snapshot(&self) -> Vec<(Hist, HistSnapshot)> {
-        Hist::ALL
-            .iter()
-            .map(|&h| (h, self.hists[h as usize].snapshot()))
-            .collect()
+        match self.hists.get() {
+            Some(table) => Hist::ALL
+                .iter()
+                .map(|&h| (h, table[h as usize].snapshot()))
+                .collect(),
+            None => Hist::ALL
+                .iter()
+                .map(|&h| (h, HistSnapshot::default()))
+                .collect(),
+        }
     }
 
     /// Fold another registry's histograms into this one (bucket-wise
     /// addition; see `Histogram::merge`). Counters are merged separately
     /// by `Journal::absorb_worker`.
     pub fn merge_hists(&self, other: &Metrics) {
+        let Some(theirs) = other.hists.get() else {
+            return;
+        };
         for h in Hist::ALL {
-            let theirs = &other.hists[h as usize];
-            if !theirs.is_empty() {
-                self.hists[h as usize].merge(theirs);
+            let hist = &theirs[h as usize];
+            if !hist.is_empty() {
+                self.hist_table()[h as usize].merge(hist);
             }
         }
     }

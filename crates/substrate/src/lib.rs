@@ -28,6 +28,7 @@ pub mod stats;
 pub mod time;
 pub mod verdict;
 
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,9 +36,44 @@ use liberate_obs::Journal;
 use liberate_packet::flow::FlowKey;
 use parking_lot::Mutex;
 
-use crate::capture::Capture;
+use crate::capture::{Capture, TapPoint};
 use crate::script::{ServerObs, ServerScript};
 use crate::time::SimTime;
+
+/// The per-lane slice of a backend's mutable timeline state, for
+/// event-driven (reactor) execution: each in-flight flow task owns one
+/// `LaneState` holding its private virtual clock, step-epoch baseline,
+/// capture buffer, and staging journal. [`Substrate::swap_lane`]
+/// exchanges it with the backend's live state around each task poll, so
+/// thousands of flows can interleave on one backend while each observes
+/// a coherent private timeline.
+#[derive(Debug)]
+pub struct LaneState {
+    pub clock: SimTime,
+    /// Baseline for the backend's inter-event-gap accounting
+    /// (`step-sim-micros`), saved and restored with the clock.
+    pub step_epoch_us: u64,
+    pub capture: Capture,
+    /// The lane's staging journal; spliced into the worker journal in
+    /// canonical order when the wave completes.
+    pub journal: Arc<Journal>,
+}
+
+impl LaneState {
+    /// A fresh lane starting at `clock`, with its capture narrowed to
+    /// `points` (mirror the session's own narrowing) and recording into
+    /// `journal`.
+    pub fn new(clock: SimTime, points: &[TapPoint], journal: Arc<Journal>) -> LaneState {
+        let mut capture = Capture::default();
+        capture.set_recorded_points(points);
+        LaneState {
+            clock,
+            step_epoch_us: clock.as_micros(),
+            capture,
+            journal,
+        }
+    }
+}
 
 /// A classifier's answer for one flow, backend-neutral: the class it
 /// assigned and whether a non-no-op policy (throttle, block, zero-rate)
@@ -121,6 +157,48 @@ pub trait Substrate: Send {
     /// (testbed-style direct readout, or counter deltas on the real
     /// wire). `None` means unclassified or unreadable.
     fn verdict_for(&mut self, flow: FlowKey) -> Option<ClassVerdict>;
+
+    /// Whether this backend can virtualize per-flow timelines for the
+    /// event-driven reactor ([`Self::swap_lane`] and friends). Backends
+    /// that cannot (real-wire ones: time is not swappable there) return
+    /// false and the reactor falls back to chained run-to-completion
+    /// execution, which needs none of the lane surface.
+    fn supports_lanes(&self) -> bool {
+        false
+    }
+
+    /// Exchange the backend's live timeline state (clock, step-epoch
+    /// baseline, capture, journal) with `lane`'s stash. Only called while
+    /// the backend is quiescent (`run_until_idle` done, inbox drained),
+    /// and only when [`Self::supports_lanes`] is true; the default is a
+    /// no-op for backends without lanes.
+    fn swap_lane(&mut self, _lane: &mut LaneState) {}
+
+    /// Restart the backend's inter-event-gap baseline (`step-sim-micros`)
+    /// at the current clock. The replay engine calls this at the top of
+    /// every replay so the gap distribution is a per-replay property,
+    /// identical across sequential and lane-interleaved execution.
+    /// Backends without step accounting do nothing.
+    fn mark_step_epoch(&mut self) {}
+
+    /// Install a scripted replay server for one client's flows, keyed by
+    /// client address, leaving other clients' scripted servers in place —
+    /// the reactor's multiplexed variant of
+    /// [`Self::install_server_script`]. The default (for backends serving
+    /// one flow at a time) falls back to the unkeyed install.
+    fn install_server_script_for(
+        &mut self,
+        _client: Ipv4Addr,
+        script: ServerScript,
+    ) -> Arc<Mutex<ServerObs>> {
+        self.install_server_script(script)
+    }
+
+    /// Tear down the scripted server (and any per-connection endpoint
+    /// state) for one client installed via
+    /// [`Self::install_server_script_for`], bounding endpoint memory when
+    /// a reactor drives very many flows. Default: no-op.
+    fn remove_server_script_for(&mut self, _client: Ipv4Addr) {}
 }
 
 impl Substrate for Box<dyn Substrate> {
@@ -175,6 +253,25 @@ impl Substrate for Box<dyn Substrate> {
     fn verdict_for(&mut self, flow: FlowKey) -> Option<ClassVerdict> {
         (**self).verdict_for(flow)
     }
+    fn supports_lanes(&self) -> bool {
+        (**self).supports_lanes()
+    }
+    fn swap_lane(&mut self, lane: &mut LaneState) {
+        (**self).swap_lane(lane)
+    }
+    fn mark_step_epoch(&mut self) {
+        (**self).mark_step_epoch()
+    }
+    fn install_server_script_for(
+        &mut self,
+        client: Ipv4Addr,
+        script: ServerScript,
+    ) -> Arc<Mutex<ServerObs>> {
+        (**self).install_server_script_for(client, script)
+    }
+    fn remove_server_script_for(&mut self, client: Ipv4Addr) {
+        (**self).remove_server_script_for(client)
+    }
 }
 
 pub mod prelude {
@@ -186,5 +283,5 @@ pub mod prelude {
     pub use crate::stats::ThroughputMeter;
     pub use crate::time::SimTime;
     pub use crate::verdict::{Effects, TimedPacket, Verdict};
-    pub use crate::{ClassVerdict, Substrate};
+    pub use crate::{ClassVerdict, LaneState, Substrate};
 }

@@ -84,6 +84,14 @@ say "exp-obs (tracing-overhead gate, regenerates results/BENCH_obs.json)"
 # exports across repetitions.
 cargo run --release -q -p liberate-bench --bin exp-obs >/dev/null
 
+say "exp-scale --flows 20000 (reactor scale gates, regenerates results/BENCH_scale.json)"
+# Asserts internally: every flow of a 20k-concurrent-flow deployment wave
+# runs as a reactor task and reports, marginal peak RSS stays under
+# 64 KiB per flow, and aggregate memory grows sub-linearly across a 100x
+# flow scale-up. The full 100k-flow curve runs via
+# `cargo run --release -p liberate-bench --bin exp-scale`.
+cargo run --release -q -p liberate-bench --bin exp-scale -- --flows 20000 >/dev/null
+
 say "nft backend goldens (recording loopback fixture vs tests/fixtures/nft/)"
 # Lowers all six profile rule sets through NftSubstrate with the
 # recording sink and diffs the emitted nftables programs (and the
@@ -95,7 +103,7 @@ cargo test -q --test nft_fixtures
 say "bench history (results/BENCH_history.jsonl, exact repeats dedup)"
 for bench in results/BENCH_obs.json results/BENCH_parallel.json \
     results/BENCH_deploy.json results/BENCH_matcher.json \
-    results/BENCH_hotpath.json; do
+    results/BENCH_hotpath.json results/BENCH_scale.json; do
     [ -f "$bench" ] || continue
     ./target/release/obs-query bench-history "$bench" results/BENCH_history.jsonl
 done

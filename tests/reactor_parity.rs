@@ -1,0 +1,232 @@
+//! Reactor-engine parity: characterizing through a `SessionPool` with
+//! `Engine::Reactor` (lane-virtualized, event-driven) must be
+//! *byte-identical* — merged-journal JSONL and all — to `Engine::Threads`
+//! running the same jobs at the same worker count, and must report the
+//! same `Characterization` as the sequential reference at 1, 2, and 4
+//! workers.
+//!
+//! Why byte-identical is even possible: both engines bucket job `i` onto
+//! worker `i % n` and the reactor splices each lane's staged journal
+//! back in bucket order with timestamps rebased by the sum of earlier
+//! lanes' virtual durations — exactly the timeline the threads engine
+//! produces by running the bucket job-after-job. See the determinism
+//! contract in `liberate::reactor`.
+
+use std::sync::Arc;
+
+use liberate::characterize::{characterize, Characterization, CharacterizeOpts};
+use liberate::config::LiberateConfig;
+use liberate::deploy::DeploymentPool;
+use liberate::detect::Signal;
+use liberate::engine::{characterize_parallel, Engine, SessionPool};
+use liberate::evasion::Technique;
+use liberate::replay::Session;
+use liberate_dpi::profiles::EnvKind;
+use liberate_netsim::os::OsKind;
+use liberate_obs::{to_jsonl, Journal};
+use liberate_traces::apps;
+use liberate_traces::recorded::RecordedTrace;
+
+struct Scenario {
+    name: &'static str,
+    kind: EnvKind,
+    trace: RecordedTrace,
+    signal: Signal,
+    opts: CharacterizeOpts,
+}
+
+/// The three profiles the issue pins: an HTTP video trace and a UDP STUN
+/// trace on the testbed (readout signal), and a blocked HTTP fetch
+/// through the GFC model (blocking signal, rotated server ports so the
+/// residual server:port penalty never couples probes).
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "amazon-prime-http",
+            kind: EnvKind::Testbed,
+            trace: apps::amazon_prime_http(20_000),
+            signal: Signal::Readout,
+            opts: CharacterizeOpts::default(),
+        },
+        Scenario {
+            name: "skype-stun",
+            kind: EnvKind::Testbed,
+            trace: apps::skype_stun(4),
+            signal: Signal::Readout,
+            opts: CharacterizeOpts::default(),
+        },
+        Scenario {
+            name: "economist-gfc",
+            kind: EnvKind::Gfc,
+            trace: apps::economist_http(),
+            signal: Signal::Blocking,
+            opts: CharacterizeOpts {
+                rotate_server_ports: true,
+                ..Default::default()
+            },
+        },
+    ]
+}
+
+/// One pooled characterization; returns the report and the merged
+/// journal's canonical JSONL export.
+fn run(s: &Scenario, engine: Engine, workers: usize) -> (Characterization, String) {
+    let mut pool = SessionPool::new(s.kind, OsKind::Linux, LiberateConfig::default(), workers)
+        .with_engine(engine);
+    let c = characterize_parallel(&mut pool, &s.trace, &s.signal, &s.opts);
+    let merged = Arc::new(Journal::new());
+    pool.merge_journals_into(&merged);
+    (c, to_jsonl(&merged))
+}
+
+#[test]
+fn reactor_journals_are_byte_identical_to_threads() {
+    for s in scenarios() {
+        for workers in [1usize, 2, 4] {
+            let (ct, jt) = run(&s, Engine::Threads, workers);
+            let (cr, jr) = run(&s, Engine::Reactor, workers);
+            assert_eq!(
+                cr.fields, ct.fields,
+                "{}: fields diverge across engines at {workers} workers",
+                s.name
+            );
+            assert_eq!(
+                cr.rounds, ct.rounds,
+                "{}: rounds diverge across engines at {workers} workers",
+                s.name
+            );
+            if jt != jr {
+                // Point at the first diverging line rather than dumping
+                // two full journals.
+                for (i, (a, b)) in jt.lines().zip(jr.lines()).enumerate() {
+                    assert_eq!(
+                        a, b,
+                        "{}: journal line {i} diverges at {workers} workers",
+                        s.name
+                    );
+                }
+                assert_eq!(
+                    jt.lines().count(),
+                    jr.lines().count(),
+                    "{}: journal lengths diverge at {workers} workers",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+/// Deployment parity: a `DeploymentPool` riding an `Engine::Reactor`
+/// session pool must produce the same per-flow reports AND a
+/// byte-identical merged journal as the threads engine — through the
+/// full lifecycle: initial learn, a scripted classifier flip that burns
+/// the published technique onto the fallback ladder, and the re-learned
+/// recovery wave.
+#[test]
+fn reactor_deployment_matches_threads_through_flip_and_fallback() {
+    let trace = apps::amazon_prime_http(1_200_000);
+    let run = |engine: Engine, workers: usize| {
+        let sessions = SessionPool::new(
+            EnvKind::Testbed,
+            OsKind::Linux,
+            LiberateConfig::default(),
+            workers,
+        )
+        .with_engine(engine);
+        let mut pool = DeploymentPool::over(sessions, CharacterizeOpts::default())
+            .with_fallback_ladder(vec![Technique::InertTcpInvalidFlags]);
+        let users = workers * 2;
+        let mut waves = vec![pool.run_flows(&trace, users).expect("initial wave")];
+
+        // Re-class the testbed's decoy "web" rule as "video": burns the
+        // published low-TTL technique, forcing the fallback + re-learn.
+        let rules = {
+            let dpi = pool.pool_mut().session_mut(0).env.dpi_mut().unwrap();
+            let mut rules = dpi.config.rules.clone();
+            for r in &mut rules.rules {
+                if r.id == "web" {
+                    r.class = "video".to_string();
+                }
+            }
+            rules
+        };
+        pool.hot_swap_rules(&rules);
+        waves.push(pool.run_flows(&trace, users).expect("flip wave"));
+        waves.push(pool.run_flows(&trace, users).expect("recovery wave"));
+
+        let merged = Arc::new(Journal::new());
+        pool.merge_journals_into(&merged);
+        let reports: Vec<String> = waves
+            .iter()
+            .flat_map(|w| {
+                w.reports.iter().map(|r| {
+                    format!(
+                        "u{} w{} g{} {:?} evaded={} parked={:?} change={} sent={} blocked={}",
+                        r.user,
+                        r.worker,
+                        r.generation,
+                        r.technique,
+                        r.evaded,
+                        r.parked_on_fallback,
+                        r.change_signal,
+                        r.outcome.bytes_sent,
+                        r.outcome.blocked(),
+                    )
+                })
+            })
+            .collect();
+        (reports, to_jsonl(&merged))
+    };
+
+    for workers in [1usize, 2, 4] {
+        let (rt, jt) = run(Engine::Threads, workers);
+        let (rr, jr) = run(Engine::Reactor, workers);
+        assert_eq!(
+            rr, rt,
+            "flow reports diverge across engines at {workers} workers"
+        );
+        if jt != jr {
+            for (i, (a, b)) in jt.lines().zip(jr.lines()).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "deployment journal line {i} diverges at {workers} workers"
+                );
+            }
+            assert_eq!(
+                jt.lines().count(),
+                jr.lines().count(),
+                "deployment journal lengths diverge at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn reactor_report_matches_sequential_at_1_2_4_workers() {
+    for s in scenarios() {
+        let mut solo = Session::new(s.kind, OsKind::Linux, LiberateConfig::default());
+        let seq = characterize(&mut solo, &s.trace, &s.signal, &s.opts);
+        assert!(
+            !seq.fields.is_empty(),
+            "{}: sequential run must find matching fields",
+            s.name
+        );
+        for workers in [1usize, 2, 4] {
+            let (c, _) = run(&s, Engine::Reactor, workers);
+            assert_eq!(c.fields, seq.fields, "{} at {workers} workers", s.name);
+            assert_eq!(c.rounds, seq.rounds, "{} at {workers} workers", s.name);
+            assert_eq!(c.position, seq.position, "{} at {workers} workers", s.name);
+            assert_eq!(
+                c.bytes_sent, seq.bytes_sent,
+                "{} at {workers} workers",
+                s.name
+            );
+            assert_eq!(
+                c.bytes_received, seq.bytes_received,
+                "{} at {workers} workers",
+                s.name
+            );
+            assert_eq!(c.elapsed, seq.elapsed, "{} at {workers} workers", s.name);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property battery for the reactor's hierarchical timer wheel
+//! (`liberate::reactor::TimerWheel`) — the structure the event-driven
+//! replay engine's determinism leans on.
+//!
+//! The contract pinned here (and referenced from the wheel's docs):
+//!
+//! - `advance_to(t)` fires exactly the live entries with
+//!   `deadline_us <= t` — **never early**, even for sub-tick stragglers
+//!   whose tick has been reached but whose microsecond deadline has not;
+//! - every batch comes back sorted by `(deadline_us, seq)`: deadline
+//!   order first, insertion (FIFO) order among ties, regardless of how
+//!   many slot cascades or level jumps happened in between;
+//! - cancellation is exact: a cancelled entry never fires, a fired or
+//!   cancelled token reports `false` on re-cancel;
+//! - no entry is ever stranded: after advancing past every deadline the
+//!   wheel is empty.
+//!
+//! Each property runs a randomized insert/cancel/advance interleaving
+//! against a naive reference model (a flat vector, filtered and sorted),
+//! with deadline and advance magnitudes drawn from every level of the
+//! hierarchy plus the overflow list.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use liberate::reactor::{TimerWheel, TICK_US};
+
+/// One scripted wheel operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Park a timer `offset_us` past the highest advance target so far.
+    Insert(u64),
+    /// Cancel the i-th token ever issued (mod tokens issued).
+    Cancel(usize),
+    /// Advance the wheel `delta_us` past the previous target.
+    Advance(u64),
+}
+
+/// Offsets spanning every level of the hierarchy: sub-tick, level 0,
+/// mid-levels, the deepest level, and past-the-top overflow. (Level `k`
+/// slots span `TICK_US * 64^k` µs; six levels top out near 2^46 µs.)
+fn offset() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..4 * TICK_US,
+        4 * TICK_US..(1u64 << 18),
+        (1u64 << 18)..(1u64 << 26),
+        (1u64 << 26)..(1u64 << 34),
+        (1u64 << 42)..(1u64 << 47),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        offset().prop_map(Op::Insert),
+        offset().prop_map(Op::Insert),
+        (0usize..64).prop_map(Op::Cancel),
+        offset().prop_map(Op::Advance),
+        offset().prop_map(Op::Advance),
+    ]
+}
+
+/// The reference model: issued tokens with their deadlines, minus what
+/// fired or was cancelled.
+#[derive(Default)]
+struct Model {
+    /// Live `(deadline_us, seq)` entries.
+    live: Vec<(u64, u64)>,
+    issued: Vec<u64>,
+    target: u64,
+}
+
+impl Model {
+    fn fire_until(&mut self, t: u64) -> Vec<(u64, u64)> {
+        let (mut fired, keep): (Vec<_>, Vec<_>) = self
+            .live
+            .drain(..)
+            .partition(|&(deadline, _)| deadline <= t);
+        self.live = keep;
+        fired.sort_unstable();
+        fired
+    }
+}
+
+proptest! {
+    /// Any interleaving of inserts, cancels, and advances fires exactly
+    /// the model's entries, in `(deadline, seq)` order, never early —
+    /// and a final advance past every deadline drains the wheel dry.
+    #[test]
+    fn wheel_matches_reference_model(ops in proptest::collection::vec(op(), 1..48)) {
+        let mut wheel = TimerWheel::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert(offset) => {
+                    let deadline = model.target + offset;
+                    let seq = wheel.insert(deadline, model.issued.len(), Duration::ZERO);
+                    model.live.push((deadline, seq));
+                    model.issued.push(seq);
+                }
+                Op::Cancel(i) => {
+                    if model.issued.is_empty() {
+                        continue;
+                    }
+                    let seq = model.issued[i % model.issued.len()];
+                    let was_live = model.live.iter().any(|&(_, s)| s == seq);
+                    prop_assert_eq!(
+                        wheel.cancel(seq),
+                        was_live,
+                        "cancel({}) disagrees with the model", seq
+                    );
+                    model.live.retain(|&(_, s)| s != seq);
+                }
+                Op::Advance(delta) => {
+                    model.target += delta;
+                    let fired: Vec<(u64, u64)> = wheel
+                        .advance_to(model.target)
+                        .iter()
+                        .map(|f| (f.deadline_us, f.seq))
+                        .collect();
+                    for &(deadline, _) in &fired {
+                        prop_assert!(
+                            deadline <= model.target,
+                            "fired early: deadline {} > target {}", deadline, model.target
+                        );
+                    }
+                    prop_assert_eq!(fired, model.fire_until(model.target));
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.live.len(), "live-count drift");
+        }
+        // Nothing strands: one jump past every deadline drains the wheel.
+        let fired = wheel.advance_to(u64::MAX / 2);
+        let mut rest = model.fire_until(u64::MAX / 2);
+        rest.sort_unstable();
+        let got: Vec<(u64, u64)> = fired.iter().map(|f| (f.deadline_us, f.seq)).collect();
+        prop_assert_eq!(got, rest);
+        prop_assert!(wheel.is_empty(), "entries stranded after the final drain");
+    }
+
+    /// FIFO tie-breaking is stable: N entries parked on one shared
+    /// deadline fire in exactly their insertion order, wherever that
+    /// deadline lands in the hierarchy and however the advance reaches it.
+    #[test]
+    fn equal_deadlines_fire_in_insertion_order(
+        deadline in offset(),
+        n in 2usize..24,
+        stop_short in any::<bool>(),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let seqs: Vec<u64> = (0..n)
+            .map(|task| wheel.insert(deadline, task, Duration::ZERO))
+            .collect();
+        if stop_short && deadline > 0 {
+            // Walk up to just before the deadline first: crossing ticks
+            // and cascades must not reorder or release anything.
+            prop_assert!(wheel.advance_to(deadline - 1).is_empty());
+        }
+        let fired = wheel.advance_to(deadline);
+        prop_assert_eq!(fired.len(), n);
+        for (f, &seq) in fired.iter().zip(&seqs) {
+            prop_assert_eq!(f.seq, seq, "FIFO order broken at a shared deadline");
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}
+
+/// Cascade boundaries, exhaustively: entries parked at `64^k`-tick block
+/// edges (the instants where a slot's entries re-file one level down)
+/// must fire exactly on time when the advance stops one microsecond
+/// short, exactly on, and just past each edge.
+#[test]
+fn cascade_edges_never_fire_early_or_strand() {
+    for k in 1..6u32 {
+        let edge = 64u64.pow(k) * TICK_US;
+        for delta in [0u64, 1, 17, TICK_US - 1, TICK_US] {
+            let deadline = edge + delta;
+            let mut wheel = TimerWheel::new();
+            wheel.insert(deadline, 0, Duration::ZERO);
+            assert!(
+                wheel.advance_to(deadline - 1).is_empty(),
+                "level-{k} edge +{delta}: fired a microsecond early"
+            );
+            let fired = wheel.advance_to(deadline);
+            assert_eq!(
+                fired.len(),
+                1,
+                "level-{k} edge +{delta}: stranded across the cascade"
+            );
+            assert_eq!(fired[0].deadline_us, deadline);
+            assert!(wheel.is_empty());
+        }
+    }
+}
